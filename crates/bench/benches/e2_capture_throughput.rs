@@ -1,0 +1,52 @@
+//! Criterion bench behind experiment E2: host-time cost of one capture
+//! period through the baseline (kernel) and secure (TEE) drivers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use perisec_devices::codec::AudioEncoding;
+use perisec_devices::mic::Microphone;
+use perisec_devices::signal::SineSource;
+use perisec_kernel::i2s_driver::BaselineI2sDriver;
+use perisec_kernel::pcm::PcmHwParams;
+use perisec_kernel::trace::FunctionTracer;
+use perisec_secure_driver::driver::SecureI2sDriver;
+use perisec_tz::platform::Platform;
+
+fn mic() -> Microphone {
+    Microphone::speech_mic("bench-mic", Box::new(SineSource::new(440.0, 16_000, 0.6))).unwrap()
+}
+
+fn bench_capture(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_capture_throughput");
+    group.sample_size(20);
+    for &period_frames in &[160usize, 640, 2560] {
+        group.bench_with_input(
+            BenchmarkId::new("baseline_driver", period_frames),
+            &period_frames,
+            |b, &period_frames| {
+                let mut driver =
+                    BaselineI2sDriver::new(Platform::jetson_agx_xavier(), mic(), FunctionTracer::new());
+                driver.probe().unwrap();
+                driver
+                    .configure(PcmHwParams { period_frames, ..PcmHwParams::voice_default() })
+                    .unwrap();
+                driver.start().unwrap();
+                b.iter(|| driver.capture_periods(4).unwrap());
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("secure_driver", period_frames),
+            &period_frames,
+            |b, &period_frames| {
+                let mut driver = SecureI2sDriver::new(Platform::jetson_agx_xavier(), mic());
+                driver.configure(period_frames, AudioEncoding::PcmLe16).unwrap();
+                driver.start().unwrap();
+                b.iter(|| driver.capture_periods(4).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_capture);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion bench behind experiments E4/E5: inference cost of the three
+//! classifier architectures and the MFCC + STT front-end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use perisec_ml::classifier::{Architecture, SensitiveClassifier, TrainConfig};
+use perisec_ml::mfcc::{MfccConfig, MfccExtractor};
+use perisec_ml::stt::{KeywordStt, SttConfig};
+use perisec_workload::corpus::{to_training_examples, CorpusGenerator};
+use perisec_workload::synth::SpeechSynthesizer;
+use perisec_workload::vocab::Vocabulary;
+
+fn bench_classifiers(c: &mut Criterion) {
+    let vocabulary = Vocabulary::smart_home();
+    let mut generator = CorpusGenerator::new(vocabulary.clone(), 0.5, 7);
+    let train = to_training_examples(&generator.generate(80));
+    let tokens: Vec<usize> = train[0].0.clone();
+
+    let mut group = c.benchmark_group("e4_classifier_inference");
+    group.sample_size(30);
+    for arch in Architecture::ALL {
+        let mut classifier = SensitiveClassifier::new(arch, TrainConfig::small(vocabulary.len()));
+        classifier.fit(&train).unwrap();
+        group.bench_with_input(BenchmarkId::new("predict", arch), &tokens, |b, tokens| {
+            b.iter(|| classifier.predict(tokens).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_frontend(c: &mut Criterion) {
+    let synth = SpeechSynthesizer::smart_home();
+    let stt = KeywordStt::train(&synth.reference_renderings(), SttConfig::default()).unwrap();
+    let audio = synth.render_tokens(&[3, 17, 42, 9]);
+    let extractor = MfccExtractor::new(MfccConfig::speech_16khz());
+
+    let mut group = c.benchmark_group("e4_audio_frontend");
+    group.sample_size(20);
+    group.bench_function("mfcc_1s_utterance", |b| {
+        b.iter(|| extractor.extract(audio.samples()));
+    });
+    group.bench_function("stt_transcribe_utterance", |b| {
+        b.iter(|| stt.transcribe_to_tokens(audio.samples()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_classifiers, bench_frontend);
+criterion_main!(benches);

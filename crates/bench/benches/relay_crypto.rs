@@ -1,0 +1,55 @@
+//! Criterion bench for the relay's cryptographic path (supports E3's relay
+//! stage and the secure-storage cost model): AEAD sealing, hashing and the
+//! secure-channel record path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use perisec_optee::crypto::{aead_seal, hkdf, nonce_from_sequence, sha256};
+use perisec_relay::tls::{SecureChannelClient, SecureChannelServer, PSK_LEN};
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relay_crypto_primitives");
+    group.sample_size(30);
+    for &size in &[256usize, 4096, 65536] {
+        let data = vec![0xa5u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("sha256", size), &data, |b, data| {
+            b.iter(|| sha256(data));
+        });
+        let key = [7u8; 32];
+        group.bench_with_input(BenchmarkId::new("chacha20poly1305_seal", size), &data, |b, data| {
+            b.iter(|| aead_seal(&key, &nonce_from_sequence(1), b"aad", data));
+        });
+    }
+    group.bench_function("hkdf_64_bytes", |b| {
+        b.iter(|| hkdf(b"salt", b"input keying material", b"info", 64));
+    });
+    group.finish();
+}
+
+fn bench_channel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relay_secure_channel");
+    group.sample_size(30);
+    let psk = [9u8; PSK_LEN];
+    group.bench_function("handshake", |b| {
+        b.iter(|| {
+            let mut client = SecureChannelClient::new(psk, 1);
+            let mut server = SecureChannelServer::new(psk, 2);
+            let hello = server.process_client_hello(&client.client_hello()).unwrap();
+            client.process_server_hello(&hello).unwrap();
+        });
+    });
+    let mut client = SecureChannelClient::new(psk, 1);
+    let mut server = SecureChannelServer::new(psk, 2);
+    let hello = server.process_client_hello(&client.client_hello()).unwrap();
+    client.process_server_hello(&hello).unwrap();
+    let payload = vec![0x42u8; 8 * 1024];
+    group.throughput(Throughput::Bytes(payload.len() as u64));
+    group.bench_function("seal_8kib_record", |b| {
+        b.iter(|| client.seal(&payload).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives, bench_channel);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Experiment E5 harness (see DESIGN.md §5 and EXPERIMENTS.md).
+fn main() {
+    println!("{}", perisec_bench::run_e5_model_memory());
+}

@@ -1,0 +1,22 @@
+//! Runs every experiment (E1–E10) and prints the tables recorded in
+//! EXPERIMENTS.md. Pass experiment ids (e.g. `e3 e8`) to run a subset.
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
+    let all: Vec<(&str, fn() -> String)> = vec![
+        ("e1", perisec_bench::run_e1_tcb),
+        ("e2", perisec_bench::run_e2_throughput),
+        ("e3", perisec_bench::run_e3_latency),
+        ("e4", perisec_bench::run_e4_accuracy),
+        ("e5", perisec_bench::run_e5_model_memory),
+        ("e6", perisec_bench::run_e6_power),
+        ("e7", perisec_bench::run_e7_worldswitch),
+        ("e8", perisec_bench::run_e8_leakage),
+        ("e9", perisec_bench::run_e9_scalability),
+        ("e10", perisec_bench::run_e10_footprint),
+    ];
+    for (name, run) in all {
+        if args.is_empty() || args.iter().any(|a| a == name) {
+            println!("{}", run());
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! # perisec-bench — the experiment harness
+//!
+//! The paper contains no measured evaluation ("We are yet to perform
+//! concrete experiments", §III); this crate operationalizes the evaluation
+//! it promises. Each `run_eN` function reproduces one experiment from the
+//! index in DESIGN.md §5 and returns a formatted table; the `exp_eN`
+//! binaries print them, and EXPERIMENTS.md records the results.
+//!
+//! Criterion benches (under `benches/`) cover the microbenchmark side:
+//! world-switch primitives, capture throughput, crypto, and ML inference.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::*;

@@ -1,0 +1,318 @@
+//! The filter trusted application.
+//!
+//! This is the TA of the paper's Fig. 1 (steps 4–7): it receives the
+//! encoded audio from the secure I2S driver through the PTA interface,
+//! transcribes it with the in-TA speech-to-text model, classifies the
+//! transcript with the sensitive-content classifier, applies the privacy
+//! policy, and relays only permitted content to the cloud through the
+//! TLS-like channel and the TEE supplicant.
+//!
+//! The raw audio and the transcript never leave the secure world: the
+//! normal-world caller only learns the filter decision and timing figures.
+
+use perisec_devices::codec::AudioEncoding;
+use perisec_ml::classifier::SensitiveClassifier;
+use perisec_ml::stt::KeywordStt;
+use perisec_optee::{TaDescriptor, TaEnv, TeeError, TeeParam, TeeParams, TeeResult, TrustedApp, TaUuid};
+use perisec_relay::avs::{AvsDirective, AvsEvent};
+use perisec_relay::cloud::MockCloudService;
+use perisec_relay::tls::{seal_flops, SecureChannelClient, PSK_LEN};
+use perisec_tz::time::SimDuration;
+use perisec_workload::vocab::Vocabulary;
+
+use serde::{Deserialize, Serialize};
+
+use crate::policy::{FilterDecision, PrivacyPolicy};
+
+/// Registered name of the filter TA (its UUID derives from this).
+pub const FILTER_TA_NAME: &str = "perisec.filter-ta";
+
+/// Command identifiers of the filter TA.
+pub mod cmd {
+    /// Process one capture window: value param `a` = dialog id, `b` =
+    /// number of periods to capture. Returns three value outputs:
+    /// `(capture_wire_ns, capture_cpu_ns)`, `(ml_ns, relay_ns)` and
+    /// `(decision_code, probability_milli)`.
+    pub const PROCESS_WINDOW: u32 = 0;
+    /// Replace the privacy policy: value param `a` = mode, `b` =
+    /// threshold in thousandths.
+    pub const SET_POLICY: u32 = 1;
+    /// Query statistics: returns `(processed, forwarded)` and
+    /// `(dropped, redacted)`.
+    pub const GET_STATS: u32 = 2;
+}
+
+/// Cumulative statistics of the filter TA.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FilterStats {
+    /// Windows processed.
+    pub processed: u64,
+    /// Utterances forwarded unchanged.
+    pub forwarded: u64,
+    /// Utterances dropped.
+    pub dropped: u64,
+    /// Utterances forwarded redacted.
+    pub redacted: u64,
+}
+
+/// The filter TA.
+pub struct FilterTa {
+    descriptor: TaDescriptor,
+    i2s_pta: TaUuid,
+    stt: KeywordStt,
+    classifier: SensitiveClassifier,
+    vocabulary: Vocabulary,
+    policy: PrivacyPolicy,
+    cloud_host: String,
+    psk: [u8; PSK_LEN],
+    channel: Option<(u64, SecureChannelClient)>,
+    stats: FilterStats,
+    encoding: AudioEncoding,
+}
+
+impl std::fmt::Debug for FilterTa {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FilterTa")
+            .field("policy", &self.policy)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl FilterTa {
+    /// Creates the TA.
+    ///
+    /// `data_kib` should be sized to the classifier so that registration
+    /// reserves a realistic amount of secure memory.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        i2s_pta: TaUuid,
+        stt: KeywordStt,
+        classifier: SensitiveClassifier,
+        vocabulary: Vocabulary,
+        policy: PrivacyPolicy,
+        cloud_host: impl Into<String>,
+        psk: [u8; PSK_LEN],
+        encoding: AudioEncoding,
+    ) -> Self {
+        let model_kib = (classifier.memory_bytes_f32() / 1024).max(1) as u32;
+        FilterTa {
+            descriptor: TaDescriptor::new(FILTER_TA_NAME, 64, 256 + model_kib),
+            i2s_pta,
+            stt,
+            classifier,
+            vocabulary,
+            policy,
+            cloud_host: cloud_host.into(),
+            psk,
+            channel: None,
+            stats: FilterStats::default(),
+            encoding,
+        }
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> FilterStats {
+        self.stats
+    }
+
+    fn ensure_channel(&mut self, env: &TaEnv<'_>) -> TeeResult<()> {
+        if self.channel.is_some() {
+            return Ok(());
+        }
+        let socket = env.net_connect(&self.cloud_host, 443)?;
+        let mut client = SecureChannelClient::new(self.psk, socket);
+        env.net_send(socket, &client.client_hello())?;
+        let server_hello = env.net_recv(socket, 4096)?;
+        client
+            .process_server_hello(&server_hello)
+            .map_err(|e| TeeError::Communication { reason: e.to_string() })?;
+        self.channel = Some((socket, client));
+        Ok(())
+    }
+
+    fn relay_text(&mut self, env: &TaEnv<'_>, dialog_id: u64, text: &str) -> TeeResult<()> {
+        self.ensure_channel(env)?;
+        let (socket, channel) = self.channel.as_mut().expect("channel just ensured");
+        let event = AvsEvent::TextMessage {
+            dialog_id,
+            text: text.to_owned(),
+        };
+        let encoded = event.encode();
+        env.charge_compute(seal_flops(encoded.len()));
+        let record = channel
+            .seal(&encoded)
+            .map_err(|e| TeeError::Communication { reason: e.to_string() })?;
+        env.net_send(*socket, &record)?;
+        let reply = env.net_recv(*socket, 4096)?;
+        if !reply.is_empty() {
+            let plaintext = channel
+                .open(&reply)
+                .map_err(|e| TeeError::Communication { reason: e.to_string() })?;
+            let _directive = AvsDirective::decode(&plaintext)
+                .map_err(|e| TeeError::Communication { reason: e.to_string() })?;
+        }
+        Ok(())
+    }
+
+    fn process_window(
+        &mut self,
+        env: &mut TaEnv<'_>,
+        dialog_id: u64,
+        periods: u64,
+        params: &mut TeeParams,
+    ) -> TeeResult<()> {
+        // 1. Pull one capture window from the secure driver through the PTA.
+        let mut capture = TeeParams::new().with(0, TeeParam::ValueInput { a: periods, b: 0 });
+        env.invoke_pta(self.i2s_pta, perisec_secure_driver::pta::cmd::CAPTURE, &mut capture)?;
+        let encoded_audio = capture
+            .get(1)
+            .as_memref()
+            .ok_or(TeeError::Communication {
+                reason: "pta returned no audio".to_owned(),
+            })?
+            .to_vec();
+        let (wire_ns, capture_cpu_ns) = capture.get(2).as_values().unwrap_or((0, 0));
+
+        // 2. Decode and run the ML stage (STT + classifier), charging its
+        //    compute to the secure world.
+        let ml_start = env.platform().clock().now();
+        let format = perisec_devices::audio::AudioFormat::speech_16khz_mono();
+        let audio = self.encoding.decode(&encoded_audio, format);
+        env.charge_compute(self.stt.flops_for(audio.samples().len()));
+        let tokens = self.stt.transcribe_to_tokens(audio.samples());
+        env.charge_compute(self.classifier.flops_per_inference(tokens.len().max(1)));
+        let probability = if tokens.is_empty() {
+            0.0
+        } else {
+            self.classifier
+                .predict(&tokens)
+                .map_err(|e| TeeError::Generic { reason: e.to_string() })?
+        };
+        let ml_ns = env.platform().clock().elapsed_since(ml_start).as_nanos();
+
+        // 3. Apply the policy and relay what is permitted.
+        let relay_start = env.platform().clock().now();
+        let decision = self.policy.decide(probability);
+        let words: Vec<String> = tokens
+            .iter()
+            .filter_map(|&t| self.vocabulary.word(t).map(|w| w.text.clone()))
+            .collect();
+        match decision {
+            FilterDecision::Forward => {
+                if !words.is_empty() {
+                    self.relay_text(env, dialog_id, &words.join(" "))?;
+                }
+                self.stats.forwarded += 1;
+            }
+            FilterDecision::ForwardRedacted => {
+                let redacted: Vec<String> = tokens
+                    .iter()
+                    .filter_map(|&t| self.vocabulary.word(t))
+                    .map(|w| {
+                        if w.category.is_sensitive() {
+                            "[redacted]".to_owned()
+                        } else {
+                            w.text.clone()
+                        }
+                    })
+                    .collect();
+                if !redacted.is_empty() {
+                    self.relay_text(env, dialog_id, &redacted.join(" "))?;
+                }
+                self.stats.redacted += 1;
+            }
+            FilterDecision::Drop => {
+                self.stats.dropped += 1;
+            }
+        }
+        let relay_ns = env.platform().clock().elapsed_since(relay_start).as_nanos();
+        self.stats.processed += 1;
+
+        // 4. Report timing and the decision back to the caller — but never
+        //    the transcript or the audio.
+        params.set(1, TeeParam::ValueOutput { a: wire_ns, b: capture_cpu_ns });
+        params.set(2, TeeParam::ValueOutput { a: ml_ns, b: relay_ns });
+        params.set(
+            3,
+            TeeParam::ValueOutput {
+                a: decision.code(),
+                b: (probability * 1000.0) as u64,
+            },
+        );
+        Ok(())
+    }
+}
+
+impl TrustedApp for FilterTa {
+    fn descriptor(&self) -> TaDescriptor {
+        self.descriptor.clone()
+    }
+
+    fn invoke(&mut self, env: &mut TaEnv<'_>, cmd_id: u32, params: &mut TeeParams) -> TeeResult<()> {
+        match cmd_id {
+            cmd::PROCESS_WINDOW => {
+                let (dialog_id, periods) =
+                    params.get(0).as_values().ok_or(TeeError::BadParameters {
+                        reason: "process-window expects a value parameter".to_owned(),
+                    })?;
+                if periods == 0 {
+                    return Err(TeeError::BadParameters {
+                        reason: "periods must be at least 1".to_owned(),
+                    });
+                }
+                // A small fixed cost for the TA's own bookkeeping.
+                env.charge_cpu(SimDuration::from_micros(10));
+                self.process_window(env, dialog_id, periods, params)
+            }
+            cmd::SET_POLICY => {
+                let (mode, threshold) = params.get(0).as_values().ok_or(TeeError::BadParameters {
+                    reason: "set-policy expects a value parameter".to_owned(),
+                })?;
+                self.policy = PrivacyPolicy::from_values(mode, threshold).ok_or(
+                    TeeError::BadParameters {
+                        reason: format!("unknown policy mode {mode}"),
+                    },
+                )?;
+                Ok(())
+            }
+            cmd::GET_STATS => {
+                params.set(
+                    0,
+                    TeeParam::ValueOutput {
+                        a: self.stats.processed,
+                        b: self.stats.forwarded,
+                    },
+                );
+                params.set(
+                    1,
+                    TeeParam::ValueOutput {
+                        a: self.stats.dropped,
+                        b: self.stats.redacted,
+                    },
+                );
+                Ok(())
+            }
+            other => Err(TeeError::ItemNotFound {
+                what: format!("filter ta command {other}"),
+            }),
+        }
+    }
+
+    fn close_session(&mut self, env: &mut TaEnv<'_>) {
+        if let Some((socket, _)) = self.channel.take() {
+            let _ = env.net_close(socket);
+        }
+    }
+}
+
+/// Convenience used by pipelines and tests: the cloud-side counterpart must
+/// share this PSK with the TA.
+pub fn default_psk() -> [u8; PSK_LEN] {
+    [0x5a; PSK_LEN]
+}
+
+/// The default cloud hostname pipelines register the mock cloud under.
+pub fn default_cloud_host() -> String {
+    MockCloudService::HOST.to_owned()
+}

@@ -1,0 +1,121 @@
+//! # perisec-core — the paper's end-to-end secure peripheral pipeline
+//!
+//! This crate composes every substrate into the system of the paper's
+//! Fig. 1 and its untrusted baseline:
+//!
+//! * [`policy`] — the privacy policy: what counts as sensitive and what to
+//!   do with it (drop, redact, forward);
+//! * [`source`] — a shared playback signal source so scenario runners can
+//!   feed utterances into a microphone owned by the secure driver;
+//! * [`filter_ta`] — the trusted application at the heart of the design:
+//!   pulls audio from the I2S PTA, transcribes it with the in-TA STT,
+//!   classifies the transcript (CNN / Transformer / hybrid), applies the
+//!   policy, and relays only permitted content to the cloud over the
+//!   TLS-like channel through the TEE supplicant;
+//! * [`pipeline`] — [`pipeline::SecurePipeline`] (the proposed design) and
+//!   [`pipeline::BaselinePipeline`] (driver in the untrusted kernel, no
+//!   filtering), both runnable against `perisec-workload` scenarios;
+//! * [`report`] — per-run reports: stage latencies, world-switch and
+//!   energy accounting, and the privacy-leakage summary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod filter_ta;
+pub mod pipeline;
+pub mod policy;
+pub mod report;
+pub mod source;
+
+pub use filter_ta::{FilterStats, FilterTa, FILTER_TA_NAME};
+pub use pipeline::{BaselinePipeline, PipelineConfig, SecurePipeline};
+pub use policy::{FilterDecision, FilterMode, PrivacyPolicy};
+pub use report::{CloudOutcome, LatencyBreakdown, PipelineReport, WorkloadSummary};
+pub use source::SharedPlayback;
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while assembling or running a pipeline.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The TEE stack reported an error.
+    Tee(perisec_optee::TeeError),
+    /// The kernel substrate reported an error.
+    Kernel(perisec_kernel::KernelError),
+    /// The ML stack reported an error.
+    Ml(perisec_ml::MlError),
+    /// The relay stack reported an error.
+    Relay(perisec_relay::RelayError),
+    /// Pipeline configuration was inconsistent.
+    Config {
+        /// Explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Tee(e) => write!(f, "tee error: {e}"),
+            CoreError::Kernel(e) => write!(f, "kernel error: {e}"),
+            CoreError::Ml(e) => write!(f, "ml error: {e}"),
+            CoreError::Relay(e) => write!(f, "relay error: {e}"),
+            CoreError::Config { reason } => write!(f, "configuration error: {reason}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Tee(e) => Some(e),
+            CoreError::Kernel(e) => Some(e),
+            CoreError::Ml(e) => Some(e),
+            CoreError::Relay(e) => Some(e),
+            CoreError::Config { .. } => None,
+        }
+    }
+}
+
+impl From<perisec_optee::TeeError> for CoreError {
+    fn from(e: perisec_optee::TeeError) -> Self {
+        CoreError::Tee(e)
+    }
+}
+
+impl From<perisec_kernel::KernelError> for CoreError {
+    fn from(e: perisec_kernel::KernelError) -> Self {
+        CoreError::Kernel(e)
+    }
+}
+
+impl From<perisec_ml::MlError> for CoreError {
+    fn from(e: perisec_ml::MlError) -> Self {
+        CoreError::Ml(e)
+    }
+}
+
+impl From<perisec_relay::RelayError> for CoreError {
+    fn from(e: perisec_relay::RelayError) -> Self {
+        CoreError::Relay(e)
+    }
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_error_wraps_layer_errors() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<CoreError>();
+        let e = CoreError::from(perisec_ml::MlError::NotTrained);
+        assert!(e.to_string().contains("ml error"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,565 @@
+//! The end-to-end pipelines: the paper's secure design and its baseline.
+
+use std::sync::Arc;
+
+use perisec_devices::codec::AudioEncoding;
+use perisec_devices::mic::Microphone;
+use perisec_kernel::i2s_driver::BaselineI2sDriver;
+use perisec_kernel::pcm::PcmHwParams;
+use perisec_kernel::trace::FunctionTracer;
+use perisec_ml::classifier::{Architecture, SensitiveClassifier, TrainConfig};
+use perisec_ml::stt::{KeywordStt, SttConfig};
+use perisec_optee::{Supplicant, TaUuid, TeeClient, TeeCore, TeeParam, TeeParams, TeeSessionHandle};
+use perisec_relay::avs::AvsEvent;
+use perisec_relay::cloud::MockCloudService;
+use perisec_relay::netsim::NetworkFabric;
+use perisec_relay::tls::SecureChannelClient;
+use perisec_secure_driver::driver::SecureI2sDriver;
+use perisec_secure_driver::pta::I2sPta;
+use perisec_tz::platform::Platform;
+use perisec_tz::time::{SimDuration, SimInstant};
+use perisec_workload::corpus::{to_training_examples, CorpusGenerator};
+use perisec_workload::scenario::Scenario;
+use perisec_workload::synth::SpeechSynthesizer;
+use perisec_workload::vocab::Vocabulary;
+
+use crate::filter_ta::{cmd as filter_cmd, default_cloud_host, default_psk, FilterTa};
+use crate::policy::PrivacyPolicy;
+use crate::report::{CloudOutcome, LatencyBreakdown, PipelineReport, WorkloadSummary};
+use crate::source::SharedPlayback;
+use crate::{CoreError, Result};
+
+/// Configuration shared by both pipelines.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Classifier architecture hosted by the filter TA.
+    pub architecture: Architecture,
+    /// Privacy policy installed in the filter TA.
+    pub policy: PrivacyPolicy,
+    /// Capture period size in frames (10 ms at 16 kHz by default).
+    pub period_frames: usize,
+    /// Encoding applied by the driver before data leaves its buffers.
+    pub encoding: AudioEncoding,
+    /// Number of utterances used to train the classifier head.
+    pub train_utterances: usize,
+    /// Seed for the training corpus.
+    pub corpus_seed: u64,
+    /// Use the constrained IoT platform instead of the Jetson-class one.
+    pub constrained_platform: bool,
+    /// Override the secure carve-out size (KiB), if set.
+    pub secure_ram_kib: Option<u64>,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            architecture: Architecture::Cnn,
+            policy: PrivacyPolicy::block_sensitive(),
+            period_frames: 160,
+            encoding: AudioEncoding::PcmLe16,
+            train_utterances: 160,
+            corpus_seed: 0xC0FFEE,
+            constrained_platform: false,
+            secure_ram_kib: None,
+        }
+    }
+}
+
+impl PipelineConfig {
+    fn build_platform(&self) -> Platform {
+        let mut builder = Platform::builder();
+        if self.constrained_platform {
+            builder = builder
+                .spec(perisec_tz::platform::PlatformSpec::constrained_mcu())
+                .cost_model(perisec_tz::cost::CostModel::constrained_mcu())
+                .power_model(perisec_tz::power::PowerModel::constrained_mcu());
+        }
+        if let Some(kib) = self.secure_ram_kib {
+            builder = builder.secure_ram_kib(kib);
+        }
+        builder.build()
+    }
+}
+
+/// Trains the in-TA models (keyword STT + sensitive-content classifier) on
+/// the synthetic corpus. Exposed so examples and benches can reuse trained
+/// models across pipeline instances.
+pub fn train_models(
+    architecture: Architecture,
+    train_utterances: usize,
+    corpus_seed: u64,
+) -> Result<(KeywordStt, SensitiveClassifier, Vocabulary, SpeechSynthesizer)> {
+    let synth = SpeechSynthesizer::smart_home();
+    let vocabulary = synth.vocabulary().clone();
+    let stt = KeywordStt::train(&synth.reference_renderings(), SttConfig::default())
+        .map_err(CoreError::from)?;
+    let mut generator = CorpusGenerator::new(vocabulary.clone(), 0.5, corpus_seed);
+    let corpus = generator.generate(train_utterances.max(16));
+    let mut classifier =
+        SensitiveClassifier::new(architecture, TrainConfig::small(vocabulary.len()));
+    classifier
+        .fit(&to_training_examples(&corpus))
+        .map_err(CoreError::from)?;
+    Ok((stt, classifier, vocabulary, synth))
+}
+
+/// The paper's proposed design: secure driver in the TEE, PTA bridge,
+/// in-TA ML filter, relay through the supplicant to the cloud.
+pub struct SecurePipeline {
+    config: PipelineConfig,
+    platform: Platform,
+    client: TeeClient,
+    filter_session: TeeSessionHandle,
+    playback: SharedPlayback,
+    synth: SpeechSynthesizer,
+    cloud: Arc<MockCloudService>,
+    fabric: NetworkFabric,
+    core: Arc<TeeCore>,
+    i2s_pta: TaUuid,
+}
+
+impl std::fmt::Debug for SecurePipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SecurePipeline")
+            .field("architecture", &self.config.architecture)
+            .field("policy", &self.config.policy)
+            .finish()
+    }
+}
+
+impl SecurePipeline {
+    /// Builds the full secure stack: platform, OP-TEE core, supplicant,
+    /// network fabric + mock cloud, secure driver PTA, filter TA, and a
+    /// normal-world client session to the TA.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the models cannot be trained or a TEE component cannot be
+    /// registered (e.g. the secure carve-out is too small for the model).
+    pub fn new(config: PipelineConfig) -> Result<Self> {
+        let platform = config.build_platform();
+        let (stt, classifier, vocabulary, synth) = train_models(
+            config.architecture,
+            config.train_utterances,
+            config.corpus_seed,
+        )?;
+
+        // Normal world: supplicant + network fabric + cloud.
+        let fabric = NetworkFabric::new();
+        let cloud = MockCloudService::new(default_psk());
+        fabric.register_service(MockCloudService::HOST, cloud.clone());
+        let supplicant = Arc::new(Supplicant::new());
+        supplicant.set_net_backend(Arc::new(fabric.clone()));
+
+        // Secure world: TEE core, secure driver PTA, filter TA.
+        let core = TeeCore::boot(platform.clone(), supplicant);
+        let playback = SharedPlayback::new();
+        let mic = Microphone::speech_mic("secure-i2s-mic", playback.source())
+            .map_err(perisec_kernel::KernelError::from)?;
+        let secure_driver = SecureI2sDriver::new(platform.clone(), mic);
+        let i2s_pta = core
+            .register_pta(Box::new(I2sPta::new(secure_driver)))
+            .map_err(CoreError::from)?;
+        let filter = FilterTa::new(
+            i2s_pta,
+            stt,
+            classifier,
+            vocabulary,
+            config.policy,
+            default_cloud_host(),
+            default_psk(),
+            config.encoding,
+        );
+        core.register_ta(Box::new(filter)).map_err(CoreError::from)?;
+
+        // Configure and start the secure driver through its PTA.
+        let encoding_code = match config.encoding {
+            AudioEncoding::PcmLe16 => 0,
+            AudioEncoding::MuLaw => 1,
+        };
+        let mut p = TeeParams::new().with(
+            0,
+            TeeParam::ValueInput { a: config.period_frames as u64, b: encoding_code },
+        );
+        core.invoke_pta(i2s_pta, perisec_secure_driver::pta::cmd::CONFIGURE, &mut p)
+            .map_err(CoreError::from)?;
+        core.invoke_pta(i2s_pta, perisec_secure_driver::pta::cmd::START, &mut TeeParams::new())
+            .map_err(CoreError::from)?;
+
+        // Normal world client session to the filter TA.
+        let client = TeeClient::connect(Arc::clone(&core));
+        let (filter_session, _) = client
+            .open_session(TaUuid::from_name(crate::filter_ta::FILTER_TA_NAME), TeeParams::new())
+            .map_err(CoreError::from)?;
+
+        Ok(SecurePipeline {
+            config,
+            platform,
+            client,
+            filter_session,
+            playback,
+            synth,
+            cloud,
+            fabric,
+            core,
+            i2s_pta,
+        })
+    }
+
+    /// The simulated platform (for inspecting stats and energy directly).
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The mock cloud (for inspecting what it received).
+    pub fn cloud(&self) -> &Arc<MockCloudService> {
+        &self.cloud
+    }
+
+    /// The TEE core (for footprint reports).
+    pub fn tee_core(&self) -> &Arc<TeeCore> {
+        &self.core
+    }
+
+    /// The UUID of the secure-driver PTA.
+    pub fn i2s_pta(&self) -> TaUuid {
+        self.i2s_pta
+    }
+
+    /// Installs a new privacy policy in the filter TA.
+    ///
+    /// # Errors
+    ///
+    /// Propagates TEE invocation failures.
+    pub fn set_policy(&mut self, policy: PrivacyPolicy) -> Result<()> {
+        let (mode, threshold) = policy.to_values();
+        let params = TeeParams::new().with(0, TeeParam::ValueInput { a: mode, b: threshold });
+        self.client
+            .invoke(&self.filter_session, filter_cmd::SET_POLICY, params)
+            .map_err(CoreError::from)?;
+        self.config.policy = policy;
+        Ok(())
+    }
+
+    /// Processes one utterance (already queued in the playback source) and
+    /// returns the per-stage timings reported by the TA.
+    fn process_event(
+        &mut self,
+        dialog_id: u64,
+        periods: u64,
+    ) -> Result<(SimDuration, SimDuration, SimDuration, SimDuration)> {
+        let params = TeeParams::new().with(0, TeeParam::ValueInput { a: dialog_id, b: periods });
+        let out = self
+            .client
+            .invoke(&self.filter_session, filter_cmd::PROCESS_WINDOW, params)
+            .map_err(CoreError::from)?;
+        let (wire_ns, capture_cpu_ns) = out.get(1).as_values().unwrap_or((0, 0));
+        let (ml_ns, relay_ns) = out.get(2).as_values().unwrap_or((0, 0));
+        Ok((
+            SimDuration::from_nanos(wire_ns),
+            SimDuration::from_nanos(capture_cpu_ns),
+            SimDuration::from_nanos(ml_ns),
+            SimDuration::from_nanos(relay_ns),
+        ))
+    }
+
+    /// Replays a scenario end to end and reports on it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates TEE and relay failures.
+    pub fn run_scenario(&mut self, scenario: &Scenario) -> Result<PipelineReport> {
+        self.cloud.reset();
+        let stats_before = self.platform.stats().snapshot();
+        let mut latency = LatencyBreakdown::default();
+        for event in &scenario.events {
+            // Advance virtual time to the moment the utterance is spoken so
+            // idle power integrates over the scenario duration.
+            self.platform
+                .clock()
+                .advance_to(SimInstant::EPOCH + event.at);
+            let audio = self.synth.render_tokens(&event.utterance.tokens);
+            let periods =
+                (audio.frames() + self.config.period_frames - 1) / self.config.period_frames;
+            self.playback.clear();
+            self.playback.push(audio.samples());
+
+            let start = self.platform.clock().now();
+            let (wire, capture_cpu, ml, relay) =
+                self.process_event(event.id, periods as u64)?;
+            // Wire time is never charged to the platform clock (the audio
+            // arrives in real time concurrently with processing), so the
+            // elapsed virtual time is pure processing latency.
+            let end_to_end = self.platform.clock().elapsed_since(start);
+            latency.capture_wire += wire;
+            latency.capture_cpu += capture_cpu;
+            latency.ml += ml;
+            latency.relay += relay;
+            latency.per_utterance.push(end_to_end);
+        }
+        let stats_after = self.platform.stats().snapshot();
+        Ok(PipelineReport {
+            pipeline: "secure".to_owned(),
+            workload: WorkloadSummary {
+                utterances: scenario.len(),
+                sensitive_utterances: scenario.sensitive_count(),
+            },
+            latency,
+            cloud: CloudOutcome {
+                report: self.cloud.report(),
+                sensitive_ids: scenario.sensitive_ids(),
+            },
+            tz: stats_after.delta_since(&stats_before),
+            energy: self.platform.energy_report(),
+            virtual_time: self.platform.clock().now().duration_since(SimInstant::EPOCH),
+            bytes_to_cloud: self.fabric.stats().bytes_sent,
+        })
+    }
+}
+
+/// The paper's baseline: the driver stays in the untrusted kernel and the
+/// unfiltered capture is shipped to the cloud by a normal-world
+/// application.
+pub struct BaselinePipeline {
+    config: PipelineConfig,
+    platform: Platform,
+    driver: BaselineI2sDriver,
+    playback: SharedPlayback,
+    synth: SpeechSynthesizer,
+    cloud: Arc<MockCloudService>,
+    fabric: NetworkFabric,
+    channel: Option<(perisec_relay::netsim::Transport, SecureChannelClient)>,
+}
+
+impl std::fmt::Debug for BaselinePipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BaselinePipeline").finish()
+    }
+}
+
+impl BaselinePipeline {
+    /// Builds the baseline stack: kernel driver, network fabric, cloud.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel-substrate failures.
+    pub fn new(config: PipelineConfig) -> Result<Self> {
+        let platform = config.build_platform();
+        let fabric = NetworkFabric::new();
+        let cloud = MockCloudService::new(default_psk());
+        fabric.register_service(MockCloudService::HOST, cloud.clone());
+
+        let playback = SharedPlayback::new();
+        let mic = Microphone::speech_mic("kernel-i2s-mic", playback.source())
+            .map_err(perisec_kernel::KernelError::from)?;
+        let tracer = FunctionTracer::new();
+        let mut driver = BaselineI2sDriver::new(platform.clone(), mic, tracer);
+        driver.probe()?;
+        driver.configure(PcmHwParams {
+            period_frames: config.period_frames,
+            ..PcmHwParams::voice_default()
+        })?;
+        driver.start()?;
+        Ok(BaselinePipeline {
+            config,
+            platform,
+            driver,
+            playback,
+            synth: SpeechSynthesizer::smart_home(),
+            cloud,
+            fabric,
+            channel: None,
+        })
+    }
+
+    /// The simulated platform.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The mock cloud.
+    pub fn cloud(&self) -> &Arc<MockCloudService> {
+        &self.cloud
+    }
+
+    fn ensure_channel(&mut self) -> Result<()> {
+        if self.channel.is_some() {
+            return Ok(());
+        }
+        let transport = self
+            .fabric
+            .open_transport(MockCloudService::HOST, 443)
+            .map_err(CoreError::from)?;
+        let mut client = SecureChannelClient::new(default_psk(), 1);
+        transport.send(&client.client_hello()).map_err(CoreError::from)?;
+        let hello = transport.recv(4096).map_err(CoreError::from)?;
+        client.process_server_hello(&hello).map_err(CoreError::from)?;
+        self.channel = Some((transport, client));
+        Ok(())
+    }
+
+    /// Replays a scenario: every utterance is captured by the in-kernel
+    /// driver and forwarded to the cloud without any filtering.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel and relay failures.
+    pub fn run_scenario(&mut self, scenario: &Scenario) -> Result<PipelineReport> {
+        self.cloud.reset();
+        self.ensure_channel()?;
+        let stats_before = self.platform.stats().snapshot();
+        let mut latency = LatencyBreakdown::default();
+        for event in &scenario.events {
+            self.platform
+                .clock()
+                .advance_to(SimInstant::EPOCH + event.at);
+            let audio = self.synth.render_tokens(&event.utterance.tokens);
+            let periods =
+                (audio.frames() + self.config.period_frames - 1) / self.config.period_frames;
+            self.playback.clear();
+            self.playback.push(audio.samples());
+
+            let start = self.platform.clock().now();
+            let outcome = self.driver.capture_periods(periods)?;
+            // The normal-world app ships the raw (encoded) capture to the
+            // cloud: encryption but no filtering.
+            let relay_start = self.platform.clock().now();
+            let payload = self.config.encoding.encode(&outcome.audio);
+            let event_bytes = AvsEvent::Recognize {
+                dialog_id: event.id,
+                audio: payload,
+            }
+            .encode();
+            self.platform.charge_compute(
+                perisec_tz::world::World::Normal,
+                perisec_relay::tls::seal_flops(event_bytes.len()),
+            );
+            let (transport, channel) = self.channel.as_mut().expect("channel established above");
+            let record = channel.seal(&event_bytes).map_err(CoreError::from)?;
+            transport.send(&record).map_err(CoreError::from)?;
+            let reply = transport.recv(4096).map_err(CoreError::from)?;
+            if !reply.is_empty() {
+                let _ = channel.open(&reply).map_err(CoreError::from)?;
+            }
+            let relay_time = self.platform.clock().elapsed_since(relay_start);
+
+            latency.capture_wire += outcome.wire_time;
+            latency.capture_cpu += outcome.cpu_time;
+            latency.relay += relay_time;
+            latency
+                .per_utterance
+                .push(self.platform.clock().elapsed_since(start));
+        }
+        let stats_after = self.platform.stats().snapshot();
+        Ok(PipelineReport {
+            pipeline: "baseline".to_owned(),
+            workload: WorkloadSummary {
+                utterances: scenario.len(),
+                sensitive_utterances: scenario.sensitive_count(),
+            },
+            latency,
+            cloud: CloudOutcome {
+                report: self.cloud.report(),
+                sensitive_ids: scenario.sensitive_ids(),
+            },
+            tz: stats_after.delta_since(&stats_before),
+            energy: self.platform.energy_report(),
+            virtual_time: self.platform.clock().now().duration_since(SimInstant::EPOCH),
+            bytes_to_cloud: self.fabric.stats().bytes_sent,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::FilterMode;
+
+    fn small_config() -> PipelineConfig {
+        PipelineConfig {
+            train_utterances: 60,
+            ..PipelineConfig::default()
+        }
+    }
+
+    #[test]
+    fn secure_pipeline_blocks_most_sensitive_utterances() {
+        let mut pipeline = SecurePipeline::new(small_config()).unwrap();
+        let scenario = Scenario::mixed(12, 0.5, SimDuration::from_secs(5), 77);
+        let report = pipeline.run_scenario(&scenario).unwrap();
+
+        assert_eq!(report.workload.utterances, 12);
+        assert!(report.workload.sensitive_utterances > 0);
+        // The filter must stop the majority of sensitive content.
+        assert!(
+            report.cloud.leakage_rate() < 0.5,
+            "leakage rate {:.2}",
+            report.cloud.leakage_rate()
+        );
+        // Non-sensitive content still flows: at least one utterance reached
+        // the cloud, all of it encrypted.
+        assert!(report.cloud.received_utterances() >= 1);
+        assert!(report.cloud.report.events.iter().all(|e| e.encrypted));
+        // TEE mechanics were exercised.
+        assert!(report.tz.smc_calls >= 12);
+        assert!(report.tz.world_switches >= 24);
+        assert!(report.tz.supplicant_rpcs > 0);
+        assert!(report.latency.ml > SimDuration::ZERO);
+        assert!(report.energy.total_mj > 0.0);
+    }
+
+    #[test]
+    fn baseline_pipeline_leaks_everything() {
+        let mut pipeline = BaselinePipeline::new(small_config()).unwrap();
+        let scenario = Scenario::mixed(8, 0.5, SimDuration::from_secs(5), 78);
+        let report = pipeline.run_scenario(&scenario).unwrap();
+        assert_eq!(report.cloud.received_utterances(), 8);
+        assert!((report.cloud.leakage_rate() - 1.0).abs() < 1e-9);
+        // The baseline never enters the secure world.
+        assert_eq!(report.tz.world_switches, 0);
+        assert_eq!(report.tz.smc_calls, 0);
+        assert!(report.latency.ml.is_zero());
+    }
+
+    #[test]
+    fn secure_pipeline_is_slower_per_utterance_than_baseline() {
+        let scenario = Scenario::mixed(6, 0.5, SimDuration::from_secs(5), 79);
+        let mut secure = SecurePipeline::new(small_config()).unwrap();
+        let mut baseline = BaselinePipeline::new(small_config()).unwrap();
+        let secure_report = secure.run_scenario(&scenario).unwrap();
+        let baseline_report = baseline.run_scenario(&scenario).unwrap();
+        assert!(
+            secure_report.latency.mean_end_to_end() > baseline_report.latency.mean_end_to_end(),
+            "secure {} vs baseline {}",
+            secure_report.latency.mean_end_to_end(),
+            baseline_report.latency.mean_end_to_end()
+        );
+    }
+
+    #[test]
+    fn allow_all_policy_forwards_sensitive_content() {
+        let mut pipeline = SecurePipeline::new(PipelineConfig {
+            policy: PrivacyPolicy { mode: FilterMode::AllowAll, threshold: 0.5 },
+            train_utterances: 60,
+            ..PipelineConfig::default()
+        })
+        .unwrap();
+        let scenario = Scenario::mixed(8, 1.0, SimDuration::from_secs(5), 80);
+        let report = pipeline.run_scenario(&scenario).unwrap();
+        assert!(report.cloud.leakage_rate() > 0.5);
+        // Switching the policy at runtime changes behaviour.
+        pipeline.set_policy(PrivacyPolicy::block_sensitive()).unwrap();
+        let report2 = pipeline.run_scenario(&scenario).unwrap();
+        assert!(report2.cloud.leakage_rate() < report.cloud.leakage_rate());
+    }
+
+    #[test]
+    fn tiny_secure_ram_rejects_the_model() {
+        let result = SecurePipeline::new(PipelineConfig {
+            secure_ram_kib: Some(96),
+            train_utterances: 30,
+            ..PipelineConfig::default()
+        });
+        assert!(result.is_err());
+    }
+}

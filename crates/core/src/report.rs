@@ -1,0 +1,182 @@
+//! Per-run reports: latency, accounting, energy, privacy leakage.
+
+use serde::{Deserialize, Serialize};
+
+use perisec_relay::cloud::CloudReport;
+use perisec_tz::power::EnergyReport;
+use perisec_tz::stats::TzStatsSnapshot;
+use perisec_tz::time::SimDuration;
+
+/// Summary of the workload a pipeline processed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkloadSummary {
+    /// Number of utterances replayed.
+    pub utterances: usize,
+    /// Number of ground-truth sensitive utterances among them.
+    pub sensitive_utterances: usize,
+}
+
+/// Accumulated per-stage latency over a run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencyBreakdown {
+    /// Time the audio spent on the I2S wire (real-time capture).
+    pub capture_wire: SimDuration,
+    /// CPU time spent by the driver moving/encoding the audio.
+    pub capture_cpu: SimDuration,
+    /// Time spent in the ML stage (STT + classification).
+    pub ml: SimDuration,
+    /// Time spent in the relay stage (policy, channel, supplicant RPCs).
+    pub relay: SimDuration,
+    /// End-to-end processing time observed by the caller, per utterance
+    /// (excludes the real-time audio capture on the wire).
+    pub per_utterance: Vec<SimDuration>,
+}
+
+impl LatencyBreakdown {
+    /// Mean end-to-end processing latency per utterance.
+    pub fn mean_end_to_end(&self) -> SimDuration {
+        if self.per_utterance.is_empty() {
+            return SimDuration::ZERO;
+        }
+        self.per_utterance.iter().copied().sum::<SimDuration>() / self.per_utterance.len() as u64
+    }
+
+    /// 99th-percentile end-to-end processing latency.
+    pub fn p99_end_to_end(&self) -> SimDuration {
+        if self.per_utterance.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let mut sorted = self.per_utterance.clone();
+        sorted.sort();
+        let idx = ((sorted.len() as f64) * 0.99).ceil() as usize;
+        sorted[idx.saturating_sub(1).min(sorted.len() - 1)]
+    }
+
+    /// Total processing time across all stages (excluding wire time).
+    pub fn total_processing(&self) -> SimDuration {
+        self.capture_cpu + self.ml + self.relay
+    }
+}
+
+/// What reached the cloud, matched against the scenario's ground truth.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CloudOutcome {
+    /// Everything the cloud recorded.
+    pub report: CloudReport,
+    /// Ground-truth sensitive dialog ids of the scenario.
+    pub sensitive_ids: Vec<u64>,
+}
+
+impl CloudOutcome {
+    /// Number of distinct utterances for which *any* content reached the
+    /// cloud.
+    pub fn received_utterances(&self) -> usize {
+        self.report.received_dialog_ids().len()
+    }
+
+    /// Number of ground-truth sensitive utterances for which content
+    /// reached the cloud — the paper's headline privacy metric.
+    pub fn leaked_sensitive_utterances(&self) -> usize {
+        let received = self.report.received_dialog_ids();
+        self.sensitive_ids
+            .iter()
+            .filter(|id| received.binary_search(id).is_ok())
+            .count()
+    }
+
+    /// Leakage rate: leaked sensitive / total sensitive (zero if the
+    /// scenario had none).
+    pub fn leakage_rate(&self) -> f64 {
+        if self.sensitive_ids.is_empty() {
+            return 0.0;
+        }
+        self.leaked_sensitive_utterances() as f64 / self.sensitive_ids.len() as f64
+    }
+}
+
+/// The complete report of one pipeline run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineReport {
+    /// Which pipeline produced the report ("secure" or "baseline").
+    pub pipeline: String,
+    /// Workload summary.
+    pub workload: WorkloadSummary,
+    /// Per-stage latency accounting.
+    pub latency: LatencyBreakdown,
+    /// Cloud-side outcome (the privacy result).
+    pub cloud: CloudOutcome,
+    /// TrustZone machine counters accumulated during the run.
+    pub tz: TzStatsSnapshot,
+    /// Energy report over the run's observation window.
+    pub energy: EnergyReport,
+    /// Virtual time at the end of the run.
+    pub virtual_time: SimDuration,
+    /// Application bytes that crossed the network towards the cloud.
+    pub bytes_to_cloud: u64,
+}
+
+impl PipelineReport {
+    /// Energy per utterance in millijoules.
+    pub fn energy_per_utterance_mj(&self) -> f64 {
+        if self.workload.utterances == 0 {
+            return 0.0;
+        }
+        self.energy.total_mj / self.workload.utterances as f64
+    }
+
+    /// Serializes the report as pretty JSON.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: all fields are plain data.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report is serializable")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perisec_relay::cloud::ReceivedEvent;
+
+    #[test]
+    fn latency_statistics() {
+        let mut breakdown = LatencyBreakdown::default();
+        assert_eq!(breakdown.mean_end_to_end(), SimDuration::ZERO);
+        assert_eq!(breakdown.p99_end_to_end(), SimDuration::ZERO);
+        breakdown.per_utterance = (1..=100).map(SimDuration::from_micros).collect();
+        assert_eq!(breakdown.mean_end_to_end(), SimDuration::from_nanos(50_500));
+        assert_eq!(breakdown.p99_end_to_end(), SimDuration::from_micros(99));
+        breakdown.capture_cpu = SimDuration::from_micros(10);
+        breakdown.ml = SimDuration::from_micros(20);
+        breakdown.relay = SimDuration::from_micros(30);
+        assert_eq!(breakdown.total_processing(), SimDuration::from_micros(60));
+    }
+
+    #[test]
+    fn leakage_accounting_matches_ground_truth() {
+        let mut outcome = CloudOutcome {
+            report: CloudReport::default(),
+            sensitive_ids: vec![1, 3, 5],
+        };
+        assert_eq!(outcome.leaked_sensitive_utterances(), 0);
+        assert_eq!(outcome.leakage_rate(), 0.0);
+        outcome.report.events.push(ReceivedEvent {
+            dialog_id: 3,
+            text: Some("bank transfer".into()),
+            audio_bytes: 0,
+            encrypted: true,
+        });
+        outcome.report.events.push(ReceivedEvent {
+            dialog_id: 2,
+            text: Some("play music".into()),
+            audio_bytes: 0,
+            encrypted: true,
+        });
+        assert_eq!(outcome.received_utterances(), 2);
+        assert_eq!(outcome.leaked_sensitive_utterances(), 1);
+        assert!((outcome.leakage_rate() - 1.0 / 3.0).abs() < 1e-9);
+        let empty = CloudOutcome::default();
+        assert_eq!(empty.leakage_rate(), 0.0);
+    }
+}

@@ -1,0 +1,88 @@
+//! A shared playback signal source.
+//!
+//! The secure driver owns its microphone, but scenario runners need to feed
+//! each utterance's waveform into that microphone from outside the TEE
+//! simulation. [`SharedPlayback`] is a [`SignalSource`] backed by a queue
+//! that the runner can refill between utterances; the microphone drains it
+//! sample by sample and reads silence when it is empty.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use perisec_devices::signal::SignalSource;
+
+/// Shared handle used to refill the queue.
+#[derive(Debug, Clone, Default)]
+pub struct SharedPlayback {
+    queue: Arc<Mutex<VecDeque<i16>>>,
+}
+
+impl SharedPlayback {
+    /// Creates an empty shared playback queue.
+    pub fn new() -> Self {
+        SharedPlayback::default()
+    }
+
+    /// Appends samples to be played next.
+    pub fn push(&self, samples: &[i16]) {
+        self.queue.lock().extend(samples.iter().copied());
+    }
+
+    /// Number of queued samples not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.queue.lock().len()
+    }
+
+    /// Discards everything still queued.
+    pub fn clear(&self) {
+        self.queue.lock().clear();
+    }
+
+    /// Creates the [`SignalSource`] half to hand to a microphone.
+    pub fn source(&self) -> Box<dyn SignalSource> {
+        Box::new(SharedPlaybackSource {
+            queue: Arc::clone(&self.queue),
+        })
+    }
+}
+
+struct SharedPlaybackSource {
+    queue: Arc<Mutex<VecDeque<i16>>>,
+}
+
+impl SignalSource for SharedPlaybackSource {
+    fn next_samples(&mut self, count: usize) -> Vec<i16> {
+        let mut queue = self.queue.lock();
+        let n = count.min(queue.len());
+        let mut out: Vec<i16> = queue.drain(..n).collect();
+        out.resize(count, 0);
+        out
+    }
+
+    fn describe(&self) -> String {
+        format!("shared playback ({} samples queued)", self.queue.lock().len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_is_shared_between_handle_and_source() {
+        let playback = SharedPlayback::new();
+        let mut source = playback.source();
+        assert_eq!(source.next_samples(4), vec![0, 0, 0, 0]);
+        playback.push(&[1, 2, 3]);
+        assert_eq!(playback.remaining(), 3);
+        assert_eq!(source.next_samples(2), vec![1, 2]);
+        assert_eq!(source.next_samples(4), vec![3, 0, 0, 0]);
+        assert_eq!(playback.remaining(), 0);
+        playback.push(&[9; 10]);
+        playback.clear();
+        assert_eq!(source.next_samples(1), vec![0]);
+        assert!(source.describe().contains("shared playback"));
+    }
+}

@@ -1,0 +1,254 @@
+//! Audio sample formats and PCM buffers.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use perisec_tz::time::SimDuration;
+
+/// A PCM audio format: rate, channel count and sample width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AudioFormat {
+    /// Samples per second per channel.
+    pub sample_rate_hz: u32,
+    /// Number of interleaved channels.
+    pub channels: u16,
+    /// Bits per sample (the models use 16-bit signed PCM).
+    pub bits_per_sample: u16,
+}
+
+impl AudioFormat {
+    /// 16 kHz mono, 16-bit — the format used by the paper's speech
+    /// pipeline (typical for far-field voice capture and keyword STT).
+    pub const fn speech_16khz_mono() -> Self {
+        AudioFormat {
+            sample_rate_hz: 16_000,
+            channels: 1,
+            bits_per_sample: 16,
+        }
+    }
+
+    /// 48 kHz stereo, 16-bit — a typical high-quality capture format used
+    /// in the throughput sweeps.
+    pub const fn hifi_48khz_stereo() -> Self {
+        AudioFormat {
+            sample_rate_hz: 48_000,
+            channels: 2,
+            bits_per_sample: 16,
+        }
+    }
+
+    /// Bytes in one frame (one sample per channel).
+    pub const fn bytes_per_frame(&self) -> usize {
+        (self.bits_per_sample as usize / 8) * self.channels as usize
+    }
+
+    /// Bytes per second of audio in this format.
+    pub const fn bytes_per_second(&self) -> usize {
+        self.bytes_per_frame() * self.sample_rate_hz as usize
+    }
+
+    /// Number of frames contained in `duration` of audio.
+    pub fn frames_in(&self, duration: SimDuration) -> usize {
+        (duration.as_secs_f64() * self.sample_rate_hz as f64).round() as usize
+    }
+
+    /// Duration covered by `frames` frames.
+    pub fn duration_of_frames(&self, frames: usize) -> SimDuration {
+        SimDuration::from_secs_f64(frames as f64 / self.sample_rate_hz as f64)
+    }
+
+    /// Duration covered by `bytes` bytes of audio.
+    pub fn duration_of_bytes(&self, bytes: usize) -> SimDuration {
+        self.duration_of_frames(bytes / self.bytes_per_frame().max(1))
+    }
+}
+
+impl Default for AudioFormat {
+    fn default() -> Self {
+        AudioFormat::speech_16khz_mono()
+    }
+}
+
+impl fmt::Display for AudioFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} Hz, {} ch, {}-bit",
+            self.sample_rate_hz, self.channels, self.bits_per_sample
+        )
+    }
+}
+
+/// An owned buffer of interleaved signed 16-bit PCM samples plus its format.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AudioBuffer {
+    format: AudioFormat,
+    samples: Vec<i16>,
+}
+
+impl AudioBuffer {
+    /// Creates a buffer from interleaved samples.
+    pub fn new(format: AudioFormat, samples: Vec<i16>) -> Self {
+        AudioBuffer { format, samples }
+    }
+
+    /// Creates a silent buffer holding `frames` frames.
+    pub fn silence(format: AudioFormat, frames: usize) -> Self {
+        AudioBuffer {
+            format,
+            samples: vec![0i16; frames * format.channels as usize],
+        }
+    }
+
+    /// The buffer's format.
+    pub fn format(&self) -> AudioFormat {
+        self.format
+    }
+
+    /// Interleaved samples.
+    pub fn samples(&self) -> &[i16] {
+        &self.samples
+    }
+
+    /// Mutable access to the interleaved samples.
+    pub fn samples_mut(&mut self) -> &mut [i16] {
+        &mut self.samples
+    }
+
+    /// Number of frames (samples per channel).
+    pub fn frames(&self) -> usize {
+        self.samples.len() / self.format.channels as usize
+    }
+
+    /// Whether the buffer holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Duration of the audio in the buffer.
+    pub fn duration(&self) -> SimDuration {
+        self.format.duration_of_frames(self.frames())
+    }
+
+    /// Size of the buffer's payload in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.samples.len() * 2
+    }
+
+    /// Appends another buffer of the same format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the formats differ; callers mix formats only through
+    /// explicit resampling, which the pipeline does not need.
+    pub fn append(&mut self, other: &AudioBuffer) {
+        assert_eq!(
+            self.format, other.format,
+            "cannot append audio buffers with different formats"
+        );
+        self.samples.extend_from_slice(&other.samples);
+    }
+
+    /// Splits off the first `frames` frames into a new buffer, leaving the
+    /// remainder in `self`. If fewer frames are available, everything is
+    /// taken.
+    pub fn take_frames(&mut self, frames: usize) -> AudioBuffer {
+        let take = (frames * self.format.channels as usize).min(self.samples.len());
+        let taken: Vec<i16> = self.samples.drain(..take).collect();
+        AudioBuffer {
+            format: self.format,
+            samples: taken,
+        }
+    }
+
+    /// Root-mean-square amplitude of the buffer, normalized to `[0, 1]`.
+    /// Used by the voice-activity gate and by tests.
+    pub fn rms(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let sum_sq: f64 = self
+            .samples
+            .iter()
+            .map(|&s| {
+                let v = s as f64 / i16::MAX as f64;
+                v * v
+            })
+            .sum();
+        (sum_sq / self.samples.len() as f64).sqrt()
+    }
+
+    /// Consumes the buffer and returns the raw samples.
+    pub fn into_samples(self) -> Vec<i16> {
+        self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_arithmetic_is_consistent() {
+        let f = AudioFormat::speech_16khz_mono();
+        assert_eq!(f.bytes_per_frame(), 2);
+        assert_eq!(f.bytes_per_second(), 32_000);
+        assert_eq!(f.frames_in(SimDuration::from_secs(1)), 16_000);
+        assert_eq!(f.duration_of_frames(16_000), SimDuration::from_secs(1));
+        assert_eq!(f.duration_of_bytes(32_000), SimDuration::from_secs(1));
+
+        let s = AudioFormat::hifi_48khz_stereo();
+        assert_eq!(s.bytes_per_frame(), 4);
+        assert_eq!(s.bytes_per_second(), 192_000);
+    }
+
+    #[test]
+    fn silence_has_zero_rms_and_right_duration() {
+        let buf = AudioBuffer::silence(AudioFormat::speech_16khz_mono(), 8_000);
+        assert_eq!(buf.frames(), 8_000);
+        assert_eq!(buf.duration(), SimDuration::from_millis(500));
+        assert_eq!(buf.rms(), 0.0);
+        assert_eq!(buf.byte_len(), 16_000);
+    }
+
+    #[test]
+    fn append_and_take_frames_round_trip() {
+        let f = AudioFormat::speech_16khz_mono();
+        let mut a = AudioBuffer::new(f, vec![1, 2, 3, 4]);
+        let b = AudioBuffer::new(f, vec![5, 6]);
+        a.append(&b);
+        assert_eq!(a.frames(), 6);
+        let head = a.take_frames(4);
+        assert_eq!(head.samples(), &[1, 2, 3, 4]);
+        assert_eq!(a.samples(), &[5, 6]);
+        let rest = a.take_frames(100);
+        assert_eq!(rest.samples(), &[5, 6]);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "different formats")]
+    fn append_rejects_mismatched_formats() {
+        let mut a = AudioBuffer::silence(AudioFormat::speech_16khz_mono(), 10);
+        let b = AudioBuffer::silence(AudioFormat::hifi_48khz_stereo(), 10);
+        a.append(&b);
+    }
+
+    #[test]
+    fn rms_of_full_scale_square_wave_is_one() {
+        let f = AudioFormat::speech_16khz_mono();
+        let samples: Vec<i16> = (0..1000)
+            .map(|i| if i % 2 == 0 { i16::MAX } else { -i16::MAX })
+            .collect();
+        let buf = AudioBuffer::new(f, samples);
+        assert!((buf.rms() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stereo_frame_count_halves_sample_count() {
+        let buf = AudioBuffer::new(AudioFormat::hifi_48khz_stereo(), vec![0; 96_000]);
+        assert_eq!(buf.frames(), 48_000);
+        assert_eq!(buf.duration(), SimDuration::from_secs(1));
+    }
+}

@@ -1,0 +1,311 @@
+//! Camera sensor model.
+//!
+//! The paper names cameras alongside microphones as the peripherals whose
+//! data can leak sensitive information (images of people, documents). The
+//! camera model is intentionally lighter than the audio path — the paper's
+//! proof of concept focuses on I2S audio — but it produces frames with
+//! enough structure for the image-side classifier and for the scalability
+//! experiment (E9): every frame carries a small grayscale pixel block whose
+//! statistics differ between "scene kinds".
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use perisec_tz::time::SimDuration;
+
+use crate::{DeviceError, Result};
+
+/// What a synthetic frame depicts. Determines the pixel statistics and the
+/// ground-truth sensitivity label used in experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SceneKind {
+    /// An empty room: low-variance, mid-gray pixels. Not sensitive.
+    EmptyRoom,
+    /// A person present: high-contrast blob in the frame. Sensitive.
+    Person,
+    /// A document / screen in view: regular high-frequency stripes. Sensitive.
+    Document,
+    /// A pet moving through the frame: medium-contrast blob. Not sensitive.
+    Pet,
+}
+
+impl SceneKind {
+    /// Ground-truth sensitivity of the scene, per the paper's threat model
+    /// (people and readable documents are private; empty rooms and pets are
+    /// not).
+    pub fn is_sensitive(self) -> bool {
+        matches!(self, SceneKind::Person | SceneKind::Document)
+    }
+
+    /// All scene kinds.
+    pub const ALL: [SceneKind; 4] = [
+        SceneKind::EmptyRoom,
+        SceneKind::Person,
+        SceneKind::Document,
+        SceneKind::Pet,
+    ];
+}
+
+/// A captured frame: grayscale pixels plus capture metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImageFrame {
+    /// Frame width in pixels.
+    pub width: u32,
+    /// Frame height in pixels.
+    pub height: u32,
+    /// Row-major grayscale pixels (one byte per pixel).
+    pub pixels: Vec<u8>,
+    /// The scene the synthetic generator rendered (ground truth for
+    /// experiments; a real frame would not carry this).
+    pub scene: SceneKind,
+    /// Frame sequence number.
+    pub sequence: u64,
+}
+
+impl ImageFrame {
+    /// Size of the pixel payload in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.pixels.len()
+    }
+
+    /// Mean pixel intensity in `[0, 255]`.
+    pub fn mean_intensity(&self) -> f64 {
+        if self.pixels.is_empty() {
+            return 0.0;
+        }
+        self.pixels.iter().map(|&p| p as f64).sum::<f64>() / self.pixels.len() as f64
+    }
+
+    /// Pixel intensity variance.
+    pub fn intensity_variance(&self) -> f64 {
+        if self.pixels.is_empty() {
+            return 0.0;
+        }
+        let mean = self.mean_intensity();
+        self.pixels
+            .iter()
+            .map(|&p| {
+                let d = p as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / self.pixels.len() as f64
+    }
+}
+
+/// A camera sensor producing synthetic frames.
+#[derive(Debug)]
+pub struct CameraSensor {
+    name: String,
+    width: u32,
+    height: u32,
+    fps: u32,
+    rng: SmallRng,
+    sequence: u64,
+    streaming: bool,
+}
+
+impl CameraSensor {
+    /// Creates a camera named `name` with the given geometry and frame rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::UnsupportedConfig`] for zero dimensions or a
+    /// zero frame rate.
+    pub fn new(name: impl Into<String>, width: u32, height: u32, fps: u32, seed: u64) -> Result<Self> {
+        if width == 0 || height == 0 || fps == 0 {
+            return Err(DeviceError::UnsupportedConfig {
+                reason: "camera dimensions and frame rate must be non-zero".to_owned(),
+            });
+        }
+        Ok(CameraSensor {
+            name: name.into(),
+            width,
+            height,
+            fps,
+            rng: SmallRng::seed_from_u64(seed),
+            sequence: 0,
+            streaming: false,
+        })
+    }
+
+    /// A small smart-home style camera (64x48 @ 15 fps) — kept tiny so the
+    /// in-TEE image classifier stays within secure-memory budgets, matching
+    /// the paper's "smaller ML models" mitigation.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the fixed parameters; the `Result` mirrors
+    /// [`CameraSensor::new`].
+    pub fn smart_home(name: impl Into<String>, seed: u64) -> Result<Self> {
+        CameraSensor::new(name, 64, 48, 15, seed)
+    }
+
+    /// Device name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Frame width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Frame height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Configured frame rate.
+    pub fn fps(&self) -> u32 {
+        self.fps
+    }
+
+    /// Time between consecutive frames.
+    pub fn frame_interval(&self) -> SimDuration {
+        SimDuration::from_secs_f64(1.0 / self.fps as f64)
+    }
+
+    /// Starts streaming.
+    pub fn start(&mut self) {
+        self.streaming = true;
+    }
+
+    /// Stops streaming.
+    pub fn stop(&mut self) {
+        self.streaming = false;
+    }
+
+    /// Whether the sensor is streaming.
+    pub fn is_streaming(&self) -> bool {
+        self.streaming
+    }
+
+    /// Captures one frame of the given scene.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidState`] if the camera is not streaming.
+    pub fn capture_frame(&mut self, scene: SceneKind) -> Result<ImageFrame> {
+        if !self.streaming {
+            return Err(DeviceError::InvalidState {
+                operation: "capture frame".to_owned(),
+                state: "stopped".to_owned(),
+            });
+        }
+        let (w, h) = (self.width as usize, self.height as usize);
+        let mut pixels = vec![0u8; w * h];
+        match scene {
+            SceneKind::EmptyRoom => {
+                for p in pixels.iter_mut() {
+                    *p = 120u8.saturating_add(self.rng.gen_range(0..8));
+                }
+            }
+            SceneKind::Person => {
+                // Background plus a dark high-contrast blob roughly centred.
+                let cx = self.rng.gen_range(w / 4..3 * w / 4) as f64;
+                let cy = self.rng.gen_range(h / 4..3 * h / 4) as f64;
+                let radius = (w.min(h) as f64) / 3.0;
+                for y in 0..h {
+                    for x in 0..w {
+                        let d = (((x as f64 - cx).powi(2) + (y as f64 - cy).powi(2)).sqrt()) / radius;
+                        let base = 130.0 + self.rng.gen_range(-6.0..6.0);
+                        let v = if d < 1.0 { base - 90.0 * (1.0 - d) } else { base };
+                        pixels[y * w + x] = v.clamp(0.0, 255.0) as u8;
+                    }
+                }
+            }
+            SceneKind::Document => {
+                // High-frequency horizontal stripes (text lines on a bright page).
+                for y in 0..h {
+                    for x in 0..w {
+                        let stripe = if y % 4 < 2 { 230 } else { 40 };
+                        let noise: i16 = self.rng.gen_range(-10..10);
+                        pixels[y * w + x] = (stripe as i16 + noise).clamp(0, 255) as u8;
+                    }
+                }
+            }
+            SceneKind::Pet => {
+                let cx = self.rng.gen_range(0..w) as f64;
+                let radius = (w.min(h) as f64) / 6.0;
+                for y in 0..h {
+                    for x in 0..w {
+                        let d = (((x as f64 - cx).powi(2) + (y as f64 - (h as f64) * 0.8).powi(2))
+                            .sqrt())
+                            / radius;
+                        let base = 125.0 + self.rng.gen_range(-5.0..5.0);
+                        let v = if d < 1.0 { base - 40.0 * (1.0 - d) } else { base };
+                        pixels[y * w + x] = v.clamp(0.0, 255.0) as u8;
+                    }
+                }
+            }
+        }
+        let frame = ImageFrame {
+            width: self.width,
+            height: self.height,
+            pixels,
+            scene,
+            sequence: self.sequence,
+        };
+        self.sequence += 1;
+        Ok(frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn camera() -> CameraSensor {
+        let mut cam = CameraSensor::smart_home("cam0", 42).unwrap();
+        cam.start();
+        cam
+    }
+
+    #[test]
+    fn rejects_degenerate_configs() {
+        assert!(CameraSensor::new("bad", 0, 10, 10, 0).is_err());
+        assert!(CameraSensor::new("bad", 10, 10, 0, 0).is_err());
+    }
+
+    #[test]
+    fn capture_requires_streaming() {
+        let mut cam = CameraSensor::smart_home("cam0", 1).unwrap();
+        assert!(cam.capture_frame(SceneKind::EmptyRoom).is_err());
+        cam.start();
+        assert!(cam.capture_frame(SceneKind::EmptyRoom).is_ok());
+        cam.stop();
+        assert!(cam.capture_frame(SceneKind::EmptyRoom).is_err());
+    }
+
+    #[test]
+    fn frames_have_expected_geometry_and_sequence() {
+        let mut cam = camera();
+        let a = cam.capture_frame(SceneKind::EmptyRoom).unwrap();
+        let b = cam.capture_frame(SceneKind::Person).unwrap();
+        assert_eq!(a.byte_len(), 64 * 48);
+        assert_eq!(a.sequence, 0);
+        assert_eq!(b.sequence, 1);
+        assert_eq!(cam.frame_interval(), SimDuration::from_secs_f64(1.0 / 15.0));
+    }
+
+    #[test]
+    fn scene_kinds_have_distinguishable_statistics() {
+        let mut cam = camera();
+        let empty = cam.capture_frame(SceneKind::EmptyRoom).unwrap();
+        let person = cam.capture_frame(SceneKind::Person).unwrap();
+        let document = cam.capture_frame(SceneKind::Document).unwrap();
+        // The empty room is the flattest; documents have by far the most variance.
+        assert!(person.intensity_variance() > empty.intensity_variance() * 2.0);
+        assert!(document.intensity_variance() > person.intensity_variance());
+    }
+
+    #[test]
+    fn sensitivity_ground_truth_follows_threat_model() {
+        assert!(SceneKind::Person.is_sensitive());
+        assert!(SceneKind::Document.is_sensitive());
+        assert!(!SceneKind::EmptyRoom.is_sensitive());
+        assert!(!SceneKind::Pet.is_sensitive());
+    }
+}

@@ -1,0 +1,357 @@
+//! Inter-IC Sound (I2S) bus and controller model.
+//!
+//! The paper chose I2S "because it is lightweight, contrary to more complex
+//! protocols like USB" (§III). The model captures the properties the driver
+//! depends on:
+//!
+//! * the bus carries fixed-size sample words framed by a word-select clock
+//!   at the sample rate;
+//! * the SoC-side controller receives words into a small hardware FIFO;
+//! * if the CPU/DMA does not drain the FIFO fast enough, samples are
+//!   dropped and an overrun is latched — the phenomenon that makes the
+//!   secure-world driver's latency budget interesting.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use perisec_tz::time::SimDuration;
+
+use crate::audio::AudioFormat;
+use crate::signal::SignalSource;
+use crate::{DeviceError, Result};
+
+/// Bus role of the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum I2sRole {
+    /// The controller drives the bit and word-select clocks.
+    Master,
+    /// The external device drives the clocks.
+    Slave,
+}
+
+/// Static configuration of an I2S link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct I2sConfig {
+    /// PCM format carried on the bus.
+    pub format: AudioFormat,
+    /// Role of the SoC-side controller.
+    pub role: I2sRole,
+    /// Capacity of the controller receive FIFO, in samples.
+    pub fifo_depth: usize,
+}
+
+impl I2sConfig {
+    /// Configuration used by the paper's microphone use case: 16 kHz mono
+    /// capture, SoC as master, a 64-sample receive FIFO (typical of Tegra
+    /// I2S blocks).
+    pub fn microphone_default() -> Self {
+        I2sConfig {
+            format: AudioFormat::speech_16khz_mono(),
+            role: I2sRole::Master,
+            fifo_depth: 64,
+        }
+    }
+
+    /// Bit-clock frequency implied by the format (word size × channels ×
+    /// sample rate).
+    pub fn bit_clock_hz(&self) -> u64 {
+        self.format.bits_per_sample as u64
+            * self.format.channels as u64
+            * self.format.sample_rate_hz as u64
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::UnsupportedConfig`] for empty FIFOs, zero
+    /// sample rates or sample widths other than 16 bits (the only width the
+    /// models produce).
+    pub fn validate(&self) -> Result<()> {
+        if self.fifo_depth == 0 {
+            return Err(DeviceError::UnsupportedConfig {
+                reason: "fifo depth must be at least 1 sample".to_owned(),
+            });
+        }
+        if self.format.sample_rate_hz == 0 {
+            return Err(DeviceError::UnsupportedConfig {
+                reason: "sample rate must be non-zero".to_owned(),
+            });
+        }
+        if self.format.bits_per_sample != 16 {
+            return Err(DeviceError::UnsupportedConfig {
+                reason: format!(
+                    "only 16-bit samples are supported, got {}",
+                    self.format.bits_per_sample
+                ),
+            });
+        }
+        if self.format.channels == 0 || self.format.channels > 2 {
+            return Err(DeviceError::UnsupportedConfig {
+                reason: format!("i2s carries 1 or 2 channels, got {}", self.format.channels),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for I2sConfig {
+    fn default() -> Self {
+        I2sConfig::microphone_default()
+    }
+}
+
+/// The SoC-side I2S controller: receive FIFO plus overrun accounting.
+#[derive(Debug)]
+pub struct I2sController {
+    config: I2sConfig,
+    fifo: VecDeque<i16>,
+    overrun_samples: u64,
+    received_samples: u64,
+    enabled: bool,
+}
+
+impl I2sController {
+    /// Creates a controller with the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`I2sConfig::validate`] failures.
+    pub fn new(config: I2sConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(I2sController {
+            config,
+            fifo: VecDeque::with_capacity(config.fifo_depth),
+            overrun_samples: 0,
+            received_samples: 0,
+            enabled: false,
+        })
+    }
+
+    /// The controller configuration.
+    pub fn config(&self) -> I2sConfig {
+        self.config
+    }
+
+    /// Enables reception.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Disables reception and clears the FIFO.
+    pub fn disable(&mut self) {
+        self.enabled = false;
+        self.fifo.clear();
+    }
+
+    /// Whether reception is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Pushes samples arriving from the bus into the FIFO. Samples that do
+    /// not fit are dropped and counted as overruns. Returns the number of
+    /// samples accepted.
+    pub fn receive(&mut self, samples: &[i16]) -> usize {
+        if !self.enabled {
+            return 0;
+        }
+        let mut accepted = 0;
+        for &s in samples {
+            if self.fifo.len() < self.config.fifo_depth {
+                self.fifo.push_back(s);
+                accepted += 1;
+            } else {
+                self.overrun_samples += 1;
+            }
+        }
+        self.received_samples += accepted as u64;
+        accepted
+    }
+
+    /// Drains up to `max` samples from the FIFO (oldest first).
+    pub fn drain(&mut self, max: usize) -> Vec<i16> {
+        let n = max.min(self.fifo.len());
+        self.fifo.drain(..n).collect()
+    }
+
+    /// Number of samples currently waiting in the FIFO.
+    pub fn fifo_level(&self) -> usize {
+        self.fifo.len()
+    }
+
+    /// Samples dropped because the FIFO was full.
+    pub fn overrun_samples(&self) -> u64 {
+        self.overrun_samples
+    }
+
+    /// Samples successfully received since creation.
+    pub fn received_samples(&self) -> u64 {
+        self.received_samples
+    }
+}
+
+/// An I2S link: an external device (signal source) wired to a controller.
+///
+/// [`I2sBus::transfer_frames`] models the passage of real time on the bus:
+/// the attached device produces `frames` samples-per-channel, they are
+/// shifted into the controller FIFO, and the call reports how long that
+/// takes on the wire. The caller (the driver / DMA model) is responsible
+/// for draining the FIFO between transfers; this is exactly where the
+/// baseline and secure drivers differ in how much latency they can afford.
+pub struct I2sBus {
+    config: I2sConfig,
+    source: Box<dyn SignalSource>,
+    controller: I2sController,
+}
+
+impl std::fmt::Debug for I2sBus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("I2sBus")
+            .field("config", &self.config)
+            .field("source", &self.source.describe())
+            .field("controller_fifo", &self.controller.fifo_level())
+            .finish()
+    }
+}
+
+impl I2sBus {
+    /// Wires `source` to a new controller with `config`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation failures.
+    pub fn new(config: I2sConfig, source: Box<dyn SignalSource>) -> Result<Self> {
+        let controller = I2sController::new(config)?;
+        Ok(I2sBus {
+            config,
+            source,
+            controller,
+        })
+    }
+
+    /// The bus configuration.
+    pub fn config(&self) -> I2sConfig {
+        self.config
+    }
+
+    /// Access to the controller (e.g. for the driver to drain the FIFO).
+    pub fn controller(&mut self) -> &mut I2sController {
+        &mut self.controller
+    }
+
+    /// Read-only access to the controller.
+    pub fn controller_ref(&self) -> &I2sController {
+        &self.controller
+    }
+
+    /// Replaces the attached signal source, returning the previous one.
+    pub fn set_source(&mut self, source: Box<dyn SignalSource>) -> Box<dyn SignalSource> {
+        std::mem::replace(&mut self.source, source)
+    }
+
+    /// Transfers `frames` frames across the bus into the controller FIFO.
+    ///
+    /// Returns the wire time consumed. Samples that overflow the FIFO are
+    /// dropped by the controller (see [`I2sController::receive`]).
+    pub fn transfer_frames(&mut self, frames: usize) -> SimDuration {
+        if frames == 0 || !self.controller.is_enabled() {
+            return SimDuration::ZERO;
+        }
+        let samples = frames * self.config.format.channels as usize;
+        let produced = self.source.next_samples(samples);
+        self.controller.receive(&produced);
+        self.config.format.duration_of_frames(frames)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signal::{SineSource, SilenceSource};
+
+    #[test]
+    fn config_validation_catches_bad_configs() {
+        let mut c = I2sConfig::microphone_default();
+        assert!(c.validate().is_ok());
+        c.fifo_depth = 0;
+        assert!(c.validate().is_err());
+        let mut c = I2sConfig::microphone_default();
+        c.format.bits_per_sample = 24;
+        assert!(c.validate().is_err());
+        let mut c = I2sConfig::microphone_default();
+        c.format.channels = 4;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn bit_clock_matches_format() {
+        let c = I2sConfig::microphone_default();
+        assert_eq!(c.bit_clock_hz(), 16 * 1 * 16_000);
+    }
+
+    #[test]
+    fn controller_rejects_input_when_disabled() {
+        let mut ctrl = I2sController::new(I2sConfig::microphone_default()).unwrap();
+        assert_eq!(ctrl.receive(&[1, 2, 3]), 0);
+        ctrl.enable();
+        assert_eq!(ctrl.receive(&[1, 2, 3]), 3);
+        assert_eq!(ctrl.fifo_level(), 3);
+        ctrl.disable();
+        assert_eq!(ctrl.fifo_level(), 0);
+    }
+
+    #[test]
+    fn fifo_overruns_are_counted_not_lost_silently() {
+        let config = I2sConfig {
+            fifo_depth: 4,
+            ..I2sConfig::microphone_default()
+        };
+        let mut ctrl = I2sController::new(config).unwrap();
+        ctrl.enable();
+        let accepted = ctrl.receive(&[1, 2, 3, 4, 5, 6]);
+        assert_eq!(accepted, 4);
+        assert_eq!(ctrl.overrun_samples(), 2);
+        assert_eq!(ctrl.drain(10), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bus_transfer_returns_wire_time_and_fills_fifo() {
+        let config = I2sConfig {
+            fifo_depth: 1024,
+            ..I2sConfig::microphone_default()
+        };
+        let mut bus = I2sBus::new(config, Box::new(SineSource::new(440.0, 16_000, 0.5))).unwrap();
+        bus.controller().enable();
+        let t = bus.transfer_frames(160); // 10 ms at 16 kHz
+        assert_eq!(t, SimDuration::from_millis(10));
+        assert_eq!(bus.controller_ref().fifo_level(), 160);
+        let drained = bus.controller().drain(160);
+        assert_eq!(drained.len(), 160);
+        assert!(drained.iter().any(|&s| s != 0));
+    }
+
+    #[test]
+    fn transfer_on_disabled_controller_is_a_noop() {
+        let mut bus = I2sBus::new(I2sConfig::microphone_default(), Box::new(SilenceSource)).unwrap();
+        assert_eq!(bus.transfer_frames(100), SimDuration::ZERO);
+        assert_eq!(bus.controller_ref().fifo_level(), 0);
+    }
+
+    #[test]
+    fn set_source_swaps_the_device() {
+        let mut bus = I2sBus::new(
+            I2sConfig { fifo_depth: 256, ..I2sConfig::microphone_default() },
+            Box::new(SilenceSource),
+        )
+        .unwrap();
+        bus.controller().enable();
+        bus.transfer_frames(16);
+        assert!(bus.controller().drain(16).iter().all(|&s| s == 0));
+        let old = bus.set_source(Box::new(SineSource::new(1000.0, 16_000, 0.9)));
+        assert!(old.describe().contains("silence"));
+        bus.transfer_frames(64);
+        assert!(bus.controller().drain(64).iter().any(|&s| s != 0));
+    }
+}

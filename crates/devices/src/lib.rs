@@ -1,0 +1,105 @@
+//! # perisec-devices — peripheral device models
+//!
+//! The paper's proof of concept targets *inter-IC sound (I2S) capable
+//! peripheral devices, like microphones* on the Jetson AGX Xavier (§III),
+//! with cameras named as the other motivating peripheral. This crate models
+//! that hardware:
+//!
+//! * [`audio`] — sample formats and PCM buffers shared by the whole stack;
+//! * [`signal`] — signal sources that feed the microphone (silence, tones,
+//!   noise, or externally synthesized speech from `perisec-workload`);
+//! * [`i2s`] — the I2S serial bus: framing, clocking, the controller FIFO
+//!   and its overrun behaviour;
+//! * [`mic`] — a MEMS digital microphone attached to the I2S bus;
+//! * [`dma`] — the DMA engine that moves controller FIFO contents into
+//!   memory buffers and raises period interrupts;
+//! * [`camera`] — a simple frame-producing camera sensor (the paper's
+//!   secondary peripheral);
+//! * [`codec`] — audio encoding helpers (PCM <-> bytes, µ-law) used by the
+//!   driver's "encoding an audio signal" step.
+//!
+//! The models are deterministic and independent of wall-clock time: all
+//! timing is expressed through `perisec_tz::time` durations so that the
+//! kernel substrate and the OP-TEE simulator can charge them against the
+//! shared platform clock.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audio;
+pub mod camera;
+pub mod codec;
+pub mod dma;
+pub mod i2s;
+pub mod mic;
+pub mod signal;
+
+pub use audio::{AudioBuffer, AudioFormat};
+pub use camera::{CameraSensor, ImageFrame};
+pub use dma::{DmaChannel, DmaTransfer};
+pub use i2s::{I2sBus, I2sConfig, I2sController};
+pub use mic::Microphone;
+pub use signal::{SignalSource, SilenceSource, SineSource, WhiteNoiseSource};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the device models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DeviceError {
+    /// The requested configuration is not supported by the device.
+    UnsupportedConfig {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// An operation was attempted while the device was in the wrong state
+    /// (e.g. capturing from a stopped microphone).
+    InvalidState {
+        /// What was attempted.
+        operation: String,
+        /// Current state of the device.
+        state: String,
+    },
+    /// A DMA transfer referenced a destination that is too small.
+    BufferTooSmall {
+        /// Bytes required.
+        required: usize,
+        /// Bytes available.
+        available: usize,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::UnsupportedConfig { reason } => {
+                write!(f, "unsupported device configuration: {reason}")
+            }
+            DeviceError::InvalidState { operation, state } => {
+                write!(f, "cannot {operation} while device is {state}")
+            }
+            DeviceError::BufferTooSmall { required, available } => {
+                write!(f, "destination buffer too small: need {required} bytes, have {available}")
+            }
+        }
+    }
+}
+
+impl Error for DeviceError {}
+
+/// Convenience result alias for device operations.
+pub type Result<T> = std::result::Result<T, DeviceError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_error_is_well_behaved() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<DeviceError>();
+        let e = DeviceError::BufferTooSmall { required: 10, available: 4 };
+        assert!(e.to_string().contains("10"));
+    }
+}

@@ -1,0 +1,236 @@
+//! Device registry and driver binding.
+//!
+//! A minimal analogue of the Linux device model: devices are registered
+//! with a class and a name, drivers bind to device classes, and the
+//! registry answers lookups. The paper's tracing methodology needs this
+//! because the Jetson platform "provides a large set of I/O devices and
+//! driver software, sometimes for the same purpose" (§IV.2) — the registry
+//! is where that surplus is visible.
+
+use std::collections::BTreeMap;
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+use crate::{KernelError, Result};
+
+/// Coarse class of a device, mirroring Linux subsystems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum DeviceClass {
+    /// Audio capture/playback devices (I2S, DMIC, HDA...).
+    Sound,
+    /// Camera / video capture devices.
+    Video,
+    /// Network interfaces.
+    Network,
+    /// DMA engines.
+    Dma,
+    /// Everything else.
+    Misc,
+}
+
+impl std::fmt::Display for DeviceClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DeviceClass::Sound => "sound",
+            DeviceClass::Video => "video",
+            DeviceClass::Network => "network",
+            DeviceClass::Dma => "dma",
+            DeviceClass::Misc => "misc",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A registered device.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceDescriptor {
+    /// Unique device name (e.g. `tegra210-i2s.1`).
+    pub name: String,
+    /// Device class.
+    pub class: DeviceClass,
+    /// Name of the driver bound to the device, if any.
+    pub driver: Option<String>,
+    /// IRQ line assigned to the device, if any.
+    pub irq_line: Option<u32>,
+}
+
+/// The registry of devices known to the kernel.
+#[derive(Debug, Default)]
+pub struct DeviceRegistry {
+    devices: RwLock<BTreeMap<String, DeviceDescriptor>>,
+}
+
+impl DeviceRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        DeviceRegistry::default()
+    }
+
+    /// Creates a registry pre-populated with the audio-relevant devices of
+    /// a Jetson-class board (I2S controllers, DMIC, ADMA, plus a few
+    /// unrelated devices that the TCB analysis should learn to ignore).
+    pub fn jetson_audio_board() -> Self {
+        let registry = DeviceRegistry::new();
+        let devices = [
+            ("tegra210-i2s.0", DeviceClass::Sound, Some(40)),
+            ("tegra210-i2s.1", DeviceClass::Sound, Some(41)),
+            ("tegra210-dmic.0", DeviceClass::Sound, Some(42)),
+            ("tegra210-admaif", DeviceClass::Sound, None),
+            ("tegra-adma", DeviceClass::Dma, Some(48)),
+            ("tegra-ahub", DeviceClass::Sound, None),
+            ("imx219-camera.0", DeviceClass::Video, Some(60)),
+            ("eqos-ethernet", DeviceClass::Network, Some(70)),
+            ("tegra-xudc", DeviceClass::Misc, Some(80)),
+        ];
+        for (name, class, irq) in devices {
+            registry
+                .register(DeviceDescriptor {
+                    name: name.to_owned(),
+                    class,
+                    driver: None,
+                    irq_line: irq,
+                })
+                .expect("static device table has unique names");
+        }
+        registry
+    }
+
+    /// Registers a device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::InvalidState`] if a device with the same name
+    /// already exists.
+    pub fn register(&self, descriptor: DeviceDescriptor) -> Result<()> {
+        let mut devices = self.devices.write();
+        if devices.contains_key(&descriptor.name) {
+            return Err(KernelError::InvalidState {
+                operation: format!("register device '{}'", descriptor.name),
+                state: "already registered".to_owned(),
+            });
+        }
+        devices.insert(descriptor.name.clone(), descriptor);
+        Ok(())
+    }
+
+    /// Removes a device, returning its descriptor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::NoSuchDevice`] if the device does not exist.
+    pub fn unregister(&self, name: &str) -> Result<DeviceDescriptor> {
+        self.devices.write().remove(name).ok_or(KernelError::NoSuchDevice {
+            name: name.to_owned(),
+        })
+    }
+
+    /// Looks up a device by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::NoSuchDevice`] if the device does not exist.
+    pub fn find(&self, name: &str) -> Result<DeviceDescriptor> {
+        self.devices
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or(KernelError::NoSuchDevice {
+                name: name.to_owned(),
+            })
+    }
+
+    /// Binds `driver` to the named device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::NoSuchDevice`] if the device does not exist.
+    pub fn bind_driver(&self, name: &str, driver: &str) -> Result<()> {
+        let mut devices = self.devices.write();
+        match devices.get_mut(name) {
+            Some(d) => {
+                d.driver = Some(driver.to_owned());
+                Ok(())
+            }
+            None => Err(KernelError::NoSuchDevice {
+                name: name.to_owned(),
+            }),
+        }
+    }
+
+    /// All devices of a class.
+    pub fn by_class(&self, class: DeviceClass) -> Vec<DeviceDescriptor> {
+        self.devices
+            .read()
+            .values()
+            .filter(|d| d.class == class)
+            .cloned()
+            .collect()
+    }
+
+    /// Total number of registered devices.
+    pub fn len(&self) -> usize {
+        self.devices.read().len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.devices.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jetson_board_has_multiple_sound_devices() {
+        let reg = DeviceRegistry::jetson_audio_board();
+        let sound = reg.by_class(DeviceClass::Sound);
+        assert!(sound.len() >= 4, "expected several sound devices, got {}", sound.len());
+        assert!(reg.len() > sound.len());
+    }
+
+    #[test]
+    fn register_find_unregister_cycle() {
+        let reg = DeviceRegistry::new();
+        assert!(reg.is_empty());
+        reg.register(DeviceDescriptor {
+            name: "mic0".to_owned(),
+            class: DeviceClass::Sound,
+            driver: None,
+            irq_line: Some(12),
+        })
+        .unwrap();
+        assert_eq!(reg.find("mic0").unwrap().irq_line, Some(12));
+        assert!(matches!(reg.find("nope"), Err(KernelError::NoSuchDevice { .. })));
+        let removed = reg.unregister("mic0").unwrap();
+        assert_eq!(removed.name, "mic0");
+        assert!(reg.unregister("mic0").is_err());
+    }
+
+    #[test]
+    fn duplicate_registration_is_rejected() {
+        let reg = DeviceRegistry::new();
+        let d = DeviceDescriptor {
+            name: "dup".to_owned(),
+            class: DeviceClass::Misc,
+            driver: None,
+            irq_line: None,
+        };
+        reg.register(d.clone()).unwrap();
+        assert!(reg.register(d).is_err());
+    }
+
+    #[test]
+    fn bind_driver_updates_descriptor() {
+        let reg = DeviceRegistry::jetson_audio_board();
+        reg.bind_driver("tegra210-i2s.1", "tegra210-i2s-driver").unwrap();
+        assert_eq!(
+            reg.find("tegra210-i2s.1").unwrap().driver.as_deref(),
+            Some("tegra210-i2s-driver")
+        );
+        assert!(reg.bind_driver("ghost", "x").is_err());
+    }
+}

@@ -1,0 +1,489 @@
+//! The baseline (untrusted, in-kernel) I2S capture driver.
+//!
+//! This is the "regular setup" of the paper's §II: the driver lives in the
+//! Linux kernel, its I/O buffers are ordinary (non-secure) DRAM, and the
+//! captured audio is visible to the whole OS. It is both the performance
+//! baseline and the code base whose execution traces drive the TCB
+//! minimization.
+//!
+//! Every driver entry point records the catalog functions it executes into
+//! the shared [`FunctionTracer`], so a harness that wraps an operation in
+//! `tracer.begin_task("record")`/`end_task()` obtains exactly the trace the
+//! paper's plan item 2 describes.
+
+use perisec_devices::audio::AudioBuffer;
+use perisec_devices::dma::DmaChannel;
+use perisec_devices::mic::Microphone;
+use perisec_tz::platform::Platform;
+use perisec_tz::power::Component;
+use perisec_tz::time::SimDuration;
+use perisec_tz::world::World;
+
+use crate::pcm::{PcmHwParams, PcmState, PcmSubstream};
+use crate::trace::FunctionTracer;
+use crate::{KernelError, Result};
+
+/// Catalog functions executed by `probe`.
+pub const PROBE_FUNCTIONS: &[&str] = &[
+    "tegra210_i2s_probe",
+    "tegra210_i2s_init_regmap",
+    "tegra210_i2s_clk_get",
+    "tegra210_i2s_reset_control",
+    "tegra_isomgr_register",
+    "tegra210_ahub_probe",
+    "tegra210_admaif_probe",
+    "tegra_adma_alloc_chan",
+    "tegra_machine_probe",
+    "tegra_machine_dai_init",
+    "tegra_machine_parse_card",
+    "tegra210_i2s_debugfs_init",
+];
+
+/// Catalog functions executed when capture hardware parameters are set.
+pub const CONFIGURE_FUNCTIONS: &[&str] = &[
+    "tegra210_i2s_startup_capture",
+    "tegra210_i2s_hw_params",
+    "tegra210_i2s_set_fmt",
+    "tegra210_i2s_set_clock_rate",
+    "tegra210_i2s_set_timing",
+    "tegra210_ahub_route_setup",
+    "tegra210_xbar_connect",
+    "tegra210_admaif_hw_params",
+    "tegra_adma_prep_cyclic",
+    "tegra_machine_hw_params_fixup",
+];
+
+/// Catalog functions executed when capture starts.
+pub const START_FUNCTIONS: &[&str] = &[
+    "tegra210_i2s_clk_enable",
+    "tegra210_i2s_rx_fifo_enable",
+    "tegra210_i2s_trigger_start_capture",
+    "tegra210_admaif_trigger",
+    "tegra_adma_issue_pending",
+];
+
+/// Catalog functions executed on every capture period interrupt.
+pub const PERIOD_FUNCTIONS: &[&str] = &[
+    "tegra_adma_irq_handler",
+    "tegra_adma_period_complete",
+    "tegra210_admaif_pcm_pointer",
+    "tegra210_i2s_capture_pointer",
+    "tegra210_i2s_sample_convert",
+];
+
+/// Catalog functions executed when capture stops.
+pub const STOP_FUNCTIONS: &[&str] = &[
+    "tegra210_i2s_trigger_stop_capture",
+    "tegra210_i2s_rx_fifo_disable",
+    "tegra_adma_terminate_all",
+    "tegra210_i2s_clk_disable",
+];
+
+/// Catalog functions executed on driver removal.
+pub const REMOVE_FUNCTIONS: &[&str] = &[
+    "tegra210_i2s_remove",
+    "tegra_adma_release_chan",
+    "tegra210_i2s_runtime_suspend",
+];
+
+/// Catalog functions executed by the (unused-for-capture) playback task.
+pub const PLAYBACK_FUNCTIONS: &[&str] = &[
+    "tegra210_i2s_startup_playback",
+    "tegra210_i2s_tx_fifo_enable",
+    "tegra210_i2s_trigger_start_playback",
+    "tegra210_i2s_write_fifo",
+    "tegra210_i2s_tx_irq_handler",
+    "tegra210_i2s_playback_pointer",
+    "tegra210_i2s_trigger_stop_playback",
+    "tegra210_i2s_tx_fifo_disable",
+];
+
+/// Catalog functions executed by mixer-control accesses.
+pub const MIXER_FUNCTIONS: &[&str] = &[
+    "tegra210_i2s_get_control",
+    "tegra210_i2s_put_control",
+    "tegra_audio_graph_card_controls",
+    "tegra210_i2s_mono_to_stereo_get",
+    "tegra210_i2s_mono_to_stereo_put",
+];
+
+/// Catalog functions executed by a runtime power-management cycle.
+pub const PM_FUNCTIONS: &[&str] = &[
+    "tegra210_i2s_runtime_suspend",
+    "tegra210_i2s_runtime_resume",
+    "tegra_audio_powergate",
+    "tegra_audio_unpowergate",
+];
+
+/// Fixed CPU cost of the driver's per-period bookkeeping (pointer updates,
+/// ALSA core dispatch), excluding data copies which are charged per byte.
+const PER_PERIOD_DRIVER_OVERHEAD: SimDuration = SimDuration::from_micros(4);
+
+/// Result of a capture run.
+#[derive(Debug, Clone)]
+pub struct CaptureOutcome {
+    /// The captured (and user-space-copied) audio.
+    pub audio: AudioBuffer,
+    /// Time the samples occupied on the I2S wire (real-time audio duration).
+    pub wire_time: SimDuration,
+    /// CPU time charged in the normal world for moving and bookkeeping the
+    /// data (what the throughput experiments compare).
+    pub cpu_time: SimDuration,
+    /// Number of DMA periods processed.
+    pub periods: usize,
+    /// PCM overruns observed during the run.
+    pub overruns: u64,
+}
+
+impl CaptureOutcome {
+    /// Effective processing throughput in bytes of audio per second of CPU
+    /// time. Returns `f64::INFINITY` when no CPU time was charged.
+    pub fn cpu_throughput_bytes_per_sec(&self) -> f64 {
+        let secs = self.cpu_time.as_secs_f64();
+        if secs == 0.0 {
+            f64::INFINITY
+        } else {
+            self.audio.byte_len() as f64 / secs
+        }
+    }
+}
+
+/// The baseline in-kernel I2S capture driver.
+pub struct BaselineI2sDriver {
+    platform: Platform,
+    mic: Microphone,
+    dma: DmaChannel,
+    pcm: PcmSubstream,
+    tracer: FunctionTracer,
+    probed: bool,
+}
+
+impl std::fmt::Debug for BaselineI2sDriver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BaselineI2sDriver")
+            .field("probed", &self.probed)
+            .field("pcm_state", &self.pcm.state())
+            .finish()
+    }
+}
+
+impl BaselineI2sDriver {
+    /// Creates the driver for `mic` on `platform`, tracing into `tracer`.
+    pub fn new(platform: Platform, mic: Microphone, tracer: FunctionTracer) -> Self {
+        BaselineI2sDriver {
+            platform,
+            mic,
+            dma: DmaChannel::default(),
+            pcm: PcmSubstream::open(),
+            tracer,
+            probed: false,
+        }
+    }
+
+    fn trace_all(&self, functions: &[&str]) {
+        let now = self.platform.clock().now();
+        for f in functions {
+            self.tracer.record(f, now);
+        }
+    }
+
+    /// The tracer used by this driver.
+    pub fn tracer(&self) -> &FunctionTracer {
+        &self.tracer
+    }
+
+    /// The PCM substream state (for tests and monitoring).
+    pub fn pcm_state(&self) -> PcmState {
+        self.pcm.state()
+    }
+
+    /// Access to the microphone (e.g. to swap the signal source between
+    /// utterances).
+    pub fn mic_mut(&mut self) -> &mut Microphone {
+        &mut self.mic
+    }
+
+    /// Probes the driver: binds the device, powers the microphone.
+    pub fn probe(&mut self) -> Result<()> {
+        self.trace_all(PROBE_FUNCTIONS);
+        self.platform
+            .charge_cpu(World::Normal, SimDuration::from_micros(180));
+        self.mic.power_on();
+        self.probed = true;
+        Ok(())
+    }
+
+    /// Installs capture hardware parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::InvalidState`] if the driver has not been
+    /// probed, or propagates PCM parameter validation failures.
+    pub fn configure(&mut self, params: PcmHwParams) -> Result<()> {
+        if !self.probed {
+            return Err(KernelError::InvalidState {
+                operation: "configure".to_owned(),
+                state: "not probed".to_owned(),
+            });
+        }
+        self.trace_all(CONFIGURE_FUNCTIONS);
+        self.platform
+            .charge_cpu(World::Normal, SimDuration::from_micros(60));
+        self.pcm.set_hw_params(params)?;
+        self.pcm.prepare()?;
+        Ok(())
+    }
+
+    /// Starts the capture stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates PCM/microphone state errors.
+    pub fn start(&mut self) -> Result<()> {
+        self.trace_all(START_FUNCTIONS);
+        self.platform
+            .charge_cpu(World::Normal, SimDuration::from_micros(25));
+        self.mic.start_capture()?;
+        self.pcm.start()?;
+        Ok(())
+    }
+
+    /// Captures `periods` DMA periods and copies them to "user space".
+    ///
+    /// The returned [`CaptureOutcome`] separates wire time (real-time audio)
+    /// from the CPU time the kernel spent moving the data; experiments use
+    /// the latter for throughput comparisons against the secure driver.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::InvalidState`] if the stream is not running,
+    /// and propagates device/DMA failures.
+    pub fn capture_periods(&mut self, periods: usize) -> Result<CaptureOutcome> {
+        if self.pcm.state() != PcmState::Running {
+            return Err(KernelError::InvalidState {
+                operation: "capture".to_owned(),
+                state: self.pcm.state().to_string(),
+            });
+        }
+        let params = self.pcm.params().expect("running stream has params");
+        let cpu_start_switches = self.platform.clock().now();
+        let mut wire_time = SimDuration::ZERO;
+        let mut cpu_time = SimDuration::ZERO;
+        let mut audio = AudioBuffer::silence(params.format, 0);
+
+        let charge_cpu = |platform: &Platform, d: SimDuration, cpu_time: &mut SimDuration| {
+            platform.charge_cpu(World::Normal, d);
+            *cpu_time += d;
+        };
+
+        for _ in 0..periods {
+            // 1. The microphone delivers one period over the I2S wire.
+            let (chunk, wire) = self.mic.capture(params.period_frames)?;
+            wire_time += wire;
+            self.platform.record_device_busy(Component::Microphone, wire);
+            self.platform.record_device_busy(Component::I2sController, wire);
+
+            // 2. The ADMA engine moves the samples into the PCM ring buffer.
+            let mut period_bytes = vec![0u8; chunk.byte_len()];
+            let transfer = self.dma.transfer(chunk.samples(), &mut period_bytes)?;
+            self.platform
+                .record_device_busy(Component::DmaEngine, transfer.bus_time);
+
+            // 3. Period-complete interrupt and driver bookkeeping.
+            self.trace_all(PERIOD_FUNCTIONS);
+            self.platform.stats().record_irq();
+            charge_cpu(&self.platform, self.platform.cost().irq_entry, &mut cpu_time);
+            charge_cpu(&self.platform, PER_PERIOD_DRIVER_OVERHEAD, &mut cpu_time);
+            self.pcm.dma_deliver(chunk.samples())?;
+
+            // 4. User space reads the period (copy_to_user): modelled as
+            //    compute proportional to the copied bytes.
+            if let Some(period) = self.pcm.read_period() {
+                let copy_flops = (period.byte_len() as u64) / 4;
+                let d = self.platform.charge_compute(World::Normal, copy_flops);
+                cpu_time += d;
+                audio.append(&period);
+            }
+        }
+        // Any residue (possible after an overrun recovery) is drained too.
+        let rest = self.pcm.read_all();
+        if !rest.is_empty() {
+            audio.append(&rest);
+        }
+        let _ = cpu_start_switches;
+        Ok(CaptureOutcome {
+            audio,
+            wire_time,
+            cpu_time,
+            periods,
+            overruns: self.pcm.overruns(),
+        })
+    }
+
+    /// Captures at least `duration` worth of audio (rounded up to whole
+    /// periods).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`BaselineI2sDriver::capture_periods`].
+    pub fn capture_duration(&mut self, duration: SimDuration) -> Result<CaptureOutcome> {
+        let params = self.pcm.params().ok_or(KernelError::InvalidState {
+            operation: "capture".to_owned(),
+            state: "no hw params".to_owned(),
+        })?;
+        let frames = params.format.frames_in(duration);
+        let periods = (frames + params.period_frames - 1) / params.period_frames;
+        self.capture_periods(periods.max(1))
+    }
+
+    /// Stops the capture stream.
+    pub fn stop(&mut self) {
+        self.trace_all(STOP_FUNCTIONS);
+        self.platform
+            .charge_cpu(World::Normal, SimDuration::from_micros(20));
+        self.mic.stop_capture();
+        self.pcm.stop();
+    }
+
+    /// Removes the driver (stops everything, powers the mic down).
+    pub fn remove(&mut self) {
+        self.stop();
+        self.trace_all(REMOVE_FUNCTIONS);
+        self.mic.power_off();
+        self.probed = false;
+    }
+
+    /// Runs a playback "task" purely for trace generation: the microphone
+    /// use case never needs these functions, which is exactly what the TCB
+    /// analysis should discover.
+    pub fn run_playback_task(&mut self) {
+        self.trace_all(PLAYBACK_FUNCTIONS);
+        self.platform
+            .charge_cpu(World::Normal, SimDuration::from_micros(40));
+    }
+
+    /// Runs a mixer-control access task (trace generation).
+    pub fn run_mixer_task(&mut self) {
+        self.trace_all(MIXER_FUNCTIONS);
+        self.platform
+            .charge_cpu(World::Normal, SimDuration::from_micros(10));
+    }
+
+    /// Runs a runtime-PM suspend/resume cycle (trace generation).
+    pub fn run_pm_cycle(&mut self) {
+        self.trace_all(PM_FUNCTIONS);
+        self.platform
+            .charge_cpu(World::Normal, SimDuration::from_micros(30));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::DriverCatalog;
+    use perisec_devices::signal::SineSource;
+
+    fn driver() -> BaselineI2sDriver {
+        let platform = Platform::jetson_agx_xavier();
+        let mic = Microphone::speech_mic("mic0", Box::new(SineSource::new(440.0, 16_000, 0.6))).unwrap();
+        let tracer = FunctionTracer::new();
+        tracer.enable();
+        BaselineI2sDriver::new(platform, mic, tracer)
+    }
+
+    #[test]
+    fn full_capture_cycle_produces_audio() {
+        let mut d = driver();
+        d.probe().unwrap();
+        d.configure(PcmHwParams::voice_default()).unwrap();
+        d.start().unwrap();
+        let outcome = d.capture_periods(10).unwrap();
+        d.stop();
+        assert_eq!(outcome.periods, 10);
+        assert_eq!(outcome.audio.frames(), 1600);
+        assert_eq!(outcome.wire_time, SimDuration::from_millis(100));
+        assert!(outcome.cpu_time > SimDuration::ZERO);
+        assert!(outcome.cpu_time < outcome.wire_time);
+        assert!(outcome.audio.rms() > 0.1);
+        assert_eq!(outcome.overruns, 0);
+        assert!(outcome.cpu_throughput_bytes_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn capture_requires_configuration_and_start() {
+        let mut d = driver();
+        assert!(d.configure(PcmHwParams::voice_default()).is_err());
+        d.probe().unwrap();
+        d.configure(PcmHwParams::voice_default()).unwrap();
+        assert!(d.capture_periods(1).is_err());
+        d.start().unwrap();
+        assert!(d.capture_periods(1).is_ok());
+    }
+
+    #[test]
+    fn capture_duration_rounds_up_to_periods() {
+        let mut d = driver();
+        d.probe().unwrap();
+        d.configure(PcmHwParams::voice_default()).unwrap();
+        d.start().unwrap();
+        let outcome = d.capture_duration(SimDuration::from_millis(25)).unwrap();
+        // 25 ms at 10 ms periods -> 3 periods.
+        assert_eq!(outcome.periods, 3);
+        assert_eq!(outcome.audio.frames(), 480);
+    }
+
+    #[test]
+    fn record_task_traces_only_capture_functions() {
+        let mut d = driver();
+        d.probe().unwrap();
+        d.tracer().begin_task("record");
+        d.configure(PcmHwParams::voice_default()).unwrap();
+        d.start().unwrap();
+        d.capture_periods(2).unwrap();
+        d.stop();
+        d.tracer().end_task();
+        d.run_playback_task();
+
+        let log = d.tracer().log();
+        let record_fns = log.functions_for_task("record");
+        assert!(record_fns.contains("tegra210_i2s_hw_params"));
+        assert!(record_fns.contains("tegra_adma_irq_handler"));
+        assert!(!record_fns.contains("tegra210_i2s_write_fifo"));
+        // Playback functions were traced, but outside the record task.
+        assert!(log.all_functions().contains("tegra210_i2s_write_fifo"));
+    }
+
+    #[test]
+    fn every_traced_function_exists_in_the_catalog() {
+        let catalog = DriverCatalog::tegra_audio_stack();
+        let mut d = driver();
+        d.probe().unwrap();
+        d.configure(PcmHwParams::voice_default()).unwrap();
+        d.start().unwrap();
+        d.capture_periods(1).unwrap();
+        d.stop();
+        d.run_playback_task();
+        d.run_mixer_task();
+        d.run_pm_cycle();
+        d.remove();
+        for event in d.tracer().log().events() {
+            assert!(
+                catalog.function(&event.function).is_some(),
+                "traced function '{}' is missing from the catalog",
+                event.function
+            );
+        }
+    }
+
+    #[test]
+    fn energy_is_attributed_to_audio_components() {
+        let mut d = driver();
+        d.probe().unwrap();
+        d.configure(PcmHwParams::voice_default()).unwrap();
+        d.start().unwrap();
+        d.capture_periods(20).unwrap();
+        let report = d.platform.energy_report();
+        assert!(report.component_mj(perisec_tz::power::Component::Microphone) > 0.0);
+        assert!(report.component_mj(perisec_tz::power::Component::CpuNormalWorld) > 0.0);
+    }
+}

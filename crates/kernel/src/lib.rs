@@ -1,0 +1,126 @@
+//! # perisec-kernel — the untrusted normal-world kernel substrate
+//!
+//! The paper's baseline is an ordinary Linux stack: "In a regular setup,
+//! the device driver software is part of the untrusted OS, thus leaking
+//! sensitive data" (§II). This crate models exactly that stack, for two
+//! reasons:
+//!
+//! 1. it is the **baseline** every experiment compares against (unprotected
+//!    capture path: driver in the kernel, data visible to the OS and shipped
+//!    to the cloud unfiltered), and
+//! 2. it is the **source of the TCB-minimization traces**: the paper's plan
+//!    item 2 instruments the kernel with a function-call tracer, records
+//!    which driver functions run for a given task, and uses the log to
+//!    decide which functions must be ported into OP-TEE.
+//!
+//! Modules:
+//!
+//! * [`trace`] — the ftrace-like function-call tracer;
+//! * [`irq`] — a small interrupt controller with per-line handlers;
+//! * [`device`] — device registry and driver binding;
+//! * [`pcm`] — an ALSA-like PCM capture substream (hardware parameters,
+//!   period ring buffer, state machine);
+//! * [`catalog`] — the inventory of the full I2S/audio driver code base
+//!   (functions, their size, and the feature group they belong to), used by
+//!   the TCB analysis;
+//! * [`i2s_driver`] — the baseline in-kernel I2S capture driver built from
+//!   the catalog functions, wired to the device models and the platform
+//!   cost model.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod device;
+pub mod i2s_driver;
+pub mod irq;
+pub mod pcm;
+pub mod trace;
+
+pub use catalog::{DriverCatalog, DriverFunction, FeatureGroup};
+pub use device::{DeviceClass, DeviceDescriptor, DeviceRegistry};
+pub use i2s_driver::{BaselineI2sDriver, CaptureOutcome};
+pub use irq::IrqController;
+pub use pcm::{PcmHwParams, PcmState, PcmSubstream};
+pub use trace::{FunctionTracer, TraceEvent, TraceLog};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the kernel substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum KernelError {
+    /// A device lookup failed.
+    NoSuchDevice {
+        /// Name that was looked up.
+        name: String,
+    },
+    /// A driver or subsystem was asked to do something in the wrong state.
+    InvalidState {
+        /// What was attempted.
+        operation: String,
+        /// The state it was attempted in.
+        state: String,
+    },
+    /// PCM hardware parameters were rejected.
+    BadHwParams {
+        /// Reason for rejection.
+        reason: String,
+    },
+    /// An IRQ line was used incorrectly (double registration or missing
+    /// handler).
+    IrqError {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A device-model operation failed.
+    Device(perisec_devices::DeviceError),
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::NoSuchDevice { name } => write!(f, "no such device: {name}"),
+            KernelError::InvalidState { operation, state } => {
+                write!(f, "cannot {operation} in state {state}")
+            }
+            KernelError::BadHwParams { reason } => write!(f, "invalid hw params: {reason}"),
+            KernelError::IrqError { reason } => write!(f, "irq error: {reason}"),
+            KernelError::Device(e) => write!(f, "device error: {e}"),
+        }
+    }
+}
+
+impl Error for KernelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            KernelError::Device(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<perisec_devices::DeviceError> for KernelError {
+    fn from(e: perisec_devices::DeviceError) -> Self {
+        KernelError::Device(e)
+    }
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, KernelError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_error_wraps_device_errors_with_source() {
+        let inner = perisec_devices::DeviceError::BufferTooSmall { required: 8, available: 2 };
+        let e = KernelError::from(inner.clone());
+        assert!(e.to_string().contains("device error"));
+        assert!(std::error::Error::source(&e).is_some());
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<KernelError>();
+    }
+}

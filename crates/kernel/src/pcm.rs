@@ -1,0 +1,401 @@
+//! ALSA-like PCM capture substream.
+//!
+//! The baseline driver exposes captured audio to user space through a PCM
+//! substream: a ring buffer divided into periods, a hardware pointer
+//! advanced by DMA completions, and an application pointer advanced as user
+//! space reads. If the application falls a full buffer behind, the stream
+//! enters an overrun (XRUN) state — the standard ALSA failure mode.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use perisec_devices::audio::{AudioBuffer, AudioFormat};
+
+use crate::{KernelError, Result};
+
+/// Hardware parameters of a PCM stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PcmHwParams {
+    /// Sample format.
+    pub format: AudioFormat,
+    /// Frames per period (one DMA interrupt per period).
+    pub period_frames: usize,
+    /// Number of periods in the ring buffer.
+    pub periods: usize,
+}
+
+impl PcmHwParams {
+    /// Typical voice-capture parameters: 16 kHz mono, 10 ms periods, 8
+    /// periods of buffer.
+    pub fn voice_default() -> Self {
+        PcmHwParams {
+            format: AudioFormat::speech_16khz_mono(),
+            period_frames: 160,
+            periods: 8,
+        }
+    }
+
+    /// Total ring-buffer size in frames.
+    pub fn buffer_frames(&self) -> usize {
+        self.period_frames * self.periods
+    }
+
+    /// Period size in bytes.
+    pub fn period_bytes(&self) -> usize {
+        self.period_frames * self.format.bytes_per_frame()
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::BadHwParams`] if the period size or count is
+    /// zero, or fewer than two periods are requested (the ring cannot
+    /// double-buffer otherwise).
+    pub fn validate(&self) -> Result<()> {
+        if self.period_frames == 0 {
+            return Err(KernelError::BadHwParams {
+                reason: "period size must be at least one frame".to_owned(),
+            });
+        }
+        if self.periods < 2 {
+            return Err(KernelError::BadHwParams {
+                reason: format!("at least 2 periods are required, got {}", self.periods),
+            });
+        }
+        if self.format.sample_rate_hz == 0 {
+            return Err(KernelError::BadHwParams {
+                reason: "sample rate must be non-zero".to_owned(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for PcmHwParams {
+    fn default() -> Self {
+        PcmHwParams::voice_default()
+    }
+}
+
+/// State machine of a PCM substream (subset of the ALSA states).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PcmState {
+    /// Opened, no hardware parameters yet.
+    Open,
+    /// Hardware parameters installed.
+    Setup,
+    /// Prepared, ready to start.
+    Prepared,
+    /// Running (DMA active).
+    Running,
+    /// Overrun: the application fell behind by more than the buffer.
+    Xrun,
+}
+
+impl fmt::Display for PcmState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PcmState::Open => "open",
+            PcmState::Setup => "setup",
+            PcmState::Prepared => "prepared",
+            PcmState::Running => "running",
+            PcmState::Xrun => "xrun",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A capture substream: period ring buffer plus state machine.
+#[derive(Debug)]
+pub struct PcmSubstream {
+    params: Option<PcmHwParams>,
+    state: PcmState,
+    ring: VecDeque<i16>,
+    hw_frames_total: u64,
+    appl_frames_total: u64,
+    overruns: u64,
+}
+
+impl PcmSubstream {
+    /// Opens a new substream.
+    pub fn open() -> Self {
+        PcmSubstream {
+            params: None,
+            state: PcmState::Open,
+            ring: VecDeque::new(),
+            hw_frames_total: 0,
+            appl_frames_total: 0,
+            overruns: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> PcmState {
+        self.state
+    }
+
+    /// Installed hardware parameters, if any.
+    pub fn params(&self) -> Option<PcmHwParams> {
+        self.params
+    }
+
+    /// Number of overruns since open.
+    pub fn overruns(&self) -> u64 {
+        self.overruns
+    }
+
+    /// Total frames delivered by the hardware since open.
+    pub fn hw_frames_total(&self) -> u64 {
+        self.hw_frames_total
+    }
+
+    /// Total frames consumed by the application since open.
+    pub fn appl_frames_total(&self) -> u64 {
+        self.appl_frames_total
+    }
+
+    /// Installs hardware parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::BadHwParams`] if the parameters are invalid,
+    /// or [`KernelError::InvalidState`] if the stream is running.
+    pub fn set_hw_params(&mut self, params: PcmHwParams) -> Result<()> {
+        if self.state == PcmState::Running {
+            return Err(KernelError::InvalidState {
+                operation: "set hw params".to_owned(),
+                state: self.state.to_string(),
+            });
+        }
+        params.validate()?;
+        self.params = Some(params);
+        self.ring.clear();
+        self.state = PcmState::Setup;
+        Ok(())
+    }
+
+    /// Prepares the stream for capture.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::InvalidState`] if no parameters are installed.
+    pub fn prepare(&mut self) -> Result<()> {
+        match self.state {
+            PcmState::Setup | PcmState::Prepared | PcmState::Xrun => {
+                self.ring.clear();
+                self.state = PcmState::Prepared;
+                Ok(())
+            }
+            _ => Err(KernelError::InvalidState {
+                operation: "prepare".to_owned(),
+                state: self.state.to_string(),
+            }),
+        }
+    }
+
+    /// Starts capture.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::InvalidState`] unless the stream is prepared.
+    pub fn start(&mut self) -> Result<()> {
+        if self.state != PcmState::Prepared {
+            return Err(KernelError::InvalidState {
+                operation: "start".to_owned(),
+                state: self.state.to_string(),
+            });
+        }
+        self.state = PcmState::Running;
+        Ok(())
+    }
+
+    /// Stops capture (back to the prepared state, keeping buffered data).
+    pub fn stop(&mut self) {
+        if self.state == PcmState::Running || self.state == PcmState::Xrun {
+            self.state = PcmState::Prepared;
+        }
+    }
+
+    /// Delivers samples from the DMA engine into the ring buffer (advances
+    /// the hardware pointer). Samples beyond the buffer capacity trigger an
+    /// overrun: the stream enters [`PcmState::Xrun`] and the excess is
+    /// dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::InvalidState`] if the stream is not running.
+    pub fn dma_deliver(&mut self, samples: &[i16]) -> Result<usize> {
+        if self.state != PcmState::Running {
+            return Err(KernelError::InvalidState {
+                operation: "deliver dma data".to_owned(),
+                state: self.state.to_string(),
+            });
+        }
+        let params = self.params.expect("running stream always has params");
+        let capacity = params.buffer_frames() * params.format.channels as usize;
+        let available = capacity.saturating_sub(self.ring.len());
+        let accepted = samples.len().min(available);
+        self.ring.extend(samples[..accepted].iter().copied());
+        self.hw_frames_total += (accepted / params.format.channels as usize) as u64;
+        if accepted < samples.len() {
+            self.overruns += 1;
+            self.state = PcmState::Xrun;
+        }
+        Ok(accepted)
+    }
+
+    /// Frames currently readable by the application.
+    pub fn frames_available(&self) -> usize {
+        match self.params {
+            Some(p) => self.ring.len() / p.format.channels as usize,
+            None => 0,
+        }
+    }
+
+    /// Whether at least one full period is readable.
+    pub fn period_elapsed(&self) -> bool {
+        match self.params {
+            Some(p) => self.frames_available() >= p.period_frames,
+            None => false,
+        }
+    }
+
+    /// Reads up to one period of audio (advances the application pointer).
+    /// Returns `None` if less than a full period is available.
+    pub fn read_period(&mut self) -> Option<AudioBuffer> {
+        let params = self.params?;
+        if !self.period_elapsed() {
+            return None;
+        }
+        let samples_per_period = params.period_frames * params.format.channels as usize;
+        let samples: Vec<i16> = self.ring.drain(..samples_per_period).collect();
+        self.appl_frames_total += params.period_frames as u64;
+        Some(AudioBuffer::new(params.format, samples))
+    }
+
+    /// Reads everything currently buffered (used when draining at stop).
+    pub fn read_all(&mut self) -> AudioBuffer {
+        match self.params {
+            Some(p) => {
+                let samples: Vec<i16> = self.ring.drain(..).collect();
+                self.appl_frames_total += (samples.len() / p.format.channels as usize) as u64;
+                AudioBuffer::new(p.format, samples)
+            }
+            None => AudioBuffer::silence(AudioFormat::speech_16khz_mono(), 0),
+        }
+    }
+
+    /// Recovers from an overrun by re-preparing the stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::InvalidState`] if the stream is not in XRUN.
+    pub fn recover_from_xrun(&mut self) -> Result<()> {
+        if self.state != PcmState::Xrun {
+            return Err(KernelError::InvalidState {
+                operation: "recover from xrun".to_owned(),
+                state: self.state.to_string(),
+            });
+        }
+        self.prepare()
+    }
+}
+
+impl Default for PcmSubstream {
+    fn default() -> Self {
+        PcmSubstream::open()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn running_stream() -> PcmSubstream {
+        let mut s = PcmSubstream::open();
+        s.set_hw_params(PcmHwParams::voice_default()).unwrap();
+        s.prepare().unwrap();
+        s.start().unwrap();
+        s
+    }
+
+    #[test]
+    fn hw_params_validation() {
+        let mut p = PcmHwParams::voice_default();
+        assert!(p.validate().is_ok());
+        assert_eq!(p.buffer_frames(), 1280);
+        assert_eq!(p.period_bytes(), 320);
+        p.periods = 1;
+        assert!(p.validate().is_err());
+        p = PcmHwParams::voice_default();
+        p.period_frames = 0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn state_machine_happy_path() {
+        let mut s = PcmSubstream::open();
+        assert_eq!(s.state(), PcmState::Open);
+        assert!(s.prepare().is_err());
+        assert!(s.start().is_err());
+        s.set_hw_params(PcmHwParams::voice_default()).unwrap();
+        assert_eq!(s.state(), PcmState::Setup);
+        s.prepare().unwrap();
+        assert_eq!(s.state(), PcmState::Prepared);
+        s.start().unwrap();
+        assert_eq!(s.state(), PcmState::Running);
+        s.stop();
+        assert_eq!(s.state(), PcmState::Prepared);
+    }
+
+    #[test]
+    fn dma_delivery_and_period_reads() {
+        let mut s = running_stream();
+        assert!(s.read_period().is_none());
+        let samples: Vec<i16> = (0..160).map(|i| i as i16).collect();
+        assert_eq!(s.dma_deliver(&samples).unwrap(), 160);
+        assert!(s.period_elapsed());
+        let period = s.read_period().unwrap();
+        assert_eq!(period.frames(), 160);
+        assert_eq!(period.samples()[0], 0);
+        assert_eq!(period.samples()[159], 159);
+        assert_eq!(s.frames_available(), 0);
+        assert_eq!(s.hw_frames_total(), 160);
+        assert_eq!(s.appl_frames_total(), 160);
+    }
+
+    #[test]
+    fn overrun_enters_xrun_and_recovers() {
+        let mut s = running_stream();
+        let capacity = PcmHwParams::voice_default().buffer_frames();
+        // Deliver more than the whole buffer without reading.
+        let too_many: Vec<i16> = vec![1; capacity + 10];
+        let accepted = s.dma_deliver(&too_many).unwrap();
+        assert_eq!(accepted, capacity);
+        assert_eq!(s.state(), PcmState::Xrun);
+        assert_eq!(s.overruns(), 1);
+        assert!(s.dma_deliver(&[1, 2]).is_err());
+        s.recover_from_xrun().unwrap();
+        assert_eq!(s.state(), PcmState::Prepared);
+        assert_eq!(s.frames_available(), 0);
+    }
+
+    #[test]
+    fn cannot_change_params_while_running() {
+        let mut s = running_stream();
+        assert!(s.set_hw_params(PcmHwParams::voice_default()).is_err());
+    }
+
+    #[test]
+    fn read_all_drains_partial_periods() {
+        let mut s = running_stream();
+        s.dma_deliver(&[5i16; 100]).unwrap();
+        assert!(s.read_period().is_none());
+        let all = s.read_all();
+        assert_eq!(all.frames(), 100);
+        assert_eq!(s.frames_available(), 0);
+    }
+}

@@ -1,0 +1,278 @@
+//! Ftrace-like kernel function tracer.
+//!
+//! Plan item 2 of the paper: *"we have implemented a tracing mechanism
+//! within the kernel which permits to identify a minimal set of driver
+//! functionality to be ported to OP-TEE. This tracing mechanism involves
+//! logging of driver function calls when a particular task, e.g., recording
+//! a sound, is being executed."*
+//!
+//! [`FunctionTracer`] is that mechanism. Driver code records every function
+//! entry; a *task label* (set around a high-level operation such as
+//! "record") annotates which task the call belongs to. The resulting
+//! [`TraceLog`] is consumed by `perisec-tcb` to compute the minimal
+//! per-task function set.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use perisec_tz::time::SimInstant;
+
+/// One function-entry event in the trace.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Name of the driver function that ran.
+    pub function: String,
+    /// Task label active when the function ran (empty if tracing happened
+    /// outside any labelled task).
+    pub task: String,
+    /// Virtual time of the event.
+    pub timestamp: SimInstant,
+}
+
+/// An ordered log of trace events.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceLog {
+    events: Vec<TraceEvent>,
+}
+
+impl TraceLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        TraceLog::default()
+    }
+
+    /// All events in chronological order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Distinct task labels present in the log.
+    pub fn tasks(&self) -> BTreeSet<String> {
+        self.events
+            .iter()
+            .filter(|e| !e.task.is_empty())
+            .map(|e| e.task.clone())
+            .collect()
+    }
+
+    /// Distinct functions observed for `task`.
+    pub fn functions_for_task(&self, task: &str) -> BTreeSet<String> {
+        self.events
+            .iter()
+            .filter(|e| e.task == task)
+            .map(|e| e.function.clone())
+            .collect()
+    }
+
+    /// Distinct functions observed across all tasks.
+    pub fn all_functions(&self) -> BTreeSet<String> {
+        self.events.iter().map(|e| e.function.clone()).collect()
+    }
+
+    /// Number of calls of `function` (across tasks).
+    pub fn call_count(&self, function: &str) -> usize {
+        self.events.iter().filter(|e| e.function == function).count()
+    }
+
+    fn push(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// Merges another log into this one, keeping chronological order.
+    pub fn merge(&mut self, other: &TraceLog) {
+        self.events.extend_from_slice(&other.events);
+        self.events.sort_by_key(|e| e.timestamp);
+    }
+}
+
+#[derive(Debug, Default)]
+struct TracerInner {
+    enabled: bool,
+    current_task: String,
+    log: TraceLog,
+}
+
+/// The kernel's function tracer. Cheap to clone (shared state).
+///
+/// ```
+/// use perisec_kernel::trace::FunctionTracer;
+/// use perisec_tz::time::SimInstant;
+///
+/// let tracer = FunctionTracer::new();
+/// tracer.enable();
+/// tracer.begin_task("record");
+/// tracer.record("tegra210_i2s_hw_params", SimInstant::EPOCH);
+/// tracer.end_task();
+/// let log = tracer.log();
+/// assert_eq!(log.functions_for_task("record").len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FunctionTracer {
+    inner: Arc<Mutex<TracerInner>>,
+}
+
+impl FunctionTracer {
+    /// Creates a disabled tracer with an empty log.
+    pub fn new() -> Self {
+        FunctionTracer::default()
+    }
+
+    /// Enables tracing (like `echo 1 > tracing_on`).
+    pub fn enable(&self) {
+        self.inner.lock().enabled = true;
+    }
+
+    /// Disables tracing.
+    pub fn disable(&self) {
+        self.inner.lock().enabled = false;
+    }
+
+    /// Whether tracing is currently enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.lock().enabled
+    }
+
+    /// Starts attributing subsequent events to `task`.
+    pub fn begin_task(&self, task: impl Into<String>) {
+        self.inner.lock().current_task = task.into();
+    }
+
+    /// Stops attributing events to the current task.
+    pub fn end_task(&self) {
+        self.inner.lock().current_task.clear();
+    }
+
+    /// The task currently being attributed, if any.
+    pub fn current_task(&self) -> Option<String> {
+        let inner = self.inner.lock();
+        if inner.current_task.is_empty() {
+            None
+        } else {
+            Some(inner.current_task.clone())
+        }
+    }
+
+    /// Records entry into `function` at `now`. A no-op while disabled.
+    pub fn record(&self, function: &str, now: SimInstant) {
+        let mut inner = self.inner.lock();
+        if !inner.enabled {
+            return;
+        }
+        let task = inner.current_task.clone();
+        inner.log.push(TraceEvent {
+            function: function.to_owned(),
+            task,
+            timestamp: now,
+        });
+    }
+
+    /// Returns a copy of the accumulated log.
+    pub fn log(&self) -> TraceLog {
+        self.inner.lock().log.clone()
+    }
+
+    /// Clears the accumulated log (keeps the enabled state).
+    pub fn clear(&self) {
+        self.inner.lock().log = TraceLog::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perisec_tz::time::SimDuration;
+
+    fn t(ns: u64) -> SimInstant {
+        SimInstant::EPOCH + SimDuration::from_nanos(ns)
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let tracer = FunctionTracer::new();
+        tracer.record("foo", t(0));
+        assert!(tracer.log().is_empty());
+        assert!(!tracer.is_enabled());
+    }
+
+    #[test]
+    fn events_carry_the_active_task() {
+        let tracer = FunctionTracer::new();
+        tracer.enable();
+        tracer.record("probe_fn", t(1));
+        tracer.begin_task("record");
+        tracer.record("hw_params", t(2));
+        tracer.record("trigger_start", t(3));
+        tracer.end_task();
+        tracer.begin_task("playback");
+        tracer.record("trigger_start", t(4));
+        tracer.end_task();
+
+        let log = tracer.log();
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.tasks().len(), 2);
+        assert_eq!(
+            log.functions_for_task("record"),
+            ["hw_params", "trigger_start"].iter().map(|s| s.to_string()).collect()
+        );
+        assert_eq!(log.call_count("trigger_start"), 2);
+        assert!(log.all_functions().contains("probe_fn"));
+    }
+
+    #[test]
+    fn clear_resets_log_but_not_enable_state() {
+        let tracer = FunctionTracer::new();
+        tracer.enable();
+        tracer.record("x", t(0));
+        tracer.clear();
+        assert!(tracer.log().is_empty());
+        assert!(tracer.is_enabled());
+    }
+
+    #[test]
+    fn merge_keeps_chronological_order() {
+        let tracer_a = FunctionTracer::new();
+        tracer_a.enable();
+        tracer_a.record("a1", t(10));
+        tracer_a.record("a2", t(30));
+        let tracer_b = FunctionTracer::new();
+        tracer_b.enable();
+        tracer_b.record("b1", t(20));
+        let mut log = tracer_a.log();
+        log.merge(&tracer_b.log());
+        let names: Vec<_> = log.events().iter().map(|e| e.function.as_str()).collect();
+        assert_eq!(names, vec!["a1", "b1", "a2"]);
+    }
+
+    #[test]
+    fn current_task_is_observable() {
+        let tracer = FunctionTracer::new();
+        assert!(tracer.current_task().is_none());
+        tracer.begin_task("configure");
+        assert_eq!(tracer.current_task().as_deref(), Some("configure"));
+        tracer.end_task();
+        assert!(tracer.current_task().is_none());
+    }
+
+    #[test]
+    fn clones_share_the_log() {
+        let tracer = FunctionTracer::new();
+        tracer.enable();
+        let clone = tracer.clone();
+        clone.begin_task("record");
+        clone.record("shared_fn", t(5));
+        assert_eq!(tracer.log().len(), 1);
+    }
+}

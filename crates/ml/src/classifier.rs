@@ -1,0 +1,436 @@
+//! The sensitive-content classifier: extractor + trained head + metrics.
+
+use serde::{Deserialize, Serialize};
+
+use crate::head::{ClassifierHead, HeadTrainConfig};
+use crate::models::{
+    FeatureExtractor, HybridCnnTransformer, ModelConfig, TextCnn, TransformerEncoder,
+};
+use crate::tensor::Matrix;
+use crate::{MlError, Result};
+
+/// The classifier architectures the paper proposes to compare (§IV.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Architecture {
+    /// Convolutional neural network.
+    Cnn,
+    /// Transformer encoder.
+    Transformer,
+    /// Hybrid: CNN feature extractor, Transformer classifier.
+    Hybrid,
+}
+
+impl Architecture {
+    /// All architectures, in the order the paper lists them.
+    pub const ALL: [Architecture; 3] = [
+        Architecture::Cnn,
+        Architecture::Transformer,
+        Architecture::Hybrid,
+    ];
+}
+
+impl std::fmt::Display for Architecture {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Architecture::Cnn => "cnn",
+            Architecture::Transformer => "transformer",
+            Architecture::Hybrid => "hybrid",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) enum Extractor {
+    Cnn(TextCnn),
+    Transformer(TransformerEncoder),
+    Hybrid(HybridCnnTransformer),
+}
+
+impl Extractor {
+    fn as_dyn(&self) -> &dyn FeatureExtractor {
+        match self {
+            Extractor::Cnn(e) => e,
+            Extractor::Transformer(e) => e,
+            Extractor::Hybrid(e) => e,
+        }
+    }
+}
+
+/// Training configuration for a classifier.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Extractor configuration (vocabulary, widths, seed).
+    pub model: ModelConfig,
+    /// Head training hyper-parameters.
+    pub head: HeadTrainConfig,
+    /// Hidden width of the classification head.
+    pub head_hidden_dim: usize,
+    /// Decision threshold applied to the sensitive probability.
+    pub threshold: f32,
+}
+
+impl TrainConfig {
+    /// A small configuration appropriate for TEE deployment.
+    pub fn small(vocab_size: usize) -> Self {
+        TrainConfig {
+            model: ModelConfig::small(vocab_size),
+            head: HeadTrainConfig::default(),
+            head_hidden_dim: 32,
+            threshold: 0.5,
+        }
+    }
+
+    /// A larger configuration for the memory-pressure sweeps.
+    pub fn large(vocab_size: usize) -> Self {
+        TrainConfig {
+            model: ModelConfig::large(vocab_size),
+            head: HeadTrainConfig::default(),
+            head_hidden_dim: 96,
+            threshold: 0.5,
+        }
+    }
+}
+
+/// Quality metrics of a classifier on a labelled set.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ClassifierMetrics {
+    /// True positives (sensitive classified sensitive).
+    pub true_positives: usize,
+    /// False positives.
+    pub false_positives: usize,
+    /// True negatives.
+    pub true_negatives: usize,
+    /// False negatives (sensitive leaked as non-sensitive).
+    pub false_negatives: usize,
+}
+
+impl ClassifierMetrics {
+    /// Number of evaluated examples.
+    pub fn total(&self) -> usize {
+        self.true_positives + self.false_positives + self.true_negatives + self.false_negatives
+    }
+
+    /// Fraction classified correctly.
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        (self.true_positives + self.true_negatives) as f64 / self.total() as f64
+    }
+
+    /// Precision on the sensitive class.
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            0.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Recall on the sensitive class (1 - leak rate).
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            0.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// F1 score on the sensitive class.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// A trained (or trainable) sensitive-content classifier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensitiveClassifier {
+    architecture: Architecture,
+    extractor: Extractor,
+    head: ClassifierHead,
+    config: TrainConfig,
+}
+
+impl SensitiveClassifier {
+    /// Creates an untrained classifier of the given architecture.
+    pub fn new(architecture: Architecture, config: TrainConfig) -> Self {
+        let extractor = match architecture {
+            Architecture::Cnn => Extractor::Cnn(TextCnn::new(config.model)),
+            Architecture::Transformer => {
+                Extractor::Transformer(TransformerEncoder::new(config.model))
+            }
+            Architecture::Hybrid => Extractor::Hybrid(HybridCnnTransformer::new(config.model)),
+        };
+        let head = ClassifierHead::new(
+            extractor.as_dyn().feature_dim(),
+            config.head_hidden_dim,
+            config.model.seed + 1000,
+        );
+        SensitiveClassifier {
+            architecture,
+            extractor,
+            head,
+            config,
+        }
+    }
+
+    /// The classifier's architecture.
+    pub fn architecture(&self) -> Architecture {
+        self.architecture
+    }
+
+    /// The training configuration it was built with.
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    /// Whether [`SensitiveClassifier::fit`] has been called.
+    pub fn is_trained(&self) -> bool {
+        self.head.is_trained()
+    }
+
+    /// Extracts the feature vector for a token sequence.
+    ///
+    /// # Errors
+    ///
+    /// Propagates extractor shape errors (which indicate construction bugs,
+    /// not bad input).
+    pub fn features(&self, tokens: &[usize]) -> Result<Matrix> {
+        self.extractor.as_dyn().extract(tokens)
+    }
+
+    /// Trains the classification head on labelled token sequences.
+    /// Returns the final-epoch training loss.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::BadTrainingData`] for an empty corpus.
+    pub fn fit(&mut self, examples: &[(Vec<usize>, bool)]) -> Result<f32> {
+        if examples.is_empty() {
+            return Err(MlError::BadTrainingData {
+                reason: "empty training corpus".to_owned(),
+            });
+        }
+        let mut features = Vec::with_capacity(examples.len());
+        let mut labels = Vec::with_capacity(examples.len());
+        for (tokens, label) in examples {
+            features.push(self.features(tokens)?);
+            labels.push(*label);
+        }
+        self.head.train(&features, &labels, &self.config.head)
+    }
+
+    /// Probability that the token sequence is sensitive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::NotTrained`] before [`SensitiveClassifier::fit`].
+    pub fn predict(&self, tokens: &[usize]) -> Result<f32> {
+        if !self.is_trained() {
+            return Err(MlError::NotTrained);
+        }
+        let features = self.features(tokens)?;
+        self.head.predict(&features)
+    }
+
+    /// Binary decision using the configured threshold.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SensitiveClassifier::predict`].
+    pub fn is_sensitive(&self, tokens: &[usize]) -> Result<bool> {
+        Ok(self.predict(tokens)? >= self.config.threshold)
+    }
+
+    /// Evaluates the classifier on a labelled set.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SensitiveClassifier::predict`].
+    pub fn evaluate(&self, examples: &[(Vec<usize>, bool)]) -> Result<ClassifierMetrics> {
+        let mut metrics = ClassifierMetrics::default();
+        for (tokens, label) in examples {
+            let predicted = self.is_sensitive(tokens)?;
+            match (predicted, *label) {
+                (true, true) => metrics.true_positives += 1,
+                (true, false) => metrics.false_positives += 1,
+                (false, false) => metrics.true_negatives += 1,
+                (false, true) => metrics.false_negatives += 1,
+            }
+        }
+        Ok(metrics)
+    }
+
+    /// Total parameter count (extractor + head).
+    pub fn parameter_count(&self) -> usize {
+        self.extractor.as_dyn().parameter_count() + self.head.parameter_count()
+    }
+
+    /// Memory footprint in bytes at 32-bit precision.
+    pub fn memory_bytes_f32(&self) -> usize {
+        self.parameter_count() * 4
+    }
+
+    /// Approximate multiply-accumulate count of one inference over `len`
+    /// tokens.
+    pub fn flops_per_inference(&self, len: usize) -> u64 {
+        self.extractor.as_dyn().flops(len) + self.head.flops()
+    }
+
+    /// Mutable access for weight rewriting (used by quantization).
+    pub(crate) fn parts_mut(&mut self) -> (&mut Extractor, &mut ClassifierHead) {
+        (&mut self.extractor, &mut self.head)
+    }
+}
+
+pub(crate) use private::visit_matrices;
+
+mod private {
+    use super::Extractor;
+    use crate::head::ClassifierHead;
+    use crate::tensor::Matrix;
+
+    /// Applies `f` to every weight matrix of the classifier (extractor and
+    /// head). Used by fake quantization.
+    pub(crate) fn visit_matrices(
+        extractor: &mut Extractor,
+        head: &mut ClassifierHead,
+        f: &mut dyn FnMut(&mut Matrix),
+    ) {
+        match extractor {
+            Extractor::Cnn(cnn) => {
+                f(cnn.embedding_mut().table_mut());
+                for conv in cnn.convs_mut() {
+                    f(&mut conv.filters);
+                }
+            }
+            Extractor::Transformer(t) => {
+                f(t.embedding_mut().table_mut());
+                f(&mut t.input_proj_mut().weights);
+                for attn in t.attention_mut() {
+                    f(&mut attn.wq.weights);
+                    f(&mut attn.wk.weights);
+                    f(&mut attn.wv.weights);
+                    f(&mut attn.wo.weights);
+                }
+                for ffn in t.ffn_mut() {
+                    f(&mut ffn.weights);
+                }
+            }
+            Extractor::Hybrid(h) => {
+                f(h.embedding_mut().table_mut());
+                f(&mut h.conv_mut().filters);
+                let attn = h.attention_mut();
+                f(&mut attn.wq.weights);
+                f(&mut attn.wk.weights);
+                f(&mut attn.wv.weights);
+                f(&mut attn.wo.weights);
+            }
+        }
+        let (hidden, output) = head.layers_mut();
+        f(&mut hidden.weights);
+        f(&mut output.weights);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic token corpus in which sensitivity is determined by the
+    /// presence of "sensitive" token ids (0..8) — a miniature of the real
+    /// corpus in `perisec-workload`.
+    fn token_corpus(n: usize, seed: u64) -> Vec<(Vec<usize>, bool)> {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let len = rng.gen_range(4..12);
+                let sensitive = rng.gen_bool(0.5);
+                let tokens: Vec<usize> = (0..len)
+                    .map(|_| {
+                        if sensitive && rng.gen_bool(0.4) {
+                            rng.gen_range(0..8)
+                        } else {
+                            rng.gen_range(8..64)
+                        }
+                    })
+                    .collect();
+                // Guarantee at least one sensitive token in sensitive examples.
+                let mut tokens = tokens;
+                if sensitive {
+                    tokens[0] = rng.gen_range(0..8);
+                }
+                (tokens, sensitive)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn untrained_classifier_refuses_to_predict() {
+        let c = SensitiveClassifier::new(Architecture::Cnn, TrainConfig::small(64));
+        assert!(matches!(c.predict(&[1, 2, 3]), Err(MlError::NotTrained)));
+        assert!(!c.is_trained());
+    }
+
+    #[test]
+    fn all_architectures_learn_the_synthetic_task() {
+        let train = token_corpus(240, 1);
+        let test = token_corpus(80, 2);
+        for arch in Architecture::ALL {
+            let mut c = SensitiveClassifier::new(arch, TrainConfig::small(64));
+            c.fit(&train).unwrap();
+            let metrics = c.evaluate(&test).unwrap();
+            assert!(
+                metrics.accuracy() > 0.75,
+                "{arch} accuracy too low: {:.2}",
+                metrics.accuracy()
+            );
+            assert_eq!(metrics.total(), 80);
+        }
+    }
+
+    #[test]
+    fn metrics_formulas_are_consistent() {
+        let m = ClassifierMetrics {
+            true_positives: 40,
+            false_positives: 10,
+            true_negatives: 45,
+            false_negatives: 5,
+        };
+        assert_eq!(m.total(), 100);
+        assert!((m.accuracy() - 0.85).abs() < 1e-9);
+        assert!((m.precision() - 0.8).abs() < 1e-9);
+        assert!((m.recall() - 8.0 / 9.0).abs() < 1e-9);
+        assert!(m.f1() > 0.8 && m.f1() < 0.9);
+        assert_eq!(ClassifierMetrics::default().accuracy(), 0.0);
+        assert_eq!(ClassifierMetrics::default().f1(), 0.0);
+    }
+
+    #[test]
+    fn footprints_differ_by_architecture_and_size() {
+        let cnn = SensitiveClassifier::new(Architecture::Cnn, TrainConfig::small(64));
+        let transformer = SensitiveClassifier::new(Architecture::Transformer, TrainConfig::small(64));
+        let transformer_large =
+            SensitiveClassifier::new(Architecture::Transformer, TrainConfig::large(64));
+        assert!(transformer.parameter_count() > cnn.parameter_count());
+        assert!(transformer_large.memory_bytes_f32() > transformer.memory_bytes_f32());
+        assert!(transformer.flops_per_inference(12) > cnn.flops_per_inference(12));
+    }
+
+    #[test]
+    fn empty_corpus_is_rejected() {
+        let mut c = SensitiveClassifier::new(Architecture::Hybrid, TrainConfig::small(64));
+        assert!(matches!(c.fit(&[]), Err(MlError::BadTrainingData { .. })));
+    }
+}

@@ -1,0 +1,297 @@
+//! The trainable classification head.
+//!
+//! A two-layer perceptron (dense → ReLU → dense → sigmoid) trained with
+//! Adam on binary cross-entropy. The feature extractors in
+//! [`crate::models`] are fixed; this head is what "training" means for the
+//! repository's classifiers (see the crate documentation for the
+//! pre-training substitution rationale).
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::layers::{dense_backward, relu, relu_grad, sigmoid, Dense};
+use crate::tensor::Matrix;
+use crate::{MlError, Result};
+
+/// Hyper-parameters for head training.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HeadTrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Shuffling / init seed.
+    pub seed: u64,
+}
+
+impl Default for HeadTrainConfig {
+    fn default() -> Self {
+        HeadTrainConfig {
+            epochs: 40,
+            batch_size: 16,
+            learning_rate: 3e-3,
+            seed: 17,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct AdamState {
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: u64,
+}
+
+impl AdamState {
+    fn new(len: usize) -> Self {
+        AdamState {
+            m: vec![0.0; len],
+            v: vec![0.0; len],
+            t: 0,
+        }
+    }
+
+    fn step(&mut self, params: &mut [f32], grads: &[f32], lr: f32) {
+        const BETA1: f32 = 0.9;
+        const BETA2: f32 = 0.999;
+        const EPS: f32 = 1e-8;
+        self.t += 1;
+        let t = self.t as f32;
+        for i in 0..params.len() {
+            self.m[i] = BETA1 * self.m[i] + (1.0 - BETA1) * grads[i];
+            self.v[i] = BETA2 * self.v[i] + (1.0 - BETA2) * grads[i] * grads[i];
+            let m_hat = self.m[i] / (1.0 - BETA1.powf(t));
+            let v_hat = self.v[i] / (1.0 - BETA2.powf(t));
+            params[i] -= lr * m_hat / (v_hat.sqrt() + EPS);
+        }
+    }
+}
+
+/// The binary classification head.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassifierHead {
+    hidden: Dense,
+    output: Dense,
+    adam_hidden_w: AdamState,
+    adam_hidden_b: AdamState,
+    adam_output_w: AdamState,
+    adam_output_b: AdamState,
+    trained: bool,
+}
+
+impl ClassifierHead {
+    /// Creates an untrained head for `feature_dim` inputs with
+    /// `hidden_dim` hidden units.
+    pub fn new(feature_dim: usize, hidden_dim: usize, seed: u64) -> Self {
+        let hidden = Dense::new(feature_dim, hidden_dim, seed);
+        let output = Dense::new(hidden_dim, 1, seed + 1);
+        let adam_hidden_w = AdamState::new(hidden.weights.len());
+        let adam_hidden_b = AdamState::new(hidden.bias.len());
+        let adam_output_w = AdamState::new(output.weights.len());
+        let adam_output_b = AdamState::new(output.bias.len());
+        ClassifierHead {
+            hidden,
+            output,
+            adam_hidden_w,
+            adam_hidden_b,
+            adam_output_w,
+            adam_output_b,
+            trained: false,
+        }
+    }
+
+    /// Whether the head has been trained.
+    pub fn is_trained(&self) -> bool {
+        self.trained
+    }
+
+    /// Number of parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.hidden.parameter_count() + self.output.parameter_count()
+    }
+
+    /// Multiply-accumulate count of one prediction.
+    pub fn flops(&self) -> u64 {
+        self.hidden.flops(1) + self.output.flops(1)
+    }
+
+    /// Probability that the feature vector is "sensitive".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::ShapeMismatch`] if `features` is not
+    /// `1 x feature_dim`.
+    pub fn predict(&self, features: &Matrix) -> Result<f32> {
+        let h = self.hidden.forward(features)?.map(relu);
+        let o = self.output.forward(&h)?;
+        Ok(sigmoid(o.get(0, 0)))
+    }
+
+    /// Trains the head on `(feature, label)` pairs. Returns the mean loss
+    /// of the final epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::BadTrainingData`] if the dataset is empty or has
+    /// inconsistent widths.
+    pub fn train(
+        &mut self,
+        features: &[Matrix],
+        labels: &[bool],
+        config: &HeadTrainConfig,
+    ) -> Result<f32> {
+        if features.is_empty() || features.len() != labels.len() {
+            return Err(MlError::BadTrainingData {
+                reason: format!(
+                    "{} feature rows vs {} labels",
+                    features.len(),
+                    labels.len()
+                ),
+            });
+        }
+        let width = self.hidden.input_dim();
+        if features.iter().any(|f| f.cols() != width || f.rows() != 1) {
+            return Err(MlError::BadTrainingData {
+                reason: format!("all feature vectors must be 1x{width}"),
+            });
+        }
+        let mut order: Vec<usize> = (0..features.len()).collect();
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let mut final_loss = 0.0;
+        for _epoch in 0..config.epochs {
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0;
+            for batch in order.chunks(config.batch_size.max(1)) {
+                // Assemble the batch.
+                let mut x = Matrix::zeros(batch.len(), width);
+                let mut y = vec![0.0f32; batch.len()];
+                for (i, &idx) in batch.iter().enumerate() {
+                    x.row_mut(i).copy_from_slice(features[idx].row(0));
+                    y[i] = if labels[idx] { 1.0 } else { 0.0 };
+                }
+                // Forward.
+                let h_pre = self.hidden.forward(&x)?;
+                let h = h_pre.map(relu);
+                let o = self.output.forward(&h)?;
+                let p: Vec<f32> = o.data().iter().map(|&v| sigmoid(v)).collect();
+                // Binary cross-entropy loss and gradient d(loss)/d(logit) = p - y.
+                let mut d_logit = Matrix::zeros(batch.len(), 1);
+                for i in 0..batch.len() {
+                    let pi = p[i].clamp(1e-6, 1.0 - 1e-6);
+                    epoch_loss += -(y[i] * pi.ln() + (1.0 - y[i]) * (1.0 - pi).ln());
+                    d_logit.set(i, 0, (p[i] - y[i]) / batch.len() as f32);
+                }
+                // Backward through output layer.
+                let out_grad = dense_backward(&self.output, &h, &d_logit)?;
+                // Backward through ReLU and hidden layer.
+                let mut d_hidden = out_grad.d_input.clone();
+                for r in 0..d_hidden.rows() {
+                    for c in 0..d_hidden.cols() {
+                        let g = d_hidden.get(r, c) * relu_grad(h_pre.get(r, c));
+                        d_hidden.set(r, c, g);
+                    }
+                }
+                let hidden_grad = dense_backward(&self.hidden, &x, &d_hidden)?;
+                // Adam updates.
+                self.adam_output_w.step(
+                    self.output.weights.data_mut(),
+                    out_grad.d_weights.data(),
+                    config.learning_rate,
+                );
+                self.adam_output_b
+                    .step(&mut self.output.bias, &out_grad.d_bias, config.learning_rate);
+                self.adam_hidden_w.step(
+                    self.hidden.weights.data_mut(),
+                    hidden_grad.d_weights.data(),
+                    config.learning_rate,
+                );
+                self.adam_hidden_b
+                    .step(&mut self.hidden.bias, &hidden_grad.d_bias, config.learning_rate);
+            }
+            final_loss = epoch_loss / features.len() as f32;
+        }
+        self.trained = true;
+        Ok(final_loss)
+    }
+
+    /// The two dense layers (used by quantization).
+    pub fn layers(&self) -> (&Dense, &Dense) {
+        (&self.hidden, &self.output)
+    }
+
+    /// Mutable access to the two dense layers (used by quantization).
+    pub(crate) fn layers_mut(&mut self) -> (&mut Dense, &mut Dense) {
+        (&mut self.hidden, &mut self.output)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A linearly separable toy problem: label = (sum of features > 0).
+    fn toy_dataset(n: usize, dim: usize, seed: u64) -> (Vec<Matrix>, Vec<bool>) {
+        let mut features = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let m = Matrix::random(1, dim, 1.0, seed + i as u64);
+            let sum: f32 = m.data().iter().sum();
+            labels.push(sum > 0.0);
+            features.push(m);
+        }
+        (features, labels)
+    }
+
+    #[test]
+    fn head_learns_a_separable_problem() {
+        let (features, labels) = toy_dataset(200, 8, 100);
+        let mut head = ClassifierHead::new(8, 16, 1);
+        assert!(!head.is_trained());
+        let loss = head
+            .train(&features, &labels, &HeadTrainConfig { epochs: 60, ..Default::default() })
+            .unwrap();
+        assert!(head.is_trained());
+        assert!(loss < 0.3, "final loss too high: {loss}");
+        let correct = features
+            .iter()
+            .zip(labels.iter())
+            .filter(|(f, &l)| (head.predict(f).unwrap() > 0.5) == l)
+            .count();
+        assert!(
+            correct as f64 / features.len() as f64 > 0.9,
+            "training accuracy {correct}/{}",
+            features.len()
+        );
+    }
+
+    #[test]
+    fn training_rejects_bad_data() {
+        let mut head = ClassifierHead::new(4, 8, 2);
+        assert!(matches!(
+            head.train(&[], &[], &HeadTrainConfig::default()),
+            Err(MlError::BadTrainingData { .. })
+        ));
+        let features = vec![Matrix::zeros(1, 4)];
+        assert!(head.train(&features, &[true, false], &HeadTrainConfig::default()).is_err());
+        let wrong_width = vec![Matrix::zeros(1, 5)];
+        assert!(head.train(&wrong_width, &[true], &HeadTrainConfig::default()).is_err());
+    }
+
+    #[test]
+    fn prediction_shape_is_validated() {
+        let head = ClassifierHead::new(4, 8, 3);
+        assert!(head.predict(&Matrix::zeros(1, 4)).is_ok());
+        assert!(head.predict(&Matrix::zeros(1, 5)).is_err());
+    }
+
+    #[test]
+    fn footprint_accessors() {
+        let head = ClassifierHead::new(16, 32, 4);
+        assert_eq!(head.parameter_count(), 16 * 32 + 32 + 32 + 1);
+        assert!(head.flops() > 0);
+    }
+}

@@ -1,0 +1,338 @@
+//! Audio feature extraction: framing, FFT, mel filterbank, MFCC.
+//!
+//! The keyword speech-to-text model ([`crate::stt`]) operates on
+//! mel-frequency cepstral coefficients, the standard front-end of small
+//! speech recognizers. Everything — including the radix-2 FFT — is
+//! implemented here.
+
+use serde::{Deserialize, Serialize};
+
+use crate::tensor::Matrix;
+
+/// Configuration of the MFCC front-end.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MfccConfig {
+    /// Sample rate of the input audio.
+    pub sample_rate_hz: u32,
+    /// Analysis frame length in samples (must be a power of two).
+    pub frame_len: usize,
+    /// Hop between frames in samples.
+    pub hop_len: usize,
+    /// Number of mel filterbank channels.
+    pub n_mels: usize,
+    /// Number of cepstral coefficients to keep.
+    pub n_coeffs: usize,
+}
+
+impl MfccConfig {
+    /// Standard 16 kHz speech configuration: 32 ms frames, 16 ms hop,
+    /// 20 mel channels, 13 coefficients.
+    pub fn speech_16khz() -> Self {
+        MfccConfig {
+            sample_rate_hz: 16_000,
+            frame_len: 512,
+            hop_len: 256,
+            n_mels: 20,
+            n_coeffs: 13,
+        }
+    }
+}
+
+impl Default for MfccConfig {
+    fn default() -> Self {
+        MfccConfig::speech_16khz()
+    }
+}
+
+/// In-place iterative radix-2 FFT over interleaved (re, im) pairs.
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two (guarded by the extractor).
+fn fft_radix2(re: &mut [f64], im: &mut [f64]) {
+    let n = re.len();
+    assert!(n.is_power_of_two(), "fft length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let angle = -2.0 * std::f64::consts::PI / len as f64;
+        let (w_re, w_im) = (angle.cos(), angle.sin());
+        let mut i = 0;
+        while i < n {
+            let (mut cur_re, mut cur_im) = (1.0f64, 0.0f64);
+            for k in 0..len / 2 {
+                let even_re = re[i + k];
+                let even_im = im[i + k];
+                let odd_re = re[i + k + len / 2] * cur_re - im[i + k + len / 2] * cur_im;
+                let odd_im = re[i + k + len / 2] * cur_im + im[i + k + len / 2] * cur_re;
+                re[i + k] = even_re + odd_re;
+                im[i + k] = even_im + odd_im;
+                re[i + k + len / 2] = even_re - odd_re;
+                im[i + k + len / 2] = even_im - odd_im;
+                let next_re = cur_re * w_re - cur_im * w_im;
+                cur_im = cur_re * w_im + cur_im * w_re;
+                cur_re = next_re;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+fn hz_to_mel(hz: f64) -> f64 {
+    2595.0 * (1.0 + hz / 700.0).log10()
+}
+
+fn mel_to_hz(mel: f64) -> f64 {
+    700.0 * (10f64.powf(mel / 2595.0) - 1.0)
+}
+
+/// The MFCC front-end.
+#[derive(Debug, Clone)]
+pub struct MfccExtractor {
+    config: MfccConfig,
+    window: Vec<f64>,
+    filterbank: Vec<Vec<(usize, f64)>>,
+}
+
+impl MfccExtractor {
+    /// Builds the extractor (precomputes the Hamming window and the mel
+    /// filterbank).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame_len` is not a power of two or `hop_len` is zero.
+    pub fn new(config: MfccConfig) -> Self {
+        assert!(config.frame_len.is_power_of_two(), "frame_len must be a power of two");
+        assert!(config.hop_len > 0, "hop_len must be non-zero");
+        let window: Vec<f64> = (0..config.frame_len)
+            .map(|i| {
+                0.54 - 0.46 * (2.0 * std::f64::consts::PI * i as f64 / (config.frame_len - 1) as f64).cos()
+            })
+            .collect();
+        // Triangular mel filters over the FFT bins.
+        let n_bins = config.frame_len / 2;
+        let f_max = config.sample_rate_hz as f64 / 2.0;
+        let mel_max = hz_to_mel(f_max);
+        let mel_points: Vec<f64> = (0..config.n_mels + 2)
+            .map(|i| mel_to_hz(mel_max * i as f64 / (config.n_mels + 1) as f64))
+            .collect();
+        let bin_of = |hz: f64| -> usize {
+            ((hz / f_max) * (n_bins as f64 - 1.0)).round() as usize
+        };
+        let mut filterbank = Vec::with_capacity(config.n_mels);
+        for m in 1..=config.n_mels {
+            let left = bin_of(mel_points[m - 1]);
+            let centre = bin_of(mel_points[m]).max(left + 1);
+            let right = bin_of(mel_points[m + 1]).max(centre + 1).min(n_bins - 1).max(centre + 1);
+            let mut taps = Vec::new();
+            for b in left..=right.min(n_bins - 1) {
+                let w = if b <= centre {
+                    (b - left) as f64 / (centre - left) as f64
+                } else {
+                    (right - b) as f64 / (right - centre) as f64
+                };
+                if w > 0.0 {
+                    taps.push((b, w));
+                }
+            }
+            filterbank.push(taps);
+        }
+        MfccExtractor {
+            config,
+            window,
+            filterbank,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> MfccConfig {
+        self.config
+    }
+
+    /// Number of frames that `samples.len()` samples produce.
+    pub fn frame_count(&self, samples: usize) -> usize {
+        if samples < self.config.frame_len {
+            0
+        } else {
+            (samples - self.config.frame_len) / self.config.hop_len + 1
+        }
+    }
+
+    /// Per-frame RMS energy (used for voice-activity segmentation).
+    pub fn frame_energies(&self, samples: &[i16]) -> Vec<f64> {
+        let frames = self.frame_count(samples.len());
+        (0..frames)
+            .map(|f| {
+                let start = f * self.config.hop_len;
+                let frame = &samples[start..start + self.config.frame_len];
+                let sum_sq: f64 = frame
+                    .iter()
+                    .map(|&s| {
+                        let v = s as f64 / i16::MAX as f64;
+                        v * v
+                    })
+                    .sum();
+                (sum_sq / frame.len() as f64).sqrt()
+            })
+            .collect()
+    }
+
+    /// Extracts MFCC features: one row per frame, `n_coeffs` columns.
+    /// Returns an empty (0-row) matrix for audio shorter than one frame.
+    pub fn extract(&self, samples: &[i16]) -> Matrix {
+        let frames = self.frame_count(samples.len());
+        let mut out = Matrix::zeros(frames, self.config.n_coeffs);
+        let n_bins = self.config.frame_len / 2;
+        for f in 0..frames {
+            let start = f * self.config.hop_len;
+            let frame = &samples[start..start + self.config.frame_len];
+            // Window + FFT.
+            let mut re: Vec<f64> = frame
+                .iter()
+                .zip(self.window.iter())
+                .map(|(&s, &w)| s as f64 / i16::MAX as f64 * w)
+                .collect();
+            let mut im = vec![0.0f64; self.config.frame_len];
+            fft_radix2(&mut re, &mut im);
+            // Power spectrum (first half).
+            let power: Vec<f64> = (0..n_bins)
+                .map(|b| re[b] * re[b] + im[b] * im[b])
+                .collect();
+            // Mel filterbank energies, log compressed.
+            let log_mel: Vec<f64> = self
+                .filterbank
+                .iter()
+                .map(|taps| {
+                    let e: f64 = taps.iter().map(|&(b, w)| power[b] * w).sum();
+                    (e + 1e-10).ln()
+                })
+                .collect();
+            // DCT-II to cepstral coefficients.
+            for c in 0..self.config.n_coeffs {
+                let mut acc = 0.0;
+                for (m, &lm) in log_mel.iter().enumerate() {
+                    acc += lm
+                        * (std::f64::consts::PI * c as f64 * (m as f64 + 0.5)
+                            / self.config.n_mels as f64)
+                            .cos();
+                }
+                out.set(f, c, acc as f32);
+            }
+        }
+        out
+    }
+
+    /// Mean MFCC vector over all frames (zero vector if no frames).
+    pub fn mean_vector(&self, samples: &[i16]) -> Vec<f32> {
+        let features = self.extract(samples);
+        if features.rows() == 0 {
+            return vec![0.0; self.config.n_coeffs];
+        }
+        features.mean_rows().data().to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(freq: f64, len: usize, rate: f64, amplitude: f64) -> Vec<i16> {
+        (0..len)
+            .map(|i| {
+                ((2.0 * std::f64::consts::PI * freq * i as f64 / rate).sin() * amplitude
+                    * i16::MAX as f64) as i16
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fft_of_pure_tone_peaks_at_the_right_bin() {
+        let n = 512usize;
+        let rate = 16_000.0;
+        let freq = 1_000.0;
+        let samples = tone(freq, n, rate, 0.9);
+        let mut re: Vec<f64> = samples.iter().map(|&s| s as f64 / i16::MAX as f64).collect();
+        let mut im = vec![0.0; n];
+        fft_radix2(&mut re, &mut im);
+        let mags: Vec<f64> = (0..n / 2).map(|i| (re[i] * re[i] + im[i] * im[i]).sqrt()).collect();
+        let peak_bin = mags
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        let expected_bin = (freq / rate * n as f64).round() as usize;
+        assert!(
+            (peak_bin as i64 - expected_bin as i64).abs() <= 1,
+            "peak at bin {peak_bin}, expected {expected_bin}"
+        );
+    }
+
+    #[test]
+    fn frame_count_and_short_audio() {
+        let ex = MfccExtractor::new(MfccConfig::speech_16khz());
+        assert_eq!(ex.frame_count(100), 0);
+        assert_eq!(ex.frame_count(512), 1);
+        assert_eq!(ex.frame_count(512 + 256), 2);
+        assert_eq!(ex.extract(&[0i16; 100]).rows(), 0);
+        assert_eq!(ex.mean_vector(&[0i16; 100]).len(), 13);
+    }
+
+    #[test]
+    fn different_tones_have_different_mfcc_signatures() {
+        let ex = MfccExtractor::new(MfccConfig::speech_16khz());
+        let low = ex.mean_vector(&tone(300.0, 4_096, 16_000.0, 0.7));
+        let high = ex.mean_vector(&tone(3_000.0, 4_096, 16_000.0, 0.7));
+        let same_low = ex.mean_vector(&tone(300.0, 4_096, 16_000.0, 0.7));
+        let dist = |a: &[f32], b: &[f32]| -> f32 {
+            a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt()
+        };
+        assert!(dist(&low, &high) > 5.0 * dist(&low, &same_low).max(1e-3));
+    }
+
+    #[test]
+    fn energies_reflect_amplitude() {
+        let ex = MfccExtractor::new(MfccConfig::speech_16khz());
+        let loud = tone(500.0, 2_048, 16_000.0, 0.8);
+        let soft = tone(500.0, 2_048, 16_000.0, 0.05);
+        let quiet = vec![0i16; 2_048];
+        let e_loud: f64 = ex.frame_energies(&loud).iter().sum();
+        let e_soft: f64 = ex.frame_energies(&soft).iter().sum();
+        let e_quiet: f64 = ex.frame_energies(&quiet).iter().sum();
+        assert!(e_loud > e_soft);
+        assert!(e_soft > e_quiet);
+        assert!(e_quiet < 1e-9);
+    }
+
+    #[test]
+    fn mfcc_is_amplitude_robust_but_frequency_sensitive() {
+        // The log compression makes MFCC far more sensitive to spectral
+        // shape than to level, which is what the template matcher needs.
+        let ex = MfccExtractor::new(MfccConfig::speech_16khz());
+        let ref_tone = ex.mean_vector(&tone(800.0, 4_096, 16_000.0, 0.8));
+        let quieter = ex.mean_vector(&tone(800.0, 4_096, 16_000.0, 0.4));
+        let other = ex.mean_vector(&tone(2_400.0, 4_096, 16_000.0, 0.8));
+        let dist = |a: &[f32], b: &[f32]| -> f32 {
+            a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt()
+        };
+        assert!(dist(&ref_tone, &quieter) < dist(&ref_tone, &other));
+    }
+}

@@ -1,0 +1,190 @@
+//! Post-training 8-bit quantization.
+//!
+//! The paper's §V mitigation for tight TEE memory is "smaller ML models".
+//! This module implements the standard way to get there without retraining:
+//! symmetric per-tensor int8 quantization of every weight matrix. The
+//! quantized classifier keeps the same structure but stores weights in one
+//! byte instead of four, at a small accuracy cost that experiment E5
+//! quantifies.
+
+use serde::{Deserialize, Serialize};
+
+use crate::classifier::{visit_matrices, SensitiveClassifier};
+use crate::tensor::Matrix;
+
+/// A symmetric per-tensor int8 quantization of a weight matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedMatrix {
+    rows: usize,
+    cols: usize,
+    scale: f32,
+    values: Vec<i8>,
+}
+
+impl QuantizedMatrix {
+    /// Quantizes a matrix: `q = round(x / scale)` with
+    /// `scale = max|x| / 127`.
+    pub fn quantize(m: &Matrix) -> Self {
+        let max_abs = m.data().iter().fold(0f32, |acc, v| acc.max(v.abs()));
+        let scale = if max_abs == 0.0 { 1.0 } else { max_abs / 127.0 };
+        let values = m
+            .data()
+            .iter()
+            .map(|&v| (v / scale).round().clamp(-127.0, 127.0) as i8)
+            .collect();
+        QuantizedMatrix {
+            rows: m.rows(),
+            cols: m.cols(),
+            scale,
+            values,
+        }
+    }
+
+    /// Reconstructs the (lossy) f32 matrix.
+    pub fn dequantize(&self) -> Matrix {
+        let data = self.values.iter().map(|&q| q as f32 * self.scale).collect();
+        Matrix::from_vec(self.rows, self.cols, data).expect("shape preserved by construction")
+    }
+
+    /// Storage size in bytes (int8 values + the scale).
+    pub fn storage_bytes(&self) -> usize {
+        self.values.len() + 4
+    }
+
+    /// Number of quantized values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the matrix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// Report of a whole-model quantization.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuantReport {
+    /// Parameters quantized.
+    pub quantized_parameters: usize,
+    /// Model bytes before quantization (all parameters at f32).
+    pub f32_bytes: usize,
+    /// Model bytes after quantization (weights at int8, biases kept f32).
+    pub int8_bytes: usize,
+    /// Largest absolute reconstruction error over all weights.
+    pub max_abs_error: f32,
+}
+
+impl QuantReport {
+    /// Compression ratio (f32 size over int8 size).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.int8_bytes == 0 {
+            return 0.0;
+        }
+        self.f32_bytes as f64 / self.int8_bytes as f64
+    }
+}
+
+/// Applies fake quantization to a trained classifier: every weight matrix
+/// is quantized to int8 and dequantized back in place, so subsequent
+/// predictions reflect the quantized weights. Returns the classifier plus a
+/// report of the size reduction.
+///
+/// ("Fake quantization" is the standard methodology for evaluating
+/// post-training quantization accuracy: the arithmetic stays f32 but the
+/// values are exactly those an int8 deployment would use.)
+pub fn quantize_classifier(mut classifier: SensitiveClassifier) -> (SensitiveClassifier, QuantReport) {
+    let total_params = classifier.parameter_count();
+    let f32_bytes = classifier.memory_bytes_f32();
+    let mut quantized_parameters = 0usize;
+    let mut weight_bytes_int8 = 0usize;
+    let mut weight_bytes_f32 = 0usize;
+    let mut max_abs_error = 0f32;
+    {
+        let (extractor, head) = classifier.parts_mut();
+        visit_matrices(extractor, head, &mut |m: &mut Matrix| {
+            let q = QuantizedMatrix::quantize(m);
+            let restored = q.dequantize();
+            for (a, b) in m.data().iter().zip(restored.data().iter()) {
+                max_abs_error = max_abs_error.max((a - b).abs());
+            }
+            quantized_parameters += m.len();
+            weight_bytes_int8 += q.storage_bytes();
+            weight_bytes_f32 += m.len() * 4;
+            *m = restored;
+        });
+    }
+    // Parameters that were not quantized (biases, layer norms) stay at f32.
+    let residual_f32 = (total_params - quantized_parameters) * 4;
+    let report = QuantReport {
+        quantized_parameters,
+        f32_bytes,
+        int8_bytes: weight_bytes_int8 + residual_f32,
+        max_abs_error,
+    };
+    (classifier, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::{Architecture, TrainConfig};
+
+    #[test]
+    fn quantize_dequantize_error_is_bounded_by_scale() {
+        let m = Matrix::random(16, 16, 2.0, 3);
+        let q = QuantizedMatrix::quantize(&m);
+        let r = q.dequantize();
+        let max_abs = m.data().iter().fold(0f32, |a, v| a.max(v.abs()));
+        let bound = max_abs / 127.0 * 0.5 + 1e-6;
+        for (a, b) in m.data().iter().zip(r.data().iter()) {
+            assert!((a - b).abs() <= bound, "error {} exceeds bound {}", (a - b).abs(), bound);
+        }
+        assert_eq!(q.len(), 256);
+        assert_eq!(q.storage_bytes(), 256 + 4);
+    }
+
+    #[test]
+    fn zero_matrix_quantizes_cleanly() {
+        let m = Matrix::zeros(4, 4);
+        let q = QuantizedMatrix::quantize(&m);
+        assert_eq!(q.dequantize(), m);
+        assert!(!q.is_empty());
+    }
+
+    fn toy_corpus(n: usize, seed: u64) -> Vec<(Vec<usize>, bool)> {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let sensitive = rng.gen_bool(0.5);
+                let mut tokens: Vec<usize> =
+                    (0..8).map(|_| rng.gen_range(8..64)).collect();
+                if sensitive {
+                    tokens[0] = rng.gen_range(0..8);
+                    tokens[3] = rng.gen_range(0..8);
+                }
+                (tokens, sensitive)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn quantized_classifier_shrinks_and_keeps_accuracy() {
+        let train = toy_corpus(200, 10);
+        let test = toy_corpus(80, 11);
+        let mut c = SensitiveClassifier::new(Architecture::Cnn, TrainConfig::small(64));
+        c.fit(&train).unwrap();
+        let baseline = c.evaluate(&test).unwrap().accuracy();
+        let (quantized, report) = quantize_classifier(c);
+        let quantized_accuracy = quantized.evaluate(&test).unwrap().accuracy();
+        assert!(report.compression_ratio() > 3.0, "ratio {}", report.compression_ratio());
+        assert!(report.int8_bytes < report.f32_bytes);
+        assert!(report.max_abs_error > 0.0);
+        assert!(
+            (baseline - quantized_accuracy).abs() < 0.1,
+            "quantization cost too much accuracy: {baseline} -> {quantized_accuracy}"
+        );
+    }
+}

@@ -1,0 +1,326 @@
+//! Keyword speech-to-text.
+//!
+//! The paper reuses large pre-trained speech recognizers (Whisper, fairseq
+//! S2T) to transcribe the captured audio before classification. Those
+//! cannot be shipped here, so the repository substitutes a compact,
+//! self-trained keyword recognizer that plays the same architectural role:
+//! audio in, token sequence out, running entirely inside the TA.
+//!
+//! The recognizer is a template matcher: each vocabulary word has an MFCC
+//! "acoustic template" (the mean cepstral vector of its synthetic
+//! rendering); incoming audio is segmented at silences via an energy-based
+//! voice-activity detector, each segment's mean MFCC vector is compared to
+//! the templates by cosine similarity, and the best match above a
+//! confidence floor becomes the transcribed word.
+
+use serde::{Deserialize, Serialize};
+
+use crate::mfcc::{MfccConfig, MfccExtractor};
+use crate::{MlError, Result};
+
+/// A transcribed utterance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Transcript {
+    /// Recognized words, in order.
+    pub words: Vec<String>,
+    /// Per-word confidence (cosine similarity of the winning template).
+    pub confidences: Vec<f32>,
+    /// Number of speech segments detected (including unrecognized ones).
+    pub segments: usize,
+}
+
+impl Transcript {
+    /// The transcript as a single space-separated string.
+    pub fn text(&self) -> String {
+        self.words.join(" ")
+    }
+
+    /// Mean confidence over recognized words (zero if none).
+    pub fn mean_confidence(&self) -> f32 {
+        if self.confidences.is_empty() {
+            0.0
+        } else {
+            self.confidences.iter().sum::<f32>() / self.confidences.len() as f32
+        }
+    }
+}
+
+/// Configuration of the keyword recognizer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SttConfig {
+    /// MFCC front-end configuration.
+    pub mfcc: MfccConfig,
+    /// Energy threshold (fraction of full scale RMS) separating speech from
+    /// silence.
+    pub vad_threshold: f64,
+    /// Minimum speech segment length, in frames.
+    pub min_segment_frames: usize,
+    /// Minimum cosine similarity for a word to be accepted.
+    pub confidence_floor: f32,
+}
+
+impl Default for SttConfig {
+    fn default() -> Self {
+        SttConfig {
+            mfcc: MfccConfig::speech_16khz(),
+            vad_threshold: 0.01,
+            min_segment_frames: 2,
+            confidence_floor: 0.55,
+        }
+    }
+}
+
+/// The keyword speech-to-text model.
+#[derive(Debug, Clone)]
+pub struct KeywordStt {
+    config: SttConfig,
+    extractor: MfccExtractor,
+    templates: Vec<(String, Vec<f32>)>,
+}
+
+impl KeywordStt {
+    /// Trains the recognizer from reference renderings of each vocabulary
+    /// word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::BadTrainingData`] if the vocabulary is empty or a
+    /// rendering is too short to produce MFCC frames.
+    pub fn train(words: &[(String, Vec<i16>)], config: SttConfig) -> Result<Self> {
+        if words.is_empty() {
+            return Err(MlError::BadTrainingData {
+                reason: "empty vocabulary".to_owned(),
+            });
+        }
+        let extractor = MfccExtractor::new(config.mfcc);
+        let mut templates = Vec::with_capacity(words.len());
+        for (word, samples) in words {
+            if extractor.frame_count(samples.len()) == 0 {
+                return Err(MlError::BadTrainingData {
+                    reason: format!("rendering of '{word}' is shorter than one analysis frame"),
+                });
+            }
+            templates.push((word.clone(), extractor.mean_vector(samples)));
+        }
+        Ok(KeywordStt {
+            config,
+            extractor,
+            templates,
+        })
+    }
+
+    /// Vocabulary size.
+    pub fn vocabulary_size(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// The vocabulary words, in template order (the order defines the token
+    /// ids used by the classifier).
+    pub fn vocabulary(&self) -> Vec<String> {
+        self.templates.iter().map(|(w, _)| w.clone()).collect()
+    }
+
+    /// Token id of a word, if it is in the vocabulary.
+    pub fn token_of(&self, word: &str) -> Option<usize> {
+        self.templates.iter().position(|(w, _)| w == word)
+    }
+
+    /// Approximate multiply-accumulate count of transcribing `samples_len`
+    /// samples (MFCC + template matching), for cost accounting.
+    pub fn flops_for(&self, samples_len: usize) -> u64 {
+        let frames = self.extractor.frame_count(samples_len) as u64;
+        let frame_len = self.config.mfcc.frame_len as u64;
+        // FFT ~ n log n, filterbank + DCT ~ n_mels * n_coeffs, matching ~
+        // vocab * n_coeffs.
+        let fft = frames * frame_len * (frame_len as f64).log2() as u64;
+        let cepstral = frames * (self.config.mfcc.n_mels * self.config.mfcc.n_coeffs) as u64;
+        let matching = frames * (self.templates.len() * self.config.mfcc.n_coeffs) as u64;
+        fft + cepstral + matching
+    }
+
+    fn cosine(a: &[f32], b: &[f32]) -> f32 {
+        let dot: f32 = a.iter().zip(b.iter()).map(|(x, y)| x * y).sum();
+        let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            dot / (na * nb)
+        }
+    }
+
+    /// Splits the audio into speech segments using the energy-based VAD.
+    /// Returns `(start_frame, end_frame)` pairs (end exclusive).
+    pub fn segment(&self, samples: &[i16]) -> Vec<(usize, usize)> {
+        let energies = self.extractor.frame_energies(samples);
+        let mut segments = Vec::new();
+        let mut start: Option<usize> = None;
+        for (i, &e) in energies.iter().enumerate() {
+            let speech = e > self.config.vad_threshold;
+            match (speech, start) {
+                (true, None) => start = Some(i),
+                (false, Some(s)) => {
+                    if i - s >= self.config.min_segment_frames {
+                        segments.push((s, i));
+                    }
+                    start = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(s) = start {
+            if energies.len() - s >= self.config.min_segment_frames {
+                segments.push((s, energies.len()));
+            }
+        }
+        segments
+    }
+
+    /// Transcribes an utterance.
+    pub fn transcribe(&self, samples: &[i16]) -> Transcript {
+        let segments = self.segment(samples);
+        let mut words = Vec::new();
+        let mut confidences = Vec::new();
+        for &(start_frame, end_frame) in &segments {
+            let start = start_frame * self.config.mfcc.hop_len;
+            let end = (end_frame * self.config.mfcc.hop_len + self.config.mfcc.frame_len)
+                .min(samples.len());
+            if end <= start {
+                continue;
+            }
+            let vector = self.extractor.mean_vector(&samples[start..end]);
+            let best = self
+                .templates
+                .iter()
+                .map(|(word, template)| (word, Self::cosine(&vector, template)))
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+            if let Some((word, similarity)) = best {
+                if similarity >= self.config.confidence_floor {
+                    words.push(word.clone());
+                    confidences.push(similarity);
+                }
+            }
+        }
+        Transcript {
+            words,
+            confidences,
+            segments: segments.len(),
+        }
+    }
+
+    /// Transcribes and maps the words to token ids (unknown words are
+    /// dropped, which cannot happen for words recognized from the
+    /// vocabulary's own templates).
+    pub fn transcribe_to_tokens(&self, samples: &[i16]) -> Vec<usize> {
+        self.transcribe(samples)
+            .words
+            .iter()
+            .filter_map(|w| self.token_of(w))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Renders a "word" as a dual-tone signature, the same scheme the
+    /// workload crate uses.
+    fn render_word(index: usize, duration_samples: usize) -> Vec<i16> {
+        let rate = 16_000.0;
+        let f1 = 300.0 + 150.0 * (index % 13) as f64;
+        let f2 = 1_200.0 + 240.0 * (index % 7) as f64;
+        (0..duration_samples)
+            .map(|i| {
+                let t = i as f64 / rate;
+                let envelope = (std::f64::consts::PI * i as f64 / duration_samples as f64).sin();
+                let v = 0.45 * (2.0 * std::f64::consts::PI * f1 * t).sin()
+                    + 0.35 * (2.0 * std::f64::consts::PI * f2 * t).sin();
+                (v * envelope * 0.8 * i16::MAX as f64) as i16
+            })
+            .collect()
+    }
+
+    fn vocabulary(n: usize) -> Vec<(String, Vec<i16>)> {
+        (0..n)
+            .map(|i| (format!("word{i}"), render_word(i, 4_000)))
+            .collect()
+    }
+
+    fn silence(samples: usize) -> Vec<i16> {
+        vec![0i16; samples]
+    }
+
+    #[test]
+    fn training_rejects_degenerate_vocabularies() {
+        assert!(KeywordStt::train(&[], SttConfig::default()).is_err());
+        let too_short = vec![("x".to_owned(), vec![0i16; 10])];
+        assert!(KeywordStt::train(&too_short, SttConfig::default()).is_err());
+    }
+
+    #[test]
+    fn recognizes_isolated_words_from_its_vocabulary() {
+        let vocab = vocabulary(12);
+        let stt = KeywordStt::train(&vocab, SttConfig::default()).unwrap();
+        assert_eq!(stt.vocabulary_size(), 12);
+        let mut correct = 0;
+        for (i, (word, samples)) in vocab.iter().enumerate() {
+            let transcript = stt.transcribe(samples);
+            if transcript.words.first().map(String::as_str) == Some(word.as_str()) {
+                correct += 1;
+            }
+            assert_eq!(stt.token_of(word), Some(i));
+        }
+        assert!(correct >= 10, "only {correct}/12 isolated words recognized");
+    }
+
+    #[test]
+    fn transcribes_a_word_sequence_with_pauses() {
+        let vocab = vocabulary(8);
+        let stt = KeywordStt::train(&vocab, SttConfig::default()).unwrap();
+        // "word2 word5 word1" with 100 ms silences in between.
+        let mut samples = Vec::new();
+        samples.extend(silence(1_600));
+        samples.extend(&vocab[2].1);
+        samples.extend(silence(1_600));
+        samples.extend(&vocab[5].1);
+        samples.extend(silence(1_600));
+        samples.extend(&vocab[1].1);
+        samples.extend(silence(1_600));
+        let transcript = stt.transcribe(&samples);
+        assert_eq!(transcript.segments, 3);
+        assert_eq!(transcript.words, vec!["word2", "word5", "word1"]);
+        assert_eq!(stt.transcribe_to_tokens(&samples), vec![2, 5, 1]);
+        assert!(transcript.mean_confidence() > 0.5);
+        assert_eq!(transcript.text(), "word2 word5 word1");
+    }
+
+    #[test]
+    fn silence_produces_an_empty_transcript() {
+        let stt = KeywordStt::train(&vocabulary(4), SttConfig::default()).unwrap();
+        let transcript = stt.transcribe(&silence(16_000));
+        assert!(transcript.words.is_empty());
+        assert_eq!(transcript.segments, 0);
+        assert_eq!(transcript.mean_confidence(), 0.0);
+    }
+
+    #[test]
+    fn vad_segmentation_finds_speech_islands() {
+        let stt = KeywordStt::train(&vocabulary(4), SttConfig::default()).unwrap();
+        let mut samples = silence(3_200);
+        samples.extend(render_word(0, 3_200));
+        samples.extend(silence(3_200));
+        let segments = stt.segment(&samples);
+        assert_eq!(segments.len(), 1);
+        let (start, end) = segments[0];
+        assert!(start > 0);
+        assert!(end > start);
+    }
+
+    #[test]
+    fn flops_scale_with_audio_length(){
+        let stt = KeywordStt::train(&vocabulary(4), SttConfig::default()).unwrap();
+        assert!(stt.flops_for(32_000) > stt.flops_for(16_000));
+        assert_eq!(stt.flops_for(0), 0);
+    }
+}

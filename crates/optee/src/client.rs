@@ -1,0 +1,243 @@
+//! Normal-world TEE client API (the analogue of `libteec`).
+//!
+//! The client is how untrusted code — the smart-home application, the
+//! experiment harnesses — talks to the TEE: open a session to a TA, invoke
+//! commands, close the session. Every call goes through the secure monitor
+//! (an SMC plus two world switches) and pays the cross-world copy cost for
+//! its memref parameters, which is precisely the overhead the paper's §V
+//! worries about.
+
+use std::sync::Arc;
+
+use perisec_tz::world::World;
+
+use crate::param::TeeParams;
+use crate::tee::{ClientMessage, ClientReply, SessionId, TeeCore};
+use crate::uuid::TaUuid;
+use crate::{TeeError, TeeResult};
+
+/// A handle to an open session, returned by [`TeeClient::open_session`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TeeSessionHandle {
+    session: SessionId,
+    uuid: TaUuid,
+}
+
+impl TeeSessionHandle {
+    /// The session identifier.
+    pub fn session(&self) -> SessionId {
+        self.session
+    }
+
+    /// The application the session is connected to.
+    pub fn uuid(&self) -> TaUuid {
+        self.uuid
+    }
+}
+
+/// A normal-world client context.
+#[derive(Clone)]
+pub struct TeeClient {
+    core: Arc<TeeCore>,
+}
+
+impl std::fmt::Debug for TeeClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TeeClient").finish()
+    }
+}
+
+impl TeeClient {
+    /// Creates a client context connected to `core`.
+    pub fn connect(core: Arc<TeeCore>) -> Self {
+        TeeClient { core }
+    }
+
+    /// The TEE core this client talks to.
+    pub fn core(&self) -> &Arc<TeeCore> {
+        &self.core
+    }
+
+    fn charge_params_to_secure(&self, params: &TeeParams) {
+        let bytes = params.total_memref_bytes();
+        if bytes > 0 {
+            self.core
+                .platform()
+                .monitor()
+                .charge_cross_world_copy(bytes, World::Secure);
+        }
+    }
+
+    fn charge_params_to_normal(&self, params: &TeeParams) {
+        let bytes = params.total_memref_bytes();
+        if bytes > 0 {
+            self.core
+                .platform()
+                .monitor()
+                .charge_cross_world_copy(bytes, World::Normal);
+        }
+    }
+
+    /// Opens a session to the application `uuid`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TeeError::ItemNotFound`] for unknown applications, or the
+    /// application's own rejection.
+    pub fn open_session(
+        &self,
+        uuid: TaUuid,
+        params: TeeParams,
+    ) -> TeeResult<(TeeSessionHandle, TeeParams)> {
+        self.charge_params_to_secure(&params);
+        match self.core.client_call(ClientMessage::OpenSession { uuid, params })? {
+            ClientReply::SessionOpened { session, params } => {
+                self.charge_params_to_normal(&params);
+                Ok((TeeSessionHandle { session, uuid }, params))
+            }
+            ClientReply::Failed(e) => Err(e),
+            other => Err(unexpected_reply(&other)),
+        }
+    }
+
+    /// Invokes command `cmd` on an open session.
+    ///
+    /// # Errors
+    ///
+    /// Returns the application's error, or [`TeeError::ItemNotFound`] if
+    /// the session is unknown.
+    pub fn invoke(
+        &self,
+        handle: &TeeSessionHandle,
+        cmd: u32,
+        params: TeeParams,
+    ) -> TeeResult<TeeParams> {
+        self.charge_params_to_secure(&params);
+        match self.core.client_call(ClientMessage::Invoke {
+            session: handle.session,
+            cmd,
+            params,
+        })? {
+            ClientReply::Invoked { params } => {
+                self.charge_params_to_normal(&params);
+                Ok(params)
+            }
+            ClientReply::Failed(e) => Err(e),
+            other => Err(unexpected_reply(&other)),
+        }
+    }
+
+    /// Closes a session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TeeError::ItemNotFound`] if the session is unknown.
+    pub fn close_session(&self, handle: TeeSessionHandle) -> TeeResult<()> {
+        match self.core.client_call(ClientMessage::CloseSession {
+            session: handle.session,
+        })? {
+            ClientReply::Closed => Ok(()),
+            ClientReply::Failed(e) => Err(e),
+            other => Err(unexpected_reply(&other)),
+        }
+    }
+}
+
+fn unexpected_reply(reply: &ClientReply) -> TeeError {
+    TeeError::Communication {
+        reason: format!("unexpected reply from tee core: {reply:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::TeeParam;
+    use crate::supplicant::Supplicant;
+    use crate::ta::{TaDescriptor, TaEnv, TrustedApp};
+    use perisec_tz::platform::Platform;
+
+    struct AddTa;
+
+    impl TrustedApp for AddTa {
+        fn descriptor(&self) -> TaDescriptor {
+            TaDescriptor::new("perisec.add-ta", 16, 16)
+        }
+        fn invoke(&mut self, _env: &mut TaEnv<'_>, cmd: u32, params: &mut TeeParams) -> TeeResult<()> {
+            match cmd {
+                0 => {
+                    let (a, b) = params.get(0).as_values().ok_or(TeeError::BadParameters {
+                        reason: "expected values in slot 0".to_owned(),
+                    })?;
+                    params.set(1, TeeParam::ValueOutput { a: a + b, b: 0 });
+                    Ok(())
+                }
+                _ => Err(TeeError::ItemNotFound { what: format!("command {cmd}") }),
+            }
+        }
+    }
+
+    fn setup() -> (TeeClient, TaUuid) {
+        let core = TeeCore::boot(Platform::jetson_agx_xavier(), Arc::new(Supplicant::new()));
+        let uuid = core.register_ta(Box::new(AddTa)).unwrap();
+        (TeeClient::connect(core), uuid)
+    }
+
+    #[test]
+    fn open_invoke_close_charges_world_switches() {
+        let (client, uuid) = setup();
+        let stats = client.core().platform().stats().clone();
+        let before = stats.snapshot();
+
+        let (handle, _) = client.open_session(uuid, TeeParams::new()).unwrap();
+        let params = TeeParams::new().with(0, TeeParam::ValueInput { a: 40, b: 2 });
+        let out = client.invoke(&handle, 0, params).unwrap();
+        assert_eq!(out.get(1).as_values().unwrap().0, 42);
+        client.close_session(handle).unwrap();
+
+        let delta = stats.snapshot().delta_since(&before);
+        // Three client calls -> three SMCs and six world switches.
+        assert_eq!(delta.smc_calls, 3);
+        assert_eq!(delta.world_switches, 6);
+    }
+
+    #[test]
+    fn memref_parameters_are_charged_as_cross_world_copies() {
+        let (client, uuid) = setup();
+        let stats = client.core().platform().stats().clone();
+        let (handle, _) = client.open_session(uuid, TeeParams::new()).unwrap();
+        let before = stats.snapshot();
+        let params = TeeParams::new()
+            .with(0, TeeParam::ValueInput { a: 1, b: 1 })
+            .with(2, TeeParam::MemRefInput(vec![0u8; 4096]));
+        let _ = client.invoke(&handle, 0, params).unwrap();
+        let delta = stats.snapshot().delta_since(&before);
+        assert!(delta.bytes_to_secure >= 4096);
+    }
+
+    #[test]
+    fn errors_from_the_ta_reach_the_client() {
+        let (client, uuid) = setup();
+        let (handle, _) = client.open_session(uuid, TeeParams::new()).unwrap();
+        assert!(matches!(
+            client.invoke(&handle, 99, TeeParams::new()),
+            Err(TeeError::ItemNotFound { .. })
+        ));
+        // Bad parameters for a valid command.
+        assert!(matches!(
+            client.invoke(&handle, 0, TeeParams::new()),
+            Err(TeeError::BadParameters { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_application_and_stale_session_fail() {
+        let (client, uuid) = setup();
+        let ghost = TaUuid::from_name("perisec.ghost");
+        assert!(client.open_session(ghost, TeeParams::new()).is_err());
+        let (handle, _) = client.open_session(uuid, TeeParams::new()).unwrap();
+        client.close_session(handle).unwrap();
+        assert!(client.invoke(&handle, 0, TeeParams::new()).is_err());
+        assert!(client.close_session(handle).is_err());
+    }
+}

@@ -1,0 +1,156 @@
+//! Command parameters exchanged with trusted applications.
+//!
+//! GlobalPlatform TEE commands carry up to four parameters, each either a
+//! pair of values or a memory reference. The simulator keeps the same
+//! shape so the TAs and PTAs in this repository read like real OP-TEE code.
+
+use serde::{Deserialize, Serialize};
+
+/// One command parameter.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TeeParam {
+    /// Unused parameter slot.
+    None,
+    /// Two input values.
+    ValueInput {
+        /// First value.
+        a: u64,
+        /// Second value.
+        b: u64,
+    },
+    /// Two output values, filled in by the TA.
+    ValueOutput {
+        /// First value.
+        a: u64,
+        /// Second value.
+        b: u64,
+    },
+    /// An input memory buffer.
+    MemRefInput(Vec<u8>),
+    /// An output memory buffer (the TA replaces the contents).
+    MemRefOutput(Vec<u8>),
+    /// An in/out memory buffer.
+    MemRefInout(Vec<u8>),
+}
+
+impl TeeParam {
+    /// Returns the buffer contents if this is any memref variant.
+    pub fn as_memref(&self) -> Option<&[u8]> {
+        match self {
+            TeeParam::MemRefInput(b) | TeeParam::MemRefOutput(b) | TeeParam::MemRefInout(b) => {
+                Some(b)
+            }
+            _ => None,
+        }
+    }
+
+    /// Returns the values if this is a value variant.
+    pub fn as_values(&self) -> Option<(u64, u64)> {
+        match self {
+            TeeParam::ValueInput { a, b } | TeeParam::ValueOutput { a, b } => Some((*a, *b)),
+            _ => None,
+        }
+    }
+
+    /// Number of bytes that must cross the world boundary for this
+    /// parameter (memrefs only).
+    pub fn byte_len(&self) -> usize {
+        self.as_memref().map(|b| b.len()).unwrap_or(0)
+    }
+}
+
+impl Default for TeeParam {
+    fn default() -> Self {
+        TeeParam::None
+    }
+}
+
+/// The four parameters of one command invocation.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TeeParams {
+    /// The parameter slots.
+    pub params: [TeeParam; 4],
+}
+
+impl TeeParams {
+    /// Creates four empty parameters.
+    pub fn new() -> Self {
+        TeeParams::default()
+    }
+
+    /// Builder-style setter for one slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 4`.
+    pub fn with(mut self, index: usize, param: TeeParam) -> Self {
+        self.params[index] = param;
+        self
+    }
+
+    /// Sets one slot in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 4`.
+    pub fn set(&mut self, index: usize, param: TeeParam) {
+        self.params[index] = param;
+    }
+
+    /// Returns slot `index` (None variant if out of range).
+    pub fn get(&self, index: usize) -> &TeeParam {
+        self.params.get(index).unwrap_or(&TeeParam::None)
+    }
+
+    /// Mutable access to slot `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 4`.
+    pub fn get_mut(&mut self, index: usize) -> &mut TeeParam {
+        &mut self.params[index]
+    }
+
+    /// Total bytes carried by memref parameters (what must be copied across
+    /// the world boundary).
+    pub fn total_memref_bytes(&self) -> usize {
+        self.params.iter().map(|p| p.byte_len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_accessors() {
+        let params = TeeParams::new()
+            .with(0, TeeParam::ValueInput { a: 1, b: 2 })
+            .with(1, TeeParam::MemRefInput(vec![0u8; 100]))
+            .with(2, TeeParam::MemRefOutput(vec![0u8; 50]));
+        assert_eq!(params.get(0).as_values(), Some((1, 2)));
+        assert_eq!(params.get(1).byte_len(), 100);
+        assert_eq!(params.get(3), &TeeParam::None);
+        assert_eq!(params.get(7), &TeeParam::None);
+        assert_eq!(params.total_memref_bytes(), 150);
+    }
+
+    #[test]
+    fn memref_and_value_accessors_are_exclusive() {
+        let v = TeeParam::ValueInput { a: 1, b: 2 };
+        assert!(v.as_memref().is_none());
+        let m = TeeParam::MemRefInout(vec![1, 2, 3]);
+        assert!(m.as_values().is_none());
+        assert_eq!(m.as_memref().unwrap(), &[1, 2, 3]);
+        assert_eq!(TeeParam::None.byte_len(), 0);
+    }
+
+    #[test]
+    fn get_mut_allows_output_updates() {
+        let mut params = TeeParams::new().with(0, TeeParam::ValueOutput { a: 0, b: 0 });
+        if let TeeParam::ValueOutput { a, .. } = params.get_mut(0) {
+            *a = 99;
+        }
+        assert_eq!(params.get(0).as_values(), Some((99, 0)));
+    }
+}

@@ -1,0 +1,325 @@
+//! The TEE supplicant: normal-world services for the secure world.
+//!
+//! OP-TEE cannot open sockets or files itself; it issues RPCs that the
+//! user-space `tee-supplicant` daemon serves. The paper's relay module
+//! "leverages an OP-TEE user space daemon called the TEE supplicant to
+//! provide OS-level services such as network communication" (§II, step 7).
+//!
+//! [`Supplicant`] models that daemon: an in-memory REE filesystem (used by
+//! secure storage) plus a pluggable [`NetBackend`] (implemented by the
+//! network fabric in `perisec-relay`). The TEE core charges every RPC with
+//! two world switches and the supplicant round-trip cost.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use serde::{Deserialize, Serialize};
+
+use crate::{TeeError, TeeResult};
+
+/// Network services the supplicant can provide to the secure world.
+///
+/// Implemented by the simulated network fabric (`perisec-relay`); the
+/// socket identifiers are opaque to the TEE.
+pub trait NetBackend: Send + Sync {
+    /// Opens a connection to `host:port`, returning a socket handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TeeError::Communication`] if the host is unreachable.
+    fn connect(&self, host: &str, port: u16) -> TeeResult<u64>;
+
+    /// Sends bytes on a socket, returning the number of bytes accepted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TeeError::Communication`] on unknown sockets or transport
+    /// failures.
+    fn send(&self, socket: u64, data: &[u8]) -> TeeResult<usize>;
+
+    /// Receives up to `max` bytes from a socket (may return fewer, or an
+    /// empty vector if nothing is pending).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TeeError::Communication`] on unknown sockets.
+    fn recv(&self, socket: u64, max: usize) -> TeeResult<Vec<u8>>;
+
+    /// Closes a socket. Unknown sockets are ignored.
+    fn close(&self, socket: u64);
+}
+
+/// An RPC request from the secure world to the supplicant.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RpcRequest {
+    /// Read a file from the REE filesystem.
+    FsRead {
+        /// File path (flat namespace).
+        path: String,
+    },
+    /// Write (create or replace) a file.
+    FsWrite {
+        /// File path.
+        path: String,
+        /// Contents.
+        data: Vec<u8>,
+    },
+    /// Remove a file.
+    FsRemove {
+        /// File path.
+        path: String,
+    },
+    /// List files with a given prefix.
+    FsList {
+        /// Path prefix.
+        prefix: String,
+    },
+    /// Open a network connection.
+    NetConnect {
+        /// Remote host.
+        host: String,
+        /// Remote port.
+        port: u16,
+    },
+    /// Send bytes on an open socket.
+    NetSend {
+        /// Socket handle.
+        socket: u64,
+        /// Payload.
+        data: Vec<u8>,
+    },
+    /// Receive bytes from an open socket.
+    NetRecv {
+        /// Socket handle.
+        socket: u64,
+        /// Maximum bytes to return.
+        max: usize,
+    },
+    /// Close a socket.
+    NetClose {
+        /// Socket handle.
+        socket: u64,
+    },
+}
+
+impl RpcRequest {
+    /// Approximate number of payload bytes this request carries into the
+    /// normal world (used for cross-world copy accounting).
+    pub fn payload_bytes(&self) -> usize {
+        match self {
+            RpcRequest::FsWrite { data, .. } => data.len(),
+            RpcRequest::NetSend { data, .. } => data.len(),
+            _ => 0,
+        }
+    }
+}
+
+/// The supplicant's reply to an RPC.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RpcReply {
+    /// Generic success with no payload.
+    Ok,
+    /// File or network data.
+    Data(Vec<u8>),
+    /// A list of file names.
+    Names(Vec<String>),
+    /// A socket handle.
+    Socket(u64),
+    /// Number of bytes accepted.
+    Written(usize),
+}
+
+impl RpcReply {
+    /// Approximate number of payload bytes this reply carries back into the
+    /// secure world.
+    pub fn payload_bytes(&self) -> usize {
+        match self {
+            RpcReply::Data(d) => d.len(),
+            RpcReply::Names(names) => names.iter().map(|n| n.len()).sum(),
+            _ => 0,
+        }
+    }
+}
+
+/// The normal-world supplicant daemon.
+#[derive(Default)]
+pub struct Supplicant {
+    fs: Mutex<BTreeMap<String, Vec<u8>>>,
+    net: RwLock<Option<Arc<dyn NetBackend>>>,
+}
+
+impl std::fmt::Debug for Supplicant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Supplicant")
+            .field("files", &self.fs.lock().len())
+            .field("net_backend", &self.net.read().is_some())
+            .finish()
+    }
+}
+
+impl Supplicant {
+    /// Creates a supplicant with an empty filesystem and no network backend.
+    pub fn new() -> Self {
+        Supplicant::default()
+    }
+
+    /// Installs (or replaces) the network backend.
+    pub fn set_net_backend(&self, backend: Arc<dyn NetBackend>) {
+        *self.net.write() = Some(backend);
+    }
+
+    /// Whether a network backend is installed.
+    pub fn has_net_backend(&self) -> bool {
+        self.net.read().is_some()
+    }
+
+    /// Number of files in the REE filesystem.
+    pub fn file_count(&self) -> usize {
+        self.fs.lock().len()
+    }
+
+    /// Serves one RPC request.
+    ///
+    /// # Errors
+    ///
+    /// * [`TeeError::ItemNotFound`] for reads/removals of missing files;
+    /// * [`TeeError::Communication`] for network requests with no backend
+    ///   installed, or propagated from the backend.
+    pub fn handle(&self, request: RpcRequest) -> TeeResult<RpcReply> {
+        match request {
+            RpcRequest::FsRead { path } => {
+                let fs = self.fs.lock();
+                fs.get(&path)
+                    .cloned()
+                    .map(RpcReply::Data)
+                    .ok_or(TeeError::ItemNotFound { what: path })
+            }
+            RpcRequest::FsWrite { path, data } => {
+                self.fs.lock().insert(path, data);
+                Ok(RpcReply::Ok)
+            }
+            RpcRequest::FsRemove { path } => {
+                if self.fs.lock().remove(&path).is_some() {
+                    Ok(RpcReply::Ok)
+                } else {
+                    Err(TeeError::ItemNotFound { what: path })
+                }
+            }
+            RpcRequest::FsList { prefix } => {
+                let fs = self.fs.lock();
+                Ok(RpcReply::Names(
+                    fs.keys().filter(|k| k.starts_with(&prefix)).cloned().collect(),
+                ))
+            }
+            RpcRequest::NetConnect { host, port } => {
+                let backend = self.net_backend()?;
+                backend.connect(&host, port).map(RpcReply::Socket)
+            }
+            RpcRequest::NetSend { socket, data } => {
+                let backend = self.net_backend()?;
+                backend.send(socket, &data).map(RpcReply::Written)
+            }
+            RpcRequest::NetRecv { socket, max } => {
+                let backend = self.net_backend()?;
+                backend.recv(socket, max).map(RpcReply::Data)
+            }
+            RpcRequest::NetClose { socket } => {
+                let backend = self.net_backend()?;
+                backend.close(socket);
+                Ok(RpcReply::Ok)
+            }
+        }
+    }
+
+    fn net_backend(&self) -> TeeResult<Arc<dyn NetBackend>> {
+        self.net.read().clone().ok_or(TeeError::Communication {
+            reason: "no network backend registered with the supplicant".to_owned(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex as PlMutex;
+
+    #[derive(Default)]
+    struct LoopbackNet {
+        sent: PlMutex<Vec<Vec<u8>>>,
+    }
+
+    impl NetBackend for LoopbackNet {
+        fn connect(&self, host: &str, _port: u16) -> TeeResult<u64> {
+            if host == "unreachable.example" {
+                return Err(TeeError::Communication { reason: "no route".to_owned() });
+            }
+            Ok(7)
+        }
+        fn send(&self, _socket: u64, data: &[u8]) -> TeeResult<usize> {
+            self.sent.lock().push(data.to_vec());
+            Ok(data.len())
+        }
+        fn recv(&self, _socket: u64, max: usize) -> TeeResult<Vec<u8>> {
+            Ok(vec![0xaa; max.min(4)])
+        }
+        fn close(&self, _socket: u64) {}
+    }
+
+    #[test]
+    fn filesystem_requests_round_trip() {
+        let s = Supplicant::new();
+        s.handle(RpcRequest::FsWrite { path: "ta/obj1".into(), data: vec![1, 2, 3] }).unwrap();
+        s.handle(RpcRequest::FsWrite { path: "ta/obj2".into(), data: vec![4] }).unwrap();
+        assert_eq!(s.file_count(), 2);
+        match s.handle(RpcRequest::FsRead { path: "ta/obj1".into() }).unwrap() {
+            RpcReply::Data(d) => assert_eq!(d, vec![1, 2, 3]),
+            other => panic!("unexpected reply {other:?}"),
+        }
+        match s.handle(RpcRequest::FsList { prefix: "ta/".into() }).unwrap() {
+            RpcReply::Names(names) => assert_eq!(names.len(), 2),
+            other => panic!("unexpected reply {other:?}"),
+        }
+        s.handle(RpcRequest::FsRemove { path: "ta/obj1".into() }).unwrap();
+        assert!(s.handle(RpcRequest::FsRead { path: "ta/obj1".into() }).is_err());
+        assert!(s.handle(RpcRequest::FsRemove { path: "ta/obj1".into() }).is_err());
+    }
+
+    #[test]
+    fn network_requests_require_a_backend() {
+        let s = Supplicant::new();
+        assert!(!s.has_net_backend());
+        let err = s
+            .handle(RpcRequest::NetConnect { host: "cloud.example".into(), port: 443 })
+            .unwrap_err();
+        assert!(matches!(err, TeeError::Communication { .. }));
+
+        s.set_net_backend(Arc::new(LoopbackNet::default()));
+        assert!(s.has_net_backend());
+        match s.handle(RpcRequest::NetConnect { host: "cloud.example".into(), port: 443 }).unwrap() {
+            RpcReply::Socket(7) => {}
+            other => panic!("unexpected reply {other:?}"),
+        }
+        match s.handle(RpcRequest::NetSend { socket: 7, data: vec![9; 10] }).unwrap() {
+            RpcReply::Written(10) => {}
+            other => panic!("unexpected reply {other:?}"),
+        }
+        match s.handle(RpcRequest::NetRecv { socket: 7, max: 100 }).unwrap() {
+            RpcReply::Data(d) => assert_eq!(d.len(), 4),
+            other => panic!("unexpected reply {other:?}"),
+        }
+        s.handle(RpcRequest::NetClose { socket: 7 }).unwrap();
+        // Backend errors propagate.
+        assert!(s
+            .handle(RpcRequest::NetConnect { host: "unreachable.example".into(), port: 1 })
+            .is_err());
+    }
+
+    #[test]
+    fn payload_byte_accounting() {
+        assert_eq!(RpcRequest::NetSend { socket: 1, data: vec![0; 77] }.payload_bytes(), 77);
+        assert_eq!(RpcRequest::FsRead { path: "x".into() }.payload_bytes(), 0);
+        assert_eq!(RpcReply::Data(vec![0; 5]).payload_bytes(), 5);
+        assert_eq!(RpcReply::Ok.payload_bytes(), 0);
+    }
+}

@@ -1,0 +1,280 @@
+//! Trusted application framework.
+//!
+//! In the paper's design, the TA is where the ML filtering and the relay
+//! module live: "The TA also executes in secure memory, and comprises a
+//! pre-trained ML classifier capable of determining potentially sensitive
+//! information" (§II). This module defines the trait such TAs implement and
+//! the internal API ([`TaEnv`]) they use to reach PTAs (the secure driver),
+//! the supplicant (network), secure storage and secure memory.
+
+use perisec_tz::platform::Platform;
+use perisec_tz::secure_mem::SecureBuf;
+use perisec_tz::time::SimDuration;
+
+use crate::param::TeeParams;
+use crate::supplicant::{RpcReply, RpcRequest};
+use crate::tee::{SessionId, TeeCore};
+use crate::uuid::TaUuid;
+use crate::{TeeError, TeeResult};
+
+/// Static description of a TA or PTA: identity plus declared secure-memory
+/// footprint. The TEE core reserves the declared memory from the TrustZone
+/// carve-out when the application is registered, so oversized applications
+/// fail to load — the behaviour behind the paper's "smaller ML models"
+/// mitigation (§V).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaDescriptor {
+    /// Application identity.
+    pub uuid: TaUuid,
+    /// Human-readable name.
+    pub name: String,
+    /// Whether a single instance serves all sessions (all of this
+    /// repository's TAs are single-instance).
+    pub single_instance: bool,
+    /// Declared stack size in KiB.
+    pub stack_kib: u32,
+    /// Declared data/heap size in KiB (model weights live here for the
+    /// filter TA).
+    pub data_kib: u32,
+}
+
+impl TaDescriptor {
+    /// Creates a descriptor with the given name-derived UUID and footprint.
+    pub fn new(name: &str, stack_kib: u32, data_kib: u32) -> Self {
+        TaDescriptor {
+            uuid: TaUuid::from_name(name),
+            name: name.to_owned(),
+            single_instance: true,
+            stack_kib,
+            data_kib,
+        }
+    }
+
+    /// Total declared footprint in bytes.
+    pub fn footprint_bytes(&self) -> usize {
+        (self.stack_kib as usize + self.data_kib as usize) * 1024
+    }
+}
+
+/// The interface a trusted application implements.
+///
+/// Lifecycle mirrors the GlobalPlatform Internal Core API:
+/// `open_session` → any number of `invoke` calls → `close_session`.
+pub trait TrustedApp: Send {
+    /// The application's descriptor.
+    fn descriptor(&self) -> TaDescriptor;
+
+    /// Called when a client opens a session.
+    ///
+    /// # Errors
+    ///
+    /// Implementations reject sessions with [`TeeError`] values; the default
+    /// accepts every session.
+    fn open_session(&mut self, env: &mut TaEnv<'_>, params: &mut TeeParams) -> TeeResult<()> {
+        let _ = (env, params);
+        Ok(())
+    }
+
+    /// Handles one command invocation.
+    ///
+    /// # Errors
+    ///
+    /// Command-specific; see each TA's documentation.
+    fn invoke(&mut self, env: &mut TaEnv<'_>, cmd: u32, params: &mut TeeParams) -> TeeResult<()>;
+
+    /// Called when the session closes. The default does nothing.
+    fn close_session(&mut self, env: &mut TaEnv<'_>) {
+        let _ = env;
+    }
+}
+
+/// The internal API handed to a TA for the duration of one call.
+///
+/// It wraps the TEE core and the calling session, exposing exactly the
+/// services the paper's TA needs: secure compute accounting, PTA
+/// invocation (the ported driver), supplicant networking (the relay path),
+/// secure storage and secure memory.
+pub struct TaEnv<'a> {
+    core: &'a TeeCore,
+    ta_uuid: TaUuid,
+    session: SessionId,
+}
+
+impl std::fmt::Debug for TaEnv<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaEnv")
+            .field("ta_uuid", &self.ta_uuid.to_string())
+            .field("session", &self.session)
+            .finish()
+    }
+}
+
+impl<'a> TaEnv<'a> {
+    pub(crate) fn new(core: &'a TeeCore, ta_uuid: TaUuid, session: SessionId) -> Self {
+        TaEnv { core, ta_uuid, session }
+    }
+
+    /// The session this call belongs to.
+    pub fn session(&self) -> SessionId {
+        self.session
+    }
+
+    /// UUID of the TA being served.
+    pub fn ta_uuid(&self) -> TaUuid {
+        self.ta_uuid
+    }
+
+    /// The underlying platform (clock, stats, cost model).
+    pub fn platform(&self) -> &Platform {
+        self.core.platform()
+    }
+
+    /// Charges `flops` of compute in the secure world, returning the time
+    /// charged. TAs use this to account for their ML inference.
+    pub fn charge_compute(&self, flops: u64) -> SimDuration {
+        self.core
+            .platform()
+            .charge_compute(perisec_tz::world::World::Secure, flops)
+    }
+
+    /// Charges a fixed amount of secure-world CPU time.
+    pub fn charge_cpu(&self, duration: SimDuration) {
+        self.core
+            .platform()
+            .charge_cpu(perisec_tz::world::World::Secure, duration);
+    }
+
+    /// Invokes a command on a pseudo TA (e.g. the secure I2S driver PTA).
+    /// This stays entirely inside the secure world: no world switch, only
+    /// the PTA dispatch cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TeeError::ItemNotFound`] if no PTA has that UUID, or the
+    /// PTA's own error.
+    pub fn invoke_pta(&self, uuid: TaUuid, cmd: u32, params: &mut TeeParams) -> TeeResult<()> {
+        self.core.invoke_pta(uuid, cmd, params)
+    }
+
+    /// Issues a supplicant RPC (two world switches plus the RPC cost are
+    /// charged by the core).
+    ///
+    /// # Errors
+    ///
+    /// Propagates supplicant errors (missing files, no network backend,
+    /// transport failures).
+    pub fn supplicant_rpc(&self, request: RpcRequest) -> TeeResult<RpcReply> {
+        self.core.supplicant_rpc(request)
+    }
+
+    /// Opens a network connection through the supplicant.
+    ///
+    /// # Errors
+    ///
+    /// See [`TaEnv::supplicant_rpc`].
+    pub fn net_connect(&self, host: &str, port: u16) -> TeeResult<u64> {
+        match self.supplicant_rpc(RpcRequest::NetConnect {
+            host: host.to_owned(),
+            port,
+        })? {
+            RpcReply::Socket(s) => Ok(s),
+            other => Err(TeeError::Communication {
+                reason: format!("unexpected supplicant reply {other:?} to connect"),
+            }),
+        }
+    }
+
+    /// Sends bytes on a supplicant socket.
+    ///
+    /// # Errors
+    ///
+    /// See [`TaEnv::supplicant_rpc`].
+    pub fn net_send(&self, socket: u64, data: &[u8]) -> TeeResult<usize> {
+        match self.supplicant_rpc(RpcRequest::NetSend {
+            socket,
+            data: data.to_vec(),
+        })? {
+            RpcReply::Written(n) => Ok(n),
+            other => Err(TeeError::Communication {
+                reason: format!("unexpected supplicant reply {other:?} to send"),
+            }),
+        }
+    }
+
+    /// Receives up to `max` bytes from a supplicant socket.
+    ///
+    /// # Errors
+    ///
+    /// See [`TaEnv::supplicant_rpc`].
+    pub fn net_recv(&self, socket: u64, max: usize) -> TeeResult<Vec<u8>> {
+        match self.supplicant_rpc(RpcRequest::NetRecv { socket, max })? {
+            RpcReply::Data(d) => Ok(d),
+            other => Err(TeeError::Communication {
+                reason: format!("unexpected supplicant reply {other:?} to recv"),
+            }),
+        }
+    }
+
+    /// Closes a supplicant socket.
+    ///
+    /// # Errors
+    ///
+    /// See [`TaEnv::supplicant_rpc`].
+    pub fn net_close(&self, socket: u64) -> TeeResult<()> {
+        self.supplicant_rpc(RpcRequest::NetClose { socket }).map(|_| ())
+    }
+
+    /// Writes an object to this TA's secure storage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage/supplicant failures.
+    pub fn storage_write(&self, name: &str, data: &[u8]) -> TeeResult<()> {
+        self.core.storage().write(self.core, self.ta_uuid, name, data)
+    }
+
+    /// Reads an object from this TA's secure storage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TeeError::ItemNotFound`] if the object does not exist, or
+    /// [`TeeError::SecurityViolation`] if its authentication fails.
+    pub fn storage_read(&self, name: &str) -> TeeResult<Vec<u8>> {
+        self.core.storage().read(self.core, self.ta_uuid, name)
+    }
+
+    /// Deletes an object from this TA's secure storage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TeeError::ItemNotFound`] if the object does not exist.
+    pub fn storage_delete(&self, name: &str) -> TeeResult<()> {
+        self.core.storage().delete(self.core, self.ta_uuid, name)
+    }
+
+    /// Allocates a buffer from the TrustZone secure RAM carve-out.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TeeError::OutOfMemory`] when the carve-out is exhausted.
+    pub fn secure_alloc(&self, bytes: usize) -> TeeResult<SecureBuf> {
+        self.core
+            .platform()
+            .secure_ram()
+            .alloc(bytes)
+            .map_err(TeeError::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descriptor_footprint_is_stack_plus_data() {
+        let d = TaDescriptor::new("perisec.test-ta", 64, 512);
+        assert_eq!(d.footprint_bytes(), (64 + 512) * 1024);
+        assert!(d.single_instance);
+        assert_eq!(d.uuid, TaUuid::from_name("perisec.test-ta"));
+    }
+}

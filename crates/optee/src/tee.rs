@@ -1,0 +1,662 @@
+//! The TEE core: registries, sessions, dispatch and RPC.
+//!
+//! This is the OP-TEE kernel of the simulation. It owns the TA and PTA
+//! registries, tracks sessions, reserves each application's declared memory
+//! from the TrustZone secure carve-out, dispatches commands (charging the
+//! calibrated dispatch costs), and services TA requests that need the
+//! normal world by issuing supplicant RPCs (charging world switches).
+//!
+//! Entry from the normal world arrives through the secure monitor: the
+//! core installs itself as the handler of the `STD_CALL_WITH_ARG` SMC and
+//! picks up the client message from a shared mailbox, mirroring OP-TEE's
+//! shared-memory message passing.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use perisec_tz::monitor::{smc_func, SmcCall, SmcHandler, SmcResult};
+use perisec_tz::platform::Platform;
+use perisec_tz::secure_mem::SecureBuf;
+use perisec_tz::world::World;
+
+use crate::param::TeeParams;
+use crate::pta::{PseudoTa, PtaEnv};
+use crate::storage::SecureStorage;
+use crate::supplicant::{RpcReply, RpcRequest, Supplicant};
+use crate::ta::{TaDescriptor, TaEnv, TrustedApp};
+use crate::uuid::TaUuid;
+use crate::{TeeError, TeeResult};
+
+/// Identifier of an open session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(u64);
+
+impl SessionId {
+    /// The raw session number.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "session#{}", self.0)
+    }
+}
+
+struct TaEntry {
+    descriptor: TaDescriptor,
+    instance: Mutex<Box<dyn TrustedApp>>,
+    _reserved: SecureBuf,
+}
+
+struct PtaEntry {
+    descriptor: TaDescriptor,
+    instance: Mutex<Box<dyn PseudoTa>>,
+    _reserved: SecureBuf,
+}
+
+/// A message submitted by the normal-world client through the mailbox.
+#[derive(Debug)]
+pub(crate) enum ClientMessage {
+    /// Open a session to the given application.
+    OpenSession {
+        /// Target application.
+        uuid: TaUuid,
+        /// Open-session parameters.
+        params: TeeParams,
+    },
+    /// Invoke a command on an open session.
+    Invoke {
+        /// Session to invoke on.
+        session: SessionId,
+        /// Command identifier.
+        cmd: u32,
+        /// Command parameters.
+        params: TeeParams,
+    },
+    /// Close a session.
+    CloseSession {
+        /// Session to close.
+        session: SessionId,
+    },
+}
+
+/// The core's reply to a client message.
+#[derive(Debug)]
+pub(crate) enum ClientReply {
+    /// Session opened.
+    SessionOpened {
+        /// The new session.
+        session: SessionId,
+        /// Updated parameters.
+        params: TeeParams,
+    },
+    /// Command completed.
+    Invoked {
+        /// Updated parameters.
+        params: TeeParams,
+    },
+    /// Session closed.
+    Closed,
+    /// The operation failed.
+    Failed(TeeError),
+}
+
+/// The OP-TEE core.
+pub struct TeeCore {
+    platform: Platform,
+    supplicant: Arc<Supplicant>,
+    storage: SecureStorage,
+    tas: RwLock<HashMap<TaUuid, Arc<TaEntry>>>,
+    ptas: RwLock<HashMap<TaUuid, Arc<PtaEntry>>>,
+    sessions: Mutex<HashMap<SessionId, TaUuid>>,
+    next_session: AtomicU64,
+    mailbox: Mutex<Option<ClientMessage>>,
+    replybox: Mutex<Option<ClientReply>>,
+    call_lock: Mutex<()>,
+}
+
+impl std::fmt::Debug for TeeCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TeeCore")
+            .field("tas", &self.tas.read().len())
+            .field("ptas", &self.ptas.read().len())
+            .field("sessions", &self.sessions.lock().len())
+            .finish()
+    }
+}
+
+impl TeeCore {
+    /// Boots a TEE core on `platform` with the given supplicant, and
+    /// installs its SMC handler in the secure monitor.
+    pub fn boot(platform: Platform, supplicant: Arc<Supplicant>) -> Arc<Self> {
+        let storage = SecureStorage::for_platform(&platform);
+        let core = Arc::new(TeeCore {
+            platform,
+            supplicant,
+            storage,
+            tas: RwLock::new(HashMap::new()),
+            ptas: RwLock::new(HashMap::new()),
+            sessions: Mutex::new(HashMap::new()),
+            next_session: AtomicU64::new(1),
+            mailbox: Mutex::new(None),
+            replybox: Mutex::new(None),
+            call_lock: Mutex::new(()),
+        });
+        let handler: Arc<dyn SmcHandler> = Arc::new(TeeSmcHandler {
+            core: Arc::clone(&core),
+        });
+        core.platform
+            .monitor()
+            .register_handler(smc_func::STD_CALL_WITH_ARG, handler);
+        core
+    }
+
+    /// The platform this core runs on.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The supplicant serving this core's RPCs.
+    pub fn supplicant(&self) -> &Arc<Supplicant> {
+        &self.supplicant
+    }
+
+    /// The secure-storage service.
+    pub fn storage(&self) -> &SecureStorage {
+        &self.storage
+    }
+
+    /// Registers a trusted application, reserving its declared footprint
+    /// from secure RAM.
+    ///
+    /// # Errors
+    ///
+    /// * [`TeeError::BadParameters`] if a TA with the same UUID exists.
+    /// * [`TeeError::OutOfMemory`] if the footprint does not fit in the
+    ///   secure carve-out.
+    pub fn register_ta(&self, ta: Box<dyn TrustedApp>) -> TeeResult<TaUuid> {
+        let descriptor = ta.descriptor();
+        let uuid = descriptor.uuid;
+        if self.tas.read().contains_key(&uuid) {
+            return Err(TeeError::BadParameters {
+                reason: format!("ta {uuid} already registered"),
+            });
+        }
+        let reserved = self
+            .platform
+            .secure_ram()
+            .alloc(descriptor.footprint_bytes())
+            .map_err(TeeError::from)?;
+        self.tas.write().insert(
+            uuid,
+            Arc::new(TaEntry {
+                descriptor,
+                instance: Mutex::new(ta),
+                _reserved: reserved,
+            }),
+        );
+        Ok(uuid)
+    }
+
+    /// Registers a pseudo TA, reserving its declared footprint from secure
+    /// RAM.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TeeCore::register_ta`].
+    pub fn register_pta(&self, pta: Box<dyn PseudoTa>) -> TeeResult<TaUuid> {
+        let descriptor = pta.descriptor();
+        let uuid = descriptor.uuid;
+        if self.ptas.read().contains_key(&uuid) {
+            return Err(TeeError::BadParameters {
+                reason: format!("pta {uuid} already registered"),
+            });
+        }
+        let reserved = self
+            .platform
+            .secure_ram()
+            .alloc(descriptor.footprint_bytes())
+            .map_err(TeeError::from)?;
+        self.ptas.write().insert(
+            uuid,
+            Arc::new(PtaEntry {
+                descriptor,
+                instance: Mutex::new(pta),
+                _reserved: reserved,
+            }),
+        );
+        Ok(uuid)
+    }
+
+    /// Unregisters a TA, releasing its reserved memory.
+    ///
+    /// # Errors
+    ///
+    /// * [`TeeError::ItemNotFound`] if the TA is unknown.
+    /// * [`TeeError::AccessDenied`] if it still has open sessions.
+    pub fn unregister_ta(&self, uuid: TaUuid) -> TeeResult<()> {
+        if self.sessions.lock().values().any(|u| *u == uuid) {
+            return Err(TeeError::AccessDenied {
+                reason: format!("ta {uuid} still has open sessions"),
+            });
+        }
+        self.tas
+            .write()
+            .remove(&uuid)
+            .map(|_| ())
+            .ok_or(TeeError::ItemNotFound {
+                what: format!("ta {uuid}"),
+            })
+    }
+
+    /// Number of registered TAs.
+    pub fn ta_count(&self) -> usize {
+        self.tas.read().len()
+    }
+
+    /// Number of registered PTAs.
+    pub fn pta_count(&self) -> usize {
+        self.ptas.read().len()
+    }
+
+    /// Number of open sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.lock().len()
+    }
+
+    /// Descriptors of every registered TA and PTA (used by footprint
+    /// reports).
+    pub fn descriptors(&self) -> Vec<TaDescriptor> {
+        let mut out: Vec<TaDescriptor> = self
+            .tas
+            .read()
+            .values()
+            .map(|e| e.descriptor.clone())
+            .collect();
+        out.extend(self.ptas.read().values().map(|e| e.descriptor.clone()));
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
+    // ----- secure-world entry points -------------------------------------
+
+    /// Opens a session to a TA or PTA (secure-world path; the normal world
+    /// goes through [`crate::client::TeeClient`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TeeError::ItemNotFound`] for unknown UUIDs or the
+    /// application's own rejection.
+    pub fn open_session(&self, uuid: TaUuid, params: &mut TeeParams) -> TeeResult<SessionId> {
+        let cost = self.platform.cost().clone();
+        self.platform.charge_cpu(World::Secure, cost.session_open);
+        let session = SessionId(self.next_session.fetch_add(1, Ordering::SeqCst));
+        if let Some(entry) = self.tas.read().get(&uuid).cloned() {
+            self.platform.charge_cpu(World::Secure, cost.ta_dispatch);
+            let mut env = TaEnv::new(self, uuid, session);
+            entry.instance.lock().open_session(&mut env, params)?;
+            self.sessions.lock().insert(session, uuid);
+            return Ok(session);
+        }
+        if self.ptas.read().contains_key(&uuid) {
+            self.platform.charge_cpu(World::Secure, cost.pta_dispatch);
+            self.sessions.lock().insert(session, uuid);
+            return Ok(session);
+        }
+        Err(TeeError::ItemNotFound {
+            what: format!("trusted application {uuid}"),
+        })
+    }
+
+    /// Invokes a command on an open session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TeeError::ItemNotFound`] for unknown sessions, or the
+    /// application's own error.
+    pub fn invoke_command(
+        &self,
+        session: SessionId,
+        cmd: u32,
+        params: &mut TeeParams,
+    ) -> TeeResult<()> {
+        let uuid = *self
+            .sessions
+            .lock()
+            .get(&session)
+            .ok_or(TeeError::ItemNotFound {
+                what: session.to_string(),
+            })?;
+        let cost = self.platform.cost().clone();
+        if let Some(entry) = self.tas.read().get(&uuid).cloned() {
+            self.platform.charge_cpu(World::Secure, cost.ta_dispatch);
+            let mut env = TaEnv::new(self, uuid, session);
+            return entry.instance.lock().invoke(&mut env, cmd, params);
+        }
+        if self.ptas.read().get(&uuid).is_some() {
+            return self.invoke_pta(uuid, cmd, params);
+        }
+        Err(TeeError::TargetDead)
+    }
+
+    /// Closes a session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TeeError::ItemNotFound`] for unknown sessions.
+    pub fn close_session(&self, session: SessionId) -> TeeResult<()> {
+        let uuid = self
+            .sessions
+            .lock()
+            .remove(&session)
+            .ok_or(TeeError::ItemNotFound {
+                what: session.to_string(),
+            })?;
+        if let Some(entry) = self.tas.read().get(&uuid).cloned() {
+            let mut env = TaEnv::new(self, uuid, session);
+            entry.instance.lock().close_session(&mut env);
+        }
+        Ok(())
+    }
+
+    /// Invokes a command on a pseudo TA directly (used by TAs through
+    /// [`TaEnv::invoke_pta`] and by the secure world itself).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TeeError::ItemNotFound`] for unknown PTAs or the PTA's own
+    /// error.
+    pub fn invoke_pta(&self, uuid: TaUuid, cmd: u32, params: &mut TeeParams) -> TeeResult<()> {
+        let entry = self
+            .ptas
+            .read()
+            .get(&uuid)
+            .cloned()
+            .ok_or(TeeError::ItemNotFound {
+                what: format!("pseudo ta {uuid}"),
+            })?;
+        self.platform
+            .charge_cpu(World::Secure, self.platform.cost().pta_dispatch);
+        let mut env = PtaEnv::new(&self.platform);
+        let result = entry.instance.lock().invoke(&mut env, cmd, params);
+        result
+    }
+
+    /// Issues a supplicant RPC on behalf of the secure world, charging the
+    /// world switches, the RPC cost and the cross-world copies.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the supplicant's error.
+    pub fn supplicant_rpc(&self, request: RpcRequest) -> TeeResult<RpcReply> {
+        let monitor = self.platform.monitor().clone();
+        let out_bytes = request.payload_bytes();
+        monitor.charge_cross_world_copy(out_bytes, World::Normal);
+        let from = monitor.world_switch(World::Normal);
+        self.platform
+            .charge_cpu(World::Normal, self.platform.cost().supplicant_rpc);
+        self.platform.stats().record_supplicant_rpc();
+        let reply = self.supplicant.handle(request);
+        // Return to whatever world we were in before the RPC (normally the
+        // secure world, since RPCs originate from TAs).
+        monitor.world_switch(from);
+        let reply = reply?;
+        monitor.charge_cross_world_copy(reply.payload_bytes(), World::Secure);
+        Ok(reply)
+    }
+
+    // ----- normal-world message path --------------------------------------
+
+    /// Submits a client message and runs it through the SMC path, returning
+    /// the reply. Called by [`crate::client::TeeClient`].
+    pub(crate) fn client_call(&self, message: ClientMessage) -> TeeResult<ClientReply> {
+        let _guard = self.call_lock.lock();
+        *self.mailbox.lock() = Some(message);
+        let monitor = self.platform.monitor().clone();
+        monitor
+            .smc(SmcCall::new(smc_func::STD_CALL_WITH_ARG))
+            .map_err(|e| TeeError::Communication {
+                reason: format!("smc failed: {e}"),
+            })?;
+        self.replybox
+            .lock()
+            .take()
+            .ok_or(TeeError::Communication {
+                reason: "tee core produced no reply".to_owned(),
+            })
+    }
+
+    fn process_mailbox(&self) {
+        let message = self.mailbox.lock().take();
+        let reply = match message {
+            None => ClientReply::Failed(TeeError::Communication {
+                reason: "empty mailbox".to_owned(),
+            }),
+            Some(ClientMessage::OpenSession { uuid, mut params }) => {
+                match self.open_session(uuid, &mut params) {
+                    Ok(session) => ClientReply::SessionOpened { session, params },
+                    Err(e) => ClientReply::Failed(e),
+                }
+            }
+            Some(ClientMessage::Invoke {
+                session,
+                cmd,
+                mut params,
+            }) => match self.invoke_command(session, cmd, &mut params) {
+                Ok(()) => ClientReply::Invoked { params },
+                Err(e) => ClientReply::Failed(e),
+            },
+            Some(ClientMessage::CloseSession { session }) => match self.close_session(session) {
+                Ok(()) => ClientReply::Closed,
+                Err(e) => ClientReply::Failed(e),
+            },
+        };
+        *self.replybox.lock() = Some(reply);
+    }
+}
+
+struct TeeSmcHandler {
+    core: Arc<TeeCore>,
+}
+
+impl SmcHandler for TeeSmcHandler {
+    fn handle(&self, _call: &SmcCall) -> SmcResult {
+        self.core.process_mailbox();
+        SmcResult::value(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::TeeParam;
+
+    struct EchoTa {
+        descriptor: TaDescriptor,
+        invocations: u32,
+    }
+
+    impl EchoTa {
+        fn new() -> Self {
+            EchoTa {
+                descriptor: TaDescriptor::new("perisec.echo-ta", 16, 64),
+                invocations: 0,
+            }
+        }
+    }
+
+    impl TrustedApp for EchoTa {
+        fn descriptor(&self) -> TaDescriptor {
+            self.descriptor.clone()
+        }
+        fn invoke(&mut self, env: &mut TaEnv<'_>, cmd: u32, params: &mut TeeParams) -> TeeResult<()> {
+            self.invocations += 1;
+            env.charge_compute(1_000);
+            match cmd {
+                1 => {
+                    // Reverse the input buffer into the output slot.
+                    let input = params.get(0).as_memref().unwrap_or(&[]).to_vec();
+                    let reversed: Vec<u8> = input.iter().rev().copied().collect();
+                    params.set(1, TeeParam::MemRefOutput(reversed));
+                    Ok(())
+                }
+                2 => Err(TeeError::BadParameters {
+                    reason: "command 2 always fails".to_owned(),
+                }),
+                _ => Err(TeeError::ItemNotFound {
+                    what: format!("command {cmd}"),
+                }),
+            }
+        }
+    }
+
+    struct CounterPta {
+        descriptor: TaDescriptor,
+        count: u64,
+    }
+
+    impl CounterPta {
+        fn new() -> Self {
+            CounterPta {
+                descriptor: TaDescriptor::new("perisec.counter-pta", 8, 8),
+                count: 0,
+            }
+        }
+    }
+
+    impl PseudoTa for CounterPta {
+        fn descriptor(&self) -> TaDescriptor {
+            self.descriptor.clone()
+        }
+        fn invoke(&mut self, _env: &mut PtaEnv<'_>, _cmd: u32, params: &mut TeeParams) -> TeeResult<()> {
+            self.count += 1;
+            params.set(0, TeeParam::ValueOutput { a: self.count, b: 0 });
+            Ok(())
+        }
+    }
+
+    fn booted_core() -> Arc<TeeCore> {
+        TeeCore::boot(Platform::jetson_agx_xavier(), Arc::new(Supplicant::new()))
+    }
+
+    #[test]
+    fn register_and_invoke_a_ta_through_sessions() {
+        let core = booted_core();
+        let uuid = core.register_ta(Box::new(EchoTa::new())).unwrap();
+        assert_eq!(core.ta_count(), 1);
+
+        let mut params = TeeParams::new();
+        let session = core.open_session(uuid, &mut params).unwrap();
+        assert_eq!(core.session_count(), 1);
+
+        let mut params = TeeParams::new().with(0, TeeParam::MemRefInput(vec![1, 2, 3]));
+        core.invoke_command(session, 1, &mut params).unwrap();
+        assert_eq!(params.get(1).as_memref().unwrap(), &[3, 2, 1]);
+
+        assert!(core.invoke_command(session, 2, &mut TeeParams::new()).is_err());
+        core.close_session(session).unwrap();
+        assert_eq!(core.session_count(), 0);
+        assert!(core.invoke_command(session, 1, &mut TeeParams::new()).is_err());
+    }
+
+    #[test]
+    fn duplicate_registration_and_unknown_uuid_are_rejected() {
+        let core = booted_core();
+        core.register_ta(Box::new(EchoTa::new())).unwrap();
+        assert!(core.register_ta(Box::new(EchoTa::new())).is_err());
+        let unknown = TaUuid::from_name("perisec.unknown");
+        assert!(matches!(
+            core.open_session(unknown, &mut TeeParams::new()),
+            Err(TeeError::ItemNotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn ta_registration_reserves_secure_memory() {
+        let core = booted_core();
+        let before = core.platform().secure_ram().bytes_in_use();
+        core.register_ta(Box::new(EchoTa::new())).unwrap();
+        let after = core.platform().secure_ram().bytes_in_use();
+        assert_eq!(after - before, (16 + 64) * 1024);
+        // A TA that does not fit is rejected with OutOfMemory.
+        struct HugeTa;
+        impl TrustedApp for HugeTa {
+            fn descriptor(&self) -> TaDescriptor {
+                TaDescriptor::new("perisec.huge-ta", 1024, 64 * 1024)
+            }
+            fn invoke(&mut self, _: &mut TaEnv<'_>, _: u32, _: &mut TeeParams) -> TeeResult<()> {
+                Ok(())
+            }
+        }
+        assert!(matches!(
+            core.register_ta(Box::new(HugeTa)),
+            Err(TeeError::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn unregister_fails_while_sessions_open_then_succeeds() {
+        let core = booted_core();
+        let uuid = core.register_ta(Box::new(EchoTa::new())).unwrap();
+        let session = core.open_session(uuid, &mut TeeParams::new()).unwrap();
+        assert!(core.unregister_ta(uuid).is_err());
+        core.close_session(session).unwrap();
+        core.unregister_ta(uuid).unwrap();
+        assert_eq!(core.ta_count(), 0);
+        assert!(core.unregister_ta(uuid).is_err());
+    }
+
+    #[test]
+    fn pta_invocation_from_secure_world_has_no_world_switch() {
+        let core = booted_core();
+        let uuid = core.register_pta(Box::new(CounterPta::new())).unwrap();
+        let switches_before = core.platform().stats().world_switches();
+        let mut params = TeeParams::new();
+        core.invoke_pta(uuid, 0, &mut params).unwrap();
+        core.invoke_pta(uuid, 0, &mut params).unwrap();
+        assert_eq!(params.get(0).as_values().unwrap().0, 2);
+        assert_eq!(core.platform().stats().world_switches(), switches_before);
+    }
+
+    #[test]
+    fn sessions_can_target_ptas() {
+        let core = booted_core();
+        let uuid = core.register_pta(Box::new(CounterPta::new())).unwrap();
+        let session = core.open_session(uuid, &mut TeeParams::new()).unwrap();
+        let mut params = TeeParams::new();
+        core.invoke_command(session, 0, &mut params).unwrap();
+        assert_eq!(params.get(0).as_values().unwrap().0, 1);
+        core.close_session(session).unwrap();
+    }
+
+    #[test]
+    fn supplicant_rpc_charges_switches_and_counts() {
+        let core = booted_core();
+        let stats_before = core.platform().stats().snapshot();
+        core.supplicant_rpc(RpcRequest::FsWrite {
+            path: "obj".into(),
+            data: vec![0u8; 256],
+        })
+        .unwrap();
+        let stats_after = core.platform().stats().snapshot();
+        let delta = stats_after.delta_since(&stats_before);
+        assert_eq!(delta.supplicant_rpcs, 1);
+        assert!(delta.bytes_to_normal >= 256);
+        // The RPC switched out of and back into the current world.
+        assert_eq!(core.platform().monitor().current_world(), World::Normal);
+    }
+
+    #[test]
+    fn descriptors_lists_tas_and_ptas() {
+        let core = booted_core();
+        core.register_ta(Box::new(EchoTa::new())).unwrap();
+        core.register_pta(Box::new(CounterPta::new())).unwrap();
+        let names: Vec<String> = core.descriptors().iter().map(|d| d.name.clone()).collect();
+        assert_eq!(names, vec!["perisec.counter-pta", "perisec.echo-ta"]);
+    }
+}

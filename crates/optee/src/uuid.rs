@@ -1,0 +1,110 @@
+//! Trusted-application UUIDs.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// A 128-bit identifier for a TA or PTA, in the GlobalPlatform style
+/// (`xxxxxxxx-xxxx-xxxx-xxxx-xxxxxxxxxxxx`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaUuid(pub [u8; 16]);
+
+impl TaUuid {
+    /// Creates a UUID from raw bytes.
+    pub const fn from_bytes(bytes: [u8; 16]) -> Self {
+        TaUuid(bytes)
+    }
+
+    /// Derives a stable UUID from a human-readable name. Handy for tests
+    /// and for the repository's built-in TAs.
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the name, spread across the 16 bytes.
+        let mut bytes = [0u8; 16];
+        let mut hash: u64 = 0xcbf29ce484222325;
+        for (i, b) in name.bytes().enumerate() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x100000001b3);
+            bytes[i % 16] ^= (hash >> ((i % 8) * 8)) as u8;
+        }
+        bytes[..8].copy_from_slice(&hash.to_be_bytes());
+        TaUuid(bytes)
+    }
+
+    /// The raw bytes.
+    pub const fn as_bytes(&self) -> &[u8; 16] {
+        &self.0
+    }
+}
+
+impl fmt::Display for TaUuid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = &self.0;
+        write!(
+            f,
+            "{:02x}{:02x}{:02x}{:02x}-{:02x}{:02x}-{:02x}{:02x}-{:02x}{:02x}-{:02x}{:02x}{:02x}{:02x}{:02x}{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7], b[8], b[9], b[10], b[11], b[12], b[13], b[14], b[15]
+        )
+    }
+}
+
+/// Error parsing a textual UUID.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseUuidError;
+
+impl fmt::Display for ParseUuidError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid uuid syntax")
+    }
+}
+
+impl std::error::Error for ParseUuidError {}
+
+impl FromStr for TaUuid {
+    type Err = ParseUuidError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let hex: String = s.chars().filter(|c| *c != '-').collect();
+        if hex.len() != 32 {
+            return Err(ParseUuidError);
+        }
+        let mut bytes = [0u8; 16];
+        for i in 0..16 {
+            bytes[i] =
+                u8::from_str_radix(&hex[2 * i..2 * i + 2], 16).map_err(|_| ParseUuidError)?;
+        }
+        Ok(TaUuid(bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_parse_round_trip() {
+        let uuid = TaUuid::from_bytes([
+            0x8a, 0xaa, 0xf2, 0x00, 0x24, 0x50, 0x11, 0xe4, 0xab, 0xe2, 0x00, 0x02, 0xa5, 0xd5,
+            0xc5, 0x1b,
+        ]);
+        let text = uuid.to_string();
+        assert_eq!(text, "8aaaf200-2450-11e4-abe2-0002a5d5c51b");
+        assert_eq!(text.parse::<TaUuid>().unwrap(), uuid);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("not-a-uuid".parse::<TaUuid>().is_err());
+        assert!("8aaaf200245011e4abe20002a5d5c5".parse::<TaUuid>().is_err());
+        assert!("8aaaf200-2450-11e4-abe2-0002a5d5c5zz".parse::<TaUuid>().is_err());
+    }
+
+    #[test]
+    fn from_name_is_stable_and_distinct() {
+        let a = TaUuid::from_name("perisec.filter-ta");
+        let b = TaUuid::from_name("perisec.filter-ta");
+        let c = TaUuid::from_name("perisec.i2s-pta");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,232 @@
+//! A compact Alexa-Voice-Service-style message encoding.
+//!
+//! The real AVS speaks HTTP/2 with JSON envelopes; the relay only needs the
+//! information content, so the simulator uses a small tag-length-value
+//! binary encoding. What matters for the experiments is *what* reaches the
+//! cloud (dialog ids, transcripts, audio payloads), which this encoding
+//! carries faithfully.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{RelayError, Result};
+
+const TAG_RECOGNIZE: u8 = 0x10;
+const TAG_TEXT: u8 = 0x11;
+const TAG_PING: u8 = 0x12;
+const TAG_DIRECTIVE_ACK: u8 = 0x20;
+const TAG_DIRECTIVE_SPEAK: u8 = 0x21;
+
+/// An event sent from the device to the cloud.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AvsEvent {
+    /// A voice request: the captured (already filtered) audio for a dialog.
+    Recognize {
+        /// Dialog identifier (the scenario event id in experiments).
+        dialog_id: u64,
+        /// Encoded audio payload.
+        audio: Vec<u8>,
+    },
+    /// A transcribed request (text modality).
+    TextMessage {
+        /// Dialog identifier.
+        dialog_id: u64,
+        /// The transcript text.
+        text: String,
+    },
+    /// Keep-alive.
+    Ping,
+}
+
+impl AvsEvent {
+    /// Serializes the event.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            AvsEvent::Recognize { dialog_id, audio } => {
+                let mut out = vec![TAG_RECOGNIZE];
+                out.extend_from_slice(&dialog_id.to_be_bytes());
+                out.extend_from_slice(&(audio.len() as u32).to_be_bytes());
+                out.extend_from_slice(audio);
+                out
+            }
+            AvsEvent::TextMessage { dialog_id, text } => {
+                let mut out = vec![TAG_TEXT];
+                out.extend_from_slice(&dialog_id.to_be_bytes());
+                out.extend_from_slice(&(text.len() as u32).to_be_bytes());
+                out.extend_from_slice(text.as_bytes());
+                out
+            }
+            AvsEvent::Ping => vec![TAG_PING],
+        }
+    }
+
+    /// Deserializes an event.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RelayError::Codec`] for truncated or unknown messages.
+    pub fn decode(data: &[u8]) -> Result<AvsEvent> {
+        let tag = *data.first().ok_or(RelayError::Codec {
+            reason: "empty event".to_owned(),
+        })?;
+        match tag {
+            TAG_PING => Ok(AvsEvent::Ping),
+            TAG_RECOGNIZE | TAG_TEXT => {
+                if data.len() < 13 {
+                    return Err(RelayError::Codec {
+                        reason: "event header truncated".to_owned(),
+                    });
+                }
+                let dialog_id = u64::from_be_bytes(data[1..9].try_into().expect("8 bytes"));
+                let len = u32::from_be_bytes(data[9..13].try_into().expect("4 bytes")) as usize;
+                if data.len() < 13 + len {
+                    return Err(RelayError::Codec {
+                        reason: "event payload truncated".to_owned(),
+                    });
+                }
+                let payload = &data[13..13 + len];
+                if tag == TAG_RECOGNIZE {
+                    Ok(AvsEvent::Recognize {
+                        dialog_id,
+                        audio: payload.to_vec(),
+                    })
+                } else {
+                    Ok(AvsEvent::TextMessage {
+                        dialog_id,
+                        text: String::from_utf8_lossy(payload).into_owned(),
+                    })
+                }
+            }
+            other => Err(RelayError::Codec {
+                reason: format!("unknown event tag {other:#x}"),
+            }),
+        }
+    }
+
+    /// Size of the encoded event in bytes.
+    pub fn encoded_len(&self) -> usize {
+        self.encode().len()
+    }
+}
+
+/// A directive returned from the cloud to the device.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AvsDirective {
+    /// Acknowledgement of an event.
+    Ack {
+        /// Dialog the acknowledgement refers to.
+        dialog_id: u64,
+    },
+    /// A spoken response to play back.
+    Speak {
+        /// Dialog the response refers to.
+        dialog_id: u64,
+        /// Response text.
+        text: String,
+    },
+}
+
+impl AvsDirective {
+    /// Serializes the directive.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            AvsDirective::Ack { dialog_id } => {
+                let mut out = vec![TAG_DIRECTIVE_ACK];
+                out.extend_from_slice(&dialog_id.to_be_bytes());
+                out
+            }
+            AvsDirective::Speak { dialog_id, text } => {
+                let mut out = vec![TAG_DIRECTIVE_SPEAK];
+                out.extend_from_slice(&dialog_id.to_be_bytes());
+                out.extend_from_slice(&(text.len() as u32).to_be_bytes());
+                out.extend_from_slice(text.as_bytes());
+                out
+            }
+        }
+    }
+
+    /// Deserializes a directive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RelayError::Codec`] for truncated or unknown messages.
+    pub fn decode(data: &[u8]) -> Result<AvsDirective> {
+        let tag = *data.first().ok_or(RelayError::Codec {
+            reason: "empty directive".to_owned(),
+        })?;
+        match tag {
+            TAG_DIRECTIVE_ACK => {
+                if data.len() < 9 {
+                    return Err(RelayError::Codec {
+                        reason: "ack truncated".to_owned(),
+                    });
+                }
+                Ok(AvsDirective::Ack {
+                    dialog_id: u64::from_be_bytes(data[1..9].try_into().expect("8 bytes")),
+                })
+            }
+            TAG_DIRECTIVE_SPEAK => {
+                if data.len() < 13 {
+                    return Err(RelayError::Codec {
+                        reason: "speak truncated".to_owned(),
+                    });
+                }
+                let dialog_id = u64::from_be_bytes(data[1..9].try_into().expect("8 bytes"));
+                let len = u32::from_be_bytes(data[9..13].try_into().expect("4 bytes")) as usize;
+                if data.len() < 13 + len {
+                    return Err(RelayError::Codec {
+                        reason: "speak payload truncated".to_owned(),
+                    });
+                }
+                Ok(AvsDirective::Speak {
+                    dialog_id,
+                    text: String::from_utf8_lossy(&data[13..13 + len]).into_owned(),
+                })
+            }
+            other => Err(RelayError::Codec {
+                reason: format!("unknown directive tag {other:#x}"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_round_trip() {
+        let events = vec![
+            AvsEvent::Ping,
+            AvsEvent::Recognize { dialog_id: 7, audio: vec![1, 2, 3, 4, 5] },
+            AvsEvent::TextMessage { dialog_id: 9, text: "play music kitchen".to_owned() },
+        ];
+        for e in events {
+            let encoded = e.encode();
+            assert_eq!(AvsEvent::decode(&encoded).unwrap(), e);
+            assert_eq!(e.encoded_len(), encoded.len());
+        }
+    }
+
+    #[test]
+    fn directives_round_trip() {
+        for d in [
+            AvsDirective::Ack { dialog_id: 3 },
+            AvsDirective::Speak { dialog_id: 3, text: "okay".to_owned() },
+        ] {
+            assert_eq!(AvsDirective::decode(&d.encode()).unwrap(), d);
+        }
+    }
+
+    #[test]
+    fn malformed_messages_are_rejected() {
+        assert!(AvsEvent::decode(&[]).is_err());
+        assert!(AvsEvent::decode(&[0xEE]).is_err());
+        assert!(AvsEvent::decode(&[TAG_RECOGNIZE, 1, 2]).is_err());
+        let mut truncated = AvsEvent::Recognize { dialog_id: 1, audio: vec![0; 100] }.encode();
+        truncated.truncate(20);
+        assert!(AvsEvent::decode(&truncated).is_err());
+        assert!(AvsDirective::decode(&[]).is_err());
+        assert!(AvsDirective::decode(&[0x77]).is_err());
+        assert!(AvsDirective::decode(&[TAG_DIRECTIVE_SPEAK, 0, 0]).is_err());
+    }
+}

@@ -1,0 +1,286 @@
+//! The mock cloud service.
+//!
+//! Plays the role of the untrusted cloud provider (Amazon/Google in the
+//! paper): terminates the relay's secure channel, decodes AVS events, and
+//! — crucially for the privacy experiments — records exactly what it
+//! received. Whatever appears in [`CloudReport`] is, by definition, what
+//! has been exposed to the untrusted party.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::avs::{AvsDirective, AvsEvent};
+use crate::netsim::NetworkService;
+use crate::tls::{SecureChannelServer, PSK_LEN};
+
+/// One event as received (and understood) by the cloud.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReceivedEvent {
+    /// Dialog the event belongs to.
+    pub dialog_id: u64,
+    /// Transcript text, if the event carried text.
+    pub text: Option<String>,
+    /// Audio payload size, if the event carried audio.
+    pub audio_bytes: usize,
+    /// Whether the event arrived over the encrypted channel.
+    pub encrypted: bool,
+}
+
+/// Everything the cloud has observed.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CloudReport {
+    /// Events the cloud decoded, in arrival order.
+    pub events: Vec<ReceivedEvent>,
+    /// Number of records that failed channel authentication.
+    pub rejected_records: u64,
+    /// Total application bytes received (after decryption).
+    pub application_bytes: u64,
+}
+
+impl CloudReport {
+    /// Dialog ids for which the cloud received any content.
+    pub fn received_dialog_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.events.iter().map(|e| e.dialog_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Number of Recognize (audio) events received.
+    pub fn recognize_count(&self) -> usize {
+        self.events.iter().filter(|e| e.audio_bytes > 0).count()
+    }
+
+    /// Concatenated text received for one dialog.
+    pub fn text_of(&self, dialog_id: u64) -> String {
+        self.events
+            .iter()
+            .filter(|e| e.dialog_id == dialog_id)
+            .filter_map(|e| e.text.clone())
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+struct ConnectionState {
+    channel: SecureChannelServer,
+}
+
+/// The mock cloud service. Register it on a [`crate::NetworkFabric`] under
+/// the cloud hostname.
+pub struct MockCloudService {
+    psk: [u8; PSK_LEN],
+    connections: Mutex<std::collections::HashMap<u64, ConnectionState>>,
+    report: Mutex<CloudReport>,
+    response_text: String,
+}
+
+impl std::fmt::Debug for MockCloudService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MockCloudService")
+            .field("events", &self.report.lock().events.len())
+            .finish()
+    }
+}
+
+impl MockCloudService {
+    /// Default hostname the cloud registers under.
+    pub const HOST: &'static str = "avs.cloud.example";
+
+    /// Creates the service with the device-provisioned PSK.
+    pub fn new(psk: [u8; PSK_LEN]) -> Arc<Self> {
+        Arc::new(MockCloudService {
+            psk,
+            connections: Mutex::new(std::collections::HashMap::new()),
+            report: Mutex::new(CloudReport::default()),
+            response_text: "okay".to_owned(),
+        })
+    }
+
+    /// A snapshot of everything received so far.
+    pub fn report(&self) -> CloudReport {
+        self.report.lock().clone()
+    }
+
+    /// Clears the recorded events (between experiment runs).
+    pub fn reset(&self) {
+        *self.report.lock() = CloudReport::default();
+    }
+
+    fn record_event(&self, event: &AvsEvent, encrypted: bool) {
+        let mut report = self.report.lock();
+        match event {
+            AvsEvent::Recognize { dialog_id, audio } => {
+                report.application_bytes += audio.len() as u64;
+                report.events.push(ReceivedEvent {
+                    dialog_id: *dialog_id,
+                    text: None,
+                    audio_bytes: audio.len(),
+                    encrypted,
+                });
+            }
+            AvsEvent::TextMessage { dialog_id, text } => {
+                report.application_bytes += text.len() as u64;
+                report.events.push(ReceivedEvent {
+                    dialog_id: *dialog_id,
+                    text: Some(text.clone()),
+                    audio_bytes: 0,
+                    encrypted,
+                });
+            }
+            AvsEvent::Ping => {}
+        }
+    }
+
+    fn ack_for(event: &AvsEvent) -> AvsDirective {
+        match event {
+            AvsEvent::Recognize { dialog_id, .. } | AvsEvent::TextMessage { dialog_id, .. } => {
+                AvsDirective::Ack { dialog_id: *dialog_id }
+            }
+            AvsEvent::Ping => AvsDirective::Ack { dialog_id: u64::MAX },
+        }
+    }
+
+    fn speak_for(&self, event: &AvsEvent) -> AvsDirective {
+        match event {
+            AvsEvent::Recognize { dialog_id, .. } | AvsEvent::TextMessage { dialog_id, .. } => {
+                AvsDirective::Speak {
+                    dialog_id: *dialog_id,
+                    text: self.response_text.clone(),
+                }
+            }
+            AvsEvent::Ping => AvsDirective::Ack { dialog_id: u64::MAX },
+        }
+    }
+}
+
+impl NetworkService for MockCloudService {
+    fn handle(&self, conn: u64, request: &[u8]) -> Vec<u8> {
+        let mut connections = self.connections.lock();
+        let state = connections.entry(conn).or_insert_with(|| ConnectionState {
+            channel: SecureChannelServer::new(self.psk, conn),
+        });
+        if !state.channel.is_established() {
+            // Either a handshake, or a plaintext (baseline / ablation) event.
+            if let Ok(server_hello) = state.channel.process_client_hello(request) {
+                return server_hello;
+            }
+            return match AvsEvent::decode(request) {
+                Ok(event) => {
+                    self.record_event(&event, false);
+                    let _ = self.speak_for(&event);
+                    Self::ack_for(&event).encode()
+                }
+                Err(_) => {
+                    self.report.lock().rejected_records += 1;
+                    Vec::new()
+                }
+            };
+        }
+        // Established channel: open the record, decode the event, reply
+        // with a protected acknowledgement.
+        match state.channel.open(request) {
+            Ok(plaintext) => match AvsEvent::decode(&plaintext) {
+                Ok(event) => {
+                    self.record_event(&event, true);
+                    let ack = Self::ack_for(&event).encode();
+                    state.channel.seal(&ack).unwrap_or_default()
+                }
+                Err(_) => {
+                    self.report.lock().rejected_records += 1;
+                    Vec::new()
+                }
+            },
+            Err(_) => {
+                self.report.lock().rejected_records += 1;
+                Vec::new()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netsim::NetworkFabric;
+    use crate::tls::SecureChannelClient;
+
+    const PSK: [u8; PSK_LEN] = [7u8; PSK_LEN];
+
+    fn fabric_with_cloud() -> (NetworkFabric, Arc<MockCloudService>) {
+        let fabric = NetworkFabric::new();
+        let cloud = MockCloudService::new(PSK);
+        fabric.register_service(MockCloudService::HOST, cloud.clone());
+        (fabric, cloud)
+    }
+
+    #[test]
+    fn encrypted_events_reach_the_cloud_and_are_acked() {
+        let (fabric, cloud) = fabric_with_cloud();
+        let transport = fabric.open_transport(MockCloudService::HOST, 443).unwrap();
+        let mut client = SecureChannelClient::new(PSK, 99);
+        transport.send(&client.client_hello()).unwrap();
+        let server_hello = transport.recv(1024).unwrap();
+        client.process_server_hello(&server_hello).unwrap();
+
+        let event = AvsEvent::TextMessage { dialog_id: 5, text: "play music".to_owned() };
+        transport.send(&client.seal(&event.encode()).unwrap()).unwrap();
+        let reply = transport.recv(4096).unwrap();
+        let directive = AvsDirective::decode(&client.open(&reply).unwrap()).unwrap();
+        assert_eq!(directive, AvsDirective::Ack { dialog_id: 5 });
+
+        let report = cloud.report();
+        assert_eq!(report.events.len(), 1);
+        assert_eq!(report.events[0].text.as_deref(), Some("play music"));
+        assert!(report.events[0].encrypted);
+        assert_eq!(report.received_dialog_ids(), vec![5]);
+        assert_eq!(report.text_of(5), "play music");
+    }
+
+    #[test]
+    fn plaintext_events_are_accepted_and_marked_unencrypted() {
+        let (fabric, cloud) = fabric_with_cloud();
+        let transport = fabric.open_transport(MockCloudService::HOST, 443).unwrap();
+        let event = AvsEvent::Recognize { dialog_id: 2, audio: vec![0u8; 320] };
+        transport.send(&event.encode()).unwrap();
+        let ack = AvsDirective::decode(&transport.recv(64).unwrap()).unwrap();
+        assert_eq!(ack, AvsDirective::Ack { dialog_id: 2 });
+        let report = cloud.report();
+        assert_eq!(report.recognize_count(), 1);
+        assert!(!report.events[0].encrypted);
+        assert_eq!(report.application_bytes, 320);
+    }
+
+    #[test]
+    fn garbage_is_rejected_and_counted() {
+        let (fabric, cloud) = fabric_with_cloud();
+        let transport = fabric.open_transport(MockCloudService::HOST, 443).unwrap();
+        transport.send(&[0xde, 0xad, 0xbe, 0xef]).unwrap();
+        assert!(transport.recv(64).unwrap().is_empty());
+        assert_eq!(cloud.report().rejected_records, 1);
+        assert!(cloud.report().events.is_empty());
+    }
+
+    #[test]
+    fn reset_clears_the_report() {
+        let (fabric, cloud) = fabric_with_cloud();
+        let transport = fabric.open_transport(MockCloudService::HOST, 443).unwrap();
+        transport
+            .send(&AvsEvent::TextMessage { dialog_id: 1, text: "x".into() }.encode())
+            .unwrap();
+        assert_eq!(cloud.report().events.len(), 1);
+        cloud.reset();
+        assert!(cloud.report().events.is_empty());
+    }
+
+    #[test]
+    fn pings_are_acked_but_not_recorded() {
+        let (fabric, cloud) = fabric_with_cloud();
+        let transport = fabric.open_transport(MockCloudService::HOST, 443).unwrap();
+        transport.send(&AvsEvent::Ping.encode()).unwrap();
+        assert!(!transport.recv(64).unwrap().is_empty());
+        assert!(cloud.report().events.is_empty());
+    }
+}

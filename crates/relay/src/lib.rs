@@ -1,0 +1,100 @@
+//! # perisec-relay — the relay module, the network fabric and the cloud
+//!
+//! Plan item 5 of the paper: "this module constitutes a TLS endpoint which
+//! implements an API, e.g., Amazon Alexa voice service (AVS), used to
+//! communicate with the cloud service provider." The relay runs inside the
+//! filter TA and reaches the network through the TEE supplicant.
+//!
+//! * [`netsim`] — an in-process network fabric standing in for the
+//!   Internet: services register under hostnames, and the fabric implements
+//!   the supplicant's [`perisec_optee::NetBackend`] so the secure world's
+//!   socket RPCs reach them;
+//! * [`tls`] — a TLS-1.3-flavoured pre-shared-key secure channel
+//!   (HKDF key schedule, ChaCha20-Poly1305 records, explicit handshake)
+//!   built on the crypto primitives of `perisec-optee`;
+//! * [`avs`] — a compact binary encoding of Alexa-Voice-Service-style
+//!   events (Recognize, text events) and directives;
+//! * [`cloud`] — the mock cloud service: terminates the secure channel,
+//!   decodes AVS events, and records exactly what reached it (the ground
+//!   truth for the privacy-leakage experiments).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod avs;
+pub mod cloud;
+pub mod netsim;
+pub mod tls;
+
+pub use avs::{AvsDirective, AvsEvent};
+pub use cloud::{CloudReport, MockCloudService, ReceivedEvent};
+pub use netsim::{NetworkFabric, Transport};
+pub use tls::{SecureChannelClient, SecureChannelServer, PSK_LEN};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the relay stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RelayError {
+    /// The peer or host was not reachable.
+    Unreachable {
+        /// Host that was targeted.
+        host: String,
+    },
+    /// Handshake or record protection failed.
+    ChannelError {
+        /// Explanation.
+        reason: String,
+    },
+    /// An AVS message could not be decoded.
+    Codec {
+        /// Explanation.
+        reason: String,
+    },
+    /// The underlying transport failed.
+    Transport {
+        /// Explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for RelayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelayError::Unreachable { host } => write!(f, "host unreachable: {host}"),
+            RelayError::ChannelError { reason } => write!(f, "secure channel error: {reason}"),
+            RelayError::Codec { reason } => write!(f, "avs codec error: {reason}"),
+            RelayError::Transport { reason } => write!(f, "transport error: {reason}"),
+        }
+    }
+}
+
+impl Error for RelayError {}
+
+impl From<perisec_optee::TeeError> for RelayError {
+    fn from(e: perisec_optee::TeeError) -> Self {
+        RelayError::Transport {
+            reason: e.to_string(),
+        }
+    }
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, RelayError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relay_error_is_well_behaved() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<RelayError>();
+        let e = RelayError::Unreachable { host: "avs.example".into() };
+        assert!(e.to_string().contains("avs.example"));
+        let e: RelayError = perisec_optee::TeeError::TargetDead.into();
+        assert!(matches!(e, RelayError::Transport { .. }));
+    }
+}

@@ -1,0 +1,266 @@
+//! The in-process network fabric.
+//!
+//! Stands in for the Internet between the IoT device and the cloud.
+//! Services register under a hostname; connections are pairs of byte
+//! queues. The fabric implements [`NetBackend`], so the TEE supplicant's
+//! socket RPCs (issued on behalf of the relay running in the TA) terminate
+//! here, and it also hands out [`Transport`] handles for normal-world
+//! clients (the unprotected baseline pipeline).
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use perisec_optee::{NetBackend, TeeError, TeeResult};
+
+use crate::{RelayError, Result};
+
+/// A network service: receives request bytes, returns response bytes.
+///
+/// The fabric delivers each `send` on a connection to the service and
+/// queues whatever the service returns for the next `recv` on that
+/// connection — a synchronous request/response fabric, which is all the
+/// relay protocol needs.
+pub trait NetworkService: Send + Sync {
+    /// Handles one request on connection `conn` and returns the response
+    /// bytes (possibly empty).
+    fn handle(&self, conn: u64, request: &[u8]) -> Vec<u8>;
+}
+
+struct Connection {
+    service: Arc<dyn NetworkService>,
+    pending: VecDeque<u8>,
+    bytes_sent: u64,
+    bytes_received: u64,
+}
+
+/// Counters of fabric activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FabricStats {
+    /// Connections opened since creation.
+    pub connections: u64,
+    /// Application bytes sent towards services.
+    pub bytes_sent: u64,
+    /// Application bytes returned to clients.
+    pub bytes_received: u64,
+}
+
+/// The network fabric.
+#[derive(Clone, Default)]
+pub struct NetworkFabric {
+    inner: Arc<FabricInner>,
+}
+
+#[derive(Default)]
+struct FabricInner {
+    services: Mutex<HashMap<String, Arc<dyn NetworkService>>>,
+    connections: Mutex<HashMap<u64, Connection>>,
+    next_conn: AtomicU64,
+    stats: Mutex<FabricStats>,
+}
+
+impl std::fmt::Debug for NetworkFabric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetworkFabric")
+            .field("services", &self.inner.services.lock().len())
+            .field("connections", &self.inner.connections.lock().len())
+            .finish()
+    }
+}
+
+impl NetworkFabric {
+    /// Creates an empty fabric.
+    pub fn new() -> Self {
+        NetworkFabric::default()
+    }
+
+    /// Registers `service` under `host` (replacing any previous service).
+    pub fn register_service(&self, host: &str, service: Arc<dyn NetworkService>) {
+        self.inner.services.lock().insert(host.to_owned(), service);
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> FabricStats {
+        *self.inner.stats.lock()
+    }
+
+    /// Opens a connection and returns a [`Transport`] for direct
+    /// (normal-world) use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RelayError::Unreachable`] for unknown hosts.
+    pub fn open_transport(&self, host: &str, port: u16) -> Result<Transport> {
+        let conn = self
+            .connect(host, port)
+            .map_err(|_| RelayError::Unreachable { host: host.to_owned() })?;
+        Ok(Transport {
+            fabric: self.clone(),
+            conn,
+        })
+    }
+
+    fn service_of(&self, host: &str) -> Option<Arc<dyn NetworkService>> {
+        self.inner.services.lock().get(host).cloned()
+    }
+}
+
+impl NetBackend for NetworkFabric {
+    fn connect(&self, host: &str, _port: u16) -> TeeResult<u64> {
+        let service = self.service_of(host).ok_or(TeeError::Communication {
+            reason: format!("no route to host '{host}'"),
+        })?;
+        let conn = self.inner.next_conn.fetch_add(1, Ordering::SeqCst) + 1;
+        self.inner.connections.lock().insert(
+            conn,
+            Connection {
+                service,
+                pending: VecDeque::new(),
+                bytes_sent: 0,
+                bytes_received: 0,
+            },
+        );
+        self.inner.stats.lock().connections += 1;
+        Ok(conn)
+    }
+
+    fn send(&self, socket: u64, data: &[u8]) -> TeeResult<usize> {
+        let mut connections = self.inner.connections.lock();
+        let connection = connections.get_mut(&socket).ok_or(TeeError::Communication {
+            reason: format!("unknown socket {socket}"),
+        })?;
+        let response = connection.service.handle(socket, data);
+        connection.bytes_sent += data.len() as u64;
+        connection.bytes_received += response.len() as u64;
+        let mut stats = self.inner.stats.lock();
+        stats.bytes_sent += data.len() as u64;
+        stats.bytes_received += response.len() as u64;
+        connection.pending.extend(response);
+        Ok(data.len())
+    }
+
+    fn recv(&self, socket: u64, max: usize) -> TeeResult<Vec<u8>> {
+        let mut connections = self.inner.connections.lock();
+        let connection = connections.get_mut(&socket).ok_or(TeeError::Communication {
+            reason: format!("unknown socket {socket}"),
+        })?;
+        let n = max.min(connection.pending.len());
+        Ok(connection.pending.drain(..n).collect())
+    }
+
+    fn close(&self, socket: u64) {
+        self.inner.connections.lock().remove(&socket);
+    }
+}
+
+/// A direct (normal-world) connection handle over the fabric.
+#[derive(Debug, Clone)]
+pub struct Transport {
+    fabric: NetworkFabric,
+    conn: u64,
+}
+
+impl Transport {
+    /// Sends request bytes to the service.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RelayError::Transport`] if the connection is gone.
+    pub fn send(&self, data: &[u8]) -> Result<usize> {
+        NetBackend::send(&self.fabric, self.conn, data).map_err(RelayError::from)
+    }
+
+    /// Receives up to `max` response bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RelayError::Transport`] if the connection is gone.
+    pub fn recv(&self, max: usize) -> Result<Vec<u8>> {
+        NetBackend::recv(&self.fabric, self.conn, max).map_err(RelayError::from)
+    }
+
+    /// Closes the connection.
+    pub fn close(&self) {
+        NetBackend::close(&self.fabric, self.conn);
+    }
+
+    /// The underlying socket id.
+    pub fn socket(&self) -> u64 {
+        self.conn
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct UpperCaseService;
+    impl NetworkService for UpperCaseService {
+        fn handle(&self, _conn: u64, request: &[u8]) -> Vec<u8> {
+            request.to_ascii_uppercase()
+        }
+    }
+
+    #[test]
+    fn request_response_round_trip() {
+        let fabric = NetworkFabric::new();
+        fabric.register_service("cloud.example", Arc::new(UpperCaseService));
+        let t = fabric.open_transport("cloud.example", 443).unwrap();
+        assert_eq!(t.send(b"hello").unwrap(), 5);
+        assert_eq!(t.recv(100).unwrap(), b"HELLO");
+        // Partial reads drain the buffer.
+        t.send(b"abc").unwrap();
+        assert_eq!(t.recv(2).unwrap(), b"AB");
+        assert_eq!(t.recv(2).unwrap(), b"C");
+        assert!(t.recv(2).unwrap().is_empty());
+        t.close();
+        assert!(t.send(b"x").is_err());
+    }
+
+    #[test]
+    fn unknown_hosts_and_sockets_error() {
+        let fabric = NetworkFabric::new();
+        assert!(fabric.open_transport("ghost.example", 1).is_err());
+        assert!(NetBackend::connect(&fabric, "ghost.example", 1).is_err());
+        assert!(NetBackend::send(&fabric, 42, b"x").is_err());
+        assert!(NetBackend::recv(&fabric, 42, 1).is_err());
+    }
+
+    #[test]
+    fn stats_track_traffic() {
+        let fabric = NetworkFabric::new();
+        fabric.register_service("cloud.example", Arc::new(UpperCaseService));
+        let t = fabric.open_transport("cloud.example", 443).unwrap();
+        t.send(b"12345678").unwrap();
+        let stats = fabric.stats();
+        assert_eq!(stats.connections, 1);
+        assert_eq!(stats.bytes_sent, 8);
+        assert_eq!(stats.bytes_received, 8);
+    }
+
+    #[test]
+    fn fabric_serves_as_supplicant_net_backend() {
+        use perisec_optee::{RpcRequest, Supplicant};
+        let fabric = NetworkFabric::new();
+        fabric.register_service("avs.example", Arc::new(UpperCaseService));
+        let supplicant = Supplicant::new();
+        supplicant.set_net_backend(Arc::new(fabric));
+        let socket = match supplicant
+            .handle(RpcRequest::NetConnect { host: "avs.example".into(), port: 443 })
+            .unwrap()
+        {
+            perisec_optee::RpcReply::Socket(s) => s,
+            other => panic!("unexpected {other:?}"),
+        };
+        supplicant
+            .handle(RpcRequest::NetSend { socket, data: b"ping".to_vec() })
+            .unwrap();
+        match supplicant.handle(RpcRequest::NetRecv { socket, max: 16 }).unwrap() {
+            perisec_optee::RpcReply::Data(d) => assert_eq!(d, b"PING"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # perisec-secure-driver — the I2S driver ported into the TEE
+//!
+//! The heart of the paper's design: "Our design ports the full driver
+//! software into OP-TEE. As such, the secure hardware device driver
+//! associated with the peripheral device reads this potentially sensitive
+//! data into its I/O buffers. TrustZone provides an address space
+//! controller capable of carving out secure RAM memory from which a secure
+//! driver's I/O buffers are allocated." (§II)
+//!
+//! In practice (plan items 2 and 3) only the *minimal, traced* subset of
+//! the driver is ported. This crate contains:
+//!
+//! * [`driver`] — [`driver::SecureI2sDriver`], the capture-only driver that
+//!   runs in the secure world, allocates its I/O buffers from the TrustZone
+//!   carve-out, and charges secure-world costs for its work;
+//! * [`pta`] — [`pta::I2sPta`], the pseudo trusted application that exposes
+//!   the driver to userland TAs over GlobalPlatform-style commands, exactly
+//!   as the paper's Fig. 1 steps 3–4 describe.
+//!
+//! The set of kernel functions this port corresponds to is exported as
+//! [`driver::PORTED_FUNCTIONS`]; `perisec-tcb` compares it against the
+//! full driver catalog and the kernel traces to quantify the TCB reduction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod pta;
+
+pub use driver::{SecureCaptureReport, SecureDriverState, SecureI2sDriver, PORTED_FUNCTIONS};
+pub use pta::{I2sPta, I2S_PTA_NAME};

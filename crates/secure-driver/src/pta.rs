@@ -1,0 +1,211 @@
+//! The I2S pseudo trusted application.
+//!
+//! "OP-TEE provides a secure interface called a pseudo trusted application
+//! (PTA) which is a secure module with OS-level privileges that could serve
+//! as an intermediary between a TA (no OS-level privileges) and low-level
+//! code like device driver software." (§II)
+//!
+//! [`I2sPta`] is that intermediary: it owns the [`SecureI2sDriver`] and
+//! exposes configure / start / capture / stop / stats commands to userland
+//! TAs (the filter TA in `perisec-core`) and, for management purposes, to
+//! the normal-world client.
+
+use perisec_devices::codec::AudioEncoding;
+use perisec_optee::{PseudoTa, PtaEnv, TaDescriptor, TeeError, TeeParam, TeeParams, TeeResult};
+
+use crate::driver::{SecureDriverState, SecureI2sDriver};
+
+/// Registered name of the I2S PTA (its UUID is derived from this).
+pub const I2S_PTA_NAME: &str = "perisec.i2s-pta";
+
+/// Command identifiers understood by the PTA.
+pub mod cmd {
+    /// Configure capture: value param `a` = period frames, `b` = encoding
+    /// (0 = PCM, 1 = µ-law).
+    pub const CONFIGURE: u32 = 0;
+    /// Start the capture stream.
+    pub const START: u32 = 1;
+    /// Capture: value param `a` = number of periods; returns the encoded
+    /// audio in an output memref and `(wire_ns, cpu_ns)` in a value output.
+    pub const CAPTURE: u32 = 2;
+    /// Stop the capture stream.
+    pub const STOP: u32 = 3;
+    /// Query cumulative statistics: returns `(frames, bytes)` and
+    /// `(periods, secure_irqs)` in two value outputs.
+    pub const STATS: u32 = 4;
+    /// Release all resources.
+    pub const SHUTDOWN: u32 = 5;
+}
+
+/// The pseudo trusted application owning the secure I2S driver.
+pub struct I2sPta {
+    driver: SecureI2sDriver,
+}
+
+impl std::fmt::Debug for I2sPta {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("I2sPta").field("driver", &self.driver).finish()
+    }
+}
+
+impl I2sPta {
+    /// Wraps a secure driver in the PTA interface.
+    pub fn new(driver: SecureI2sDriver) -> Self {
+        I2sPta { driver }
+    }
+
+    /// Read access to the wrapped driver (for tests and reports).
+    pub fn driver(&self) -> &SecureI2sDriver {
+        &self.driver
+    }
+
+    /// Mutable access to the wrapped driver (scenario runners use this to
+    /// swap the microphone's signal source).
+    pub fn driver_mut(&mut self) -> &mut SecureI2sDriver {
+        &mut self.driver
+    }
+}
+
+impl PseudoTa for I2sPta {
+    fn descriptor(&self) -> TaDescriptor {
+        TaDescriptor::new(I2S_PTA_NAME, 16, 64)
+    }
+
+    fn invoke(&mut self, _env: &mut PtaEnv<'_>, cmd: u32, params: &mut TeeParams) -> TeeResult<()> {
+        match cmd {
+            cmd::CONFIGURE => {
+                let (period_frames, encoding) =
+                    params.get(0).as_values().ok_or(TeeError::BadParameters {
+                        reason: "configure expects a value parameter".to_owned(),
+                    })?;
+                let encoding = match encoding {
+                    0 => AudioEncoding::PcmLe16,
+                    1 => AudioEncoding::MuLaw,
+                    other => {
+                        return Err(TeeError::BadParameters {
+                            reason: format!("unknown encoding {other}"),
+                        })
+                    }
+                };
+                self.driver.configure(period_frames as usize, encoding)
+            }
+            cmd::START => self.driver.start(),
+            cmd::CAPTURE => {
+                let (periods, _) = params.get(0).as_values().ok_or(TeeError::BadParameters {
+                    reason: "capture expects a value parameter".to_owned(),
+                })?;
+                let (encoded, report) = self.driver.capture_periods(periods as usize)?;
+                params.set(1, TeeParam::MemRefOutput(encoded));
+                params.set(
+                    2,
+                    TeeParam::ValueOutput {
+                        a: report.wire_time.as_nanos(),
+                        b: report.cpu_time.as_nanos(),
+                    },
+                );
+                Ok(())
+            }
+            cmd::STOP => {
+                self.driver.stop();
+                Ok(())
+            }
+            cmd::STATS => {
+                let stats = self.driver.stats();
+                params.set(
+                    0,
+                    TeeParam::ValueOutput {
+                        a: stats.frames_captured,
+                        b: stats.bytes_delivered,
+                    },
+                );
+                params.set(
+                    1,
+                    TeeParam::ValueOutput {
+                        a: stats.periods,
+                        b: stats.secure_irqs,
+                    },
+                );
+                Ok(())
+            }
+            cmd::SHUTDOWN => {
+                self.driver.shutdown();
+                Ok(())
+            }
+            other => Err(TeeError::ItemNotFound {
+                what: format!("i2s pta command {other}"),
+            }),
+        }
+    }
+}
+
+/// Convenience check used by callers that want to verify the PTA is usable
+/// before streaming.
+pub fn is_ready(state: SecureDriverState) -> bool {
+    state == SecureDriverState::Running
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::SecureI2sDriver;
+    use perisec_devices::mic::Microphone;
+    use perisec_devices::signal::SineSource;
+    use perisec_optee::{Supplicant, TaUuid, TeeCore};
+    use perisec_tz::platform::Platform;
+    use std::sync::Arc;
+
+    fn registered_pta() -> (Arc<TeeCore>, TaUuid) {
+        let platform = Platform::jetson_agx_xavier();
+        let core = TeeCore::boot(platform.clone(), Arc::new(Supplicant::new()));
+        let mic = Microphone::speech_mic("mic", Box::new(SineSource::new(440.0, 16_000, 0.6))).unwrap();
+        let pta = I2sPta::new(SecureI2sDriver::new(platform, mic));
+        let uuid = core.register_pta(Box::new(pta)).unwrap();
+        (core, uuid)
+    }
+
+    #[test]
+    fn full_capture_flow_through_the_pta_interface() {
+        let (core, uuid) = registered_pta();
+        // Configure: 160-frame periods, PCM encoding.
+        let mut p = TeeParams::new().with(0, TeeParam::ValueInput { a: 160, b: 0 });
+        core.invoke_pta(uuid, cmd::CONFIGURE, &mut p).unwrap();
+        core.invoke_pta(uuid, cmd::START, &mut TeeParams::new()).unwrap();
+
+        let mut p = TeeParams::new().with(0, TeeParam::ValueInput { a: 5, b: 0 });
+        core.invoke_pta(uuid, cmd::CAPTURE, &mut p).unwrap();
+        let audio = p.get(1).as_memref().unwrap();
+        assert_eq!(audio.len(), 5 * 160 * 2);
+        let (wire_ns, cpu_ns) = p.get(2).as_values().unwrap();
+        assert_eq!(wire_ns, 50_000_000);
+        assert!(cpu_ns > 0);
+
+        let mut p = TeeParams::new();
+        core.invoke_pta(uuid, cmd::STATS, &mut p).unwrap();
+        assert_eq!(p.get(0).as_values().unwrap().0, 5 * 160);
+        core.invoke_pta(uuid, cmd::STOP, &mut TeeParams::new()).unwrap();
+        core.invoke_pta(uuid, cmd::SHUTDOWN, &mut TeeParams::new()).unwrap();
+    }
+
+    #[test]
+    fn bad_commands_and_parameters_are_rejected() {
+        let (core, uuid) = registered_pta();
+        assert!(core.invoke_pta(uuid, 99, &mut TeeParams::new()).is_err());
+        // Configure without a value parameter.
+        assert!(core
+            .invoke_pta(uuid, cmd::CONFIGURE, &mut TeeParams::new())
+            .is_err());
+        // Unknown encoding.
+        let mut p = TeeParams::new().with(0, TeeParam::ValueInput { a: 160, b: 9 });
+        assert!(core.invoke_pta(uuid, cmd::CONFIGURE, &mut p).is_err());
+        // Capture before start.
+        let mut p = TeeParams::new().with(0, TeeParam::ValueInput { a: 1, b: 0 });
+        assert!(core.invoke_pta(uuid, cmd::CAPTURE, &mut p).is_err());
+    }
+
+    #[test]
+    fn readiness_helper_tracks_state() {
+        assert!(!is_ready(SecureDriverState::Idle));
+        assert!(!is_ready(SecureDriverState::Configured));
+        assert!(is_ready(SecureDriverState::Running));
+    }
+}

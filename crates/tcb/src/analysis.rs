@@ -1,0 +1,209 @@
+//! Trace analysis: which functions does each task actually need?
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use perisec_kernel::catalog::{DriverCatalog, FeatureGroup};
+use perisec_kernel::trace::TraceLog;
+
+/// The minimal function set of one traced task.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskTcb {
+    /// Task label (as recorded by the tracer).
+    pub task: String,
+    /// Functions the task executed.
+    pub functions: BTreeSet<String>,
+    /// Lines of code of those functions.
+    pub loc: u64,
+    /// Feature groups touched by the task.
+    pub groups: BTreeSet<FeatureGroup>,
+}
+
+impl TaskTcb {
+    /// Fraction of the full code base this task needs.
+    pub fn loc_fraction(&self, total_loc: u64) -> f64 {
+        if total_loc == 0 {
+            0.0
+        } else {
+            self.loc as f64 / total_loc as f64
+        }
+    }
+}
+
+/// Analysis of a trace log against the full driver catalog.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TcbAnalysis {
+    /// Total functions in the catalog.
+    pub total_functions: usize,
+    /// Total lines of code in the catalog.
+    pub total_loc: u64,
+    /// Per-task minimal sets.
+    pub tasks: Vec<TaskTcb>,
+    /// Functions traced but missing from the catalog (should be empty; a
+    /// non-empty list indicates the catalog is stale).
+    pub unknown_functions: BTreeSet<String>,
+}
+
+impl TcbAnalysis {
+    /// Analyzes `log` against `catalog`.
+    pub fn analyze(catalog: &DriverCatalog, log: &TraceLog) -> Self {
+        let mut tasks = Vec::new();
+        let mut unknown = BTreeSet::new();
+        for task in log.tasks() {
+            let functions = log.functions_for_task(&task);
+            let mut loc = 0u64;
+            let mut groups = BTreeSet::new();
+            for f in &functions {
+                match catalog.function(f) {
+                    Some(entry) => {
+                        loc += entry.loc as u64;
+                        groups.insert(entry.group);
+                    }
+                    None => {
+                        unknown.insert(f.clone());
+                    }
+                }
+            }
+            tasks.push(TaskTcb {
+                task,
+                functions,
+                loc,
+                groups,
+            });
+        }
+        tasks.sort_by(|a, b| a.task.cmp(&b.task));
+        TcbAnalysis {
+            total_functions: catalog.len(),
+            total_loc: catalog.total_loc(),
+            tasks,
+            unknown_functions: unknown,
+        }
+    }
+
+    /// The minimal set for one task, if it was traced.
+    pub fn task(&self, name: &str) -> Option<&TaskTcb> {
+        self.tasks.iter().find(|t| t.task == name)
+    }
+
+    /// The union of the minimal sets of the given tasks (what must be
+    /// ported if the TEE is to support all of them).
+    pub fn union_of(&self, task_names: &[&str]) -> BTreeSet<String> {
+        self.tasks
+            .iter()
+            .filter(|t| task_names.contains(&t.task.as_str()))
+            .flat_map(|t| t.functions.iter().cloned())
+            .collect()
+    }
+
+    /// LoC reduction factor for a task (total / task).
+    pub fn reduction_factor(&self, task_name: &str) -> f64 {
+        match self.task(task_name) {
+            Some(t) if t.loc > 0 => self.total_loc as f64 / t.loc as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// Verifies that `ported` (e.g. the secure driver's
+    /// `PORTED_FUNCTIONS`) covers everything the named task was observed to
+    /// execute. Returns the missing functions (empty = full coverage).
+    pub fn coverage_gap(&self, task_name: &str, ported: &[&str]) -> BTreeSet<String> {
+        let ported: BTreeSet<&str> = ported.iter().copied().collect();
+        match self.task(task_name) {
+            Some(t) => t
+                .functions
+                .iter()
+                .filter(|f| !ported.contains(f.as_str()))
+                .cloned()
+                .collect(),
+            None => BTreeSet::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perisec_devices::mic::Microphone;
+    use perisec_devices::signal::SilenceSource;
+    use perisec_kernel::i2s_driver::BaselineI2sDriver;
+    use perisec_kernel::pcm::PcmHwParams;
+    use perisec_kernel::trace::FunctionTracer;
+    use perisec_tz::platform::Platform;
+
+    fn traced_driver_log() -> (DriverCatalog, TraceLog) {
+        let platform = Platform::jetson_agx_xavier();
+        let mic = Microphone::speech_mic("mic", Box::new(SilenceSource)).unwrap();
+        let tracer = FunctionTracer::new();
+        tracer.enable();
+        let mut driver = BaselineI2sDriver::new(platform, mic, tracer.clone());
+        driver.probe().unwrap();
+
+        tracer.begin_task("record");
+        driver.configure(PcmHwParams::voice_default()).unwrap();
+        driver.start().unwrap();
+        driver.capture_periods(3).unwrap();
+        driver.stop();
+        tracer.end_task();
+
+        tracer.begin_task("playback");
+        driver.run_playback_task();
+        tracer.end_task();
+
+        tracer.begin_task("mixer");
+        driver.run_mixer_task();
+        tracer.end_task();
+
+        (DriverCatalog::tegra_audio_stack(), tracer.log())
+    }
+
+    #[test]
+    fn record_task_needs_a_small_fraction_of_the_driver() {
+        let (catalog, log) = traced_driver_log();
+        let analysis = TcbAnalysis::analyze(&catalog, &log);
+        assert!(analysis.unknown_functions.is_empty());
+        let record = analysis.task("record").unwrap();
+        assert!(record.functions.len() < catalog.len() / 2);
+        assert!(record.loc_fraction(analysis.total_loc) < 0.35);
+        assert!(analysis.reduction_factor("record") > 2.5);
+        assert!(record.groups.contains(&FeatureGroup::I2sCapture));
+        assert!(!record.groups.contains(&FeatureGroup::UsbAudio));
+    }
+
+    #[test]
+    fn tasks_have_distinct_minimal_sets() {
+        let (catalog, log) = traced_driver_log();
+        let analysis = TcbAnalysis::analyze(&catalog, &log);
+        let record = analysis.task("record").unwrap();
+        let playback = analysis.task("playback").unwrap();
+        assert!(record.functions.is_disjoint(&playback.functions) || record.functions != playback.functions);
+        let union = analysis.union_of(&["record", "playback"]);
+        assert!(union.len() >= record.functions.len());
+        assert!(union.len() >= playback.functions.len());
+        assert!(analysis.task("nonexistent").is_none());
+        assert_eq!(analysis.reduction_factor("nonexistent"), 0.0);
+    }
+
+    #[test]
+    fn ported_functions_cover_the_record_task() {
+        let (catalog, log) = traced_driver_log();
+        let analysis = TcbAnalysis::analyze(&catalog, &log);
+        let gap = analysis.coverage_gap("record", perisec_secure_driver::PORTED_FUNCTIONS);
+        assert!(
+            gap.is_empty(),
+            "secure driver port misses traced functions: {gap:?}"
+        );
+    }
+
+    #[test]
+    fn unknown_functions_are_reported_not_dropped() {
+        let catalog = DriverCatalog::tegra_audio_stack();
+        let tracer = FunctionTracer::new();
+        tracer.enable();
+        tracer.begin_task("record");
+        tracer.record("some_function_not_in_catalog", perisec_tz::time::SimInstant::EPOCH);
+        tracer.end_task();
+        let analysis = TcbAnalysis::analyze(&catalog, &tracer.log());
+        assert_eq!(analysis.unknown_functions.len(), 1);
+    }
+}

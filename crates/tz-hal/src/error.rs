@@ -1,0 +1,108 @@
+//! Error types for the TrustZone machine model.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::world::World;
+
+/// Errors raised by the TrustZone machine model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TzError {
+    /// An access violated the TZASC security attributes of a region
+    /// (e.g. the normal world touched secure memory).
+    PermissionFault {
+        /// Faulting physical address.
+        addr: u64,
+        /// World that performed the access.
+        world: World,
+        /// Whether the access was a write.
+        write: bool,
+    },
+    /// The secure-RAM allocator could not satisfy a request.
+    SecureRamExhausted {
+        /// Bytes requested.
+        requested: usize,
+        /// Bytes currently available.
+        available: usize,
+    },
+    /// A memory region definition was invalid (zero-sized, overflowing, or
+    /// overlapping an existing region).
+    InvalidRegion {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// An address did not fall inside any configured region.
+    UnmappedAddress {
+        /// The faulting address.
+        addr: u64,
+    },
+    /// An SMC was issued with a function identifier no handler is
+    /// registered for.
+    UnknownSmcFunction {
+        /// The unknown function identifier.
+        function_id: u32,
+    },
+    /// An operation was attempted from the wrong world (e.g. issuing an SMC
+    /// from the secure world, or a secure-only operation from the normal
+    /// world).
+    WrongWorld {
+        /// World the operation was attempted from.
+        actual: World,
+        /// World the operation requires.
+        required: World,
+    },
+}
+
+impl fmt::Display for TzError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TzError::PermissionFault { addr, world, write } => write!(
+                f,
+                "permission fault: {} {} access to {addr:#x} denied by TZASC",
+                world,
+                if *write { "write" } else { "read" }
+            ),
+            TzError::SecureRamExhausted { requested, available } => write!(
+                f,
+                "secure RAM exhausted: requested {requested} bytes, {available} available"
+            ),
+            TzError::InvalidRegion { reason } => write!(f, "invalid memory region: {reason}"),
+            TzError::UnmappedAddress { addr } => write!(f, "unmapped address {addr:#x}"),
+            TzError::UnknownSmcFunction { function_id } => {
+                write!(f, "no SMC handler registered for function {function_id:#x}")
+            }
+            TzError::WrongWorld { actual, required } => {
+                write!(f, "operation requires {required} world but was issued from {actual} world")
+            }
+        }
+    }
+}
+
+impl Error for TzError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = TzError::PermissionFault { addr: 0x8000_0000, world: World::Normal, write: true };
+        let msg = e.to_string();
+        assert!(msg.contains("0x80000000"));
+        assert!(msg.contains("write"));
+        assert!(msg.starts_with(char::is_lowercase));
+
+        let e = TzError::SecureRamExhausted { requested: 4096, available: 128 };
+        assert!(e.to_string().contains("4096"));
+
+        let e = TzError::UnknownSmcFunction { function_id: 0x3200_0007 };
+        assert!(e.to_string().contains("0x32000007"));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<TzError>();
+    }
+}

@@ -1,0 +1,312 @@
+//! The secure monitor: SMC dispatch and world-switch accounting.
+//!
+//! On real hardware the secure monitor (EL3 firmware) is the only code that
+//! transitions the CPU between the normal and secure worlds; every OP-TEE
+//! interaction from Linux is funneled through an `SMC` instruction. The
+//! model reproduces that funnel: the normal world issues [`SmcCall`]s, the
+//! monitor charges the world-switch cost on the shared clock, bumps the
+//! shared counters, and dispatches to whichever handler (the OP-TEE
+//! simulator) registered for the function identifier.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::cost::CostModel;
+use crate::error::TzError;
+use crate::stats::TzStats;
+use crate::time::SimClock;
+use crate::world::World;
+use crate::Result;
+
+/// Well-known SMC function identifiers used by the OP-TEE simulator.
+///
+/// The values mirror the spirit of the OP-TEE SMC calling convention
+/// (a "fast call" range for management and a "standard call" range for
+/// invoking the TEE), without reproducing it bit-for-bit.
+pub mod smc_func {
+    /// Query monitor/TEE revision.
+    pub const GET_REVISION: u32 = 0x3200_0000;
+    /// Enter the TEE to process a queued message (open session, invoke
+    /// command, close session).
+    pub const STD_CALL_WITH_ARG: u32 = 0x3200_0004;
+    /// Return from a foreign-interrupt or RPC exit back into the TEE.
+    pub const RETURN_FROM_RPC: u32 = 0x3200_0003;
+}
+
+/// Arguments of one secure monitor call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmcCall {
+    /// Function identifier (selects the handler).
+    pub function_id: u32,
+    /// General-purpose argument registers (x1..x6 in the real convention).
+    pub args: [u64; 6],
+}
+
+impl SmcCall {
+    /// Creates a call with the given function id and no arguments.
+    pub fn new(function_id: u32) -> Self {
+        SmcCall {
+            function_id,
+            args: [0; 6],
+        }
+    }
+
+    /// Creates a call with arguments.
+    pub fn with_args(function_id: u32, args: [u64; 6]) -> Self {
+        SmcCall { function_id, args }
+    }
+}
+
+/// Result registers of one secure monitor call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SmcResult {
+    /// Return registers (x0..x3 in the real convention).
+    pub regs: [u64; 4],
+}
+
+impl SmcResult {
+    /// A result whose first register carries `value` and the rest zero.
+    pub fn value(value: u64) -> Self {
+        SmcResult {
+            regs: [value, 0, 0, 0],
+        }
+    }
+}
+
+/// Handler invoked by the monitor when its function id is called.
+///
+/// The OP-TEE simulator registers one handler per function id it serves.
+pub trait SmcHandler: Send + Sync {
+    /// Processes the call. The handler runs "in the secure world": the
+    /// monitor has already charged the entry switch and will charge the
+    /// exit switch after the handler returns.
+    fn handle(&self, call: &SmcCall) -> SmcResult;
+}
+
+impl<F> SmcHandler for F
+where
+    F: Fn(&SmcCall) -> SmcResult + Send + Sync,
+{
+    fn handle(&self, call: &SmcCall) -> SmcResult {
+        self(call)
+    }
+}
+
+/// The secure monitor.
+///
+/// Shared (via `Arc`) between the normal-world kernel substrate (which
+/// issues SMCs) and the OP-TEE simulator (which registers handlers).
+pub struct SecureMonitor {
+    clock: SimClock,
+    cost: CostModel,
+    stats: TzStats,
+    current_world: RwLock<World>,
+    handlers: Mutex<HashMap<u32, Arc<dyn SmcHandler>>>,
+}
+
+impl fmt::Debug for SecureMonitor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SecureMonitor")
+            .field("current_world", &*self.current_world.read())
+            .field("handlers", &self.handlers.lock().len())
+            .finish()
+    }
+}
+
+impl SecureMonitor {
+    /// Creates a monitor bound to the platform's clock, cost model and
+    /// statistics. The machine starts in the normal world.
+    pub fn new(clock: SimClock, cost: CostModel, stats: TzStats) -> Self {
+        SecureMonitor {
+            clock,
+            cost,
+            stats,
+            current_world: RwLock::new(World::Normal),
+            handlers: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// World currently executing.
+    pub fn current_world(&self) -> World {
+        *self.current_world.read()
+    }
+
+    /// Registers `handler` for `function_id`, replacing any previous
+    /// handler and returning it.
+    pub fn register_handler(
+        &self,
+        function_id: u32,
+        handler: Arc<dyn SmcHandler>,
+    ) -> Option<Arc<dyn SmcHandler>> {
+        self.handlers.lock().insert(function_id, handler)
+    }
+
+    /// Performs an explicit world switch, charging its cost.
+    ///
+    /// Used by components that model asynchronous entries into the secure
+    /// world (e.g. a secure interrupt routed to the TEE).
+    pub fn world_switch(&self, to: World) -> World {
+        let mut current = self.current_world.write();
+        let from = *current;
+        if from != to {
+            *current = to;
+            self.clock.advance(self.cost.world_switch);
+            self.stats.record_world_switch();
+        }
+        from
+    }
+
+    /// Issues an SMC from the normal world.
+    ///
+    /// Charges the SMC trap plus two world switches (entry and exit),
+    /// dispatches to the registered handler, and returns its result.
+    ///
+    /// # Errors
+    ///
+    /// * [`TzError::WrongWorld`] if issued while the machine is already in
+    ///   the secure world (nested SMCs are not part of the model).
+    /// * [`TzError::UnknownSmcFunction`] if no handler is registered.
+    pub fn smc(&self, call: SmcCall) -> Result<SmcResult> {
+        if self.current_world() != World::Normal {
+            return Err(TzError::WrongWorld {
+                actual: self.current_world(),
+                required: World::Normal,
+            });
+        }
+        let handler = {
+            let handlers = self.handlers.lock();
+            handlers.get(&call.function_id).cloned()
+        }
+        .ok_or(TzError::UnknownSmcFunction {
+            function_id: call.function_id,
+        })?;
+
+        self.stats.record_smc();
+        self.clock.advance(self.cost.smc_round_trip);
+        self.world_switch(World::Secure);
+        let result = handler.handle(&call);
+        self.world_switch(World::Normal);
+        Ok(result)
+    }
+
+    /// Charges the cost of copying `bytes` across the world boundary and
+    /// records the direction in the statistics.
+    pub fn charge_cross_world_copy(&self, bytes: usize, to: World) {
+        self.clock.advance(self.cost.cross_world_copy(bytes));
+        match to {
+            World::Secure => self.stats.record_copy_to_secure(bytes as u64),
+            World::Normal => self.stats.record_copy_to_normal(bytes as u64),
+        }
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// The cost model in force.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The shared statistics.
+    pub fn stats(&self) -> &TzStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn monitor() -> SecureMonitor {
+        SecureMonitor::new(SimClock::new(), CostModel::jetson_agx_xavier(), TzStats::new())
+    }
+
+    #[test]
+    fn starts_in_normal_world() {
+        assert_eq!(monitor().current_world(), World::Normal);
+    }
+
+    #[test]
+    fn smc_dispatches_and_accounts() {
+        let m = monitor();
+        m.register_handler(
+            smc_func::GET_REVISION,
+            Arc::new(|call: &SmcCall| SmcResult::value(call.args[0] + 41)),
+        );
+        let before = m.clock().now();
+        let res = m
+            .smc(SmcCall::with_args(smc_func::GET_REVISION, [1, 0, 0, 0, 0, 0]))
+            .unwrap();
+        assert_eq!(res.regs[0], 42);
+        assert_eq!(m.stats().smc_calls(), 1);
+        assert_eq!(m.stats().world_switches(), 2);
+        // Time advanced by at least smc + 2 * world switch.
+        let expected =
+            m.cost().smc_round_trip + m.cost().world_switch + m.cost().world_switch;
+        assert!(m.clock().elapsed_since(before) >= expected);
+        // We returned to the normal world.
+        assert_eq!(m.current_world(), World::Normal);
+    }
+
+    #[test]
+    fn unknown_function_is_an_error() {
+        let m = monitor();
+        assert!(matches!(
+            m.smc(SmcCall::new(0xdead_beef)),
+            Err(TzError::UnknownSmcFunction { function_id: 0xdead_beef })
+        ));
+        // No accounting happened for the rejected call.
+        assert_eq!(m.stats().smc_calls(), 0);
+    }
+
+    #[test]
+    fn smc_from_secure_world_is_rejected() {
+        let m = monitor();
+        m.register_handler(smc_func::GET_REVISION, Arc::new(|_: &SmcCall| SmcResult::default()));
+        m.world_switch(World::Secure);
+        assert!(matches!(
+            m.smc(SmcCall::new(smc_func::GET_REVISION)),
+            Err(TzError::WrongWorld { .. })
+        ));
+    }
+
+    #[test]
+    fn redundant_world_switch_is_free() {
+        let m = monitor();
+        let before = m.clock().now();
+        m.world_switch(World::Normal);
+        assert_eq!(m.clock().now(), before);
+        assert_eq!(m.stats().world_switches(), 0);
+    }
+
+    #[test]
+    fn cross_world_copy_charges_time_and_counts_bytes() {
+        let m = SecureMonitor::new(
+            SimClock::new(),
+            CostModel::builder()
+                .cross_world_copy_per_byte(SimDuration::from_nanos(3))
+                .build(),
+            TzStats::new(),
+        );
+        m.charge_cross_world_copy(1000, World::Secure);
+        assert_eq!(m.clock().now().as_nanos(), 3000);
+        assert_eq!(m.stats().snapshot().bytes_to_secure, 1000);
+    }
+
+    #[test]
+    fn handler_replacement_returns_previous() {
+        let m = monitor();
+        let first: Arc<dyn SmcHandler> = Arc::new(|_: &SmcCall| SmcResult::value(1));
+        let second: Arc<dyn SmcHandler> = Arc::new(|_: &SmcCall| SmcResult::value(2));
+        assert!(m.register_handler(7, first).is_none());
+        assert!(m.register_handler(7, second).is_some());
+        let res = m.smc(SmcCall::new(7)).unwrap();
+        assert_eq!(res.regs[0], 2);
+    }
+}

@@ -1,0 +1,369 @@
+//! The assembled platform: clock, costs, TZASC, secure RAM, monitor, power.
+//!
+//! [`Platform`] is the single handle every other crate takes a clone of. It
+//! corresponds to the paper's development board (the NVIDIA Jetson AGX
+//! Xavier) but can be instantiated with different specs to explore how the
+//! trade-offs move on weaker hardware.
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::cost::CostModel;
+use crate::monitor::SecureMonitor;
+use crate::power::{Component, EnergyMeter, PowerModel};
+use crate::secure_mem::SecureRam;
+use crate::stats::TzStats;
+use crate::time::{SimClock, SimDuration, SimInstant};
+use crate::tzasc::{SecurityAttr, Tzasc};
+use crate::world::World;
+use crate::Result;
+
+/// Static description of a platform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformSpec {
+    /// Marketing / board name.
+    pub name: String,
+    /// Number of application cores.
+    pub cpu_cores: u32,
+    /// Nominal CPU frequency in MHz.
+    pub cpu_freq_mhz: u32,
+    /// Total DRAM in MiB.
+    pub dram_mib: u64,
+    /// Size of the TrustZone secure carve-out in KiB.
+    pub secure_ram_kib: u64,
+    /// Physical base address of DRAM.
+    pub dram_base: u64,
+    /// Physical base address of the secure carve-out.
+    pub secure_base: u64,
+}
+
+impl PlatformSpec {
+    /// The paper's proof-of-concept board: NVIDIA Jetson AGX Xavier
+    /// (8 Carmel cores, 32 GiB LPDDR4x, TrustZone-enabled ARMv8.2). The
+    /// secure carve-out follows typical OP-TEE configurations (32 MiB of
+    /// TZDRAM).
+    pub fn jetson_agx_xavier() -> Self {
+        PlatformSpec {
+            name: "nvidia-jetson-agx-xavier".to_owned(),
+            cpu_cores: 8,
+            cpu_freq_mhz: 2_265,
+            dram_mib: 32 * 1024,
+            secure_ram_kib: 32 * 1024,
+            dram_base: 0x8000_0000,
+            secure_base: 0xF000_0000,
+        }
+    }
+
+    /// A much weaker single-core IoT node with a 2 MiB secure carve-out.
+    pub fn constrained_mcu() -> Self {
+        PlatformSpec {
+            name: "constrained-iot-node".to_owned(),
+            cpu_cores: 1,
+            cpu_freq_mhz: 600,
+            dram_mib: 512,
+            secure_ram_kib: 2 * 1024,
+            dram_base: 0x4000_0000,
+            secure_base: 0x5F00_0000,
+        }
+    }
+
+    /// Secure carve-out size in bytes.
+    pub fn secure_ram_bytes(&self) -> usize {
+        (self.secure_ram_kib * 1024) as usize
+    }
+}
+
+/// Builder for a [`Platform`] with custom spec, cost model and power model.
+#[derive(Debug, Clone)]
+pub struct PlatformBuilder {
+    spec: PlatformSpec,
+    cost: CostModel,
+    power: PowerModel,
+}
+
+impl PlatformBuilder {
+    /// Starts from the Jetson defaults.
+    pub fn new() -> Self {
+        PlatformBuilder {
+            spec: PlatformSpec::jetson_agx_xavier(),
+            cost: CostModel::jetson_agx_xavier(),
+            power: PowerModel::jetson_agx_xavier(),
+        }
+    }
+
+    /// Uses the given spec.
+    pub fn spec(mut self, spec: PlatformSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Uses the given cost model.
+    pub fn cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Uses the given power model.
+    pub fn power_model(mut self, power: PowerModel) -> Self {
+        self.power = power;
+        self
+    }
+
+    /// Overrides only the secure carve-out size (KiB), keeping the rest of
+    /// the spec. Convenient for the E5/E10 memory-pressure sweeps.
+    pub fn secure_ram_kib(mut self, kib: u64) -> Self {
+        self.spec.secure_ram_kib = kib;
+        self
+    }
+
+    /// Builds the platform.
+    pub fn build(self) -> Platform {
+        Platform::from_parts(self.spec, self.cost, self.power)
+    }
+}
+
+impl Default for PlatformBuilder {
+    fn default() -> Self {
+        PlatformBuilder::new()
+    }
+}
+
+/// A fully assembled TrustZone platform model.
+///
+/// Cheap to clone; all clones share the same clock, counters, memory map and
+/// secure pool.
+#[derive(Debug, Clone)]
+pub struct Platform {
+    spec: PlatformSpec,
+    clock: SimClock,
+    cost: CostModel,
+    stats: TzStats,
+    tzasc: Arc<Tzasc>,
+    secure_ram: SecureRam,
+    monitor: Arc<SecureMonitor>,
+    energy: EnergyMeter,
+}
+
+impl Platform {
+    /// Builds the paper's platform (Jetson AGX Xavier).
+    pub fn jetson_agx_xavier() -> Self {
+        PlatformBuilder::new().build()
+    }
+
+    /// Builds the weak IoT node variant.
+    pub fn constrained_mcu() -> Self {
+        PlatformBuilder::new()
+            .spec(PlatformSpec::constrained_mcu())
+            .cost_model(CostModel::constrained_mcu())
+            .power_model(PowerModel::constrained_mcu())
+            .build()
+    }
+
+    /// Starts a builder for a custom platform.
+    pub fn builder() -> PlatformBuilder {
+        PlatformBuilder::new()
+    }
+
+    fn from_parts(spec: PlatformSpec, cost: CostModel, power: PowerModel) -> Self {
+        let clock = SimClock::new();
+        let stats = TzStats::new();
+        let tzasc = Arc::new(Tzasc::new(stats.clone()));
+        // The secure carve-out is taken out of DRAM, as on the real board:
+        // non-secure DRAM covers [dram_base, secure_base) and, if the
+        // carve-out does not reach the end of DRAM, a second non-secure
+        // region covers the remainder above it.
+        let dram_bytes = spec.dram_mib * 1024 * 1024;
+        let dram_end = spec.dram_base + dram_bytes;
+        let secure_bytes = spec.secure_ram_bytes() as u64;
+        let secure_end = spec.secure_base + secure_bytes;
+        let low_dram = spec.secure_base.saturating_sub(spec.dram_base).min(dram_bytes);
+        if low_dram > 0 {
+            tzasc
+                .add_region(spec.dram_base, low_dram, SecurityAttr::NonSecure, "dram")
+                .expect("default DRAM region is valid");
+        }
+        tzasc
+            .add_region(spec.secure_base, secure_bytes, SecurityAttr::Secure, "tzdram")
+            .expect("default secure region is valid");
+        if dram_end > secure_end {
+            tzasc
+                .add_region(
+                    secure_end,
+                    dram_end - secure_end,
+                    SecurityAttr::NonSecure,
+                    "dram-high",
+                )
+                .expect("default high DRAM region is valid");
+        }
+        let secure_ram = SecureRam::new(spec.secure_base, spec.secure_ram_bytes(), stats.clone());
+        let monitor = Arc::new(SecureMonitor::new(clock.clone(), cost.clone(), stats.clone()));
+        let energy = EnergyMeter::new(power, clock.now());
+        Platform {
+            spec,
+            clock,
+            cost,
+            stats,
+            tzasc,
+            secure_ram,
+            monitor,
+            energy,
+        }
+    }
+
+    /// The static platform description.
+    pub fn spec(&self) -> &PlatformSpec {
+        &self.spec
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// The latency cost model.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The shared counters.
+    pub fn stats(&self) -> &TzStats {
+        &self.stats
+    }
+
+    /// The address space controller.
+    pub fn tzasc(&self) -> &Tzasc {
+        &self.tzasc
+    }
+
+    /// The secure-RAM allocator.
+    pub fn secure_ram(&self) -> &SecureRam {
+        &self.secure_ram
+    }
+
+    /// The secure monitor.
+    pub fn monitor(&self) -> &Arc<SecureMonitor> {
+        &self.monitor
+    }
+
+    /// The energy meter.
+    pub fn energy(&self) -> &EnergyMeter {
+        &self.energy
+    }
+
+    /// Charges `duration` of CPU activity in the given world: advances the
+    /// clock and attributes the busy time to the corresponding power
+    /// component.
+    pub fn charge_cpu(&self, world: World, duration: SimDuration) {
+        if duration.is_zero() {
+            return;
+        }
+        self.clock.advance(duration);
+        let component = match world {
+            World::Normal => Component::CpuNormalWorld,
+            World::Secure => Component::CpuSecureWorld,
+        };
+        self.energy.record_busy(component, duration);
+    }
+
+    /// Charges `flops` of compute in the given world using the cost model.
+    /// Returns the time charged.
+    pub fn charge_compute(&self, world: World, flops: u64) -> SimDuration {
+        let d = self.cost.compute(flops, world.is_secure());
+        self.charge_cpu(world, d);
+        d
+    }
+
+    /// Records activity of a non-CPU component (device, DMA, network)
+    /// without advancing the clock — the component is busy concurrently
+    /// with the CPU.
+    pub fn record_device_busy(&self, component: Component, duration: SimDuration) {
+        self.energy.record_busy(component, duration);
+    }
+
+    /// Verifies that the given world may access `[addr, addr+len)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the TZASC fault (see [`Tzasc::check_range`]).
+    pub fn check_access(&self, addr: u64, len: u64, world: World, write: bool) -> Result<()> {
+        self.tzasc.check_range(addr, len, world, write)
+    }
+
+    /// Produces the energy report from platform construction until "now".
+    pub fn energy_report(&self) -> crate::power::EnergyReport {
+        self.energy.report_until(self.clock.now())
+    }
+
+    /// Instant the platform was created (the epoch of its clock).
+    pub fn epoch(&self) -> SimInstant {
+        SimInstant::EPOCH
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jetson_platform_has_expected_memory_map() {
+        let p = Platform::jetson_agx_xavier();
+        assert_eq!(p.spec().cpu_cores, 8);
+        assert_eq!(p.tzasc().regions().len(), 3);
+        assert_eq!(p.tzasc().secure_bytes(), 32 * 1024 * 1024);
+        assert_eq!(p.secure_ram().capacity(), 32 * 1024 * 1024);
+    }
+
+    #[test]
+    fn normal_world_cannot_access_secure_carveout() {
+        let p = Platform::jetson_agx_xavier();
+        let secure_addr = p.spec().secure_base + 0x100;
+        assert!(p.check_access(secure_addr, 64, World::Normal, false).is_err());
+        assert!(p.check_access(secure_addr, 64, World::Secure, false).is_ok());
+        assert!(p
+            .check_access(p.spec().dram_base + 0x1000, 64, World::Normal, true)
+            .is_ok());
+    }
+
+    #[test]
+    fn charge_cpu_advances_clock_and_energy() {
+        let p = Platform::jetson_agx_xavier();
+        p.charge_cpu(World::Secure, SimDuration::from_millis(10));
+        assert_eq!(p.clock().now().as_nanos(), 10_000_000);
+        let report = p.energy_report();
+        assert!(report.component_mj(Component::CpuSecureWorld) > 0.0);
+    }
+
+    #[test]
+    fn charge_compute_is_more_expensive_in_secure_world() {
+        let p = Platform::jetson_agx_xavier();
+        let n = p.charge_compute(World::Normal, 1_000_000);
+        let s = p.charge_compute(World::Secure, 1_000_000);
+        assert!(s > n);
+    }
+
+    #[test]
+    fn constrained_platform_has_smaller_secure_ram() {
+        let small = Platform::constrained_mcu();
+        let big = Platform::jetson_agx_xavier();
+        assert!(small.secure_ram().capacity() < big.secure_ram().capacity());
+    }
+
+    #[test]
+    fn builder_overrides_secure_ram_size() {
+        let p = Platform::builder().secure_ram_kib(256).build();
+        assert_eq!(p.secure_ram().capacity(), 256 * 1024);
+        // Allocating more than the carve-out fails.
+        assert!(p.secure_ram().alloc(512 * 1024).is_err());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let p = Platform::jetson_agx_xavier();
+        let q = p.clone();
+        p.charge_cpu(World::Normal, SimDuration::from_micros(5));
+        assert_eq!(q.clock().now().as_nanos(), 5_000);
+        let _buf = q.secure_ram().alloc(1024).unwrap();
+        assert!(p.secure_ram().bytes_in_use() >= 1024);
+    }
+}

@@ -1,0 +1,373 @@
+//! Secure-RAM allocator.
+//!
+//! TrustZone platforms dedicate a small carve-out of DRAM (tens of MiB on
+//! the Jetson class, far less on weaker SoCs) to the secure world. The
+//! paper's §V names this as a core limitation: *"TEE technologies like
+//! TrustZone provide relatively small memory resources for applications"*.
+//!
+//! [`SecureRam`] models that carve-out as a first-fit free-list allocator.
+//! Allocations return a [`SecureBuf`] — an owned byte buffer tagged with its
+//! simulated physical address — and are automatically returned to the pool
+//! when the buffer is dropped. Exhaustion is a first-class, observable
+//! failure so experiments can report when a model or driver no longer fits.
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::TzError;
+use crate::stats::TzStats;
+use crate::Result;
+
+/// Default allocation alignment (one cache line).
+const DEFAULT_ALIGN: usize = 64;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FreeBlock {
+    offset: usize,
+    size: usize,
+}
+
+#[derive(Debug)]
+struct SecureRamInner {
+    base_addr: u64,
+    capacity: usize,
+    free_list: Vec<FreeBlock>,
+    in_use: usize,
+    allocation_count: u64,
+    failed_allocations: u64,
+}
+
+impl SecureRamInner {
+    fn available(&self) -> usize {
+        self.capacity - self.in_use
+    }
+
+    fn alloc(&mut self, size: usize) -> Option<usize> {
+        let size = round_up(size.max(1), DEFAULT_ALIGN);
+        let idx = self.free_list.iter().position(|b| b.size >= size)?;
+        let block = self.free_list[idx];
+        let offset = block.offset;
+        if block.size == size {
+            self.free_list.remove(idx);
+        } else {
+            self.free_list[idx] = FreeBlock {
+                offset: block.offset + size,
+                size: block.size - size,
+            };
+        }
+        self.in_use += size;
+        self.allocation_count += 1;
+        Some(offset)
+    }
+
+    fn free(&mut self, offset: usize, size: usize) {
+        let size = round_up(size.max(1), DEFAULT_ALIGN);
+        self.in_use -= size;
+        self.free_list.push(FreeBlock { offset, size });
+        self.free_list.sort_by_key(|b| b.offset);
+        // Coalesce adjacent blocks to fight fragmentation.
+        let mut merged: Vec<FreeBlock> = Vec::with_capacity(self.free_list.len());
+        for block in self.free_list.drain(..) {
+            match merged.last_mut() {
+                Some(last) if last.offset + last.size == block.offset => {
+                    last.size += block.size;
+                }
+                _ => merged.push(block),
+            }
+        }
+        self.free_list = merged;
+    }
+}
+
+fn round_up(v: usize, align: usize) -> usize {
+    (v + align - 1) / align * align
+}
+
+/// The secure-RAM carve-out allocator.
+///
+/// Cloning yields another handle onto the same pool.
+///
+/// ```
+/// use perisec_tz::secure_mem::SecureRam;
+/// use perisec_tz::stats::TzStats;
+///
+/// let ram = SecureRam::new(0xF000_0000, 64 * 1024, TzStats::new());
+/// let buf = ram.alloc(4096).expect("fits");
+/// assert!(ram.bytes_in_use() >= 4096);
+/// drop(buf);
+/// assert_eq!(ram.bytes_in_use(), 0);
+/// ```
+#[derive(Clone)]
+pub struct SecureRam {
+    inner: Arc<Mutex<SecureRamInner>>,
+    stats: TzStats,
+}
+
+impl fmt::Debug for SecureRam {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("SecureRam")
+            .field("base_addr", &format_args!("{:#x}", inner.base_addr))
+            .field("capacity", &inner.capacity)
+            .field("in_use", &inner.in_use)
+            .finish()
+    }
+}
+
+impl SecureRam {
+    /// Creates a pool of `capacity` bytes whose first byte has simulated
+    /// physical address `base_addr`.
+    pub fn new(base_addr: u64, capacity: usize, stats: TzStats) -> Self {
+        SecureRam {
+            inner: Arc::new(Mutex::new(SecureRamInner {
+                base_addr,
+                capacity,
+                free_list: vec![FreeBlock {
+                    offset: 0,
+                    size: capacity,
+                }],
+                in_use: 0,
+                allocation_count: 0,
+                failed_allocations: 0,
+            })),
+            stats,
+        }
+    }
+
+    /// Allocates a zeroed secure buffer of `size` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TzError::SecureRamExhausted`] if no free block is large
+    /// enough (either genuinely out of memory, or fragmented).
+    pub fn alloc(&self, size: usize) -> Result<SecureBuf> {
+        let mut inner = self.inner.lock();
+        match inner.alloc(size) {
+            Some(offset) => {
+                let addr = inner.base_addr + offset as u64;
+                let in_use = inner.in_use as u64;
+                drop(inner);
+                self.stats.record_secure_ram_usage(in_use);
+                Ok(SecureBuf {
+                    addr,
+                    offset,
+                    data: vec![0u8; size],
+                    pool: Arc::downgrade(&self.inner),
+                })
+            }
+            None => {
+                inner.failed_allocations += 1;
+                let available = inner.available();
+                Err(TzError::SecureRamExhausted {
+                    requested: size,
+                    available,
+                })
+            }
+        }
+    }
+
+    /// Total pool capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().capacity
+    }
+
+    /// Bytes currently allocated (after alignment rounding).
+    pub fn bytes_in_use(&self) -> usize {
+        self.inner.lock().in_use
+    }
+
+    /// Bytes currently free.
+    pub fn bytes_available(&self) -> usize {
+        self.inner.lock().available()
+    }
+
+    /// Number of successful allocations over the pool's lifetime.
+    pub fn allocation_count(&self) -> u64 {
+        self.inner.lock().allocation_count
+    }
+
+    /// Number of failed allocations over the pool's lifetime.
+    pub fn failed_allocations(&self) -> u64 {
+        self.inner.lock().failed_allocations
+    }
+
+    /// Simulated physical base address of the pool.
+    pub fn base_addr(&self) -> u64 {
+        self.inner.lock().base_addr
+    }
+
+    /// Returns `true` if a buffer of `size` bytes would currently fit.
+    pub fn would_fit(&self, size: usize) -> bool {
+        let size = round_up(size.max(1), DEFAULT_ALIGN);
+        self.inner.lock().free_list.iter().any(|b| b.size >= size)
+    }
+}
+
+/// An owned buffer allocated from secure RAM.
+///
+/// The buffer's bytes live on the host heap (this is a simulation), but the
+/// allocation is accounted against the secure carve-out and freed back to it
+/// on drop. The simulated physical address is stable for the lifetime of the
+/// buffer and lies inside the TZASC secure region, so passing it to
+/// [`crate::tzasc::Tzasc::check_access`] from the normal world faults —
+/// exactly the protection the paper relies on.
+pub struct SecureBuf {
+    addr: u64,
+    offset: usize,
+    data: Vec<u8>,
+    pool: std::sync::Weak<Mutex<SecureRamInner>>,
+}
+
+impl SecureBuf {
+    /// Simulated physical address of the first byte.
+    pub fn addr(&self) -> u64 {
+        self.addr
+    }
+
+    /// Buffer length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read-only view of the contents.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Mutable view of the contents.
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// Copies `src` into the buffer starting at `offset`, returning the
+    /// number of bytes copied (truncated at the end of the buffer).
+    pub fn write_at(&mut self, offset: usize, src: &[u8]) -> usize {
+        if offset >= self.data.len() {
+            return 0;
+        }
+        let n = src.len().min(self.data.len() - offset);
+        self.data[offset..offset + n].copy_from_slice(&src[..n]);
+        n
+    }
+}
+
+impl fmt::Debug for SecureBuf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SecureBuf")
+            .field("addr", &format_args!("{:#x}", self.addr))
+            .field("len", &self.data.len())
+            .finish()
+    }
+}
+
+impl Drop for SecureBuf {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.upgrade() {
+            pool.lock().free(self.offset, self.data.len());
+        }
+    }
+}
+
+impl AsRef<[u8]> for SecureBuf {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsMut<[u8]> for SecureBuf {
+    fn as_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(capacity: usize) -> SecureRam {
+        SecureRam::new(0xF000_0000, capacity, TzStats::new())
+    }
+
+    #[test]
+    fn alloc_and_drop_returns_memory() {
+        let ram = pool(16 * 1024);
+        let a = ram.alloc(1000).unwrap();
+        let b = ram.alloc(2000).unwrap();
+        assert!(ram.bytes_in_use() >= 3000);
+        assert_ne!(a.addr(), b.addr());
+        drop(a);
+        drop(b);
+        assert_eq!(ram.bytes_in_use(), 0);
+        assert_eq!(ram.allocation_count(), 2);
+    }
+
+    #[test]
+    fn exhaustion_is_reported_not_panicked() {
+        let ram = pool(4 * 1024);
+        let _a = ram.alloc(3 * 1024).unwrap();
+        let err = ram.alloc(2 * 1024).unwrap_err();
+        assert!(matches!(err, TzError::SecureRamExhausted { .. }));
+        assert_eq!(ram.failed_allocations(), 1);
+    }
+
+    #[test]
+    fn freed_blocks_coalesce() {
+        let ram = pool(8 * 1024);
+        let a = ram.alloc(2 * 1024).unwrap();
+        let b = ram.alloc(2 * 1024).unwrap();
+        let c = ram.alloc(2 * 1024).unwrap();
+        drop(a);
+        drop(b);
+        drop(c);
+        // After everything is freed a single 8 KiB allocation must succeed
+        // again, which requires the free blocks to have been merged.
+        let big = ram.alloc(8 * 1024 - DEFAULT_ALIGN).unwrap();
+        assert!(big.len() > 0);
+    }
+
+    #[test]
+    fn addresses_fall_inside_the_carveout() {
+        let ram = pool(64 * 1024);
+        let buf = ram.alloc(128).unwrap();
+        assert!(buf.addr() >= ram.base_addr());
+        assert!(buf.addr() < ram.base_addr() + ram.capacity() as u64);
+    }
+
+    #[test]
+    fn buffers_are_zeroed_and_writable() {
+        let ram = pool(4 * 1024);
+        let mut buf = ram.alloc(64).unwrap();
+        assert!(buf.as_slice().iter().all(|&b| b == 0));
+        let written = buf.write_at(60, &[1, 2, 3, 4, 5, 6]);
+        assert_eq!(written, 4);
+        assert_eq!(&buf.as_slice()[60..64], &[1, 2, 3, 4]);
+        assert_eq!(buf.write_at(64, &[9]), 0);
+    }
+
+    #[test]
+    fn peak_usage_is_recorded_in_stats() {
+        let stats = TzStats::new();
+        let ram = SecureRam::new(0xF000_0000, 32 * 1024, stats.clone());
+        let a = ram.alloc(10_000).unwrap();
+        let b = ram.alloc(10_000).unwrap();
+        drop(a);
+        drop(b);
+        assert!(stats.snapshot().secure_ram_peak_bytes >= 20_000);
+    }
+
+    #[test]
+    fn would_fit_predicts_alloc_success() {
+        let ram = pool(4 * 1024);
+        assert!(ram.would_fit(4 * 1024 - DEFAULT_ALIGN));
+        let _hold = ram.alloc(3 * 1024).unwrap();
+        assert!(!ram.would_fit(2 * 1024));
+        assert!(ram.would_fit(512));
+    }
+}

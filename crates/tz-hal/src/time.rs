@@ -1,0 +1,344 @@
+//! Virtual time: a deterministic, shareable simulation clock.
+//!
+//! Every simulated component charges its latency against a single
+//! [`SimClock`]. This keeps end-to-end experiments deterministic and lets
+//! the power model integrate component activity over a consistent timeline.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+/// A span of virtual time, with nanosecond resolution.
+///
+/// `SimDuration` is a thin newtype over a nanosecond count; it exists so
+/// that durations cannot be confused with instants or raw cycle counts
+/// (C-NEWTYPE).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Creates a duration from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Creates a duration from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Creates a duration from a floating-point number of seconds.
+    ///
+    /// Negative or non-finite inputs are clamped to zero.
+    pub fn from_secs_f64(s: f64) -> Self {
+        if !s.is_finite() || s <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration((s * 1e9).round() as u64)
+    }
+
+    /// Total nanoseconds in this duration.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Total microseconds (truncating).
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Total milliseconds (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// The duration expressed as floating-point seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The duration expressed as floating-point milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// The duration expressed as floating-point microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition, `None` on overflow.
+    pub fn checked_add(self, rhs: SimDuration) -> Option<SimDuration> {
+        self.0.checked_add(rhs.0).map(SimDuration)
+    }
+
+    /// Returns `true` if this is the zero duration.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Mul<f64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: f64) -> SimDuration {
+        SimDuration::from_secs_f64(self.as_secs_f64() * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs.max(1))
+    }
+}
+
+impl std::iter::Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+/// A point on the virtual timeline, measured in nanoseconds since the
+/// platform was constructed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimInstant(u64);
+
+impl SimInstant {
+    /// The origin of the timeline.
+    pub const EPOCH: SimInstant = SimInstant(0);
+
+    /// Creates an instant from raw nanoseconds since the epoch.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimInstant(ns)
+    }
+
+    /// Nanoseconds since the epoch.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Duration elapsed since an earlier instant (saturating at zero).
+    pub fn duration_since(self, earlier: SimInstant) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add<SimDuration> for SimInstant {
+    type Output = SimInstant;
+    fn add(self, rhs: SimDuration) -> SimInstant {
+        SimInstant(self.0.saturating_add(rhs.as_nanos()))
+    }
+}
+
+impl Sub<SimInstant> for SimInstant {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimInstant) -> SimDuration {
+        self.duration_since(rhs)
+    }
+}
+
+impl fmt::Display for SimInstant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}", SimDuration(self.0))
+    }
+}
+
+/// A shareable, monotonically advancing virtual clock.
+///
+/// Cloning a `SimClock` yields a handle onto the same timeline; advancing
+/// time through any handle is visible through all of them. The clock never
+/// goes backwards.
+///
+/// ```
+/// use perisec_tz::time::{SimClock, SimDuration};
+///
+/// let clock = SimClock::new();
+/// let c2 = clock.clone();
+/// clock.advance(SimDuration::from_micros(5));
+/// assert_eq!(c2.now().as_nanos(), 5_000);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    now_ns: Arc<AtomicU64>,
+}
+
+impl SimClock {
+    /// Creates a clock at the epoch.
+    pub fn new() -> Self {
+        SimClock {
+            now_ns: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimInstant {
+        SimInstant(self.now_ns.load(Ordering::SeqCst))
+    }
+
+    /// Advances the clock by `d` and returns the new time.
+    pub fn advance(&self, d: SimDuration) -> SimInstant {
+        let prev = self.now_ns.fetch_add(d.as_nanos(), Ordering::SeqCst);
+        SimInstant(prev + d.as_nanos())
+    }
+
+    /// Advances the clock so that it reads at least `target`.
+    ///
+    /// Used by device models that deliver samples at fixed wall-clock rates:
+    /// if the pipeline finished its work before the next sample period, the
+    /// device "waits" until the period has elapsed.
+    pub fn advance_to(&self, target: SimInstant) -> SimInstant {
+        let mut current = self.now_ns.load(Ordering::SeqCst);
+        while current < target.as_nanos() {
+            match self.now_ns.compare_exchange(
+                current,
+                target.as_nanos(),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => return target,
+                Err(actual) => current = actual,
+            }
+        }
+        SimInstant(current)
+    }
+
+    /// Time elapsed since `earlier`.
+    pub fn elapsed_since(&self, earlier: SimInstant) -> SimDuration {
+        self.now().duration_since(earlier)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert_eq!(SimDuration::from_micros(1), SimDuration::from_nanos(1_000));
+        assert_eq!(SimDuration::from_millis(1), SimDuration::from_micros(1_000));
+        assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1_000));
+        assert_eq!(SimDuration::from_secs_f64(0.5), SimDuration::from_millis(500));
+    }
+
+    #[test]
+    fn duration_from_secs_f64_clamps_bad_input() {
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NEG_INFINITY), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let a = SimDuration::from_micros(10);
+        let b = SimDuration::from_micros(3);
+        assert_eq!((a + b).as_micros(), 13);
+        assert_eq!((a - b).as_micros(), 7);
+        assert_eq!((b - a), SimDuration::ZERO);
+        assert_eq!((a * 3).as_micros(), 30);
+        assert_eq!((a / 2).as_micros(), 5);
+        assert_eq!(a / 0, a); // division clamps the divisor to 1
+    }
+
+    #[test]
+    fn duration_sum_and_display() {
+        let total: SimDuration = (1..=4).map(SimDuration::from_millis).sum();
+        assert_eq!(total.as_millis(), 10);
+        assert_eq!(format!("{}", SimDuration::from_nanos(12)), "12ns");
+        assert_eq!(format!("{}", SimDuration::from_micros(12)), "12.000us");
+        assert_eq!(format!("{}", SimDuration::from_millis(12)), "12.000ms");
+        assert_eq!(format!("{}", SimDuration::from_secs(12)), "12.000s");
+    }
+
+    #[test]
+    fn clock_is_shared_and_monotonic() {
+        let clock = SimClock::new();
+        let other = clock.clone();
+        assert_eq!(clock.now(), SimInstant::EPOCH);
+        clock.advance(SimDuration::from_nanos(100));
+        other.advance(SimDuration::from_nanos(50));
+        assert_eq!(clock.now().as_nanos(), 150);
+        assert_eq!(other.now().as_nanos(), 150);
+    }
+
+    #[test]
+    fn advance_to_never_goes_backwards() {
+        let clock = SimClock::new();
+        clock.advance(SimDuration::from_micros(10));
+        let early = SimInstant::from_nanos(1_000);
+        clock.advance_to(early);
+        assert_eq!(clock.now().as_nanos(), 10_000);
+        clock.advance_to(SimInstant::from_nanos(20_000));
+        assert_eq!(clock.now().as_nanos(), 20_000);
+    }
+
+    #[test]
+    fn instant_arithmetic() {
+        let t0 = SimInstant::from_nanos(1_000);
+        let t1 = t0 + SimDuration::from_nanos(500);
+        assert_eq!(t1.as_nanos(), 1_500);
+        assert_eq!((t1 - t0).as_nanos(), 500);
+        assert_eq!(t0.duration_since(t1), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,69 @@
+//! The two TrustZone worlds.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The execution world of a TrustZone-capable processor.
+///
+/// TrustZone partitions the system into a *normal world* (the rich,
+/// untrusted OS — Linux in the paper's design) and a *secure world*
+/// (OP-TEE and its trusted applications). The distinction drives both the
+/// TZASC access checks and the cost accounting for world switches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum World {
+    /// The untrusted, rich-OS world (Linux kernel, user space, TEE
+    /// supplicant).
+    Normal,
+    /// The trusted world (OP-TEE core, PTAs, TAs, the ported driver).
+    Secure,
+}
+
+impl World {
+    /// The opposite world.
+    #[must_use]
+    pub fn other(self) -> World {
+        match self {
+            World::Normal => World::Secure,
+            World::Secure => World::Normal,
+        }
+    }
+
+    /// Returns `true` for [`World::Secure`].
+    pub fn is_secure(self) -> bool {
+        matches!(self, World::Secure)
+    }
+}
+
+impl fmt::Display for World {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            World::Normal => write!(f, "normal"),
+            World::Secure => write!(f, "secure"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn other_is_an_involution() {
+        assert_eq!(World::Normal.other(), World::Secure);
+        assert_eq!(World::Secure.other(), World::Normal);
+        assert_eq!(World::Normal.other().other(), World::Normal);
+    }
+
+    #[test]
+    fn secure_predicate() {
+        assert!(World::Secure.is_secure());
+        assert!(!World::Normal.is_secure());
+    }
+
+    #[test]
+    fn display_is_lowercase() {
+        assert_eq!(World::Normal.to_string(), "normal");
+        assert_eq!(World::Secure.to_string(), "secure");
+    }
+}

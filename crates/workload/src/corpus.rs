@@ -1,0 +1,202 @@
+//! Labelled utterance corpus generation.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::vocab::{Vocabulary, WordCategory};
+
+/// One labelled utterance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Utterance {
+    /// The words, in order.
+    pub words: Vec<String>,
+    /// Token ids of the words (vocabulary order).
+    pub tokens: Vec<usize>,
+    /// Ground-truth sensitivity (does the utterance reveal private
+    /// information?).
+    pub sensitive: bool,
+    /// The dominant category of the utterance.
+    pub category: WordCategory,
+}
+
+impl Utterance {
+    /// The utterance as a space-separated string.
+    pub fn text(&self) -> String {
+        self.words.join(" ")
+    }
+
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the utterance has no words.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+}
+
+/// Deterministic generator of labelled utterances.
+#[derive(Debug, Clone)]
+pub struct CorpusGenerator {
+    vocabulary: Vocabulary,
+    rng: SmallRng,
+    sensitive_fraction: f64,
+}
+
+impl CorpusGenerator {
+    /// Creates a generator over the given vocabulary.
+    pub fn new(vocabulary: Vocabulary, sensitive_fraction: f64, seed: u64) -> Self {
+        CorpusGenerator {
+            vocabulary,
+            rng: SmallRng::seed_from_u64(seed),
+            sensitive_fraction: sensitive_fraction.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Generator with the default vocabulary and a balanced corpus.
+    pub fn smart_home(seed: u64) -> Self {
+        CorpusGenerator::new(Vocabulary::smart_home(), 0.5, seed)
+    }
+
+    /// The vocabulary in use.
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocabulary
+    }
+
+    /// Generates one utterance.
+    ///
+    /// Sensitive utterances mix neutral carrier words with 1–3 words from a
+    /// sensitive category; non-sensitive ones use only command / smalltalk
+    /// words. Lengths are 4–10 words.
+    pub fn utterance(&mut self) -> Utterance {
+        let sensitive = self.rng.gen_bool(self.sensitive_fraction);
+        let length = self.rng.gen_range(4..=10);
+        let neutral: Vec<usize> = [WordCategory::Command, WordCategory::Smalltalk]
+            .iter()
+            .flat_map(|&c| self.vocabulary.tokens_in(c))
+            .collect();
+        let category = if sensitive {
+            *[
+                WordCategory::Health,
+                WordCategory::Finance,
+                WordCategory::Credentials,
+                WordCategory::Presence,
+            ]
+            .choose(&mut self.rng)
+            .expect("non-empty category list")
+        } else if self.rng.gen_bool(0.5) {
+            WordCategory::Command
+        } else {
+            WordCategory::Smalltalk
+        };
+        let mut tokens: Vec<usize> = (0..length)
+            .map(|_| *neutral.choose(&mut self.rng).expect("neutral words exist"))
+            .collect();
+        if sensitive {
+            let pool = self.vocabulary.tokens_in(category);
+            let inserts = self.rng.gen_range(1..=3usize.min(length));
+            for _ in 0..inserts {
+                let pos = self.rng.gen_range(0..tokens.len());
+                tokens[pos] = *pool.choose(&mut self.rng).expect("sensitive words exist");
+            }
+        }
+        let words = tokens
+            .iter()
+            .map(|&t| self.vocabulary.word(t).expect("token in range").text.clone())
+            .collect();
+        Utterance {
+            words,
+            tokens,
+            sensitive,
+            category,
+        }
+    }
+
+    /// Generates `n` utterances.
+    pub fn generate(&mut self, n: usize) -> Vec<Utterance> {
+        (0..n).map(|_| self.utterance()).collect()
+    }
+
+    /// Generates a train/test split for classifier experiments.
+    pub fn train_test_split(&mut self, train: usize, test: usize) -> (Vec<Utterance>, Vec<Utterance>) {
+        (self.generate(train), self.generate(test))
+    }
+}
+
+/// Converts utterances into the `(tokens, label)` pairs the classifier
+/// trainer consumes.
+pub fn to_training_examples(utterances: &[Utterance]) -> Vec<(Vec<usize>, bool)> {
+    utterances
+        .iter()
+        .map(|u| (u.tokens.clone(), u.sensitive))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let mut a = CorpusGenerator::smart_home(7);
+        let mut b = CorpusGenerator::smart_home(7);
+        assert_eq!(a.generate(20), b.generate(20));
+        let mut c = CorpusGenerator::smart_home(8);
+        assert_ne!(a.generate(20), c.generate(20));
+    }
+
+    #[test]
+    fn labels_match_token_content() {
+        let mut generator = CorpusGenerator::smart_home(42);
+        let utterances = generator.generate(200);
+        for u in &utterances {
+            assert_eq!(
+                u.sensitive,
+                generator.vocabulary().contains_sensitive(&u.tokens),
+                "label disagrees with content for '{}'",
+                u.text()
+            );
+            assert!((4..=10).contains(&u.len()));
+            assert_eq!(u.tokens.len(), u.words.len());
+        }
+        let sensitive = utterances.iter().filter(|u| u.sensitive).count();
+        assert!((60..=140).contains(&sensitive), "sensitive count {sensitive}");
+    }
+
+    #[test]
+    fn sensitive_fraction_is_respected() {
+        let mut none = CorpusGenerator::new(Vocabulary::smart_home(), 0.0, 1);
+        assert!(none.generate(50).iter().all(|u| !u.sensitive));
+        let mut all = CorpusGenerator::new(Vocabulary::smart_home(), 1.0, 1);
+        assert!(all.generate(50).iter().all(|u| u.sensitive));
+    }
+
+    #[test]
+    fn training_examples_preserve_labels() {
+        let mut generator = CorpusGenerator::smart_home(3);
+        let utterances = generator.generate(10);
+        let examples = to_training_examples(&utterances);
+        assert_eq!(examples.len(), 10);
+        for (example, utterance) in examples.iter().zip(utterances.iter()) {
+            assert_eq!(example.0, utterance.tokens);
+            assert_eq!(example.1, utterance.sensitive);
+        }
+    }
+
+    #[test]
+    fn sensitive_utterances_name_their_category() {
+        let mut generator = CorpusGenerator::new(Vocabulary::smart_home(), 1.0, 9);
+        for u in generator.generate(50) {
+            assert!(u.category.is_sensitive());
+            // At least one token of the named category is present.
+            let vocab = Vocabulary::smart_home();
+            assert!(u
+                .tokens
+                .iter()
+                .any(|&t| vocab.word(t).unwrap().category == u.category));
+        }
+    }
+}

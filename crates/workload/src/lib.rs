@@ -1,0 +1,29 @@
+//! # perisec-workload — synthetic labelled speech and smart-home scenarios
+//!
+//! The paper's motivating data — smart-speaker recordings that sometimes
+//! contain sensitive content (the 2019 Google Assistant leak) — is not
+//! available, so this crate generates a deterministic substitute:
+//!
+//! * [`vocab`] — a smart-home vocabulary whose words carry a privacy
+//!   category (health, finance, credentials, presence vs. neutral
+//!   command/smalltalk words);
+//! * [`synth`] — a per-word waveform synthesizer: every word renders to a
+//!   distinct dual-tone signature, so the in-repo keyword STT can actually
+//!   recover the words from PCM;
+//! * [`corpus`] — labelled utterance generation (token sequences + ground
+//!   truth sensitivity) with train/test splits for classifier training;
+//! * [`scenario`] — timed end-to-end scenarios (a morning at home, an
+//!   office day, parameterized mixes) used by the pipeline experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod scenario;
+pub mod synth;
+pub mod vocab;
+
+pub use corpus::{CorpusGenerator, Utterance};
+pub use scenario::{Scenario, ScenarioEvent};
+pub use synth::SpeechSynthesizer;
+pub use vocab::{Vocabulary, WordCategory};

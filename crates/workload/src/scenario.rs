@@ -1,0 +1,152 @@
+//! Timed end-to-end scenarios.
+//!
+//! A scenario is what the full pipeline experiments replay: a sequence of
+//! utterances spoken at known (virtual) times, with ground-truth labels, so
+//! that latency, energy and privacy leakage can all be attributed.
+
+use serde::{Deserialize, Serialize};
+
+use perisec_tz::time::SimDuration;
+
+use crate::corpus::{CorpusGenerator, Utterance};
+use crate::vocab::Vocabulary;
+
+/// One event of a scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioEvent {
+    /// Index of the event (doubles as the AVS dialog id).
+    pub id: u64,
+    /// Time offset from the start of the scenario at which the utterance
+    /// begins.
+    pub at: SimDuration,
+    /// The utterance spoken.
+    pub utterance: Utterance,
+}
+
+/// A named, timed sequence of utterances.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Human-readable scenario name.
+    pub name: String,
+    /// Events in chronological order.
+    pub events: Vec<ScenarioEvent>,
+}
+
+impl Scenario {
+    /// Builds a scenario from utterances spaced `spacing` apart.
+    pub fn from_utterances(
+        name: impl Into<String>,
+        utterances: Vec<Utterance>,
+        spacing: SimDuration,
+    ) -> Self {
+        let events = utterances
+            .into_iter()
+            .enumerate()
+            .map(|(i, utterance)| ScenarioEvent {
+                id: i as u64,
+                at: spacing * i as u64,
+                utterance,
+            })
+            .collect();
+        Scenario {
+            name: name.into(),
+            events,
+        }
+    }
+
+    /// A morning at home: `n` mixed utterances (roughly 40 % sensitive),
+    /// one every 20 seconds.
+    pub fn smart_speaker_morning(n: usize) -> Self {
+        let mut generator = CorpusGenerator::new(Vocabulary::smart_home(), 0.4, 0xA110);
+        Scenario::from_utterances(
+            "smart-speaker-morning",
+            generator.generate(n),
+            SimDuration::from_secs(20),
+        )
+    }
+
+    /// A fully parameterized mix, for sweeps.
+    pub fn mixed(n: usize, sensitive_fraction: f64, spacing: SimDuration, seed: u64) -> Self {
+        let mut generator =
+            CorpusGenerator::new(Vocabulary::smart_home(), sensitive_fraction, seed);
+        Scenario::from_utterances(
+            format!("mixed-{n}x{:.0}pct", sensitive_fraction * 100.0),
+            generator.generate(n),
+            spacing,
+        )
+    }
+
+    /// A command-heavy, privacy-light evening (10 % sensitive).
+    pub fn home_automation_evening(n: usize) -> Self {
+        let mut generator = CorpusGenerator::new(Vocabulary::smart_home(), 0.1, 0xEE11);
+        Scenario::from_utterances(
+            "home-automation-evening",
+            generator.generate(n),
+            SimDuration::from_secs(12),
+        )
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the scenario has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of ground-truth sensitive utterances.
+    pub fn sensitive_count(&self) -> usize {
+        self.events.iter().filter(|e| e.utterance.sensitive).count()
+    }
+
+    /// Ids of the ground-truth sensitive events.
+    pub fn sensitive_ids(&self) -> Vec<u64> {
+        self.events
+            .iter()
+            .filter(|e| e.utterance.sensitive)
+            .map(|e| e.id)
+            .collect()
+    }
+
+    /// Total scenario duration (time of the last event).
+    pub fn duration(&self) -> SimDuration {
+        self.events.last().map(|e| e.at).unwrap_or(SimDuration::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_are_deterministic_and_timed() {
+        let a = Scenario::smart_speaker_morning(10);
+        let b = Scenario::smart_speaker_morning(10);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10);
+        assert_eq!(a.events[3].at, SimDuration::from_secs(60));
+        assert_eq!(a.events[3].id, 3);
+        assert_eq!(a.duration(), SimDuration::from_secs(180));
+    }
+
+    #[test]
+    fn sensitive_accounting_matches_ground_truth() {
+        let s = Scenario::mixed(40, 0.5, SimDuration::from_secs(5), 3);
+        assert_eq!(s.sensitive_count(), s.sensitive_ids().len());
+        for id in s.sensitive_ids() {
+            assert!(s.events[id as usize].utterance.sensitive);
+        }
+        let none = Scenario::mixed(10, 0.0, SimDuration::from_secs(1), 3);
+        assert_eq!(none.sensitive_count(), 0);
+    }
+
+    #[test]
+    fn preset_scenarios_have_expected_privacy_profiles() {
+        let morning = Scenario::smart_speaker_morning(50);
+        let evening = Scenario::home_automation_evening(50);
+        assert!(morning.sensitive_count() > evening.sensitive_count());
+        assert!(!morning.is_empty());
+    }
+}

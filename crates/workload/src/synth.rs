@@ -1,0 +1,198 @@
+//! Per-word waveform synthesis.
+//!
+//! Each vocabulary word renders to a distinct, deterministic dual-tone
+//! signature with a smooth amplitude envelope; utterances are words
+//! separated by short silences. The signatures are chosen so that the MFCC
+//! template matcher in `perisec-ml` can recover the word sequence from the
+//! PCM stream — giving the repository an end-to-end audio → transcript →
+//! classification path without real recordings.
+
+use serde::{Deserialize, Serialize};
+
+use perisec_devices::audio::{AudioBuffer, AudioFormat};
+
+use crate::vocab::Vocabulary;
+
+/// Synthesis parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SynthConfig {
+    /// Output sample rate.
+    pub sample_rate_hz: u32,
+    /// Duration of one word, in milliseconds.
+    pub word_ms: u64,
+    /// Silence between words, in milliseconds.
+    pub gap_ms: u64,
+    /// Peak amplitude as a fraction of full scale.
+    pub amplitude: f64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            sample_rate_hz: 16_000,
+            word_ms: 250,
+            gap_ms: 120,
+            amplitude: 0.8,
+        }
+    }
+}
+
+/// The deterministic speech synthesizer.
+#[derive(Debug, Clone)]
+pub struct SpeechSynthesizer {
+    vocabulary: Vocabulary,
+    config: SynthConfig,
+}
+
+impl SpeechSynthesizer {
+    /// Creates a synthesizer over `vocabulary`.
+    pub fn new(vocabulary: Vocabulary, config: SynthConfig) -> Self {
+        SpeechSynthesizer { vocabulary, config }
+    }
+
+    /// Synthesizer with the default smart-home vocabulary and parameters.
+    pub fn smart_home() -> Self {
+        SpeechSynthesizer::new(Vocabulary::smart_home(), SynthConfig::default())
+    }
+
+    /// The vocabulary in use.
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocabulary
+    }
+
+    /// The synthesis configuration.
+    pub fn config(&self) -> SynthConfig {
+        self.config
+    }
+
+    /// Output audio format.
+    pub fn format(&self) -> AudioFormat {
+        AudioFormat {
+            sample_rate_hz: self.config.sample_rate_hz,
+            channels: 1,
+            bits_per_sample: 16,
+        }
+    }
+
+    fn word_samples(&self) -> usize {
+        (self.config.sample_rate_hz as u64 * self.config.word_ms / 1000) as usize
+    }
+
+    fn gap_samples(&self) -> usize {
+        (self.config.sample_rate_hz as u64 * self.config.gap_ms / 1000) as usize
+    }
+
+    /// Renders a single word (by token id) to PCM.
+    pub fn render_word(&self, token: usize) -> Vec<i16> {
+        let rate = self.config.sample_rate_hz as f64;
+        let n = self.word_samples();
+        // Two formant-like tones derived from the token id; co-prime moduli
+        // keep the (f1, f2) pairs distinct across the vocabulary.
+        let f1 = 280.0 + 160.0 * (token % 13) as f64;
+        let f2 = 1_150.0 + 260.0 * (token % 7) as f64;
+        let f3 = 2_600.0 + 90.0 * (token % 5) as f64;
+        (0..n)
+            .map(|i| {
+                let t = i as f64 / rate;
+                let envelope = (std::f64::consts::PI * i as f64 / n as f64).sin();
+                let v = 0.45 * (2.0 * std::f64::consts::PI * f1 * t).sin()
+                    + 0.35 * (2.0 * std::f64::consts::PI * f2 * t).sin()
+                    + 0.10 * (2.0 * std::f64::consts::PI * f3 * t).sin();
+                (v * envelope * self.config.amplitude * i16::MAX as f64) as i16
+            })
+            .collect()
+    }
+
+    /// Renders a token sequence to a full utterance (leading, inter-word
+    /// and trailing silences included).
+    pub fn render_tokens(&self, tokens: &[usize]) -> AudioBuffer {
+        let mut samples = Vec::new();
+        samples.extend(std::iter::repeat(0i16).take(self.gap_samples()));
+        for &token in tokens {
+            samples.extend(self.render_word(token));
+            samples.extend(std::iter::repeat(0i16).take(self.gap_samples()));
+        }
+        AudioBuffer::new(self.format(), samples)
+    }
+
+    /// Renders an utterance given by its words.
+    ///
+    /// Unknown words are skipped.
+    pub fn render_words(&self, words: &[&str]) -> AudioBuffer {
+        let tokens: Vec<usize> = words
+            .iter()
+            .filter_map(|w| self.vocabulary.token_of(w))
+            .collect();
+        self.render_tokens(&tokens)
+    }
+
+    /// Reference renderings of every vocabulary word, in token order — the
+    /// training set for the keyword STT.
+    pub fn reference_renderings(&self) -> Vec<(String, Vec<i16>)> {
+        self.vocabulary
+            .words()
+            .iter()
+            .enumerate()
+            .map(|(token, word)| (word.text.clone(), self.render_word(token)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendering_is_deterministic_and_word_specific() {
+        let synth = SpeechSynthesizer::smart_home();
+        let a = synth.render_word(3);
+        let b = synth.render_word(3);
+        let c = synth.render_word(4);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 4_000);
+    }
+
+    #[test]
+    fn utterance_length_matches_word_count() {
+        let synth = SpeechSynthesizer::smart_home();
+        let two = synth.render_tokens(&[1, 2]);
+        let three = synth.render_tokens(&[1, 2, 3]);
+        assert!(three.frames() > two.frames());
+        // 2 words * 250 ms + 3 gaps * 120 ms = 860 ms
+        assert_eq!(two.frames(), (0.86 * 16_000.0) as usize);
+        assert!(two.rms() > 0.05);
+    }
+
+    #[test]
+    fn render_words_skips_unknown_words() {
+        let synth = SpeechSynthesizer::smart_home();
+        let known = synth.render_words(&["lights", "kitchen"]);
+        let with_unknown = synth.render_words(&["lights", "zzz-not-a-word", "kitchen"]);
+        assert_eq!(known.frames(), with_unknown.frames());
+    }
+
+    #[test]
+    fn reference_renderings_cover_the_vocabulary() {
+        let synth = SpeechSynthesizer::smart_home();
+        let refs = synth.reference_renderings();
+        assert_eq!(refs.len(), synth.vocabulary().len());
+        assert_eq!(refs[0].0, synth.vocabulary().word(0).unwrap().text);
+    }
+
+    #[test]
+    fn stt_round_trip_recovers_most_words() {
+        // End-to-end check: synthesize -> transcribe with the ml crate's STT.
+        use perisec_ml::stt::{KeywordStt, SttConfig};
+        let synth = SpeechSynthesizer::smart_home();
+        let stt = KeywordStt::train(&synth.reference_renderings(), SttConfig::default()).unwrap();
+        let tokens = vec![5usize, 20, 40, 10];
+        let audio = synth.render_tokens(&tokens);
+        let recovered = stt.transcribe_to_tokens(audio.samples());
+        let matching = recovered.iter().filter(|t| tokens.contains(t)).count();
+        assert!(
+            matching >= 3,
+            "only {matching}/4 words recovered: {recovered:?} vs {tokens:?}"
+        );
+    }
+}

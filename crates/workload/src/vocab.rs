@@ -1,0 +1,208 @@
+//! The smart-home vocabulary and its privacy categories.
+
+use serde::{Deserialize, Serialize};
+
+/// Privacy category of a vocabulary word, following the paper's threat
+/// model: what a user would not want forwarded to an untrusted cloud.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum WordCategory {
+    /// Medical conditions, medication, symptoms.
+    Health,
+    /// Bank accounts, payments, amounts.
+    Finance,
+    /// Passwords, PINs, codes.
+    Credentials,
+    /// Who is home / away and when.
+    Presence,
+    /// Device commands (lights, thermostat, music).
+    Command,
+    /// Neutral small talk and filler words.
+    Smalltalk,
+}
+
+impl WordCategory {
+    /// Whether the category is considered sensitive by default.
+    pub fn is_sensitive(self) -> bool {
+        matches!(
+            self,
+            WordCategory::Health
+                | WordCategory::Finance
+                | WordCategory::Credentials
+                | WordCategory::Presence
+        )
+    }
+
+    /// All categories.
+    pub const ALL: [WordCategory; 6] = [
+        WordCategory::Health,
+        WordCategory::Finance,
+        WordCategory::Credentials,
+        WordCategory::Presence,
+        WordCategory::Command,
+        WordCategory::Smalltalk,
+    ];
+}
+
+impl std::fmt::Display for WordCategory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            WordCategory::Health => "health",
+            WordCategory::Finance => "finance",
+            WordCategory::Credentials => "credentials",
+            WordCategory::Presence => "presence",
+            WordCategory::Command => "command",
+            WordCategory::Smalltalk => "smalltalk",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One vocabulary entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Word {
+    /// The word's text.
+    pub text: String,
+    /// Its privacy category.
+    pub category: WordCategory,
+}
+
+/// The closed vocabulary used by the corpus, the synthesizer and the STT.
+/// Word order defines the token ids used throughout the stack.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Vocabulary {
+    words: Vec<Word>,
+}
+
+impl Vocabulary {
+    /// The standard smart-home vocabulary (64 words across all categories).
+    pub fn smart_home() -> Self {
+        let mut words = Vec::new();
+        let mut add = |texts: &[&str], category: WordCategory| {
+            for t in texts {
+                words.push(Word {
+                    text: (*t).to_owned(),
+                    category,
+                });
+            }
+        };
+        add(
+            &["doctor", "insulin", "migraine", "therapy", "prescription", "asthma", "allergy", "depression"],
+            WordCategory::Health,
+        );
+        add(
+            &["bank", "transfer", "salary", "mortgage", "overdraft", "dollars", "invoice", "savings"],
+            WordCategory::Finance,
+        );
+        add(
+            &["password", "pincode", "passcode", "keycode", "secret", "unlock"],
+            WordCategory::Credentials,
+        );
+        add(
+            &["vacation", "alone", "nobody", "travelling", "tonight", "returning"],
+            WordCategory::Presence,
+        );
+        add(
+            &[
+                "lights", "thermostat", "music", "volume", "alarm", "timer", "kitchen", "bedroom",
+                "play", "stop", "warmer", "cooler", "open", "close", "start", "pause",
+            ],
+            WordCategory::Command,
+        );
+        add(
+            &[
+                "hello", "please", "thanks", "today", "tomorrow", "weather", "sunny", "recipe",
+                "dinner", "morning", "evening", "okay", "what", "time", "news", "sports",
+                "birthday", "movie", "shopping", "list",
+            ],
+            WordCategory::Smalltalk,
+        );
+        Vocabulary { words }
+    }
+
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// The word at token id `token`.
+    pub fn word(&self, token: usize) -> Option<&Word> {
+        self.words.get(token)
+    }
+
+    /// Token id of a word text.
+    pub fn token_of(&self, text: &str) -> Option<usize> {
+        self.words.iter().position(|w| w.text == text)
+    }
+
+    /// All words in token order.
+    pub fn words(&self) -> &[Word] {
+        &self.words
+    }
+
+    /// Token ids belonging to a category.
+    pub fn tokens_in(&self, category: WordCategory) -> Vec<usize> {
+        self.words
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.category == category)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Whether a token sequence contains a word from a sensitive category.
+    pub fn contains_sensitive(&self, tokens: &[usize]) -> bool {
+        tokens
+            .iter()
+            .filter_map(|&t| self.word(t))
+            .any(|w| w.category.is_sensitive())
+    }
+}
+
+impl Default for Vocabulary {
+    fn default() -> Self {
+        Vocabulary::smart_home()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smart_home_vocabulary_covers_all_categories() {
+        let v = Vocabulary::smart_home();
+        assert_eq!(v.len(), 64);
+        for category in WordCategory::ALL {
+            assert!(!v.tokens_in(category).is_empty(), "no words in {category}");
+        }
+    }
+
+    #[test]
+    fn token_lookup_round_trips() {
+        let v = Vocabulary::smart_home();
+        let token = v.token_of("password").unwrap();
+        assert_eq!(v.word(token).unwrap().text, "password");
+        assert_eq!(v.word(token).unwrap().category, WordCategory::Credentials);
+        assert!(v.token_of("nonexistentword").is_none());
+        assert!(v.word(10_000).is_none());
+    }
+
+    #[test]
+    fn sensitivity_classification_of_categories() {
+        assert!(WordCategory::Health.is_sensitive());
+        assert!(WordCategory::Credentials.is_sensitive());
+        assert!(!WordCategory::Command.is_sensitive());
+        assert!(!WordCategory::Smalltalk.is_sensitive());
+        let v = Vocabulary::smart_home();
+        let sensitive_token = v.token_of("insulin").unwrap();
+        let neutral_token = v.token_of("weather").unwrap();
+        assert!(v.contains_sensitive(&[neutral_token, sensitive_token]));
+        assert!(!v.contains_sensitive(&[neutral_token]));
+        assert!(!v.contains_sensitive(&[]));
+    }
+}

@@ -1,0 +1,44 @@
+//! Compare the three classifier architectures the paper proposes (CNN,
+//! Transformer, hybrid CNN-Transformer) on the synthetic sensitive-speech
+//! corpus, before and after 8-bit quantization.
+//!
+//! ```text
+//! cargo run --example model_comparison
+//! ```
+
+use perisec::ml::classifier::{Architecture, SensitiveClassifier, TrainConfig};
+use perisec::ml::quant::quantize_classifier;
+use perisec::workload::corpus::{to_training_examples, CorpusGenerator};
+use perisec::workload::vocab::Vocabulary;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let vocabulary = Vocabulary::smart_home();
+    let mut generator = CorpusGenerator::new(vocabulary.clone(), 0.5, 42);
+    let (train, test) = generator.train_test_split(300, 120);
+    let train = to_training_examples(&train);
+    let test = to_training_examples(&test);
+
+    println!(
+        "{:<12} {:>9} {:>9} {:>9} {:>11} {:>11} {:>12}",
+        "architecture", "accuracy", "recall", "f1", "f32 KiB", "int8 KiB", "int8 accuracy"
+    );
+    for arch in Architecture::ALL {
+        let mut classifier = SensitiveClassifier::new(arch, TrainConfig::small(vocabulary.len()));
+        classifier.fit(&train)?;
+        let metrics = classifier.evaluate(&test)?;
+        let f32_kib = classifier.memory_bytes_f32() / 1024;
+        let (quantized, report) = quantize_classifier(classifier);
+        let metrics_q = quantized.evaluate(&test)?;
+        println!(
+            "{:<12} {:>9.3} {:>9.3} {:>9.3} {:>11} {:>11} {:>12.3}",
+            arch.to_string(),
+            metrics.accuracy(),
+            metrics.recall(),
+            metrics.f1(),
+            f32_kib,
+            report.int8_bytes / 1024,
+            metrics_q.accuracy()
+        );
+    }
+    Ok(())
+}

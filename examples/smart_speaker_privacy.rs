@@ -1,0 +1,52 @@
+//! Smart-speaker privacy comparison: the same scenario replayed through the
+//! unprotected baseline (driver in the untrusted kernel, no filtering) and
+//! through the paper's secure design under several privacy policies.
+//!
+//! ```text
+//! cargo run --example smart_speaker_privacy
+//! ```
+
+use perisec::core::pipeline::{BaselinePipeline, PipelineConfig, SecurePipeline};
+use perisec::core::policy::{FilterMode, PrivacyPolicy};
+use perisec::tz::time::SimDuration;
+use perisec::workload::scenario::Scenario;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = Scenario::mixed(16, 0.5, SimDuration::from_secs(8), 2024);
+    println!(
+        "{} utterances, {} sensitive\n",
+        scenario.len(),
+        scenario.sensitive_count()
+    );
+    println!("{:<34} {:>14} {:>10} {:>16}", "pipeline / policy", "reached cloud", "leaked", "mean latency");
+
+    let mut baseline = BaselinePipeline::new(PipelineConfig::default())?;
+    let report = baseline.run_scenario(&scenario)?;
+    println!(
+        "{:<34} {:>14} {:>10} {:>16}",
+        "baseline (untrusted kernel)",
+        report.cloud.received_utterances(),
+        report.cloud.leaked_sensitive_utterances(),
+        report.latency.mean_end_to_end().to_string()
+    );
+
+    for (label, policy) in [
+        ("perisec / block-sensitive", PrivacyPolicy::block_sensitive()),
+        ("perisec / redact-sensitive", PrivacyPolicy::redact_sensitive()),
+        ("perisec / allow-all (ablation)", PrivacyPolicy { mode: FilterMode::AllowAll, threshold: 0.5 }),
+    ] {
+        let mut secure = SecurePipeline::new(PipelineConfig {
+            policy,
+            ..PipelineConfig::default()
+        })?;
+        let report = secure.run_scenario(&scenario)?;
+        println!(
+            "{:<34} {:>14} {:>10} {:>16}",
+            label,
+            report.cloud.received_utterances(),
+            report.cloud.leaked_sensitive_utterances(),
+            report.latency.mean_end_to_end().to_string()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,85 @@
+//! TCB minimization walkthrough (the paper's plan item 2): trace the full
+//! in-kernel audio driver while it performs different tasks, compute the
+//! minimal function set for "record a sound", and size the resulting
+//! OP-TEE image against porting the full driver.
+//!
+//! ```text
+//! cargo run --example tcb_minimization
+//! ```
+
+use perisec::devices::mic::Microphone;
+use perisec::devices::signal::SineSource;
+use perisec::kernel::catalog::DriverCatalog;
+use perisec::kernel::i2s_driver::BaselineI2sDriver;
+use perisec::kernel::pcm::PcmHwParams;
+use perisec::kernel::trace::FunctionTracer;
+use perisec::secure_driver::PORTED_FUNCTIONS;
+use perisec::tcb::analysis::TcbAnalysis;
+use perisec::tcb::prune::{PrunedImage, PruneStrategy};
+use perisec::tz::platform::Platform;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Run the driver under the kernel function tracer, one task at a time.
+    let mic = Microphone::speech_mic("mic0", Box::new(SineSource::new(440.0, 16_000, 0.6)))?;
+    let tracer = FunctionTracer::new();
+    tracer.enable();
+    let mut driver = BaselineI2sDriver::new(Platform::jetson_agx_xavier(), mic, tracer.clone());
+    driver.probe()?;
+
+    tracer.begin_task("record");
+    driver.configure(PcmHwParams::voice_default())?;
+    driver.start()?;
+    driver.capture_periods(20)?;
+    driver.stop();
+    tracer.end_task();
+
+    tracer.begin_task("playback");
+    driver.run_playback_task();
+    tracer.end_task();
+    tracer.begin_task("mixer-controls");
+    driver.run_mixer_task();
+    tracer.end_task();
+
+    // 2. Analyze the trace against the full driver catalog.
+    let catalog = DriverCatalog::tegra_audio_stack();
+    let analysis = TcbAnalysis::analyze(&catalog, &tracer.log());
+    println!(
+        "full driver: {} functions, {} lines of code",
+        analysis.total_functions, analysis.total_loc
+    );
+    for task in &analysis.tasks {
+        println!(
+            "  task '{}': {} functions, {} loc ({:.1}% of the driver)",
+            task.task,
+            task.functions.len(),
+            task.loc,
+            100.0 * task.loc_fraction(analysis.total_loc)
+        );
+    }
+
+    // 3. Build the pruned image for the record task and compare.
+    let record = analysis.task("record").expect("record task was traced");
+    let pruned = PrunedImage::build(
+        &catalog,
+        &PruneStrategy::TracedFunctions { functions: record.functions.clone() },
+    );
+    let full = PrunedImage::build(&catalog, &PruneStrategy::KeepAll);
+    println!(
+        "\nOP-TEE image with full driver   : {} KiB",
+        full.image_bytes / 1024
+    );
+    println!(
+        "OP-TEE image with traced subset : {} KiB ({:.1}x smaller driver portion)",
+        pruned.image_bytes / 1024,
+        pruned.driver_reduction_vs(&full)
+    );
+
+    // 4. Check the actual secure-driver port against the trace.
+    let gap = analysis.coverage_gap("record", PORTED_FUNCTIONS);
+    if gap.is_empty() {
+        println!("\nthe ported secure driver covers every traced record-task function");
+    } else {
+        println!("\nWARNING: the port is missing {gap:?}");
+    }
+    Ok(())
+}

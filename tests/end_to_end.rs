@@ -1,0 +1,123 @@
+//! Cross-crate integration tests: the full secure pipeline against its
+//! baseline, exercising every layer of the workspace together.
+
+use perisec::core::pipeline::{BaselinePipeline, PipelineConfig, SecurePipeline};
+use perisec::core::policy::PrivacyPolicy;
+use perisec::ml::classifier::Architecture;
+use perisec::tz::time::SimDuration;
+use perisec::workload::scenario::Scenario;
+
+fn fast_config() -> PipelineConfig {
+    PipelineConfig {
+        train_utterances: 60,
+        ..PipelineConfig::default()
+    }
+}
+
+#[test]
+fn secure_pipeline_reduces_leakage_versus_baseline() {
+    let scenario = Scenario::mixed(14, 0.5, SimDuration::from_secs(6), 9001);
+    let mut baseline = BaselinePipeline::new(fast_config()).unwrap();
+    let baseline_report = baseline.run_scenario(&scenario).unwrap();
+    let mut secure = SecurePipeline::new(fast_config()).unwrap();
+    let secure_report = secure.run_scenario(&scenario).unwrap();
+
+    // The baseline ships every utterance to the cloud.
+    assert_eq!(
+        baseline_report.cloud.received_utterances(),
+        scenario.len(),
+        "baseline must forward everything"
+    );
+    assert_eq!(baseline_report.cloud.leaked_sensitive_utterances(), scenario.sensitive_count());
+
+    // The secure pipeline leaks strictly less sensitive content.
+    assert!(
+        secure_report.cloud.leaked_sensitive_utterances()
+            < baseline_report.cloud.leaked_sensitive_utterances(),
+        "secure {} vs baseline {}",
+        secure_report.cloud.leaked_sensitive_utterances(),
+        baseline_report.cloud.leaked_sensitive_utterances()
+    );
+    // ... but still forwards some non-sensitive utility traffic.
+    assert!(secure_report.cloud.received_utterances() > 0);
+    // Everything the secure pipeline sends is encrypted.
+    assert!(secure_report.cloud.report.events.iter().all(|e| e.encrypted));
+}
+
+#[test]
+fn secure_pipeline_pays_measurable_tee_overhead() {
+    let scenario = Scenario::mixed(8, 0.5, SimDuration::from_secs(6), 9002);
+    let mut baseline = BaselinePipeline::new(fast_config()).unwrap();
+    let baseline_report = baseline.run_scenario(&scenario).unwrap();
+    let mut secure = SecurePipeline::new(fast_config()).unwrap();
+    let secure_report = secure.run_scenario(&scenario).unwrap();
+
+    // The trade-off the paper expects: more latency and more energy in
+    // exchange for the security property.
+    assert!(secure_report.latency.mean_end_to_end() > baseline_report.latency.mean_end_to_end());
+    assert!(secure_report.tz.world_switches > baseline_report.tz.world_switches);
+    assert!(secure_report.tz.supplicant_rpcs > 0);
+    assert_eq!(baseline_report.tz.smc_calls, 0);
+    assert!(
+        secure_report.energy.total_mj >= baseline_report.energy.total_mj,
+        "secure energy {} vs baseline {}",
+        secure_report.energy.total_mj,
+        baseline_report.energy.total_mj
+    );
+}
+
+#[test]
+fn all_three_architectures_run_end_to_end() {
+    let scenario = Scenario::mixed(6, 0.5, SimDuration::from_secs(6), 9003);
+    for architecture in Architecture::ALL {
+        let mut pipeline = SecurePipeline::new(PipelineConfig {
+            architecture,
+            train_utterances: 60,
+            ..PipelineConfig::default()
+        })
+        .unwrap();
+        let report = pipeline.run_scenario(&scenario).unwrap();
+        assert_eq!(report.workload.utterances, scenario.len());
+        assert!(report.latency.ml > SimDuration::ZERO, "{architecture} ran no ML");
+        assert!(report.cloud.leakage_rate() <= 1.0);
+    }
+}
+
+#[test]
+fn policy_changes_apply_at_runtime() {
+    let scenario = Scenario::mixed(8, 1.0, SimDuration::from_secs(4), 9004);
+    let mut pipeline = SecurePipeline::new(PipelineConfig {
+        policy: PrivacyPolicy::allow_all(),
+        train_utterances: 60,
+        ..PipelineConfig::default()
+    })
+    .unwrap();
+    let open = pipeline.run_scenario(&scenario).unwrap();
+    pipeline.set_policy(PrivacyPolicy::block_sensitive()).unwrap();
+    let closed = pipeline.run_scenario(&scenario).unwrap();
+    assert!(closed.cloud.leaked_sensitive_utterances() <= open.cloud.leaked_sensitive_utterances());
+    assert!(closed.cloud.received_utterances() <= open.cloud.received_utterances());
+}
+
+#[test]
+fn normal_world_cannot_read_the_secure_io_buffers() {
+    // The property the whole design rests on (§II): the driver's I/O
+    // buffers live in the TZASC carve-out, so the untrusted OS cannot read
+    // them even though it orchestrates the pipeline.
+    use perisec::devices::mic::Microphone;
+    use perisec::devices::signal::SineSource;
+    use perisec::secure_driver::driver::SecureI2sDriver;
+    use perisec::tz::platform::Platform;
+    use perisec::tz::world::World;
+
+    let platform = Platform::jetson_agx_xavier();
+    let mic = Microphone::speech_mic("mic", Box::new(SineSource::new(440.0, 16_000, 0.5))).unwrap();
+    let mut driver = SecureI2sDriver::new(platform.clone(), mic);
+    driver
+        .configure(160, perisec::devices::codec::AudioEncoding::PcmLe16)
+        .unwrap();
+    let addr = driver.io_buffer_addr().expect("configured driver has buffers");
+    assert!(platform.check_access(addr, 320, World::Normal, false).is_err());
+    assert!(platform.check_access(addr, 320, World::Secure, false).is_ok());
+    assert!(platform.stats().permission_faults() >= 1);
+}

@@ -1,0 +1,90 @@
+//! Property-based tests over cross-crate invariants.
+
+use proptest::prelude::*;
+
+use perisec::devices::codec::{bytes_to_pcm, mulaw_decode, mulaw_encode, pcm_to_bytes};
+use perisec::optee::crypto::{aead_open, aead_seal, nonce_from_sequence};
+use perisec::tz::secure_mem::SecureRam;
+use perisec::tz::stats::TzStats;
+use perisec::tz::time::SimDuration;
+use perisec::workload::corpus::CorpusGenerator;
+use perisec::workload::vocab::Vocabulary;
+
+proptest! {
+    /// PCM <-> little-endian byte encoding is lossless for any sample set.
+    #[test]
+    fn pcm_byte_round_trip(samples in proptest::collection::vec(any::<i16>(), 0..2048)) {
+        prop_assert_eq!(bytes_to_pcm(&pcm_to_bytes(&samples)), samples);
+    }
+
+    /// µ-law companding bounds the relative error for every sample value.
+    #[test]
+    fn mulaw_error_is_bounded(samples in proptest::collection::vec(any::<i16>(), 1..512)) {
+        let decoded = mulaw_decode(&mulaw_encode(&samples));
+        for (&original, &restored) in samples.iter().zip(decoded.iter()) {
+            let err = (original as i32 - restored as i32).abs();
+            prop_assert!(err <= original.unsigned_abs() as i32 / 8 + 132,
+                "sample {original} decoded to {restored}");
+        }
+    }
+
+    /// The AEAD used by secure storage and the relay round-trips any
+    /// payload and any associated data.
+    #[test]
+    fn aead_round_trip(
+        payload in proptest::collection::vec(any::<u8>(), 0..1024),
+        aad in proptest::collection::vec(any::<u8>(), 0..64),
+        key_byte in any::<u8>(),
+        sequence in any::<u64>(),
+    ) {
+        let key = [key_byte; 32];
+        let nonce = nonce_from_sequence(sequence);
+        let sealed = aead_seal(&key, &nonce, &aad, &payload);
+        prop_assert_eq!(aead_open(&key, &nonce, &aad, &sealed).unwrap(), payload);
+    }
+
+    /// The secure-RAM allocator never leaks: after dropping every buffer the
+    /// pool is back to empty, and it never hands out overlapping addresses.
+    #[test]
+    fn secure_ram_alloc_free_invariants(sizes in proptest::collection::vec(1usize..8192, 1..32)) {
+        let ram = SecureRam::new(0xF000_0000, 1 << 20, TzStats::new());
+        let mut buffers = Vec::new();
+        for &size in &sizes {
+            if let Ok(buf) = ram.alloc(size) {
+                buffers.push(buf);
+            }
+        }
+        // No two live buffers overlap.
+        for (i, a) in buffers.iter().enumerate() {
+            for b in buffers.iter().skip(i + 1) {
+                let a_end = a.addr() + a.len() as u64;
+                let b_end = b.addr() + b.len() as u64;
+                prop_assert!(a_end <= b.addr() || b_end <= a.addr(),
+                    "buffers overlap: {:#x}+{} and {:#x}+{}", a.addr(), a.len(), b.addr(), b.len());
+            }
+        }
+        drop(buffers);
+        prop_assert_eq!(ram.bytes_in_use(), 0);
+    }
+
+    /// Corpus labels always agree with the vocabulary's notion of
+    /// sensitivity, for any seed and sensitive fraction.
+    #[test]
+    fn corpus_labels_are_consistent(seed in any::<u64>(), fraction in 0.0f64..1.0) {
+        let vocabulary = Vocabulary::smart_home();
+        let mut generator = CorpusGenerator::new(vocabulary.clone(), fraction, seed);
+        for utterance in generator.generate(20) {
+            prop_assert_eq!(utterance.sensitive, vocabulary.contains_sensitive(&utterance.tokens));
+        }
+    }
+
+    /// Virtual durations add up associatively and never go negative.
+    #[test]
+    fn sim_duration_arithmetic(a in 0u64..1u64 << 40, b in 0u64..1u64 << 40) {
+        let da = SimDuration::from_nanos(a);
+        let db = SimDuration::from_nanos(b);
+        prop_assert_eq!((da + db).as_nanos(), a + b);
+        prop_assert_eq!((da - db).as_nanos(), a.saturating_sub(b));
+        prop_assert_eq!(da + SimDuration::ZERO, da);
+    }
+}
