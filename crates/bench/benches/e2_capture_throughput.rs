@@ -24,11 +24,17 @@ fn bench_capture(c: &mut Criterion) {
             BenchmarkId::new("baseline_driver", period_frames),
             &period_frames,
             |b, &period_frames| {
-                let mut driver =
-                    BaselineI2sDriver::new(Platform::jetson_agx_xavier(), mic(), FunctionTracer::new());
+                let mut driver = BaselineI2sDriver::new(
+                    Platform::jetson_agx_xavier(),
+                    mic(),
+                    FunctionTracer::new(),
+                );
                 driver.probe().unwrap();
                 driver
-                    .configure(PcmHwParams { period_frames, ..PcmHwParams::voice_default() })
+                    .configure(PcmHwParams {
+                        period_frames,
+                        ..PcmHwParams::voice_default()
+                    })
                     .unwrap();
                 driver.start().unwrap();
                 b.iter(|| driver.capture_periods(4).unwrap());
@@ -39,9 +45,26 @@ fn bench_capture(c: &mut Criterion) {
             &period_frames,
             |b, &period_frames| {
                 let mut driver = SecureI2sDriver::new(Platform::jetson_agx_xavier(), mic());
-                driver.configure(period_frames, AudioEncoding::PcmLe16).unwrap();
+                driver
+                    .configure(period_frames, AudioEncoding::PcmLe16)
+                    .unwrap();
                 driver.start().unwrap();
                 b.iter(|| driver.capture_periods(4).unwrap());
+            },
+        );
+    }
+    // Batch sweep: N four-period windows per driver call (one dispatch for
+    // the whole batch) versus N separate `capture_periods` calls.
+    for &batch in &[1usize, 4, 8, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("secure_driver_batched_windows", batch),
+            &batch,
+            |b, &batch| {
+                let mut driver = SecureI2sDriver::new(Platform::jetson_agx_xavier(), mic());
+                driver.configure(160, AudioEncoding::PcmLe16).unwrap();
+                driver.start().unwrap();
+                let windows = vec![4usize; batch];
+                b.iter(|| driver.capture_windows(&windows).unwrap());
             },
         );
     }

@@ -17,9 +17,13 @@ fn bench_primitives(c: &mut Criterion) {
             b.iter(|| sha256(data));
         });
         let key = [7u8; 32];
-        group.bench_with_input(BenchmarkId::new("chacha20poly1305_seal", size), &data, |b, data| {
-            b.iter(|| aead_seal(&key, &nonce_from_sequence(1), b"aad", data));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("chacha20poly1305_seal", size),
+            &data,
+            |b, data| {
+                b.iter(|| aead_seal(&key, &nonce_from_sequence(1), b"aad", data));
+            },
+        );
     }
     group.bench_function("hkdf_64_bytes", |b| {
         b.iter(|| hkdf(b"salt", b"input keying material", b"info", 64));

@@ -1,0 +1,4 @@
+//! Experiment E11 harness: batched world-transition sweep.
+fn main() {
+    println!("{}", perisec_bench::run_e11_batch_sweep());
+}

@@ -1,0 +1,4 @@
+//! Experiment E12 harness: multi-device fleet throughput.
+fn main() {
+    println!("{}", perisec_bench::run_e12_fleet());
+}

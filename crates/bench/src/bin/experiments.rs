@@ -1,8 +1,10 @@
-//! Runs every experiment (E1–E10) and prints the tables recorded in
+//! Runs every experiment (E1–E12) and prints the tables recorded in
 //! EXPERIMENTS.md. Pass experiment ids (e.g. `e3 e8`) to run a subset.
+type Experiment = (&'static str, fn() -> String);
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
-    let all: Vec<(&str, fn() -> String)> = vec![
+    let all: Vec<Experiment> = vec![
         ("e1", perisec_bench::run_e1_tcb),
         ("e2", perisec_bench::run_e2_throughput),
         ("e3", perisec_bench::run_e3_latency),
@@ -13,6 +15,8 @@ fn main() {
         ("e8", perisec_bench::run_e8_leakage),
         ("e9", perisec_bench::run_e9_scalability),
         ("e10", perisec_bench::run_e10_footprint),
+        ("e11", perisec_bench::run_e11_batch_sweep),
+        ("e12", perisec_bench::run_e12_fleet),
     ];
     for (name, run) in all {
         if args.is_empty() || args.iter().any(|a| a == name) {

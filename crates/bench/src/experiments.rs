@@ -17,7 +17,7 @@ use perisec_optee::{Supplicant, TeeCore, TeeParams};
 use perisec_secure_driver::driver::SecureI2sDriver;
 use perisec_secure_driver::PORTED_FUNCTIONS;
 use perisec_tcb::analysis::TcbAnalysis;
-use perisec_tcb::prune::{PrunedImage, PruneStrategy};
+use perisec_tcb::prune::{PruneStrategy, PrunedImage};
 use perisec_tcb::report::TcbReport;
 use perisec_tz::platform::Platform;
 use perisec_tz::time::SimDuration;
@@ -42,7 +42,9 @@ pub fn run_e1_tcb() -> String {
     driver.probe().expect("probe succeeds");
 
     tracer.begin_task("record");
-    driver.configure(PcmHwParams::voice_default()).expect("configure");
+    driver
+        .configure(PcmHwParams::voice_default())
+        .expect("configure");
     driver.start().expect("start");
     driver.capture_periods(10).expect("capture");
     driver.stop();
@@ -64,7 +66,12 @@ pub fn run_e1_tcb() -> String {
         .task("record")
         .map(|t| t.functions.clone())
         .unwrap_or_default();
-    let pruned = PrunedImage::build(&catalog, &PruneStrategy::TracedFunctions { functions: record_fns });
+    let pruned = PrunedImage::build(
+        &catalog,
+        &PruneStrategy::TracedFunctions {
+            functions: record_fns,
+        },
+    );
     let report = TcbReport {
         analysis,
         full_image: full,
@@ -72,9 +79,7 @@ pub fn run_e1_tcb() -> String {
     };
     let mut out = String::from("## E1 — TCB reduction via kernel tracing\n\n");
     out.push_str(&report.to_markdown());
-    let gap = report
-        .analysis
-        .coverage_gap("record", PORTED_FUNCTIONS);
+    let gap = report.analysis.coverage_gap("record", PORTED_FUNCTIONS);
     let _ = writeln!(
         out,
         "\nSecure-driver port covers the traced record task: {}",
@@ -109,7 +114,9 @@ pub fn run_e2_throughput() -> String {
         let platform = Platform::jetson_agx_xavier();
         let mic = Microphone::speech_mic("mic", sine_source()).expect("mic");
         let mut secure = SecureI2sDriver::new(platform.clone(), mic);
-        secure.configure(period_frames, AudioEncoding::PcmLe16).expect("configure");
+        secure
+            .configure(period_frames, AudioEncoding::PcmLe16)
+            .expect("configure");
         secure.start().expect("start");
         let (encoded, report) = secure.capture_periods(50).expect("capture");
         let secure_tput = encoded.len() as f64 / report.cpu_time.as_secs_f64() / 1e6;
@@ -136,11 +143,31 @@ pub fn run_e3_latency() -> String {
     let mut out = String::from("## E3 — end-to-end latency breakdown (mean per utterance)\n\n");
     out.push_str("| stage | baseline | secure |\n|---|---|---|\n");
     let rows = [
-        ("driver capture (CPU)", baseline_report.latency.capture_cpu / n, secure_report.latency.capture_cpu / n),
-        ("ML (STT + classify)", baseline_report.latency.ml / n, secure_report.latency.ml / n),
-        ("relay (TLS + supplicant)", baseline_report.latency.relay / n, secure_report.latency.relay / n),
-        ("end-to-end processing", baseline_report.latency.mean_end_to_end(), secure_report.latency.mean_end_to_end()),
-        ("p99 processing", baseline_report.latency.p99_end_to_end(), secure_report.latency.p99_end_to_end()),
+        (
+            "driver capture (CPU)",
+            baseline_report.latency.capture_cpu / n,
+            secure_report.latency.capture_cpu / n,
+        ),
+        (
+            "ML (STT + classify)",
+            baseline_report.latency.ml / n,
+            secure_report.latency.ml / n,
+        ),
+        (
+            "relay (TLS + supplicant)",
+            baseline_report.latency.relay / n,
+            secure_report.latency.relay / n,
+        ),
+        (
+            "end-to-end processing",
+            baseline_report.latency.mean_end_to_end(),
+            secure_report.latency.mean_end_to_end(),
+        ),
+        (
+            "p99 processing",
+            baseline_report.latency.p99_end_to_end(),
+            secure_report.latency.p99_end_to_end(),
+        ),
     ];
     for (name, base, sec) in rows {
         let _ = writeln!(out, "| {name} | {base} | {sec} |");
@@ -213,8 +240,16 @@ pub fn run_e5_model_memory() -> String {
                 report.int8_bytes / 1024,
                 acc_f32,
                 acc_int8,
-                if report.int8_bytes < budgets_kib[0] * 1024 { "yes" } else { "no" },
-                if report.int8_bytes < budgets_kib[1] * 1024 { "yes" } else { "no" },
+                if report.int8_bytes < budgets_kib[0] * 1024 {
+                    "yes"
+                } else {
+                    "no"
+                },
+                if report.int8_bytes < budgets_kib[1] * 1024 {
+                    "yes"
+                } else {
+                    "no"
+                },
             );
         }
     }
@@ -242,17 +277,18 @@ pub fn run_e6_power() -> String {
         "| energy per utterance (mJ) | {:.0} | {:.0} | {:.1}% |",
         baseline_report.energy_per_utterance_mj(),
         secure_report.energy_per_utterance_mj(),
-        100.0 * (secure_report.energy_per_utterance_mj() / baseline_report.energy_per_utterance_mj()
-            - 1.0)
+        100.0
+            * (secure_report.energy_per_utterance_mj() / baseline_report.energy_per_utterance_mj()
+                - 1.0)
     );
     let _ = writeln!(
         out,
         "| average power (mW) | {:.0} | {:.0} | {:.1}% |",
         baseline_report.energy.average_power_mw(),
         secure_report.energy.average_power_mw(),
-        100.0 * (secure_report.energy.average_power_mw()
-            / baseline_report.energy.average_power_mw()
-            - 1.0)
+        100.0
+            * (secure_report.energy.average_power_mw() / baseline_report.energy.average_power_mw()
+                - 1.0)
     );
     let _ = writeln!(
         out,
@@ -270,7 +306,8 @@ pub fn run_e6_power() -> String {
 /// E7 — world-switch and TEE-dispatch microbenchmarks (virtual-time cost of
 /// each primitive).
 pub fn run_e7_worldswitch() -> String {
-    let mut out = String::from("## E7 — TEE transition microbenchmarks (virtual time per operation)\n\n");
+    let mut out =
+        String::from("## E7 — TEE transition microbenchmarks (virtual time per operation)\n\n");
     out.push_str("| operation | cost |\n|---|---|\n");
 
     // Raw world switch.
@@ -287,32 +324,47 @@ pub fn run_e7_worldswitch() -> String {
     let platform = Platform::jetson_agx_xavier();
     platform.monitor().register_handler(
         perisec_tz::monitor::smc_func::GET_REVISION,
-        std::sync::Arc::new(|_: &perisec_tz::monitor::SmcCall| perisec_tz::monitor::SmcResult::value(0)),
+        std::sync::Arc::new(|_: &perisec_tz::monitor::SmcCall| {
+            perisec_tz::monitor::SmcResult::value(0)
+        }),
     );
     let before = platform.clock().now();
     for _ in 0..100 {
         platform
             .monitor()
-            .smc(perisec_tz::monitor::SmcCall::new(perisec_tz::monitor::smc_func::GET_REVISION))
+            .smc(perisec_tz::monitor::SmcCall::new(
+                perisec_tz::monitor::smc_func::GET_REVISION,
+            ))
             .expect("smc");
     }
-    let _ = writeln!(out, "| SMC round trip (no-op handler) | {} |", platform.clock().elapsed_since(before) / 100);
+    let _ = writeln!(
+        out,
+        "| SMC round trip (no-op handler) | {} |",
+        platform.clock().elapsed_since(before) / 100
+    );
 
     // TEE core primitives.
     let platform = Platform::jetson_agx_xavier();
     let core = TeeCore::boot(platform.clone(), std::sync::Arc::new(Supplicant::new()));
     let mic = Microphone::speech_mic("mic", sine_source()).expect("mic");
     let pta = core
-        .register_pta(Box::new(perisec_secure_driver::pta::I2sPta::new(SecureI2sDriver::new(
-            platform.clone(),
-            mic,
-        ))))
+        .register_pta(Box::new(perisec_secure_driver::pta::I2sPta::new(
+            SecureI2sDriver::new(platform.clone(), mic),
+        )))
         .expect("register pta");
     let before = platform.clock().now();
     for _ in 0..100 {
-        let _ = core.invoke_pta(pta, perisec_secure_driver::pta::cmd::STATS, &mut TeeParams::new());
+        let _ = core.invoke_pta(
+            pta,
+            perisec_secure_driver::pta::cmd::STATS,
+            &mut TeeParams::new(),
+        );
     }
-    let _ = writeln!(out, "| PTA command dispatch (secure world) | {} |", platform.clock().elapsed_since(before) / 100);
+    let _ = writeln!(
+        out,
+        "| PTA command dispatch (secure world) | {} |",
+        platform.clock().elapsed_since(before) / 100
+    );
 
     let before = platform.clock().now();
     for _ in 0..20 {
@@ -322,11 +374,23 @@ pub fn run_e7_worldswitch() -> String {
         })
         .expect("rpc");
     }
-    let _ = writeln!(out, "| supplicant RPC round trip | {} |", platform.clock().elapsed_since(before) / 20);
+    let _ = writeln!(
+        out,
+        "| supplicant RPC round trip | {} |",
+        platform.clock().elapsed_since(before) / 20
+    );
 
     let cost = platform.cost();
-    let _ = writeln!(out, "| TA session open (model parameter) | {} |", cost.session_open);
-    let _ = writeln!(out, "| TA command dispatch (model parameter) | {} |", cost.ta_dispatch);
+    let _ = writeln!(
+        out,
+        "| TA session open (model parameter) | {} |",
+        cost.session_open
+    );
+    let _ = writeln!(
+        out,
+        "| TA command dispatch (model parameter) | {} |",
+        cost.ta_dispatch
+    );
     out
 }
 
@@ -349,10 +413,27 @@ pub fn run_e8_leakage() -> String {
     );
 
     for (label, policy) in [
-        ("perisec, allow-all (ablation)", PrivacyPolicy { mode: FilterMode::AllowAll, threshold: 0.5 }),
+        (
+            "perisec, allow-all (ablation)",
+            PrivacyPolicy {
+                mode: FilterMode::AllowAll,
+                threshold: 0.5,
+                lexical_guard: false,
+            },
+        ),
         ("perisec, block-sensitive", PrivacyPolicy::block_sensitive()),
-        ("perisec, redact-sensitive", PrivacyPolicy::redact_sensitive()),
-        ("perisec, block-all (ablation)", PrivacyPolicy { mode: FilterMode::BlockAll, threshold: 0.5 }),
+        (
+            "perisec, redact-sensitive",
+            PrivacyPolicy::redact_sensitive(),
+        ),
+        (
+            "perisec, block-all (ablation)",
+            PrivacyPolicy {
+                mode: FilterMode::BlockAll,
+                threshold: 0.5,
+                lexical_guard: true,
+            },
+        ),
     ] {
         let mut secure = SecurePipeline::new(PipelineConfig {
             policy,
@@ -414,13 +495,28 @@ pub fn run_e10_footprint() -> String {
     let catalog = DriverCatalog::tegra_audio_stack();
     let full = PrunedImage::build(&catalog, &PruneStrategy::KeepAll);
     let ported: BTreeSet<String> = PORTED_FUNCTIONS.iter().map(|s| s.to_string()).collect();
-    let pruned = PrunedImage::build(&catalog, &PruneStrategy::TracedFunctions { functions: ported });
+    let pruned = PrunedImage::build(
+        &catalog,
+        &PruneStrategy::TracedFunctions { functions: ported },
+    );
 
     let mut out = String::from("## E10 — OP-TEE image and secure-RAM footprint\n\n");
     out.push_str("| item | size |\n|---|---|\n");
-    let _ = writeln!(out, "| OP-TEE image, full driver ported | {} KiB |", full.image_bytes / 1024);
-    let _ = writeln!(out, "| OP-TEE image, traced-minimal driver | {} KiB |", pruned.image_bytes / 1024);
-    let _ = writeln!(out, "| driver portion reduction | {:.1}x |", pruned.driver_reduction_vs(&full));
+    let _ = writeln!(
+        out,
+        "| OP-TEE image, full driver ported | {} KiB |",
+        full.image_bytes / 1024
+    );
+    let _ = writeln!(
+        out,
+        "| OP-TEE image, traced-minimal driver | {} KiB |",
+        pruned.image_bytes / 1024
+    );
+    let _ = writeln!(
+        out,
+        "| driver portion reduction | {:.1}x |",
+        pruned.driver_reduction_vs(&full)
+    );
 
     // Runtime secure-RAM usage of the deployed stack.
     let pipeline = SecurePipeline::new(PipelineConfig::default()).expect("pipeline");
@@ -443,11 +539,86 @@ pub fn run_e10_footprint() -> String {
     }
     // Model footprints per architecture.
     for arch in Architecture::ALL {
-        let (_, classifier, _, _) = train_models(arch, 40, 0xE10).expect("train");
+        let classifier = &train_models(arch, 40, 0xE10).expect("train").classifier;
         let _ = writeln!(
             out,
             "| {arch} classifier weights (f32) | {} KiB |",
             classifier.memory_bytes_f32() / 1024
+        );
+    }
+    out
+}
+
+/// E11 — TEE-transition amortization: world switches, SMCs and supplicant
+/// RPCs per utterance as the pipeline batch size sweeps up.
+pub fn run_e11_batch_sweep() -> String {
+    let mut out = String::from(
+        "## E11 — batched world transitions (per-utterance TEE cost vs batch size)\n\n",
+    );
+    out.push_str(
+        "| batch | SMCs/utt | world switches/utt | supplicant RPCs/utt | leaked sensitive |\n\
+         |---|---|---|---|---|\n",
+    );
+    let models = train_models(Architecture::Cnn, 60, 0xE11).expect("train");
+    let scenario = Scenario::mixed(16, 0.25, SimDuration::from_secs(2), 0xE11);
+    let utterances = scenario.len() as f64;
+    for batch in [1usize, 2, 4, 8, 16] {
+        let mut pipeline = SecurePipeline::with_models(
+            PipelineConfig {
+                batch_windows: batch,
+                ..PipelineConfig::default()
+            },
+            &models,
+        )
+        .expect("pipeline");
+        let report = pipeline.run_scenario(&scenario).expect("run");
+        let _ = writeln!(
+            out,
+            "| {batch} | {:.2} | {:.2} | {:.2} | {} |",
+            report.tz.smc_calls as f64 / utterances,
+            report.tz.world_switches as f64 / utterances,
+            report.tz.supplicant_rpcs as f64 / utterances,
+            report.cloud.leaked_sensitive_utterances(),
+        );
+    }
+    out
+}
+
+/// E12 — fleet throughput: M concurrent device pipelines sharing one
+/// trained model set.
+pub fn run_e12_fleet() -> String {
+    use perisec_core::fleet::{FleetConfig, PipelineFleet};
+
+    let mut out =
+        String::from("## E12 — multi-device fleet (shared models, concurrent pipelines)\n\n");
+    out.push_str(
+        "| devices | utterances | leaked | switches/utt | mean latency | host time |\n\
+         |---|---|---|---|---|---|\n",
+    );
+    let models = train_models(Architecture::Cnn, 60, 0xE12).expect("train");
+    for devices in [2usize, 4, 8] {
+        let fleet = PipelineFleet::with_models(
+            FleetConfig {
+                devices,
+                pipeline: PipelineConfig {
+                    batch_windows: 8,
+                    ..PipelineConfig::default()
+                },
+            },
+            models.clone(),
+        );
+        let scenarios = Scenario::fleet(devices, 8, 0.25, SimDuration::from_secs(2), 0xE12);
+        let host_start = std::time::Instant::now();
+        let report = fleet.run(&scenarios).expect("fleet run");
+        let host_elapsed = host_start.elapsed();
+        let _ = writeln!(
+            out,
+            "| {devices} | {} | {} | {:.2} | {} | {:.0} ms |",
+            report.total_utterances(),
+            report.leaked_sensitive_utterances(),
+            report.world_switches_per_utterance(),
+            report.mean_end_to_end(),
+            host_elapsed.as_secs_f64() * 1000.0,
         );
     }
     out
@@ -467,6 +638,8 @@ pub fn run_all() -> String {
         run_e8_leakage(),
         run_e9_scalability(),
         run_e10_footprint(),
+        run_e11_batch_sweep(),
+        run_e12_fleet(),
     ]
     .join("\n")
 }

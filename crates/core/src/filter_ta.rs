@@ -10,10 +10,14 @@
 //! The raw audio and the transcript never leave the secure world: the
 //! normal-world caller only learns the filter decision and timing figures.
 
+use std::sync::Arc;
+
 use perisec_devices::codec::AudioEncoding;
 use perisec_ml::classifier::SensitiveClassifier;
 use perisec_ml::stt::KeywordStt;
-use perisec_optee::{TaDescriptor, TaEnv, TeeError, TeeParam, TeeParams, TeeResult, TrustedApp, TaUuid};
+use perisec_optee::{
+    TaDescriptor, TaEnv, TaUuid, TeeError, TeeParam, TeeParams, TeeResult, TrustedApp,
+};
 use perisec_relay::avs::{AvsDirective, AvsEvent};
 use perisec_relay::cloud::MockCloudService;
 use perisec_relay::tls::{seal_flops, SecureChannelClient, PSK_LEN};
@@ -40,6 +44,87 @@ pub mod cmd {
     /// Query statistics: returns `(processed, forwarded)` and
     /// `(dropped, redacted)`.
     pub const GET_STATS: u32 = 2;
+    /// Process a whole batch of capture windows in one invocation — the
+    /// transition-amortized path. Param 0 is an input memref encoding the
+    /// per-window `(dialog_id, periods)` pairs (see
+    /// [`super::filter_ta::encode_batch_request`]); the reply carries the
+    /// per-window verdicts in an output memref (see
+    /// [`super::filter_ta::decode_batch_verdicts`]), the aggregate
+    /// `(capture_wire_ns, capture_cpu_ns)` in value slot 2 and
+    /// `(ml_ns, relay_ns)` in value slot 3. All permitted utterances of the
+    /// batch are relayed in a **single** sealed record, so the whole batch
+    /// costs one send/recv supplicant round trip.
+    pub const PROCESS_BATCH: u32 = 3;
+}
+
+/// Encodes a batch-process request: per window, the dialog id as a
+/// little-endian `u64` followed by the window length in periods as a
+/// little-endian `u32`.
+pub fn encode_batch_request(windows: &[(u64, u32)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(windows.len() * 12);
+    for (dialog_id, periods) in windows {
+        out.extend_from_slice(&dialog_id.to_le_bytes());
+        out.extend_from_slice(&periods.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes a batch-process request produced by [`encode_batch_request`].
+///
+/// # Errors
+///
+/// Returns [`TeeError::BadParameters`] for empty or ragged buffers.
+pub fn decode_batch_request(data: &[u8]) -> TeeResult<Vec<(u64, u32)>> {
+    if data.is_empty() || !data.len().is_multiple_of(12) {
+        return Err(TeeError::BadParameters {
+            reason: "batch request must be a non-empty multiple of 12 bytes".to_owned(),
+        });
+    }
+    Ok(data
+        .chunks_exact(12)
+        .map(|chunk| {
+            (
+                u64::from_le_bytes(chunk[..8].try_into().expect("8 bytes")),
+                u32::from_le_bytes(chunk[8..].try_into().expect("4 bytes")),
+            )
+        })
+        .collect())
+}
+
+/// Encodes per-window verdicts: decision code as one byte, a padding byte,
+/// then the probability in thousandths as a little-endian `u16`.
+pub fn encode_batch_verdicts(verdicts: &[(FilterDecision, u16)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(verdicts.len() * 4);
+    for (decision, probability_milli) in verdicts {
+        out.push(decision.code() as u8);
+        out.push(0);
+        out.extend_from_slice(&probability_milli.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes per-window verdicts produced by [`encode_batch_verdicts`].
+///
+/// # Errors
+///
+/// Returns [`TeeError::Communication`] for ragged buffers or unknown
+/// decision codes.
+pub fn decode_batch_verdicts(data: &[u8]) -> TeeResult<Vec<(FilterDecision, u16)>> {
+    if !data.len().is_multiple_of(4) {
+        return Err(TeeError::Communication {
+            reason: "verdict buffer must be a multiple of 4 bytes".to_owned(),
+        });
+    }
+    data.chunks_exact(4)
+        .map(|chunk| {
+            let decision =
+                FilterDecision::from_code(u64::from(chunk[0])).ok_or(TeeError::Communication {
+                    reason: format!("unknown decision code {}", chunk[0]),
+                })?;
+            let probability_milli = u16::from_le_bytes(chunk[2..].try_into().expect("2 bytes"));
+            Ok((decision, probability_milli))
+        })
+        .collect()
 }
 
 /// Cumulative statistics of the filter TA.
@@ -56,11 +141,15 @@ pub struct FilterStats {
 }
 
 /// The filter TA.
+///
+/// The STT and classifier models are held behind [`Arc`] so a fleet of
+/// device pipelines shares one trained model set instead of retraining (or
+/// copying) per device — model training dominates pipeline setup cost.
 pub struct FilterTa {
     descriptor: TaDescriptor,
     i2s_pta: TaUuid,
-    stt: KeywordStt,
-    classifier: SensitiveClassifier,
+    stt: Arc<KeywordStt>,
+    classifier: Arc<SensitiveClassifier>,
     vocabulary: Vocabulary,
     policy: PrivacyPolicy,
     cloud_host: String,
@@ -87,8 +176,8 @@ impl FilterTa {
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         i2s_pta: TaUuid,
-        stt: KeywordStt,
-        classifier: SensitiveClassifier,
+        stt: Arc<KeywordStt>,
+        classifier: Arc<SensitiveClassifier>,
         vocabulary: Vocabulary,
         policy: PrivacyPolicy,
         cloud_host: impl Into<String>,
@@ -126,59 +215,51 @@ impl FilterTa {
         let server_hello = env.net_recv(socket, 4096)?;
         client
             .process_server_hello(&server_hello)
-            .map_err(|e| TeeError::Communication { reason: e.to_string() })?;
+            .map_err(|e| TeeError::Communication {
+                reason: e.to_string(),
+            })?;
         self.channel = Some((socket, client));
         Ok(())
     }
 
-    fn relay_text(&mut self, env: &TaEnv<'_>, dialog_id: u64, text: &str) -> TeeResult<()> {
+    /// Seals one event, ships it through the supplicant and decodes the
+    /// cloud's directive — exactly one send/recv supplicant round trip,
+    /// whether the event is a single utterance or a whole batch.
+    fn send_event(&mut self, env: &TaEnv<'_>, event: &AvsEvent) -> TeeResult<()> {
         self.ensure_channel(env)?;
         let (socket, channel) = self.channel.as_mut().expect("channel just ensured");
-        let event = AvsEvent::TextMessage {
-            dialog_id,
-            text: text.to_owned(),
-        };
         let encoded = event.encode();
         env.charge_compute(seal_flops(encoded.len()));
         let record = channel
             .seal(&encoded)
-            .map_err(|e| TeeError::Communication { reason: e.to_string() })?;
+            .map_err(|e| TeeError::Communication {
+                reason: e.to_string(),
+            })?;
         env.net_send(*socket, &record)?;
         let reply = env.net_recv(*socket, 4096)?;
         if !reply.is_empty() {
-            let plaintext = channel
-                .open(&reply)
-                .map_err(|e| TeeError::Communication { reason: e.to_string() })?;
-            let _directive = AvsDirective::decode(&plaintext)
-                .map_err(|e| TeeError::Communication { reason: e.to_string() })?;
+            let plaintext = channel.open(&reply).map_err(|e| TeeError::Communication {
+                reason: e.to_string(),
+            })?;
+            let _directive =
+                AvsDirective::decode(&plaintext).map_err(|e| TeeError::Communication {
+                    reason: e.to_string(),
+                })?;
         }
         Ok(())
     }
 
-    fn process_window(
+    /// Runs the in-TA ML stage over one window of encoded audio, charging
+    /// its compute. Returns the recovered tokens, the sensitive
+    /// probability and the ML time in nanoseconds.
+    fn run_ml(
         &mut self,
-        env: &mut TaEnv<'_>,
-        dialog_id: u64,
-        periods: u64,
-        params: &mut TeeParams,
-    ) -> TeeResult<()> {
-        // 1. Pull one capture window from the secure driver through the PTA.
-        let mut capture = TeeParams::new().with(0, TeeParam::ValueInput { a: periods, b: 0 });
-        env.invoke_pta(self.i2s_pta, perisec_secure_driver::pta::cmd::CAPTURE, &mut capture)?;
-        let encoded_audio = capture
-            .get(1)
-            .as_memref()
-            .ok_or(TeeError::Communication {
-                reason: "pta returned no audio".to_owned(),
-            })?
-            .to_vec();
-        let (wire_ns, capture_cpu_ns) = capture.get(2).as_values().unwrap_or((0, 0));
-
-        // 2. Decode and run the ML stage (STT + classifier), charging its
-        //    compute to the secure world.
+        env: &TaEnv<'_>,
+        encoded_audio: &[u8],
+    ) -> TeeResult<(Vec<usize>, f32, u64)> {
         let ml_start = env.platform().clock().now();
         let format = perisec_devices::audio::AudioFormat::speech_16khz_mono();
-        let audio = self.encoding.decode(&encoded_audio, format);
+        let audio = self.encoding.decode(encoded_audio, format);
         env.charge_compute(self.stt.flops_for(audio.samples().len()));
         let tokens = self.stt.transcribe_to_tokens(audio.samples());
         env.charge_compute(self.classifier.flops_per_inference(tokens.len().max(1)));
@@ -187,25 +268,45 @@ impl FilterTa {
         } else {
             self.classifier
                 .predict(&tokens)
-                .map_err(|e| TeeError::Generic { reason: e.to_string() })?
+                .map_err(|e| TeeError::Generic {
+                    reason: e.to_string(),
+                })?
         };
         let ml_ns = env.platform().clock().elapsed_since(ml_start).as_nanos();
+        Ok((tokens, probability, ml_ns))
+    }
 
-        // 3. Apply the policy and relay what is permitted.
-        let relay_start = env.platform().clock().now();
-        let decision = self.policy.decide(probability);
-        let words: Vec<String> = tokens
+    /// Applies the policy to one transcribed window, updates the decision
+    /// statistics and builds the event to relay (if any content is
+    /// permitted to leave the secure world).
+    fn decide(
+        &mut self,
+        dialog_id: u64,
+        tokens: &[usize],
+        probability: f32,
+    ) -> (FilterDecision, Option<AvsEvent>) {
+        // Defense in depth: the policy combines the classifier's score
+        // with a lexicon check over the recognized words (the TA already
+        // holds the vocabulary's privacy categories for redaction).
+        let lexical_hit = tokens
             .iter()
-            .filter_map(|&t| self.vocabulary.word(t).map(|w| w.text.clone()))
-            .collect();
-        match decision {
+            .filter_map(|&t| self.vocabulary.word(t))
+            .any(|w| w.category.is_sensitive());
+        let decision = self.policy.decide_with_lexicon(probability, lexical_hit);
+        let event = match decision {
             FilterDecision::Forward => {
-                if !words.is_empty() {
-                    self.relay_text(env, dialog_id, &words.join(" "))?;
-                }
                 self.stats.forwarded += 1;
+                let words: Vec<String> = tokens
+                    .iter()
+                    .filter_map(|&t| self.vocabulary.word(t).map(|w| w.text.clone()))
+                    .collect();
+                (!words.is_empty()).then(|| AvsEvent::TextMessage {
+                    dialog_id,
+                    text: words.join(" "),
+                })
             }
             FilterDecision::ForwardRedacted => {
+                self.stats.redacted += 1;
                 let redacted: Vec<String> = tokens
                     .iter()
                     .filter_map(|&t| self.vocabulary.word(t))
@@ -217,27 +318,144 @@ impl FilterTa {
                         }
                     })
                     .collect();
-                if !redacted.is_empty() {
-                    self.relay_text(env, dialog_id, &redacted.join(" "))?;
-                }
-                self.stats.redacted += 1;
+                (!redacted.is_empty()).then(|| AvsEvent::TextMessage {
+                    dialog_id,
+                    text: redacted.join(" "),
+                })
             }
             FilterDecision::Drop => {
                 self.stats.dropped += 1;
+                None
             }
-        }
-        let relay_ns = env.platform().clock().elapsed_since(relay_start).as_nanos();
+        };
         self.stats.processed += 1;
+        (decision, event)
+    }
 
-        // 4. Report timing and the decision back to the caller — but never
-        //    the transcript or the audio.
-        params.set(1, TeeParam::ValueOutput { a: wire_ns, b: capture_cpu_ns });
-        params.set(2, TeeParam::ValueOutput { a: ml_ns, b: relay_ns });
+    /// The per-window path (`cmd::PROCESS_WINDOW`), kept for the original
+    /// parameter contract. Internally it *is* a one-window batch — same
+    /// capture, ML, policy and relay code as `cmd::PROCESS_BATCH` — so the
+    /// two commands cannot drift apart; only the output layout differs.
+    fn process_window(
+        &mut self,
+        env: &mut TaEnv<'_>,
+        dialog_id: u64,
+        periods: u64,
+        params: &mut TeeParams,
+    ) -> TeeResult<()> {
+        let windows = [(dialog_id, periods as u32)];
+        let mut batch = TeeParams::new();
+        self.process_batch(env, &windows, &mut batch)?;
+
+        let verdicts =
+            decode_batch_verdicts(batch.get(1).as_memref().ok_or(TeeError::Communication {
+                reason: "batch path returned no verdicts".to_owned(),
+            })?)?;
+        let (decision, probability_milli) =
+            verdicts.first().copied().ok_or(TeeError::Communication {
+                reason: "batch path returned an empty verdict list".to_owned(),
+            })?;
+        let (wire_ns, capture_cpu_ns) = batch.get(2).as_values().unwrap_or((0, 0));
+        let (ml_ns, relay_ns) = batch.get(3).as_values().unwrap_or((0, 0));
+
+        params.set(
+            1,
+            TeeParam::ValueOutput {
+                a: wire_ns,
+                b: capture_cpu_ns,
+            },
+        );
+        params.set(
+            2,
+            TeeParam::ValueOutput {
+                a: ml_ns,
+                b: relay_ns,
+            },
+        );
         params.set(
             3,
             TeeParam::ValueOutput {
                 a: decision.code(),
-                b: (probability * 1000.0) as u64,
+                b: u64::from(probability_milli),
+            },
+        );
+        Ok(())
+    }
+
+    /// The transition-amortized batch path (`cmd::PROCESS_BATCH`): pulls
+    /// every window of the batch from the secure driver in one PTA call,
+    /// runs the ML stage and the policy per window, and relays **all**
+    /// permitted utterances in a single sealed record — so an entire batch
+    /// costs one client SMC plus one supplicant send/recv round trip,
+    /// instead of one SMC and one round trip per utterance.
+    fn process_batch(
+        &mut self,
+        env: &mut TaEnv<'_>,
+        windows: &[(u64, u32)],
+        params: &mut TeeParams,
+    ) -> TeeResult<()> {
+        // 1. One batched capture through the PTA.
+        let request = perisec_secure_driver::pta::encode_windows_request(
+            &windows.iter().map(|&(_, p)| p as usize).collect::<Vec<_>>(),
+        );
+        let mut capture = TeeParams::new().with(0, TeeParam::MemRefInput(request));
+        env.invoke_pta(
+            self.i2s_pta,
+            perisec_secure_driver::pta::cmd::CAPTURE_BATCH,
+            &mut capture,
+        )?;
+        let replies = perisec_secure_driver::pta::decode_windows_reply(
+            capture.get(1).as_memref().ok_or(TeeError::Communication {
+                reason: "pta returned no batched audio".to_owned(),
+            })?,
+        )?;
+        if replies.len() != windows.len() {
+            return Err(TeeError::Communication {
+                reason: format!(
+                    "pta returned {} windows for a {}-window batch",
+                    replies.len(),
+                    windows.len()
+                ),
+            });
+        }
+        let (wire_ns, capture_cpu_ns) = capture.get(2).as_values().unwrap_or((0, 0));
+
+        // 2. Per-window ML + policy; permitted content accumulates into one
+        //    batched relay event.
+        let mut verdicts = Vec::with_capacity(windows.len());
+        let mut outbound = Vec::new();
+        let mut ml_ns_total = 0u64;
+        for (&(dialog_id, _), reply) in windows.iter().zip(&replies) {
+            let (tokens, probability, ml_ns) = self.run_ml(env, &reply.encoded)?;
+            ml_ns_total += ml_ns;
+            let (decision, event) = self.decide(dialog_id, &tokens, probability);
+            verdicts.push((decision, (probability * 1000.0) as u16));
+            if let Some(event) = event {
+                outbound.push(event);
+            }
+        }
+
+        // 3. One relay round trip for the whole batch.
+        let relay_start = env.platform().clock().now();
+        if !outbound.is_empty() {
+            self.send_event(env, &AvsEvent::Batch(outbound))?;
+        }
+        let relay_ns = env.platform().clock().elapsed_since(relay_start).as_nanos();
+
+        // 4. Report verdicts and timing — never transcripts or audio.
+        params.set(1, TeeParam::MemRefOutput(encode_batch_verdicts(&verdicts)));
+        params.set(
+            2,
+            TeeParam::ValueOutput {
+                a: wire_ns,
+                b: capture_cpu_ns,
+            },
+        );
+        params.set(
+            3,
+            TeeParam::ValueOutput {
+                a: ml_ns_total,
+                b: relay_ns,
             },
         );
         Ok(())
@@ -249,7 +467,12 @@ impl TrustedApp for FilterTa {
         self.descriptor.clone()
     }
 
-    fn invoke(&mut self, env: &mut TaEnv<'_>, cmd_id: u32, params: &mut TeeParams) -> TeeResult<()> {
+    fn invoke(
+        &mut self,
+        env: &mut TaEnv<'_>,
+        cmd_id: u32,
+        params: &mut TeeParams,
+    ) -> TeeResult<()> {
         match cmd_id {
             cmd::PROCESS_WINDOW => {
                 let (dialog_id, periods) =
@@ -265,15 +488,30 @@ impl TrustedApp for FilterTa {
                 env.charge_cpu(SimDuration::from_micros(10));
                 self.process_window(env, dialog_id, periods, params)
             }
-            cmd::SET_POLICY => {
-                let (mode, threshold) = params.get(0).as_values().ok_or(TeeError::BadParameters {
-                    reason: "set-policy expects a value parameter".to_owned(),
-                })?;
-                self.policy = PrivacyPolicy::from_values(mode, threshold).ok_or(
+            cmd::PROCESS_BATCH => {
+                let windows = decode_batch_request(params.get(0).as_memref().ok_or(
                     TeeError::BadParameters {
-                        reason: format!("unknown policy mode {mode}"),
+                        reason: "process-batch expects a memref parameter".to_owned(),
                     },
-                )?;
+                )?)?;
+                if windows.iter().any(|&(_, periods)| periods == 0) {
+                    return Err(TeeError::BadParameters {
+                        reason: "batch windows must be at least 1 period".to_owned(),
+                    });
+                }
+                // The TA's own bookkeeping cost, once per batch.
+                env.charge_cpu(SimDuration::from_micros(10));
+                self.process_batch(env, &windows, params)
+            }
+            cmd::SET_POLICY => {
+                let (mode, threshold) =
+                    params.get(0).as_values().ok_or(TeeError::BadParameters {
+                        reason: "set-policy expects a value parameter".to_owned(),
+                    })?;
+                self.policy =
+                    PrivacyPolicy::from_values(mode, threshold).ok_or(TeeError::BadParameters {
+                        reason: format!("unknown policy mode {mode}"),
+                    })?;
                 Ok(())
             }
             cmd::GET_STATS => {

@@ -1,0 +1,367 @@
+//! The multi-device fleet harness.
+//!
+//! A [`PipelineFleet`] runs M concurrent device pipelines — one OS thread
+//! per simulated device, each with its own platform, TEE core, secure
+//! driver and cloud connection — while sharing **one** trained model set
+//! ([`crate::pipeline::SharedModels`]) across every device via [`Arc`].
+//! Training dominates pipeline setup cost, so a fleet of N devices sets up
+//! roughly N times faster than N independently-built pipelines, and the
+//! secure model weights exist once in (simulated) memory.
+//!
+//! Per-device [`PipelineReport`]s are merged into a [`FleetReport`] with
+//! fleet-wide privacy, latency and transition aggregates.
+
+use std::thread;
+
+use perisec_tz::time::SimDuration;
+use perisec_workload::scenario::Scenario;
+
+use serde::{Deserialize, Serialize};
+
+use crate::pipeline::{PipelineConfig, SecurePipeline, SharedModels};
+use crate::report::PipelineReport;
+use crate::{CoreError, Result};
+
+/// Fleet configuration: how many devices, and how each is built.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of concurrent device pipelines.
+    pub devices: usize,
+    /// Configuration applied to every device pipeline (including its
+    /// batch size).
+    pub pipeline: PipelineConfig,
+}
+
+impl FleetConfig {
+    /// A fleet of `devices` devices with the default pipeline config.
+    pub fn of(devices: usize) -> Self {
+        FleetConfig {
+            devices,
+            pipeline: PipelineConfig::default(),
+        }
+    }
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig::of(8)
+    }
+}
+
+/// The report of one device's run within a fleet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceReport {
+    /// Device index within the fleet.
+    pub device: usize,
+    /// Name of the scenario the device replayed.
+    pub scenario: String,
+    /// The device pipeline's full report.
+    pub report: PipelineReport,
+}
+
+/// The merged report of a fleet run.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Per-device reports, in device order.
+    pub devices: Vec<DeviceReport>,
+}
+
+impl FleetReport {
+    /// Number of devices that ran.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Total utterances processed across the fleet.
+    pub fn total_utterances(&self) -> usize {
+        self.devices
+            .iter()
+            .map(|d| d.report.workload.utterances)
+            .sum()
+    }
+
+    /// Total ground-truth sensitive utterances across the fleet.
+    pub fn total_sensitive_utterances(&self) -> usize {
+        self.devices
+            .iter()
+            .map(|d| d.report.workload.sensitive_utterances)
+            .sum()
+    }
+
+    /// Total sensitive utterances that leaked to the cloud, fleet-wide —
+    /// the headline privacy metric.
+    pub fn leaked_sensitive_utterances(&self) -> usize {
+        self.devices
+            .iter()
+            .map(|d| d.report.cloud.leaked_sensitive_utterances())
+            .sum()
+    }
+
+    /// Fleet-wide leakage rate.
+    pub fn leakage_rate(&self) -> f64 {
+        let sensitive = self.total_sensitive_utterances();
+        if sensitive == 0 {
+            return 0.0;
+        }
+        self.leaked_sensitive_utterances() as f64 / sensitive as f64
+    }
+
+    /// Total world switches across every device's TEE.
+    pub fn total_world_switches(&self) -> u64 {
+        self.devices
+            .iter()
+            .map(|d| d.report.tz.world_switches)
+            .sum()
+    }
+
+    /// Total SMCs across every device's TEE.
+    pub fn total_smc_calls(&self) -> u64 {
+        self.devices.iter().map(|d| d.report.tz.smc_calls).sum()
+    }
+
+    /// World switches per utterance, averaged over the fleet.
+    pub fn world_switches_per_utterance(&self) -> f64 {
+        let utterances = self.total_utterances();
+        if utterances == 0 {
+            return 0.0;
+        }
+        self.total_world_switches() as f64 / utterances as f64
+    }
+
+    /// Mean per-utterance processing latency across the fleet.
+    pub fn mean_end_to_end(&self) -> SimDuration {
+        let mut total = SimDuration::ZERO;
+        let mut count = 0u64;
+        for device in &self.devices {
+            for &latency in &device.report.latency.per_utterance {
+                total += latency;
+                count += 1;
+            }
+        }
+        if count == 0 {
+            SimDuration::ZERO
+        } else {
+            total / count
+        }
+    }
+
+    /// Total energy drawn across the fleet, in millijoules.
+    pub fn total_energy_mj(&self) -> f64 {
+        self.devices.iter().map(|d| d.report.energy.total_mj).sum()
+    }
+
+    /// Serializes the fleet report as pretty JSON.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: all fields are plain data.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("fleet report is serializable")
+    }
+}
+
+/// The fleet: one shared trained model set plus the per-device config.
+#[derive(Debug, Clone)]
+pub struct PipelineFleet {
+    config: FleetConfig,
+    models: SharedModels,
+}
+
+impl PipelineFleet {
+    /// Builds a fleet, training the shared model set **once**.
+    ///
+    /// # Errors
+    ///
+    /// Propagates ML training failures.
+    pub fn new(config: FleetConfig) -> Result<Self> {
+        if config.devices == 0 {
+            return Err(CoreError::Config {
+                reason: "fleet needs at least one device".to_owned(),
+            });
+        }
+        let models = SharedModels::for_config(&config.pipeline)?;
+        Ok(PipelineFleet { config, models })
+    }
+
+    /// Builds a fleet around an existing trained model set.
+    pub fn with_models(config: FleetConfig, models: SharedModels) -> Self {
+        PipelineFleet { config, models }
+    }
+
+    /// The shared model set.
+    pub fn models(&self) -> &SharedModels {
+        &self.models
+    }
+
+    /// The fleet configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Runs one scenario per device, concurrently — device `i` replays
+    /// `scenarios[i % scenarios.len()]`. Every device thread builds its own
+    /// full stack (platform, TEE core, secure driver, cloud) around the
+    /// shared models, runs its scenario, and reports.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first device failure ([`CoreError`]), or a
+    /// [`CoreError::Config`] for an empty scenario list.
+    pub fn run(&self, scenarios: &[Scenario]) -> Result<FleetReport> {
+        // Guard here as well as in `new`: `with_models` skips `new`'s
+        // validation, and an empty fleet report would read as a perfectly
+        // clean privacy outcome when nothing ran at all.
+        if self.config.devices == 0 {
+            return Err(CoreError::Config {
+                reason: "fleet needs at least one device".to_owned(),
+            });
+        }
+        if scenarios.is_empty() {
+            return Err(CoreError::Config {
+                reason: "fleet run needs at least one scenario".to_owned(),
+            });
+        }
+        let devices = self.config.devices;
+        let outcomes: Vec<Result<DeviceReport>> = thread::scope(|scope| {
+            let handles: Vec<_> = (0..devices)
+                .map(|device| {
+                    let scenario = &scenarios[device % scenarios.len()];
+                    let pipeline_config = self.config.pipeline.clone();
+                    let models = &self.models;
+                    scope.spawn(move || -> Result<DeviceReport> {
+                        let mut pipeline = SecurePipeline::with_models(pipeline_config, models)?;
+                        let report = pipeline.run_scenario(scenario)?;
+                        Ok(DeviceReport {
+                            device,
+                            scenario: scenario.name.clone(),
+                            report,
+                        })
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .enumerate()
+                .map(|(device, handle)| {
+                    handle.join().unwrap_or_else(|payload| {
+                        let message = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| (*s).to_owned())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "unknown panic payload".to_owned());
+                        Err(CoreError::Config {
+                            reason: format!("device {device} pipeline thread panicked: {message}"),
+                        })
+                    })
+                })
+                .collect()
+        });
+        let mut reports = Vec::with_capacity(devices);
+        for outcome in outcomes {
+            reports.push(outcome?);
+        }
+        Ok(FleetReport { devices: reports })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perisec_workload::scenario::Scenario;
+    use std::sync::Arc;
+
+    #[test]
+    fn shared_models_cross_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SharedModels>();
+        assert_send_sync::<FleetReport>();
+    }
+
+    #[test]
+    fn fleet_runs_concurrent_devices_off_one_model_set() {
+        let fleet = PipelineFleet::new(FleetConfig {
+            devices: 4,
+            pipeline: PipelineConfig {
+                train_utterances: 60,
+                batch_windows: 4,
+                ..PipelineConfig::default()
+            },
+        })
+        .unwrap();
+        let scenarios = Scenario::fleet(4, 6, 0.5, SimDuration::from_secs(2), 0xF1EE7);
+        let report = fleet.run(&scenarios).unwrap();
+
+        assert_eq!(report.device_count(), 4);
+        assert_eq!(report.total_utterances(), 24);
+        assert!(report.total_sensitive_utterances() > 0);
+        assert!(report.leakage_rate() < 0.5);
+        assert!(report.total_smc_calls() >= 4);
+        assert!(report.mean_end_to_end() > SimDuration::ZERO);
+        assert!(report.total_energy_mj() > 0.0);
+        // Devices got distinct scenarios, in order.
+        for (i, device) in report.devices.iter().enumerate() {
+            assert_eq!(device.device, i);
+            assert_eq!(device.scenario, scenarios[i].name);
+        }
+        // One model set shared by reference, not copied: building another
+        // pipeline from the fleet's models bumps the weights' refcount.
+        let before = Arc::strong_count(&fleet.models().classifier);
+        let _pipeline = crate::pipeline::SecurePipeline::with_models(
+            fleet.config().pipeline.clone(),
+            fleet.models(),
+        )
+        .unwrap();
+        assert_eq!(Arc::strong_count(&fleet.models().classifier), before + 1);
+    }
+
+    #[test]
+    fn fleet_rejects_degenerate_configurations() {
+        assert!(PipelineFleet::new(FleetConfig {
+            devices: 0,
+            ..FleetConfig::default()
+        })
+        .is_err());
+        // `with_models` skips `new`'s validation; `run` must still refuse.
+        let models =
+            SharedModels::train(perisec_ml::classifier::Architecture::Cnn, 16, 0xF1EE).unwrap();
+        let zero_fleet = PipelineFleet::with_models(
+            FleetConfig {
+                devices: 0,
+                ..FleetConfig::default()
+            },
+            models,
+        );
+        let scenarios = Scenario::fleet(1, 2, 0.5, SimDuration::from_secs(1), 1);
+        assert!(zero_fleet.run(&scenarios).is_err());
+        let fleet = PipelineFleet::new(FleetConfig {
+            devices: 1,
+            pipeline: PipelineConfig {
+                train_utterances: 30,
+                ..PipelineConfig::default()
+            },
+        })
+        .unwrap();
+        assert!(fleet.run(&[]).is_err());
+    }
+
+    #[test]
+    fn fleet_report_merges_device_outcomes() {
+        let fleet = PipelineFleet::new(FleetConfig {
+            devices: 2,
+            pipeline: PipelineConfig {
+                train_utterances: 60,
+                ..PipelineConfig::default()
+            },
+        })
+        .unwrap();
+        // Fewer scenarios than devices: they wrap around.
+        let scenarios = Scenario::fleet(1, 4, 0.0, SimDuration::from_secs(1), 42);
+        let report = fleet.run(&scenarios).unwrap();
+        assert_eq!(report.device_count(), 2);
+        assert_eq!(report.total_utterances(), 8);
+        assert_eq!(report.total_sensitive_utterances(), 0);
+        assert_eq!(report.leakage_rate(), 0.0);
+        // The merged report serializes.
+        assert!(report.to_json().contains("devices"));
+    }
+}

@@ -12,9 +12,14 @@
 //!   classifies the transcript (CNN / Transformer / hybrid), applies the
 //!   policy, and relays only permitted content to the cloud over the
 //!   TLS-like channel through the TEE supplicant;
+//! * [`stage`] — the staged architecture: capture → filter → relay behind
+//!   the [`stage::PipelineStage`] trait, with batch-aware TEE crossings;
 //! * [`pipeline`] — [`pipeline::SecurePipeline`] (the proposed design) and
 //!   [`pipeline::BaselinePipeline`] (driver in the untrusted kernel, no
-//!   filtering), both runnable against `perisec-workload` scenarios;
+//!   filtering), both runnable against `perisec-workload` scenarios and
+//!   both assembled from the stages;
+//! * [`fleet`] — [`fleet::PipelineFleet`]: M concurrent device pipelines
+//!   sharing one trained model set, with merged fleet reports;
 //! * [`report`] — per-run reports: stage latencies, world-switch and
 //!   energy accounting, and the privacy-leakage summary.
 
@@ -22,16 +27,20 @@
 #![warn(missing_docs)]
 
 pub mod filter_ta;
+pub mod fleet;
 pub mod pipeline;
 pub mod policy;
 pub mod report;
 pub mod source;
+pub mod stage;
 
 pub use filter_ta::{FilterStats, FilterTa, FILTER_TA_NAME};
-pub use pipeline::{BaselinePipeline, PipelineConfig, SecurePipeline};
+pub use fleet::{DeviceReport, FleetConfig, FleetReport, PipelineFleet};
+pub use pipeline::{BaselinePipeline, PipelineConfig, SecurePipeline, SharedModels};
 pub use policy::{FilterDecision, FilterMode, PrivacyPolicy};
 pub use report::{CloudOutcome, LatencyBreakdown, PipelineReport, WorkloadSummary};
 pub use source::SharedPlayback;
+pub use stage::{FilteredBatch, PipelineStage, PreparedBatch, WindowSpec, WindowVerdict};
 
 use std::error::Error;
 use std::fmt;

@@ -62,6 +62,14 @@ impl FilterDecision {
 }
 
 /// The privacy policy evaluated inside the TA.
+///
+/// The filter applies **defense in depth**: the trained classifier scores
+/// each transcript, and — when [`PrivacyPolicy::lexical_guard`] is on —
+/// any transcript containing a word from a sensitive vocabulary category
+/// is treated as sensitive regardless of the classifier's score. The
+/// guard gives deterministic recall on known-sensitive vocabulary (the
+/// classifier can never "miss" a bank keyword), while the classifier
+/// generalizes to combinations the lexicon alone would pass.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PrivacyPolicy {
     /// What to do with sensitive content.
@@ -69,14 +77,22 @@ pub struct PrivacyPolicy {
     /// Probability above which the classifier's verdict counts as
     /// sensitive.
     pub threshold: f32,
+    /// Whether a recognized sensitive-category word forces the sensitive
+    /// verdict independent of the classifier.
+    pub lexical_guard: bool,
 }
 
+/// Bit set in the encoded mode value when the lexical guard is enabled.
+const GUARD_BIT: u64 = 0x8;
+
 impl PrivacyPolicy {
-    /// The paper's default: block anything the classifier deems sensitive.
+    /// The paper's default: block anything the filter deems sensitive
+    /// (classifier or lexicon).
     pub fn block_sensitive() -> Self {
         PrivacyPolicy {
             mode: FilterMode::BlockSensitive,
             threshold: 0.5,
+            lexical_guard: true,
         }
     }
 
@@ -85,6 +101,7 @@ impl PrivacyPolicy {
         PrivacyPolicy {
             mode: FilterMode::AllowAll,
             threshold: 0.5,
+            lexical_guard: false,
         }
     }
 
@@ -93,12 +110,36 @@ impl PrivacyPolicy {
         PrivacyPolicy {
             mode: FilterMode::RedactSensitive,
             threshold: 0.5,
+            lexical_guard: true,
         }
     }
 
-    /// Decides what to do given the classifier's sensitive probability.
+    /// Like [`PrivacyPolicy::block_sensitive`], but relying on the
+    /// classifier alone — the ablation the architecture-comparison
+    /// experiments measure.
+    pub fn classifier_only(mode: FilterMode, threshold: f32) -> Self {
+        PrivacyPolicy {
+            mode,
+            threshold,
+            lexical_guard: false,
+        }
+    }
+
+    /// Decides what to do given the classifier's sensitive probability
+    /// (no lexicon input; see [`PrivacyPolicy::decide_with_lexicon`]).
     pub fn decide(&self, sensitive_probability: f32) -> FilterDecision {
-        let sensitive = sensitive_probability >= self.threshold;
+        self.decide_with_lexicon(sensitive_probability, false)
+    }
+
+    /// Decides what to do given the classifier's probability and whether
+    /// the transcript contained a sensitive-category vocabulary word.
+    pub fn decide_with_lexicon(
+        &self,
+        sensitive_probability: f32,
+        lexical_hit: bool,
+    ) -> FilterDecision {
+        let sensitive =
+            sensitive_probability >= self.threshold || (self.lexical_guard && lexical_hit);
         match (self.mode, sensitive) {
             (FilterMode::AllowAll, _) => FilterDecision::Forward,
             (FilterMode::BlockAll, _) => FilterDecision::Drop,
@@ -108,7 +149,8 @@ impl PrivacyPolicy {
         }
     }
 
-    /// Encodes the policy as two values for the TA parameter interface.
+    /// Encodes the policy as two values for the TA parameter interface
+    /// (the lexical-guard flag rides in a high bit of the mode value).
     pub fn to_values(&self) -> (u64, u64) {
         let mode = match self.mode {
             FilterMode::BlockSensitive => 0,
@@ -116,12 +158,14 @@ impl PrivacyPolicy {
             FilterMode::AllowAll => 2,
             FilterMode::BlockAll => 3,
         };
-        (mode, (self.threshold * 1000.0) as u64)
+        let guard = if self.lexical_guard { GUARD_BIT } else { 0 };
+        (mode | guard, (self.threshold * 1000.0) as u64)
     }
 
     /// Decodes a policy from the TA parameter interface.
     pub fn from_values(mode: u64, threshold_milli: u64) -> Option<Self> {
-        let mode = match mode {
+        let lexical_guard = mode & GUARD_BIT != 0;
+        let mode = match mode & !GUARD_BIT {
             0 => FilterMode::BlockSensitive,
             1 => FilterMode::RedactSensitive,
             2 => FilterMode::AllowAll,
@@ -131,6 +175,7 @@ impl PrivacyPolicy {
         Some(PrivacyPolicy {
             mode,
             threshold: (threshold_milli as f32 / 1000.0).clamp(0.0, 1.0),
+            lexical_guard,
         })
     }
 }
@@ -155,8 +200,15 @@ mod tests {
 
     #[test]
     fn ablation_modes() {
-        assert_eq!(PrivacyPolicy::allow_all().decide(0.99), FilterDecision::Forward);
-        let block_all = PrivacyPolicy { mode: FilterMode::BlockAll, threshold: 0.5 };
+        assert_eq!(
+            PrivacyPolicy::allow_all().decide(0.99),
+            FilterDecision::Forward
+        );
+        let block_all = PrivacyPolicy {
+            mode: FilterMode::BlockAll,
+            threshold: 0.5,
+            lexical_guard: true,
+        };
         assert_eq!(block_all.decide(0.01), FilterDecision::Drop);
         assert_eq!(
             PrivacyPolicy::redact_sensitive().decide(0.9),
@@ -174,15 +226,34 @@ mod tests {
             PrivacyPolicy::block_sensitive(),
             PrivacyPolicy::redact_sensitive(),
             PrivacyPolicy::allow_all(),
-            PrivacyPolicy { mode: FilterMode::BlockAll, threshold: 0.73 },
+            PrivacyPolicy {
+                mode: FilterMode::BlockAll,
+                threshold: 0.73,
+                lexical_guard: false,
+            },
         ] {
             let (m, t) = policy.to_values();
             let decoded = PrivacyPolicy::from_values(m, t).unwrap();
             assert_eq!(decoded.mode, policy.mode);
+            assert_eq!(decoded.lexical_guard, policy.lexical_guard);
             assert!((decoded.threshold - policy.threshold).abs() < 0.001);
         }
-        assert!(PrivacyPolicy::from_values(9, 500).is_none());
-        for d in [FilterDecision::Forward, FilterDecision::Drop, FilterDecision::ForwardRedacted] {
+        // 7 is not a mode even after masking off the guard bit; 9 decodes
+        // as redact-sensitive with the guard bit set.
+        assert!(PrivacyPolicy::from_values(7, 500).is_none());
+        assert_eq!(
+            PrivacyPolicy::from_values(9, 500).unwrap(),
+            PrivacyPolicy {
+                mode: FilterMode::RedactSensitive,
+                threshold: 0.5,
+                lexical_guard: true
+            }
+        );
+        for d in [
+            FilterDecision::Forward,
+            FilterDecision::Drop,
+            FilterDecision::ForwardRedacted,
+        ] {
             assert_eq!(FilterDecision::from_code(d.code()), Some(d));
         }
         assert!(FilterDecision::from_code(99).is_none());

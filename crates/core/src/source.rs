@@ -30,6 +30,20 @@ impl SharedPlayback {
         self.queue.lock().extend(samples.iter().copied());
     }
 
+    /// Appends samples padded with trailing silence up to `total_samples`.
+    ///
+    /// Batched capture queues several utterances back to back; padding each
+    /// to its whole-period window keeps later windows aligned to period
+    /// boundaries (the unbatched path gets the same effect from clearing
+    /// the queue between utterances).
+    pub fn push_padded(&self, samples: &[i16], total_samples: usize) {
+        let mut queue = self.queue.lock();
+        queue.extend(samples.iter().copied());
+        for _ in samples.len()..total_samples {
+            queue.push_back(0);
+        }
+    }
+
     /// Number of queued samples not yet consumed.
     pub fn remaining(&self) -> usize {
         self.queue.lock().len()
@@ -62,7 +76,10 @@ impl SignalSource for SharedPlaybackSource {
     }
 
     fn describe(&self) -> String {
-        format!("shared playback ({} samples queued)", self.queue.lock().len())
+        format!(
+            "shared playback ({} samples queued)",
+            self.queue.lock().len()
+        )
     }
 }
 

@@ -113,7 +113,13 @@ impl CameraSensor {
     ///
     /// Returns [`DeviceError::UnsupportedConfig`] for zero dimensions or a
     /// zero frame rate.
-    pub fn new(name: impl Into<String>, width: u32, height: u32, fps: u32, seed: u64) -> Result<Self> {
+    pub fn new(
+        name: impl Into<String>,
+        width: u32,
+        height: u32,
+        fps: u32,
+        seed: u64,
+    ) -> Result<Self> {
         if width == 0 || height == 0 || fps == 0 {
             return Err(DeviceError::UnsupportedConfig {
                 reason: "camera dimensions and frame rate must be non-zero".to_owned(),
@@ -209,9 +215,14 @@ impl CameraSensor {
                 let radius = (w.min(h) as f64) / 3.0;
                 for y in 0..h {
                     for x in 0..w {
-                        let d = (((x as f64 - cx).powi(2) + (y as f64 - cy).powi(2)).sqrt()) / radius;
-                        let base = 130.0 + self.rng.gen_range(-6.0..6.0);
-                        let v = if d < 1.0 { base - 90.0 * (1.0 - d) } else { base };
+                        let d =
+                            (((x as f64 - cx).powi(2) + (y as f64 - cy).powi(2)).sqrt()) / radius;
+                        let base = 130.0 + self.rng.gen_range(-6.0f64..6.0);
+                        let v = if d < 1.0 {
+                            base - 90.0 * (1.0 - d)
+                        } else {
+                            base
+                        };
                         pixels[y * w + x] = v.clamp(0.0, 255.0) as u8;
                     }
                 }
@@ -234,8 +245,12 @@ impl CameraSensor {
                         let d = (((x as f64 - cx).powi(2) + (y as f64 - (h as f64) * 0.8).powi(2))
                             .sqrt())
                             / radius;
-                        let base = 125.0 + self.rng.gen_range(-5.0..5.0);
-                        let v = if d < 1.0 { base - 40.0 * (1.0 - d) } else { base };
+                        let base = 125.0 + self.rng.gen_range(-5.0f64..5.0);
+                        let v = if d < 1.0 {
+                            base - 40.0 * (1.0 - d)
+                        } else {
+                            base
+                        };
                         pixels[y * w + x] = v.clamp(0.0, 255.0) as u8;
                     }
                 }

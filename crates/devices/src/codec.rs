@@ -146,7 +146,7 @@ mod tests {
     fn mulaw_preserves_sign_and_monotonic_order_of_extremes() {
         assert!(mulaw_decode_sample(mulaw_encode_sample(i16::MAX)) > 30_000);
         assert!(mulaw_decode_sample(mulaw_encode_sample(-30_000)) < -28_000);
-        assert_eq!(mulaw_decode_sample(mulaw_encode_sample(0)).abs() < 16, true);
+        assert!(mulaw_decode_sample(mulaw_encode_sample(0)).abs() < 16);
     }
 
     #[test]

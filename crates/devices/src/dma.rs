@@ -119,7 +119,7 @@ impl DmaChannel {
         if bytes == 0 {
             return SimDuration::ZERO;
         }
-        let bursts = (bytes + self.config.burst_bytes - 1) / self.config.burst_bytes;
+        let bursts = bytes.div_ceil(self.config.burst_bytes);
         let effective_bytes = bursts * self.config.burst_bytes;
         let bytes_per_sec = self.config.bandwidth_mib_s as f64 * 1024.0 * 1024.0;
         SimDuration::from_secs_f64(effective_bytes as f64 / bytes_per_sec)
@@ -162,14 +162,23 @@ mod tests {
         let mut dma = DmaChannel::default();
         let mut dst = vec![0u8; 4];
         let err = dma.transfer(&[1, 2, 3], &mut dst).unwrap_err();
-        assert!(matches!(err, DeviceError::BufferTooSmall { required: 6, available: 4 }));
+        assert!(matches!(
+            err,
+            DeviceError::BufferTooSmall {
+                required: 6,
+                available: 4
+            }
+        ));
         assert_eq!(dma.transfer_count(), 0);
         assert!(dst.iter().all(|&b| b == 0));
     }
 
     #[test]
     fn bus_time_rounds_up_to_bursts_and_scales() {
-        let dma = DmaChannel::new(DmaConfig { burst_bytes: 64, bandwidth_mib_s: 1 });
+        let dma = DmaChannel::new(DmaConfig {
+            burst_bytes: 64,
+            bandwidth_mib_s: 1,
+        });
         assert_eq!(dma.bus_time_for(0), SimDuration::ZERO);
         let one_burst = dma.bus_time_for(1);
         assert_eq!(one_burst, dma.bus_time_for(64));

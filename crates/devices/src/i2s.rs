@@ -269,7 +269,7 @@ impl I2sBus {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::signal::{SineSource, SilenceSource};
+    use crate::signal::{SilenceSource, SineSource};
 
     #[test]
     fn config_validation_catches_bad_configs() {
@@ -288,7 +288,7 @@ mod tests {
     #[test]
     fn bit_clock_matches_format() {
         let c = I2sConfig::microphone_default();
-        assert_eq!(c.bit_clock_hz(), 16 * 1 * 16_000);
+        assert_eq!(c.bit_clock_hz(), 16 * 16_000);
     }
 
     #[test]
@@ -334,7 +334,8 @@ mod tests {
 
     #[test]
     fn transfer_on_disabled_controller_is_a_noop() {
-        let mut bus = I2sBus::new(I2sConfig::microphone_default(), Box::new(SilenceSource)).unwrap();
+        let mut bus =
+            I2sBus::new(I2sConfig::microphone_default(), Box::new(SilenceSource)).unwrap();
         assert_eq!(bus.transfer_frames(100), SimDuration::ZERO);
         assert_eq!(bus.controller_ref().fifo_level(), 0);
     }
@@ -342,7 +343,10 @@ mod tests {
     #[test]
     fn set_source_swaps_the_device() {
         let mut bus = I2sBus::new(
-            I2sConfig { fifo_depth: 256, ..I2sConfig::microphone_default() },
+            I2sConfig {
+                fifo_depth: 256,
+                ..I2sConfig::microphone_default()
+            },
             Box::new(SilenceSource),
         )
         .unwrap();

@@ -79,8 +79,14 @@ impl fmt::Display for DeviceError {
             DeviceError::InvalidState { operation, state } => {
                 write!(f, "cannot {operation} while device is {state}")
             }
-            DeviceError::BufferTooSmall { required, available } => {
-                write!(f, "destination buffer too small: need {required} bytes, have {available}")
+            DeviceError::BufferTooSmall {
+                required,
+                available,
+            } => {
+                write!(
+                    f,
+                    "destination buffer too small: need {required} bytes, have {available}"
+                )
             }
         }
     }
@@ -99,7 +105,10 @@ mod tests {
     fn device_error_is_well_behaved() {
         fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
         assert_bounds::<DeviceError>();
-        let e = DeviceError::BufferTooSmall { required: 10, available: 4 };
+        let e = DeviceError::BufferTooSmall {
+            required: 10,
+            available: 4,
+        };
         assert!(e.to_string().contains("10"));
     }
 }

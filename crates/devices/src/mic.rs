@@ -201,7 +201,10 @@ impl Microphone {
     /// # Errors
     ///
     /// Same as [`Microphone::capture`].
-    pub fn capture_duration(&mut self, duration: SimDuration) -> Result<(AudioBuffer, SimDuration)> {
+    pub fn capture_duration(
+        &mut self,
+        duration: SimDuration,
+    ) -> Result<(AudioBuffer, SimDuration)> {
         let frames = self.format().frames_in(duration);
         self.capture(frames)
     }
@@ -210,7 +213,7 @@ impl Microphone {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::signal::{SineSource, SilenceSource};
+    use crate::signal::{SilenceSource, SineSource};
 
     fn test_mic() -> Microphone {
         Microphone::speech_mic("mic0", Box::new(SineSource::new(440.0, 16_000, 0.8))).unwrap()

@@ -203,8 +203,12 @@ mod tests {
 
     #[test]
     fn describe_mentions_the_source_kind() {
-        assert!(SineSource::new(440.0, 16_000, 1.0).describe().contains("sine"));
+        assert!(SineSource::new(440.0, 16_000, 1.0)
+            .describe()
+            .contains("sine"));
         assert!(WhiteNoiseSource::new(1, 0.1).describe().contains("noise"));
-        assert!(PlaybackSource::new(vec![], "x").describe().contains("playback"));
+        assert!(PlaybackSource::new(vec![], "x")
+            .describe()
+            .contains("playback"));
     }
 }

@@ -163,7 +163,10 @@ impl DriverCatalog {
 
     /// All functions belonging to `group`.
     pub fn by_group(&self, group: FeatureGroup) -> Vec<&DriverFunction> {
-        self.functions.values().filter(|f| f.group == group).collect()
+        self.functions
+            .values()
+            .filter(|f| f.group == group)
+            .collect()
     }
 
     /// Lines of code per feature group.

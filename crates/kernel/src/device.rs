@@ -121,9 +121,12 @@ impl DeviceRegistry {
     ///
     /// Returns [`KernelError::NoSuchDevice`] if the device does not exist.
     pub fn unregister(&self, name: &str) -> Result<DeviceDescriptor> {
-        self.devices.write().remove(name).ok_or(KernelError::NoSuchDevice {
-            name: name.to_owned(),
-        })
+        self.devices
+            .write()
+            .remove(name)
+            .ok_or(KernelError::NoSuchDevice {
+                name: name.to_owned(),
+            })
     }
 
     /// Looks up a device by name.
@@ -188,7 +191,11 @@ mod tests {
     fn jetson_board_has_multiple_sound_devices() {
         let reg = DeviceRegistry::jetson_audio_board();
         let sound = reg.by_class(DeviceClass::Sound);
-        assert!(sound.len() >= 4, "expected several sound devices, got {}", sound.len());
+        assert!(
+            sound.len() >= 4,
+            "expected several sound devices, got {}",
+            sound.len()
+        );
         assert!(reg.len() > sound.len());
     }
 
@@ -204,7 +211,10 @@ mod tests {
         })
         .unwrap();
         assert_eq!(reg.find("mic0").unwrap().irq_line, Some(12));
-        assert!(matches!(reg.find("nope"), Err(KernelError::NoSuchDevice { .. })));
+        assert!(matches!(
+            reg.find("nope"),
+            Err(KernelError::NoSuchDevice { .. })
+        ));
         let removed = reg.unregister("mic0").unwrap();
         assert_eq!(removed.name, "mic0");
         assert!(reg.unregister("mic0").is_err());
@@ -226,7 +236,8 @@ mod tests {
     #[test]
     fn bind_driver_updates_descriptor() {
         let reg = DeviceRegistry::jetson_audio_board();
-        reg.bind_driver("tegra210-i2s.1", "tegra210-i2s-driver").unwrap();
+        reg.bind_driver("tegra210-i2s.1", "tegra210-i2s-driver")
+            .unwrap();
         assert_eq!(
             reg.find("tegra210-i2s.1").unwrap().driver.as_deref(),
             Some("tegra210-i2s-driver")

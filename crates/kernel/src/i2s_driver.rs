@@ -280,8 +280,10 @@ impl BaselineI2sDriver {
             // 1. The microphone delivers one period over the I2S wire.
             let (chunk, wire) = self.mic.capture(params.period_frames)?;
             wire_time += wire;
-            self.platform.record_device_busy(Component::Microphone, wire);
-            self.platform.record_device_busy(Component::I2sController, wire);
+            self.platform
+                .record_device_busy(Component::Microphone, wire);
+            self.platform
+                .record_device_busy(Component::I2sController, wire);
 
             // 2. The ADMA engine moves the samples into the PCM ring buffer.
             let mut period_bytes = vec![0u8; chunk.byte_len()];
@@ -292,7 +294,11 @@ impl BaselineI2sDriver {
             // 3. Period-complete interrupt and driver bookkeeping.
             self.trace_all(PERIOD_FUNCTIONS);
             self.platform.stats().record_irq();
-            charge_cpu(&self.platform, self.platform.cost().irq_entry, &mut cpu_time);
+            charge_cpu(
+                &self.platform,
+                self.platform.cost().irq_entry,
+                &mut cpu_time,
+            );
             charge_cpu(&self.platform, PER_PERIOD_DRIVER_OVERHEAD, &mut cpu_time);
             self.pcm.dma_deliver(chunk.samples())?;
 
@@ -332,7 +338,7 @@ impl BaselineI2sDriver {
             state: "no hw params".to_owned(),
         })?;
         let frames = params.format.frames_in(duration);
-        let periods = (frames + params.period_frames - 1) / params.period_frames;
+        let periods = frames.div_ceil(params.period_frames);
         self.capture_periods(periods.max(1))
     }
 
@@ -385,7 +391,8 @@ mod tests {
 
     fn driver() -> BaselineI2sDriver {
         let platform = Platform::jetson_agx_xavier();
-        let mic = Microphone::speech_mic("mic0", Box::new(SineSource::new(440.0, 16_000, 0.6))).unwrap();
+        let mic =
+            Microphone::speech_mic("mic0", Box::new(SineSource::new(440.0, 16_000, 0.6))).unwrap();
         let tracer = FunctionTracer::new();
         tracer.enable();
         BaselineI2sDriver::new(platform, mic, tracer)

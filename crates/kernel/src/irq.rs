@@ -146,9 +146,12 @@ mod tests {
         let ctrl = controller();
         let count = Arc::new(AtomicU32::new(0));
         let c = count.clone();
-        ctrl.request_irq(34, Arc::new(move |_line| {
-            c.fetch_add(1, Ordering::SeqCst);
-        }))
+        ctrl.request_irq(
+            34,
+            Arc::new(move |_line| {
+                c.fetch_add(1, Ordering::SeqCst);
+            }),
+        )
         .unwrap();
         let before = ctrl.platform.clock().now();
         assert!(ctrl.raise(34));
@@ -175,9 +178,12 @@ mod tests {
         let ctrl = controller();
         let count = Arc::new(AtomicU32::new(0));
         let c = count.clone();
-        ctrl.request_irq(5, Arc::new(move |_| {
-            c.fetch_add(1, Ordering::SeqCst);
-        }))
+        ctrl.request_irq(
+            5,
+            Arc::new(move |_| {
+                c.fetch_add(1, Ordering::SeqCst);
+            }),
+        )
         .unwrap();
         ctrl.mask(5);
         assert!(!ctrl.raise(5));

@@ -116,7 +116,10 @@ mod tests {
 
     #[test]
     fn kernel_error_wraps_device_errors_with_source() {
-        let inner = perisec_devices::DeviceError::BufferTooSmall { required: 8, available: 2 };
+        let inner = perisec_devices::DeviceError::BufferTooSmall {
+            required: 8,
+            available: 2,
+        };
         let e = KernelError::from(inner.clone());
         assert!(e.to_string().contains("device error"));
         assert!(std::error::Error::source(&e).is_some());

@@ -84,7 +84,10 @@ impl TraceLog {
 
     /// Number of calls of `function` (across tasks).
     pub fn call_count(&self, function: &str) -> usize {
-        self.events.iter().filter(|e| e.function == function).count()
+        self.events
+            .iter()
+            .filter(|e| e.function == function)
+            .count()
     }
 
     fn push(&mut self, event: TraceEvent) {
@@ -225,7 +228,10 @@ mod tests {
         assert_eq!(log.tasks().len(), 2);
         assert_eq!(
             log.functions_for_task("record"),
-            ["hw_params", "trigger_start"].iter().map(|s| s.to_string()).collect()
+            ["hw_params", "trigger_start"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect()
         );
         assert_eq!(log.call_count("trigger_start"), 2);
         assert!(log.all_functions().contains("probe_fn"));

@@ -41,6 +41,7 @@ impl std::fmt::Display for Architecture {
 }
 
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[allow(clippy::large_enum_variant)]
 pub(crate) enum Extractor {
     Cnn(TextCnn),
     Transformer(TransformerEncoder),
@@ -420,7 +421,8 @@ mod tests {
     #[test]
     fn footprints_differ_by_architecture_and_size() {
         let cnn = SensitiveClassifier::new(Architecture::Cnn, TrainConfig::small(64));
-        let transformer = SensitiveClassifier::new(Architecture::Transformer, TrainConfig::small(64));
+        let transformer =
+            SensitiveClassifier::new(Architecture::Transformer, TrainConfig::small(64));
         let transformer_large =
             SensitiveClassifier::new(Architecture::Transformer, TrainConfig::large(64));
         assert!(transformer.parameter_count() > cnn.parameter_count());

@@ -146,11 +146,7 @@ impl ClassifierHead {
     ) -> Result<f32> {
         if features.is_empty() || features.len() != labels.len() {
             return Err(MlError::BadTrainingData {
-                reason: format!(
-                    "{} feature rows vs {} labels",
-                    features.len(),
-                    labels.len()
-                ),
+                reason: format!("{} feature rows vs {} labels", features.len(), labels.len()),
             });
         }
         let width = self.hidden.input_dim();
@@ -202,15 +198,21 @@ impl ClassifierHead {
                     out_grad.d_weights.data(),
                     config.learning_rate,
                 );
-                self.adam_output_b
-                    .step(&mut self.output.bias, &out_grad.d_bias, config.learning_rate);
+                self.adam_output_b.step(
+                    &mut self.output.bias,
+                    &out_grad.d_bias,
+                    config.learning_rate,
+                );
                 self.adam_hidden_w.step(
                     self.hidden.weights.data_mut(),
                     hidden_grad.d_weights.data(),
                     config.learning_rate,
                 );
-                self.adam_hidden_b
-                    .step(&mut self.hidden.bias, &hidden_grad.d_bias, config.learning_rate);
+                self.adam_hidden_b.step(
+                    &mut self.hidden.bias,
+                    &hidden_grad.d_bias,
+                    config.learning_rate,
+                );
             }
             final_loss = epoch_loss / features.len() as f32;
         }
@@ -252,7 +254,14 @@ mod tests {
         let mut head = ClassifierHead::new(8, 16, 1);
         assert!(!head.is_trained());
         let loss = head
-            .train(&features, &labels, &HeadTrainConfig { epochs: 60, ..Default::default() })
+            .train(
+                &features,
+                &labels,
+                &HeadTrainConfig {
+                    epochs: 60,
+                    ..Default::default()
+                },
+            )
             .unwrap();
         assert!(head.is_trained());
         assert!(loss < 0.3, "final loss too high: {loss}");
@@ -276,9 +285,13 @@ mod tests {
             Err(MlError::BadTrainingData { .. })
         ));
         let features = vec![Matrix::zeros(1, 4)];
-        assert!(head.train(&features, &[true, false], &HeadTrainConfig::default()).is_err());
+        assert!(head
+            .train(&features, &[true, false], &HeadTrainConfig::default())
+            .is_err());
         let wrong_width = vec![Matrix::zeros(1, 5)];
-        assert!(head.train(&wrong_width, &[true], &HeadTrainConfig::default()).is_err());
+        assert!(head
+            .train(&wrong_width, &[true], &HeadTrainConfig::default())
+            .is_err());
     }
 
     #[test]

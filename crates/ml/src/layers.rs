@@ -104,8 +104,8 @@ pub fn dense_backward(layer: &Dense, input: &Matrix, d_output: &Matrix) -> Resul
     let d_weights = input.transpose().matmul(d_output)?;
     let mut d_bias = vec![0.0f32; layer.bias.len()];
     for r in 0..d_output.rows() {
-        for c in 0..d_output.cols() {
-            d_bias[c] += d_output.get(r, c);
+        for (c, grad) in d_bias.iter_mut().enumerate().take(d_output.cols()) {
+            *grad += d_output.get(r, c);
         }
     }
     let d_input = d_output.matmul(&layer.weights.transpose())?;
@@ -209,14 +209,19 @@ impl LayerNorm {
     pub fn forward(&self, x: &Matrix) -> Result<Matrix> {
         if x.cols() != self.gamma.len() {
             return Err(MlError::ShapeMismatch {
-                reason: format!("layer norm of width {} applied to {}", self.gamma.len(), x.cols()),
+                reason: format!(
+                    "layer norm of width {} applied to {}",
+                    self.gamma.len(),
+                    x.cols()
+                ),
             });
         }
         let mut out = x.clone();
         for r in 0..x.rows() {
             let row = out.row_mut(r);
             let mean: f32 = row.iter().sum::<f32>() / row.len() as f32;
-            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / row.len() as f32;
+            let var: f32 =
+                row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / row.len() as f32;
             let denom = (var + self.epsilon).sqrt();
             for (i, v) in row.iter_mut().enumerate() {
                 *v = (*v - mean) / denom * self.gamma[i] + self.beta[i];
@@ -467,7 +472,12 @@ mod tests {
         let x = Matrix::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
         let y = ln.forward(&x).unwrap();
         let mean: f32 = y.row(0).iter().sum::<f32>() / 4.0;
-        let var: f32 = y.row(0).iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        let var: f32 = y
+            .row(0)
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / 4.0;
         assert!(mean.abs() < 1e-5);
         assert!((var - 1.0).abs() < 1e-3);
         assert!(ln.forward(&Matrix::zeros(1, 5)).is_err());
@@ -480,7 +490,10 @@ mod tests {
         let y = conv.forward(&x).unwrap();
         assert_eq!(y.rows(), 8);
         assert_eq!(y.cols(), 6);
-        assert!(y.data().iter().all(|&v| v >= 0.0), "relu output must be non-negative");
+        assert!(
+            y.data().iter().all(|&v| v >= 0.0),
+            "relu output must be non-negative"
+        );
         // Shorter than the kernel: single zero row.
         let y = conv.forward(&Matrix::random(2, 8, 1.0, 7)).unwrap();
         assert_eq!(y.rows(), 1);

@@ -26,14 +26,17 @@ pub struct MfccConfig {
 
 impl MfccConfig {
     /// Standard 16 kHz speech configuration: 32 ms frames, 16 ms hop,
-    /// 20 mel channels, 13 coefficients.
+    /// 40 mel channels, 20 coefficients. The channel count is chosen so
+    /// that neighbouring synthetic word signatures land in distinct mel
+    /// bins across the whole 0-8 kHz band (20 channels blur the upper
+    /// formants together and the keyword STT's substitution rate soars).
     pub fn speech_16khz() -> Self {
         MfccConfig {
             sample_rate_hz: 16_000,
             frame_len: 512,
             hop_len: 256,
-            n_mels: 20,
-            n_coeffs: 13,
+            n_mels: 40,
+            n_coeffs: 20,
         }
     }
 }
@@ -120,11 +123,15 @@ impl MfccExtractor {
     ///
     /// Panics if `frame_len` is not a power of two or `hop_len` is zero.
     pub fn new(config: MfccConfig) -> Self {
-        assert!(config.frame_len.is_power_of_two(), "frame_len must be a power of two");
+        assert!(
+            config.frame_len.is_power_of_two(),
+            "frame_len must be a power of two"
+        );
         assert!(config.hop_len > 0, "hop_len must be non-zero");
         let window: Vec<f64> = (0..config.frame_len)
             .map(|i| {
-                0.54 - 0.46 * (2.0 * std::f64::consts::PI * i as f64 / (config.frame_len - 1) as f64).cos()
+                0.54 - 0.46
+                    * (2.0 * std::f64::consts::PI * i as f64 / (config.frame_len - 1) as f64).cos()
             })
             .collect();
         // Triangular mel filters over the FFT bins.
@@ -134,14 +141,15 @@ impl MfccExtractor {
         let mel_points: Vec<f64> = (0..config.n_mels + 2)
             .map(|i| mel_to_hz(mel_max * i as f64 / (config.n_mels + 1) as f64))
             .collect();
-        let bin_of = |hz: f64| -> usize {
-            ((hz / f_max) * (n_bins as f64 - 1.0)).round() as usize
-        };
+        let bin_of = |hz: f64| -> usize { ((hz / f_max) * (n_bins as f64 - 1.0)).round() as usize };
         let mut filterbank = Vec::with_capacity(config.n_mels);
         for m in 1..=config.n_mels {
             let left = bin_of(mel_points[m - 1]);
             let centre = bin_of(mel_points[m]).max(left + 1);
-            let right = bin_of(mel_points[m + 1]).max(centre + 1).min(n_bins - 1).max(centre + 1);
+            let right = bin_of(mel_points[m + 1])
+                .max(centre + 1)
+                .min(n_bins - 1)
+                .max(centre + 1);
             let mut taps = Vec::new();
             for b in left..=right.min(n_bins - 1) {
                 let w = if b <= centre {
@@ -213,9 +221,7 @@ impl MfccExtractor {
             let mut im = vec![0.0f64; self.config.frame_len];
             fft_radix2(&mut re, &mut im);
             // Power spectrum (first half).
-            let power: Vec<f64> = (0..n_bins)
-                .map(|b| re[b] * re[b] + im[b] * im[b])
-                .collect();
+            let power: Vec<f64> = (0..n_bins).map(|b| re[b] * re[b] + im[b] * im[b]).collect();
             // Mel filterbank energies, log compressed.
             let log_mel: Vec<f64> = self
                 .filterbank
@@ -257,7 +263,8 @@ mod tests {
     fn tone(freq: f64, len: usize, rate: f64, amplitude: f64) -> Vec<i16> {
         (0..len)
             .map(|i| {
-                ((2.0 * std::f64::consts::PI * freq * i as f64 / rate).sin() * amplitude
+                ((2.0 * std::f64::consts::PI * freq * i as f64 / rate).sin()
+                    * amplitude
                     * i16::MAX as f64) as i16
             })
             .collect()
@@ -269,10 +276,15 @@ mod tests {
         let rate = 16_000.0;
         let freq = 1_000.0;
         let samples = tone(freq, n, rate, 0.9);
-        let mut re: Vec<f64> = samples.iter().map(|&s| s as f64 / i16::MAX as f64).collect();
+        let mut re: Vec<f64> = samples
+            .iter()
+            .map(|&s| s as f64 / i16::MAX as f64)
+            .collect();
         let mut im = vec![0.0; n];
         fft_radix2(&mut re, &mut im);
-        let mags: Vec<f64> = (0..n / 2).map(|i| (re[i] * re[i] + im[i] * im[i]).sqrt()).collect();
+        let mags: Vec<f64> = (0..n / 2)
+            .map(|i| (re[i] * re[i] + im[i] * im[i]).sqrt())
+            .collect();
         let peak_bin = mags
             .iter()
             .enumerate()
@@ -293,7 +305,10 @@ mod tests {
         assert_eq!(ex.frame_count(512), 1);
         assert_eq!(ex.frame_count(512 + 256), 2);
         assert_eq!(ex.extract(&[0i16; 100]).rows(), 0);
-        assert_eq!(ex.mean_vector(&[0i16; 100]).len(), 13);
+        assert_eq!(
+            ex.mean_vector(&[0i16; 100]).len(),
+            MfccConfig::speech_16khz().n_coeffs
+        );
     }
 
     #[test]
@@ -303,7 +318,11 @@ mod tests {
         let high = ex.mean_vector(&tone(3_000.0, 4_096, 16_000.0, 0.7));
         let same_low = ex.mean_vector(&tone(300.0, 4_096, 16_000.0, 0.7));
         let dist = |a: &[f32], b: &[f32]| -> f32 {
-            a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt()
+            a.iter()
+                .zip(b.iter())
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f32>()
+                .sqrt()
         };
         assert!(dist(&low, &high) > 5.0 * dist(&low, &same_low).max(1e-3));
     }
@@ -331,7 +350,11 @@ mod tests {
         let quieter = ex.mean_vector(&tone(800.0, 4_096, 16_000.0, 0.4));
         let other = ex.mean_vector(&tone(2_400.0, 4_096, 16_000.0, 0.8));
         let dist = |a: &[f32], b: &[f32]| -> f32 {
-            a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt()
+            a.iter()
+                .zip(b.iter())
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f32>()
+                .sqrt()
         };
         assert!(dist(&ref_tone, &quieter) < dist(&ref_tone, &other));
     }

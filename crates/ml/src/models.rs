@@ -62,8 +62,8 @@ impl ModelConfig {
     pub fn small(vocab_size: usize) -> Self {
         ModelConfig {
             vocab_size,
-            embed_dim: 32,
-            hidden_dim: 48,
+            embed_dim: 48,
+            hidden_dim: 96,
             seed: 0x5eed,
         }
     }
@@ -87,14 +87,25 @@ pub struct TextCnn {
 }
 
 impl TextCnn {
-    /// Builds the extractor: convolutions of widths 2, 3 and 4 tokens.
+    /// Builds the extractor: convolutions of widths 1, 2, 3 and 4 tokens.
+    /// The width-1 (unigram) filters matter most for the privacy task:
+    /// sensitivity is often carried by a *single* word, and max pooling
+    /// over unigram channels detects its presence regardless of context,
+    /// which wider-only filter banks dilute.
     pub fn new(config: ModelConfig) -> Self {
         let embedding = Embedding::new(config.vocab_size, config.embed_dim, config.seed);
-        let per_width = config.hidden_dim / 3;
-        let convs = [2usize, 3, 4]
+        let per_width = config.hidden_dim / 4;
+        let convs = [1usize, 2, 3, 4]
             .iter()
             .enumerate()
-            .map(|(i, &w)| Conv1d::new(config.embed_dim, per_width.max(1), w, config.seed + i as u64 + 1))
+            .map(|(i, &w)| {
+                Conv1d::new(
+                    config.embed_dim,
+                    per_width.max(1),
+                    w,
+                    config.seed + i as u64 + 1,
+                )
+            })
             .collect();
         TextCnn { embedding, convs }
     }
@@ -125,7 +136,11 @@ impl FeatureExtractor for TextCnn {
 
     fn parameter_count(&self) -> usize {
         self.embedding.parameter_count()
-            + self.convs.iter().map(Conv1d::parameter_count).sum::<usize>()
+            + self
+                .convs
+                .iter()
+                .map(Conv1d::parameter_count)
+                .sum::<usize>()
     }
 
     fn flops(&self, len: usize) -> u64 {
@@ -152,9 +167,17 @@ impl TransformerEncoder {
         let attention = (0..blocks)
             .map(|i| SelfAttention::new(config.hidden_dim, config.seed + 20 + i as u64))
             .collect();
-        let norms = (0..blocks * 2).map(|_| LayerNorm::new(config.hidden_dim)).collect();
+        let norms = (0..blocks * 2)
+            .map(|_| LayerNorm::new(config.hidden_dim))
+            .collect();
         let ffn = (0..blocks)
-            .map(|i| Dense::new(config.hidden_dim, config.hidden_dim, config.seed + 40 + i as u64))
+            .map(|i| {
+                Dense::new(
+                    config.hidden_dim,
+                    config.hidden_dim,
+                    config.seed + 40 + i as u64,
+                )
+            })
             .collect();
         TransformerEncoder {
             embedding,
@@ -188,7 +211,9 @@ impl FeatureExtractor for TransformerEncoder {
             return Ok(Matrix::zeros(1, self.feature_dim()));
         }
         let embedded = self.embedding.lookup(tokens);
-        let mut x = self.input_proj.forward(&add_positional_encoding(&embedded))?;
+        let mut x = self
+            .input_proj
+            .forward(&add_positional_encoding(&embedded))?;
         for (i, attn) in self.attention.iter().enumerate() {
             let attended = attn.forward(&x)?;
             x = self.norms[2 * i].forward(&x.add(&attended)?)?;
@@ -205,7 +230,11 @@ impl FeatureExtractor for TransformerEncoder {
     fn parameter_count(&self) -> usize {
         self.embedding.parameter_count()
             + self.input_proj.parameter_count()
-            + self.attention.iter().map(SelfAttention::parameter_count).sum::<usize>()
+            + self
+                .attention
+                .iter()
+                .map(SelfAttention::parameter_count)
+                .sum::<usize>()
             + self.ffn.iter().map(Dense::parameter_count).sum::<usize>()
     }
 

@@ -93,7 +93,9 @@ impl QuantReport {
 /// ("Fake quantization" is the standard methodology for evaluating
 /// post-training quantization accuracy: the arithmetic stays f32 but the
 /// values are exactly those an int8 deployment would use.)
-pub fn quantize_classifier(mut classifier: SensitiveClassifier) -> (SensitiveClassifier, QuantReport) {
+pub fn quantize_classifier(
+    mut classifier: SensitiveClassifier,
+) -> (SensitiveClassifier, QuantReport) {
     let total_params = classifier.parameter_count();
     let f32_bytes = classifier.memory_bytes_f32();
     let mut quantized_parameters = 0usize;
@@ -138,7 +140,12 @@ mod tests {
         let max_abs = m.data().iter().fold(0f32, |a, v| a.max(v.abs()));
         let bound = max_abs / 127.0 * 0.5 + 1e-6;
         for (a, b) in m.data().iter().zip(r.data().iter()) {
-            assert!((a - b).abs() <= bound, "error {} exceeds bound {}", (a - b).abs(), bound);
+            assert!(
+                (a - b).abs() <= bound,
+                "error {} exceeds bound {}",
+                (a - b).abs(),
+                bound
+            );
         }
         assert_eq!(q.len(), 256);
         assert_eq!(q.storage_bytes(), 256 + 4);
@@ -159,8 +166,7 @@ mod tests {
         (0..n)
             .map(|_| {
                 let sensitive = rng.gen_bool(0.5);
-                let mut tokens: Vec<usize> =
-                    (0..8).map(|_| rng.gen_range(8..64)).collect();
+                let mut tokens: Vec<usize> = (0..8).map(|_| rng.gen_range(8..64)).collect();
                 if sensitive {
                     tokens[0] = rng.gen_range(0..8);
                     tokens[3] = rng.gen_range(0..8);
@@ -179,7 +185,11 @@ mod tests {
         let baseline = c.evaluate(&test).unwrap().accuracy();
         let (quantized, report) = quantize_classifier(c);
         let quantized_accuracy = quantized.evaluate(&test).unwrap().accuracy();
-        assert!(report.compression_ratio() > 3.0, "ratio {}", report.compression_ratio());
+        assert!(
+            report.compression_ratio() > 3.0,
+            "ratio {}",
+            report.compression_ratio()
+        );
         assert!(report.int8_bytes < report.f32_bytes);
         assert!(report.max_abs_error > 0.0);
         assert!(

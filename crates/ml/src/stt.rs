@@ -100,7 +100,10 @@ impl KeywordStt {
                     reason: format!("rendering of '{word}' is shorter than one analysis frame"),
                 });
             }
-            templates.push((word.clone(), extractor.mean_vector(samples)));
+            templates.push((
+                word.clone(),
+                Self::voiced_mean(&extractor, samples, config.vad_threshold),
+            ));
         }
         Ok(KeywordStt {
             config,
@@ -136,6 +139,37 @@ impl KeywordStt {
         let cepstral = frames * (self.config.mfcc.n_mels * self.config.mfcc.n_coeffs) as u64;
         let matching = frames * (self.templates.len() * self.config.mfcc.n_coeffs) as u64;
         fft + cepstral + matching
+    }
+
+    /// Mean MFCC vector over the *voiced* frames only.
+    ///
+    /// Templates and recognition segments must be averaged the same way:
+    /// a word's quiet attack/decay frames (the synthesizer's sine
+    /// envelope) drag the plain mean towards silence, and VAD-derived
+    /// segments clip those edges — so a full-rendering mean template and a
+    /// segment mean diverge for the *same* word. Gating both sides on the
+    /// VAD threshold removes that train/serve mismatch.
+    fn voiced_mean(extractor: &MfccExtractor, samples: &[i16], vad_threshold: f64) -> Vec<f32> {
+        let features = extractor.extract(samples);
+        let energies = extractor.frame_energies(samples);
+        let n_coeffs = features.cols().max(1);
+        let mut mean = vec![0.0f32; n_coeffs];
+        let mut voiced = 0usize;
+        for (frame, &energy) in energies.iter().enumerate().take(features.rows()) {
+            if energy > vad_threshold {
+                for (acc, &v) in mean.iter_mut().zip(features.row(frame)) {
+                    *acc += v;
+                }
+                voiced += 1;
+            }
+        }
+        if voiced == 0 {
+            return extractor.mean_vector(samples);
+        }
+        for v in &mut mean {
+            *v /= voiced as f32;
+        }
+        mean
     }
 
     fn cosine(a: &[f32], b: &[f32]) -> f32 {
@@ -188,7 +222,11 @@ impl KeywordStt {
             if end <= start {
                 continue;
             }
-            let vector = self.extractor.mean_vector(&samples[start..end]);
+            let vector = Self::voiced_mean(
+                &self.extractor,
+                &samples[start..end],
+                self.config.vad_threshold,
+            );
             let best = self
                 .templates
                 .iter()
@@ -318,7 +356,7 @@ mod tests {
     }
 
     #[test]
-    fn flops_scale_with_audio_length(){
+    fn flops_scale_with_audio_length() {
         let stt = KeywordStt::train(&vocabulary(4), SttConfig::default()).unwrap();
         assert!(stt.flops_for(32_000) > stt.flops_for(16_000));
         assert_eq!(stt.flops_for(0), 0);

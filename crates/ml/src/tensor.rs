@@ -38,7 +38,11 @@ impl Matrix {
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self> {
         if data.len() != rows * cols {
             return Err(MlError::ShapeMismatch {
-                reason: format!("{rows}x{cols} needs {} values, got {}", rows * cols, data.len()),
+                reason: format!(
+                    "{rows}x{cols} needs {} values, got {}",
+                    rows * cols,
+                    data.len()
+                ),
             });
         }
         Ok(Matrix { rows, cols, data })
@@ -80,7 +84,10 @@ impl Matrix {
     ///
     /// Panics if out of range.
     pub fn get(&self, r: usize, c: usize) -> f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of range"
+        );
         self.data[r * self.cols + c]
     }
 
@@ -90,7 +97,10 @@ impl Matrix {
     ///
     /// Panics if out of range.
     pub fn set(&mut self, r: usize, c: usize, v: f32) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of range"
+        );
         self.data[r * self.cols + c] = v;
     }
 
@@ -199,13 +209,17 @@ impl Matrix {
     pub fn add_row_broadcast(&self, bias: &[f32]) -> Result<Matrix> {
         if bias.len() != self.cols {
             return Err(MlError::ShapeMismatch {
-                reason: format!("bias of {} does not match {} columns", bias.len(), self.cols),
+                reason: format!(
+                    "bias of {} does not match {} columns",
+                    bias.len(),
+                    self.cols
+                ),
             });
         }
         let mut out = self.clone();
         for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[r * self.cols + c] += bias[c];
+            for (c, &b) in bias.iter().enumerate().take(self.cols) {
+                out.data[r * self.cols + c] += b;
             }
         }
         Ok(out)

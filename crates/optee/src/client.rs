@@ -90,7 +90,10 @@ impl TeeClient {
         params: TeeParams,
     ) -> TeeResult<(TeeSessionHandle, TeeParams)> {
         self.charge_params_to_secure(&params);
-        match self.core.client_call(ClientMessage::OpenSession { uuid, params })? {
+        match self
+            .core
+            .client_call(ClientMessage::OpenSession { uuid, params })?
+        {
             ClientReply::SessionOpened { session, params } => {
                 self.charge_params_to_normal(&params);
                 Ok((TeeSessionHandle { session, uuid }, params))
@@ -121,6 +124,40 @@ impl TeeClient {
             ClientReply::Invoked { params } => {
                 self.charge_params_to_normal(&params);
                 Ok(params)
+            }
+            ClientReply::Failed(e) => Err(e),
+            other => Err(unexpected_reply(&other)),
+        }
+    }
+
+    /// Invokes a batch of commands on an open session with a **single**
+    /// SMC: one world-switch round trip is charged for the whole batch
+    /// instead of one per command. Cross-world copies are still charged
+    /// for every memref parameter in both directions — batching amortizes
+    /// transitions, not data movement.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing call's error (later calls are not
+    /// dispatched), or [`TeeError::ItemNotFound`] if the session is
+    /// unknown.
+    pub fn invoke_batched(
+        &self,
+        handle: &TeeSessionHandle,
+        calls: Vec<(u32, TeeParams)>,
+    ) -> TeeResult<Vec<TeeParams>> {
+        for (_, params) in &calls {
+            self.charge_params_to_secure(params);
+        }
+        match self.core.client_call(ClientMessage::InvokeBatch {
+            session: handle.session,
+            calls,
+        })? {
+            ClientReply::InvokedBatch { results } => {
+                for params in &results {
+                    self.charge_params_to_normal(params);
+                }
+                Ok(results)
             }
             ClientReply::Failed(e) => Err(e),
             other => Err(unexpected_reply(&other)),
@@ -163,7 +200,12 @@ mod tests {
         fn descriptor(&self) -> TaDescriptor {
             TaDescriptor::new("perisec.add-ta", 16, 16)
         }
-        fn invoke(&mut self, _env: &mut TaEnv<'_>, cmd: u32, params: &mut TeeParams) -> TeeResult<()> {
+        fn invoke(
+            &mut self,
+            _env: &mut TaEnv<'_>,
+            cmd: u32,
+            params: &mut TeeParams,
+        ) -> TeeResult<()> {
             match cmd {
                 0 => {
                     let (a, b) = params.get(0).as_values().ok_or(TeeError::BadParameters {
@@ -172,7 +214,9 @@ mod tests {
                     params.set(1, TeeParam::ValueOutput { a: a + b, b: 0 });
                     Ok(())
                 }
-                _ => Err(TeeError::ItemNotFound { what: format!("command {cmd}") }),
+                _ => Err(TeeError::ItemNotFound {
+                    what: format!("command {cmd}"),
+                }),
             }
         }
     }
@@ -199,6 +243,56 @@ mod tests {
         // Three client calls -> three SMCs and six world switches.
         assert_eq!(delta.smc_calls, 3);
         assert_eq!(delta.world_switches, 6);
+    }
+
+    #[test]
+    fn batched_invocation_shares_one_smc() {
+        let (client, uuid) = setup();
+        let (handle, _) = client.open_session(uuid, TeeParams::new()).unwrap();
+        let stats = client.core().platform().stats().clone();
+        let before = stats.snapshot();
+
+        let calls: Vec<(u32, TeeParams)> = (0..8)
+            .map(|i| {
+                (
+                    0u32,
+                    TeeParams::new().with(0, TeeParam::ValueInput { a: i, b: 1 }),
+                )
+            })
+            .collect();
+        let results = client.invoke_batched(&handle, calls).unwrap();
+        assert_eq!(results.len(), 8);
+        for (i, out) in results.iter().enumerate() {
+            assert_eq!(out.get(1).as_values().unwrap().0, i as u64 + 1);
+        }
+
+        // Eight commands, one SMC, one world-switch round trip.
+        let delta = stats.snapshot().delta_since(&before);
+        assert_eq!(delta.smc_calls, 1);
+        assert_eq!(delta.world_switches, 2);
+    }
+
+    #[test]
+    fn batched_invocation_stops_at_the_first_error() {
+        let (client, uuid) = setup();
+        let (handle, _) = client.open_session(uuid, TeeParams::new()).unwrap();
+        let calls = vec![
+            (
+                0u32,
+                TeeParams::new().with(0, TeeParam::ValueInput { a: 1, b: 2 }),
+            ),
+            (99u32, TeeParams::new()),
+            (
+                0u32,
+                TeeParams::new().with(0, TeeParam::ValueInput { a: 3, b: 4 }),
+            ),
+        ];
+        assert!(matches!(
+            client.invoke_batched(&handle, calls),
+            Err(TeeError::ItemNotFound { .. })
+        ));
+        // An empty batch is a no-op.
+        assert_eq!(client.invoke_batched(&handle, Vec::new()).unwrap().len(), 0);
     }
 
     #[test]

@@ -100,7 +100,12 @@ impl Sha256 {
     fn compress(&mut self, block: &[u8; 64]) {
         let mut w = [0u32; 64];
         for i in 0..16 {
-            w[i] = u32::from_be_bytes([block[4 * i], block[4 * i + 1], block[4 * i + 2], block[4 * i + 3]]);
+            w[i] = u32::from_be_bytes([
+                block[4 * i],
+                block[4 * i + 1],
+                block[4 * i + 2],
+                block[4 * i + 3],
+            ]);
         }
         for i in 16..64 {
             let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
@@ -227,7 +232,8 @@ fn chacha20_block(key: &[u8; 32], counter: u32, nonce: &[u8; 12]) -> [u8; 64] {
     }
     state[12] = counter;
     for i in 0..3 {
-        state[13 + i] = u32::from_le_bytes(nonce[4 * i..4 * i + 4].try_into().expect("nonce chunk"));
+        state[13 + i] =
+            u32::from_le_bytes(nonce[4 * i..4 * i + 4].try_into().expect("nonce chunk"));
     }
     let mut working = state;
     for _ in 0..10 {
@@ -496,7 +502,9 @@ mod tests {
             "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
         );
         assert_eq!(
-            hex(&sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            hex(&sha256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
             "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
         );
     }
@@ -548,10 +556,7 @@ mod tests {
         let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
         let mut data = plaintext.to_vec();
         chacha20_xor(&key, &nonce, 1, &mut data);
-        assert_eq!(
-            hex(&data[..16]),
-            "6e2e359a2568f98041ba0728dd0d6981"
-        );
+        assert_eq!(hex(&data[..16]), "6e2e359a2568f98041ba0728dd0d6981");
         // Decrypt round trip.
         chacha20_xor(&key, &nonce, 1, &mut data);
         assert_eq!(&data, plaintext);
@@ -560,12 +565,19 @@ mod tests {
     #[test]
     fn aead_matches_rfc8439_vector() {
         let key: [u8; 32] = (0x80u8..0xa0).collect::<Vec<_>>().try_into().unwrap();
-        let nonce: [u8; 12] = [0x07, 0, 0, 0, 0x40, 0x41, 0x42, 0x43, 0x44, 0x45, 0x46, 0x47];
-        let aad: [u8; 12] = [0x50, 0x51, 0x52, 0x53, 0xc0, 0xc1, 0xc2, 0xc3, 0xc4, 0xc5, 0xc6, 0xc7];
+        let nonce: [u8; 12] = [
+            0x07, 0, 0, 0, 0x40, 0x41, 0x42, 0x43, 0x44, 0x45, 0x46, 0x47,
+        ];
+        let aad: [u8; 12] = [
+            0x50, 0x51, 0x52, 0x53, 0xc0, 0xc1, 0xc2, 0xc3, 0xc4, 0xc5, 0xc6, 0xc7,
+        ];
         let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
         let sealed = aead_seal(&key, &nonce, &aad, plaintext);
         // Tag from RFC 8439 §2.8.2.
-        assert_eq!(hex(&sealed[sealed.len() - 16..]), "1ae10b594f09e26a7e902ecbd0600691");
+        assert_eq!(
+            hex(&sealed[sealed.len() - 16..]),
+            "1ae10b594f09e26a7e902ecbd0600691"
+        );
         let opened = aead_open(&key, &nonce, &aad, &sealed).unwrap();
         assert_eq!(&opened, plaintext);
     }
@@ -587,7 +599,10 @@ mod tests {
             Err(AeadError)
         );
         // Too short.
-        assert_eq!(aead_open(&key, &nonce, b"hdr", &sealed[..8]), Err(AeadError));
+        assert_eq!(
+            aead_open(&key, &nonce, b"hdr", &sealed[..8]),
+            Err(AeadError)
+        );
         // Untampered opens fine.
         assert!(aead_open(&key, &nonce, b"hdr", &sealed).is_ok());
     }

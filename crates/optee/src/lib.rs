@@ -141,8 +141,14 @@ mod tests {
 
     #[test]
     fn secure_ram_exhaustion_maps_to_out_of_memory() {
-        let tz = perisec_tz::TzError::SecureRamExhausted { requested: 100, available: 10 };
-        assert!(matches!(TeeError::from(tz), TeeError::OutOfMemory { requested: 100 }));
+        let tz = perisec_tz::TzError::SecureRamExhausted {
+            requested: 100,
+            available: 10,
+        };
+        assert!(matches!(
+            TeeError::from(tz),
+            TeeError::OutOfMemory { requested: 100 }
+        ));
         let tz = perisec_tz::TzError::UnmappedAddress { addr: 0x10 };
         assert!(matches!(TeeError::from(tz), TeeError::Generic { .. }));
     }

@@ -7,9 +7,10 @@
 use serde::{Deserialize, Serialize};
 
 /// One command parameter.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum TeeParam {
     /// Unused parameter slot.
+    #[default]
     None,
     /// Two input values.
     ValueInput {
@@ -56,12 +57,6 @@ impl TeeParam {
     /// parameter (memrefs only).
     pub fn byte_len(&self) -> usize {
         self.as_memref().map(|b| b.len()).unwrap_or(0)
-    }
-}
-
-impl Default for TeeParam {
-    fn default() -> Self {
-        TeeParam::None
     }
 }
 

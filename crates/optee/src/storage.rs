@@ -32,7 +32,12 @@ impl SecureStorage {
     pub fn for_platform(platform: &perisec_tz::platform::Platform) -> Self {
         let material = sha256(platform.spec().name.as_bytes());
         let mut device_key = [0u8; AEAD_KEY_LEN];
-        device_key.copy_from_slice(&hkdf(b"perisec-huk", &material, b"ree-fs-storage", AEAD_KEY_LEN));
+        device_key.copy_from_slice(&hkdf(
+            b"perisec-huk",
+            &material,
+            b"ree-fs-storage",
+            AEAD_KEY_LEN,
+        ));
         SecureStorage {
             device_key,
             nonce_counter: AtomicU64::new(1),
@@ -41,7 +46,12 @@ impl SecureStorage {
 
     fn ta_key(&self, ta: TaUuid) -> [u8; AEAD_KEY_LEN] {
         let mut key = [0u8; AEAD_KEY_LEN];
-        key.copy_from_slice(&hkdf(&self.device_key, ta.as_bytes(), b"ta-storage-key", AEAD_KEY_LEN));
+        key.copy_from_slice(&hkdf(
+            &self.device_key,
+            ta.as_bytes(),
+            b"ta-storage-key",
+            AEAD_KEY_LEN,
+        ));
         key
     }
 
@@ -123,7 +133,9 @@ impl SecureStorage {
     /// Propagates supplicant failures.
     pub fn list(&self, core: &TeeCore, ta: TaUuid) -> TeeResult<Vec<String>> {
         let prefix = format!("tee/{ta}/");
-        match core.supplicant_rpc(RpcRequest::FsList { prefix: prefix.clone() })? {
+        match core.supplicant_rpc(RpcRequest::FsList {
+            prefix: prefix.clone(),
+        })? {
             RpcReply::Names(names) => Ok(names
                 .into_iter()
                 .map(|n| n.trim_start_matches(&prefix).to_owned())
@@ -167,24 +179,32 @@ mod tests {
         core.storage().write(&core, ta, "secret", secret).unwrap();
         // Inspect what actually landed in the normal-world filesystem.
         let path = format!("tee/{ta}/secret");
-        let raw = match core.supplicant().handle(RpcRequest::FsRead { path }).unwrap() {
+        let raw = match core
+            .supplicant()
+            .handle(RpcRequest::FsRead { path })
+            .unwrap()
+        {
             RpcReply::Data(d) => d,
             _ => panic!("expected data"),
         };
         // The plaintext must not appear in the stored blob.
-        assert!(!raw
-            .windows(secret.len())
-            .any(|w| w == secret.as_slice()));
+        assert!(!raw.windows(secret.len()).any(|w| w == secret.as_slice()));
     }
 
     #[test]
     fn tampering_is_detected() {
         let core = core();
         let ta = TaUuid::from_name("perisec.filter-ta");
-        core.storage().write(&core, ta, "model", &[7u8; 128]).unwrap();
+        core.storage()
+            .write(&core, ta, "model", &[7u8; 128])
+            .unwrap();
         // Corrupt the stored blob through the normal world.
         let path = format!("tee/{ta}/model");
-        let mut raw = match core.supplicant().handle(RpcRequest::FsRead { path: path.clone() }).unwrap() {
+        let mut raw = match core
+            .supplicant()
+            .handle(RpcRequest::FsRead { path: path.clone() })
+            .unwrap()
+        {
             RpcReply::Data(d) => d,
             _ => panic!("expected data"),
         };
@@ -204,7 +224,9 @@ mod tests {
         let core = core();
         let ta_a = TaUuid::from_name("perisec.ta-a");
         let ta_b = TaUuid::from_name("perisec.ta-b");
-        core.storage().write(&core, ta_a, "obj", b"belongs to a").unwrap();
+        core.storage()
+            .write(&core, ta_a, "obj", b"belongs to a")
+            .unwrap();
         assert!(matches!(
             core.storage().read(&core, ta_b, "obj"),
             Err(TeeError::ItemNotFound { .. })

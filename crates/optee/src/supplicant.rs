@@ -209,7 +209,10 @@ impl Supplicant {
             RpcRequest::FsList { prefix } => {
                 let fs = self.fs.lock();
                 Ok(RpcReply::Names(
-                    fs.keys().filter(|k| k.starts_with(&prefix)).cloned().collect(),
+                    fs.keys()
+                        .filter(|k| k.starts_with(&prefix))
+                        .cloned()
+                        .collect(),
                 ))
             }
             RpcRequest::NetConnect { host, port } => {
@@ -252,7 +255,9 @@ mod tests {
     impl NetBackend for LoopbackNet {
         fn connect(&self, host: &str, _port: u16) -> TeeResult<u64> {
             if host == "unreachable.example" {
-                return Err(TeeError::Communication { reason: "no route".to_owned() });
+                return Err(TeeError::Communication {
+                    reason: "no route".to_owned(),
+                });
             }
             Ok(7)
         }
@@ -269,20 +274,49 @@ mod tests {
     #[test]
     fn filesystem_requests_round_trip() {
         let s = Supplicant::new();
-        s.handle(RpcRequest::FsWrite { path: "ta/obj1".into(), data: vec![1, 2, 3] }).unwrap();
-        s.handle(RpcRequest::FsWrite { path: "ta/obj2".into(), data: vec![4] }).unwrap();
+        s.handle(RpcRequest::FsWrite {
+            path: "ta/obj1".into(),
+            data: vec![1, 2, 3],
+        })
+        .unwrap();
+        s.handle(RpcRequest::FsWrite {
+            path: "ta/obj2".into(),
+            data: vec![4],
+        })
+        .unwrap();
         assert_eq!(s.file_count(), 2);
-        match s.handle(RpcRequest::FsRead { path: "ta/obj1".into() }).unwrap() {
+        match s
+            .handle(RpcRequest::FsRead {
+                path: "ta/obj1".into(),
+            })
+            .unwrap()
+        {
             RpcReply::Data(d) => assert_eq!(d, vec![1, 2, 3]),
             other => panic!("unexpected reply {other:?}"),
         }
-        match s.handle(RpcRequest::FsList { prefix: "ta/".into() }).unwrap() {
+        match s
+            .handle(RpcRequest::FsList {
+                prefix: "ta/".into(),
+            })
+            .unwrap()
+        {
             RpcReply::Names(names) => assert_eq!(names.len(), 2),
             other => panic!("unexpected reply {other:?}"),
         }
-        s.handle(RpcRequest::FsRemove { path: "ta/obj1".into() }).unwrap();
-        assert!(s.handle(RpcRequest::FsRead { path: "ta/obj1".into() }).is_err());
-        assert!(s.handle(RpcRequest::FsRemove { path: "ta/obj1".into() }).is_err());
+        s.handle(RpcRequest::FsRemove {
+            path: "ta/obj1".into(),
+        })
+        .unwrap();
+        assert!(s
+            .handle(RpcRequest::FsRead {
+                path: "ta/obj1".into()
+            })
+            .is_err());
+        assert!(s
+            .handle(RpcRequest::FsRemove {
+                path: "ta/obj1".into()
+            })
+            .is_err());
     }
 
     #[test]
@@ -290,34 +324,65 @@ mod tests {
         let s = Supplicant::new();
         assert!(!s.has_net_backend());
         let err = s
-            .handle(RpcRequest::NetConnect { host: "cloud.example".into(), port: 443 })
+            .handle(RpcRequest::NetConnect {
+                host: "cloud.example".into(),
+                port: 443,
+            })
             .unwrap_err();
         assert!(matches!(err, TeeError::Communication { .. }));
 
         s.set_net_backend(Arc::new(LoopbackNet::default()));
         assert!(s.has_net_backend());
-        match s.handle(RpcRequest::NetConnect { host: "cloud.example".into(), port: 443 }).unwrap() {
+        match s
+            .handle(RpcRequest::NetConnect {
+                host: "cloud.example".into(),
+                port: 443,
+            })
+            .unwrap()
+        {
             RpcReply::Socket(7) => {}
             other => panic!("unexpected reply {other:?}"),
         }
-        match s.handle(RpcRequest::NetSend { socket: 7, data: vec![9; 10] }).unwrap() {
+        match s
+            .handle(RpcRequest::NetSend {
+                socket: 7,
+                data: vec![9; 10],
+            })
+            .unwrap()
+        {
             RpcReply::Written(10) => {}
             other => panic!("unexpected reply {other:?}"),
         }
-        match s.handle(RpcRequest::NetRecv { socket: 7, max: 100 }).unwrap() {
+        match s
+            .handle(RpcRequest::NetRecv {
+                socket: 7,
+                max: 100,
+            })
+            .unwrap()
+        {
             RpcReply::Data(d) => assert_eq!(d.len(), 4),
             other => panic!("unexpected reply {other:?}"),
         }
         s.handle(RpcRequest::NetClose { socket: 7 }).unwrap();
         // Backend errors propagate.
         assert!(s
-            .handle(RpcRequest::NetConnect { host: "unreachable.example".into(), port: 1 })
+            .handle(RpcRequest::NetConnect {
+                host: "unreachable.example".into(),
+                port: 1
+            })
             .is_err());
     }
 
     #[test]
     fn payload_byte_accounting() {
-        assert_eq!(RpcRequest::NetSend { socket: 1, data: vec![0; 77] }.payload_bytes(), 77);
+        assert_eq!(
+            RpcRequest::NetSend {
+                socket: 1,
+                data: vec![0; 77]
+            }
+            .payload_bytes(),
+            77
+        );
         assert_eq!(RpcRequest::FsRead { path: "x".into() }.payload_bytes(), 0);
         assert_eq!(RpcReply::Data(vec![0; 5]).payload_bytes(), 5);
         assert_eq!(RpcReply::Ok.payload_bytes(), 0);

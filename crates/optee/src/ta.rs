@@ -111,7 +111,11 @@ impl std::fmt::Debug for TaEnv<'_> {
 
 impl<'a> TaEnv<'a> {
     pub(crate) fn new(core: &'a TeeCore, ta_uuid: TaUuid, session: SessionId) -> Self {
-        TaEnv { core, ta_uuid, session }
+        TaEnv {
+            core,
+            ta_uuid,
+            session,
+        }
     }
 
     /// The session this call belongs to.
@@ -221,7 +225,8 @@ impl<'a> TaEnv<'a> {
     ///
     /// See [`TaEnv::supplicant_rpc`].
     pub fn net_close(&self, socket: u64) -> TeeResult<()> {
-        self.supplicant_rpc(RpcRequest::NetClose { socket }).map(|_| ())
+        self.supplicant_rpc(RpcRequest::NetClose { socket })
+            .map(|_| ())
     }
 
     /// Writes an object to this TA's secure storage.
@@ -230,7 +235,9 @@ impl<'a> TaEnv<'a> {
     ///
     /// Propagates storage/supplicant failures.
     pub fn storage_write(&self, name: &str, data: &[u8]) -> TeeResult<()> {
-        self.core.storage().write(self.core, self.ta_uuid, name, data)
+        self.core
+            .storage()
+            .write(self.core, self.ta_uuid, name, data)
     }
 
     /// Reads an object from this TA's secure storage.

@@ -78,6 +78,15 @@ pub(crate) enum ClientMessage {
         /// Command parameters.
         params: TeeParams,
     },
+    /// Invoke several commands on an open session with a single SMC — the
+    /// transition-amortized path: one world-switch round trip covers the
+    /// whole batch.
+    InvokeBatch {
+        /// Session to invoke on.
+        session: SessionId,
+        /// The `(command, parameters)` pairs, dispatched in order.
+        calls: Vec<(u32, TeeParams)>,
+    },
     /// Close a session.
     CloseSession {
         /// Session to close.
@@ -99,6 +108,11 @@ pub(crate) enum ClientReply {
     Invoked {
         /// Updated parameters.
         params: TeeParams,
+    },
+    /// Batched commands completed.
+    InvokedBatch {
+        /// Updated parameters of every call, in submission order.
+        results: Vec<TeeParams>,
     },
     /// Session closed.
     Closed,
@@ -344,6 +358,38 @@ impl TeeCore {
         Err(TeeError::TargetDead)
     }
 
+    /// Invokes a batch of commands on an open session from the secure side,
+    /// dispatching them in order. Each call still pays its dispatch cost,
+    /// but — when entered through [`crate::client::TeeClient`] — the whole
+    /// batch shares a single SMC and world-switch round trip, which is the
+    /// point: world switches per command drop by the batch factor.
+    ///
+    /// This is the *generic* transition-amortization surface: any client
+    /// can batch arbitrary commands to any TA. TAs may additionally expose
+    /// their own batch commands (the filter TA's `PROCESS_BATCH`) when
+    /// they can amortize work *behind* the boundary too — e.g. coalescing
+    /// supplicant round trips — which a generic command batch cannot.
+    ///
+    /// The batch is not transactional: dispatch stops at the first failing
+    /// call and its error is returned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TeeError::ItemNotFound`] for unknown sessions, or the
+    /// first failing call's error.
+    pub fn invoke_command_batched(
+        &self,
+        session: SessionId,
+        calls: Vec<(u32, TeeParams)>,
+    ) -> TeeResult<Vec<TeeParams>> {
+        let mut results = Vec::with_capacity(calls.len());
+        for (cmd, mut params) in calls {
+            self.invoke_command(session, cmd, &mut params)?;
+            results.push(params);
+        }
+        Ok(results)
+    }
+
     /// Closes a session.
     ///
     /// # Errors
@@ -423,12 +469,9 @@ impl TeeCore {
             .map_err(|e| TeeError::Communication {
                 reason: format!("smc failed: {e}"),
             })?;
-        self.replybox
-            .lock()
-            .take()
-            .ok_or(TeeError::Communication {
-                reason: "tee core produced no reply".to_owned(),
-            })
+        self.replybox.lock().take().ok_or(TeeError::Communication {
+            reason: "tee core produced no reply".to_owned(),
+        })
     }
 
     fn process_mailbox(&self) {
@@ -451,6 +494,12 @@ impl TeeCore {
                 Ok(()) => ClientReply::Invoked { params },
                 Err(e) => ClientReply::Failed(e),
             },
+            Some(ClientMessage::InvokeBatch { session, calls }) => {
+                match self.invoke_command_batched(session, calls) {
+                    Ok(results) => ClientReply::InvokedBatch { results },
+                    Err(e) => ClientReply::Failed(e),
+                }
+            }
             Some(ClientMessage::CloseSession { session }) => match self.close_session(session) {
                 Ok(()) => ClientReply::Closed,
                 Err(e) => ClientReply::Failed(e),
@@ -494,7 +543,12 @@ mod tests {
         fn descriptor(&self) -> TaDescriptor {
             self.descriptor.clone()
         }
-        fn invoke(&mut self, env: &mut TaEnv<'_>, cmd: u32, params: &mut TeeParams) -> TeeResult<()> {
+        fn invoke(
+            &mut self,
+            env: &mut TaEnv<'_>,
+            cmd: u32,
+            params: &mut TeeParams,
+        ) -> TeeResult<()> {
             self.invocations += 1;
             env.charge_compute(1_000);
             match cmd {
@@ -533,9 +587,20 @@ mod tests {
         fn descriptor(&self) -> TaDescriptor {
             self.descriptor.clone()
         }
-        fn invoke(&mut self, _env: &mut PtaEnv<'_>, _cmd: u32, params: &mut TeeParams) -> TeeResult<()> {
+        fn invoke(
+            &mut self,
+            _env: &mut PtaEnv<'_>,
+            _cmd: u32,
+            params: &mut TeeParams,
+        ) -> TeeResult<()> {
             self.count += 1;
-            params.set(0, TeeParam::ValueOutput { a: self.count, b: 0 });
+            params.set(
+                0,
+                TeeParam::ValueOutput {
+                    a: self.count,
+                    b: 0,
+                },
+            );
             Ok(())
         }
     }
@@ -558,10 +623,14 @@ mod tests {
         core.invoke_command(session, 1, &mut params).unwrap();
         assert_eq!(params.get(1).as_memref().unwrap(), &[3, 2, 1]);
 
-        assert!(core.invoke_command(session, 2, &mut TeeParams::new()).is_err());
+        assert!(core
+            .invoke_command(session, 2, &mut TeeParams::new())
+            .is_err());
         core.close_session(session).unwrap();
         assert_eq!(core.session_count(), 0);
-        assert!(core.invoke_command(session, 1, &mut TeeParams::new()).is_err());
+        assert!(core
+            .invoke_command(session, 1, &mut TeeParams::new())
+            .is_err());
     }
 
     #[test]

@@ -96,7 +96,9 @@ mod tests {
     fn parse_rejects_garbage() {
         assert!("not-a-uuid".parse::<TaUuid>().is_err());
         assert!("8aaaf200245011e4abe20002a5d5c5".parse::<TaUuid>().is_err());
-        assert!("8aaaf200-2450-11e4-abe2-0002a5d5c5zz".parse::<TaUuid>().is_err());
+        assert!("8aaaf200-2450-11e4-abe2-0002a5d5c5zz"
+            .parse::<TaUuid>()
+            .is_err());
     }
 
     #[test]

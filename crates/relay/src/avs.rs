@@ -13,8 +13,10 @@ use crate::{RelayError, Result};
 const TAG_RECOGNIZE: u8 = 0x10;
 const TAG_TEXT: u8 = 0x11;
 const TAG_PING: u8 = 0x12;
+const TAG_BATCH: u8 = 0x13;
 const TAG_DIRECTIVE_ACK: u8 = 0x20;
 const TAG_DIRECTIVE_SPEAK: u8 = 0x21;
+const TAG_DIRECTIVE_BATCH_ACK: u8 = 0x22;
 
 /// An event sent from the device to the cloud.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -35,6 +37,12 @@ pub enum AvsEvent {
     },
     /// Keep-alive.
     Ping,
+    /// Several events delivered in one record — the transition-amortized
+    /// relay path: a filter TA that processed a batch of capture windows
+    /// ships every permitted utterance in a single sealed record, so the
+    /// whole batch costs one supplicant send/recv round trip instead of
+    /// one per utterance.
+    Batch(Vec<AvsEvent>),
 }
 
 impl AvsEvent {
@@ -56,6 +64,16 @@ impl AvsEvent {
                 out
             }
             AvsEvent::Ping => vec![TAG_PING],
+            AvsEvent::Batch(events) => {
+                let mut out = vec![TAG_BATCH];
+                out.extend_from_slice(&(events.len() as u32).to_be_bytes());
+                for event in events {
+                    let encoded = event.encode();
+                    out.extend_from_slice(&(encoded.len() as u32).to_be_bytes());
+                    out.extend_from_slice(&encoded);
+                }
+                out
+            }
         }
     }
 
@@ -63,13 +81,61 @@ impl AvsEvent {
     ///
     /// # Errors
     ///
-    /// Returns [`RelayError::Codec`] for truncated or unknown messages.
+    /// Returns [`RelayError::Codec`] for truncated or unknown messages,
+    /// and for batches nested deeper than [`AvsEvent::MAX_BATCH_DEPTH`]
+    /// (the decoder recurses per nesting level, so untrusted input must
+    /// not choose the recursion depth).
     pub fn decode(data: &[u8]) -> Result<AvsEvent> {
+        Self::decode_at_depth(data, 0)
+    }
+
+    /// Deepest permitted `Batch`-in-`Batch` nesting. The relay only ever
+    /// produces depth 1; a small allowance is kept for future framing.
+    pub const MAX_BATCH_DEPTH: usize = 4;
+
+    fn decode_at_depth(data: &[u8], depth: usize) -> Result<AvsEvent> {
         let tag = *data.first().ok_or(RelayError::Codec {
             reason: "empty event".to_owned(),
         })?;
         match tag {
             TAG_PING => Ok(AvsEvent::Ping),
+            TAG_BATCH => {
+                if depth >= Self::MAX_BATCH_DEPTH {
+                    return Err(RelayError::Codec {
+                        reason: format!("batch nesting exceeds {} levels", Self::MAX_BATCH_DEPTH),
+                    });
+                }
+                if data.len() < 5 {
+                    return Err(RelayError::Codec {
+                        reason: "batch header truncated".to_owned(),
+                    });
+                }
+                let count = u32::from_be_bytes(data[1..5].try_into().expect("4 bytes")) as usize;
+                let mut events = Vec::with_capacity(count.min(1024));
+                let mut offset = 5usize;
+                for _ in 0..count {
+                    if data.len() < offset + 4 {
+                        return Err(RelayError::Codec {
+                            reason: "batch entry header truncated".to_owned(),
+                        });
+                    }
+                    let len =
+                        u32::from_be_bytes(data[offset..offset + 4].try_into().expect("4 bytes"))
+                            as usize;
+                    offset += 4;
+                    if data.len() < offset + len {
+                        return Err(RelayError::Codec {
+                            reason: "batch entry truncated".to_owned(),
+                        });
+                    }
+                    events.push(AvsEvent::decode_at_depth(
+                        &data[offset..offset + len],
+                        depth + 1,
+                    )?);
+                    offset += len;
+                }
+                Ok(AvsEvent::Batch(events))
+            }
             TAG_RECOGNIZE | TAG_TEXT => {
                 if data.len() < 13 {
                     return Err(RelayError::Codec {
@@ -123,6 +189,12 @@ pub enum AvsDirective {
         /// Response text.
         text: String,
     },
+    /// Acknowledgement of a batched event: the dialog ids the cloud
+    /// accepted, in arrival order.
+    BatchAck {
+        /// Acknowledged dialog ids.
+        dialog_ids: Vec<u64>,
+    },
 }
 
 impl AvsDirective {
@@ -139,6 +211,14 @@ impl AvsDirective {
                 out.extend_from_slice(&dialog_id.to_be_bytes());
                 out.extend_from_slice(&(text.len() as u32).to_be_bytes());
                 out.extend_from_slice(text.as_bytes());
+                out
+            }
+            AvsDirective::BatchAck { dialog_ids } => {
+                let mut out = vec![TAG_DIRECTIVE_BATCH_ACK];
+                out.extend_from_slice(&(dialog_ids.len() as u32).to_be_bytes());
+                for id in dialog_ids {
+                    out.extend_from_slice(&id.to_be_bytes());
+                }
                 out
             }
         }
@@ -182,6 +262,25 @@ impl AvsDirective {
                     text: String::from_utf8_lossy(&data[13..13 + len]).into_owned(),
                 })
             }
+            TAG_DIRECTIVE_BATCH_ACK => {
+                if data.len() < 5 {
+                    return Err(RelayError::Codec {
+                        reason: "batch ack truncated".to_owned(),
+                    });
+                }
+                let count = u32::from_be_bytes(data[1..5].try_into().expect("4 bytes")) as usize;
+                if data.len() < 5 + count * 8 {
+                    return Err(RelayError::Codec {
+                        reason: "batch ack ids truncated".to_owned(),
+                    });
+                }
+                let dialog_ids = (0..count)
+                    .map(|i| {
+                        u64::from_be_bytes(data[5 + i * 8..13 + i * 8].try_into().expect("8 bytes"))
+                    })
+                    .collect();
+                Ok(AvsDirective::BatchAck { dialog_ids })
+            }
             other => Err(RelayError::Codec {
                 reason: format!("unknown directive tag {other:#x}"),
             }),
@@ -197,8 +296,14 @@ mod tests {
     fn events_round_trip() {
         let events = vec![
             AvsEvent::Ping,
-            AvsEvent::Recognize { dialog_id: 7, audio: vec![1, 2, 3, 4, 5] },
-            AvsEvent::TextMessage { dialog_id: 9, text: "play music kitchen".to_owned() },
+            AvsEvent::Recognize {
+                dialog_id: 7,
+                audio: vec![1, 2, 3, 4, 5],
+            },
+            AvsEvent::TextMessage {
+                dialog_id: 9,
+                text: "play music kitchen".to_owned(),
+            },
         ];
         for e in events {
             let encoded = e.encode();
@@ -211,10 +316,64 @@ mod tests {
     fn directives_round_trip() {
         for d in [
             AvsDirective::Ack { dialog_id: 3 },
-            AvsDirective::Speak { dialog_id: 3, text: "okay".to_owned() },
+            AvsDirective::Speak {
+                dialog_id: 3,
+                text: "okay".to_owned(),
+            },
+            AvsDirective::BatchAck {
+                dialog_ids: vec![1, 5, 9],
+            },
+            AvsDirective::BatchAck {
+                dialog_ids: Vec::new(),
+            },
         ] {
             assert_eq!(AvsDirective::decode(&d.encode()).unwrap(), d);
         }
+    }
+
+    #[test]
+    fn batched_events_round_trip() {
+        let batch = AvsEvent::Batch(vec![
+            AvsEvent::TextMessage {
+                dialog_id: 1,
+                text: "lights on".to_owned(),
+            },
+            AvsEvent::Recognize {
+                dialog_id: 2,
+                audio: vec![9u8; 37],
+            },
+            AvsEvent::Ping,
+        ]);
+        let encoded = batch.encode();
+        assert_eq!(AvsEvent::decode(&encoded).unwrap(), batch);
+        // Empty batches are legal (an all-dropped window batch).
+        let empty = AvsEvent::Batch(Vec::new());
+        assert_eq!(AvsEvent::decode(&empty.encode()).unwrap(), empty);
+        // Truncations are rejected.
+        let mut truncated = encoded;
+        truncated.truncate(10);
+        assert!(AvsEvent::decode(&truncated).is_err());
+    }
+
+    #[test]
+    fn deeply_nested_batches_are_rejected_not_recursed() {
+        // Nesting up to the cap round-trips.
+        let mut event = AvsEvent::Ping;
+        for _ in 0..AvsEvent::MAX_BATCH_DEPTH {
+            event = AvsEvent::Batch(vec![event]);
+        }
+        assert_eq!(AvsEvent::decode(&event.encode()).unwrap(), event);
+        // One level beyond the cap is a codec error, however large the
+        // crafted nesting is (no stack overflow).
+        let mut nested = AvsEvent::Ping.encode();
+        for _ in 0..100_000 {
+            let mut wrapper = vec![super::TAG_BATCH];
+            wrapper.extend_from_slice(&1u32.to_be_bytes());
+            wrapper.extend_from_slice(&(nested.len() as u32).to_be_bytes());
+            wrapper.extend_from_slice(&nested);
+            nested = wrapper;
+        }
+        assert!(AvsEvent::decode(&nested).is_err());
     }
 
     #[test]
@@ -222,7 +381,11 @@ mod tests {
         assert!(AvsEvent::decode(&[]).is_err());
         assert!(AvsEvent::decode(&[0xEE]).is_err());
         assert!(AvsEvent::decode(&[TAG_RECOGNIZE, 1, 2]).is_err());
-        let mut truncated = AvsEvent::Recognize { dialog_id: 1, audio: vec![0; 100] }.encode();
+        let mut truncated = AvsEvent::Recognize {
+            dialog_id: 1,
+            audio: vec![0; 100],
+        }
+        .encode();
         truncated.truncate(20);
         assert!(AvsEvent::decode(&truncated).is_err());
         assert!(AvsDirective::decode(&[]).is_err());

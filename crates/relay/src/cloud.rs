@@ -131,15 +131,40 @@ impl MockCloudService {
                 });
             }
             AvsEvent::Ping => {}
+            AvsEvent::Batch(events) => {
+                // Drop the report lock before recursing into the entries.
+                drop(report);
+                for inner in events {
+                    self.record_event(inner, encrypted);
+                }
+            }
+        }
+    }
+
+    /// Dialog ids named by an event, in order (batch entries flattened).
+    fn dialog_ids_of(event: &AvsEvent) -> Vec<u64> {
+        match event {
+            AvsEvent::Recognize { dialog_id, .. } | AvsEvent::TextMessage { dialog_id, .. } => {
+                vec![*dialog_id]
+            }
+            AvsEvent::Ping => Vec::new(),
+            AvsEvent::Batch(events) => events.iter().flat_map(Self::dialog_ids_of).collect(),
         }
     }
 
     fn ack_for(event: &AvsEvent) -> AvsDirective {
         match event {
             AvsEvent::Recognize { dialog_id, .. } | AvsEvent::TextMessage { dialog_id, .. } => {
-                AvsDirective::Ack { dialog_id: *dialog_id }
+                AvsDirective::Ack {
+                    dialog_id: *dialog_id,
+                }
             }
-            AvsEvent::Ping => AvsDirective::Ack { dialog_id: u64::MAX },
+            AvsEvent::Ping => AvsDirective::Ack {
+                dialog_id: u64::MAX,
+            },
+            AvsEvent::Batch(_) => AvsDirective::BatchAck {
+                dialog_ids: Self::dialog_ids_of(event),
+            },
         }
     }
 
@@ -151,7 +176,12 @@ impl MockCloudService {
                     text: self.response_text.clone(),
                 }
             }
-            AvsEvent::Ping => AvsDirective::Ack { dialog_id: u64::MAX },
+            AvsEvent::Ping => AvsDirective::Ack {
+                dialog_id: u64::MAX,
+            },
+            AvsEvent::Batch(_) => AvsDirective::BatchAck {
+                dialog_ids: Self::dialog_ids_of(event),
+            },
         }
     }
 }
@@ -225,8 +255,13 @@ mod tests {
         let server_hello = transport.recv(1024).unwrap();
         client.process_server_hello(&server_hello).unwrap();
 
-        let event = AvsEvent::TextMessage { dialog_id: 5, text: "play music".to_owned() };
-        transport.send(&client.seal(&event.encode()).unwrap()).unwrap();
+        let event = AvsEvent::TextMessage {
+            dialog_id: 5,
+            text: "play music".to_owned(),
+        };
+        transport
+            .send(&client.seal(&event.encode()).unwrap())
+            .unwrap();
         let reply = transport.recv(4096).unwrap();
         let directive = AvsDirective::decode(&client.open(&reply).unwrap()).unwrap();
         assert_eq!(directive, AvsDirective::Ack { dialog_id: 5 });
@@ -243,7 +278,10 @@ mod tests {
     fn plaintext_events_are_accepted_and_marked_unencrypted() {
         let (fabric, cloud) = fabric_with_cloud();
         let transport = fabric.open_transport(MockCloudService::HOST, 443).unwrap();
-        let event = AvsEvent::Recognize { dialog_id: 2, audio: vec![0u8; 320] };
+        let event = AvsEvent::Recognize {
+            dialog_id: 2,
+            audio: vec![0u8; 320],
+        };
         transport.send(&event.encode()).unwrap();
         let ack = AvsDirective::decode(&transport.recv(64).unwrap()).unwrap();
         assert_eq!(ack, AvsDirective::Ack { dialog_id: 2 });
@@ -268,11 +306,54 @@ mod tests {
         let (fabric, cloud) = fabric_with_cloud();
         let transport = fabric.open_transport(MockCloudService::HOST, 443).unwrap();
         transport
-            .send(&AvsEvent::TextMessage { dialog_id: 1, text: "x".into() }.encode())
+            .send(
+                &AvsEvent::TextMessage {
+                    dialog_id: 1,
+                    text: "x".into(),
+                }
+                .encode(),
+            )
             .unwrap();
         assert_eq!(cloud.report().events.len(), 1);
         cloud.reset();
         assert!(cloud.report().events.is_empty());
+    }
+
+    #[test]
+    fn batched_events_are_unpacked_and_batch_acked() {
+        let (fabric, cloud) = fabric_with_cloud();
+        let transport = fabric.open_transport(MockCloudService::HOST, 443).unwrap();
+        let mut client = SecureChannelClient::new(PSK, 41);
+        transport.send(&client.client_hello()).unwrap();
+        let server_hello = transport.recv(1024).unwrap();
+        client.process_server_hello(&server_hello).unwrap();
+
+        let batch = AvsEvent::Batch(vec![
+            AvsEvent::TextMessage {
+                dialog_id: 4,
+                text: "play music".to_owned(),
+            },
+            AvsEvent::TextMessage {
+                dialog_id: 6,
+                text: "lights off".to_owned(),
+            },
+        ]);
+        transport
+            .send(&client.seal(&batch.encode()).unwrap())
+            .unwrap();
+        let reply = transport.recv(4096).unwrap();
+        let directive = AvsDirective::decode(&client.open(&reply).unwrap()).unwrap();
+        assert_eq!(
+            directive,
+            AvsDirective::BatchAck {
+                dialog_ids: vec![4, 6]
+            }
+        );
+
+        let report = cloud.report();
+        assert_eq!(report.received_dialog_ids(), vec![4, 6]);
+        assert!(report.events.iter().all(|e| e.encrypted));
+        assert_eq!(report.text_of(6), "lights off");
     }
 
     #[test]

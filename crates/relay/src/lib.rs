@@ -92,7 +92,9 @@ mod tests {
     fn relay_error_is_well_behaved() {
         fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
         assert_bounds::<RelayError>();
-        let e = RelayError::Unreachable { host: "avs.example".into() };
+        let e = RelayError::Unreachable {
+            host: "avs.example".into(),
+        };
         assert!(e.to_string().contains("avs.example"));
         let e: RelayError = perisec_optee::TeeError::TargetDead.into();
         assert!(matches!(e, RelayError::Transport { .. }));

@@ -96,7 +96,9 @@ impl NetworkFabric {
     pub fn open_transport(&self, host: &str, port: u16) -> Result<Transport> {
         let conn = self
             .connect(host, port)
-            .map_err(|_| RelayError::Unreachable { host: host.to_owned() })?;
+            .map_err(|_| RelayError::Unreachable {
+                host: host.to_owned(),
+            })?;
         Ok(Transport {
             fabric: self.clone(),
             conn,
@@ -129,9 +131,11 @@ impl NetBackend for NetworkFabric {
 
     fn send(&self, socket: u64, data: &[u8]) -> TeeResult<usize> {
         let mut connections = self.inner.connections.lock();
-        let connection = connections.get_mut(&socket).ok_or(TeeError::Communication {
-            reason: format!("unknown socket {socket}"),
-        })?;
+        let connection = connections
+            .get_mut(&socket)
+            .ok_or(TeeError::Communication {
+                reason: format!("unknown socket {socket}"),
+            })?;
         let response = connection.service.handle(socket, data);
         connection.bytes_sent += data.len() as u64;
         connection.bytes_received += response.len() as u64;
@@ -144,9 +148,11 @@ impl NetBackend for NetworkFabric {
 
     fn recv(&self, socket: u64, max: usize) -> TeeResult<Vec<u8>> {
         let mut connections = self.inner.connections.lock();
-        let connection = connections.get_mut(&socket).ok_or(TeeError::Communication {
-            reason: format!("unknown socket {socket}"),
-        })?;
+        let connection = connections
+            .get_mut(&socket)
+            .ok_or(TeeError::Communication {
+                reason: format!("unknown socket {socket}"),
+            })?;
         let n = max.min(connection.pending.len());
         Ok(connection.pending.drain(..n).collect())
     }
@@ -249,16 +255,25 @@ mod tests {
         let supplicant = Supplicant::new();
         supplicant.set_net_backend(Arc::new(fabric));
         let socket = match supplicant
-            .handle(RpcRequest::NetConnect { host: "avs.example".into(), port: 443 })
+            .handle(RpcRequest::NetConnect {
+                host: "avs.example".into(),
+                port: 443,
+            })
             .unwrap()
         {
             perisec_optee::RpcReply::Socket(s) => s,
             other => panic!("unexpected {other:?}"),
         };
         supplicant
-            .handle(RpcRequest::NetSend { socket, data: b"ping".to_vec() })
+            .handle(RpcRequest::NetSend {
+                socket,
+                data: b"ping".to_vec(),
+            })
             .unwrap();
-        match supplicant.handle(RpcRequest::NetRecv { socket, max: 16 }).unwrap() {
+        match supplicant
+            .handle(RpcRequest::NetRecv { socket, max: 16 })
+            .unwrap()
+        {
             perisec_optee::RpcReply::Data(d) => assert_eq!(d, b"PING"),
             other => panic!("unexpected {other:?}"),
         }

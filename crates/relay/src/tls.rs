@@ -23,7 +23,11 @@ const CLIENT_HELLO: u8 = 0x01;
 const SERVER_HELLO: u8 = 0x02;
 const RANDOM_LEN: usize = 32;
 
-fn derive_keys(psk: &[u8; PSK_LEN], client_random: &[u8], server_random: &[u8]) -> ([u8; 32], [u8; 32]) {
+fn derive_keys(
+    psk: &[u8; PSK_LEN],
+    client_random: &[u8],
+    server_random: &[u8],
+) -> ([u8; 32], [u8; 32]) {
     let mut salt = Vec::with_capacity(RANDOM_LEN * 2);
     salt.extend_from_slice(client_random);
     salt.extend_from_slice(server_random);
@@ -51,7 +55,10 @@ fn unframe(data: &[u8]) -> Result<(Vec<u8>, usize)> {
     let len = u32::from_be_bytes(data[..4].try_into().expect("4 bytes")) as usize;
     if data.len() < 4 + len {
         return Err(RelayError::ChannelError {
-            reason: format!("record truncated: header says {len}, got {}", data.len() - 4),
+            reason: format!(
+                "record truncated: header says {len}, got {}",
+                data.len() - 4
+            ),
         });
     }
     Ok((data[4..4 + len].to_vec(), 4 + len))
@@ -75,7 +82,12 @@ impl SecureChannelClient {
     /// reproducible.
     pub fn new(psk: [u8; PSK_LEN], session_nonce: u64) -> Self {
         let mut client_random = [0u8; RANDOM_LEN];
-        let seed = hkdf(&session_nonce.to_be_bytes(), &psk, b"client-random", RANDOM_LEN);
+        let seed = hkdf(
+            &session_nonce.to_be_bytes(),
+            &psk,
+            b"client-random",
+            RANDOM_LEN,
+        );
         client_random.copy_from_slice(&seed);
         SecureChannelClient {
             psk,
@@ -128,7 +140,12 @@ impl SecureChannelClient {
         })?;
         let nonce = nonce_from_sequence(self.send_seq);
         self.send_seq += 1;
-        Ok(frame(&aead_seal(&key, &nonce, b"perisec-record", plaintext)))
+        Ok(frame(&aead_seal(
+            &key,
+            &nonce,
+            b"perisec-record",
+            plaintext,
+        )))
     }
 
     /// Opens one protected record from the server.
@@ -165,7 +182,12 @@ impl SecureChannelServer {
     /// Creates a server provisioned with the same PSK.
     pub fn new(psk: [u8; PSK_LEN], server_nonce: u64) -> Self {
         let mut server_random = [0u8; RANDOM_LEN];
-        let seed = hkdf(&server_nonce.to_be_bytes(), &psk, b"server-random", RANDOM_LEN);
+        let seed = hkdf(
+            &server_nonce.to_be_bytes(),
+            &psk,
+            b"server-random",
+            RANDOM_LEN,
+        );
         server_random.copy_from_slice(&seed);
         SecureChannelServer {
             psk,
@@ -230,7 +252,12 @@ impl SecureChannelServer {
         })?;
         let nonce = nonce_from_sequence(self.send_seq);
         self.send_seq += 1;
-        Ok(frame(&aead_seal(&key, &nonce, b"perisec-record", plaintext)))
+        Ok(frame(&aead_seal(
+            &key,
+            &nonce,
+            b"perisec-record",
+            plaintext,
+        )))
     }
 }
 

@@ -115,6 +115,15 @@ pub struct SecureDriverStats {
     pub bytes_delivered: u64,
 }
 
+/// One window of a batched capture: the encoded audio plus its accounting.
+#[derive(Debug, Clone, Default)]
+pub struct WindowCapture {
+    /// Encoded audio of this window.
+    pub encoded: Vec<u8>,
+    /// Accounting for this window alone.
+    pub report: SecureCaptureReport,
+}
+
 /// The secure, capture-only I2S driver.
 pub struct SecureI2sDriver {
     platform: Platform,
@@ -211,7 +220,7 @@ impl SecureI2sDriver {
             .alloc(period_bytes * 2)
             .map_err(TeeError::from)?;
         // Charge the secure page allocations for the buffer.
-        let pages = (io.len() + 4095) / 4096;
+        let pages = io.len().div_ceil(4096);
         self.platform.charge_cpu(
             World::Secure,
             self.platform.cost().secure_page_alloc * pages as u64,
@@ -263,10 +272,7 @@ impl SecureI2sDriver {
     ///
     /// Returns [`TeeError::BadParameters`] if the stream is not running, or
     /// a wrapped device error.
-    pub fn capture_periods(
-        &mut self,
-        periods: usize,
-    ) -> TeeResult<(Vec<u8>, SecureCaptureReport)> {
+    pub fn capture_periods(&mut self, periods: usize) -> TeeResult<(Vec<u8>, SecureCaptureReport)> {
         if self.state != SecureDriverState::Running {
             return Err(TeeError::BadParameters {
                 reason: format!("capture requested while driver is {}", self.state),
@@ -281,20 +287,29 @@ impl SecureI2sDriver {
         let cpu_before = self.platform.clock().now();
         for _ in 0..periods {
             // 1. One period arrives over the wire.
-            let (chunk, wire) = self
-                .mic
-                .capture(self.period_frames)
-                .map_err(|e| TeeError::Generic { reason: e.to_string() })?;
+            let (chunk, wire) =
+                self.mic
+                    .capture(self.period_frames)
+                    .map_err(|e| TeeError::Generic {
+                        reason: e.to_string(),
+                    })?;
             report.wire_time += wire;
-            self.platform.record_device_busy(Component::Microphone, wire);
-            self.platform.record_device_busy(Component::I2sController, wire);
+            self.platform
+                .record_device_busy(Component::Microphone, wire);
+            self.platform
+                .record_device_busy(Component::I2sController, wire);
 
             // 2. DMA moves it into the secure I/O buffer.
-            let io = self.io_buffer.as_mut().expect("configured driver has io buffer");
+            let io = self
+                .io_buffer
+                .as_mut()
+                .expect("configured driver has io buffer");
             let transfer = self
                 .dma
                 .transfer(chunk.samples(), io.as_mut_slice())
-                .map_err(|e| TeeError::Generic { reason: e.to_string() })?;
+                .map_err(|e| TeeError::Generic {
+                    reason: e.to_string(),
+                })?;
             self.platform
                 .record_device_busy(Component::DmaEngine, transfer.bus_time);
 
@@ -324,6 +339,47 @@ impl SecureI2sDriver {
         Ok((encoded, report))
     }
 
+    /// Captures several windows back to back in one driver call — the
+    /// batch-aware entry point behind the PTA's `CAPTURE_BATCH` command.
+    ///
+    /// Each entry of `windows` is a window length in periods; the windows
+    /// are captured in order and encoded independently, so the caller gets
+    /// one encoded buffer per window (one per utterance in the pipelines)
+    /// while paying a single driver dispatch for the whole batch. The
+    /// second return value aggregates the accounting over the batch.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SecureI2sDriver::capture_periods`]; an empty batch or a
+    /// zero-length window is rejected as [`TeeError::BadParameters`].
+    pub fn capture_windows(
+        &mut self,
+        windows: &[usize],
+    ) -> TeeResult<(Vec<WindowCapture>, SecureCaptureReport)> {
+        if windows.is_empty() {
+            return Err(TeeError::BadParameters {
+                reason: "capture batch must name at least one window".to_owned(),
+            });
+        }
+        if windows.contains(&0) {
+            return Err(TeeError::BadParameters {
+                reason: "capture windows must be at least one period".to_owned(),
+            });
+        }
+        let mut captures = Vec::with_capacity(windows.len());
+        let mut total = SecureCaptureReport::default();
+        for &periods in windows {
+            let (encoded, report) = self.capture_periods(periods)?;
+            total.wire_time += report.wire_time;
+            total.cpu_time += report.cpu_time;
+            total.periods += report.periods;
+            total.encoded_bytes += report.encoded_bytes;
+            total.secure_irqs += report.secure_irqs;
+            captures.push(WindowCapture { encoded, report });
+        }
+        Ok((captures, total))
+    }
+
     /// Captures at least `duration` of audio (rounded up to whole periods).
     ///
     /// # Errors
@@ -334,7 +390,7 @@ impl SecureI2sDriver {
         duration: SimDuration,
     ) -> TeeResult<(Vec<u8>, SecureCaptureReport)> {
         let frames = self.format().frames_in(duration);
-        let periods = (frames + self.period_frames - 1) / self.period_frames;
+        let periods = frames.div_ceil(self.period_frames);
         self.capture_periods(periods.max(1))
     }
 
@@ -354,8 +410,9 @@ mod tests {
     use perisec_tz::world::World;
 
     fn secure_driver(platform: &Platform) -> SecureI2sDriver {
-        let mic = Microphone::speech_mic("secure-mic", Box::new(SineSource::new(440.0, 16_000, 0.6)))
-            .unwrap();
+        let mic =
+            Microphone::speech_mic("secure-mic", Box::new(SineSource::new(440.0, 16_000, 0.6)))
+                .unwrap();
         SecureI2sDriver::new(platform.clone(), mic)
     }
 
@@ -367,7 +424,9 @@ mod tests {
         d.configure(160, AudioEncoding::PcmLe16).unwrap();
         let addr = d.io_buffer_addr().unwrap();
         // The buffer must be inaccessible to the normal world.
-        assert!(platform.check_access(addr, 64, World::Normal, false).is_err());
+        assert!(platform
+            .check_access(addr, 64, World::Normal, false)
+            .is_err());
         assert!(platform.check_access(addr, 64, World::Secure, true).is_ok());
         assert!(platform.secure_ram().bytes_in_use() >= 160 * 2 * 2);
     }
@@ -386,7 +445,12 @@ mod tests {
         assert!(report.cpu_time > SimDuration::ZERO);
         assert_eq!(platform.stats().snapshot().secure_irqs, 10);
         // Secure CPU energy was attributed.
-        assert!(platform.energy_report().component_mj(Component::CpuSecureWorld) > 0.0);
+        assert!(
+            platform
+                .energy_report()
+                .component_mj(Component::CpuSecureWorld)
+                > 0.0
+        );
     }
 
     #[test]

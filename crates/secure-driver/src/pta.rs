@@ -13,7 +13,7 @@
 use perisec_devices::codec::AudioEncoding;
 use perisec_optee::{PseudoTa, PtaEnv, TaDescriptor, TeeError, TeeParam, TeeParams, TeeResult};
 
-use crate::driver::{SecureDriverState, SecureI2sDriver};
+use crate::driver::{SecureDriverState, SecureI2sDriver, WindowCapture};
 
 /// Registered name of the I2S PTA (its UUID is derived from this).
 pub const I2S_PTA_NAME: &str = "perisec.i2s-pta";
@@ -35,6 +35,99 @@ pub mod cmd {
     pub const STATS: u32 = 4;
     /// Release all resources.
     pub const SHUTDOWN: u32 = 5;
+    /// Batched capture: param 0 is an input memref encoding the window
+    /// lengths (see [`super::pta::encode_windows_request`]); returns the
+    /// per-window audio and accounting in an output memref (see
+    /// [`super::pta::decode_windows_reply`]) and the aggregate
+    /// `(wire_ns, cpu_ns)` in a value output.
+    pub const CAPTURE_BATCH: u32 = 6;
+}
+
+/// Encodes a batch-capture request: each window length in periods as a
+/// little-endian `u32`.
+pub fn encode_windows_request(windows: &[usize]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(windows.len() * 4);
+    for &w in windows {
+        out.extend_from_slice(&(w as u32).to_le_bytes());
+    }
+    out
+}
+
+/// Decodes a batch-capture request produced by [`encode_windows_request`].
+///
+/// # Errors
+///
+/// Returns [`TeeError::BadParameters`] for a ragged buffer.
+pub fn decode_windows_request(data: &[u8]) -> TeeResult<Vec<usize>> {
+    if data.is_empty() || !data.len().is_multiple_of(4) {
+        return Err(TeeError::BadParameters {
+            reason: "window list must be a non-empty multiple of 4 bytes".to_owned(),
+        });
+    }
+    Ok(data
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")) as usize)
+        .collect())
+}
+
+/// Encodes a batch-capture reply: per window, a `u32` length, the
+/// `(wire_ns, cpu_ns)` accounting as two `u64`s, then the encoded audio.
+pub fn encode_windows_reply(captures: &[WindowCapture]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for capture in captures {
+        out.extend_from_slice(&(capture.encoded.len() as u32).to_le_bytes());
+        out.extend_from_slice(&capture.report.wire_time.as_nanos().to_le_bytes());
+        out.extend_from_slice(&capture.report.cpu_time.as_nanos().to_le_bytes());
+        out.extend_from_slice(&capture.encoded);
+    }
+    out
+}
+
+/// One decoded window of a batch-capture reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowReply {
+    /// Encoded audio of the window.
+    pub encoded: Vec<u8>,
+    /// Time the window's audio occupied the I2S wire, in nanoseconds.
+    pub wire_ns: u64,
+    /// Secure CPU time charged for the window, in nanoseconds.
+    pub cpu_ns: u64,
+}
+
+/// Decodes a batch-capture reply produced by [`encode_windows_reply`].
+///
+/// # Errors
+///
+/// Returns [`TeeError::Communication`] for truncated buffers.
+pub fn decode_windows_reply(data: &[u8]) -> TeeResult<Vec<WindowReply>> {
+    let mut out = Vec::new();
+    let mut offset = 0usize;
+    while offset < data.len() {
+        if data.len() < offset + 20 {
+            return Err(TeeError::Communication {
+                reason: "batch reply header truncated".to_owned(),
+            });
+        }
+        let len =
+            u32::from_le_bytes(data[offset..offset + 4].try_into().expect("4 bytes")) as usize;
+        let wire_ns =
+            u64::from_le_bytes(data[offset + 4..offset + 12].try_into().expect("8 bytes"));
+        let cpu_ns =
+            u64::from_le_bytes(data[offset + 12..offset + 20].try_into().expect("8 bytes"));
+        offset += 20;
+        if data.len() < offset + len {
+            return Err(TeeError::Communication {
+                reason: "batch reply audio truncated".to_owned(),
+            });
+        }
+        out.push(WindowReply {
+            encoded: data[offset..offset + len].to_vec(),
+            wire_ns,
+            cpu_ns,
+        });
+        offset += len;
+    }
+    Ok(out)
 }
 
 /// The pseudo trusted application owning the secure I2S driver.
@@ -44,7 +137,9 @@ pub struct I2sPta {
 
 impl std::fmt::Debug for I2sPta {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("I2sPta").field("driver", &self.driver).finish()
+        f.debug_struct("I2sPta")
+            .field("driver", &self.driver)
+            .finish()
     }
 }
 
@@ -105,6 +200,23 @@ impl PseudoTa for I2sPta {
                 );
                 Ok(())
             }
+            cmd::CAPTURE_BATCH => {
+                let windows = decode_windows_request(params.get(0).as_memref().ok_or(
+                    TeeError::BadParameters {
+                        reason: "capture-batch expects a memref parameter".to_owned(),
+                    },
+                )?)?;
+                let (captures, total) = self.driver.capture_windows(&windows)?;
+                params.set(1, TeeParam::MemRefOutput(encode_windows_reply(&captures)));
+                params.set(
+                    2,
+                    TeeParam::ValueOutput {
+                        a: total.wire_time.as_nanos(),
+                        b: total.cpu_time.as_nanos(),
+                    },
+                );
+                Ok(())
+            }
             cmd::STOP => {
                 self.driver.stop();
                 Ok(())
@@ -157,7 +269,8 @@ mod tests {
     fn registered_pta() -> (Arc<TeeCore>, TaUuid) {
         let platform = Platform::jetson_agx_xavier();
         let core = TeeCore::boot(platform.clone(), Arc::new(Supplicant::new()));
-        let mic = Microphone::speech_mic("mic", Box::new(SineSource::new(440.0, 16_000, 0.6))).unwrap();
+        let mic =
+            Microphone::speech_mic("mic", Box::new(SineSource::new(440.0, 16_000, 0.6))).unwrap();
         let pta = I2sPta::new(SecureI2sDriver::new(platform, mic));
         let uuid = core.register_pta(Box::new(pta)).unwrap();
         (core, uuid)
@@ -169,7 +282,8 @@ mod tests {
         // Configure: 160-frame periods, PCM encoding.
         let mut p = TeeParams::new().with(0, TeeParam::ValueInput { a: 160, b: 0 });
         core.invoke_pta(uuid, cmd::CONFIGURE, &mut p).unwrap();
-        core.invoke_pta(uuid, cmd::START, &mut TeeParams::new()).unwrap();
+        core.invoke_pta(uuid, cmd::START, &mut TeeParams::new())
+            .unwrap();
 
         let mut p = TeeParams::new().with(0, TeeParam::ValueInput { a: 5, b: 0 });
         core.invoke_pta(uuid, cmd::CAPTURE, &mut p).unwrap();
@@ -182,8 +296,10 @@ mod tests {
         let mut p = TeeParams::new();
         core.invoke_pta(uuid, cmd::STATS, &mut p).unwrap();
         assert_eq!(p.get(0).as_values().unwrap().0, 5 * 160);
-        core.invoke_pta(uuid, cmd::STOP, &mut TeeParams::new()).unwrap();
-        core.invoke_pta(uuid, cmd::SHUTDOWN, &mut TeeParams::new()).unwrap();
+        core.invoke_pta(uuid, cmd::STOP, &mut TeeParams::new())
+            .unwrap();
+        core.invoke_pta(uuid, cmd::SHUTDOWN, &mut TeeParams::new())
+            .unwrap();
     }
 
     #[test]
@@ -200,6 +316,48 @@ mod tests {
         // Capture before start.
         let mut p = TeeParams::new().with(0, TeeParam::ValueInput { a: 1, b: 0 });
         assert!(core.invoke_pta(uuid, cmd::CAPTURE, &mut p).is_err());
+    }
+
+    #[test]
+    fn batched_capture_returns_per_window_audio() {
+        let (core, uuid) = registered_pta();
+        let mut p = TeeParams::new().with(0, TeeParam::ValueInput { a: 160, b: 0 });
+        core.invoke_pta(uuid, cmd::CONFIGURE, &mut p).unwrap();
+        core.invoke_pta(uuid, cmd::START, &mut TeeParams::new())
+            .unwrap();
+
+        let windows = [3usize, 5, 2];
+        let mut p =
+            TeeParams::new().with(0, TeeParam::MemRefInput(encode_windows_request(&windows)));
+        core.invoke_pta(uuid, cmd::CAPTURE_BATCH, &mut p).unwrap();
+        let replies = decode_windows_reply(p.get(1).as_memref().unwrap()).unwrap();
+        assert_eq!(replies.len(), 3);
+        for (reply, periods) in replies.iter().zip(windows) {
+            assert_eq!(reply.encoded.len(), periods * 160 * 2);
+            // 10 ms per 160-frame period at 16 kHz.
+            assert_eq!(reply.wire_ns, periods as u64 * 10_000_000);
+            assert!(reply.cpu_ns > 0);
+        }
+        let (wire_total, cpu_total) = p.get(2).as_values().unwrap();
+        assert_eq!(wire_total, 10 * 10_000_000);
+        assert_eq!(cpu_total, replies.iter().map(|r| r.cpu_ns).sum::<u64>());
+
+        // The batch shows up in cumulative stats as 10 periods.
+        let mut p = TeeParams::new();
+        core.invoke_pta(uuid, cmd::STATS, &mut p).unwrap();
+        assert_eq!(p.get(1).as_values().unwrap().0, 10);
+    }
+
+    #[test]
+    fn batch_framing_round_trips_and_rejects_garbage() {
+        let windows = vec![1usize, 7, 42];
+        assert_eq!(
+            decode_windows_request(&encode_windows_request(&windows)).unwrap(),
+            windows
+        );
+        assert!(decode_windows_request(&[]).is_err());
+        assert!(decode_windows_request(&[1, 2, 3]).is_err());
+        assert!(decode_windows_reply(&[0u8; 7]).is_err());
     }
 
     #[test]

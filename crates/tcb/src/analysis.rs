@@ -176,7 +176,10 @@ mod tests {
         let analysis = TcbAnalysis::analyze(&catalog, &log);
         let record = analysis.task("record").unwrap();
         let playback = analysis.task("playback").unwrap();
-        assert!(record.functions.is_disjoint(&playback.functions) || record.functions != playback.functions);
+        assert!(
+            record.functions.is_disjoint(&playback.functions)
+                || record.functions != playback.functions
+        );
         let union = analysis.union_of(&["record", "playback"]);
         assert!(union.len() >= record.functions.len());
         assert!(union.len() >= playback.functions.len());
@@ -201,7 +204,10 @@ mod tests {
         let tracer = FunctionTracer::new();
         tracer.enable();
         tracer.begin_task("record");
-        tracer.record("some_function_not_in_catalog", perisec_tz::time::SimInstant::EPOCH);
+        tracer.record(
+            "some_function_not_in_catalog",
+            perisec_tz::time::SimInstant::EPOCH,
+        );
         tracer.end_task();
         let analysis = TcbAnalysis::analyze(&catalog, &tracer.log());
         assert_eq!(analysis.unknown_functions.len(), 1);

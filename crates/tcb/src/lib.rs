@@ -25,5 +25,5 @@ pub mod prune;
 pub mod report;
 
 pub use analysis::{TaskTcb, TcbAnalysis};
-pub use prune::{PrunedImage, PruneStrategy};
+pub use prune::{PruneStrategy, PrunedImage};
 pub use report::TcbReport;

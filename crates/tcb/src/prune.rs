@@ -109,7 +109,10 @@ mod tests {
             .iter()
             .map(|s| s.to_string())
             .collect();
-        let pruned = PrunedImage::build(&catalog, &PruneStrategy::TracedFunctions { functions: traced });
+        let pruned = PrunedImage::build(
+            &catalog,
+            &PruneStrategy::TracedFunctions { functions: traced },
+        );
         assert_eq!(full.loc, catalog.total_loc());
         assert!(pruned.loc < full.loc / 2);
         assert!(pruned.driver_reduction_vs(&full) > 2.0);
@@ -127,18 +130,23 @@ mod tests {
         ]
         .into_iter()
         .collect();
-        let image = PrunedImage::build(&catalog, &PruneStrategy::FeatureGroups { groups: groups.clone() });
-        let expected_loc: u64 = groups
-            .iter()
-            .map(|&g| catalog.loc_by_group()[&g])
-            .sum();
+        let image = PrunedImage::build(
+            &catalog,
+            &PruneStrategy::FeatureGroups {
+                groups: groups.clone(),
+            },
+        );
+        let expected_loc: u64 = groups.iter().map(|&g| catalog.loc_by_group()[&g]).sum();
         assert_eq!(image.loc, expected_loc);
         // Function-level pruning is strictly finer than group-level.
         let traced: BTreeSet<String> = perisec_secure_driver::PORTED_FUNCTIONS
             .iter()
             .map(|s| s.to_string())
             .collect();
-        let fine = PrunedImage::build(&catalog, &PruneStrategy::TracedFunctions { functions: traced });
+        let fine = PrunedImage::build(
+            &catalog,
+            &PruneStrategy::TracedFunctions { functions: traced },
+        );
         assert!(fine.loc <= image.loc);
     }
 

@@ -77,14 +77,18 @@ mod tests {
         let tracer = FunctionTracer::new();
         tracer.enable();
         tracer.begin_task("record");
-        for f in ["tegra210_i2s_hw_params", "tegra210_i2s_trigger_start_capture"] {
+        for f in [
+            "tegra210_i2s_hw_params",
+            "tegra210_i2s_trigger_start_capture",
+        ] {
             tracer.record(f, SimInstant::EPOCH);
         }
         tracer.end_task();
         let analysis = TcbAnalysis::analyze(&catalog, &tracer.log());
         let full_image = PrunedImage::build(&catalog, &PruneStrategy::KeepAll);
         let functions: BTreeSet<String> = analysis.task("record").unwrap().functions.clone();
-        let pruned_image = PrunedImage::build(&catalog, &PruneStrategy::TracedFunctions { functions });
+        let pruned_image =
+            PrunedImage::build(&catalog, &PruneStrategy::TracedFunctions { functions });
         TcbReport {
             analysis,
             full_image,

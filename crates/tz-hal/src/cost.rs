@@ -136,12 +136,20 @@ impl CostModel {
 
     /// Cost of copying `bytes` across the world boundary.
     pub fn cross_world_copy(&self, bytes: usize) -> SimDuration {
-        SimDuration::from_nanos(self.cross_world_copy_per_byte.as_nanos().saturating_mul(bytes as u64))
+        SimDuration::from_nanos(
+            self.cross_world_copy_per_byte
+                .as_nanos()
+                .saturating_mul(bytes as u64),
+        )
     }
 
     /// Cost of copying `bytes` within one world.
     pub fn in_world_copy(&self, bytes: usize) -> SimDuration {
-        SimDuration::from_nanos(self.in_world_copy_per_byte.as_nanos().saturating_mul(bytes as u64))
+        SimDuration::from_nanos(
+            self.in_world_copy_per_byte
+                .as_nanos()
+                .saturating_mul(bytes as u64),
+        )
     }
 
     /// Cost of executing `flops` floating-point-equivalent operations in the

@@ -63,7 +63,10 @@ impl fmt::Display for TzError {
                 world,
                 if *write { "write" } else { "read" }
             ),
-            TzError::SecureRamExhausted { requested, available } => write!(
+            TzError::SecureRamExhausted {
+                requested,
+                available,
+            } => write!(
                 f,
                 "secure RAM exhausted: requested {requested} bytes, {available} available"
             ),
@@ -73,7 +76,10 @@ impl fmt::Display for TzError {
                 write!(f, "no SMC handler registered for function {function_id:#x}")
             }
             TzError::WrongWorld { actual, required } => {
-                write!(f, "operation requires {required} world but was issued from {actual} world")
+                write!(
+                    f,
+                    "operation requires {required} world but was issued from {actual} world"
+                )
             }
         }
     }
@@ -87,16 +93,25 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_informative() {
-        let e = TzError::PermissionFault { addr: 0x8000_0000, world: World::Normal, write: true };
+        let e = TzError::PermissionFault {
+            addr: 0x8000_0000,
+            world: World::Normal,
+            write: true,
+        };
         let msg = e.to_string();
         assert!(msg.contains("0x80000000"));
         assert!(msg.contains("write"));
         assert!(msg.starts_with(char::is_lowercase));
 
-        let e = TzError::SecureRamExhausted { requested: 4096, available: 128 };
+        let e = TzError::SecureRamExhausted {
+            requested: 4096,
+            available: 128,
+        };
         assert!(e.to_string().contains("4096"));
 
-        let e = TzError::UnknownSmcFunction { function_id: 0x3200_0007 };
+        let e = TzError::UnknownSmcFunction {
+            function_id: 0x3200_0007,
+        };
         assert!(e.to_string().contains("0x32000007"));
     }
 

@@ -224,7 +224,11 @@ mod tests {
     use crate::time::SimDuration;
 
     fn monitor() -> SecureMonitor {
-        SecureMonitor::new(SimClock::new(), CostModel::jetson_agx_xavier(), TzStats::new())
+        SecureMonitor::new(
+            SimClock::new(),
+            CostModel::jetson_agx_xavier(),
+            TzStats::new(),
+        )
     }
 
     #[test]
@@ -241,14 +245,16 @@ mod tests {
         );
         let before = m.clock().now();
         let res = m
-            .smc(SmcCall::with_args(smc_func::GET_REVISION, [1, 0, 0, 0, 0, 0]))
+            .smc(SmcCall::with_args(
+                smc_func::GET_REVISION,
+                [1, 0, 0, 0, 0, 0],
+            ))
             .unwrap();
         assert_eq!(res.regs[0], 42);
         assert_eq!(m.stats().smc_calls(), 1);
         assert_eq!(m.stats().world_switches(), 2);
         // Time advanced by at least smc + 2 * world switch.
-        let expected =
-            m.cost().smc_round_trip + m.cost().world_switch + m.cost().world_switch;
+        let expected = m.cost().smc_round_trip + m.cost().world_switch + m.cost().world_switch;
         assert!(m.clock().elapsed_since(before) >= expected);
         // We returned to the normal world.
         assert_eq!(m.current_world(), World::Normal);
@@ -259,7 +265,9 @@ mod tests {
         let m = monitor();
         assert!(matches!(
             m.smc(SmcCall::new(0xdead_beef)),
-            Err(TzError::UnknownSmcFunction { function_id: 0xdead_beef })
+            Err(TzError::UnknownSmcFunction {
+                function_id: 0xdead_beef
+            })
         ));
         // No accounting happened for the rejected call.
         assert_eq!(m.stats().smc_calls(), 0);
@@ -268,7 +276,10 @@ mod tests {
     #[test]
     fn smc_from_secure_world_is_rejected() {
         let m = monitor();
-        m.register_handler(smc_func::GET_REVISION, Arc::new(|_: &SmcCall| SmcResult::default()));
+        m.register_handler(
+            smc_func::GET_REVISION,
+            Arc::new(|_: &SmcCall| SmcResult::default()),
+        );
         m.world_switch(World::Secure);
         assert!(matches!(
             m.smc(SmcCall::new(smc_func::GET_REVISION)),

@@ -177,14 +177,22 @@ impl Platform {
         let dram_end = spec.dram_base + dram_bytes;
         let secure_bytes = spec.secure_ram_bytes() as u64;
         let secure_end = spec.secure_base + secure_bytes;
-        let low_dram = spec.secure_base.saturating_sub(spec.dram_base).min(dram_bytes);
+        let low_dram = spec
+            .secure_base
+            .saturating_sub(spec.dram_base)
+            .min(dram_bytes);
         if low_dram > 0 {
             tzasc
                 .add_region(spec.dram_base, low_dram, SecurityAttr::NonSecure, "dram")
                 .expect("default DRAM region is valid");
         }
         tzasc
-            .add_region(spec.secure_base, secure_bytes, SecurityAttr::Secure, "tzdram")
+            .add_region(
+                spec.secure_base,
+                secure_bytes,
+                SecurityAttr::Secure,
+                "tzdram",
+            )
             .expect("default secure region is valid");
         if dram_end > secure_end {
             tzasc
@@ -197,7 +205,11 @@ impl Platform {
                 .expect("default high DRAM region is valid");
         }
         let secure_ram = SecureRam::new(spec.secure_base, spec.secure_ram_bytes(), stats.clone());
-        let monitor = Arc::new(SecureMonitor::new(clock.clone(), cost.clone(), stats.clone()));
+        let monitor = Arc::new(SecureMonitor::new(
+            clock.clone(),
+            cost.clone(),
+            stats.clone(),
+        ));
         let energy = EnergyMeter::new(power, clock.now());
         Platform {
             spec,
@@ -318,8 +330,12 @@ mod tests {
     fn normal_world_cannot_access_secure_carveout() {
         let p = Platform::jetson_agx_xavier();
         let secure_addr = p.spec().secure_base + 0x100;
-        assert!(p.check_access(secure_addr, 64, World::Normal, false).is_err());
-        assert!(p.check_access(secure_addr, 64, World::Secure, false).is_ok());
+        assert!(p
+            .check_access(secure_addr, 64, World::Normal, false)
+            .is_err());
+        assert!(p
+            .check_access(secure_addr, 64, World::Secure, false)
+            .is_ok());
         assert!(p
             .check_access(p.spec().dram_base + 0x1000, 64, World::Normal, true)
             .is_ok());

@@ -94,33 +94,141 @@ impl PowerModel {
     /// world is busy more of the time.
     pub fn jetson_agx_xavier() -> Self {
         let mut draws = BTreeMap::new();
-        draws.insert(Component::Baseline, Draw { idle_mw: 2_500.0, active_mw: 2_500.0 });
-        draws.insert(Component::CpuNormalWorld, Draw { idle_mw: 350.0, active_mw: 4_500.0 });
+        draws.insert(
+            Component::Baseline,
+            Draw {
+                idle_mw: 2_500.0,
+                active_mw: 2_500.0,
+            },
+        );
+        draws.insert(
+            Component::CpuNormalWorld,
+            Draw {
+                idle_mw: 350.0,
+                active_mw: 4_500.0,
+            },
+        );
         // The secure partition runs at the same DVFS point but without the
         // shared-cache benefits, so active draw per unit of useful work is
         // slightly higher.
-        draws.insert(Component::CpuSecureWorld, Draw { idle_mw: 50.0, active_mw: 5_000.0 });
-        draws.insert(Component::Dram, Draw { idle_mw: 600.0, active_mw: 1_800.0 });
-        draws.insert(Component::I2sController, Draw { idle_mw: 5.0, active_mw: 35.0 });
-        draws.insert(Component::Microphone, Draw { idle_mw: 0.5, active_mw: 3.5 });
-        draws.insert(Component::Camera, Draw { idle_mw: 10.0, active_mw: 950.0 });
-        draws.insert(Component::DmaEngine, Draw { idle_mw: 2.0, active_mw: 120.0 });
-        draws.insert(Component::Network, Draw { idle_mw: 90.0, active_mw: 1_100.0 });
+        draws.insert(
+            Component::CpuSecureWorld,
+            Draw {
+                idle_mw: 50.0,
+                active_mw: 5_000.0,
+            },
+        );
+        draws.insert(
+            Component::Dram,
+            Draw {
+                idle_mw: 600.0,
+                active_mw: 1_800.0,
+            },
+        );
+        draws.insert(
+            Component::I2sController,
+            Draw {
+                idle_mw: 5.0,
+                active_mw: 35.0,
+            },
+        );
+        draws.insert(
+            Component::Microphone,
+            Draw {
+                idle_mw: 0.5,
+                active_mw: 3.5,
+            },
+        );
+        draws.insert(
+            Component::Camera,
+            Draw {
+                idle_mw: 10.0,
+                active_mw: 950.0,
+            },
+        );
+        draws.insert(
+            Component::DmaEngine,
+            Draw {
+                idle_mw: 2.0,
+                active_mw: 120.0,
+            },
+        );
+        draws.insert(
+            Component::Network,
+            Draw {
+                idle_mw: 90.0,
+                active_mw: 1_100.0,
+            },
+        );
         PowerModel { draws }
     }
 
     /// Power model for a small battery-powered IoT node.
     pub fn constrained_mcu() -> Self {
         let mut draws = BTreeMap::new();
-        draws.insert(Component::Baseline, Draw { idle_mw: 30.0, active_mw: 30.0 });
-        draws.insert(Component::CpuNormalWorld, Draw { idle_mw: 4.0, active_mw: 180.0 });
-        draws.insert(Component::CpuSecureWorld, Draw { idle_mw: 1.0, active_mw: 210.0 });
-        draws.insert(Component::Dram, Draw { idle_mw: 8.0, active_mw: 45.0 });
-        draws.insert(Component::I2sController, Draw { idle_mw: 1.0, active_mw: 12.0 });
-        draws.insert(Component::Microphone, Draw { idle_mw: 0.3, active_mw: 2.0 });
-        draws.insert(Component::Camera, Draw { idle_mw: 2.0, active_mw: 300.0 });
-        draws.insert(Component::DmaEngine, Draw { idle_mw: 0.5, active_mw: 25.0 });
-        draws.insert(Component::Network, Draw { idle_mw: 15.0, active_mw: 400.0 });
+        draws.insert(
+            Component::Baseline,
+            Draw {
+                idle_mw: 30.0,
+                active_mw: 30.0,
+            },
+        );
+        draws.insert(
+            Component::CpuNormalWorld,
+            Draw {
+                idle_mw: 4.0,
+                active_mw: 180.0,
+            },
+        );
+        draws.insert(
+            Component::CpuSecureWorld,
+            Draw {
+                idle_mw: 1.0,
+                active_mw: 210.0,
+            },
+        );
+        draws.insert(
+            Component::Dram,
+            Draw {
+                idle_mw: 8.0,
+                active_mw: 45.0,
+            },
+        );
+        draws.insert(
+            Component::I2sController,
+            Draw {
+                idle_mw: 1.0,
+                active_mw: 12.0,
+            },
+        );
+        draws.insert(
+            Component::Microphone,
+            Draw {
+                idle_mw: 0.3,
+                active_mw: 2.0,
+            },
+        );
+        draws.insert(
+            Component::Camera,
+            Draw {
+                idle_mw: 2.0,
+                active_mw: 300.0,
+            },
+        );
+        draws.insert(
+            Component::DmaEngine,
+            Draw {
+                idle_mw: 0.5,
+                active_mw: 25.0,
+            },
+        );
+        draws.insert(
+            Component::Network,
+            Draw {
+                idle_mw: 15.0,
+                active_mw: 400.0,
+            },
+        );
         PowerModel { draws }
     }
 
@@ -129,10 +237,10 @@ impl PowerModel {
     /// Unknown components (possible because the enum is non-exhaustive)
     /// report zero draw.
     pub fn draw(&self, component: Component) -> Draw {
-        self.draws
-            .get(&component)
-            .copied()
-            .unwrap_or(Draw { idle_mw: 0.0, active_mw: 0.0 })
+        self.draws.get(&component).copied().unwrap_or(Draw {
+            idle_mw: 0.0,
+            active_mw: 0.0,
+        })
     }
 
     /// Overrides the draw of one component (used in ablations).
@@ -196,19 +304,20 @@ impl EnergyMeter {
         let mut total_mj = 0.0;
         for &component in Component::ALL.iter() {
             let draw = self.model.draw(component);
-            let busy = inner.busy.get(&component).copied().unwrap_or(SimDuration::ZERO);
+            let busy = inner
+                .busy
+                .get(&component)
+                .copied()
+                .unwrap_or(SimDuration::ZERO);
             // Busy time cannot exceed the window in a well-formed run, but a
             // component may legitimately be busy on overlapping operations;
             // clamp so idle time never goes negative.
             let busy_clamped = busy.min(window);
             let idle = window - busy_clamped;
-            let energy_mj = draw.active_mw * busy_clamped.as_secs_f64()
-                + draw.idle_mw * idle.as_secs_f64();
+            let energy_mj =
+                draw.active_mw * busy_clamped.as_secs_f64() + draw.idle_mw * idle.as_secs_f64();
             total_mj += energy_mj;
-            per_component.insert(component, ComponentEnergy {
-                busy,
-                energy_mj,
-            });
+            per_component.insert(component, ComponentEnergy { busy, energy_mj });
         }
         EnergyReport {
             window,
@@ -287,7 +396,10 @@ mod tests {
         let idle = idle_meter.report_until(end);
         let busy = busy_meter.report_until(end);
         assert!(busy.total_mj > idle.total_mj);
-        assert!(busy.component_mj(Component::CpuSecureWorld) > idle.component_mj(Component::CpuSecureWorld));
+        assert!(
+            busy.component_mj(Component::CpuSecureWorld)
+                > idle.component_mj(Component::CpuSecureWorld)
+        );
     }
 
     #[test]
@@ -320,7 +432,13 @@ mod tests {
     #[test]
     fn set_draw_overrides_component() {
         let mut model = PowerModel::default();
-        model.set_draw(Component::Camera, Draw { idle_mw: 0.0, active_mw: 1.0 });
+        model.set_draw(
+            Component::Camera,
+            Draw {
+                idle_mw: 0.0,
+                active_mw: 1.0,
+            },
+        );
         assert_eq!(model.draw(Component::Camera).active_mw, 1.0);
     }
 }

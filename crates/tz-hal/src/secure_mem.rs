@@ -82,7 +82,7 @@ impl SecureRamInner {
 }
 
 fn round_up(v: usize, align: usize) -> usize {
-    (v + align - 1) / align * align
+    v.div_ceil(align) * align
 }
 
 /// The secure-RAM carve-out allocator.
@@ -329,7 +329,7 @@ mod tests {
         // After everything is freed a single 8 KiB allocation must succeed
         // again, which requires the free blocks to have been merged.
         let big = ram.alloc(8 * 1024 - DEFAULT_ALIGN).unwrap();
-        assert!(big.len() > 0);
+        assert!(!big.is_empty());
     }
 
     #[test]

@@ -72,12 +72,16 @@ impl TzStats {
 
     /// Records a copy of `bytes` into the secure world.
     pub fn record_copy_to_secure(&self, bytes: u64) {
-        self.inner.bytes_to_secure.fetch_add(bytes, Ordering::Relaxed);
+        self.inner
+            .bytes_to_secure
+            .fetch_add(bytes, Ordering::Relaxed);
     }
 
     /// Records a copy of `bytes` into the normal world.
     pub fn record_copy_to_normal(&self, bytes: u64) {
-        self.inner.bytes_to_normal.fetch_add(bytes, Ordering::Relaxed);
+        self.inner
+            .bytes_to_normal
+            .fetch_add(bytes, Ordering::Relaxed);
     }
 
     /// Records one supplicant RPC round trip.

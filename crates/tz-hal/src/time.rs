@@ -16,7 +16,9 @@ use serde::{Deserialize, Serialize};
 /// `SimDuration` is a thin newtype over a nanosecond count; it exists so
 /// that durations cannot be confused with instants or raw cycle counts
 /// (C-NEWTYPE).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimDuration {
@@ -162,7 +164,9 @@ impl fmt::Display for SimDuration {
 
 /// A point on the virtual timeline, measured in nanoseconds since the
 /// platform was constructed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimInstant(u64);
 
 impl SimInstant {
@@ -279,14 +283,20 @@ mod tests {
         assert_eq!(SimDuration::from_micros(1), SimDuration::from_nanos(1_000));
         assert_eq!(SimDuration::from_millis(1), SimDuration::from_micros(1_000));
         assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1_000));
-        assert_eq!(SimDuration::from_secs_f64(0.5), SimDuration::from_millis(500));
+        assert_eq!(
+            SimDuration::from_secs_f64(0.5),
+            SimDuration::from_millis(500)
+        );
     }
 
     #[test]
     fn duration_from_secs_f64_clamps_bad_input() {
         assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
         assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
-        assert_eq!(SimDuration::from_secs_f64(f64::NEG_INFINITY), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_secs_f64(f64::NEG_INFINITY),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

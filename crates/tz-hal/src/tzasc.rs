@@ -104,13 +104,7 @@ impl Tzasc {
     ///
     /// Returns [`TzError::InvalidRegion`] if the region is zero-sized, wraps
     /// the address space, or overlaps an existing region.
-    pub fn add_region(
-        &self,
-        base: u64,
-        size: u64,
-        attr: SecurityAttr,
-        name: &str,
-    ) -> Result<()> {
+    pub fn add_region(&self, base: u64, size: u64, attr: SecurityAttr, name: &str) -> Result<()> {
         if size == 0 {
             return Err(TzError::InvalidRegion {
                 reason: format!("region '{name}' has zero size"),
@@ -203,7 +197,11 @@ impl Tzasc {
 
     /// Returns the region containing `addr`, if any.
     pub fn region_of(&self, addr: u64) -> Option<MemoryRegion> {
-        self.regions.read().iter().find(|r| r.contains(addr)).cloned()
+        self.regions
+            .read()
+            .iter()
+            .find(|r| r.contains(addr))
+            .cloned()
     }
 
     /// Returns all configured regions, ordered by base address.
@@ -228,8 +226,10 @@ mod tests {
 
     fn tzasc_with_default_map() -> Tzasc {
         let t = Tzasc::new(TzStats::new());
-        t.add_region(0x8000_0000, 0x1000_0000, SecurityAttr::NonSecure, "dram").unwrap();
-        t.add_region(0xF000_0000, 0x0100_0000, SecurityAttr::Secure, "secure").unwrap();
+        t.add_region(0x8000_0000, 0x1000_0000, SecurityAttr::NonSecure, "dram")
+            .unwrap();
+        t.add_region(0xF000_0000, 0x0100_0000, SecurityAttr::Secure, "secure")
+            .unwrap();
         t
     }
 
@@ -262,7 +262,9 @@ mod tests {
     fn normal_world_cannot_touch_secure_memory() {
         let t = tzasc_with_default_map();
         assert!(t.check_access(0xF000_0010, World::Secure, true).is_ok());
-        let err = t.check_access(0xF000_0010, World::Normal, false).unwrap_err();
+        let err = t
+            .check_access(0xF000_0010, World::Normal, false)
+            .unwrap_err();
         assert!(matches!(err, TzError::PermissionFault { .. }));
         // the fault was recorded
         assert_eq!(t.stats.permission_faults(), 1);
@@ -288,8 +290,12 @@ mod tests {
     fn range_check_covers_both_ends() {
         let t = tzasc_with_default_map();
         // Range starting in DRAM but ending beyond it is rejected.
-        assert!(t.check_range(0x8FFF_FFF0, 0x40, World::Normal, false).is_err());
-        assert!(t.check_range(0x8000_0000, 0x1000, World::Normal, false).is_ok());
+        assert!(t
+            .check_range(0x8FFF_FFF0, 0x40, World::Normal, false)
+            .is_err());
+        assert!(t
+            .check_range(0x8000_0000, 0x1000, World::Normal, false)
+            .is_ok());
         assert!(t.check_range(0x8000_0000, 0, World::Normal, false).is_ok());
     }
 
@@ -298,7 +304,9 @@ mod tests {
         let t = tzasc_with_default_map();
         t.set_region_attr("dram", SecurityAttr::Secure).unwrap();
         assert!(t.check_access(0x8000_0010, World::Normal, false).is_err());
-        assert!(t.set_region_attr("nonexistent", SecurityAttr::Secure).is_err());
+        assert!(t
+            .set_region_attr("nonexistent", SecurityAttr::Secure)
+            .is_err());
     }
 
     #[test]

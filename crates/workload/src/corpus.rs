@@ -105,7 +105,13 @@ impl CorpusGenerator {
         }
         let words = tokens
             .iter()
-            .map(|&t| self.vocabulary.word(t).expect("token in range").text.clone())
+            .map(|&t| {
+                self.vocabulary
+                    .word(t)
+                    .expect("token in range")
+                    .text
+                    .clone()
+            })
             .collect();
         Utterance {
             words,
@@ -121,7 +127,11 @@ impl CorpusGenerator {
     }
 
     /// Generates a train/test split for classifier experiments.
-    pub fn train_test_split(&mut self, train: usize, test: usize) -> (Vec<Utterance>, Vec<Utterance>) {
+    pub fn train_test_split(
+        &mut self,
+        train: usize,
+        test: usize,
+    ) -> (Vec<Utterance>, Vec<Utterance>) {
         (self.generate(train), self.generate(test))
     }
 }
@@ -163,7 +173,10 @@ mod tests {
             assert_eq!(u.tokens.len(), u.words.len());
         }
         let sensitive = utterances.iter().filter(|u| u.sensitive).count();
-        assert!((60..=140).contains(&sensitive), "sensitive count {sensitive}");
+        assert!(
+            (60..=140).contains(&sensitive),
+            "sensitive count {sensitive}"
+        );
     }
 
     #[test]

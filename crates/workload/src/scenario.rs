@@ -76,6 +76,32 @@ impl Scenario {
         )
     }
 
+    /// Fan-out for a device fleet: `devices` scenarios of `n` utterances
+    /// each, with per-device corpora derived from `seed` so every device
+    /// replays distinct (but reproducible) traffic.
+    pub fn fleet(
+        devices: usize,
+        n: usize,
+        sensitive_fraction: f64,
+        spacing: SimDuration,
+        seed: u64,
+    ) -> Vec<Scenario> {
+        (0..devices)
+            .map(|device| {
+                let mut generator = CorpusGenerator::new(
+                    Vocabulary::smart_home(),
+                    sensitive_fraction,
+                    seed ^ (device as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                Scenario::from_utterances(
+                    format!("fleet-device-{device}"),
+                    generator.generate(n),
+                    spacing,
+                )
+            })
+            .collect()
+    }
+
     /// A command-heavy, privacy-light evening (10 % sensitive).
     pub fn home_automation_evening(n: usize) -> Self {
         let mut generator = CorpusGenerator::new(Vocabulary::smart_home(), 0.1, 0xEE11);
@@ -112,7 +138,10 @@ impl Scenario {
 
     /// Total scenario duration (time of the last event).
     pub fn duration(&self) -> SimDuration {
-        self.events.last().map(|e| e.at).unwrap_or(SimDuration::ZERO)
+        self.events
+            .last()
+            .map(|e| e.at)
+            .unwrap_or(SimDuration::ZERO)
     }
 }
 

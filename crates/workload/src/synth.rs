@@ -87,9 +87,12 @@ impl SpeechSynthesizer {
         let rate = self.config.sample_rate_hz as f64;
         let n = self.word_samples();
         // Two formant-like tones derived from the token id; co-prime moduli
-        // keep the (f1, f2) pairs distinct across the vocabulary.
-        let f1 = 280.0 + 160.0 * (token % 13) as f64;
-        let f2 = 1_150.0 + 260.0 * (token % 7) as f64;
+        // keep the (f1, f2) pairs distinct across the vocabulary. The
+        // frequencies are spaced *geometrically*: the STT's mel filterbank
+        // has log-frequency resolution, so linear spacing packs the upper
+        // signatures into one mel channel and neighbouring tokens collide.
+        let f1 = 280.0 * 1.17f64.powi((token % 13) as i32);
+        let f2 = 1_150.0 * 1.14f64.powi((token % 7) as i32);
         let f3 = 2_600.0 + 90.0 * (token % 5) as f64;
         (0..n)
             .map(|i| {
@@ -107,10 +110,10 @@ impl SpeechSynthesizer {
     /// and trailing silences included).
     pub fn render_tokens(&self, tokens: &[usize]) -> AudioBuffer {
         let mut samples = Vec::new();
-        samples.extend(std::iter::repeat(0i16).take(self.gap_samples()));
+        samples.extend(std::iter::repeat_n(0i16, self.gap_samples()));
         for &token in tokens {
             samples.extend(self.render_word(token));
-            samples.extend(std::iter::repeat(0i16).take(self.gap_samples()));
+            samples.extend(std::iter::repeat_n(0i16, self.gap_samples()));
         }
         AudioBuffer::new(self.format(), samples)
     }

@@ -86,25 +86,66 @@ impl Vocabulary {
             }
         };
         add(
-            &["doctor", "insulin", "migraine", "therapy", "prescription", "asthma", "allergy", "depression"],
+            &[
+                "doctor",
+                "insulin",
+                "migraine",
+                "therapy",
+                "prescription",
+                "asthma",
+                "allergy",
+                "depression",
+            ],
             WordCategory::Health,
         );
         add(
-            &["bank", "transfer", "salary", "mortgage", "overdraft", "dollars", "invoice", "savings"],
+            &[
+                "bank",
+                "transfer",
+                "salary",
+                "mortgage",
+                "overdraft",
+                "dollars",
+                "invoice",
+                "savings",
+            ],
             WordCategory::Finance,
         );
         add(
-            &["password", "pincode", "passcode", "keycode", "secret", "unlock"],
+            &[
+                "password", "pincode", "passcode", "keycode", "secret", "unlock",
+            ],
             WordCategory::Credentials,
         );
         add(
-            &["vacation", "alone", "nobody", "travelling", "tonight", "returning"],
+            &[
+                "vacation",
+                "alone",
+                "nobody",
+                "travelling",
+                "tonight",
+                "returning",
+            ],
             WordCategory::Presence,
         );
         add(
             &[
-                "lights", "thermostat", "music", "volume", "alarm", "timer", "kitchen", "bedroom",
-                "play", "stop", "warmer", "cooler", "open", "close", "start", "pause",
+                "lights",
+                "thermostat",
+                "music",
+                "volume",
+                "alarm",
+                "timer",
+                "kitchen",
+                "bedroom",
+                "play",
+                "stop",
+                "warmer",
+                "cooler",
+                "open",
+                "close",
+                "start",
+                "pause",
             ],
             WordCategory::Command,
         );

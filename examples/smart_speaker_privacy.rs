@@ -18,7 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         scenario.len(),
         scenario.sensitive_count()
     );
-    println!("{:<34} {:>14} {:>10} {:>16}", "pipeline / policy", "reached cloud", "leaked", "mean latency");
+    println!(
+        "{:<34} {:>14} {:>10} {:>16}",
+        "pipeline / policy", "reached cloud", "leaked", "mean latency"
+    );
 
     let mut baseline = BaselinePipeline::new(PipelineConfig::default())?;
     let report = baseline.run_scenario(&scenario)?;
@@ -31,9 +34,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     for (label, policy) in [
-        ("perisec / block-sensitive", PrivacyPolicy::block_sensitive()),
-        ("perisec / redact-sensitive", PrivacyPolicy::redact_sensitive()),
-        ("perisec / allow-all (ablation)", PrivacyPolicy { mode: FilterMode::AllowAll, threshold: 0.5 }),
+        (
+            "perisec / block-sensitive",
+            PrivacyPolicy::block_sensitive(),
+        ),
+        (
+            "perisec / redact-sensitive",
+            PrivacyPolicy::redact_sensitive(),
+        ),
+        (
+            "perisec / allow-all (ablation)",
+            PrivacyPolicy {
+                mode: FilterMode::AllowAll,
+                threshold: 0.5,
+                lexical_guard: false,
+            },
+        ),
     ] {
         let mut secure = SecurePipeline::new(PipelineConfig {
             policy,

@@ -15,7 +15,7 @@ use perisec::kernel::pcm::PcmHwParams;
 use perisec::kernel::trace::FunctionTracer;
 use perisec::secure_driver::PORTED_FUNCTIONS;
 use perisec::tcb::analysis::TcbAnalysis;
-use perisec::tcb::prune::{PrunedImage, PruneStrategy};
+use perisec::tcb::prune::{PruneStrategy, PrunedImage};
 use perisec::tz::platform::Platform;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -61,7 +61,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let record = analysis.task("record").expect("record task was traced");
     let pruned = PrunedImage::build(
         &catalog,
-        &PruneStrategy::TracedFunctions { functions: record.functions.clone() },
+        &PruneStrategy::TracedFunctions {
+            functions: record.functions.clone(),
+        },
     );
     let full = PrunedImage::build(&catalog, &PruneStrategy::KeepAll);
     println!(

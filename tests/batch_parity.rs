@@ -1,0 +1,118 @@
+//! Batched-vs-unbatched parity and transition-amortization acceptance.
+//!
+//! The staged pipeline may batch N capture windows per TEE crossing; these
+//! tests pin down the contract: batching changes *cost*, never *outcome*.
+//!
+//! * identical cloud outcomes (same dialog ids received, same sensitive
+//!   leaks) for every batch size;
+//! * `TzStats::world_switches` strictly decreases as the batch grows;
+//! * at batch >= 8 the secure pipeline pays at least 4x fewer world
+//!   switches per utterance than at batch = 1.
+
+use perisec::core::fleet::{FleetConfig, PipelineFleet};
+use perisec::core::pipeline::{PipelineConfig, SecurePipeline, SharedModels};
+use perisec::core::policy::{FilterMode, PrivacyPolicy};
+use perisec::tz::time::SimDuration;
+use perisec::workload::scenario::Scenario;
+
+fn parity_config(batch_windows: usize) -> PipelineConfig {
+    PipelineConfig {
+        // Blocking policy with the lexical guard carrying recall; the
+        // high classifier threshold keeps precision up so neutral traffic
+        // actually flows (and therefore exercises the relay path).
+        policy: PrivacyPolicy {
+            mode: FilterMode::BlockSensitive,
+            threshold: 0.8,
+            lexical_guard: true,
+        },
+        train_utterances: 160,
+        batch_windows,
+        ..PipelineConfig::default()
+    }
+}
+
+#[test]
+fn batching_amortizes_world_switches_without_changing_privacy_outcomes() {
+    // One trained model set for every batch size, so outcomes can only
+    // differ through the batching itself.
+    let models = SharedModels::for_config(&parity_config(1)).expect("models train");
+    // A mixed scenario: mostly forwarded traffic with some sensitive
+    // utterances the filter must stop.
+    let scenario = Scenario::mixed(16, 0.25, SimDuration::from_secs(2), 0xBA7C4);
+    assert!(scenario.sensitive_count() > 0);
+
+    let mut switches_per_utterance = Vec::new();
+    let mut baseline_outcome = None;
+    for batch in [1usize, 2, 4, 8] {
+        let mut pipeline =
+            SecurePipeline::with_models(parity_config(batch), &models).expect("pipeline builds");
+        let report = pipeline.run_scenario(&scenario).expect("scenario runs");
+
+        // The privacy outcome is identical at every batch size: the same
+        // utterances reach the cloud and no sensitive utterance leaks.
+        assert_eq!(
+            report.cloud.leaked_sensitive_utterances(),
+            0,
+            "batch {batch} leaked sensitive content"
+        );
+        let outcome = (
+            report.cloud.report.received_dialog_ids(),
+            report.cloud.leaked_sensitive_utterances(),
+        );
+        match &baseline_outcome {
+            None => baseline_outcome = Some(outcome),
+            Some(expected) => assert_eq!(
+                &outcome, expected,
+                "cloud outcome diverged at batch {batch}"
+            ),
+        }
+
+        // Every utterance was processed and the TEE was really crossed.
+        assert_eq!(report.workload.utterances, scenario.len());
+        assert!(report.tz.smc_calls >= scenario.len().div_ceil(batch) as u64);
+        switches_per_utterance.push(report.tz.world_switches as f64 / scenario.len() as f64);
+    }
+
+    // World switches strictly decrease with the batch size...
+    for pair in switches_per_utterance.windows(2) {
+        assert!(
+            pair[1] < pair[0],
+            "world switches did not decrease: {switches_per_utterance:?}"
+        );
+    }
+    // ...and batch >= 8 is at least 4x cheaper than batch = 1.
+    let unbatched = switches_per_utterance[0];
+    let batched = *switches_per_utterance.last().expect("swept batches");
+    assert!(
+        unbatched >= 4.0 * batched,
+        "expected >= 4x fewer world switches per utterance at batch 8: \
+         batch1 = {unbatched:.2}, batch8 = {batched:.2}"
+    );
+}
+
+#[test]
+fn fleet_runs_eight_devices_off_one_model_set() {
+    let fleet = PipelineFleet::new(FleetConfig {
+        devices: 8,
+        pipeline: parity_config(8),
+    })
+    .expect("fleet trains once");
+    let scenarios = Scenario::fleet(8, 8, 0.25, SimDuration::from_secs(2), 0xF1EE7);
+    let report = fleet.run(&scenarios).expect("fleet runs");
+
+    assert_eq!(report.device_count(), 8);
+    assert_eq!(report.total_utterances(), 64);
+    assert!(report.total_sensitive_utterances() > 0);
+    assert_eq!(report.leaked_sensitive_utterances(), 0);
+    // Every device crossed its own TEE and reported energy and latency.
+    assert!(report.total_smc_calls() >= 8);
+    assert!(report.mean_end_to_end() > SimDuration::ZERO);
+    assert!(report.total_energy_mj() > 0.0);
+    // The batched fleet stays under 2 world switches per utterance — far
+    // below the ~6 an unbatched pipeline pays on forwarded traffic.
+    assert!(
+        report.world_switches_per_utterance() < 2.0,
+        "switches/utterance = {:.2}",
+        report.world_switches_per_utterance()
+    );
+}

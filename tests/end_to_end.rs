@@ -28,7 +28,10 @@ fn secure_pipeline_reduces_leakage_versus_baseline() {
         scenario.len(),
         "baseline must forward everything"
     );
-    assert_eq!(baseline_report.cloud.leaked_sensitive_utterances(), scenario.sensitive_count());
+    assert_eq!(
+        baseline_report.cloud.leaked_sensitive_utterances(),
+        scenario.sensitive_count()
+    );
 
     // The secure pipeline leaks strictly less sensitive content.
     assert!(
@@ -41,7 +44,12 @@ fn secure_pipeline_reduces_leakage_versus_baseline() {
     // ... but still forwards some non-sensitive utility traffic.
     assert!(secure_report.cloud.received_utterances() > 0);
     // Everything the secure pipeline sends is encrypted.
-    assert!(secure_report.cloud.report.events.iter().all(|e| e.encrypted));
+    assert!(secure_report
+        .cloud
+        .report
+        .events
+        .iter()
+        .all(|e| e.encrypted));
 }
 
 #[test]
@@ -78,7 +86,10 @@ fn all_three_architectures_run_end_to_end() {
         .unwrap();
         let report = pipeline.run_scenario(&scenario).unwrap();
         assert_eq!(report.workload.utterances, scenario.len());
-        assert!(report.latency.ml > SimDuration::ZERO, "{architecture} ran no ML");
+        assert!(
+            report.latency.ml > SimDuration::ZERO,
+            "{architecture} ran no ML"
+        );
         assert!(report.cloud.leakage_rate() <= 1.0);
     }
 }
@@ -93,7 +104,9 @@ fn policy_changes_apply_at_runtime() {
     })
     .unwrap();
     let open = pipeline.run_scenario(&scenario).unwrap();
-    pipeline.set_policy(PrivacyPolicy::block_sensitive()).unwrap();
+    pipeline
+        .set_policy(PrivacyPolicy::block_sensitive())
+        .unwrap();
     let closed = pipeline.run_scenario(&scenario).unwrap();
     assert!(closed.cloud.leaked_sensitive_utterances() <= open.cloud.leaked_sensitive_utterances());
     assert!(closed.cloud.received_utterances() <= open.cloud.received_utterances());
@@ -116,8 +129,14 @@ fn normal_world_cannot_read_the_secure_io_buffers() {
     driver
         .configure(160, perisec::devices::codec::AudioEncoding::PcmLe16)
         .unwrap();
-    let addr = driver.io_buffer_addr().expect("configured driver has buffers");
-    assert!(platform.check_access(addr, 320, World::Normal, false).is_err());
-    assert!(platform.check_access(addr, 320, World::Secure, false).is_ok());
+    let addr = driver
+        .io_buffer_addr()
+        .expect("configured driver has buffers");
+    assert!(platform
+        .check_access(addr, 320, World::Normal, false)
+        .is_err());
+    assert!(platform
+        .check_access(addr, 320, World::Secure, false)
+        .is_ok());
     assert!(platform.stats().permission_faults() >= 1);
 }
