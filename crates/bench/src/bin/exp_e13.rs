@@ -1,0 +1,5 @@
+//! Experiment E13 harness: secure vision pipeline (camera batch sweep +
+//! mixed audio/camera fleet + camera TCB).
+fn main() {
+    println!("{}", perisec_bench::run_e13_vision());
+}

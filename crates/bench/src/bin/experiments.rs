@@ -1,4 +1,4 @@
-//! Runs every experiment (E1–E12) and prints the tables recorded in
+//! Runs every experiment (E1–E13) and prints the tables recorded in
 //! EXPERIMENTS.md. Pass experiment ids (e.g. `e3 e8`) to run a subset.
 type Experiment = (&'static str, fn() -> String);
 
@@ -17,6 +17,7 @@ fn main() {
         ("e10", perisec_bench::run_e10_footprint),
         ("e11", perisec_bench::run_e11_batch_sweep),
         ("e12", perisec_bench::run_e12_fleet),
+        ("e13", perisec_bench::run_e13_vision),
     ];
     for (name, run) in all {
         if args.is_empty() || args.iter().any(|a| a == name) {

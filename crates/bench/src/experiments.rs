@@ -1,4 +1,5 @@
-//! The ten experiments of the evaluation (DESIGN.md §5).
+//! The experiments of the evaluation (E1–E10 from DESIGN.md §5, plus the
+//! batching/fleet/vision extensions E11–E13).
 
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
@@ -539,7 +540,11 @@ pub fn run_e10_footprint() -> String {
     }
     // Model footprints per architecture.
     for arch in Architecture::ALL {
-        let classifier = &train_models(arch, 40, 0xE10).expect("train").classifier;
+        let classifier = train_models(arch, 40, 0xE10)
+            .expect("train")
+            .audio()
+            .expect("audio models")
+            .classifier;
         let _ = writeln!(
             out,
             "| {arch} classifier weights (f32) | {} KiB |",
@@ -604,6 +609,7 @@ pub fn run_e12_fleet() -> String {
                     batch_windows: 8,
                     ..PipelineConfig::default()
                 },
+                ..FleetConfig::of(0)
             },
             models.clone(),
         );
@@ -624,6 +630,115 @@ pub fn run_e12_fleet() -> String {
     out
 }
 
+/// E13 — the vision pipeline: camera batch sweep (per-event TEE cost and
+/// privacy outcome as the batch grows), a mixed audio+camera fleet off one
+/// shared model set, and the camera path's TCB accounting.
+pub fn run_e13_vision() -> String {
+    use perisec_core::fleet::{FleetConfig, PipelineFleet};
+    use perisec_core::pipeline::{CameraPipelineConfig, SecureCameraPipeline};
+    use perisec_secure_driver::PORTED_CAMERA_FUNCTIONS;
+    use perisec_tcb::analysis::TaskTcb;
+    use perisec_workload::scenario::CameraScenario;
+
+    let mut out =
+        String::from("## E13 — secure vision pipeline (camera batch sweep + mixed fleet)\n\n");
+
+    // Part 1: batch sweep. Outcomes must be identical at every batch size
+    // and no pixel may reach the cloud.
+    out.push_str(
+        "| batch | SMCs/event | world switches/event | sensitive scenes | leaked | non-sensitive delivered | payload bytes at cloud |\n\
+         |---|---|---|---|---|---|---|\n",
+    );
+    let models = train_models(Architecture::Cnn, 60, 0xE13).expect("train");
+    let scenario = CameraScenario::mixed_scenes(16, 0.4, SimDuration::from_secs(2), 0xE13);
+    let events = scenario.len() as f64;
+    let neutral = scenario.len() - scenario.sensitive_count();
+    for batch in [1usize, 2, 4, 8] {
+        let mut pipeline = SecureCameraPipeline::with_models(
+            CameraPipelineConfig {
+                batch_windows: batch,
+                ..CameraPipelineConfig::default()
+            },
+            &models,
+        )
+        .expect("camera pipeline");
+        let report = pipeline.run_scenario(&scenario).expect("camera run");
+        let payload_bytes: usize = report
+            .cloud
+            .report
+            .events
+            .iter()
+            .map(|e| e.audio_bytes)
+            .sum();
+        let _ = writeln!(
+            out,
+            "| {batch} | {:.2} | {:.2} | {} | {} | {}/{} | {} |",
+            report.tz.smc_calls as f64 / events,
+            report.tz.world_switches as f64 / events,
+            scenario.sensitive_count(),
+            report.cloud.leaked_sensitive_utterances(),
+            report.cloud.received_utterances(),
+            neutral,
+            payload_bytes,
+        );
+    }
+
+    // Part 2: a mixed audio+camera fleet sharing one model set.
+    out.push_str("\n### Mixed audio+camera fleet (shared models)\n\n");
+    out.push_str(
+        "| audio devices | camera devices | utterances+scenes | leaked | switches/event | mean latency |\n\
+         |---|---|---|---|---|---|\n",
+    );
+    for (audio_devices, camera_devices) in [(2usize, 2usize), (4, 4)] {
+        let fleet = PipelineFleet::with_models(
+            FleetConfig {
+                devices: audio_devices,
+                pipeline: PipelineConfig {
+                    batch_windows: 8,
+                    ..PipelineConfig::default()
+                },
+                camera_devices,
+                camera_pipeline: CameraPipelineConfig {
+                    batch_windows: 8,
+                    ..CameraPipelineConfig::default()
+                },
+            },
+            models.clone(),
+        );
+        let audio = Scenario::fleet(audio_devices, 8, 0.25, SimDuration::from_secs(2), 0xE13);
+        let cameras = CameraScenario::fleet_cameras(
+            camera_devices,
+            8,
+            0.25,
+            SimDuration::from_secs(2),
+            0xE13,
+        );
+        let report = fleet.run_mixed(&audio, &cameras).expect("mixed fleet run");
+        let _ = writeln!(
+            out,
+            "| {audio_devices} | {camera_devices} | {} | {} | {:.2} | {} |",
+            report.total_utterances(),
+            report.leaked_sensitive_utterances(),
+            report.world_switches_per_utterance(),
+            report.mean_end_to_end(),
+        );
+    }
+
+    // Part 3: camera-path TCB accounting, mirroring E1's audio numbers.
+    let camera_catalog = DriverCatalog::tegra_camera_stack();
+    let camera_task =
+        TaskTcb::from_ported(&camera_catalog, "record-frames", PORTED_CAMERA_FUNCTIONS);
+    let _ = writeln!(
+        out,
+        "\nCamera TCB: the ported frame-capture set is {} functions / {} loc of the {}-loc camera stack ({:.1}% — ISP and media controller stay untrusted).",
+        camera_task.functions.len(),
+        camera_task.loc,
+        camera_catalog.total_loc(),
+        100.0 * camera_task.loc_fraction(camera_catalog.total_loc()),
+    );
+    out
+}
+
 /// Runs every experiment and concatenates the tables (used by the
 /// `experiments` binary and by EXPERIMENTS.md generation).
 pub fn run_all() -> String {
@@ -640,6 +755,7 @@ pub fn run_all() -> String {
         run_e10_footprint(),
         run_e11_batch_sweep(),
         run_e12_fleet(),
+        run_e13_vision(),
     ]
     .join("\n")
 }

@@ -1,0 +1,123 @@
+//! The TA-side cloud channel, shared by the audio filter TA and the
+//! vision TA.
+//!
+//! Both TAs relay permitted content to the cloud the same way: a PSK
+//! handshake over a supplicant socket, then sealed records with exactly
+//! one send/recv round trip per event (whether the event is a single
+//! utterance or a whole batch). Keeping that logic in one place means the
+//! two TAs cannot drift apart.
+
+use perisec_optee::{TaEnv, TeeError, TeeParam, TeeParams, TeeResult};
+use perisec_relay::avs::{AvsDirective, AvsEvent};
+use perisec_relay::tls::{seal_flops, SecureChannelClient, PSK_LEN};
+
+use crate::filter_ta::encode_batch_verdicts;
+use crate::policy::FilterDecision;
+
+/// A lazily-established secure channel from a TA to the cloud host.
+pub(crate) struct TaCloudChannel {
+    cloud_host: String,
+    psk: [u8; PSK_LEN],
+    channel: Option<(u64, SecureChannelClient)>,
+}
+
+impl TaCloudChannel {
+    /// Creates the (not yet connected) channel.
+    pub(crate) fn new(cloud_host: impl Into<String>, psk: [u8; PSK_LEN]) -> Self {
+        TaCloudChannel {
+            cloud_host: cloud_host.into(),
+            psk,
+            channel: None,
+        }
+    }
+
+    fn ensure(&mut self, env: &TaEnv<'_>) -> TeeResult<()> {
+        if self.channel.is_some() {
+            return Ok(());
+        }
+        let socket = env.net_connect(&self.cloud_host, 443)?;
+        let mut client = SecureChannelClient::new(self.psk, socket);
+        env.net_send(socket, &client.client_hello())?;
+        let server_hello = env.net_recv(socket, 4096)?;
+        client
+            .process_server_hello(&server_hello)
+            .map_err(|e| TeeError::Communication {
+                reason: e.to_string(),
+            })?;
+        self.channel = Some((socket, client));
+        Ok(())
+    }
+
+    /// Seals one event, ships it through the supplicant and decodes the
+    /// cloud's directive — exactly one send/recv supplicant round trip,
+    /// whether the event is a single utterance or a whole batch.
+    pub(crate) fn send_event(&mut self, env: &TaEnv<'_>, event: &AvsEvent) -> TeeResult<()> {
+        self.ensure(env)?;
+        let (socket, channel) = self.channel.as_mut().expect("channel just ensured");
+        let encoded = event.encode();
+        env.charge_compute(seal_flops(encoded.len()));
+        let record = channel
+            .seal(&encoded)
+            .map_err(|e| TeeError::Communication {
+                reason: e.to_string(),
+            })?;
+        env.net_send(*socket, &record)?;
+        let reply = env.net_recv(*socket, 4096)?;
+        if !reply.is_empty() {
+            let plaintext = channel.open(&reply).map_err(|e| TeeError::Communication {
+                reason: e.to_string(),
+            })?;
+            let _directive =
+                AvsDirective::decode(&plaintext).map_err(|e| TeeError::Communication {
+                    reason: e.to_string(),
+                })?;
+        }
+        Ok(())
+    }
+
+    /// Closes the supplicant socket, if a channel was ever established.
+    pub(crate) fn close(&mut self, env: &TaEnv<'_>) {
+        if let Some((socket, _)) = self.channel.take() {
+            let _ = env.net_close(socket);
+        }
+    }
+}
+
+/// The shared tail of both TAs' `PROCESS_BATCH`: relays every permitted
+/// event of the batch in **one** sealed record (one supplicant send/recv
+/// round trip), then packs the reply contract `SecureFilterStage` decodes
+/// — verdicts in slot 1, `(wire_ns, capture_cpu_ns)` in slot 2,
+/// `(ml_ns, relay_ns)` in slot 3. Keeping this in one place means the
+/// audio and vision TAs cannot drift apart on the wire contract.
+pub(crate) fn relay_batch_and_pack(
+    channel: &mut TaCloudChannel,
+    env: &TaEnv<'_>,
+    outbound: Vec<AvsEvent>,
+    verdicts: &[(FilterDecision, u16)],
+    capture: (u64, u64),
+    ml_ns_total: u64,
+    params: &mut TeeParams,
+) -> TeeResult<()> {
+    let relay_start = env.platform().clock().now();
+    if !outbound.is_empty() {
+        channel.send_event(env, &AvsEvent::Batch(outbound))?;
+    }
+    let relay_ns = env.platform().clock().elapsed_since(relay_start).as_nanos();
+
+    params.set(1, TeeParam::MemRefOutput(encode_batch_verdicts(verdicts)));
+    params.set(
+        2,
+        TeeParam::ValueOutput {
+            a: capture.0,
+            b: capture.1,
+        },
+    );
+    params.set(
+        3,
+        TeeParam::ValueOutput {
+            a: ml_ns_total,
+            b: relay_ns,
+        },
+    );
+    Ok(())
+}

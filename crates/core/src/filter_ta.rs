@@ -18,14 +18,15 @@ use perisec_ml::stt::KeywordStt;
 use perisec_optee::{
     TaDescriptor, TaEnv, TaUuid, TeeError, TeeParam, TeeParams, TeeResult, TrustedApp,
 };
-use perisec_relay::avs::{AvsDirective, AvsEvent};
+use perisec_relay::avs::AvsEvent;
 use perisec_relay::cloud::MockCloudService;
-use perisec_relay::tls::{seal_flops, SecureChannelClient, PSK_LEN};
+use perisec_relay::tls::PSK_LEN;
 use perisec_tz::time::SimDuration;
 use perisec_workload::vocab::Vocabulary;
 
 use serde::{Deserialize, Serialize};
 
+use crate::cloud_channel::TaCloudChannel;
 use crate::policy::{FilterDecision, PrivacyPolicy};
 
 /// Registered name of the filter TA (its UUID derives from this).
@@ -152,9 +153,7 @@ pub struct FilterTa {
     classifier: Arc<SensitiveClassifier>,
     vocabulary: Vocabulary,
     policy: PrivacyPolicy,
-    cloud_host: String,
-    psk: [u8; PSK_LEN],
-    channel: Option<(u64, SecureChannelClient)>,
+    channel: TaCloudChannel,
     stats: FilterStats,
     encoding: AudioEncoding,
 }
@@ -192,9 +191,7 @@ impl FilterTa {
             classifier,
             vocabulary,
             policy,
-            cloud_host: cloud_host.into(),
-            psk,
-            channel: None,
+            channel: TaCloudChannel::new(cloud_host, psk),
             stats: FilterStats::default(),
             encoding,
         }
@@ -203,50 +200,6 @@ impl FilterTa {
     /// Cumulative statistics.
     pub fn stats(&self) -> FilterStats {
         self.stats
-    }
-
-    fn ensure_channel(&mut self, env: &TaEnv<'_>) -> TeeResult<()> {
-        if self.channel.is_some() {
-            return Ok(());
-        }
-        let socket = env.net_connect(&self.cloud_host, 443)?;
-        let mut client = SecureChannelClient::new(self.psk, socket);
-        env.net_send(socket, &client.client_hello())?;
-        let server_hello = env.net_recv(socket, 4096)?;
-        client
-            .process_server_hello(&server_hello)
-            .map_err(|e| TeeError::Communication {
-                reason: e.to_string(),
-            })?;
-        self.channel = Some((socket, client));
-        Ok(())
-    }
-
-    /// Seals one event, ships it through the supplicant and decodes the
-    /// cloud's directive — exactly one send/recv supplicant round trip,
-    /// whether the event is a single utterance or a whole batch.
-    fn send_event(&mut self, env: &TaEnv<'_>, event: &AvsEvent) -> TeeResult<()> {
-        self.ensure_channel(env)?;
-        let (socket, channel) = self.channel.as_mut().expect("channel just ensured");
-        let encoded = event.encode();
-        env.charge_compute(seal_flops(encoded.len()));
-        let record = channel
-            .seal(&encoded)
-            .map_err(|e| TeeError::Communication {
-                reason: e.to_string(),
-            })?;
-        env.net_send(*socket, &record)?;
-        let reply = env.net_recv(*socket, 4096)?;
-        if !reply.is_empty() {
-            let plaintext = channel.open(&reply).map_err(|e| TeeError::Communication {
-                reason: e.to_string(),
-            })?;
-            let _directive =
-                AvsDirective::decode(&plaintext).map_err(|e| TeeError::Communication {
-                    reason: e.to_string(),
-                })?;
-        }
-        Ok(())
     }
 
     /// Runs the in-TA ML stage over one window of encoded audio, charging
@@ -435,30 +388,17 @@ impl FilterTa {
             }
         }
 
-        // 3. One relay round trip for the whole batch.
-        let relay_start = env.platform().clock().now();
-        if !outbound.is_empty() {
-            self.send_event(env, &AvsEvent::Batch(outbound))?;
-        }
-        let relay_ns = env.platform().clock().elapsed_since(relay_start).as_nanos();
-
-        // 4. Report verdicts and timing — never transcripts or audio.
-        params.set(1, TeeParam::MemRefOutput(encode_batch_verdicts(&verdicts)));
-        params.set(
-            2,
-            TeeParam::ValueOutput {
-                a: wire_ns,
-                b: capture_cpu_ns,
-            },
-        );
-        params.set(
-            3,
-            TeeParam::ValueOutput {
-                a: ml_ns_total,
-                b: relay_ns,
-            },
-        );
-        Ok(())
+        // 3. One relay round trip for the whole batch, then the reply
+        //    contract — never transcripts or audio.
+        crate::cloud_channel::relay_batch_and_pack(
+            &mut self.channel,
+            env,
+            outbound,
+            &verdicts,
+            (wire_ns, capture_cpu_ns),
+            ml_ns_total,
+            params,
+        )
     }
 }
 
@@ -538,9 +478,7 @@ impl TrustedApp for FilterTa {
     }
 
     fn close_session(&mut self, env: &mut TaEnv<'_>) {
-        if let Some((socket, _)) = self.channel.take() {
-            let _ = env.net_close(socket);
-        }
+        self.channel.close(env);
     }
 }
 

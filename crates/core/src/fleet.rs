@@ -8,37 +8,68 @@
 //! roughly N times faster than N independently-built pipelines, and the
 //! secure model weights exist once in (simulated) memory.
 //!
+//! Fleets may be single-modality ([`PipelineFleet::run`]) or mixed
+//! ([`PipelineFleet::run_mixed`]): audio devices and camera devices run
+//! side by side off the same shared model set, since [`SharedModels`]
+//! carries both the speech models and the frame classifier.
+//!
 //! Per-device [`PipelineReport`]s are merged into a [`FleetReport`] with
 //! fleet-wide privacy, latency and transition aggregates.
 
 use std::thread;
 
 use perisec_tz::time::SimDuration;
-use perisec_workload::scenario::Scenario;
+use perisec_workload::scenario::{CameraScenario, Scenario};
 
 use serde::{Deserialize, Serialize};
 
-use crate::pipeline::{PipelineConfig, SecurePipeline, SharedModels};
+use crate::pipeline::{
+    CameraPipelineConfig, PipelineConfig, SecureCameraPipeline, SecurePipeline, SharedModels,
+};
 use crate::report::PipelineReport;
 use crate::{CoreError, Result};
 
-/// Fleet configuration: how many devices, and how each is built.
+/// Fleet configuration: how many devices of each modality, and how each is
+/// built.
 #[derive(Debug, Clone)]
 pub struct FleetConfig {
-    /// Number of concurrent device pipelines.
+    /// Number of concurrent audio device pipelines.
     pub devices: usize,
-    /// Configuration applied to every device pipeline (including its
-    /// batch size).
+    /// Configuration applied to every audio device pipeline (including
+    /// its batch size).
     pub pipeline: PipelineConfig,
+    /// Number of concurrent camera device pipelines (zero for an
+    /// audio-only fleet).
+    pub camera_devices: usize,
+    /// Configuration applied to every camera device pipeline.
+    pub camera_pipeline: CameraPipelineConfig,
 }
 
 impl FleetConfig {
-    /// A fleet of `devices` devices with the default pipeline config.
+    /// An audio-only fleet of `devices` devices with the default pipeline
+    /// config.
     pub fn of(devices: usize) -> Self {
         FleetConfig {
             devices,
             pipeline: PipelineConfig::default(),
+            camera_devices: 0,
+            camera_pipeline: CameraPipelineConfig::default(),
         }
+    }
+
+    /// A mixed fleet: `audio` microphone devices plus `cameras` camera
+    /// devices, default configs for both.
+    pub fn mixed(audio: usize, cameras: usize) -> Self {
+        FleetConfig {
+            devices: audio,
+            pipeline: PipelineConfig::default(),
+            camera_devices: cameras,
+            camera_pipeline: CameraPipelineConfig::default(),
+        }
+    }
+
+    fn total_devices(&self) -> usize {
+        self.devices + self.camera_devices
     }
 }
 
@@ -48,11 +79,32 @@ impl Default for FleetConfig {
     }
 }
 
+/// Which sensor a fleet device carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Modality {
+    /// An I2S microphone device running the audio pipeline.
+    Audio,
+    /// A camera device running the vision pipeline.
+    Camera,
+}
+
+impl std::fmt::Display for Modality {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Modality::Audio => "audio",
+            Modality::Camera => "camera",
+        };
+        write!(f, "{s}")
+    }
+}
+
 /// The report of one device's run within a fleet.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DeviceReport {
     /// Device index within the fleet.
     pub device: usize,
+    /// Modality of the device.
+    pub modality: Modality,
     /// Name of the scenario the device replayed.
     pub scenario: String,
     /// The device pipeline's full report.
@@ -70,6 +122,14 @@ impl FleetReport {
     /// Number of devices that ran.
     pub fn device_count(&self) -> usize {
         self.devices.len()
+    }
+
+    /// Number of devices of the given modality.
+    pub fn device_count_of(&self, modality: Modality) -> usize {
+        self.devices
+            .iter()
+            .filter(|d| d.modality == modality)
+            .count()
     }
 
     /// Total utterances processed across the fleet.
@@ -174,17 +234,36 @@ impl PipelineFleet {
     ///
     /// Propagates ML training failures.
     pub fn new(config: FleetConfig) -> Result<Self> {
-        if config.devices == 0 {
+        if config.total_devices() == 0 {
             return Err(CoreError::Config {
                 reason: "fleet needs at least one device".to_owned(),
             });
         }
-        let models = SharedModels::for_config(&config.pipeline)?;
+        // Audio fleets train the speech models eagerly (errors surface at
+        // construction, as before); camera-only fleets defer, so they
+        // never pay for speech models they cannot use — the mirror of the
+        // frame classifier's laziness for audio-only fleets.
+        let models = if config.devices > 0 {
+            SharedModels::for_config(&config.pipeline)?
+        } else {
+            SharedModels::deferred_for_config(&config.pipeline)
+        }
+        .with_vision_spec(
+            config.camera_pipeline.train_frames,
+            config.camera_pipeline.corpus_seed,
+        );
         Ok(PipelineFleet { config, models })
     }
 
-    /// Builds a fleet around an existing trained model set.
+    /// Builds a fleet around an existing model set. The config's camera
+    /// training spec is applied to the set (taking effect unless its
+    /// vision model has already trained), exactly as
+    /// [`PipelineFleet::new`] does.
     pub fn with_models(config: FleetConfig, models: SharedModels) -> Self {
+        let models = models.with_vision_spec(
+            config.camera_pipeline.train_frames,
+            config.camera_pipeline.corpus_seed,
+        );
         PipelineFleet { config, models }
     }
 
@@ -198,10 +277,10 @@ impl PipelineFleet {
         &self.config
     }
 
-    /// Runs one scenario per device, concurrently — device `i` replays
-    /// `scenarios[i % scenarios.len()]`. Every device thread builds its own
-    /// full stack (platform, TEE core, secure driver, cloud) around the
-    /// shared models, runs its scenario, and reports.
+    /// Runs one scenario per audio device, concurrently — device `i`
+    /// replays `scenarios[i % scenarios.len()]`. Every device thread
+    /// builds its own full stack (platform, TEE core, secure driver,
+    /// cloud) around the shared models, runs its scenario, and reports.
     ///
     /// # Errors
     ///
@@ -213,7 +292,14 @@ impl PipelineFleet {
         // clean privacy outcome when nothing ran at all.
         if self.config.devices == 0 {
             return Err(CoreError::Config {
-                reason: "fleet needs at least one device".to_owned(),
+                reason: "fleet needs at least one audio device".to_owned(),
+            });
+        }
+        if self.config.camera_devices > 0 {
+            return Err(CoreError::Config {
+                reason: "fleet has camera devices configured; use run_mixed so their \
+                         scene schedules are supplied instead of silently skipping them"
+                    .to_owned(),
             });
         }
         if scenarios.is_empty() {
@@ -221,24 +307,89 @@ impl PipelineFleet {
                 reason: "fleet run needs at least one scenario".to_owned(),
             });
         }
-        let devices = self.config.devices;
+        self.run_threads(scenarios, &[])
+    }
+
+    /// Runs a mixed fleet: the configured audio devices replay `audio`
+    /// scenarios while the configured camera devices replay `cameras`
+    /// scene schedules, all concurrently and all off the same shared
+    /// model set. Audio devices come first in the merged report, camera
+    /// devices after.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first device failure, or [`CoreError::Config`] when a
+    /// modality's devices and scenarios disagree — devices with no
+    /// scenarios *and* scenarios with no devices are both rejected, so
+    /// nothing is ever silently skipped — or when the fleet is empty.
+    pub fn run_mixed(&self, audio: &[Scenario], cameras: &[CameraScenario]) -> Result<FleetReport> {
+        if self.config.total_devices() == 0 {
+            return Err(CoreError::Config {
+                reason: "fleet needs at least one device".to_owned(),
+            });
+        }
+        if self.config.devices > 0 && audio.is_empty() {
+            return Err(CoreError::Config {
+                reason: "audio devices configured but no audio scenarios given".to_owned(),
+            });
+        }
+        if self.config.devices == 0 && !audio.is_empty() {
+            return Err(CoreError::Config {
+                reason: "audio scenarios given but no audio devices configured".to_owned(),
+            });
+        }
+        if self.config.camera_devices > 0 && cameras.is_empty() {
+            return Err(CoreError::Config {
+                reason: "camera devices configured but no camera scenarios given".to_owned(),
+            });
+        }
+        if self.config.camera_devices == 0 && !cameras.is_empty() {
+            return Err(CoreError::Config {
+                reason: "camera scenarios given but no camera devices configured".to_owned(),
+            });
+        }
+        self.run_threads(audio, cameras)
+    }
+
+    /// Spawns the device threads. Callers have already validated that a
+    /// modality's scenario slice is non-empty exactly when it has devices.
+    fn run_threads(&self, audio: &[Scenario], cameras: &[CameraScenario]) -> Result<FleetReport> {
+        let audio_devices = self.config.devices;
+        let camera_devices = self.config.camera_devices;
+        let total = audio_devices + camera_devices;
         let outcomes: Vec<Result<DeviceReport>> = thread::scope(|scope| {
-            let handles: Vec<_> = (0..devices)
-                .map(|device| {
-                    let scenario = &scenarios[device % scenarios.len()];
-                    let pipeline_config = self.config.pipeline.clone();
-                    let models = &self.models;
-                    scope.spawn(move || -> Result<DeviceReport> {
-                        let mut pipeline = SecurePipeline::with_models(pipeline_config, models)?;
-                        let report = pipeline.run_scenario(scenario)?;
-                        Ok(DeviceReport {
-                            device,
-                            scenario: scenario.name.clone(),
-                            report,
-                        })
+            let mut handles = Vec::with_capacity(total);
+            for device in 0..audio_devices {
+                let scenario = &audio[device % audio.len()];
+                let pipeline_config = self.config.pipeline.clone();
+                let models = &self.models;
+                handles.push(scope.spawn(move || -> Result<DeviceReport> {
+                    let mut pipeline = SecurePipeline::with_models(pipeline_config, models)?;
+                    let report = pipeline.run_scenario(scenario)?;
+                    Ok(DeviceReport {
+                        device,
+                        modality: Modality::Audio,
+                        scenario: scenario.name.clone(),
+                        report,
                     })
-                })
-                .collect();
+                }));
+            }
+            for camera in 0..camera_devices {
+                let device = audio_devices + camera;
+                let scenario = &cameras[camera % cameras.len()];
+                let camera_config = self.config.camera_pipeline.clone();
+                let models = &self.models;
+                handles.push(scope.spawn(move || -> Result<DeviceReport> {
+                    let mut pipeline = SecureCameraPipeline::with_models(camera_config, models)?;
+                    let report = pipeline.run_scenario(scenario)?;
+                    Ok(DeviceReport {
+                        device,
+                        modality: Modality::Camera,
+                        scenario: scenario.name.clone(),
+                        report,
+                    })
+                }));
+            }
             handles
                 .into_iter()
                 .enumerate()
@@ -256,7 +407,7 @@ impl PipelineFleet {
                 })
                 .collect()
         });
-        let mut reports = Vec::with_capacity(devices);
+        let mut reports = Vec::with_capacity(total);
         for outcome in outcomes {
             reports.push(outcome?);
         }
@@ -286,6 +437,7 @@ mod tests {
                 batch_windows: 4,
                 ..PipelineConfig::default()
             },
+            ..FleetConfig::of(0)
         })
         .unwrap();
         let scenarios = Scenario::fleet(4, 6, 0.5, SimDuration::from_secs(2), 0xF1EE7);
@@ -305,13 +457,14 @@ mod tests {
         }
         // One model set shared by reference, not copied: building another
         // pipeline from the fleet's models bumps the weights' refcount.
-        let before = Arc::strong_count(&fleet.models().classifier);
+        let audio = fleet.models().audio().unwrap();
+        let before = Arc::strong_count(&audio.classifier);
         let _pipeline = crate::pipeline::SecurePipeline::with_models(
             fleet.config().pipeline.clone(),
             fleet.models(),
         )
         .unwrap();
-        assert_eq!(Arc::strong_count(&fleet.models().classifier), before + 1);
+        assert_eq!(Arc::strong_count(&audio.classifier), before + 1);
     }
 
     #[test]
@@ -339,9 +492,93 @@ mod tests {
                 train_utterances: 30,
                 ..PipelineConfig::default()
             },
+            ..FleetConfig::of(0)
         })
         .unwrap();
         assert!(fleet.run(&[]).is_err());
+        // Camera devices without camera scenarios are rejected too.
+        let mixed = PipelineFleet::with_models(FleetConfig::mixed(0, 1), fleet.models().clone());
+        assert!(mixed.run_mixed(&[], &[]).is_err());
+        // run() on a config with camera devices refuses instead of
+        // silently running an audio-only subset of the fleet.
+        let mixed = PipelineFleet::with_models(FleetConfig::mixed(1, 1), fleet.models().clone());
+        let scenarios = Scenario::fleet(1, 2, 0.5, SimDuration::from_secs(1), 2);
+        assert!(mixed.run(&scenarios).is_err());
+    }
+
+    #[test]
+    fn camera_only_fleets_never_train_speech_models() {
+        let fleet = PipelineFleet::new(FleetConfig::mixed(0, 2)).unwrap();
+        // Construction deferred everything: no audio models exist yet.
+        assert!(format!("{:?}", fleet.models()).contains("audio_trained: false"));
+        let cameras = perisec_workload::scenario::CameraScenario::fleet_cameras(
+            2,
+            4,
+            0.5,
+            SimDuration::from_secs(1),
+            0xCA0,
+        );
+        let report = fleet.run_mixed(&[], &cameras).unwrap();
+        assert_eq!(report.device_count_of(Modality::Camera), 2);
+        assert_eq!(report.leaked_sensitive_utterances(), 0);
+        // Running the camera devices trained the frame classifier but
+        // still no speech models.
+        let debug = format!("{:?}", fleet.models());
+        assert!(debug.contains("vision_trained: true"));
+        assert!(debug.contains("audio_trained: false"));
+    }
+
+    #[test]
+    fn mixed_fleet_runs_both_modalities_off_one_model_set() {
+        let fleet = PipelineFleet::new(FleetConfig {
+            devices: 2,
+            pipeline: PipelineConfig {
+                train_utterances: 60,
+                batch_windows: 4,
+                ..PipelineConfig::default()
+            },
+            camera_devices: 2,
+            camera_pipeline: crate::pipeline::CameraPipelineConfig {
+                batch_windows: 4,
+                ..crate::pipeline::CameraPipelineConfig::default()
+            },
+        })
+        .unwrap();
+        let audio = Scenario::fleet(2, 6, 0.5, SimDuration::from_secs(2), 0xA1);
+        let cameras = perisec_workload::scenario::CameraScenario::fleet_cameras(
+            2,
+            6,
+            0.5,
+            SimDuration::from_secs(2),
+            0xCA,
+        );
+        let report = fleet.run_mixed(&audio, &cameras).unwrap();
+
+        assert_eq!(report.device_count(), 4);
+        assert_eq!(report.device_count_of(Modality::Audio), 2);
+        assert_eq!(report.device_count_of(Modality::Camera), 2);
+        assert_eq!(report.total_utterances(), 24);
+        // Both modalities filter: most sensitive traffic is stopped.
+        assert!(report.total_sensitive_utterances() > 0);
+        assert!(report.leakage_rate() < 0.5);
+        // Camera devices relay verdicts only — no payload bytes anywhere
+        // in their cloud reports.
+        for device in &report.devices {
+            if device.modality == Modality::Camera {
+                assert!(device
+                    .report
+                    .cloud
+                    .report
+                    .events
+                    .iter()
+                    .all(|e| e.audio_bytes == 0));
+            }
+        }
+        // One model set: the frame classifier was trained once on first
+        // use and every later request hands back the very same weights.
+        let a = fleet.models().vision().unwrap();
+        let b = fleet.models().vision().unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
     }
 
     #[test]
@@ -352,6 +589,7 @@ mod tests {
                 train_utterances: 60,
                 ..PipelineConfig::default()
             },
+            ..FleetConfig::of(0)
         })
         .unwrap();
         // Fewer scenarios than devices: they wrap around.

@@ -18,14 +18,19 @@
 //!   [`pipeline::BaselinePipeline`] (driver in the untrusted kernel, no
 //!   filtering), both runnable against `perisec-workload` scenarios and
 //!   both assembled from the stages;
+//! * [`vision_ta`] — [`vision_ta::VisionTa`], the camera modality's filter
+//!   TA: pulls frames from the camera PTA, classifies them with the in-TA
+//!   frame CNN, and relays only sealed verdict records — never pixels;
 //! * [`fleet`] — [`fleet::PipelineFleet`]: M concurrent device pipelines
-//!   sharing one trained model set, with merged fleet reports;
+//!   (audio, camera, or a mix) sharing one trained model set, with merged
+//!   fleet reports;
 //! * [`report`] — per-run reports: stage latencies, world-switch and
 //!   energy accounting, and the privacy-leakage summary.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cloud_channel;
 pub mod filter_ta;
 pub mod fleet;
 pub mod pipeline;
@@ -33,14 +38,19 @@ pub mod policy;
 pub mod report;
 pub mod source;
 pub mod stage;
+pub mod vision_ta;
 
 pub use filter_ta::{FilterStats, FilterTa, FILTER_TA_NAME};
-pub use fleet::{DeviceReport, FleetConfig, FleetReport, PipelineFleet};
-pub use pipeline::{BaselinePipeline, PipelineConfig, SecurePipeline, SharedModels};
+pub use fleet::{DeviceReport, FleetConfig, FleetReport, Modality, PipelineFleet};
+pub use pipeline::{
+    BaselinePipeline, CameraPipelineConfig, PipelineConfig, SecureCameraPipeline, SecurePipeline,
+    SharedModels,
+};
 pub use policy::{FilterDecision, FilterMode, PrivacyPolicy};
 pub use report::{CloudOutcome, LatencyBreakdown, PipelineReport, WorkloadSummary};
-pub use source::SharedPlayback;
+pub use source::{SharedPlayback, SharedSceneQueue};
 pub use stage::{FilteredBatch, PipelineStage, PreparedBatch, WindowSpec, WindowVerdict};
+pub use vision_ta::{VisionStats, VisionTa, VISION_TA_NAME};
 
 use std::error::Error;
 use std::fmt;

@@ -12,6 +12,8 @@
 
 use std::sync::Arc;
 
+use parking_lot::Mutex;
+use perisec_devices::camera::{CameraSensor, SceneKind};
 use perisec_devices::codec::AudioEncoding;
 use perisec_devices::mic::Microphone;
 use perisec_kernel::i2s_driver::BaselineI2sDriver;
@@ -19,28 +21,32 @@ use perisec_kernel::pcm::PcmHwParams;
 use perisec_kernel::trace::FunctionTracer;
 use perisec_ml::classifier::{Architecture, SensitiveClassifier, TrainConfig};
 use perisec_ml::stt::{KeywordStt, SttConfig};
+use perisec_ml::vision::{FrameCnn, VisionConfig};
 use perisec_optee::{
     Supplicant, TaUuid, TeeClient, TeeCore, TeeParam, TeeParams, TeeSessionHandle,
 };
 use perisec_relay::cloud::MockCloudService;
 use perisec_relay::netsim::NetworkFabric;
+use perisec_secure_driver::camera::SecureCameraDriver;
+use perisec_secure_driver::camera_pta::CameraPta;
 use perisec_secure_driver::driver::SecureI2sDriver;
 use perisec_secure_driver::pta::I2sPta;
 use perisec_tz::platform::Platform;
 use perisec_tz::time::SimInstant;
 use perisec_workload::corpus::CorpusGenerator;
-use perisec_workload::scenario::Scenario;
+use perisec_workload::scenario::{CameraScenario, Scenario};
 use perisec_workload::synth::SpeechSynthesizer;
 use perisec_workload::vocab::Vocabulary;
 
 use crate::filter_ta::{cmd as filter_cmd, default_cloud_host, default_psk, FilterTa};
 use crate::policy::PrivacyPolicy;
 use crate::report::{CloudOutcome, PipelineReport, WorkloadSummary};
-use crate::source::SharedPlayback;
+use crate::source::{SharedPlayback, SharedSceneQueue};
 use crate::stage::{
     CloudRelayStage, KernelCaptureStage, PassthroughFilterStage, PipelineStage, SecureCaptureStage,
-    SecureFilterStage, SecureRelayStage,
+    SecureFilterStage, SecureFrameCaptureStage, SecureRelayStage,
 };
+use crate::vision_ta::VisionTa;
 use crate::{CoreError, Result};
 
 /// Configuration shared by both pipelines.
@@ -84,19 +90,23 @@ impl Default for PipelineConfig {
     }
 }
 
+fn build_platform(constrained: bool, secure_ram_kib: Option<u64>) -> Platform {
+    let mut builder = Platform::builder();
+    if constrained {
+        builder = builder
+            .spec(perisec_tz::platform::PlatformSpec::constrained_mcu())
+            .cost_model(perisec_tz::cost::CostModel::constrained_mcu())
+            .power_model(perisec_tz::power::PowerModel::constrained_mcu());
+    }
+    if let Some(kib) = secure_ram_kib {
+        builder = builder.secure_ram_kib(kib);
+    }
+    builder.build()
+}
+
 impl PipelineConfig {
     fn build_platform(&self) -> Platform {
-        let mut builder = Platform::builder();
-        if self.constrained_platform {
-            builder = builder
-                .spec(perisec_tz::platform::PlatformSpec::constrained_mcu())
-                .cost_model(perisec_tz::cost::CostModel::constrained_mcu())
-                .power_model(perisec_tz::power::PowerModel::constrained_mcu());
-        }
-        if let Some(kib) = self.secure_ram_kib {
-            builder = builder.secure_ram_kib(kib);
-        }
-        builder.build()
+        build_platform(self.constrained_platform, self.secure_ram_kib)
     }
 
     fn effective_batch(&self) -> usize {
@@ -104,12 +114,52 @@ impl PipelineConfig {
     }
 }
 
-/// One trained model set, shareable across any number of pipelines.
-///
-/// Training dominates pipeline setup cost; a fleet trains once and hands
-/// every device pipeline an [`Arc`] of the same weights.
+/// Configuration of the secure camera pipeline — the vision modality's
+/// counterpart of [`PipelineConfig`].
 #[derive(Debug, Clone)]
-pub struct SharedModels {
+pub struct CameraPipelineConfig {
+    /// Privacy policy installed in the vision TA.
+    pub policy: PrivacyPolicy,
+    /// Frames used to train the frame classifier.
+    pub train_frames: usize,
+    /// Seed for the synthetic training frames.
+    pub corpus_seed: u64,
+    /// Use the constrained IoT platform instead of the Jetson-class one.
+    pub constrained_platform: bool,
+    /// Override the secure carve-out size (KiB), if set.
+    pub secure_ram_kib: Option<u64>,
+    /// Scene events driven through the stages per batch — the same
+    /// TEE-boundary amortization lever as the audio pipeline's.
+    pub batch_windows: usize,
+}
+
+impl Default for CameraPipelineConfig {
+    fn default() -> Self {
+        CameraPipelineConfig {
+            policy: PrivacyPolicy::block_sensitive(),
+            train_frames: 120,
+            corpus_seed: 0xCAFE,
+            constrained_platform: false,
+            secure_ram_kib: None,
+            batch_windows: 1,
+        }
+    }
+}
+
+impl CameraPipelineConfig {
+    fn build_platform(&self) -> Platform {
+        build_platform(self.constrained_platform, self.secure_ram_kib)
+    }
+
+    fn effective_batch(&self) -> usize {
+        self.batch_windows.max(1)
+    }
+}
+
+/// The trained audio-side models (speech-to-text, text classifier, and
+/// the vocabulary/synthesizer they were trained against).
+#[derive(Debug, Clone)]
+pub struct AudioModels {
     /// The keyword speech-to-text model.
     pub stt: Arc<KeywordStt>,
     /// The sensitive-content classifier.
@@ -120,9 +170,137 @@ pub struct SharedModels {
     pub synth: SpeechSynthesizer,
 }
 
+/// One trained model set, shareable across any number of pipelines.
+///
+/// Training dominates pipeline setup cost; a fleet trains once and hands
+/// every device pipeline an [`Arc`] of the same weights. Each modality's
+/// models train lazily on first use, so audio-only fleets never pay for
+/// the frame classifier and camera-only fleets never pay for the speech
+/// models — while a mixed fleet holds **one** model set across both.
+#[derive(Clone)]
+pub struct SharedModels {
+    audio_architecture: Architecture,
+    audio_train_utterances: usize,
+    audio_corpus_seed: u64,
+    audio: Arc<Mutex<Option<AudioModels>>>,
+    vision: Arc<Mutex<VisionState>>,
+}
+
+/// The shared vision half of a model set: the training spec and, once
+/// trained, the weights. Spec and weights live behind one shared lock so
+/// every clone of a [`SharedModels`] sees the same spec — there is no
+/// per-handle divergence.
+struct VisionState {
+    train_frames: usize,
+    corpus_seed: u64,
+    model: Option<Arc<FrameCnn>>,
+}
+
+impl std::fmt::Debug for SharedModels {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedModels")
+            .field("architecture", &self.audio_architecture)
+            .field("audio_trained", &self.audio.lock().is_some())
+            .field("vision_trained", &self.vision.lock().model.is_some())
+            .finish()
+    }
+}
+
+/// Trains the frame classifier on synthetic [`SceneKind`] frames: a
+/// balanced schedule over every scene kind, labelled by the threat
+/// model's ground truth.
+fn train_frame_cnn(train_frames: usize, seed: u64) -> Result<FrameCnn> {
+    let mut camera = CameraSensor::smart_home("training-cam", seed)
+        .map_err(perisec_kernel::KernelError::from)?;
+    camera.start();
+    let n = train_frames.max(16);
+    let mut examples = Vec::with_capacity(n);
+    for i in 0..n {
+        let scene = SceneKind::ALL[i % SceneKind::ALL.len()];
+        let frame = camera
+            .capture_frame(scene)
+            .map_err(perisec_kernel::KernelError::from)?;
+        examples.push((frame.pixels, scene.is_sensitive()));
+    }
+    let mut cnn = FrameCnn::new(VisionConfig::smart_home());
+    cnn.fit(&examples).map_err(CoreError::from)?;
+    Ok(cnn)
+}
+
+fn train_audio_models(
+    architecture: Architecture,
+    train_utterances: usize,
+    corpus_seed: u64,
+) -> Result<AudioModels> {
+    let synth = SpeechSynthesizer::smart_home();
+    let vocabulary = synth.vocabulary().clone();
+    let stt = KeywordStt::train(&synth.reference_renderings(), SttConfig::default())
+        .map_err(CoreError::from)?;
+    let mut generator = CorpusGenerator::new(vocabulary.clone(), 0.5, corpus_seed);
+    let corpus = generator.generate(train_utterances.max(16));
+    // Train the classifier on what it will actually see in the TA: the
+    // STT's (imperfect) transcription of the rendered waveform, not the
+    // clean corpus tokens. Without this train/serve match, recognition
+    // noise pushes neutral utterances across the sensitive threshold
+    // and the filter over-drops. Utterances the STT loses entirely
+    // fall back to their clean tokens so no label is wasted.
+    let examples: Vec<(Vec<usize>, bool)> = corpus
+        .iter()
+        .map(|utterance| {
+            let audio = synth.render_tokens(&utterance.tokens);
+            let decoded = stt.transcribe_to_tokens(audio.samples());
+            if decoded.is_empty() {
+                (utterance.tokens.clone(), utterance.sensitive)
+            } else {
+                (decoded, utterance.sensitive)
+            }
+        })
+        .collect();
+    let mut classifier =
+        SensitiveClassifier::new(architecture, TrainConfig::small(vocabulary.len()));
+    classifier.fit(&examples).map_err(CoreError::from)?;
+    Ok(AudioModels {
+        stt: Arc::new(stt),
+        classifier: Arc::new(classifier),
+        vocabulary,
+        synth,
+    })
+}
+
 impl SharedModels {
-    /// Trains the in-TA models (keyword STT + sensitive-content
-    /// classifier) on the synthetic corpus.
+    /// Creates a model set that trains **nothing** until a pipeline of the
+    /// matching modality first asks for its models — camera-only fleets
+    /// skip speech training, audio-only fleets skip frame training.
+    pub fn deferred(architecture: Architecture, train_utterances: usize, corpus_seed: u64) -> Self {
+        SharedModels {
+            audio_architecture: architecture,
+            audio_train_utterances: train_utterances,
+            audio_corpus_seed: corpus_seed,
+            audio: Arc::new(Mutex::new(None)),
+            vision: Arc::new(Mutex::new(VisionState {
+                train_frames: 120,
+                corpus_seed: corpus_seed ^ 0xF7A3E5,
+                model: None,
+            })),
+        }
+    }
+
+    /// Overrides the frame-classifier training spec (frames and seed).
+    /// The spec lives in the shared state, so **every** clone of this
+    /// model set sees the change — but it must land before the vision
+    /// model first trains: once the weights exist they are never
+    /// retrained, and a later spec change has no effect.
+    pub fn with_vision_spec(self, train_frames: usize, corpus_seed: u64) -> Self {
+        {
+            let mut vision = self.vision.lock();
+            vision.train_frames = train_frames;
+            vision.corpus_seed = corpus_seed;
+        }
+        self
+    }
+
+    /// Trains the in-TA audio models (keyword STT + sensitive-content
+    /// classifier) on the synthetic corpus, eagerly.
     ///
     /// # Errors
     ///
@@ -132,39 +310,49 @@ impl SharedModels {
         train_utterances: usize,
         corpus_seed: u64,
     ) -> Result<Self> {
-        let synth = SpeechSynthesizer::smart_home();
-        let vocabulary = synth.vocabulary().clone();
-        let stt = KeywordStt::train(&synth.reference_renderings(), SttConfig::default())
-            .map_err(CoreError::from)?;
-        let mut generator = CorpusGenerator::new(vocabulary.clone(), 0.5, corpus_seed);
-        let corpus = generator.generate(train_utterances.max(16));
-        // Train the classifier on what it will actually see in the TA: the
-        // STT's (imperfect) transcription of the rendered waveform, not the
-        // clean corpus tokens. Without this train/serve match, recognition
-        // noise pushes neutral utterances across the sensitive threshold
-        // and the filter over-drops. Utterances the STT loses entirely
-        // fall back to their clean tokens so no label is wasted.
-        let examples: Vec<(Vec<usize>, bool)> = corpus
-            .iter()
-            .map(|utterance| {
-                let audio = synth.render_tokens(&utterance.tokens);
-                let decoded = stt.transcribe_to_tokens(audio.samples());
-                if decoded.is_empty() {
-                    (utterance.tokens.clone(), utterance.sensitive)
-                } else {
-                    (decoded, utterance.sensitive)
-                }
-            })
-            .collect();
-        let mut classifier =
-            SensitiveClassifier::new(architecture, TrainConfig::small(vocabulary.len()));
-        classifier.fit(&examples).map_err(CoreError::from)?;
-        Ok(SharedModels {
-            stt: Arc::new(stt),
-            classifier: Arc::new(classifier),
-            vocabulary,
-            synth,
-        })
+        let models = SharedModels::deferred(architecture, train_utterances, corpus_seed);
+        models.audio()?;
+        Ok(models)
+    }
+
+    /// The shared audio models, trained on first use with the
+    /// configuration this set was created with; later calls reuse the
+    /// cached weights, so every audio device of a fleet shares the same
+    /// [`Arc`]s.
+    ///
+    /// # Errors
+    ///
+    /// Propagates ML training failures.
+    pub fn audio(&self) -> Result<AudioModels> {
+        let mut slot = self.audio.lock();
+        if let Some(models) = slot.as_ref() {
+            return Ok(models.clone());
+        }
+        let models = train_audio_models(
+            self.audio_architecture,
+            self.audio_train_utterances,
+            self.audio_corpus_seed,
+        )?;
+        *slot = Some(models.clone());
+        Ok(models)
+    }
+
+    /// The shared frame classifier, trained on first use with the spec
+    /// this set was created with (see [`SharedModels::with_vision_spec`]);
+    /// later calls reuse the cached weights, so every camera device of a
+    /// fleet shares the same [`Arc`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates frame-classifier training failures.
+    pub fn vision(&self) -> Result<Arc<FrameCnn>> {
+        let mut vision = self.vision.lock();
+        if let Some(model) = &vision.model {
+            return Ok(Arc::clone(model));
+        }
+        let model = Arc::new(train_frame_cnn(vision.train_frames, vision.corpus_seed)?);
+        vision.model = Some(Arc::clone(&model));
+        Ok(model)
     }
 
     /// Trains the models a [`PipelineConfig`] asks for.
@@ -174,6 +362,16 @@ impl SharedModels {
     /// Propagates ML training failures.
     pub fn for_config(config: &PipelineConfig) -> Result<Self> {
         SharedModels::train(
+            config.architecture,
+            config.train_utterances,
+            config.corpus_seed,
+        )
+    }
+
+    /// A deferred model set for a [`PipelineConfig`] (nothing trains
+    /// until first use).
+    pub fn deferred_for_config(config: &PipelineConfig) -> Self {
+        SharedModels::deferred(
             config.architecture,
             config.train_utterances,
             config.corpus_seed,
@@ -194,6 +392,52 @@ pub fn train_models(
     corpus_seed: u64,
 ) -> Result<SharedModels> {
     SharedModels::train(architecture, train_utterances, corpus_seed)
+}
+
+/// Drives events batch by batch through a secure
+/// capture → filter → relay stage chain and assembles the run report.
+/// Shared by the audio and camera pipelines so their accounting can
+/// never drift apart.
+#[allow(clippy::too_many_arguments)]
+fn run_secure_stages<E, C>(
+    pipeline_name: &str,
+    platform: &Platform,
+    cloud: &MockCloudService,
+    fabric: &NetworkFabric,
+    events: &[E],
+    batch: usize,
+    capture: &mut C,
+    filter: &mut SecureFilterStage,
+    relay: &mut SecureRelayStage,
+    workload: WorkloadSummary,
+    sensitive_ids: Vec<u64>,
+) -> Result<PipelineReport>
+where
+    E: Clone,
+    C: PipelineStage<Input = Vec<E>, Output = crate::stage::PreparedBatch>,
+{
+    cloud.reset();
+    let stats_before = platform.stats().snapshot();
+    for chunk in events.chunks(batch.max(1)) {
+        let prepared = capture.process(chunk.to_vec())?;
+        let filtered = filter.process(prepared)?;
+        relay.process(filtered)?;
+    }
+    let latency = relay.take_breakdown();
+    let stats_after = platform.stats().snapshot();
+    Ok(PipelineReport {
+        pipeline: pipeline_name.to_owned(),
+        workload,
+        latency,
+        cloud: CloudOutcome {
+            report: cloud.report(),
+            sensitive_ids,
+        },
+        tz: stats_after.delta_since(&stats_before),
+        energy: platform.energy_report(),
+        virtual_time: platform.clock().now().duration_since(SimInstant::EPOCH),
+        bytes_to_cloud: fabric.stats().bytes_sent,
+    })
 }
 
 /// The paper's proposed design: secure driver in the TEE, PTA bridge,
@@ -243,6 +487,7 @@ impl SecurePipeline {
     /// Fails if a TEE component cannot be registered (e.g. the secure
     /// carve-out is too small for the model).
     pub fn with_models(config: PipelineConfig, models: &SharedModels) -> Result<Self> {
+        let audio = models.audio()?;
         let platform = config.build_platform();
 
         // Normal world: supplicant + network fabric + cloud.
@@ -263,9 +508,9 @@ impl SecurePipeline {
             .map_err(CoreError::from)?;
         let filter = FilterTa::new(
             i2s_pta,
-            Arc::clone(&models.stt),
-            Arc::clone(&models.classifier),
-            models.vocabulary.clone(),
+            Arc::clone(&audio.stt),
+            Arc::clone(&audio.classifier),
+            audio.vocabulary.clone(),
             config.policy,
             default_cloud_host(),
             default_psk(),
@@ -307,7 +552,7 @@ impl SecurePipeline {
         let capture = SecureCaptureStage::new(
             platform.clone(),
             playback,
-            models.synth.clone(),
+            audio.synth.clone(),
             config.period_frames,
         );
         let filter_stage = SecureFilterStage::new(platform.clone(), client.clone(), filter_session);
@@ -380,36 +625,231 @@ impl SecurePipeline {
     ///
     /// Propagates TEE and relay failures.
     pub fn run_scenario(&mut self, scenario: &Scenario) -> Result<PipelineReport> {
-        self.cloud.reset();
-        let stats_before = self.platform.stats().snapshot();
-        let batch = self.config.effective_batch();
-        for chunk in scenario.events.chunks(batch) {
-            let prepared = self.capture.process(chunk.to_vec())?;
-            let filtered = self.filter.process(prepared)?;
-            self.relay.process(filtered)?;
-        }
-        let latency = self.relay.take_breakdown();
-        let stats_after = self.platform.stats().snapshot();
-        Ok(PipelineReport {
-            pipeline: "secure".to_owned(),
-            workload: WorkloadSummary {
+        run_secure_stages(
+            "secure",
+            &self.platform,
+            &self.cloud,
+            &self.fabric,
+            &scenario.events,
+            self.config.effective_batch(),
+            &mut self.capture,
+            &mut self.filter,
+            &mut self.relay,
+            WorkloadSummary {
                 utterances: scenario.len(),
                 sensitive_utterances: scenario.sensitive_count(),
             },
-            latency,
-            cloud: CloudOutcome {
-                report: self.cloud.report(),
-                sensitive_ids: scenario.sensitive_ids(),
-            },
-            tz: stats_after.delta_since(&stats_before),
-            energy: self.platform.energy_report(),
-            virtual_time: self
-                .platform
-                .clock()
-                .now()
-                .duration_since(SimInstant::EPOCH),
-            bytes_to_cloud: self.fabric.stats().bytes_sent,
+            scenario.sensitive_ids(),
+        )
+    }
+}
+
+/// The secure *camera* pipeline: secure camera driver in the TEE, camera
+/// PTA bridge, in-TA frame classification, verdict-only relay — the
+/// vision modality assembled from the very same
+/// capture → filter → relay stages as the audio pipeline.
+pub struct SecureCameraPipeline {
+    config: CameraPipelineConfig,
+    platform: Platform,
+    client: TeeClient,
+    vision_session: TeeSessionHandle,
+    cloud: Arc<MockCloudService>,
+    fabric: NetworkFabric,
+    core: Arc<TeeCore>,
+    camera_pta: TaUuid,
+    capture: SecureFrameCaptureStage,
+    filter: SecureFilterStage,
+    relay: SecureRelayStage,
+}
+
+impl std::fmt::Debug for SecureCameraPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SecureCameraPipeline")
+            .field("policy", &self.config.policy)
+            .field("batch_windows", &self.config.batch_windows)
+            .finish()
+    }
+}
+
+impl SecureCameraPipeline {
+    /// Builds the full secure camera stack, training a fresh model set.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the frame classifier cannot be trained or a TEE component
+    /// cannot be registered.
+    pub fn new(config: CameraPipelineConfig) -> Result<Self> {
+        let vision = Arc::new(train_frame_cnn(config.train_frames, config.corpus_seed)?);
+        SecureCameraPipeline::with_vision_model(config, vision)
+    }
+
+    /// Builds the camera stack around a shared model set — the mixed-fleet
+    /// path: audio and camera devices hand out `Arc`s of one
+    /// [`SharedModels`]. The frame classifier trains lazily inside the
+    /// model set on first camera use, with the **model set's** vision
+    /// spec (see [`SharedModels::with_vision_spec`]); this config's
+    /// `train_frames` / `corpus_seed` only govern self-trained pipelines
+    /// ([`SecureCameraPipeline::new`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the frame classifier cannot be trained or a TEE component
+    /// cannot be registered (e.g. the secure carve-out is too small for
+    /// the model).
+    pub fn with_models(config: CameraPipelineConfig, models: &SharedModels) -> Result<Self> {
+        let vision = models.vision()?;
+        SecureCameraPipeline::with_vision_model(config, vision)
+    }
+
+    /// Builds the camera stack around an existing trained frame classifier.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a TEE component cannot be registered.
+    pub fn with_vision_model(config: CameraPipelineConfig, vision: Arc<FrameCnn>) -> Result<Self> {
+        let platform = config.build_platform();
+
+        // Normal world: supplicant + network fabric + cloud.
+        let fabric = NetworkFabric::new();
+        let cloud = MockCloudService::new(default_psk());
+        fabric.register_service(MockCloudService::HOST, cloud.clone());
+        let supplicant = Arc::new(Supplicant::new());
+        supplicant.set_net_backend(Arc::new(fabric.clone()));
+
+        // Secure world: TEE core, secure camera driver PTA, vision TA.
+        let core = TeeCore::boot(platform.clone(), supplicant);
+        let scenes = SharedSceneQueue::new();
+        let sensor = CameraSensor::smart_home("secure-camera", 0x5EC2)
+            .map_err(perisec_kernel::KernelError::from)?;
+        let camera_driver = SecureCameraDriver::new(platform.clone(), sensor, scenes.source());
+        let camera_pta = core
+            .register_pta(Box::new(CameraPta::new(camera_driver)))
+            .map_err(CoreError::from)?;
+        let vision_ta = VisionTa::new(
+            camera_pta,
+            vision,
+            config.policy,
+            default_cloud_host(),
+            default_psk(),
+        );
+        core.register_ta(Box::new(vision_ta))
+            .map_err(CoreError::from)?;
+
+        // Configure and start the secure camera driver through its PTA.
+        core.invoke_pta(
+            camera_pta,
+            perisec_secure_driver::camera_pta::cmd::CONFIGURE,
+            &mut TeeParams::new(),
+        )
+        .map_err(CoreError::from)?;
+        core.invoke_pta(
+            camera_pta,
+            perisec_secure_driver::camera_pta::cmd::START,
+            &mut TeeParams::new(),
+        )
+        .map_err(CoreError::from)?;
+
+        // Normal world client session to the vision TA.
+        let client = TeeClient::connect(Arc::clone(&core));
+        let (vision_session, _) = client
+            .open_session(
+                TaUuid::from_name(crate::vision_ta::VISION_TA_NAME),
+                TeeParams::new(),
+            )
+            .map_err(CoreError::from)?;
+
+        let capture = SecureFrameCaptureStage::new(platform.clone(), scenes);
+        let filter = SecureFilterStage::new(platform.clone(), client.clone(), vision_session);
+
+        Ok(SecureCameraPipeline {
+            config,
+            platform,
+            client,
+            vision_session,
+            cloud,
+            fabric,
+            core,
+            camera_pta,
+            capture,
+            filter,
+            relay: SecureRelayStage::new(),
         })
+    }
+
+    /// The simulated platform.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The mock cloud (for inspecting what it received).
+    pub fn cloud(&self) -> &Arc<MockCloudService> {
+        &self.cloud
+    }
+
+    /// The TEE core (for footprint reports).
+    pub fn tee_core(&self) -> &Arc<TeeCore> {
+        &self.core
+    }
+
+    /// The UUID of the camera PTA.
+    pub fn camera_pta(&self) -> TaUuid {
+        self.camera_pta
+    }
+
+    /// The configured batch size.
+    pub fn batch_windows(&self) -> usize {
+        self.config.effective_batch()
+    }
+
+    /// Installs a new privacy policy in the vision TA.
+    ///
+    /// # Errors
+    ///
+    /// Propagates TEE invocation failures.
+    pub fn set_policy(&mut self, policy: PrivacyPolicy) -> Result<()> {
+        let (mode, threshold) = policy.to_values();
+        let params = TeeParams::new().with(
+            0,
+            TeeParam::ValueInput {
+                a: mode,
+                b: threshold,
+            },
+        );
+        self.client
+            .invoke(
+                &self.vision_session,
+                crate::vision_ta::cmd::SET_POLICY,
+                params,
+            )
+            .map_err(CoreError::from)?;
+        self.config.policy = policy;
+        Ok(())
+    }
+
+    /// Replays a camera scenario end to end — batch by batch through the
+    /// capture → filter → relay stages — and reports on it. The report
+    /// counts scene events as the workload's "utterances".
+    ///
+    /// # Errors
+    ///
+    /// Propagates TEE and relay failures.
+    pub fn run_scenario(&mut self, scenario: &CameraScenario) -> Result<PipelineReport> {
+        run_secure_stages(
+            "secure-camera",
+            &self.platform,
+            &self.cloud,
+            &self.fabric,
+            &scenario.events,
+            self.config.effective_batch(),
+            &mut self.capture,
+            &mut self.filter,
+            &mut self.relay,
+            WorkloadSummary {
+                utterances: scenario.len(),
+                sensitive_utterances: scenario.sensitive_count(),
+            },
+            scenario.sensitive_ids(),
+        )
     }
 }
 
@@ -705,8 +1145,95 @@ mod tests {
             a.cloud.report.received_dialog_ids(),
             b.cloud.report.received_dialog_ids()
         );
-        // The weights really are shared, not copied.
-        assert!(Arc::strong_count(&models.classifier) >= 3);
+        // The weights really are shared, not copied: the cached copy in
+        // the model set plus one clone per live pipeline's filter TA.
+        let audio = models.audio().unwrap();
+        assert!(Arc::strong_count(&audio.classifier) >= 3);
+    }
+
+    #[test]
+    fn camera_pipeline_relays_verdicts_never_pixels() {
+        use perisec_workload::scenario::CameraScenario;
+        let mut pipeline = SecureCameraPipeline::new(CameraPipelineConfig::default()).unwrap();
+        let scenario = CameraScenario::mixed_scenes(12, 0.5, SimDuration::from_secs(4), 0xCA11);
+        assert!(scenario.sensitive_count() > 0);
+        let report = pipeline.run_scenario(&scenario).unwrap();
+
+        assert_eq!(report.workload.utterances, 12);
+        // No sensitive scene leaks, while non-sensitive verdicts flow.
+        assert_eq!(report.cloud.leaked_sensitive_utterances(), 0);
+        assert!(
+            report.cloud.received_utterances()
+                >= (scenario.len() - scenario.sensitive_count()) * 9 / 10
+        );
+        // Nothing that reached the cloud carries payload bytes: verdict
+        // records only, all encrypted.
+        for event in &report.cloud.report.events {
+            assert_eq!(event.audio_bytes, 0);
+            assert!(event.encrypted);
+            assert!(event
+                .text
+                .as_deref()
+                .unwrap_or("")
+                .contains("frame-verdict"));
+        }
+        // TEE mechanics were exercised.
+        assert!(report.tz.smc_calls >= 12);
+        assert!(report.tz.secure_irqs >= 24, "two frames per scene event");
+        assert!(report.latency.ml > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn camera_pipeline_batching_amortizes_the_boundary() {
+        use perisec_workload::scenario::CameraScenario;
+        // Deferred: this test runs only camera pipelines, so no speech
+        // models need to train.
+        let models = SharedModels::deferred_for_config(&small_config());
+        let scenario = CameraScenario::mixed_scenes(8, 0.5, SimDuration::from_secs(2), 0xCA12);
+        let mut unbatched =
+            SecureCameraPipeline::with_models(CameraPipelineConfig::default(), &models).unwrap();
+        let mut batched = SecureCameraPipeline::with_models(
+            CameraPipelineConfig {
+                batch_windows: 4,
+                ..CameraPipelineConfig::default()
+            },
+            &models,
+        )
+        .unwrap();
+        let a = unbatched.run_scenario(&scenario).unwrap();
+        let b = batched.run_scenario(&scenario).unwrap();
+        assert_eq!(
+            a.cloud.report.received_dialog_ids(),
+            b.cloud.report.received_dialog_ids()
+        );
+        assert_eq!(b.tz.smc_calls, 2);
+        assert!(b.tz.world_switches < a.tz.world_switches);
+    }
+
+    #[test]
+    fn camera_allow_all_policy_forwards_sensitive_verdicts() {
+        use perisec_workload::scenario::CameraScenario;
+        let mut pipeline = SecureCameraPipeline::new(CameraPipelineConfig {
+            policy: PrivacyPolicy::allow_all(),
+            ..CameraPipelineConfig::default()
+        })
+        .unwrap();
+        let scenario = CameraScenario::mixed_scenes(6, 1.0, SimDuration::from_secs(2), 0xCA13);
+        let report = pipeline.run_scenario(&scenario).unwrap();
+        assert!(report.cloud.leakage_rate() > 0.5);
+        // Even leaked verdicts carry no pixels — the leak is metadata only.
+        assert!(report
+            .cloud
+            .report
+            .events
+            .iter()
+            .all(|e| e.audio_bytes == 0));
+        // Switching to blocking at runtime stops the verdict flow.
+        pipeline
+            .set_policy(PrivacyPolicy::block_sensitive())
+            .unwrap();
+        let report2 = pipeline.run_scenario(&scenario).unwrap();
+        assert_eq!(report2.cloud.leaked_sensitive_utterances(), 0);
     }
 
     #[test]

@@ -1,16 +1,21 @@
-//! A shared playback signal source.
+//! Shared "physical world" sources feeding the secure drivers.
 //!
-//! The secure driver owns its microphone, but scenario runners need to feed
-//! each utterance's waveform into that microphone from outside the TEE
-//! simulation. [`SharedPlayback`] is a [`SignalSource`] backed by a queue
-//! that the runner can refill between utterances; the microphone drains it
-//! sample by sample and reads silence when it is empty.
+//! The secure drivers own their sensors, but scenario runners need to feed
+//! the outside world into those sensors from outside the TEE simulation:
+//!
+//! * [`SharedPlayback`] is a [`SignalSource`] backed by a sample queue the
+//!   runner refills between utterances; the microphone drains it sample by
+//!   sample and reads silence when it is empty.
+//! * [`SharedSceneQueue`] is its camera counterpart: a [`SceneSource`]
+//!   backed by a scene queue; the camera sensor pops one scene per frame
+//!   and sees an empty room when the queue runs dry.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use perisec_devices::camera::{SceneKind, SceneSource};
 use perisec_devices::signal::SignalSource;
 
 /// Shared handle used to refill the queue.
@@ -83,9 +88,85 @@ impl SignalSource for SharedPlaybackSource {
     }
 }
 
+/// Shared handle used to schedule scenes in front of a camera.
+#[derive(Debug, Clone, Default)]
+pub struct SharedSceneQueue {
+    queue: Arc<Mutex<VecDeque<SceneKind>>>,
+}
+
+impl SharedSceneQueue {
+    /// Creates an empty scene queue.
+    pub fn new() -> Self {
+        SharedSceneQueue::default()
+    }
+
+    /// Appends `frames` frames of `scene`.
+    pub fn push(&self, scene: SceneKind, frames: usize) {
+        let mut queue = self.queue.lock();
+        for _ in 0..frames {
+            queue.push_back(scene);
+        }
+    }
+
+    /// Number of queued frames not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.queue.lock().len()
+    }
+
+    /// Discards everything still queued.
+    pub fn clear(&self) {
+        self.queue.lock().clear();
+    }
+
+    /// Creates the [`SceneSource`] half to hand to a camera driver.
+    pub fn source(&self) -> Box<dyn SceneSource> {
+        Box::new(SharedSceneSource {
+            queue: Arc::clone(&self.queue),
+        })
+    }
+}
+
+struct SharedSceneSource {
+    queue: Arc<Mutex<VecDeque<SceneKind>>>,
+}
+
+impl SceneSource for SharedSceneSource {
+    fn next_scene(&mut self) -> SceneKind {
+        self.queue
+            .lock()
+            .pop_front()
+            .unwrap_or(SceneKind::EmptyRoom)
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "shared scene queue ({} frames queued)",
+            self.queue.lock().len()
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn scene_queue_is_shared_between_handle_and_source() {
+        let scenes = SharedSceneQueue::new();
+        let mut source = scenes.source();
+        assert_eq!(source.next_scene(), SceneKind::EmptyRoom);
+        scenes.push(SceneKind::Person, 2);
+        scenes.push(SceneKind::Document, 1);
+        assert_eq!(scenes.remaining(), 3);
+        assert_eq!(source.next_scene(), SceneKind::Person);
+        assert_eq!(source.next_scene(), SceneKind::Person);
+        assert_eq!(source.next_scene(), SceneKind::Document);
+        assert_eq!(source.next_scene(), SceneKind::EmptyRoom);
+        scenes.push(SceneKind::Pet, 5);
+        scenes.clear();
+        assert_eq!(source.next_scene(), SceneKind::EmptyRoom);
+        assert!(source.describe().contains("scene queue"));
+    }
 
     #[test]
     fn queue_is_shared_between_handle_and_source() {

@@ -23,13 +23,13 @@ use perisec_relay::netsim::{NetworkFabric, Transport};
 use perisec_relay::tls::{seal_flops, SecureChannelClient, PSK_LEN};
 use perisec_tz::platform::Platform;
 use perisec_tz::time::{SimDuration, SimInstant};
-use perisec_workload::scenario::ScenarioEvent;
+use perisec_workload::scenario::{CameraScenarioEvent, ScenarioEvent};
 use perisec_workload::synth::SpeechSynthesizer;
 
 use crate::filter_ta::{cmd as filter_cmd, decode_batch_verdicts, encode_batch_request};
 use crate::policy::FilterDecision;
 use crate::report::LatencyBreakdown;
-use crate::source::SharedPlayback;
+use crate::source::{SharedPlayback, SharedSceneQueue};
 use crate::{CoreError, Result};
 
 /// One stage of a pipeline: a named transformation over batch work items.
@@ -167,9 +167,60 @@ impl PipelineStage for SecureCaptureStage {
     }
 }
 
+/// Normal-world half of the secure *camera* capture path: schedules each
+/// event's scene on the shared scene queue feeding the in-TEE camera
+/// driver's sensor, and describes the frame windows for the vision TA.
+/// Produces the same [`PreparedBatch`] as the audio capture stage (a
+/// window's `periods` are its frames), so the downstream filter and relay
+/// stages serve both modalities unchanged.
+pub struct SecureFrameCaptureStage {
+    platform: Platform,
+    scenes: SharedSceneQueue,
+}
+
+impl SecureFrameCaptureStage {
+    /// Creates the stage.
+    pub fn new(platform: Platform, scenes: SharedSceneQueue) -> Self {
+        SecureFrameCaptureStage { platform, scenes }
+    }
+}
+
+impl PipelineStage for SecureFrameCaptureStage {
+    type Input = Vec<CameraScenarioEvent>;
+    type Output = PreparedBatch;
+
+    fn name(&self) -> &'static str {
+        "secure-frame-capture"
+    }
+
+    fn process(&mut self, events: Self::Input) -> Result<PreparedBatch> {
+        self.scenes.clear();
+        let mut windows = Vec::with_capacity(events.len());
+        for event in &events {
+            self.platform
+                .clock()
+                .advance_to(SimInstant::EPOCH + event.at);
+            let frames = event.frames.max(1);
+            self.scenes.push(event.scene, frames);
+            windows.push(WindowSpec {
+                dialog_id: event.id,
+                periods: frames,
+            });
+        }
+        Ok(PreparedBatch {
+            windows,
+            started: self.platform.clock().now(),
+        })
+    }
+}
+
 /// The secure filter stage: one `PROCESS_BATCH` invocation — a single SMC
 /// and world-switch round trip — covers capture, ML, policy and the
-/// batched relay for every window in the batch.
+/// batched relay for every window in the batch. Because the audio filter
+/// TA and the vision TA share one batch parameter contract, this stage
+/// drives either modality: hand it a session on the filter TA and it
+/// filters utterances, hand it a session on the vision TA and it filters
+/// frame windows.
 pub struct SecureFilterStage {
     platform: Platform,
     client: TeeClient,

@@ -1,0 +1,289 @@
+//! The vision filter trusted application.
+//!
+//! The camera-modality sibling of [`crate::filter_ta::FilterTa`]: it pulls
+//! raw grayscale frames from the secure camera driver through the camera
+//! PTA, featurizes and classifies each frame with the in-TA [`FrameCnn`],
+//! applies the privacy policy per window, and relays only **sealed verdict
+//! records** ([`AvsEvent::FrameVerdict`]) to the cloud — a frame count and
+//! a coarse probability, never pixels.
+//!
+//! The TA speaks the *same* batch parameter contract as the audio filter
+//! TA (`PROCESS_BATCH` with `(dialog_id, frames)` windows in a memref,
+//! verdicts + timing out), which is what lets the
+//! [`crate::stage::SecureFilterStage`] drive either modality unchanged —
+//! the `PipelineStage` abstraction proving itself across sensors.
+
+use std::sync::Arc;
+
+use perisec_ml::vision::FrameCnn;
+use perisec_optee::{
+    TaDescriptor, TaEnv, TaUuid, TeeError, TeeParam, TeeParams, TeeResult, TrustedApp,
+};
+use perisec_relay::avs::AvsEvent;
+use perisec_relay::tls::PSK_LEN;
+use perisec_tz::time::SimDuration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::cloud_channel::TaCloudChannel;
+use crate::filter_ta::decode_batch_request;
+use crate::policy::{FilterDecision, PrivacyPolicy};
+
+/// Registered name of the vision TA (its UUID derives from this).
+pub const VISION_TA_NAME: &str = "perisec.vision-ta";
+
+/// Command identifiers of the vision TA. The numeric values match the
+/// audio filter TA's so batch-aware clients drive both TAs identically.
+pub mod cmd {
+    /// Replace the privacy policy: value param `a` = mode, `b` =
+    /// threshold in thousandths.
+    pub const SET_POLICY: u32 = 1;
+    /// Query statistics: returns `(windows, forwarded)` and
+    /// `(dropped, frames)`.
+    pub const GET_STATS: u32 = 2;
+    /// Process a whole batch of frame windows in one invocation. Param 0
+    /// is an input memref encoding the per-window `(dialog_id, frames)`
+    /// pairs (the same framing as the audio filter TA, see
+    /// [`crate::filter_ta::encode_batch_request`]); the reply carries the
+    /// per-window verdicts in an output memref, the aggregate
+    /// `(wire_ns, capture_cpu_ns)` in value slot 2 and `(ml_ns, relay_ns)`
+    /// in value slot 3. All permitted windows of the batch are relayed as
+    /// verdict records in a **single** sealed record.
+    pub const PROCESS_BATCH: u32 = 3;
+}
+
+/// Cumulative statistics of the vision TA.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VisionStats {
+    /// Frame windows processed.
+    pub windows: u64,
+    /// Frames classified.
+    pub frames: u64,
+    /// Windows whose verdict was forwarded.
+    pub forwarded: u64,
+    /// Windows dropped.
+    pub dropped: u64,
+}
+
+/// The vision TA.
+///
+/// The frame classifier is held behind [`Arc`] so a fleet of camera
+/// pipelines shares one trained model instead of retraining per device.
+pub struct VisionTa {
+    descriptor: TaDescriptor,
+    camera_pta: TaUuid,
+    model: Arc<FrameCnn>,
+    policy: PrivacyPolicy,
+    channel: TaCloudChannel,
+    stats: VisionStats,
+}
+
+impl std::fmt::Debug for VisionTa {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VisionTa")
+            .field("policy", &self.policy)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl VisionTa {
+    /// Creates the TA around a trained frame classifier.
+    pub fn new(
+        camera_pta: TaUuid,
+        model: Arc<FrameCnn>,
+        policy: PrivacyPolicy,
+        cloud_host: impl Into<String>,
+        psk: [u8; PSK_LEN],
+    ) -> Self {
+        let model_kib = (model.memory_bytes_f32() / 1024).max(1) as u32;
+        VisionTa {
+            descriptor: TaDescriptor::new(VISION_TA_NAME, 48, 128 + model_kib),
+            camera_pta,
+            model,
+            policy,
+            channel: TaCloudChannel::new(cloud_host, psk),
+            stats: VisionStats::default(),
+        }
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> VisionStats {
+        self.stats
+    }
+
+    /// The transition-amortized batch path (`cmd::PROCESS_BATCH`): one
+    /// batched frame capture through the camera PTA, per-frame
+    /// featurization + classification, per-window policy, and a single
+    /// sealed relay record of verdicts for the whole batch.
+    fn process_batch(
+        &mut self,
+        env: &mut TaEnv<'_>,
+        windows: &[(u64, u32)],
+        params: &mut TeeParams,
+    ) -> TeeResult<()> {
+        // 1. One batched capture through the camera PTA.
+        let request = perisec_secure_driver::camera_pta::encode_frames_request(
+            &windows.iter().map(|&(_, f)| f as usize).collect::<Vec<_>>(),
+        );
+        let mut capture = TeeParams::new().with(0, TeeParam::MemRefInput(request));
+        env.invoke_pta(
+            self.camera_pta,
+            perisec_secure_driver::camera_pta::cmd::CAPTURE_FRAME_BATCH,
+            &mut capture,
+        )?;
+        let replies = perisec_secure_driver::camera_pta::decode_frame_windows_reply(
+            capture.get(1).as_memref().ok_or(TeeError::Communication {
+                reason: "camera pta returned no batched frames".to_owned(),
+            })?,
+        )?;
+        if replies.len() != windows.len() {
+            return Err(TeeError::Communication {
+                reason: format!(
+                    "camera pta returned {} windows for a {}-window batch",
+                    replies.len(),
+                    windows.len()
+                ),
+            });
+        }
+        let (wire_ns, capture_cpu_ns) = capture.get(2).as_values().unwrap_or((0, 0));
+
+        // 2. Per-window ML + policy; permitted verdicts accumulate into
+        //    one batched relay event. The sensitive probability of a
+        //    window is the max over its frames (one suspicious frame taints
+        //    the window).
+        let frame_len = self.model.frame_len();
+        let mut verdicts = Vec::with_capacity(windows.len());
+        let mut outbound = Vec::new();
+        let mut ml_ns_total = 0u64;
+        for (&(dialog_id, frames), reply) in windows.iter().zip(&replies) {
+            // Hold the reply to the *requested* window length (validated
+            // >= 1 at the command boundary) rather than trusting the
+            // PTA's echoed count: a short or zero-frame reply must never
+            // yield a verdict for content that was not classified.
+            let frames = frames as usize;
+            if reply.frames != frames || reply.pixels.len() != frames * frame_len {
+                return Err(TeeError::Communication {
+                    reason: format!(
+                        "window of {frames} requested frames delivered {} frames / {} pixel \
+                         bytes (model expects {frame_len} per frame)",
+                        reply.frames,
+                        reply.pixels.len(),
+                    ),
+                });
+            }
+            let ml_start = env.platform().clock().now();
+            let mut probability = 0.0f32;
+            for frame in reply.pixels.chunks_exact(frame_len) {
+                env.charge_compute(self.model.flops_per_inference());
+                let p = self.model.predict(frame).map_err(|e| TeeError::Generic {
+                    reason: e.to_string(),
+                })?;
+                probability = probability.max(p);
+                self.stats.frames += 1;
+            }
+            ml_ns_total += env.platform().clock().elapsed_since(ml_start).as_nanos();
+
+            // The vision policy has no lexicon; redaction degenerates to
+            // forwarding, because a verdict record already contains
+            // nothing to redact.
+            let probability_milli = (probability * 1000.0) as u16;
+            let decision = match self.policy.decide(probability) {
+                FilterDecision::ForwardRedacted => FilterDecision::Forward,
+                other => other,
+            };
+            match decision {
+                FilterDecision::Forward => {
+                    self.stats.forwarded += 1;
+                    outbound.push(AvsEvent::FrameVerdict {
+                        dialog_id,
+                        frames: frames as u32,
+                        probability_milli,
+                    });
+                }
+                FilterDecision::Drop => self.stats.dropped += 1,
+                FilterDecision::ForwardRedacted => unreachable!("mapped to Forward above"),
+            }
+            self.stats.windows += 1;
+            verdicts.push((decision, probability_milli));
+        }
+
+        // 3. One relay round trip for the whole batch, then the same
+        //    reply contract as the audio filter TA — never pixels.
+        crate::cloud_channel::relay_batch_and_pack(
+            &mut self.channel,
+            env,
+            outbound,
+            &verdicts,
+            (wire_ns, capture_cpu_ns),
+            ml_ns_total,
+            params,
+        )
+    }
+}
+
+impl TrustedApp for VisionTa {
+    fn descriptor(&self) -> TaDescriptor {
+        self.descriptor.clone()
+    }
+
+    fn invoke(
+        &mut self,
+        env: &mut TaEnv<'_>,
+        cmd_id: u32,
+        params: &mut TeeParams,
+    ) -> TeeResult<()> {
+        match cmd_id {
+            cmd::PROCESS_BATCH => {
+                let windows = decode_batch_request(params.get(0).as_memref().ok_or(
+                    TeeError::BadParameters {
+                        reason: "process-batch expects a memref parameter".to_owned(),
+                    },
+                )?)?;
+                if windows.iter().any(|&(_, frames)| frames == 0) {
+                    return Err(TeeError::BadParameters {
+                        reason: "batch windows must be at least 1 frame".to_owned(),
+                    });
+                }
+                // The TA's own bookkeeping cost, once per batch.
+                env.charge_cpu(SimDuration::from_micros(10));
+                self.process_batch(env, &windows, params)
+            }
+            cmd::SET_POLICY => {
+                let (mode, threshold) =
+                    params.get(0).as_values().ok_or(TeeError::BadParameters {
+                        reason: "set-policy expects a value parameter".to_owned(),
+                    })?;
+                self.policy =
+                    PrivacyPolicy::from_values(mode, threshold).ok_or(TeeError::BadParameters {
+                        reason: format!("unknown policy mode {mode}"),
+                    })?;
+                Ok(())
+            }
+            cmd::GET_STATS => {
+                params.set(
+                    0,
+                    TeeParam::ValueOutput {
+                        a: self.stats.windows,
+                        b: self.stats.forwarded,
+                    },
+                );
+                params.set(
+                    1,
+                    TeeParam::ValueOutput {
+                        a: self.stats.dropped,
+                        b: self.stats.frames,
+                    },
+                );
+                Ok(())
+            }
+            other => Err(TeeError::ItemNotFound {
+                what: format!("vision ta command {other}"),
+            }),
+        }
+    }
+
+    fn close_session(&mut self, env: &mut TaEnv<'_>) {
+        self.channel.close(env);
+    }
+}

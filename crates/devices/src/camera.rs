@@ -94,6 +94,36 @@ impl ImageFrame {
     }
 }
 
+/// Where the scenes in front of a camera come from.
+///
+/// This mirrors [`crate::signal::SignalSource`] on the audio side: the
+/// "physical world" in front of the sensor is modelled outside the sensor
+/// itself, so scenario runners can schedule what the camera sees while the
+/// driver that owns the sensor stays oblivious to the ground truth.
+pub trait SceneSource: Send {
+    /// The scene in front of the camera for the next frame.
+    fn next_scene(&mut self) -> SceneKind;
+
+    /// Human-readable description (for traces).
+    fn describe(&self) -> String {
+        "scene source".to_owned()
+    }
+}
+
+/// A scene source that always shows the same scene.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedScene(pub SceneKind);
+
+impl SceneSource for FixedScene {
+    fn next_scene(&mut self) -> SceneKind {
+        self.0
+    }
+
+    fn describe(&self) -> String {
+        format!("fixed scene {:?}", self.0)
+    }
+}
+
 /// A camera sensor producing synthetic frames.
 #[derive(Debug)]
 pub struct CameraSensor {
@@ -266,6 +296,16 @@ impl CameraSensor {
         self.sequence += 1;
         Ok(frame)
     }
+
+    /// Captures one frame of whatever scene the source presents.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CameraSensor::capture_frame`].
+    pub fn capture_from(&mut self, source: &mut dyn SceneSource) -> Result<ImageFrame> {
+        let scene = source.next_scene();
+        self.capture_frame(scene)
+    }
 }
 
 #[cfg(test)]
@@ -314,6 +354,15 @@ mod tests {
         // The empty room is the flattest; documents have by far the most variance.
         assert!(person.intensity_variance() > empty.intensity_variance() * 2.0);
         assert!(document.intensity_variance() > person.intensity_variance());
+    }
+
+    #[test]
+    fn capture_from_draws_scenes_off_the_source() {
+        let mut cam = camera();
+        let mut source = FixedScene(SceneKind::Document);
+        let frame = cam.capture_from(&mut source).unwrap();
+        assert_eq!(frame.scene, SceneKind::Document);
+        assert!(source.describe().contains("Document"));
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod mic;
 pub mod signal;
 
 pub use audio::{AudioBuffer, AudioFormat};
-pub use camera::{CameraSensor, ImageFrame};
+pub use camera::{CameraSensor, FixedScene, ImageFrame, SceneKind, SceneSource};
 pub use dma::{DmaChannel, DmaTransfer};
 pub use i2s::{I2sBus, I2sConfig, I2sController};
 pub use mic::Microphone;

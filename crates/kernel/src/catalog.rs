@@ -51,11 +51,18 @@ pub enum FeatureGroup {
     UsbAudio,
     /// HDA codec support (present on the board, irrelevant to I2S).
     HdaAudio,
+    /// VI/CSI camera frame-capture path.
+    CameraCapture,
+    /// Camera ISP processing (demosaic, scaling, tone mapping — stays in
+    /// the normal world; the vision TA consumes raw grayscale surfaces).
+    CameraIsp,
+    /// V4L2 media-controller plumbing around the camera pipeline.
+    CameraMediaController,
 }
 
 impl FeatureGroup {
     /// All groups, in reporting order.
-    pub const ALL: [FeatureGroup; 12] = [
+    pub const ALL: [FeatureGroup; 15] = [
         FeatureGroup::CoreInit,
         FeatureGroup::I2sCapture,
         FeatureGroup::I2sPlayback,
@@ -68,6 +75,9 @@ impl FeatureGroup {
         FeatureGroup::MachineDriver,
         FeatureGroup::UsbAudio,
         FeatureGroup::HdaAudio,
+        FeatureGroup::CameraCapture,
+        FeatureGroup::CameraIsp,
+        FeatureGroup::CameraMediaController,
     ];
 }
 
@@ -86,6 +96,9 @@ impl std::fmt::Display for FeatureGroup {
             FeatureGroup::MachineDriver => "machine-driver",
             FeatureGroup::UsbAudio => "usb-audio",
             FeatureGroup::HdaAudio => "hda-audio",
+            FeatureGroup::CameraCapture => "camera-capture",
+            FeatureGroup::CameraIsp => "camera-isp",
+            FeatureGroup::CameraMediaController => "camera-media-controller",
         };
         write!(f, "{s}")
     }
@@ -328,6 +341,97 @@ impl DriverCatalog {
         }
         c
     }
+
+    /// The Tegra-class camera driver stack (VI/CSI capture, ISP, media
+    /// controller, sensor control). Function names and rough sizes mirror
+    /// the upstream `drivers/staging/media/tegra-video` and `imx219`
+    /// drivers; like the audio catalog, sizes are order-of-magnitude
+    /// estimates.
+    pub fn tegra_camera_stack() -> Self {
+        let mut c = DriverCatalog::new();
+        // Core init: probe, clocks, regmap, resets.
+        for (name, loc) in [
+            ("tegra_vi_probe", 140),
+            ("tegra_vi_remove", 30),
+            ("tegra_vi_init_regmap", 55),
+            ("tegra_vi_clk_get", 40),
+            ("tegra_vi_clk_enable", 30),
+            ("tegra_vi_clk_disable", 20),
+            ("tegra_vi_reset_control", 35),
+        ] {
+            c.add(name, loc, FeatureGroup::CoreInit);
+        }
+        // Frame-capture path (VI channel + CSI receiver + sensor control).
+        for (name, loc) in [
+            ("tegra_channel_capture_setup", 90),
+            ("tegra_channel_set_format", 110),
+            ("tegra_channel_start_streaming", 75),
+            ("tegra_channel_stop_streaming", 50),
+            ("tegra_channel_capture_frame", 130),
+            ("tegra_channel_frame_irq_handler", 80),
+            ("tegra_channel_read_surface", 70),
+            ("tegra_csi_start_streaming", 65),
+            ("tegra_csi_stop_streaming", 45),
+            ("tegra_csi_error_recover", 85),
+            ("imx219_set_mode", 95),
+            ("imx219_start_streaming", 55),
+            ("imx219_stop_streaming", 35),
+            ("tegra_vi_syncpt_wait", 60),
+            ("tegra_vi_buffer_queue", 45),
+            ("tegra_vi_buffer_done", 40),
+        ] {
+            c.add(name, loc, FeatureGroup::CameraCapture);
+        }
+        // ISP processing (stays in the normal world).
+        for (name, loc) in [
+            ("tegra_isp_probe", 160),
+            ("tegra_isp_demosaic", 220),
+            ("tegra_isp_scale", 180),
+            ("tegra_isp_tonemap", 150),
+            ("tegra_isp_awb_stats", 130),
+            ("tegra_isp_program_pipeline", 200),
+        ] {
+            c.add(name, loc, FeatureGroup::CameraIsp);
+        }
+        // V4L2 media-controller plumbing.
+        for (name, loc) in [
+            ("tegra_v4l2_device_register", 120),
+            ("tegra_media_link_setup", 90),
+            ("tegra_graph_parse", 140),
+            ("tegra_subdev_notifier_bound", 70),
+            ("v4l2_ioctl_dispatch", 260),
+        ] {
+            c.add(name, loc, FeatureGroup::CameraMediaController);
+        }
+        // Power management and diagnostics shared with the board support.
+        for (name, loc) in [
+            ("tegra_vi_runtime_suspend", 40),
+            ("tegra_vi_runtime_resume", 50),
+            ("tegra_camera_powergate", 55),
+        ] {
+            c.add(name, loc, FeatureGroup::PowerManagement);
+        }
+        for (name, loc) in [("tegra_vi_debugfs_init", 45), ("tegra_vi_stats_show", 65)] {
+            c.add(name, loc, FeatureGroup::Diagnostics);
+        }
+        c
+    }
+
+    /// Merges another catalog into this one (same-name entries are
+    /// replaced). Used to build the full audio+camera code base for
+    /// cross-modality TCB reports.
+    pub fn merge_from(&mut self, other: &DriverCatalog) {
+        for f in other.iter() {
+            self.add(&f.name, f.loc, f.group);
+        }
+    }
+
+    /// The combined audio + camera driver code base of the board.
+    pub fn tegra_av_stack() -> Self {
+        let mut c = DriverCatalog::tegra_audio_stack();
+        c.merge_from(&DriverCatalog::tegra_camera_stack());
+        c
+    }
 }
 
 impl<'a> IntoIterator for &'a DriverCatalog {
@@ -384,6 +488,33 @@ mod tests {
         assert_eq!(grouped, c.len());
         let loc_sum: u64 = c.loc_by_group().values().sum();
         assert_eq!(loc_sum, c.total_loc());
+    }
+
+    #[test]
+    fn camera_catalog_covers_the_camera_path() {
+        let c = DriverCatalog::tegra_camera_stack();
+        assert!(c.len() >= 35, "camera catalog too small: {}", c.len());
+        assert!(c.total_loc() > 2_500, "total loc = {}", c.total_loc());
+        let by_group = c.loc_by_group();
+        // The capture path is a minority of the camera code base: ISP and
+        // the media controller dominate, and neither needs to be ported.
+        let capture = by_group[&FeatureGroup::CameraCapture] + by_group[&FeatureGroup::CoreInit];
+        assert!(
+            (capture as f64) < 0.6 * c.total_loc() as f64,
+            "capture-related loc {capture} vs total {}",
+            c.total_loc()
+        );
+    }
+
+    #[test]
+    fn av_stack_merges_both_modalities() {
+        let audio = DriverCatalog::tegra_audio_stack();
+        let camera = DriverCatalog::tegra_camera_stack();
+        let av = DriverCatalog::tegra_av_stack();
+        assert_eq!(av.len(), audio.len() + camera.len());
+        assert_eq!(av.total_loc(), audio.total_loc() + camera.total_loc());
+        assert!(av.function("tegra210_i2s_hw_params").is_some());
+        assert!(av.function("tegra_channel_capture_frame").is_some());
     }
 
     #[test]

@@ -26,7 +26,10 @@
 //! * [`mfcc`] — framing, FFT, mel filterbank and DCT for audio features;
 //! * [`stt`] — a lightweight keyword speech-to-text model (template
 //!   matching over MFCC features) standing in for the pre-trained speech
-//!   recognizers the paper cites.
+//!   recognizers the paper cites;
+//! * [`vision`] — the image-side stack: a patch-pooling + small-2D-conv
+//!   frame featurizer and the [`vision::FrameCnn`] frame classifier hosted
+//!   by the vision TA.
 //!
 //! ## Pre-training substitution
 //!
@@ -51,11 +54,13 @@ pub mod models;
 pub mod quant;
 pub mod stt;
 pub mod tensor;
+pub mod vision;
 
 pub use classifier::{Architecture, ClassifierMetrics, SensitiveClassifier, TrainConfig};
 pub use mfcc::{MfccConfig, MfccExtractor};
 pub use stt::{KeywordStt, Transcript};
 pub use tensor::Matrix;
+pub use vision::{FrameCnn, FrameFeaturizer, VisionConfig};
 
 use std::error::Error;
 use std::fmt;

@@ -14,6 +14,7 @@ const TAG_RECOGNIZE: u8 = 0x10;
 const TAG_TEXT: u8 = 0x11;
 const TAG_PING: u8 = 0x12;
 const TAG_BATCH: u8 = 0x13;
+const TAG_FRAME_VERDICT: u8 = 0x14;
 const TAG_DIRECTIVE_ACK: u8 = 0x20;
 const TAG_DIRECTIVE_SPEAK: u8 = 0x21;
 const TAG_DIRECTIVE_BATCH_ACK: u8 = 0x22;
@@ -37,6 +38,18 @@ pub enum AvsEvent {
     },
     /// Keep-alive.
     Ping,
+    /// The camera modality's privacy-preserving event: the vision TA
+    /// relays only this record for permitted camera traffic — a frame
+    /// count and the classifier's coarse probability. Pixels never cross
+    /// the TEE boundary outward.
+    FrameVerdict {
+        /// Dialog identifier (the camera scenario event id).
+        dialog_id: u64,
+        /// Number of frames the verdict covers.
+        frames: u32,
+        /// Sensitive probability of the window in thousandths.
+        probability_milli: u16,
+    },
     /// Several events delivered in one record — the transition-amortized
     /// relay path: a filter TA that processed a batch of capture windows
     /// ships every permitted utterance in a single sealed record, so the
@@ -64,6 +77,17 @@ impl AvsEvent {
                 out
             }
             AvsEvent::Ping => vec![TAG_PING],
+            AvsEvent::FrameVerdict {
+                dialog_id,
+                frames,
+                probability_milli,
+            } => {
+                let mut out = vec![TAG_FRAME_VERDICT];
+                out.extend_from_slice(&dialog_id.to_be_bytes());
+                out.extend_from_slice(&frames.to_be_bytes());
+                out.extend_from_slice(&probability_milli.to_be_bytes());
+                out
+            }
             AvsEvent::Batch(events) => {
                 let mut out = vec![TAG_BATCH];
                 out.extend_from_slice(&(events.len() as u32).to_be_bytes());
@@ -99,6 +123,20 @@ impl AvsEvent {
         })?;
         match tag {
             TAG_PING => Ok(AvsEvent::Ping),
+            TAG_FRAME_VERDICT => {
+                if data.len() < 15 {
+                    return Err(RelayError::Codec {
+                        reason: "frame verdict truncated".to_owned(),
+                    });
+                }
+                Ok(AvsEvent::FrameVerdict {
+                    dialog_id: u64::from_be_bytes(data[1..9].try_into().expect("8 bytes")),
+                    frames: u32::from_be_bytes(data[9..13].try_into().expect("4 bytes")),
+                    probability_milli: u16::from_be_bytes(
+                        data[13..15].try_into().expect("2 bytes"),
+                    ),
+                })
+            }
             TAG_BATCH => {
                 if depth >= Self::MAX_BATCH_DEPTH {
                     return Err(RelayError::Codec {
@@ -304,6 +342,11 @@ mod tests {
                 dialog_id: 9,
                 text: "play music kitchen".to_owned(),
             },
+            AvsEvent::FrameVerdict {
+                dialog_id: 11,
+                frames: 3,
+                probability_milli: 120,
+            },
         ];
         for e in events {
             let encoded = e.encode();
@@ -381,6 +424,7 @@ mod tests {
         assert!(AvsEvent::decode(&[]).is_err());
         assert!(AvsEvent::decode(&[0xEE]).is_err());
         assert!(AvsEvent::decode(&[TAG_RECOGNIZE, 1, 2]).is_err());
+        assert!(AvsEvent::decode(&[TAG_FRAME_VERDICT, 0, 0, 0]).is_err());
         let mut truncated = AvsEvent::Recognize {
             dialog_id: 1,
             audio: vec![0; 100],

@@ -130,6 +130,22 @@ impl MockCloudService {
                     encrypted,
                 });
             }
+            AvsEvent::FrameVerdict {
+                dialog_id,
+                frames,
+                probability_milli,
+            } => {
+                // The camera modality's whole point: the cloud learns a
+                // frame count and a coarse score, never pixels.
+                report.events.push(ReceivedEvent {
+                    dialog_id: *dialog_id,
+                    text: Some(format!(
+                        "frame-verdict frames={frames} p={probability_milli}"
+                    )),
+                    audio_bytes: 0,
+                    encrypted,
+                });
+            }
             AvsEvent::Ping => {}
             AvsEvent::Batch(events) => {
                 // Drop the report lock before recursing into the entries.
@@ -144,7 +160,9 @@ impl MockCloudService {
     /// Dialog ids named by an event, in order (batch entries flattened).
     fn dialog_ids_of(event: &AvsEvent) -> Vec<u64> {
         match event {
-            AvsEvent::Recognize { dialog_id, .. } | AvsEvent::TextMessage { dialog_id, .. } => {
+            AvsEvent::Recognize { dialog_id, .. }
+            | AvsEvent::TextMessage { dialog_id, .. }
+            | AvsEvent::FrameVerdict { dialog_id, .. } => {
                 vec![*dialog_id]
             }
             AvsEvent::Ping => Vec::new(),
@@ -154,11 +172,11 @@ impl MockCloudService {
 
     fn ack_for(event: &AvsEvent) -> AvsDirective {
         match event {
-            AvsEvent::Recognize { dialog_id, .. } | AvsEvent::TextMessage { dialog_id, .. } => {
-                AvsDirective::Ack {
-                    dialog_id: *dialog_id,
-                }
-            }
+            AvsEvent::Recognize { dialog_id, .. }
+            | AvsEvent::TextMessage { dialog_id, .. }
+            | AvsEvent::FrameVerdict { dialog_id, .. } => AvsDirective::Ack {
+                dialog_id: *dialog_id,
+            },
             AvsEvent::Ping => AvsDirective::Ack {
                 dialog_id: u64::MAX,
             },
@@ -176,6 +194,9 @@ impl MockCloudService {
                     text: self.response_text.clone(),
                 }
             }
+            AvsEvent::FrameVerdict { dialog_id, .. } => AvsDirective::Ack {
+                dialog_id: *dialog_id,
+            },
             AvsEvent::Ping => AvsDirective::Ack {
                 dialog_id: u64::MAX,
             },
@@ -354,6 +375,24 @@ mod tests {
         assert_eq!(report.received_dialog_ids(), vec![4, 6]);
         assert!(report.events.iter().all(|e| e.encrypted));
         assert_eq!(report.text_of(6), "lights off");
+    }
+
+    #[test]
+    fn frame_verdicts_carry_no_payload_bytes() {
+        let (fabric, cloud) = fabric_with_cloud();
+        let transport = fabric.open_transport(MockCloudService::HOST, 443).unwrap();
+        let event = AvsEvent::FrameVerdict {
+            dialog_id: 8,
+            frames: 4,
+            probability_milli: 90,
+        };
+        transport.send(&event.encode()).unwrap();
+        let ack = AvsDirective::decode(&transport.recv(64).unwrap()).unwrap();
+        assert_eq!(ack, AvsDirective::Ack { dialog_id: 8 });
+        let report = cloud.report();
+        assert_eq!(report.received_dialog_ids(), vec![8]);
+        assert_eq!(report.events[0].audio_bytes, 0);
+        assert!(report.text_of(8).contains("frame-verdict"));
     }
 
     #[test]

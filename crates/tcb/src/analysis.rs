@@ -29,6 +29,35 @@ impl TaskTcb {
             self.loc as f64 / total_loc as f64
         }
     }
+
+    /// Builds the minimal set a *statically declared* secure port implies.
+    ///
+    /// The audio path derives its minimal set from kernel traces; the
+    /// camera path has no baseline in-kernel driver to trace, so its
+    /// secure port (`PORTED_CAMERA_FUNCTIONS`) declares the set directly.
+    /// This constructor turns such a declaration into the same [`TaskTcb`]
+    /// shape the trace analysis produces, so both modalities appear in one
+    /// TCB report. Functions missing from `catalog` contribute no LoC and
+    /// no group (the caller can detect them via
+    /// [`TcbAnalysis::unknown_functions`] after
+    /// [`TcbAnalysis::add_static_task`]).
+    pub fn from_ported(catalog: &DriverCatalog, task: impl Into<String>, ported: &[&str]) -> Self {
+        let functions: BTreeSet<String> = ported.iter().map(|s| (*s).to_owned()).collect();
+        let mut loc = 0u64;
+        let mut groups = BTreeSet::new();
+        for f in &functions {
+            if let Some(entry) = catalog.function(f) {
+                loc += entry.loc as u64;
+                groups.insert(entry.group);
+            }
+        }
+        TaskTcb {
+            task: task.into(),
+            functions,
+            loc,
+            groups,
+        }
+    }
 }
 
 /// Analysis of a trace log against the full driver catalog.
@@ -79,6 +108,21 @@ impl TcbAnalysis {
             tasks,
             unknown_functions: unknown,
         }
+    }
+
+    /// Appends a statically-declared task (e.g. the camera port built by
+    /// [`TaskTcb::from_ported`]) to the analysis, keeping the task list
+    /// sorted. Functions the catalog does not know are recorded in
+    /// [`TcbAnalysis::unknown_functions`], exactly as for traced tasks —
+    /// a non-empty set means the port and the catalog have drifted apart.
+    pub fn add_static_task(&mut self, catalog: &DriverCatalog, task: TaskTcb) {
+        for f in &task.functions {
+            if catalog.function(f).is_none() {
+                self.unknown_functions.insert(f.clone());
+            }
+        }
+        self.tasks.push(task);
+        self.tasks.sort_by(|a, b| a.task.cmp(&b.task));
     }
 
     /// The minimal set for one task, if it was traced.
@@ -196,6 +240,65 @@ mod tests {
             gap.is_empty(),
             "secure driver port misses traced functions: {gap:?}"
         );
+    }
+
+    #[test]
+    fn camera_port_accounts_as_a_static_task() {
+        let camera_catalog = DriverCatalog::tegra_camera_stack();
+        let task = TaskTcb::from_ported(
+            &camera_catalog,
+            "record-frames",
+            perisec_secure_driver::PORTED_CAMERA_FUNCTIONS,
+        );
+        // The declared port is known to the catalog and touches only the
+        // capture path plus core init — never ISP or the media controller.
+        assert!(task.loc > 0);
+        assert!(task.groups.contains(&FeatureGroup::CameraCapture));
+        assert!(!task.groups.contains(&FeatureGroup::CameraIsp));
+        assert!(!task.groups.contains(&FeatureGroup::CameraMediaController));
+        assert!(
+            task.loc_fraction(camera_catalog.total_loc()) < 0.5,
+            "camera port is {:.2} of the camera stack",
+            task.loc_fraction(camera_catalog.total_loc())
+        );
+    }
+
+    #[test]
+    fn static_tasks_join_the_traced_analysis() {
+        let (_, log) = traced_driver_log();
+        // Analyze against the combined audio+camera code base, then fold
+        // the camera port in as a static task.
+        let av = DriverCatalog::tegra_av_stack();
+        let mut analysis = TcbAnalysis::analyze(&av, &log);
+        let camera_task = TaskTcb::from_ported(
+            &av,
+            "record-frames",
+            perisec_secure_driver::PORTED_CAMERA_FUNCTIONS,
+        );
+        analysis.add_static_task(&av, camera_task);
+        assert!(analysis.unknown_functions.is_empty());
+        let record = analysis.task("record").unwrap();
+        let frames = analysis.task("record-frames").unwrap();
+        assert!(record.functions.is_disjoint(&frames.functions));
+        // The union — what a TEE serving both modalities must port — is
+        // still a small fraction of the combined code base.
+        let union = analysis.union_of(&["record", "record-frames"]);
+        let union_loc = av.loc_of(union.iter().map(String::as_str));
+        assert!(
+            (union_loc as f64) < 0.35 * av.total_loc() as f64,
+            "both-modality port is {union_loc} of {} loc",
+            av.total_loc()
+        );
+    }
+
+    #[test]
+    fn static_tasks_report_unknown_functions() {
+        let catalog = DriverCatalog::tegra_camera_stack();
+        let mut analysis =
+            TcbAnalysis::analyze(&catalog, &perisec_kernel::trace::TraceLog::default());
+        let task = TaskTcb::from_ported(&catalog, "ghost", &["not_in_catalog"]);
+        analysis.add_static_task(&catalog, task);
+        assert!(analysis.unknown_functions.contains("not_in_catalog"));
     }
 
     #[test]

@@ -6,6 +6,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use perisec_devices::camera::SceneKind;
 use perisec_tz::time::SimDuration;
 
 use crate::corpus::{CorpusGenerator, Utterance};
@@ -145,6 +146,154 @@ impl Scenario {
     }
 }
 
+/// One event of a camera scenario: a scene appearing in front of the
+/// camera for a number of frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CameraScenarioEvent {
+    /// Index of the event (doubles as the AVS dialog id).
+    pub id: u64,
+    /// Time offset from the start of the scenario at which the scene
+    /// appears.
+    pub at: SimDuration,
+    /// What the camera sees.
+    pub scene: SceneKind,
+    /// How many frames the pipeline captures of this scene.
+    pub frames: usize,
+}
+
+/// A named, timed scene schedule — the camera modality's counterpart of
+/// [`Scenario`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CameraScenario {
+    /// Human-readable scenario name.
+    pub name: String,
+    /// Events in chronological order.
+    pub events: Vec<CameraScenarioEvent>,
+}
+
+impl CameraScenario {
+    /// Builds a scenario from scenes spaced `spacing` apart, `frames`
+    /// frames each.
+    pub fn from_scenes(
+        name: impl Into<String>,
+        scenes: Vec<SceneKind>,
+        frames: usize,
+        spacing: SimDuration,
+    ) -> Self {
+        let events = scenes
+            .into_iter()
+            .enumerate()
+            .map(|(i, scene)| CameraScenarioEvent {
+                id: i as u64,
+                at: spacing * i as u64,
+                scene,
+                frames: frames.max(1),
+            })
+            .collect();
+        CameraScenario {
+            name: name.into(),
+            events,
+        }
+    }
+
+    /// A fully parameterized scene mix, for sweeps: roughly
+    /// `sensitive_fraction` of the events show a person or a document.
+    pub fn mixed_scenes(
+        n: usize,
+        sensitive_fraction: f64,
+        spacing: SimDuration,
+        seed: u64,
+    ) -> Self {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let scenes = (0..n)
+            .map(|_| {
+                if rng.gen_bool(sensitive_fraction.clamp(0.0, 1.0)) {
+                    if rng.gen_bool(0.5) {
+                        SceneKind::Person
+                    } else {
+                        SceneKind::Document
+                    }
+                } else if rng.gen_bool(0.5) {
+                    SceneKind::EmptyRoom
+                } else {
+                    SceneKind::Pet
+                }
+            })
+            .collect();
+        CameraScenario::from_scenes(
+            format!("scenes-{n}x{:.0}pct", sensitive_fraction * 100.0),
+            scenes,
+            2,
+            spacing,
+        )
+    }
+
+    /// Fan-out for a camera fleet: `devices` scene schedules derived from
+    /// `seed`, each distinct but reproducible.
+    pub fn fleet_cameras(
+        devices: usize,
+        n: usize,
+        sensitive_fraction: f64,
+        spacing: SimDuration,
+        seed: u64,
+    ) -> Vec<CameraScenario> {
+        (0..devices)
+            .map(|device| {
+                let mut scenario = CameraScenario::mixed_scenes(
+                    n,
+                    sensitive_fraction,
+                    spacing,
+                    seed ^ (device as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                scenario.name = format!("camera-device-{device}");
+                scenario
+            })
+            .collect()
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the scenario has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total frames across all events.
+    pub fn total_frames(&self) -> usize {
+        self.events.iter().map(|e| e.frames).sum()
+    }
+
+    /// Number of ground-truth sensitive scenes.
+    pub fn sensitive_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.scene.is_sensitive())
+            .count()
+    }
+
+    /// Ids of the ground-truth sensitive events.
+    pub fn sensitive_ids(&self) -> Vec<u64> {
+        self.events
+            .iter()
+            .filter(|e| e.scene.is_sensitive())
+            .map(|e| e.id)
+            .collect()
+    }
+
+    /// Total scenario duration (time of the last event).
+    pub fn duration(&self) -> SimDuration {
+        self.events
+            .last()
+            .map(|e| e.at)
+            .unwrap_or(SimDuration::ZERO)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,6 +318,32 @@ mod tests {
         }
         let none = Scenario::mixed(10, 0.0, SimDuration::from_secs(1), 3);
         assert_eq!(none.sensitive_count(), 0);
+    }
+
+    #[test]
+    fn camera_scenarios_are_deterministic_and_labelled() {
+        let a = CameraScenario::mixed_scenes(20, 0.5, SimDuration::from_secs(4), 7);
+        let b = CameraScenario::mixed_scenes(20, 0.5, SimDuration::from_secs(4), 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 20);
+        assert_eq!(a.events[5].at, SimDuration::from_secs(20));
+        assert_eq!(a.total_frames(), 40);
+        assert_eq!(a.sensitive_count(), a.sensitive_ids().len());
+        for id in a.sensitive_ids() {
+            assert!(a.events[id as usize].scene.is_sensitive());
+        }
+        let none = CameraScenario::mixed_scenes(10, 0.0, SimDuration::from_secs(1), 7);
+        assert_eq!(none.sensitive_count(), 0);
+        assert!(!none.is_empty());
+    }
+
+    #[test]
+    fn camera_fleet_fanout_gives_each_device_distinct_scenes() {
+        let scenarios = CameraScenario::fleet_cameras(3, 8, 0.5, SimDuration::from_secs(2), 99);
+        assert_eq!(scenarios.len(), 3);
+        assert_eq!(scenarios[0].name, "camera-device-0");
+        assert_ne!(scenarios[0].events, scenarios[1].events);
+        assert_eq!(scenarios[2].len(), 8);
     }
 
     #[test]

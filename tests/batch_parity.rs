@@ -95,6 +95,7 @@ fn fleet_runs_eight_devices_off_one_model_set() {
     let fleet = PipelineFleet::new(FleetConfig {
         devices: 8,
         pipeline: parity_config(8),
+        ..FleetConfig::of(0)
     })
     .expect("fleet trains once");
     let scenarios = Scenario::fleet(8, 8, 0.25, SimDuration::from_secs(2), 0xF1EE7);

@@ -4,6 +4,7 @@ use proptest::prelude::*;
 
 use perisec::devices::codec::{bytes_to_pcm, mulaw_decode, mulaw_encode, pcm_to_bytes};
 use perisec::optee::crypto::{aead_open, aead_seal, nonce_from_sequence};
+use perisec::relay::avs::AvsEvent;
 use perisec::tz::secure_mem::SecureRam;
 use perisec::tz::stats::TzStats;
 use perisec::tz::time::SimDuration;
@@ -75,6 +76,43 @@ proptest! {
         let mut generator = CorpusGenerator::new(vocabulary.clone(), fraction, seed);
         for utterance in generator.generate(20) {
             prop_assert_eq!(utterance.sensitive, vocabulary.contains_sensitive(&utterance.tokens));
+        }
+    }
+
+    /// Depth-limited decoding of batched image AVS events: a frame-verdict
+    /// record wrapped in up to `MAX_BATCH_DEPTH` batch layers round-trips,
+    /// while any crafted nesting beyond the cap is rejected with a codec
+    /// error instead of recursing — the same guard the audio batch records
+    /// rely on, so untrusted input can never choose the recursion depth.
+    #[test]
+    fn image_batch_nesting_is_depth_limited(
+        dialog_id in any::<u64>(),
+        frames in 1u32..64,
+        probability_milli in 0u16..=1000,
+        depth in 0usize..40,
+    ) {
+        let leaf = AvsEvent::FrameVerdict { dialog_id, frames, probability_milli };
+        let mut event = leaf.clone();
+        for _ in 0..depth {
+            event = AvsEvent::Batch(vec![event]);
+        }
+        let decoded = AvsEvent::decode(&event.encode());
+        if depth <= AvsEvent::MAX_BATCH_DEPTH {
+            // In-cap nesting round-trips exactly, leaf intact.
+            let mut inner = decoded.expect("in-cap nesting decodes");
+            prop_assert_eq!(&inner, &event);
+            for _ in 0..depth {
+                inner = match inner {
+                    AvsEvent::Batch(mut events) => {
+                        prop_assert_eq!(events.len(), 1);
+                        events.remove(0)
+                    }
+                    other => other,
+                };
+            }
+            prop_assert_eq!(inner, leaf);
+        } else {
+            prop_assert!(decoded.is_err(), "nesting depth {} must be rejected", depth);
         }
     }
 

@@ -1,0 +1,153 @@
+//! Vision-path parity and privacy acceptance — the camera-modality mirror
+//! of `tests/batch_parity.rs`.
+//!
+//! The secure camera pipeline may batch N frame windows per TEE crossing;
+//! these tests pin down the contract:
+//!
+//! * **zero sensitive frames relayed** at every batch size, while at least
+//!   90% of non-sensitive scene events still reach the cloud as verdict
+//!   records;
+//! * identical cloud outcomes at batch 1 and batch 8;
+//! * `TzStats::world_switches` strictly decreases as the batch grows;
+//! * nothing that reaches the cloud ever carries pixel payload bytes.
+
+use perisec::core::fleet::{FleetConfig, Modality, PipelineFleet};
+use perisec::core::pipeline::{
+    CameraPipelineConfig, PipelineConfig, SecureCameraPipeline, SharedModels,
+};
+use perisec::tz::time::SimDuration;
+use perisec::workload::scenario::{CameraScenario, Scenario};
+
+fn camera_config(batch_windows: usize) -> CameraPipelineConfig {
+    CameraPipelineConfig {
+        batch_windows,
+        ..CameraPipelineConfig::default()
+    }
+}
+
+#[test]
+fn camera_batching_amortizes_world_switches_without_changing_privacy_outcomes() {
+    // One model set for every batch size, so outcomes can only differ
+    // through the batching itself. Deferred: only the frame classifier
+    // ever trains — this test runs no audio pipeline.
+    let models = SharedModels::deferred_for_config(&PipelineConfig::default());
+    let scenario = CameraScenario::mixed_scenes(16, 0.4, SimDuration::from_secs(2), 0xCAFE7);
+    assert!(scenario.sensitive_count() > 0);
+    let neutral = scenario.len() - scenario.sensitive_count();
+
+    let mut switches_per_event = Vec::new();
+    let mut baseline_outcome = None;
+    for batch in [1usize, 2, 4, 8] {
+        let mut pipeline = SecureCameraPipeline::with_models(camera_config(batch), &models)
+            .expect("pipeline builds");
+        let report = pipeline.run_scenario(&scenario).expect("scenario runs");
+
+        // Zero sensitive frames relayed, at every batch size.
+        assert_eq!(
+            report.cloud.leaked_sensitive_utterances(),
+            0,
+            "batch {batch} leaked a sensitive scene"
+        );
+        // ...while non-sensitive traffic flows: >= 90% of neutral scene
+        // events produce a verdict record at the cloud.
+        assert!(
+            report.cloud.received_utterances() * 10 >= neutral * 9,
+            "batch {batch}: only {}/{neutral} neutral events reached the cloud",
+            report.cloud.received_utterances()
+        );
+        // No pixel data ever crosses the TEE boundary outward: every
+        // event the cloud decoded is a payload-free verdict record.
+        for event in &report.cloud.report.events {
+            assert_eq!(
+                event.audio_bytes, 0,
+                "batch {batch} relayed payload bytes to the cloud"
+            );
+            assert!(event.encrypted, "batch {batch} relayed in plaintext");
+        }
+
+        // Identical cloud outcomes across batch sizes.
+        let outcome = (
+            report.cloud.report.received_dialog_ids(),
+            report.cloud.leaked_sensitive_utterances(),
+        );
+        match &baseline_outcome {
+            None => baseline_outcome = Some(outcome),
+            Some(expected) => assert_eq!(
+                &outcome, expected,
+                "cloud outcome diverged at batch {batch}"
+            ),
+        }
+
+        // Every event was processed and the TEE was really crossed.
+        assert_eq!(report.workload.utterances, scenario.len());
+        assert!(report.tz.smc_calls >= scenario.len().div_ceil(batch) as u64);
+        switches_per_event.push(report.tz.world_switches as f64 / scenario.len() as f64);
+    }
+
+    // World switches per frame event strictly decrease with the batch size.
+    for pair in switches_per_event.windows(2) {
+        assert!(
+            pair[1] < pair[0],
+            "world switches did not decrease: {switches_per_event:?}"
+        );
+    }
+    // Batch 8 is at least 4x cheaper than batch 1.
+    let unbatched = switches_per_event[0];
+    let batched = *switches_per_event.last().expect("swept batches");
+    assert!(
+        unbatched >= 4.0 * batched,
+        "expected >= 4x fewer world switches per event at batch 8: \
+         batch1 = {unbatched:.2}, batch8 = {batched:.2}"
+    );
+}
+
+#[test]
+fn mixed_fleet_filters_both_modalities_off_one_model_set() {
+    let fleet = PipelineFleet::new(FleetConfig {
+        devices: 4,
+        pipeline: PipelineConfig {
+            train_utterances: 160,
+            batch_windows: 8,
+            policy: perisec::core::policy::PrivacyPolicy {
+                mode: perisec::core::policy::FilterMode::BlockSensitive,
+                threshold: 0.8,
+                lexical_guard: true,
+            },
+            ..PipelineConfig::default()
+        },
+        camera_devices: 4,
+        camera_pipeline: camera_config(8),
+    })
+    .expect("fleet trains once");
+    let audio = Scenario::fleet(4, 8, 0.25, SimDuration::from_secs(2), 0xF1EE7);
+    let cameras = CameraScenario::fleet_cameras(4, 8, 0.25, SimDuration::from_secs(2), 0xF1EE8);
+    let report = fleet.run_mixed(&audio, &cameras).expect("fleet runs");
+
+    assert_eq!(report.device_count(), 8);
+    assert_eq!(report.device_count_of(Modality::Audio), 4);
+    assert_eq!(report.device_count_of(Modality::Camera), 4);
+    assert_eq!(report.total_utterances(), 64);
+    assert!(report.total_sensitive_utterances() > 0);
+    // Fleet-wide: nothing sensitive leaks from either modality.
+    assert_eq!(report.leaked_sensitive_utterances(), 0);
+    // Every device crossed its own TEE; batching keeps the fleet under 2
+    // world switches per event.
+    assert!(report.total_smc_calls() >= 8);
+    assert!(
+        report.world_switches_per_utterance() < 2.0,
+        "switches/event = {:.2}",
+        report.world_switches_per_utterance()
+    );
+    // Camera devices relayed verdict records only.
+    for device in &report.devices {
+        if device.modality == Modality::Camera {
+            assert!(device
+                .report
+                .cloud
+                .report
+                .events
+                .iter()
+                .all(|e| e.audio_bytes == 0));
+        }
+    }
+}
