@@ -1,0 +1,5 @@
+//! Experiment E14 harness: multi-core TEE scheduler (shard sweep +
+//! secure-RAM model dedup + adaptive batching).
+fn main() {
+    println!("{}", perisec_bench::run_e14_shard_sweep());
+}

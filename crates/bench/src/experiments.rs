@@ -702,6 +702,7 @@ pub fn run_e13_vision() -> String {
                     batch_windows: 8,
                     ..CameraPipelineConfig::default()
                 },
+                tee_cores: 1,
             },
             models.clone(),
         );
@@ -739,6 +740,154 @@ pub fn run_e13_vision() -> String {
     out
 }
 
+/// E14 — the multi-core TEE scheduler: one high-fps camera sharded
+/// across N vision-TA sessions on a secure-core pool, with secure-RAM
+/// model dedup. The sweep shows the frame budget flipping from missed to
+/// met as sessions are added, at identical privacy outcomes and strictly
+/// lower secure-RAM residency than without dedup.
+pub fn run_e14_shard_sweep() -> String {
+    use perisec_core::pipeline::{CameraPipelineConfig, SecureCameraPipeline, SharedModels};
+    use perisec_sched::pipeline::{ShardedCameraConfig, ShardedVisionPipeline};
+    use perisec_sched::pool::TeePoolConfig;
+    use perisec_workload::scenario::CameraScenario;
+
+    let mut out = String::from(
+        "## E14 — multi-core TEE scheduler (shard sweep, model dedup, frame budget)\n\n",
+    );
+
+    // A high-speed vision sensor on the quad-core IoT gateway: 4-frame
+    // windows at 12 kfps (machine-vision territory), so windows arrive
+    // every 333 µs — faster than one vision-TA session can classify them.
+    let scenario = CameraScenario::high_fps(48, 4, 12_000, 0.4, 0xE14);
+    let deadline = scenario.duration() + scenario.event_spacing();
+    let events = scenario.len() as f64;
+    let neutral = scenario.len() - scenario.sensitive_count();
+    let models = SharedModels::deferred(Architecture::Cnn, 16, 0xE14).with_vision_spec(120, 0xE14);
+    let _ = writeln!(
+        out,
+        "Stream: {} windows of 4 frames at 12000 fps (one window per {}), \
+         frame budget = stream duration + one window period = {}.\n",
+        scenario.len(),
+        scenario.event_spacing(),
+        deadline,
+    );
+
+    // The unsharded reference outcome the sweep must reproduce.
+    let mut reference = SecureCameraPipeline::with_models(
+        CameraPipelineConfig {
+            batch_windows: 4,
+            ..CameraPipelineConfig::default()
+        },
+        &models,
+    )
+    .expect("reference camera pipeline");
+    let reference_ids = reference
+        .run_scenario(&scenario)
+        .expect("reference run")
+        .cloud
+        .report
+        .received_dialog_ids();
+
+    out.push_str(
+        "| shards | SMCs/event | switches/event | leaked | delivered | payload bytes | \
+         RAM KiB (dedup) | RAM KiB (no dedup) | run clock | budget | outcome vs unsharded |\n\
+         |---|---|---|---|---|---|---|---|---|---|---|\n",
+    );
+    let mut utilization_lines = String::new();
+    for shards in [1usize, 2, 4] {
+        let mut pipeline = ShardedVisionPipeline::with_models(
+            ShardedCameraConfig {
+                camera: CameraPipelineConfig {
+                    batch_windows: 4,
+                    ..CameraPipelineConfig::default()
+                },
+                pool: TeePoolConfig::iot_quad_node(shards),
+                ..ShardedCameraConfig::default()
+            },
+            &models,
+        )
+        .expect("sharded pipeline");
+        let run = pipeline.run_scenario(&scenario).expect("sharded run");
+        let payload_bytes: usize = run
+            .report
+            .cloud
+            .report
+            .events
+            .iter()
+            .map(|e| e.audio_bytes)
+            .sum();
+        let _ = writeln!(
+            out,
+            "| {shards} | {:.2} | {:.2} | {} | {}/{} | {} | {} | {} | {} | {} | {} |",
+            run.report.tz.smc_calls as f64 / events,
+            run.report.tz.world_switches as f64 / events,
+            run.report.cloud.leaked_sensitive_utterances(),
+            run.report.cloud.received_utterances(),
+            neutral,
+            payload_bytes,
+            run.secure_ram.in_use_bytes / 1024,
+            run.secure_ram.bytes_without_dedup() / 1024,
+            run.report.virtual_time,
+            if run.kept_up(deadline) {
+                "met"
+            } else {
+                "MISSED"
+            },
+            if run.report.cloud.report.received_dialog_ids() == reference_ids {
+                "identical"
+            } else {
+                "DIVERGED"
+            },
+        );
+        let _ = writeln!(
+            utilization_lines,
+            "- {shards} shard(s): {}",
+            run.per_core
+                .iter()
+                .map(|c| format!(
+                    "core {} at {:.0}% ({} switches)",
+                    c.core,
+                    100.0 * c.utilization,
+                    c.world_switches
+                ))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
+    out.push_str("\n### Per-core utilization\n\n");
+    out.push_str(&utilization_lines);
+
+    // Adaptive batching: the batcher walks the E11 cost curve from the
+    // latency side — a generous SLO buys big batches (few crossings), a
+    // tight SLO forces small ones.
+    out.push_str("\n### Adaptive batching (2 shards, SLO sweep)\n\n");
+    out.push_str(
+        "| per-window SLO | switches/event | p95 latency | p99 latency |\n|---|---|---|---|\n",
+    );
+    for slo_us in [400u64, 2_000, 20_000] {
+        let mut pipeline = ShardedVisionPipeline::with_models(
+            ShardedCameraConfig {
+                camera: CameraPipelineConfig::default(),
+                pool: TeePoolConfig::iot_quad_node(2),
+                latency_slo: Some(SimDuration::from_micros(slo_us)),
+                ..ShardedCameraConfig::default()
+            },
+            &models,
+        )
+        .expect("adaptive pipeline");
+        let run = pipeline.run_scenario(&scenario).expect("adaptive run");
+        let _ = writeln!(
+            out,
+            "| {} | {:.2} | {} | {} |",
+            SimDuration::from_micros(slo_us),
+            run.report.tz.world_switches as f64 / events,
+            run.report.latency.p95_end_to_end(),
+            run.report.latency.p99_end_to_end(),
+        );
+    }
+    out
+}
+
 /// Runs every experiment and concatenates the tables (used by the
 /// `experiments` binary and by EXPERIMENTS.md generation).
 pub fn run_all() -> String {
@@ -756,6 +905,7 @@ pub fn run_all() -> String {
         run_e11_batch_sweep(),
         run_e12_fleet(),
         run_e13_vision(),
+        run_e14_shard_sweep(),
     ]
     .join("\n")
 }

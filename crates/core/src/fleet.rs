@@ -26,7 +26,7 @@ use serde::{Deserialize, Serialize};
 use crate::pipeline::{
     CameraPipelineConfig, PipelineConfig, SecureCameraPipeline, SecurePipeline, SharedModels,
 };
-use crate::report::PipelineReport;
+use crate::report::{LatencyPercentiles, PipelineReport};
 use crate::{CoreError, Result};
 
 /// Fleet configuration: how many devices of each modality, and how each is
@@ -43,6 +43,13 @@ pub struct FleetConfig {
     pub camera_devices: usize,
     /// Configuration applied to every camera device pipeline.
     pub camera_pipeline: CameraPipelineConfig,
+    /// Secure cores per camera device: each camera device's frame stream
+    /// is sharded across this many TA sessions on a multi-core TEE pool.
+    /// `1` (the default) is the classic single-session pipeline that
+    /// [`PipelineFleet`] runs directly; values above 1 are executed by the
+    /// scheduler crate's `ShardedFleet` runner, and [`PipelineFleet`]
+    /// rejects them loudly rather than silently running unsharded.
+    pub tee_cores: usize,
 }
 
 impl FleetConfig {
@@ -54,6 +61,7 @@ impl FleetConfig {
             pipeline: PipelineConfig::default(),
             camera_devices: 0,
             camera_pipeline: CameraPipelineConfig::default(),
+            tee_cores: 1,
         }
     }
 
@@ -65,11 +73,26 @@ impl FleetConfig {
             pipeline: PipelineConfig::default(),
             camera_devices: cameras,
             camera_pipeline: CameraPipelineConfig::default(),
+            tee_cores: 1,
         }
     }
 
     fn total_devices(&self) -> usize {
         self.devices + self.camera_devices
+    }
+
+    fn reject_sharding(&self) -> Result<()> {
+        if self.tee_cores > 1 {
+            return Err(CoreError::Config {
+                reason: format!(
+                    "fleet config asks for {} tee cores per camera device; \
+                     PipelineFleet runs single-session devices only — use the \
+                     scheduler crate's ShardedFleet for multi-core sharding",
+                    self.tee_cores
+                ),
+            });
+        }
+        Ok(())
     }
 }
 
@@ -205,18 +228,61 @@ impl FleetReport {
         }
     }
 
+    /// Every device's per-utterance latencies pooled into one sample.
+    fn latency_sample(&self) -> Vec<SimDuration> {
+        self.devices
+            .iter()
+            .flat_map(|d| d.report.latency.per_utterance.iter().copied())
+            .collect()
+    }
+
+    /// Fleet-wide latency percentiles (mean/p50/p95/p99) over every
+    /// device's per-utterance latencies — the figures E14's SLO claims
+    /// are checked against. Also serialized by [`FleetReport::to_json`].
+    pub fn latency_percentiles(&self) -> LatencyPercentiles {
+        LatencyPercentiles::from_sample(self.latency_sample())
+    }
+
+    /// Fleet-wide median per-utterance latency.
+    pub fn p50_end_to_end(&self) -> SimDuration {
+        self.latency_percentiles().p50
+    }
+
+    /// Fleet-wide 95th-percentile per-utterance latency.
+    pub fn p95_end_to_end(&self) -> SimDuration {
+        self.latency_percentiles().p95
+    }
+
+    /// Fleet-wide 99th-percentile per-utterance latency.
+    pub fn p99_end_to_end(&self) -> SimDuration {
+        self.latency_percentiles().p99
+    }
+
     /// Total energy drawn across the fleet, in millijoules.
     pub fn total_energy_mj(&self) -> f64 {
         self.devices.iter().map(|d| d.report.energy.total_mj).sum()
     }
 
-    /// Serializes the fleet report as pretty JSON.
+    /// Serializes the fleet report as pretty JSON, including the
+    /// fleet-wide latency percentiles alongside the per-device reports.
+    /// The document is assembled as a value tree over borrowed data — the
+    /// vendored serde derive cannot express a borrowing wrapper struct,
+    /// and cloning every device report just to serialize it would double
+    /// a large fleet's report memory.
     ///
     /// # Panics
     ///
     /// Never panics: all fields are plain data.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("fleet report is serializable")
+        use serde::Serialize as _;
+        let document = serde::value::Value::Object(vec![
+            (
+                "latency_percentiles".to_owned(),
+                self.latency_percentiles().to_value(),
+            ),
+            ("devices".to_owned(), self.devices.to_value()),
+        ]);
+        serde_json::to_string_pretty(&document).expect("fleet report is serializable")
     }
 }
 
@@ -234,6 +300,9 @@ impl PipelineFleet {
     ///
     /// Propagates ML training failures.
     pub fn new(config: FleetConfig) -> Result<Self> {
+        // Fail before the expensive model training: a sharded config can
+        // never run on this fleet, so it must not get to pay for setup.
+        config.reject_sharding()?;
         if config.total_devices() == 0 {
             return Err(CoreError::Config {
                 reason: "fleet needs at least one device".to_owned(),
@@ -290,6 +359,7 @@ impl PipelineFleet {
         // Guard here as well as in `new`: `with_models` skips `new`'s
         // validation, and an empty fleet report would read as a perfectly
         // clean privacy outcome when nothing ran at all.
+        self.config.reject_sharding()?;
         if self.config.devices == 0 {
             return Err(CoreError::Config {
                 reason: "fleet needs at least one audio device".to_owned(),
@@ -323,6 +393,7 @@ impl PipelineFleet {
     /// scenarios *and* scenarios with no devices are both rejected, so
     /// nothing is ever silently skipped — or when the fleet is empty.
     pub fn run_mixed(&self, audio: &[Scenario], cameras: &[CameraScenario]) -> Result<FleetReport> {
+        self.config.reject_sharding()?;
         if self.config.total_devices() == 0 {
             return Err(CoreError::Config {
                 reason: "fleet needs at least one device".to_owned(),
@@ -542,6 +613,7 @@ mod tests {
                 batch_windows: 4,
                 ..crate::pipeline::CameraPipelineConfig::default()
             },
+            tee_cores: 1,
         })
         .unwrap();
         let audio = Scenario::fleet(2, 6, 0.5, SimDuration::from_secs(2), 0xA1);
@@ -579,6 +651,65 @@ mod tests {
         let a = fleet.models().vision().unwrap();
         let b = fleet.models().vision().unwrap();
         assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn sharded_configs_are_routed_to_the_scheduler_crate() {
+        let models =
+            SharedModels::train(perisec_ml::classifier::Architecture::Cnn, 16, 0x5C4E).unwrap();
+        let fleet = PipelineFleet::with_models(
+            FleetConfig {
+                devices: 1,
+                tee_cores: 4,
+                ..FleetConfig::of(0)
+            },
+            models,
+        );
+        let scenarios = Scenario::fleet(1, 2, 0.5, SimDuration::from_secs(1), 3);
+        let err = fleet.run(&scenarios).unwrap_err();
+        assert!(err.to_string().contains("ShardedFleet"), "{err}");
+        assert!(fleet.run_mixed(&scenarios, &[]).is_err());
+        // `new` rejects before paying for model training.
+        assert!(PipelineFleet::new(FleetConfig {
+            devices: 1,
+            tee_cores: 2,
+            ..FleetConfig::of(0)
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn fleet_report_exposes_latency_percentiles() {
+        let fleet = PipelineFleet::new(FleetConfig {
+            devices: 2,
+            pipeline: PipelineConfig {
+                train_utterances: 60,
+                batch_windows: 2,
+                ..PipelineConfig::default()
+            },
+            ..FleetConfig::of(0)
+        })
+        .unwrap();
+        let scenarios = Scenario::fleet(2, 6, 0.5, SimDuration::from_secs(1), 0x9E);
+        let report = fleet.run(&scenarios).unwrap();
+        let percentiles = report.latency_percentiles();
+        assert!(percentiles.p50 > SimDuration::ZERO);
+        assert!(percentiles.p50 <= percentiles.p95);
+        assert!(percentiles.p95 <= percentiles.p99);
+        assert_eq!(report.p50_end_to_end(), percentiles.p50);
+        assert_eq!(report.p95_end_to_end(), percentiles.p95);
+        assert_eq!(report.p99_end_to_end(), percentiles.p99);
+        assert_eq!(report.mean_end_to_end(), percentiles.mean);
+        // The percentiles ride along in the serialized report.
+        let json = report.to_json();
+        assert!(json.contains("latency_percentiles"));
+        assert!(json.contains("\"p99\""));
+        assert!(json.contains("devices"));
+        // An empty report yields zeroed percentiles, not a panic.
+        assert_eq!(
+            FleetReport::default().latency_percentiles(),
+            crate::report::LatencyPercentiles::default()
+        );
     }
 
     #[test]

@@ -41,20 +41,79 @@ impl LatencyBreakdown {
         self.per_utterance.iter().copied().sum::<SimDuration>() / self.per_utterance.len() as u64
     }
 
+    /// The `q`-quantile (0 < q <= 1) of the per-utterance latencies.
+    pub fn percentile(&self, q: f64) -> SimDuration {
+        latency_percentile(self.per_utterance.to_vec(), q)
+    }
+
+    /// Median end-to-end processing latency.
+    pub fn p50_end_to_end(&self) -> SimDuration {
+        self.percentile(0.50)
+    }
+
+    /// 95th-percentile end-to-end processing latency.
+    pub fn p95_end_to_end(&self) -> SimDuration {
+        self.percentile(0.95)
+    }
+
     /// 99th-percentile end-to-end processing latency.
     pub fn p99_end_to_end(&self) -> SimDuration {
-        if self.per_utterance.is_empty() {
-            return SimDuration::ZERO;
-        }
-        let mut sorted = self.per_utterance.clone();
-        sorted.sort();
-        let idx = ((sorted.len() as f64) * 0.99).ceil() as usize;
-        sorted[idx.saturating_sub(1).min(sorted.len() - 1)]
+        self.percentile(0.99)
     }
 
     /// Total processing time across all stages (excluding wire time).
     pub fn total_processing(&self) -> SimDuration {
         self.capture_cpu + self.ml + self.relay
+    }
+}
+
+/// Nearest-rank percentile over an unsorted latency sample (the one
+/// definition every report in the workspace shares, so a fleet's p99 and a
+/// device's p99 can never disagree on method). Returns zero for an empty
+/// sample.
+pub fn latency_percentile(mut sample: Vec<SimDuration>, q: f64) -> SimDuration {
+    sample.sort();
+    nearest_rank(&sample, q)
+}
+
+/// The shared rank rule behind every percentile in the workspace.
+fn nearest_rank(sorted: &[SimDuration], q: f64) -> SimDuration {
+    if sorted.is_empty() {
+        return SimDuration::ZERO;
+    }
+    let idx = ((sorted.len() as f64) * q.clamp(0.0, 1.0)).ceil() as usize;
+    sorted[idx.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// End-to-end latency percentiles of one run or fleet, as serialized into
+/// report JSON — the figures SLO claims (E14) are checked against.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyPercentiles {
+    /// Mean per-utterance latency.
+    pub mean: SimDuration,
+    /// Median.
+    pub p50: SimDuration,
+    /// 95th percentile.
+    pub p95: SimDuration,
+    /// 99th percentile.
+    pub p99: SimDuration,
+}
+
+impl LatencyPercentiles {
+    /// Computes the percentiles from a latency sample.
+    pub fn from_sample(sample: Vec<SimDuration>) -> Self {
+        if sample.is_empty() {
+            return LatencyPercentiles::default();
+        }
+        let mean = sample.iter().copied().sum::<SimDuration>() / sample.len() as u64;
+        let mut sorted = sample;
+        sorted.sort();
+        LatencyPercentiles {
+            mean,
+            p50: nearest_rank(&sorted, 0.50),
+            p95: nearest_rank(&sorted, 0.95),
+            p99: nearest_rank(&sorted, 0.99),
+        }
     }
 }
 
@@ -146,11 +205,39 @@ mod tests {
         assert_eq!(breakdown.p99_end_to_end(), SimDuration::ZERO);
         breakdown.per_utterance = (1..=100).map(SimDuration::from_micros).collect();
         assert_eq!(breakdown.mean_end_to_end(), SimDuration::from_nanos(50_500));
+        assert_eq!(breakdown.p50_end_to_end(), SimDuration::from_micros(50));
+        assert_eq!(breakdown.p95_end_to_end(), SimDuration::from_micros(95));
         assert_eq!(breakdown.p99_end_to_end(), SimDuration::from_micros(99));
         breakdown.capture_cpu = SimDuration::from_micros(10);
         breakdown.ml = SimDuration::from_micros(20);
         breakdown.relay = SimDuration::from_micros(30);
         assert_eq!(breakdown.total_processing(), SimDuration::from_micros(60));
+    }
+
+    #[test]
+    fn percentiles_are_order_invariant_and_serializable() {
+        let forwards: Vec<SimDuration> = (1..=50).map(SimDuration::from_micros).collect();
+        let mut backwards = forwards.clone();
+        backwards.reverse();
+        let a = LatencyPercentiles::from_sample(forwards);
+        let b = LatencyPercentiles::from_sample(backwards);
+        assert_eq!(a, b);
+        assert_eq!(a.p50, SimDuration::from_micros(25));
+        assert_eq!(a.p95, SimDuration::from_micros(48));
+        assert_eq!(a.p99, SimDuration::from_micros(50));
+        assert!(a.mean > SimDuration::ZERO);
+        assert_eq!(
+            LatencyPercentiles::from_sample(Vec::new()),
+            LatencyPercentiles::default()
+        );
+        let json = serde_json::to_string(&a).unwrap();
+        assert!(json.contains("p95"));
+        // A one-element sample pins every percentile to that element.
+        assert_eq!(
+            latency_percentile(vec![SimDuration::from_micros(7)], 0.5),
+            SimDuration::from_micros(7)
+        );
+        assert_eq!(latency_percentile(Vec::new(), 0.99), SimDuration::ZERO);
     }
 
     #[test]

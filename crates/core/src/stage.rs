@@ -236,6 +236,14 @@ impl SecureFilterStage {
             session,
         }
     }
+
+    /// The platform whose clock this stage measures latency against.
+    /// Multi-core schedulers use this to stamp batches in the stage's own
+    /// clock domain — an instant from another core's clock would make
+    /// `elapsed_since` meaningless.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
 }
 
 impl PipelineStage for SecureFilterStage {
@@ -431,6 +439,14 @@ impl PipelineStage for KernelCaptureStage {
 /// untouched — precisely the leak the paper's design removes.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PassthroughFilterStage;
+
+impl PassthroughFilterStage {
+    /// Creates the stage (equivalent to [`Default`]; both exist so every
+    /// argument-less stage follows the same construction convention).
+    pub fn new() -> Self {
+        PassthroughFilterStage
+    }
+}
 
 impl PipelineStage for PassthroughFilterStage {
     type Input = Vec<RawCapture>;

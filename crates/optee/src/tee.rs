@@ -19,7 +19,7 @@ use parking_lot::{Mutex, RwLock};
 
 use perisec_tz::monitor::{smc_func, SmcCall, SmcHandler, SmcResult};
 use perisec_tz::platform::Platform;
-use perisec_tz::secure_mem::SecureBuf;
+use perisec_tz::secure_mem::{SecureBuf, SharedReservation};
 use perisec_tz::world::World;
 
 use crate::param::TeeParams;
@@ -50,7 +50,11 @@ impl std::fmt::Display for SessionId {
 struct TaEntry {
     descriptor: TaDescriptor,
     instance: Mutex<Box<dyn TrustedApp>>,
-    _reserved: SecureBuf,
+    _reserved: Option<SecureBuf>,
+    /// Content-keyed reservation for the TA's model weights, when the TA
+    /// was registered through [`TeeCore::register_ta_shared`]: co-resident
+    /// TAs on the same carve-out holding the same weights charge them once.
+    _shared_model: Option<SharedReservation>,
 }
 
 struct PtaEntry {
@@ -194,6 +198,46 @@ impl TeeCore {
     /// * [`TeeError::OutOfMemory`] if the footprint does not fit in the
     ///   secure carve-out.
     pub fn register_ta(&self, ta: Box<dyn TrustedApp>) -> TeeResult<TaUuid> {
+        self.register_ta_inner(ta, None)
+    }
+
+    /// Registers a trusted application whose declared footprint includes
+    /// `model_bytes` of read-only model weights identified by the content
+    /// key `model_key`. The non-model part of the footprint is reserved
+    /// privately, as in [`TeeCore::register_ta`]; the model part goes
+    /// through [`perisec_tz::secure_mem::SecureRam::reserve_shared`], so
+    /// co-resident TAs on the same carve-out (including TAs on sibling
+    /// secure cores sharing the carve-out) that host the **same** weights
+    /// charge them **once** — the multi-core scheduler's secure-RAM model
+    /// dedup.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TeeCore::register_ta`], plus [`TeeError::BadParameters`]
+    /// if `model_bytes` exceeds the TA's declared footprint (the
+    /// descriptor must account for the weights it claims to share).
+    pub fn register_ta_shared(
+        &self,
+        ta: Box<dyn TrustedApp>,
+        model_key: u64,
+        model_bytes: usize,
+    ) -> TeeResult<TaUuid> {
+        if model_bytes > ta.descriptor().footprint_bytes() {
+            return Err(TeeError::BadParameters {
+                reason: format!(
+                    "shared model ({model_bytes} B) exceeds the ta's declared footprint ({} B)",
+                    ta.descriptor().footprint_bytes()
+                ),
+            });
+        }
+        self.register_ta_inner(ta, Some((model_key, model_bytes)))
+    }
+
+    fn register_ta_inner(
+        &self,
+        ta: Box<dyn TrustedApp>,
+        shared_model: Option<(u64, usize)>,
+    ) -> TeeResult<TaUuid> {
         let descriptor = ta.descriptor();
         let uuid = descriptor.uuid;
         if self.tas.read().contains_key(&uuid) {
@@ -201,17 +245,35 @@ impl TeeCore {
                 reason: format!("ta {uuid} already registered"),
             });
         }
-        let reserved = self
-            .platform
-            .secure_ram()
-            .alloc(descriptor.footprint_bytes())
-            .map_err(TeeError::from)?;
+        let ram = self.platform.secure_ram();
+        let (reserved, shared) = match shared_model {
+            None => (
+                Some(
+                    ram.alloc(descriptor.footprint_bytes())
+                        .map_err(TeeError::from)?,
+                ),
+                None,
+            ),
+            Some((key, model_bytes)) => {
+                let private = descriptor.footprint_bytes() - model_bytes;
+                let reserved = if private > 0 {
+                    Some(ram.alloc(private).map_err(TeeError::from)?)
+                } else {
+                    None
+                };
+                let shared = ram
+                    .reserve_shared(key, model_bytes)
+                    .map_err(TeeError::from)?;
+                (reserved, Some(shared))
+            }
+        };
         self.tas.write().insert(
             uuid,
             Arc::new(TaEntry {
                 descriptor,
                 instance: Mutex::new(ta),
                 _reserved: reserved,
+                _shared_model: shared,
             }),
         );
         Ok(uuid)
@@ -665,6 +727,52 @@ mod tests {
         assert!(matches!(
             core.register_ta(Box::new(HugeTa)),
             Err(TeeError::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn shared_model_registration_charges_weights_once() {
+        struct ModelTa(&'static str);
+        impl TrustedApp for ModelTa {
+            fn descriptor(&self) -> TaDescriptor {
+                // 16 KiB stack + 64 KiB private data + 256 KiB of model.
+                TaDescriptor::new(self.0, 16, 64 + 256)
+            }
+            fn invoke(&mut self, _: &mut TaEnv<'_>, _: u32, _: &mut TeeParams) -> TeeResult<()> {
+                Ok(())
+            }
+        }
+        const MODEL_BYTES: usize = 256 * 1024;
+        const MODEL_KEY: u64 = 0x5EED;
+        let core = booted_core();
+        let ram = core.platform().secure_ram().clone();
+        let before = ram.bytes_in_use();
+        let a = core
+            .register_ta_shared(Box::new(ModelTa("perisec.model-a")), MODEL_KEY, MODEL_BYTES)
+            .unwrap();
+        let after_first = ram.bytes_in_use();
+        assert!(after_first - before >= (16 + 64 + 256) * 1024);
+        // A second TA with the same weights: only its private part is new.
+        let b = core
+            .register_ta_shared(Box::new(ModelTa("perisec.model-b")), MODEL_KEY, MODEL_BYTES)
+            .unwrap();
+        let after_second = ram.bytes_in_use();
+        assert_eq!(after_second - after_first, (16 + 64) * 1024);
+        assert!(ram.dedup_saved_bytes() >= MODEL_BYTES as u64);
+        assert_eq!(ram.dedup_hits(), 1);
+        // Unregistering one TA keeps the shared weights; the last frees.
+        core.unregister_ta(a).unwrap();
+        assert!(ram.bytes_in_use() >= (16 + 64 + 256) * 1024);
+        core.unregister_ta(b).unwrap();
+        assert_eq!(ram.bytes_in_use(), before);
+        // A model larger than the declared footprint is rejected loudly.
+        assert!(matches!(
+            core.register_ta_shared(
+                Box::new(ModelTa("perisec.model-c")),
+                MODEL_KEY,
+                (16 + 64 + 256) * 1024 + 1
+            ),
+            Err(TeeError::BadParameters { .. })
         ));
     }
 

@@ -1,0 +1,300 @@
+//! The sharded fleet harness.
+//!
+//! [`ShardedFleet`] is the scheduler-aware sibling of
+//! [`perisec_core::fleet::PipelineFleet`]: it consumes the very same
+//! [`FleetConfig`] — including the `tee_cores` knob PipelineFleet rejects
+//! above 1 — and runs every camera device as a
+//! [`ShardedVisionPipeline`] over its own secure-core pool, while audio
+//! devices keep their classic single-session pipelines. All devices
+//! share one trained model set, and device reports merge into the same
+//! [`FleetReport`] (percentiles included), so sharded and unsharded
+//! fleets are compared with identical instruments.
+
+use std::thread;
+
+use perisec_core::fleet::{DeviceReport, FleetConfig, FleetReport, Modality};
+use perisec_core::pipeline::{SecurePipeline, SharedModels};
+use perisec_core::{CoreError, Result};
+use perisec_workload::scenario::{CameraScenario, Scenario};
+
+use crate::pipeline::{ShardedCameraConfig, ShardedVisionPipeline};
+use crate::pool::TeePoolConfig;
+
+/// A fleet whose camera devices each run on a multi-core TEE pool.
+#[derive(Debug, Clone)]
+pub struct ShardedFleet {
+    config: FleetConfig,
+    models: SharedModels,
+}
+
+impl ShardedFleet {
+    /// Builds the fleet, training the shared model set once (lazily per
+    /// modality, exactly as [`perisec_core::fleet::PipelineFleet`] does).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Config`] for an empty fleet, for `tee_cores == 0`,
+    /// or for sharding requested on the single-core constrained platform;
+    /// ML training failures propagate.
+    pub fn new(config: FleetConfig) -> Result<Self> {
+        ShardedFleet::validate(&config)?;
+        let models = if config.devices > 0 {
+            SharedModels::for_config(&config.pipeline)?
+        } else {
+            SharedModels::deferred_for_config(&config.pipeline)
+        }
+        .with_vision_spec(
+            config.camera_pipeline.train_frames,
+            config.camera_pipeline.corpus_seed,
+        );
+        Ok(ShardedFleet { config, models })
+    }
+
+    /// Builds the fleet around an existing model set.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`ShardedFleet::new`], without training.
+    pub fn with_models(config: FleetConfig, models: SharedModels) -> Result<Self> {
+        ShardedFleet::validate(&config)?;
+        let models = models.with_vision_spec(
+            config.camera_pipeline.train_frames,
+            config.camera_pipeline.corpus_seed,
+        );
+        Ok(ShardedFleet { config, models })
+    }
+
+    fn validate(config: &FleetConfig) -> Result<()> {
+        if config.devices + config.camera_devices == 0 {
+            return Err(CoreError::Config {
+                reason: "fleet needs at least one device".to_owned(),
+            });
+        }
+        if config.tee_cores == 0 {
+            return Err(CoreError::Config {
+                reason: "sharded fleet needs at least one tee core per camera device".to_owned(),
+            });
+        }
+        if config.camera_pipeline.constrained_platform && config.tee_cores > 1 {
+            return Err(CoreError::Config {
+                reason: "the constrained platform has a single core; it cannot host a \
+                         multi-core TEE pool"
+                    .to_owned(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The per-camera-device pool configuration this fleet implies: the
+    /// constrained MCU when the camera config asks for it (validated to
+    /// imply `tee_cores == 1`), the Jetson-class pool otherwise.
+    fn pool_config(&self) -> TeePoolConfig {
+        let mut pool = if self.config.camera_pipeline.constrained_platform {
+            TeePoolConfig::constrained_mcu()
+        } else {
+            TeePoolConfig::jetson(self.config.tee_cores)
+        };
+        pool.secure_ram_kib = self.config.camera_pipeline.secure_ram_kib;
+        pool
+    }
+
+    /// The shared model set.
+    pub fn models(&self) -> &SharedModels {
+        &self.models
+    }
+
+    /// The fleet configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Runs a mixed fleet: audio devices replay `audio` scenarios on
+    /// single-session pipelines; camera devices replay `cameras` scene
+    /// schedules, each sharded across `tee_cores` TA sessions. Audio
+    /// devices come first in the merged report.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first device failure, or [`CoreError::Config`] when a
+    /// modality's devices and scenarios disagree (the same loud-mismatch
+    /// contract as the unsharded fleet).
+    pub fn run_mixed(&self, audio: &[Scenario], cameras: &[CameraScenario]) -> Result<FleetReport> {
+        if self.config.devices > 0 && audio.is_empty() {
+            return Err(CoreError::Config {
+                reason: "audio devices configured but no audio scenarios given".to_owned(),
+            });
+        }
+        if self.config.devices == 0 && !audio.is_empty() {
+            return Err(CoreError::Config {
+                reason: "audio scenarios given but no audio devices configured".to_owned(),
+            });
+        }
+        if self.config.camera_devices > 0 && cameras.is_empty() {
+            return Err(CoreError::Config {
+                reason: "camera devices configured but no camera scenarios given".to_owned(),
+            });
+        }
+        if self.config.camera_devices == 0 && !cameras.is_empty() {
+            return Err(CoreError::Config {
+                reason: "camera scenarios given but no camera devices configured".to_owned(),
+            });
+        }
+        let audio_devices = self.config.devices;
+        let camera_devices = self.config.camera_devices;
+        let total = audio_devices + camera_devices;
+        let pool_config = self.pool_config();
+        let outcomes: Vec<Result<DeviceReport>> = thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(total);
+            for device in 0..audio_devices {
+                let scenario = &audio[device % audio.len()];
+                let pipeline_config = self.config.pipeline.clone();
+                let models = &self.models;
+                handles.push(scope.spawn(move || -> Result<DeviceReport> {
+                    let mut pipeline = SecurePipeline::with_models(pipeline_config, models)?;
+                    let report = pipeline.run_scenario(scenario)?;
+                    Ok(DeviceReport {
+                        device,
+                        modality: Modality::Audio,
+                        scenario: scenario.name.clone(),
+                        report,
+                    })
+                }));
+            }
+            for camera in 0..camera_devices {
+                let device = audio_devices + camera;
+                let scenario = &cameras[camera % cameras.len()];
+                let sharded_config = ShardedCameraConfig {
+                    camera: self.config.camera_pipeline.clone(),
+                    pool: pool_config.clone(),
+                    ..ShardedCameraConfig::default()
+                };
+                let models = &self.models;
+                handles.push(scope.spawn(move || -> Result<DeviceReport> {
+                    let mut pipeline = ShardedVisionPipeline::with_models(sharded_config, models)?;
+                    let run = pipeline.run_scenario(scenario)?;
+                    Ok(DeviceReport {
+                        device,
+                        modality: Modality::Camera,
+                        scenario: scenario.name.clone(),
+                        report: run.report,
+                    })
+                }));
+            }
+            handles
+                .into_iter()
+                .enumerate()
+                .map(|(device, handle)| {
+                    handle.join().unwrap_or_else(|payload| {
+                        let message = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| (*s).to_owned())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "unknown panic payload".to_owned());
+                        Err(CoreError::Config {
+                            reason: format!("device {device} pipeline thread panicked: {message}"),
+                        })
+                    })
+                })
+                .collect()
+        });
+        let mut reports = Vec::with_capacity(total);
+        for outcome in outcomes {
+            reports.push(outcome?);
+        }
+        Ok(FleetReport { devices: reports })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perisec_core::pipeline::CameraPipelineConfig;
+    use perisec_tz::time::SimDuration;
+
+    #[test]
+    fn sharded_fleet_rejects_degenerate_configs() {
+        assert!(ShardedFleet::new(FleetConfig {
+            devices: 0,
+            camera_devices: 0,
+            ..FleetConfig::of(0)
+        })
+        .is_err());
+        assert!(ShardedFleet::new(FleetConfig {
+            camera_devices: 1,
+            tee_cores: 0,
+            ..FleetConfig::of(0)
+        })
+        .is_err());
+        assert!(ShardedFleet::new(FleetConfig {
+            camera_devices: 1,
+            tee_cores: 2,
+            camera_pipeline: CameraPipelineConfig {
+                constrained_platform: true,
+                ..CameraPipelineConfig::default()
+            },
+            ..FleetConfig::of(0)
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn constrained_camera_fleet_runs_on_the_constrained_pool() {
+        use perisec_core::pipeline::SharedModels;
+        use perisec_ml::classifier::Architecture;
+        let models = SharedModels::deferred(Architecture::Cnn, 16, 0xC0).with_vision_spec(96, 0xC0);
+        let config = |constrained: bool| FleetConfig {
+            devices: 0,
+            camera_devices: 1,
+            tee_cores: 1,
+            camera_pipeline: CameraPipelineConfig {
+                constrained_platform: constrained,
+                batch_windows: 2,
+                ..CameraPipelineConfig::default()
+            },
+            ..FleetConfig::of(0)
+        };
+        let cameras = CameraScenario::fleet_cameras(1, 6, 0.4, SimDuration::from_secs(1), 0xC0);
+        let constrained = ShardedFleet::with_models(config(true), models.clone())
+            .unwrap()
+            .run_mixed(&[], &cameras)
+            .unwrap();
+        let jetson = ShardedFleet::with_models(config(false), models)
+            .unwrap()
+            .run_mixed(&[], &cameras)
+            .unwrap();
+        // The MCU's cost model is an order of magnitude slower — if the
+        // constrained flag were silently dropped the latencies would match
+        // the Jetson run instead.
+        assert!(constrained.mean_end_to_end() > jetson.mean_end_to_end() * 3);
+        assert_eq!(constrained.leaked_sensitive_utterances(), 0);
+    }
+
+    #[test]
+    fn camera_fleet_shards_each_device_across_cores() {
+        let fleet = ShardedFleet::new(FleetConfig {
+            devices: 0,
+            camera_devices: 2,
+            tee_cores: 2,
+            camera_pipeline: CameraPipelineConfig {
+                batch_windows: 4,
+                ..CameraPipelineConfig::default()
+            },
+            ..FleetConfig::of(0)
+        })
+        .unwrap();
+        let cameras = CameraScenario::fleet_cameras(2, 8, 0.4, SimDuration::from_secs(1), 0x5F1EE7);
+        let report = fleet.run_mixed(&[], &cameras).unwrap();
+        assert_eq!(report.device_count_of(Modality::Camera), 2);
+        assert_eq!(report.total_utterances(), 16);
+        assert_eq!(report.leaked_sensitive_utterances(), 0);
+        assert!(
+            report.total_smc_calls() >= 4,
+            "both shards of both devices entered"
+        );
+        assert!(report.latency_percentiles().p99 > SimDuration::ZERO);
+        // Scenario-vs-device mismatches stay loud.
+        assert!(fleet.run_mixed(&[], &[]).is_err());
+        let audio = Scenario::fleet(1, 2, 0.5, SimDuration::from_secs(1), 1);
+        assert!(fleet.run_mixed(&audio, &cameras).is_err());
+    }
+}

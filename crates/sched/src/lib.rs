@@ -1,0 +1,54 @@
+//! # perisec-sched — the multi-core TEE scheduler
+//!
+//! One device, several secure cores: this crate scales a single device's
+//! sensor stream *out* across multiple TA sessions instead of merely
+//! batching it through one. It is the scale-out half of the paper's §V
+//! mitigations — where batching (PR 1) amortizes the cost of each TEE
+//! crossing, sharding multiplies how many crossings per second the device
+//! can absorb, and secure-RAM model dedup keeps N co-resident sessions
+//! from paying N copies of the same weights.
+//!
+//! * [`pool`] — [`pool::TeePool`]: N secure cores, each its own
+//!   [`perisec_tz::platform::Platform`] (clock, monitor, world counters)
+//!   and [`perisec_optee::TeeCore`], all charging allocations against
+//!   **one** shared TZDRAM carve-out;
+//! * [`scheduler`] — [`scheduler::SessionScheduler`]: deterministic
+//!   least-loaded placement of capture windows onto per-core TA sessions;
+//! * [`stage`] — [`stage::ShardedFrameCaptureStage`] and
+//!   [`stage::ShardedFilterStage`], implementing the existing
+//!   [`perisec_core::stage::PipelineStage`] trait, plus
+//!   [`stage::merge_verdicts`]: order-invariant verdict merging (max
+//!   probability, most restrictive decision, per dialog id);
+//! * [`batcher`] — [`batcher::AdaptiveBatcher`]: picks `batch_windows`
+//!   per shard from queue depth against a latency SLO using the E11 cost
+//!   curve (fixed crossing overhead amortized over the batch);
+//! * [`pipeline`] — [`pipeline::ShardedVisionPipeline`]: the secure
+//!   camera pipeline fanned out across a pool, end to end;
+//! * [`fleet`] — [`fleet::ShardedFleet`]: the multi-device harness whose
+//!   camera devices each run on a pool
+//!   ([`perisec_core::fleet::FleetConfig::tee_cores`]).
+//!
+//! The sharding contract, pinned by `tests/shard_parity.rs` and the
+//! property tests: sharding changes *throughput*, never *outcome* — the
+//! same windows reach the cloud (and none of the sensitive ones do) for
+//! every shard count, and merged verdicts are invariant under any
+//! permutation of shard replies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod fleet;
+pub mod pipeline;
+pub mod pool;
+pub mod scheduler;
+pub mod stage;
+
+pub use batcher::AdaptiveBatcher;
+pub use fleet::ShardedFleet;
+pub use pipeline::{CoreUtilization, ShardedCameraConfig, ShardedRunReport, ShardedVisionPipeline};
+pub use pool::{TeeCoreHandle, TeePool, TeePoolConfig};
+pub use scheduler::{SessionLoad, SessionScheduler};
+pub use stage::{
+    merge_verdicts, ShardInput, ShardedFilterStage, ShardedFrameCaptureStage, ShardedPreparedBatch,
+};

@@ -1,0 +1,156 @@
+//! Deterministic session placement.
+//!
+//! The scheduler owns one slot per TA session (one per secure core) and
+//! places capture windows onto them by cumulative load: each window goes
+//! to the least-loaded session, ties broken by the lowest core index, and
+//! a session's load grows by the window's weight (its length in capture
+//! periods / frames). With uniform windows this degenerates to exact
+//! round-robin; with ragged windows it balances.
+//!
+//! **Determinism contract.** Placement depends only on the sequence of
+//! window weights the scheduler has seen — there is no randomness and no
+//! clock. Two schedulers fed identical weight sequences produce identical
+//! assignments. The sharded capture stage and the sharded filter stage
+//! rely on exactly this: each holds its own scheduler, both see the same
+//! batches, so the scenes the capture side queues on core `s` are
+//! precisely the windows the filter side dispatches to core `s`'s
+//! session. A shared mutable scheduler would give the same result at the
+//! cost of a lock; the mirrored form keeps the stages independent.
+
+use serde::{Deserialize, Serialize};
+
+/// Cumulative load of one TA session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SessionLoad {
+    /// Windows placed onto the session.
+    pub windows: u64,
+    /// Total weight (capture periods / frames) placed onto the session.
+    pub weight: u64,
+    /// Batches in which the session received at least one window.
+    pub batches: u64,
+}
+
+/// Deterministic least-loaded placement over a fixed set of sessions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SessionScheduler {
+    loads: Vec<SessionLoad>,
+}
+
+impl SessionScheduler {
+    /// Creates a scheduler over `sessions` sessions (at least one).
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero sessions — a scheduler with nowhere to place work
+    /// is a construction bug, not a runtime condition.
+    pub fn new(sessions: usize) -> Self {
+        assert!(sessions > 0, "scheduler needs at least one session");
+        SessionScheduler {
+            loads: vec![SessionLoad::default(); sessions],
+        }
+    }
+
+    /// Number of sessions.
+    pub fn sessions(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// Places one batch of windows: returns, per window, the session it
+    /// goes to. Windows are placed in order, each onto the session with
+    /// the smallest cumulative weight (ties to the lowest index), and the
+    /// placement is recorded so later batches continue from the balanced
+    /// state.
+    pub fn assign(&mut self, weights: &[u64]) -> Vec<usize> {
+        let mut assignment = Vec::with_capacity(weights.len());
+        let mut touched = vec![false; self.loads.len()];
+        for &weight in weights {
+            let session = self
+                .loads
+                .iter()
+                .enumerate()
+                .min_by_key(|(index, load)| (load.weight, *index))
+                .map(|(index, _)| index)
+                .expect("scheduler has at least one session");
+            self.loads[session].windows += 1;
+            self.loads[session].weight += weight.max(1);
+            touched[session] = true;
+            assignment.push(session);
+        }
+        for (session, hit) in touched.into_iter().enumerate() {
+            if hit {
+                self.loads[session].batches += 1;
+            }
+        }
+        assignment
+    }
+
+    /// Per-session cumulative loads, in core order.
+    pub fn loads(&self) -> &[SessionLoad] {
+        &self.loads
+    }
+
+    /// The currently least-loaded session.
+    pub fn least_loaded(&self) -> usize {
+        self.loads
+            .iter()
+            .enumerate()
+            .min_by_key(|(index, load)| (load.weight, *index))
+            .map(|(index, _)| index)
+            .expect("scheduler has at least one session")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_windows_round_robin() {
+        let mut scheduler = SessionScheduler::new(3);
+        let assignment = scheduler.assign(&[2, 2, 2, 2, 2, 2, 2]);
+        assert_eq!(assignment, vec![0, 1, 2, 0, 1, 2, 0]);
+        // The next batch continues from the balanced state: core 0 is one
+        // window ahead, so cores 1 and 2 fill first.
+        let next = scheduler.assign(&[2, 2]);
+        assert_eq!(next, vec![1, 2]);
+        assert_eq!(scheduler.loads()[0].windows, 3);
+        assert_eq!(scheduler.loads()[1].batches, 2);
+    }
+
+    #[test]
+    fn ragged_windows_balance_by_weight() {
+        let mut scheduler = SessionScheduler::new(2);
+        // A heavy window tips the scales: the following light windows all
+        // land on the other session until the weights even out.
+        let assignment = scheduler.assign(&[10, 1, 1, 1, 1]);
+        assert_eq!(assignment, vec![0, 1, 1, 1, 1]);
+        assert_eq!(scheduler.least_loaded(), 1);
+        assert_eq!(scheduler.loads()[0].weight, 10);
+        assert_eq!(scheduler.loads()[1].weight, 4);
+    }
+
+    #[test]
+    fn mirrored_schedulers_agree() {
+        // The determinism contract the sharded stages rely on.
+        let mut capture_side = SessionScheduler::new(4);
+        let mut filter_side = SessionScheduler::new(4);
+        for batch in [vec![3u64, 1, 4, 1, 5], vec![9, 2], vec![6, 5, 3, 5]] {
+            assert_eq!(capture_side.assign(&batch), filter_side.assign(&batch));
+        }
+        assert_eq!(capture_side, filter_side);
+    }
+
+    #[test]
+    fn zero_weights_are_clamped() {
+        let mut scheduler = SessionScheduler::new(2);
+        scheduler.assign(&[0, 0]);
+        assert_eq!(scheduler.loads()[0].weight, 1);
+        assert_eq!(scheduler.loads()[1].weight, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one session")]
+    fn zero_sessions_panic() {
+        let _ = SessionScheduler::new(0);
+    }
+}

@@ -1,0 +1,295 @@
+//! The sharded pipeline stages.
+//!
+//! Both stages implement the existing
+//! [`perisec_core::stage::PipelineStage`] trait, so a sharded pipeline is
+//! wired exactly like an unsharded one — capture → filter → relay — with
+//! the fan-out hidden inside the stage boundary:
+//!
+//! * [`ShardedFrameCaptureStage`] places each batch's scene events onto
+//!   per-core scene queues (via a [`SessionScheduler`]) and runs one
+//!   [`SecureFrameCaptureStage`] per core, producing a
+//!   [`ShardedPreparedBatch`] whose per-shard halves carry per-core
+//!   capture instants — each core has its own clock;
+//! * [`ShardedFilterStage`] drives one [`SecureFilterStage`] (one TA
+//!   session) per core and merges the per-shard verdicts with
+//!   [`merge_verdicts`]. It also accepts a *flat* [`PreparedBatch`]
+//!   ([`ShardInput::Flat`]) and round-robins its windows across the
+//!   sessions itself — the entry point for callers whose capture side is
+//!   not shard-aware.
+//!
+//! Merging is deterministic and order-invariant: per dialog id, the
+//! maximum probability and the most restrictive decision win, and the
+//! result is sorted by dialog id — whatever order (or partition) the
+//! shard replies arrive in.
+
+use perisec_core::policy::FilterDecision;
+use perisec_core::stage::{
+    FilteredBatch, PipelineStage, PreparedBatch, SecureFilterStage, SecureFrameCaptureStage,
+    WindowVerdict,
+};
+use perisec_core::{CoreError, Result};
+use perisec_workload::scenario::CameraScenarioEvent;
+
+use std::collections::BTreeMap;
+
+use crate::scheduler::SessionScheduler;
+
+/// A batch split across secure cores: element `s` is core `s`'s share,
+/// with that core's own capture timestamp.
+#[derive(Debug, Clone)]
+pub struct ShardedPreparedBatch {
+    /// Per-core prepared batches, in core order (possibly empty shares).
+    pub shards: Vec<PreparedBatch>,
+}
+
+impl ShardedPreparedBatch {
+    /// Total windows across all shards.
+    pub fn window_count(&self) -> usize {
+        self.shards.iter().map(|s| s.windows.len()).sum()
+    }
+
+    /// Whether no shard carries any window.
+    pub fn is_empty(&self) -> bool {
+        self.window_count() == 0
+    }
+}
+
+/// Input of the sharded filter stage: either an already-sharded batch
+/// (from [`ShardedFrameCaptureStage`], clock-coherent per core) or a flat
+/// batch the stage partitions itself.
+#[derive(Debug, Clone)]
+pub enum ShardInput {
+    /// A flat batch; the stage round-robins its windows across sessions.
+    Flat(PreparedBatch),
+    /// A batch already split per core.
+    Sharded(ShardedPreparedBatch),
+}
+
+impl From<PreparedBatch> for ShardInput {
+    fn from(batch: PreparedBatch) -> Self {
+        ShardInput::Flat(batch)
+    }
+}
+
+impl From<ShardedPreparedBatch> for ShardInput {
+    fn from(batch: ShardedPreparedBatch) -> Self {
+        ShardInput::Sharded(batch)
+    }
+}
+
+/// Merges per-window verdicts deterministically: one verdict per dialog
+/// id, carrying the maximum probability and the most restrictive decision
+/// observed for that id, sorted by dialog id. Invariant under any
+/// permutation or partition of the input (max and "most restrictive" are
+/// commutative and associative), which is what makes shard replies safe
+/// to combine in whatever order the cores finish.
+pub fn merge_verdicts(verdicts: impl IntoIterator<Item = WindowVerdict>) -> Vec<WindowVerdict> {
+    fn severity(decision: FilterDecision) -> u8 {
+        match decision {
+            FilterDecision::Forward => 0,
+            FilterDecision::ForwardRedacted => 1,
+            FilterDecision::Drop => 2,
+        }
+    }
+    let mut merged: BTreeMap<u64, WindowVerdict> = BTreeMap::new();
+    for verdict in verdicts {
+        merged
+            .entry(verdict.dialog_id)
+            .and_modify(|existing| {
+                existing.probability_milli =
+                    existing.probability_milli.max(verdict.probability_milli);
+                if severity(verdict.decision) > severity(existing.decision) {
+                    existing.decision = verdict.decision;
+                }
+            })
+            .or_insert(verdict);
+    }
+    merged.into_values().collect()
+}
+
+/// The sharded camera capture stage: scene events fan out onto per-core
+/// scene queues, one inner capture stage per core.
+pub struct ShardedFrameCaptureStage {
+    shards: Vec<SecureFrameCaptureStage>,
+    scheduler: SessionScheduler,
+}
+
+impl ShardedFrameCaptureStage {
+    /// Creates the stage over one inner capture stage per core. Each
+    /// inner stage must be bound to its core's platform and scene queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty shard list (see [`SessionScheduler::new`]).
+    pub fn new(shards: Vec<SecureFrameCaptureStage>) -> Self {
+        let scheduler = SessionScheduler::new(shards.len());
+        ShardedFrameCaptureStage { shards, scheduler }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The placement loads accumulated so far.
+    pub fn loads(&self) -> &[crate::scheduler::SessionLoad] {
+        self.scheduler.loads()
+    }
+}
+
+impl PipelineStage for ShardedFrameCaptureStage {
+    type Input = Vec<CameraScenarioEvent>;
+    type Output = ShardedPreparedBatch;
+
+    fn name(&self) -> &'static str {
+        "sharded-frame-capture"
+    }
+
+    fn process(&mut self, events: Self::Input) -> Result<ShardedPreparedBatch> {
+        let weights: Vec<u64> = events.iter().map(|e| e.frames.max(1) as u64).collect();
+        let assignment = self.scheduler.assign(&weights);
+        let mut per_shard: Vec<Vec<CameraScenarioEvent>> = vec![Vec::new(); self.shards.len()];
+        for (event, &shard) in events.into_iter().zip(&assignment) {
+            per_shard[shard].push(event);
+        }
+        let mut shards = Vec::with_capacity(self.shards.len());
+        for (stage, share) in self.shards.iter_mut().zip(per_shard) {
+            shards.push(stage.process(share)?);
+        }
+        Ok(ShardedPreparedBatch { shards })
+    }
+}
+
+/// The sharded filter stage: one open TA session per secure core, shard
+/// replies merged into a single [`FilteredBatch`].
+pub struct ShardedFilterStage {
+    shards: Vec<SecureFilterStage>,
+    scheduler: SessionScheduler,
+}
+
+impl ShardedFilterStage {
+    /// Creates the stage over one inner filter stage (one TA session) per
+    /// core.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty shard list (see [`SessionScheduler::new`]).
+    pub fn new(shards: Vec<SecureFilterStage>) -> Self {
+        let scheduler = SessionScheduler::new(shards.len());
+        ShardedFilterStage { shards, scheduler }
+    }
+
+    /// Number of shards (open TA sessions).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Round-robins a flat batch's windows across the sessions using the
+    /// stage's own scheduler — the mirror of what a shard-aware capture
+    /// stage does, for callers that prepared one flat batch. Each shard
+    /// share is stamped with **its own core's** current clock, not the
+    /// flat batch's instant: the caller's capture instant lives in a
+    /// different clock domain on a multi-core pool, and measuring elapsed
+    /// time against it would yield saturated zeroes or inter-clock
+    /// offsets. Per-window latency on this path therefore covers the
+    /// filter crossing from dispatch.
+    fn shard_flat(&mut self, prepared: PreparedBatch) -> ShardedPreparedBatch {
+        let weights: Vec<u64> = prepared
+            .windows
+            .iter()
+            .map(|w| w.periods.max(1) as u64)
+            .collect();
+        let assignment = self.scheduler.assign(&weights);
+        let mut shards: Vec<PreparedBatch> = self
+            .shards
+            .iter()
+            .map(|stage| PreparedBatch {
+                windows: Vec::new(),
+                started: stage.platform().clock().now(),
+            })
+            .collect();
+        for (window, &shard) in prepared.windows.into_iter().zip(&assignment) {
+            shards[shard].windows.push(window);
+        }
+        ShardedPreparedBatch { shards }
+    }
+}
+
+impl PipelineStage for ShardedFilterStage {
+    type Input = ShardInput;
+    type Output = FilteredBatch;
+
+    fn name(&self) -> &'static str {
+        "sharded-tee-filter"
+    }
+
+    fn process(&mut self, input: Self::Input) -> Result<FilteredBatch> {
+        let sharded = match input {
+            ShardInput::Flat(prepared) => self.shard_flat(prepared),
+            ShardInput::Sharded(sharded) => sharded,
+        };
+        if sharded.shards.len() != self.shards.len() {
+            return Err(CoreError::Config {
+                reason: format!(
+                    "sharded batch has {} shares for a {}-session filter stage",
+                    sharded.shards.len(),
+                    self.shards.len()
+                ),
+            });
+        }
+        let mut verdicts = Vec::with_capacity(sharded.window_count());
+        let mut merged = FilteredBatch::default();
+        for (stage, share) in self.shards.iter_mut().zip(sharded.shards) {
+            let filtered = stage.process(share)?;
+            verdicts.extend(filtered.verdicts);
+            merged.wire += filtered.wire;
+            merged.capture_cpu += filtered.capture_cpu;
+            merged.ml += filtered.ml;
+            merged.relay += filtered.relay;
+            merged.per_utterance.extend(filtered.per_utterance);
+        }
+        merged.verdicts = merge_verdicts(verdicts);
+        Ok(merged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn verdict(dialog_id: u64, decision: FilterDecision, probability_milli: u16) -> WindowVerdict {
+        WindowVerdict {
+            dialog_id,
+            decision,
+            probability_milli,
+        }
+    }
+
+    #[test]
+    fn merge_takes_max_probability_and_most_restrictive_decision() {
+        let merged = merge_verdicts(vec![
+            verdict(7, FilterDecision::Forward, 120),
+            verdict(3, FilterDecision::Forward, 40),
+            verdict(7, FilterDecision::Drop, 900),
+            verdict(7, FilterDecision::ForwardRedacted, 450),
+        ]);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0], verdict(3, FilterDecision::Forward, 40));
+        assert_eq!(merged[1], verdict(7, FilterDecision::Drop, 900));
+    }
+
+    #[test]
+    fn merge_is_permutation_invariant() {
+        let base = vec![
+            verdict(1, FilterDecision::Forward, 100),
+            verdict(2, FilterDecision::Drop, 990),
+            verdict(1, FilterDecision::ForwardRedacted, 600),
+            verdict(5, FilterDecision::Forward, 10),
+        ];
+        let forward = merge_verdicts(base.clone());
+        let mut reversed = base;
+        reversed.reverse();
+        assert_eq!(merge_verdicts(reversed), forward);
+        assert_eq!(merge_verdicts(Vec::new()), Vec::new());
+    }
+}

@@ -14,6 +14,9 @@
 //! * [`prune`] — build a pruned "driver image" (the set of functions that
 //!   survive conditional compilation) and estimate the resulting OP-TEE
 //!   image size;
+//! * [`memory`] — secure-RAM residency accounting for co-resident TA
+//!   sessions, including the model-dedup saving the multi-core scheduler
+//!   relies on;
 //! * [`report`] — serializable reports and markdown tables for
 //!   EXPERIMENTS.md.
 
@@ -21,9 +24,11 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod memory;
 pub mod prune;
 pub mod report;
 
 pub use analysis::{TaskTcb, TcbAnalysis};
+pub use memory::SecureRamFootprint;
 pub use prune::{PruneStrategy, PrunedImage};
 pub use report::TcbReport;

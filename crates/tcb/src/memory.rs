@@ -1,0 +1,116 @@
+//! Secure-memory accounting: what co-resident TA sessions cost the
+//! TrustZone carve-out, with and without model deduplication.
+//!
+//! The paper's §V names the small secure carve-out as a core limitation
+//! and proposes smaller ML models as the mitigation. The multi-core TEE
+//! scheduler generalizes that mitigation to model *sharing*: when several
+//! TA sessions on one carve-out host the same read-only weights
+//! ([`perisec_tz::secure_mem::SecureRam::reserve_shared`]), the weights
+//! are charged once. This module turns the allocator's counters into the
+//! serializable report experiment E14 prints.
+
+use serde::{Deserialize, Serialize};
+
+use perisec_tz::secure_mem::SecureRam;
+
+/// Snapshot of a secure carve-out's occupancy, including the saving that
+/// content-keyed shared reservations produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SecureRamFootprint {
+    /// Total carve-out capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Bytes currently allocated (with dedup in effect).
+    pub in_use_bytes: u64,
+    /// Bytes that co-resident sessions would additionally occupy had every
+    /// session reserved its own copy of the shared weights.
+    pub dedup_saved_bytes: u64,
+    /// Number of reservations served from an existing shared allocation.
+    pub dedup_hits: u64,
+    /// Distinct live shared allocations (model weight sets in residence).
+    pub shared_models: u64,
+}
+
+impl SecureRamFootprint {
+    /// Measures a carve-out's current occupancy and dedup counters.
+    pub fn measure(ram: &SecureRam) -> Self {
+        SecureRamFootprint {
+            capacity_bytes: ram.capacity() as u64,
+            in_use_bytes: ram.bytes_in_use() as u64,
+            dedup_saved_bytes: ram.dedup_saved_bytes(),
+            dedup_hits: ram.dedup_hits(),
+            shared_models: ram.shared_reservation_count() as u64,
+        }
+    }
+
+    /// What the same residency would cost without dedup.
+    pub fn bytes_without_dedup(&self) -> u64 {
+        self.in_use_bytes + self.dedup_saved_bytes
+    }
+
+    /// Occupancy as a fraction of the carve-out.
+    pub fn occupancy(&self) -> f64 {
+        if self.capacity_bytes == 0 {
+            return 0.0;
+        }
+        self.in_use_bytes as f64 / self.capacity_bytes as f64
+    }
+
+    /// Saving fraction relative to the non-deduplicated residency.
+    pub fn saving_fraction(&self) -> f64 {
+        let without = self.bytes_without_dedup();
+        if without == 0 {
+            return 0.0;
+        }
+        self.dedup_saved_bytes as f64 / without as f64
+    }
+
+    /// One markdown table row: `| sessions | with | without | saved |`
+    /// (the caller prints the header and supplies the session count).
+    pub fn to_markdown_row(&self, sessions: usize) -> String {
+        format!(
+            "| {sessions} | {} | {} | {} ({:.0}%) |",
+            self.in_use_bytes / 1024,
+            self.bytes_without_dedup() / 1024,
+            self.dedup_saved_bytes / 1024,
+            100.0 * self.saving_fraction(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perisec_tz::stats::TzStats;
+
+    #[test]
+    fn footprint_reports_dedup_savings() {
+        let ram = SecureRam::new(0xF000_0000, 1 << 20, TzStats::new());
+        let _private = ram.alloc(64 * 1024).unwrap();
+        let a = ram.reserve_shared(0xCAFE, 128 * 1024).unwrap();
+        let _b = ram.reserve_shared(0xCAFE, 128 * 1024).unwrap();
+        let _c = ram.reserve_shared(0xCAFE, 128 * 1024).unwrap();
+        assert_eq!(a.handle_count(), 3);
+
+        let fp = SecureRamFootprint::measure(&ram);
+        assert_eq!(fp.capacity_bytes, 1 << 20);
+        assert!(fp.in_use_bytes >= (64 + 128) * 1024);
+        assert_eq!(fp.dedup_saved_bytes, 2 * 128 * 1024);
+        assert_eq!(fp.dedup_hits, 2);
+        assert_eq!(fp.shared_models, 1);
+        assert_eq!(fp.bytes_without_dedup(), fp.in_use_bytes + 2 * 128 * 1024);
+        assert!(fp.occupancy() > 0.0 && fp.occupancy() < 1.0);
+        assert!(fp.saving_fraction() > 0.4);
+        let row = fp.to_markdown_row(3);
+        assert!(row.starts_with("| 3 |"));
+    }
+
+    #[test]
+    fn empty_pool_reports_zeroes() {
+        let ram = SecureRam::new(0xF000_0000, 4096, TzStats::new());
+        let fp = SecureRamFootprint::measure(&ram);
+        assert_eq!(fp.in_use_bytes, 0);
+        assert_eq!(fp.bytes_without_dedup(), 0);
+        assert_eq!(fp.occupancy(), 0.0);
+        assert_eq!(fp.saving_fraction(), 0.0);
+    }
+}

@@ -107,6 +107,30 @@ impl CostModel {
         }
     }
 
+    /// Cost model for the quad-core IoT gateway ([`iot_quad_node`]
+    /// spec in the platform module): an Armv8 node several times slower
+    /// than the Jetson but far ahead of the microcontroller class. Every
+    /// fixed TEE cost sits between the two presets, which is exactly the
+    /// regime where sharding TA sessions across secure cores starts to
+    /// pay: one core is outrun by a high-fps sensor, two keep up.
+    pub fn iot_quad_node() -> Self {
+        CostModel {
+            smc_round_trip: SimDuration::from_micros(6),
+            world_switch: SimDuration::from_micros(12),
+            pta_dispatch: SimDuration::from_micros(3),
+            ta_dispatch: SimDuration::from_micros(20),
+            session_open: SimDuration::from_micros(900),
+            supplicant_rpc: SimDuration::from_micros(60),
+            cross_world_copy_per_byte: SimDuration::from_nanos(6),
+            in_world_copy_per_byte: SimDuration::from_nanos(1),
+            secure_page_alloc: SimDuration::from_micros(8),
+            irq_entry: SimDuration::from_nanos(1_500),
+            secure_irq_entry: SimDuration::from_micros(3),
+            compute_per_flop: SimDuration::from_nanos(5),
+            secure_compute_penalty: 1.6,
+        }
+    }
+
     /// A zero-cost model, useful in unit tests that only care about
     /// functional behaviour.
     pub fn free() -> Self {

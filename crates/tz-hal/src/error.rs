@@ -52,6 +52,19 @@ pub enum TzError {
         /// World the operation requires.
         required: World,
     },
+    /// A content-keyed shared reservation was requested with a size that
+    /// disagrees with the live allocation under the same key — either a
+    /// key collision or a stale size at the caller. Serving it silently
+    /// would hand back a wrong-size buffer and corrupt the dedup
+    /// accounting.
+    SharedReservationMismatch {
+        /// The content key.
+        key: u64,
+        /// Size of the live allocation under the key.
+        existing: usize,
+        /// Size the caller requested.
+        requested: usize,
+    },
 }
 
 impl fmt::Display for TzError {
@@ -81,6 +94,14 @@ impl fmt::Display for TzError {
                     "operation requires {required} world but was issued from {actual} world"
                 )
             }
+            TzError::SharedReservationMismatch {
+                key,
+                existing,
+                requested,
+            } => write!(
+                f,
+                "shared reservation {key:#x} holds {existing} bytes but {requested} were requested"
+            ),
         }
     }
 }

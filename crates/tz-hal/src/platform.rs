@@ -68,6 +68,23 @@ impl PlatformSpec {
         }
     }
 
+    /// A mid-tier quad-core IoT gateway (Raspberry-Pi-class Armv8 with
+    /// TrustZone, 8 MiB TZDRAM) — the platform the multi-core TEE
+    /// scheduler experiments target: enough cores to shard TA sessions
+    /// across, but slow enough that a single vision TA is outrun by a
+    /// high-fps frame stream.
+    pub fn iot_quad_node() -> Self {
+        PlatformSpec {
+            name: "iot-quad-node".to_owned(),
+            cpu_cores: 4,
+            cpu_freq_mhz: 1_500,
+            dram_mib: 2 * 1024,
+            secure_ram_kib: 8 * 1024,
+            dram_base: 0x4000_0000,
+            secure_base: 0x7000_0000,
+        }
+    }
+
     /// Secure carve-out size in bytes.
     pub fn secure_ram_bytes(&self) -> usize {
         (self.secure_ram_kib * 1024) as usize
@@ -80,6 +97,7 @@ pub struct PlatformBuilder {
     spec: PlatformSpec,
     cost: CostModel,
     power: PowerModel,
+    shared_secure_ram: Option<SecureRam>,
 }
 
 impl PlatformBuilder {
@@ -89,6 +107,7 @@ impl PlatformBuilder {
             spec: PlatformSpec::jetson_agx_xavier(),
             cost: CostModel::jetson_agx_xavier(),
             power: PowerModel::jetson_agx_xavier(),
+            shared_secure_ram: None,
         }
     }
 
@@ -117,9 +136,24 @@ impl PlatformBuilder {
         self
     }
 
+    /// Uses an existing secure-RAM pool instead of creating a fresh one.
+    ///
+    /// This is how a multi-core TEE is modeled: each secure core gets its
+    /// own [`Platform`] (its own clock, monitor and counters — cores run
+    /// concurrently) while every core's allocations are charged against
+    /// the **one** physical TZDRAM carve-out they share, which is what
+    /// makes cross-core model deduplication
+    /// ([`SecureRam::reserve_shared`]) observable. The pool's capacity
+    /// should match the spec's carve-out size; the builder does not
+    /// resize it.
+    pub fn shared_secure_ram(mut self, ram: SecureRam) -> Self {
+        self.shared_secure_ram = Some(ram);
+        self
+    }
+
     /// Builds the platform.
     pub fn build(self) -> Platform {
-        Platform::from_parts(self.spec, self.cost, self.power)
+        Platform::from_parts(self.spec, self.cost, self.power, self.shared_secure_ram)
     }
 }
 
@@ -165,7 +199,22 @@ impl Platform {
         PlatformBuilder::new()
     }
 
-    fn from_parts(spec: PlatformSpec, cost: CostModel, power: PowerModel) -> Self {
+    /// Builds the quad-core IoT gateway variant (the multi-core TEE
+    /// scheduler's target platform).
+    pub fn iot_quad_node() -> Self {
+        PlatformBuilder::new()
+            .spec(PlatformSpec::iot_quad_node())
+            .cost_model(CostModel::iot_quad_node())
+            .power_model(PowerModel::iot_quad_node())
+            .build()
+    }
+
+    fn from_parts(
+        spec: PlatformSpec,
+        cost: CostModel,
+        power: PowerModel,
+        shared_secure_ram: Option<SecureRam>,
+    ) -> Self {
         let clock = SimClock::new();
         let stats = TzStats::new();
         let tzasc = Arc::new(Tzasc::new(stats.clone()));
@@ -204,7 +253,9 @@ impl Platform {
                 )
                 .expect("default high DRAM region is valid");
         }
-        let secure_ram = SecureRam::new(spec.secure_base, spec.secure_ram_bytes(), stats.clone());
+        let secure_ram = shared_secure_ram.unwrap_or_else(|| {
+            SecureRam::new(spec.secure_base, spec.secure_ram_bytes(), stats.clone())
+        });
         let monitor = Arc::new(SecureMonitor::new(
             clock.clone(),
             cost.clone(),
@@ -371,6 +422,46 @@ mod tests {
         assert_eq!(p.secure_ram().capacity(), 256 * 1024);
         // Allocating more than the carve-out fails.
         assert!(p.secure_ram().alloc(512 * 1024).is_err());
+    }
+
+    #[test]
+    fn iot_quad_node_sits_between_mcu_and_jetson() {
+        let quad = Platform::iot_quad_node();
+        assert_eq!(quad.spec().cpu_cores, 4);
+        assert_eq!(quad.secure_ram().capacity(), 8 * 1024 * 1024);
+        let mcu = Platform::constrained_mcu();
+        let jetson = Platform::jetson_agx_xavier();
+        assert!(quad.cost().world_switch > jetson.cost().world_switch);
+        assert!(quad.cost().world_switch < mcu.cost().world_switch);
+        assert!(quad.cost().compute_per_flop > jetson.cost().compute_per_flop);
+        assert!(quad.cost().compute_per_flop < mcu.cost().compute_per_flop);
+    }
+
+    #[test]
+    fn sibling_platforms_share_one_secure_carveout() {
+        // Two "cores": independent clocks and counters, one TZDRAM pool.
+        let spec = PlatformSpec::iot_quad_node();
+        let pool = SecureRam::new(
+            spec.secure_base,
+            spec.secure_ram_bytes(),
+            crate::stats::TzStats::new(),
+        );
+        let core0 = Platform::builder()
+            .spec(spec.clone())
+            .shared_secure_ram(pool.clone())
+            .build();
+        let core1 = Platform::builder()
+            .spec(spec)
+            .shared_secure_ram(pool.clone())
+            .build();
+        let _buf = core0.secure_ram().alloc(4096).unwrap();
+        assert!(core1.secure_ram().bytes_in_use() >= 4096);
+        assert!(pool.bytes_in_use() >= 4096);
+        // Clocks and switch counters stay per-core.
+        core0.charge_cpu(World::Secure, SimDuration::from_micros(7));
+        assert_eq!(core1.clock().now().as_nanos(), 0);
+        core0.monitor().world_switch(World::Secure);
+        assert_eq!(core1.stats().world_switches(), 0);
     }
 
     #[test]

@@ -232,6 +232,77 @@ impl PowerModel {
         PowerModel { draws }
     }
 
+    /// Power model for the quad-core IoT gateway — a Raspberry-Pi-class
+    /// node in a ~6 W envelope, between the microcontroller and the
+    /// Jetson presets.
+    pub fn iot_quad_node() -> Self {
+        let mut draws = BTreeMap::new();
+        draws.insert(
+            Component::Baseline,
+            Draw {
+                idle_mw: 600.0,
+                active_mw: 600.0,
+            },
+        );
+        draws.insert(
+            Component::CpuNormalWorld,
+            Draw {
+                idle_mw: 80.0,
+                active_mw: 1_400.0,
+            },
+        );
+        draws.insert(
+            Component::CpuSecureWorld,
+            Draw {
+                idle_mw: 12.0,
+                active_mw: 1_550.0,
+            },
+        );
+        draws.insert(
+            Component::Dram,
+            Draw {
+                idle_mw: 120.0,
+                active_mw: 450.0,
+            },
+        );
+        draws.insert(
+            Component::I2sController,
+            Draw {
+                idle_mw: 2.0,
+                active_mw: 20.0,
+            },
+        );
+        draws.insert(
+            Component::Microphone,
+            Draw {
+                idle_mw: 0.4,
+                active_mw: 3.0,
+            },
+        );
+        draws.insert(
+            Component::Camera,
+            Draw {
+                idle_mw: 5.0,
+                active_mw: 600.0,
+            },
+        );
+        draws.insert(
+            Component::DmaEngine,
+            Draw {
+                idle_mw: 1.0,
+                active_mw: 60.0,
+            },
+        );
+        draws.insert(
+            Component::Network,
+            Draw {
+                idle_mw: 45.0,
+                active_mw: 750.0,
+            },
+        );
+        PowerModel { draws }
+    }
+
     /// Draw parameters for one component.
     ///
     /// Unknown components (possible because the enum is non-exhaustive)

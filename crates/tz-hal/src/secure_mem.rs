@@ -11,8 +11,9 @@
 //! when the buffer is dropped. Exhaustion is a first-class, observable
 //! failure so experiments can report when a model or driver no longer fits.
 
+use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
 use parking_lot::Mutex;
 
@@ -102,7 +103,26 @@ fn round_up(v: usize, align: usize) -> usize {
 #[derive(Clone)]
 pub struct SecureRam {
     inner: Arc<Mutex<SecureRamInner>>,
+    shared: Arc<Mutex<SharedRegistry>>,
     stats: TzStats,
+}
+
+/// Registry of content-keyed shared reservations (see
+/// [`SecureRam::reserve_shared`]). Entries are weak so the underlying
+/// buffer is freed when the last [`SharedReservation`] drops.
+#[derive(Default)]
+struct SharedRegistry {
+    entries: HashMap<u64, Weak<SharedEntry>>,
+    /// Cumulative bytes that were *not* allocated because an identical
+    /// reservation already existed — the model-dedup saving.
+    deduped_bytes: u64,
+    /// Number of reservations that were served from an existing entry.
+    dedup_hits: u64,
+}
+
+struct SharedEntry {
+    key: u64,
+    buf: SecureBuf,
 }
 
 impl fmt::Debug for SecureRam {
@@ -132,8 +152,73 @@ impl SecureRam {
                 allocation_count: 0,
                 failed_allocations: 0,
             })),
+            shared: Arc::new(Mutex::new(SharedRegistry::default())),
             stats,
         }
+    }
+
+    /// Reserves `size` bytes under a shared content `key` — the
+    /// model-dedup path. The first reservation for a key allocates from
+    /// the carve-out; every later reservation for the same key (while any
+    /// earlier one is still alive) charges **nothing** and hands back a
+    /// handle onto the same allocation. This models co-resident TAs
+    /// hosting the same read-only model weights: the paper's "smaller ML
+    /// models" mitigation generalized to model *sharing* — N sessions,
+    /// one copy of the weights in secure RAM.
+    ///
+    /// The saving is observable through [`SecureRam::dedup_saved_bytes`]
+    /// and [`SecureRam::dedup_hits`]. When the last handle for a key
+    /// drops, the allocation is returned to the pool; a later reservation
+    /// for the key allocates afresh.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TzError::SecureRamExhausted`] if the first reservation
+    /// for the key does not fit, and [`TzError::SharedReservationMismatch`]
+    /// if a later reservation requests a different size than the live
+    /// allocation under the key holds — serving that silently would hand
+    /// back a wrong-size buffer and credit phantom dedup savings.
+    pub fn reserve_shared(&self, key: u64, size: usize) -> Result<SharedReservation> {
+        let mut shared = self.shared.lock();
+        if let Some(entry) = shared.entries.get(&key).and_then(Weak::upgrade) {
+            if entry.buf.len() != size {
+                return Err(TzError::SharedReservationMismatch {
+                    key,
+                    existing: entry.buf.len(),
+                    requested: size,
+                });
+            }
+            shared.deduped_bytes += round_up(size.max(1), DEFAULT_ALIGN) as u64;
+            shared.dedup_hits += 1;
+            return Ok(SharedReservation { entry });
+        }
+        let buf = self.alloc(size)?;
+        let entry = Arc::new(SharedEntry { key, buf });
+        shared.entries.retain(|_, e| e.strong_count() > 0);
+        shared.entries.insert(key, Arc::downgrade(&entry));
+        Ok(SharedReservation { entry })
+    }
+
+    /// Cumulative bytes saved by shared reservations: what co-resident
+    /// sessions *would* have allocated without dedup, minus what they did.
+    pub fn dedup_saved_bytes(&self) -> u64 {
+        self.shared.lock().deduped_bytes
+    }
+
+    /// Number of shared reservations that were served from an existing
+    /// allocation instead of allocating again.
+    pub fn dedup_hits(&self) -> u64 {
+        self.shared.lock().dedup_hits
+    }
+
+    /// Number of distinct live shared allocations.
+    pub fn shared_reservation_count(&self) -> usize {
+        self.shared
+            .lock()
+            .entries
+            .values()
+            .filter(|e| e.strong_count() > 0)
+            .count()
     }
 
     /// Allocates a zeroed secure buffer of `size` bytes.
@@ -287,6 +372,54 @@ impl AsMut<[u8]> for SecureBuf {
     }
 }
 
+/// A handle onto a content-keyed shared secure-RAM reservation (see
+/// [`SecureRam::reserve_shared`]). All handles for one key refer to the
+/// **same** allocation; the allocation is freed when the last handle
+/// drops. Handles are read-only: shared reservations model read-only
+/// model weights, which is what makes charging them once sound.
+#[derive(Clone)]
+pub struct SharedReservation {
+    entry: Arc<SharedEntry>,
+}
+
+impl SharedReservation {
+    /// The content key the reservation was made under.
+    pub fn key(&self) -> u64 {
+        self.entry.key
+    }
+
+    /// Simulated physical address of the shared allocation.
+    pub fn addr(&self) -> u64 {
+        self.entry.buf.addr()
+    }
+
+    /// Size of the shared allocation in bytes.
+    pub fn len(&self) -> usize {
+        self.entry.buf.len()
+    }
+
+    /// Whether the reservation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entry.buf.is_empty()
+    }
+
+    /// Number of live handles onto this allocation (co-resident users).
+    pub fn handle_count(&self) -> usize {
+        Arc::strong_count(&self.entry)
+    }
+}
+
+impl fmt::Debug for SharedReservation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SharedReservation")
+            .field("key", &format_args!("{:#x}", self.entry.key))
+            .field("addr", &format_args!("{:#x}", self.entry.buf.addr()))
+            .field("len", &self.entry.buf.len())
+            .field("handles", &Arc::strong_count(&self.entry))
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -360,6 +493,71 @@ mod tests {
         drop(a);
         drop(b);
         assert!(stats.snapshot().secure_ram_peak_bytes >= 20_000);
+    }
+
+    #[test]
+    fn shared_reservations_charge_once_per_key() {
+        let ram = pool(64 * 1024);
+        let a = ram.reserve_shared(0x0DE1, 10_000).unwrap();
+        let used_after_first = ram.bytes_in_use();
+        assert!(used_after_first >= 10_000);
+        // A second co-resident session with the same weights: no new bytes.
+        let b = ram.reserve_shared(a.key(), 10_000).unwrap();
+        assert_eq!(ram.bytes_in_use(), used_after_first);
+        assert_eq!(a.addr(), b.addr());
+        assert_eq!(b.handle_count(), 2);
+        assert!(ram.dedup_saved_bytes() >= 10_000);
+        assert_eq!(ram.dedup_hits(), 1);
+        assert_eq!(ram.shared_reservation_count(), 1);
+        // A different key is a different allocation.
+        let c = ram.reserve_shared(0x07E2, 4_000).unwrap();
+        assert_ne!(c.addr(), a.addr());
+        assert_eq!(ram.shared_reservation_count(), 2);
+        let used_after_c = ram.bytes_in_use();
+        // Dropping one handle keeps the shared allocation alive...
+        drop(a);
+        assert_eq!(ram.bytes_in_use(), used_after_c);
+        // ...dropping the last frees it.
+        drop(b);
+        assert_eq!(ram.bytes_in_use(), used_after_c - used_after_first);
+        // A fresh key allocates afresh.
+        let again = ram.reserve_shared(0x0DE1, 8_000).unwrap();
+        assert!(!again.is_empty());
+        drop(c);
+        drop(again);
+        assert_eq!(ram.bytes_in_use(), 0);
+    }
+
+    #[test]
+    fn shared_reservation_exhaustion_is_reported() {
+        let ram = pool(8 * 1024);
+        let _a = ram.reserve_shared(1, 6 * 1024).unwrap();
+        let err = ram.reserve_shared(2, 6 * 1024).unwrap_err();
+        assert!(matches!(err, TzError::SecureRamExhausted { .. }));
+        // The same key still dedups even under pressure.
+        let b = ram.reserve_shared(1, 6 * 1024).unwrap();
+        assert_eq!(b.handle_count(), 2);
+    }
+
+    #[test]
+    fn shared_reservation_size_mismatch_is_rejected() {
+        let ram = pool(64 * 1024);
+        let a = ram.reserve_shared(9, 10_000).unwrap();
+        let err = ram.reserve_shared(9, 12_000).unwrap_err();
+        assert!(matches!(
+            err,
+            TzError::SharedReservationMismatch {
+                key: 9,
+                existing: 10_000,
+                requested: 12_000,
+            }
+        ));
+        // Nothing was credited for the rejected request.
+        assert_eq!(ram.dedup_hits(), 0);
+        assert_eq!(ram.dedup_saved_bytes(), 0);
+        // A matching size still dedups.
+        assert!(ram.reserve_shared(9, 10_000).is_ok());
+        drop(a);
     }
 
     #[test]

@@ -230,6 +230,72 @@ impl CameraScenario {
         )
     }
 
+    /// A high-fps capture stream: the camera delivers `frames_per_event`
+    /// frames per window at a sustained `fps`, so consecutive windows
+    /// arrive `frames_per_event / fps` apart. The sensor's frame interval
+    /// **is** the pipeline's frame budget: a vision TA keeps up only if it
+    /// classifies a window faster than the next one arrives. High-speed
+    /// sensors (slow-motion capture, machine-vision line cameras) outrun
+    /// a single TA session long before microphones do — the workload the
+    /// multi-core TEE scheduler shards across sessions.
+    ///
+    /// The scene mix matches [`CameraScenario::mixed_scenes`] for the same
+    /// seed, so sharded and unsharded runs of a high-fps scenario face
+    /// identical content.
+    pub fn high_fps(
+        n: usize,
+        frames_per_event: usize,
+        fps: u32,
+        sensitive_fraction: f64,
+        seed: u64,
+    ) -> Self {
+        let frames_per_event = frames_per_event.max(1);
+        let fps = fps.max(1);
+        let spacing =
+            SimDuration::from_nanos(frames_per_event as u64 * 1_000_000_000 / u64::from(fps));
+        let mut scenario = CameraScenario::mixed_scenes(n, sensitive_fraction, spacing, seed);
+        for event in &mut scenario.events {
+            event.frames = frames_per_event;
+        }
+        scenario.name = format!("high-fps-{fps}x{frames_per_event}");
+        scenario
+    }
+
+    /// Fan-out for a high-fps camera fleet: `devices` schedules derived
+    /// from `seed`, each distinct but reproducible, all at the same rate.
+    pub fn fleet_high_fps(
+        devices: usize,
+        n: usize,
+        frames_per_event: usize,
+        fps: u32,
+        sensitive_fraction: f64,
+        seed: u64,
+    ) -> Vec<CameraScenario> {
+        (0..devices)
+            .map(|device| {
+                let mut scenario = CameraScenario::high_fps(
+                    n,
+                    frames_per_event,
+                    fps,
+                    sensitive_fraction,
+                    seed ^ (device as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                scenario.name = format!("{}-device-{device}", scenario.name);
+                scenario
+            })
+            .collect()
+    }
+
+    /// Spacing between consecutive events (zero for fewer than two
+    /// events). For uniformly spaced scenarios this is the per-event frame
+    /// budget the capture source imposes.
+    pub fn event_spacing(&self) -> SimDuration {
+        match self.events.as_slice() {
+            [first, second, ..] => second.at - first.at,
+            _ => SimDuration::ZERO,
+        }
+    }
+
     /// Fan-out for a camera fleet: `devices` scene schedules derived from
     /// `seed`, each distinct but reproducible.
     pub fn fleet_cameras(
@@ -344,6 +410,38 @@ mod tests {
         assert_eq!(scenarios[0].name, "camera-device-0");
         assert_ne!(scenarios[0].events, scenarios[1].events);
         assert_eq!(scenarios[2].len(), 8);
+    }
+
+    #[test]
+    fn high_fps_scenarios_pin_frames_and_spacing_to_the_rate() {
+        let s = CameraScenario::high_fps(12, 4, 2_000, 0.5, 0xFA57);
+        assert_eq!(s.len(), 12);
+        assert!(s.events.iter().all(|e| e.frames == 4));
+        // 4 frames at 2000 fps: windows arrive every 2 ms.
+        assert_eq!(s.event_spacing(), SimDuration::from_millis(2));
+        assert_eq!(s.total_frames(), 48);
+        assert!(s.name.contains("2000"));
+        // Same seed, same scene content as the mixed generator: sharded
+        // and unsharded runs compare like for like.
+        let mixed = CameraScenario::mixed_scenes(12, 0.5, SimDuration::from_millis(2), 0xFA57);
+        let scenes: Vec<_> = s.events.iter().map(|e| e.scene).collect();
+        let mixed_scenes: Vec<_> = mixed.events.iter().map(|e| e.scene).collect();
+        assert_eq!(scenes, mixed_scenes);
+        // Degenerate inputs clamp instead of panicking.
+        let tiny = CameraScenario::high_fps(1, 0, 0, 0.0, 1);
+        assert_eq!(tiny.events[0].frames, 1);
+        assert_eq!(tiny.event_spacing(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn high_fps_fleet_fanout_gives_each_device_distinct_scenes() {
+        let schedules = CameraScenario::fleet_high_fps(3, 8, 2, 960, 0.4, 0xF1);
+        assert_eq!(schedules.len(), 3);
+        assert!(schedules[0].name.ends_with("device-0"));
+        assert_ne!(schedules[0].events, schedules[1].events);
+        for s in &schedules {
+            assert_eq!(s.event_spacing(), schedules[0].event_spacing());
+        }
     }
 
     #[test]

@@ -22,8 +22,9 @@
 //! | [`ml`] | `perisec-ml` | Tensors, layers, training, MFCC, keyword STT, CNN/Transformer/hybrid classifiers, quantization |
 //! | [`workload`] | `perisec-workload` | Synthetic labelled speech corpus and scenario generators |
 //! | [`relay`] | `perisec-relay` | TLS-like secure channel, AVS-style cloud API, mock cloud service |
-//! | [`tcb`] | `perisec-tcb` | Trace analysis, call graphs, driver pruning, TCB reports |
+//! | [`tcb`] | `perisec-tcb` | Trace analysis, call graphs, driver pruning, secure-memory accounting, TCB reports |
 //! | [`core`] | `perisec-core` | The paper's contribution: policy engine, privacy filter, end-to-end pipelines, metrics |
+//! | [`sched`] | `perisec-sched` | Multi-core TEE scheduler: secure-core pools, sharded TA sessions, adaptive batching, model dedup |
 //!
 //! ## Quickstart
 //!
@@ -46,6 +47,7 @@ pub use perisec_kernel as kernel;
 pub use perisec_ml as ml;
 pub use perisec_optee as optee;
 pub use perisec_relay as relay;
+pub use perisec_sched as sched;
 pub use perisec_secure_driver as secure_driver;
 pub use perisec_tcb as tcb;
 pub use perisec_tz as tz;

@@ -117,6 +117,7 @@ fn mixed_fleet_filters_both_modalities_off_one_model_set() {
         },
         camera_devices: 4,
         camera_pipeline: camera_config(8),
+        tee_cores: 1,
     })
     .expect("fleet trains once");
     let audio = Scenario::fleet(4, 8, 0.25, SimDuration::from_secs(2), 0xF1EE7);
