@@ -1,0 +1,5 @@
+//! Experiment E15 harness: bounded work-stealing fleet executor (fixed
+//! worker pools vs thread-per-device + session work stealing).
+fn main() {
+    println!("{}", perisec_bench::run_e15_fleet_executor());
+}

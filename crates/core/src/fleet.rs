@@ -1,12 +1,21 @@
 //! The multi-device fleet harness.
 //!
-//! A [`PipelineFleet`] runs M concurrent device pipelines — one OS thread
-//! per simulated device, each with its own platform, TEE core, secure
-//! driver and cloud connection — while sharing **one** trained model set
-//! ([`crate::pipeline::SharedModels`]) across every device via [`Arc`].
-//! Training dominates pipeline setup cost, so a fleet of N devices sets up
-//! roughly N times faster than N independently-built pipelines, and the
-//! secure model weights exist once in (simulated) memory.
+//! A [`PipelineFleet`] runs M concurrent device pipelines — each with its
+//! own platform, TEE core, secure driver and cloud connection — while
+//! sharing **one** trained model set ([`crate::pipeline::SharedModels`])
+//! across every device via [`Arc`](std::sync::Arc). Training dominates
+//! pipeline setup cost, so a fleet of N devices sets up roughly N times
+//! faster than N independently-built pipelines, and the secure model
+//! weights exist once in (simulated) memory.
+//!
+//! Devices execute on the bounded work-stealing
+//! [`FleetExecutor`](crate::executor::FleetExecutor):
+//! [`FleetConfig::workers`] OS threads step resumable device tasks at
+//! TEE-crossing granularity, so a 10k-device fleet holds `workers`
+//! pipeline stacks in memory instead of 10k. The historical
+//! thread-per-device harness survives as
+//! [`PipelineFleet::run_mixed_threaded`] — the baseline experiment E15
+//! measures the executor against.
 //!
 //! Fleets may be single-modality ([`PipelineFleet::run`]) or mixed
 //! ([`PipelineFleet::run_mixed`]): audio devices and camera devices run
@@ -16,15 +25,20 @@
 //! Per-device [`PipelineReport`]s are merged into a [`FleetReport`] with
 //! fleet-wide privacy, latency and transition aggregates.
 
-use std::thread;
+use std::sync::{Arc, OnceLock};
 
 use perisec_tz::time::SimDuration;
 use perisec_workload::scenario::{CameraScenario, Scenario};
 
 use serde::{Deserialize, Serialize};
 
+use crate::executor::{
+    run_thread_per_device, DeviceTask, ExecutorConfig, ExecutorStats, FleetExecutor, QueuedDevice,
+    StepOutcome,
+};
 use crate::pipeline::{
-    CameraPipelineConfig, PipelineConfig, SecureCameraPipeline, SecurePipeline, SharedModels,
+    CameraPipelineConfig, PipelineConfig, ScenarioProgress, SecureCameraPipeline, SecurePipeline,
+    SharedModels,
 };
 use crate::report::{LatencyPercentiles, PipelineReport};
 use crate::{CoreError, Result};
@@ -50,6 +64,11 @@ pub struct FleetConfig {
     /// scheduler crate's `ShardedFleet` runner, and [`PipelineFleet`]
     /// rejects them loudly rather than silently running unsharded.
     pub tee_cores: usize,
+    /// Worker threads of the fleet executor. `0` (the default) means one
+    /// worker per host core; any value is capped by the device count. The
+    /// merged [`FleetReport`] is byte-identical for every worker count —
+    /// workers change wall-clock and memory, never outcomes.
+    pub workers: usize,
 }
 
 impl FleetConfig {
@@ -62,6 +81,7 @@ impl FleetConfig {
             camera_devices: 0,
             camera_pipeline: CameraPipelineConfig::default(),
             tee_cores: 1,
+            workers: 0,
         }
     }
 
@@ -70,10 +90,8 @@ impl FleetConfig {
     pub fn mixed(audio: usize, cameras: usize) -> Self {
         FleetConfig {
             devices: audio,
-            pipeline: PipelineConfig::default(),
             camera_devices: cameras,
-            camera_pipeline: CameraPipelineConfig::default(),
-            tee_cores: 1,
+            ..FleetConfig::of(0)
         }
     }
 
@@ -135,13 +153,59 @@ pub struct DeviceReport {
 }
 
 /// The merged report of a fleet run.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+///
+/// A report is treated as immutable once assembled: the fleet-wide
+/// latency percentiles are computed — one sort over the pooled sample —
+/// on first query and cached for every later `p50`/`p95`/`p99`/`mean`
+/// call and for [`FleetReport::to_json`].
+#[derive(Debug, Clone, Default)]
 pub struct FleetReport {
-    /// Per-device reports, in device order.
-    pub devices: Vec<DeviceReport>,
+    /// Per-device reports, in device order. Private so nothing can grow
+    /// or reorder the set after the percentile cache has been primed —
+    /// reports are assembled once ([`FleetReport::new`]) and read-only
+    /// after that ([`FleetReport::devices`]).
+    devices: Vec<DeviceReport>,
+    /// Lazily-computed fleet-wide percentiles (see the type docs).
+    percentiles: OnceLock<LatencyPercentiles>,
+}
+
+impl PartialEq for FleetReport {
+    fn eq(&self, other: &Self) -> bool {
+        // The cache is derived data; two reports are equal iff their
+        // devices are.
+        self.devices == other.devices
+    }
+}
+
+impl Serialize for FleetReport {
+    fn to_value(&self) -> serde::value::Value {
+        serde::value::Value::Object(vec![("devices".to_owned(), self.devices.to_value())])
+    }
+}
+
+impl Deserialize for FleetReport {
+    fn from_value(value: &serde::value::Value) -> std::result::Result<Self, serde::Error> {
+        Ok(FleetReport::new(Deserialize::from_value(
+            value.field("devices")?,
+        )?))
+    }
 }
 
 impl FleetReport {
+    /// Wraps per-device reports (already in device order) into a fleet
+    /// report.
+    pub fn new(devices: Vec<DeviceReport>) -> Self {
+        FleetReport {
+            devices,
+            percentiles: OnceLock::new(),
+        }
+    }
+
+    /// Per-device reports, in device order.
+    pub fn devices(&self) -> &[DeviceReport] {
+        &self.devices
+    }
+
     /// Number of devices that ran.
     pub fn device_count(&self) -> usize {
         self.devices.len()
@@ -189,6 +253,16 @@ impl FleetReport {
         self.leaked_sensitive_utterances() as f64 / sensitive as f64
     }
 
+    /// Total payload (audio/pixel) bytes that reached the cloud — zero
+    /// for verdict-only relays.
+    pub fn total_payload_bytes(&self) -> usize {
+        self.devices
+            .iter()
+            .flat_map(|d| d.report.cloud.report.events.iter())
+            .map(|e| e.audio_bytes)
+            .sum()
+    }
+
     /// Total world switches across every device's TEE.
     pub fn total_world_switches(&self) -> u64 {
         self.devices
@@ -213,19 +287,7 @@ impl FleetReport {
 
     /// Mean per-utterance processing latency across the fleet.
     pub fn mean_end_to_end(&self) -> SimDuration {
-        let mut total = SimDuration::ZERO;
-        let mut count = 0u64;
-        for device in &self.devices {
-            for &latency in &device.report.latency.per_utterance {
-                total += latency;
-                count += 1;
-            }
-        }
-        if count == 0 {
-            SimDuration::ZERO
-        } else {
-            total / count
-        }
+        self.latency_percentiles().mean
     }
 
     /// Every device's per-utterance latencies pooled into one sample.
@@ -238,9 +300,13 @@ impl FleetReport {
 
     /// Fleet-wide latency percentiles (mean/p50/p95/p99) over every
     /// device's per-utterance latencies — the figures E14's SLO claims
-    /// are checked against. Also serialized by [`FleetReport::to_json`].
+    /// are checked against. Computed with **one** sort on first call and
+    /// cached; `p50`/`p95`/`p99`/`mean` and [`FleetReport::to_json`] all
+    /// reuse the cached figures.
     pub fn latency_percentiles(&self) -> LatencyPercentiles {
-        LatencyPercentiles::from_sample(self.latency_sample())
+        *self
+            .percentiles
+            .get_or_init(|| LatencyPercentiles::from_sample(self.latency_sample()))
     }
 
     /// Fleet-wide median per-utterance latency.
@@ -285,6 +351,105 @@ impl FleetReport {
         serde_json::to_string_pretty(&document).expect("fleet report is serializable")
     }
 }
+
+// ----- device tasks --------------------------------------------------------
+
+/// The resumable audio-device state machine: one built [`SecurePipeline`]
+/// plus a scenario cursor; each step is one TEE crossing.
+struct AudioDeviceTask {
+    device: usize,
+    scenario: Arc<Scenario>,
+    pipeline: SecurePipeline,
+    progress: Option<ScenarioProgress>,
+}
+
+impl DeviceTask for AudioDeviceTask {
+    fn step(&mut self) -> Result<StepOutcome> {
+        let mut progress = self.progress.take().expect("task stepped after completion");
+        if self.pipeline.step_scenario(&self.scenario, &mut progress)? {
+            self.progress = Some(progress);
+            return Ok(StepOutcome::Yielded);
+        }
+        let report = self.pipeline.finish_scenario(&self.scenario, progress);
+        Ok(StepOutcome::Complete(Box::new(DeviceReport {
+            device: self.device,
+            modality: Modality::Audio,
+            scenario: self.scenario.name.clone(),
+            report,
+        })))
+    }
+}
+
+/// The resumable camera-device state machine — the vision twin of
+/// [`AudioDeviceTask`].
+struct CameraDeviceTask {
+    device: usize,
+    scenario: Arc<CameraScenario>,
+    pipeline: SecureCameraPipeline,
+    progress: Option<ScenarioProgress>,
+}
+
+impl DeviceTask for CameraDeviceTask {
+    fn step(&mut self) -> Result<StepOutcome> {
+        let mut progress = self.progress.take().expect("task stepped after completion");
+        if self.pipeline.step_scenario(&self.scenario, &mut progress)? {
+            self.progress = Some(progress);
+            return Ok(StepOutcome::Yielded);
+        }
+        let report = self.pipeline.finish_scenario(&self.scenario, progress);
+        Ok(StepOutcome::Complete(Box::new(DeviceReport {
+            device: self.device,
+            modality: Modality::Camera,
+            scenario: self.scenario.name.clone(),
+            report,
+        })))
+    }
+}
+
+/// Queues one audio device: the pipeline stack builds lazily when a
+/// worker first schedules the device, and the scenario is shared by
+/// `Arc` — a 10k-device fleet cycling over a few scenarios must not
+/// hold 10k copies of their event lists in its run queues. Shared with
+/// the scheduler crate's `ShardedFleet`, whose audio devices are
+/// identical to this fleet's.
+pub fn audio_device_task(
+    device: usize,
+    scenario: Arc<Scenario>,
+    config: PipelineConfig,
+    models: SharedModels,
+) -> QueuedDevice {
+    QueuedDevice::new(device, move || {
+        let mut pipeline = SecurePipeline::with_models(config, &models)?;
+        let progress = pipeline.begin_scenario();
+        Ok(Box::new(AudioDeviceTask {
+            device,
+            scenario,
+            pipeline,
+            progress: Some(progress),
+        }))
+    })
+}
+
+/// Queues one single-session camera device.
+pub fn camera_device_task(
+    device: usize,
+    scenario: Arc<CameraScenario>,
+    config: CameraPipelineConfig,
+    models: SharedModels,
+) -> QueuedDevice {
+    QueuedDevice::new(device, move || {
+        let mut pipeline = SecureCameraPipeline::with_models(config, &models)?;
+        let progress = pipeline.begin_scenario();
+        Ok(Box::new(CameraDeviceTask {
+            device,
+            scenario,
+            pipeline,
+            progress: Some(progress),
+        }))
+    })
+}
+
+// ----- the fleet -----------------------------------------------------------
 
 /// The fleet: one shared trained model set plus the per-device config.
 #[derive(Debug, Clone)]
@@ -346,9 +511,9 @@ impl PipelineFleet {
         &self.config
     }
 
-    /// Runs one scenario per audio device, concurrently — device `i`
-    /// replays `scenarios[i % scenarios.len()]`. Every device thread
-    /// builds its own full stack (platform, TEE core, secure driver,
+    /// Runs one scenario per audio device on the bounded executor —
+    /// device `i` replays `scenarios[i % scenarios.len()]`. Every device
+    /// task builds its own full stack (platform, TEE core, secure driver,
     /// cloud) around the shared models, runs its scenario, and reports.
     ///
     /// # Errors
@@ -377,14 +542,14 @@ impl PipelineFleet {
                 reason: "fleet run needs at least one scenario".to_owned(),
             });
         }
-        self.run_threads(scenarios, &[])
+        self.execute(scenarios, &[]).map(|(report, _)| report)
     }
 
     /// Runs a mixed fleet: the configured audio devices replay `audio`
     /// scenarios while the configured camera devices replay `cameras`
-    /// scene schedules, all concurrently and all off the same shared
-    /// model set. Audio devices come first in the merged report, camera
-    /// devices after.
+    /// scene schedules, all off the same shared model set, multiplexed
+    /// onto [`FleetConfig::workers`] executor threads. Audio devices come
+    /// first in the merged report, camera devices after.
     ///
     /// # Errors
     ///
@@ -393,7 +558,45 @@ impl PipelineFleet {
     /// scenarios *and* scenarios with no devices are both rejected, so
     /// nothing is ever silently skipped — or when the fleet is empty.
     pub fn run_mixed(&self, audio: &[Scenario], cameras: &[CameraScenario]) -> Result<FleetReport> {
+        self.run_mixed_stats(audio, cameras)
+            .map(|(report, _)| report)
+    }
+
+    /// [`PipelineFleet::run_mixed`], also returning the executor's
+    /// host-side telemetry (steals, peak residency, wall-clock).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`PipelineFleet::run_mixed`].
+    pub fn run_mixed_stats(
+        &self,
+        audio: &[Scenario],
+        cameras: &[CameraScenario],
+    ) -> Result<(FleetReport, ExecutorStats)> {
         self.config.reject_sharding()?;
+        self.validate_mixed(audio, cameras)?;
+        self.execute(audio, cameras)
+    }
+
+    /// The historical harness: one OS thread per device, every device
+    /// stack resident at once. Kept as E15's baseline; produces a
+    /// byte-identical [`FleetReport`] to the executor (device runs are
+    /// hermetic), at one-thread-per-device host cost.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`PipelineFleet::run_mixed`].
+    pub fn run_mixed_threaded(
+        &self,
+        audio: &[Scenario],
+        cameras: &[CameraScenario],
+    ) -> Result<FleetReport> {
+        self.config.reject_sharding()?;
+        self.validate_mixed(audio, cameras)?;
+        run_thread_per_device(self.queued_devices(audio, cameras)).map(FleetReport::new)
+    }
+
+    fn validate_mixed(&self, audio: &[Scenario], cameras: &[CameraScenario]) -> Result<()> {
         if self.config.total_devices() == 0 {
             return Err(CoreError::Config {
                 reason: "fleet needs at least one device".to_owned(),
@@ -419,70 +622,45 @@ impl PipelineFleet {
                 reason: "camera scenarios given but no camera devices configured".to_owned(),
             });
         }
-        self.run_threads(audio, cameras)
+        Ok(())
     }
 
-    /// Spawns the device threads. Callers have already validated that a
+    /// Queues the fleet's devices. Callers have already validated that a
     /// modality's scenario slice is non-empty exactly when it has devices.
-    fn run_threads(&self, audio: &[Scenario], cameras: &[CameraScenario]) -> Result<FleetReport> {
+    fn queued_devices(&self, audio: &[Scenario], cameras: &[CameraScenario]) -> Vec<QueuedDevice> {
         let audio_devices = self.config.devices;
         let camera_devices = self.config.camera_devices;
-        let total = audio_devices + camera_devices;
-        let outcomes: Vec<Result<DeviceReport>> = thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(total);
-            for device in 0..audio_devices {
-                let scenario = &audio[device % audio.len()];
-                let pipeline_config = self.config.pipeline.clone();
-                let models = &self.models;
-                handles.push(scope.spawn(move || -> Result<DeviceReport> {
-                    let mut pipeline = SecurePipeline::with_models(pipeline_config, models)?;
-                    let report = pipeline.run_scenario(scenario)?;
-                    Ok(DeviceReport {
-                        device,
-                        modality: Modality::Audio,
-                        scenario: scenario.name.clone(),
-                        report,
-                    })
-                }));
-            }
-            for camera in 0..camera_devices {
-                let device = audio_devices + camera;
-                let scenario = &cameras[camera % cameras.len()];
-                let camera_config = self.config.camera_pipeline.clone();
-                let models = &self.models;
-                handles.push(scope.spawn(move || -> Result<DeviceReport> {
-                    let mut pipeline = SecureCameraPipeline::with_models(camera_config, models)?;
-                    let report = pipeline.run_scenario(scenario)?;
-                    Ok(DeviceReport {
-                        device,
-                        modality: Modality::Camera,
-                        scenario: scenario.name.clone(),
-                        report,
-                    })
-                }));
-            }
-            handles
-                .into_iter()
-                .enumerate()
-                .map(|(device, handle)| {
-                    handle.join().unwrap_or_else(|payload| {
-                        let message = payload
-                            .downcast_ref::<&str>()
-                            .map(|s| (*s).to_owned())
-                            .or_else(|| payload.downcast_ref::<String>().cloned())
-                            .unwrap_or_else(|| "unknown panic payload".to_owned());
-                        Err(CoreError::Config {
-                            reason: format!("device {device} pipeline thread panicked: {message}"),
-                        })
-                    })
-                })
-                .collect()
-        });
-        let mut reports = Vec::with_capacity(total);
-        for outcome in outcomes {
-            reports.push(outcome?);
+        // One shared copy per distinct scenario; devices hold `Arc`s.
+        let audio: Vec<Arc<Scenario>> = audio.iter().cloned().map(Arc::new).collect();
+        let cameras: Vec<Arc<CameraScenario>> = cameras.iter().cloned().map(Arc::new).collect();
+        let mut tasks = Vec::with_capacity(audio_devices + camera_devices);
+        for device in 0..audio_devices {
+            tasks.push(audio_device_task(
+                device,
+                Arc::clone(&audio[device % audio.len()]),
+                self.config.pipeline.clone(),
+                self.models.clone(),
+            ));
         }
-        Ok(FleetReport { devices: reports })
+        for camera in 0..camera_devices {
+            tasks.push(camera_device_task(
+                audio_devices + camera,
+                Arc::clone(&cameras[camera % cameras.len()]),
+                self.config.camera_pipeline.clone(),
+                self.models.clone(),
+            ));
+        }
+        tasks
+    }
+
+    fn execute(
+        &self,
+        audio: &[Scenario],
+        cameras: &[CameraScenario],
+    ) -> Result<(FleetReport, ExecutorStats)> {
+        let executor = FleetExecutor::new(ExecutorConfig::with_workers(self.config.workers));
+        let (reports, stats) = executor.run(self.queued_devices(audio, cameras))?;
+        Ok((FleetReport::new(reports), stats))
     }
 }
 
@@ -522,7 +700,7 @@ mod tests {
         assert!(report.mean_end_to_end() > SimDuration::ZERO);
         assert!(report.total_energy_mj() > 0.0);
         // Devices got distinct scenarios, in order.
-        for (i, device) in report.devices.iter().enumerate() {
+        for (i, device) in report.devices().iter().enumerate() {
             assert_eq!(device.device, i);
             assert_eq!(device.scenario, scenarios[i].name);
         }
@@ -570,6 +748,7 @@ mod tests {
         // Camera devices without camera scenarios are rejected too.
         let mixed = PipelineFleet::with_models(FleetConfig::mixed(0, 1), fleet.models().clone());
         assert!(mixed.run_mixed(&[], &[]).is_err());
+        assert!(mixed.run_mixed_threaded(&[], &[]).is_err());
         // run() on a config with camera devices refuses instead of
         // silently running an audio-only subset of the fleet.
         let mixed = PipelineFleet::with_models(FleetConfig::mixed(1, 1), fleet.models().clone());
@@ -613,7 +792,7 @@ mod tests {
                 batch_windows: 4,
                 ..crate::pipeline::CameraPipelineConfig::default()
             },
-            tee_cores: 1,
+            ..FleetConfig::of(0)
         })
         .unwrap();
         let audio = Scenario::fleet(2, 6, 0.5, SimDuration::from_secs(2), 0xA1);
@@ -624,18 +803,22 @@ mod tests {
             SimDuration::from_secs(2),
             0xCA,
         );
-        let report = fleet.run_mixed(&audio, &cameras).unwrap();
+        let (report, stats) = fleet.run_mixed_stats(&audio, &cameras).unwrap();
 
         assert_eq!(report.device_count(), 4);
         assert_eq!(report.device_count_of(Modality::Audio), 2);
         assert_eq!(report.device_count_of(Modality::Camera), 2);
         assert_eq!(report.total_utterances(), 24);
+        // The executor really bounded residency: never more than one
+        // built stack per worker.
+        assert!(stats.peak_resident <= stats.workers);
+        assert_eq!(stats.completed, 4);
         // Both modalities filter: most sensitive traffic is stopped.
         assert!(report.total_sensitive_utterances() > 0);
         assert!(report.leakage_rate() < 0.5);
         // Camera devices relay verdicts only — no payload bytes anywhere
         // in their cloud reports.
-        for device in &report.devices {
+        for device in report.devices() {
             if device.modality == Modality::Camera {
                 assert!(device
                     .report
@@ -669,6 +852,7 @@ mod tests {
         let err = fleet.run(&scenarios).unwrap_err();
         assert!(err.to_string().contains("ShardedFleet"), "{err}");
         assert!(fleet.run_mixed(&scenarios, &[]).is_err());
+        assert!(fleet.run_mixed_threaded(&scenarios, &[]).is_err());
         // `new` rejects before paying for model training.
         assert!(PipelineFleet::new(FleetConfig {
             devices: 1,
@@ -700,6 +884,12 @@ mod tests {
         assert_eq!(report.p95_end_to_end(), percentiles.p95);
         assert_eq!(report.p99_end_to_end(), percentiles.p99);
         assert_eq!(report.mean_end_to_end(), percentiles.mean);
+        // The cached figures are the same values a fresh computation
+        // yields (the cache can never go stale on an assembled report).
+        assert_eq!(
+            LatencyPercentiles::from_sample(report.latency_sample()),
+            percentiles
+        );
         // The percentiles ride along in the serialized report.
         let json = report.to_json();
         assert!(json.contains("latency_percentiles"));
@@ -730,7 +920,38 @@ mod tests {
         assert_eq!(report.total_utterances(), 8);
         assert_eq!(report.total_sensitive_utterances(), 0);
         assert_eq!(report.leakage_rate(), 0.0);
-        // The merged report serializes.
+        // The merged report serializes and round-trips.
         assert!(report.to_json().contains("devices"));
+        use serde::{Deserialize as _, Serialize as _};
+        let round = FleetReport::from_value(&report.to_value()).unwrap();
+        assert_eq!(round, report);
+    }
+
+    #[test]
+    fn worker_counts_change_nothing_but_the_schedule() {
+        let models =
+            SharedModels::train(perisec_ml::classifier::Architecture::Cnn, 60, 0xF1E).unwrap();
+        let cameras = perisec_workload::scenario::CameraScenario::fleet_cameras(
+            6,
+            4,
+            0.5,
+            SimDuration::from_secs(1),
+            0xF1E,
+        );
+        let mut jsons = Vec::new();
+        for workers in [1usize, 2, 8] {
+            let fleet = PipelineFleet::with_models(
+                FleetConfig {
+                    workers,
+                    ..FleetConfig::mixed(0, 6)
+                },
+                models.clone(),
+            );
+            let (report, stats) = fleet.run_mixed_stats(&[], &cameras).unwrap();
+            assert!(stats.workers <= workers.max(1));
+            jsons.push(report.to_json());
+        }
+        assert_eq!(jsons[0], jsons[1]);
+        assert_eq!(jsons[1], jsons[2]);
     }
 }

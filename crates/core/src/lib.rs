@@ -21,16 +21,23 @@
 //! * [`vision_ta`] — [`vision_ta::VisionTa`], the camera modality's filter
 //!   TA: pulls frames from the camera PTA, classifies them with the in-TA
 //!   frame CNN, and relays only sealed verdict records — never pixels;
+//! * [`executor`] — the bounded work-stealing fleet executor:
+//!   [`executor::FleetExecutor`] steps resumable device tasks on a fixed
+//!   worker pool, so fleet scale is a function of work, not thread count;
+//! * [`batcher`] — [`batcher::AdaptiveBatcher`]: picks each TEE
+//!   crossing's batch size from queue depth against a latency SLO;
 //! * [`fleet`] — [`fleet::PipelineFleet`]: M concurrent device pipelines
-//!   (audio, camera, or a mix) sharing one trained model set, with merged
-//!   fleet reports;
+//!   (audio, camera, or a mix) sharing one trained model set, multiplexed
+//!   onto the executor, with merged fleet reports;
 //! * [`report`] — per-run reports: stage latencies, world-switch and
 //!   energy accounting, and the privacy-leakage summary.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batcher;
 mod cloud_channel;
+pub mod executor;
 pub mod filter_ta;
 pub mod fleet;
 pub mod pipeline;
@@ -40,6 +47,11 @@ pub mod source;
 pub mod stage;
 pub mod vision_ta;
 
+pub use batcher::AdaptiveBatcher;
+pub use executor::{
+    DeviceTask, ExecutorConfig, ExecutorStats, FleetExecutor, QueuedDevice, StealRecord,
+    StepOutcome,
+};
 pub use filter_ta::{FilterStats, FilterTa, FILTER_TA_NAME};
 pub use fleet::{DeviceReport, FleetConfig, FleetReport, Modality, PipelineFleet};
 pub use pipeline::{

@@ -32,12 +32,14 @@ use perisec_secure_driver::camera_pta::CameraPta;
 use perisec_secure_driver::driver::SecureI2sDriver;
 use perisec_secure_driver::pta::I2sPta;
 use perisec_tz::platform::Platform;
-use perisec_tz::time::SimInstant;
+use perisec_tz::stats::TzStatsSnapshot;
+use perisec_tz::time::{SimDuration, SimInstant};
 use perisec_workload::corpus::CorpusGenerator;
 use perisec_workload::scenario::{CameraScenario, Scenario};
 use perisec_workload::synth::SpeechSynthesizer;
 use perisec_workload::vocab::Vocabulary;
 
+use crate::batcher::AdaptiveBatcher;
 use crate::filter_ta::{cmd as filter_cmd, default_cloud_host, default_psk, FilterTa};
 use crate::policy::PrivacyPolicy;
 use crate::report::{CloudOutcome, PipelineReport, WorkloadSummary};
@@ -72,6 +74,11 @@ pub struct PipelineConfig {
     /// paper's per-utterance behaviour; larger batches amortize the TEE
     /// boundary: world switches per utterance drop by roughly this factor.
     pub batch_windows: usize,
+    /// When set, an [`AdaptiveBatcher`] picks each TEE crossing's batch
+    /// size from the remaining queue depth against this per-utterance
+    /// latency SLO instead of the fixed `batch_windows` — the audio
+    /// counterpart of the sharded vision pipeline's SLO knob.
+    pub latency_slo: Option<SimDuration>,
 }
 
 impl Default for PipelineConfig {
@@ -86,6 +93,7 @@ impl Default for PipelineConfig {
             constrained_platform: false,
             secure_ram_kib: None,
             batch_windows: 1,
+            latency_slo: None,
         }
     }
 }
@@ -394,38 +402,90 @@ pub fn train_models(
     SharedModels::train(architecture, train_utterances, corpus_seed)
 }
 
-/// Drives events batch by batch through a secure
-/// capture → filter → relay stage chain and assembles the run report.
-/// Shared by the audio and camera pipelines so their accounting can
-/// never drift apart.
-#[allow(clippy::too_many_arguments)]
-fn run_secure_stages<E, C>(
-    pipeline_name: &str,
-    platform: &Platform,
-    cloud: &MockCloudService,
-    fabric: &NetworkFabric,
+/// Cursor over one scenario replay: which event the stages have consumed
+/// up to, plus the stats baseline the final report diffs against. This is
+/// the resumable seam the fleet executor's `DeviceTask` state machine is
+/// built on — a device run is `begin`, then `step` once per TEE crossing
+/// (the natural yield point), then `finish`.
+#[derive(Debug)]
+pub struct ScenarioProgress {
+    stats_before: TzStatsSnapshot,
+    next_event: usize,
+}
+
+impl ScenarioProgress {
+    /// Index of the first event the next step will consume.
+    pub fn next_event(&self) -> usize {
+        self.next_event
+    }
+}
+
+/// Starts a staged scenario run: resets the cloud ledger and snapshots
+/// the TEE counters the final report diffs against.
+fn begin_secure_stages(platform: &Platform, cloud: &MockCloudService) -> ScenarioProgress {
+    cloud.reset();
+    ScenarioProgress {
+        stats_before: platform.stats().snapshot(),
+        next_event: 0,
+    }
+}
+
+/// Drives **one** batch through a secure capture → filter → relay stage
+/// chain — one TEE crossing — and advances the cursor. Shared by the
+/// audio and camera pipelines so their accounting can never drift apart.
+/// Returns whether events remain after this step.
+fn step_secure_stages<E, C>(
     events: &[E],
-    batch: usize,
+    fixed_batch: usize,
+    batcher: Option<&mut AdaptiveBatcher>,
+    progress: &mut ScenarioProgress,
     capture: &mut C,
     filter: &mut SecureFilterStage,
     relay: &mut SecureRelayStage,
-    workload: WorkloadSummary,
-    sensitive_ids: Vec<u64>,
-) -> Result<PipelineReport>
+) -> Result<bool>
 where
     E: Clone,
     C: PipelineStage<Input = Vec<E>, Output = crate::stage::PreparedBatch>,
 {
-    cloud.reset();
-    let stats_before = platform.stats().snapshot();
-    for chunk in events.chunks(batch.max(1)) {
-        let prepared = capture.process(chunk.to_vec())?;
-        let filtered = filter.process(prepared)?;
-        relay.process(filtered)?;
+    if progress.next_event >= events.len() {
+        return Ok(false);
     }
+    let depth = events.len() - progress.next_event;
+    let batch = match &batcher {
+        Some(batcher) => batcher.pick_batch(depth),
+        None => fixed_batch.max(1),
+    }
+    .min(depth);
+    let chunk = events[progress.next_event..progress.next_event + batch].to_vec();
+    let prepared = capture.process(chunk)?;
+    let filtered = filter.process(prepared)?;
+    if let Some(batcher) = batcher {
+        if !filtered.per_utterance.is_empty() {
+            let mean = filtered.per_utterance.iter().copied().sum::<SimDuration>()
+                / filtered.per_utterance.len() as u64;
+            batcher.observe(mean);
+        }
+    }
+    relay.process(filtered)?;
+    progress.next_event += batch;
+    Ok(progress.next_event < events.len())
+}
+
+/// Assembles the run report once every batch has been stepped.
+#[allow(clippy::too_many_arguments)]
+fn finish_secure_stages(
+    pipeline_name: &str,
+    platform: &Platform,
+    cloud: &MockCloudService,
+    fabric: &NetworkFabric,
+    relay: &mut SecureRelayStage,
+    progress: ScenarioProgress,
+    workload: WorkloadSummary,
+    sensitive_ids: Vec<u64>,
+) -> PipelineReport {
     let latency = relay.take_breakdown();
     let stats_after = platform.stats().snapshot();
-    Ok(PipelineReport {
+    PipelineReport {
         pipeline: pipeline_name.to_owned(),
         workload,
         latency,
@@ -433,11 +493,11 @@ where
             report: cloud.report(),
             sensitive_ids,
         },
-        tz: stats_after.delta_since(&stats_before),
+        tz: stats_after.delta_since(&progress.stats_before),
         energy: platform.energy_report(),
         virtual_time: platform.clock().now().duration_since(SimInstant::EPOCH),
         bytes_to_cloud: fabric.stats().bytes_sent,
-    })
+    }
 }
 
 /// The paper's proposed design: secure driver in the TEE, PTA bridge,
@@ -455,6 +515,7 @@ pub struct SecurePipeline {
     capture: SecureCaptureStage,
     filter: SecureFilterStage,
     relay: SecureRelayStage,
+    batcher: Option<AdaptiveBatcher>,
 }
 
 impl std::fmt::Debug for SecurePipeline {
@@ -556,6 +617,9 @@ impl SecurePipeline {
             config.period_frames,
         );
         let filter_stage = SecureFilterStage::new(platform.clone(), client.clone(), filter_session);
+        let batcher = config
+            .latency_slo
+            .map(|slo| AdaptiveBatcher::new(platform.cost(), slo, 64));
 
         Ok(SecurePipeline {
             config,
@@ -569,6 +633,7 @@ impl SecurePipeline {
             capture,
             filter: filter_stage,
             relay: SecureRelayStage::new(),
+            batcher,
         })
     }
 
@@ -618,6 +683,61 @@ impl SecurePipeline {
         Ok(())
     }
 
+    /// Starts a resumable scenario replay (see
+    /// [`SecurePipeline::step_scenario`]).
+    pub fn begin_scenario(&mut self) -> ScenarioProgress {
+        begin_secure_stages(&self.platform, &self.cloud)
+    }
+
+    /// Drives **one** batch — one TEE crossing — of the scenario through
+    /// the capture → filter → relay stages and advances the cursor; the
+    /// batch size is the fixed `batch_windows` unless the config carries a
+    /// latency SLO, in which case the adaptive batcher picks it from the
+    /// remaining queue depth. Returns whether events remain. This is the
+    /// fleet executor's yield point: a `DeviceTask` calls it once per
+    /// executor step, so thousands of devices interleave at TEE-crossing
+    /// granularity on a bounded worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates TEE and relay failures.
+    pub fn step_scenario(
+        &mut self,
+        scenario: &Scenario,
+        progress: &mut ScenarioProgress,
+    ) -> Result<bool> {
+        step_secure_stages(
+            &scenario.events,
+            self.config.effective_batch(),
+            self.batcher.as_mut(),
+            progress,
+            &mut self.capture,
+            &mut self.filter,
+            &mut self.relay,
+        )
+    }
+
+    /// Assembles the report of a stepped-to-completion scenario replay.
+    pub fn finish_scenario(
+        &mut self,
+        scenario: &Scenario,
+        progress: ScenarioProgress,
+    ) -> PipelineReport {
+        finish_secure_stages(
+            "secure",
+            &self.platform,
+            &self.cloud,
+            &self.fabric,
+            &mut self.relay,
+            progress,
+            WorkloadSummary {
+                utterances: scenario.len(),
+                sensitive_utterances: scenario.sensitive_count(),
+            },
+            scenario.sensitive_ids(),
+        )
+    }
+
     /// Replays a scenario end to end — batch by batch through the
     /// capture → filter → relay stages — and reports on it.
     ///
@@ -625,22 +745,9 @@ impl SecurePipeline {
     ///
     /// Propagates TEE and relay failures.
     pub fn run_scenario(&mut self, scenario: &Scenario) -> Result<PipelineReport> {
-        run_secure_stages(
-            "secure",
-            &self.platform,
-            &self.cloud,
-            &self.fabric,
-            &scenario.events,
-            self.config.effective_batch(),
-            &mut self.capture,
-            &mut self.filter,
-            &mut self.relay,
-            WorkloadSummary {
-                utterances: scenario.len(),
-                sensitive_utterances: scenario.sensitive_count(),
-            },
-            scenario.sensitive_ids(),
-        )
+        let mut progress = self.begin_scenario();
+        while self.step_scenario(scenario, &mut progress)? {}
+        Ok(self.finish_scenario(scenario, progress))
     }
 }
 
@@ -826,6 +933,58 @@ impl SecureCameraPipeline {
         Ok(())
     }
 
+    /// Starts a resumable scenario replay (see
+    /// [`SecureCameraPipeline::step_scenario`]).
+    pub fn begin_scenario(&mut self) -> ScenarioProgress {
+        begin_secure_stages(&self.platform, &self.cloud)
+    }
+
+    /// Drives **one** batch — one TEE crossing — of the camera scenario
+    /// through the capture → filter → relay stages and advances the
+    /// cursor. Returns whether events remain. The fleet executor's yield
+    /// point for camera devices.
+    ///
+    /// # Errors
+    ///
+    /// Propagates TEE and relay failures.
+    pub fn step_scenario(
+        &mut self,
+        scenario: &CameraScenario,
+        progress: &mut ScenarioProgress,
+    ) -> Result<bool> {
+        step_secure_stages(
+            &scenario.events,
+            self.config.effective_batch(),
+            None,
+            progress,
+            &mut self.capture,
+            &mut self.filter,
+            &mut self.relay,
+        )
+    }
+
+    /// Assembles the report of a stepped-to-completion scenario replay.
+    /// The report counts scene events as the workload's "utterances".
+    pub fn finish_scenario(
+        &mut self,
+        scenario: &CameraScenario,
+        progress: ScenarioProgress,
+    ) -> PipelineReport {
+        finish_secure_stages(
+            "secure-camera",
+            &self.platform,
+            &self.cloud,
+            &self.fabric,
+            &mut self.relay,
+            progress,
+            WorkloadSummary {
+                utterances: scenario.len(),
+                sensitive_utterances: scenario.sensitive_count(),
+            },
+            scenario.sensitive_ids(),
+        )
+    }
+
     /// Replays a camera scenario end to end — batch by batch through the
     /// capture → filter → relay stages — and reports on it. The report
     /// counts scene events as the workload's "utterances".
@@ -834,22 +993,9 @@ impl SecureCameraPipeline {
     ///
     /// Propagates TEE and relay failures.
     pub fn run_scenario(&mut self, scenario: &CameraScenario) -> Result<PipelineReport> {
-        run_secure_stages(
-            "secure-camera",
-            &self.platform,
-            &self.cloud,
-            &self.fabric,
-            &scenario.events,
-            self.config.effective_batch(),
-            &mut self.capture,
-            &mut self.filter,
-            &mut self.relay,
-            WorkloadSummary {
-                utterances: scenario.len(),
-                sensitive_utterances: scenario.sensitive_count(),
-            },
-            scenario.sensitive_ids(),
-        )
+        let mut progress = self.begin_scenario();
+        while self.step_scenario(scenario, &mut progress)? {}
+        Ok(self.finish_scenario(scenario, progress))
     }
 }
 
@@ -1234,6 +1380,55 @@ mod tests {
             .unwrap();
         let report2 = pipeline.run_scenario(&scenario).unwrap();
         assert_eq!(report2.cloud.leaked_sensitive_utterances(), 0);
+    }
+
+    #[test]
+    fn audio_latency_slo_drives_adaptive_batching() {
+        let models = SharedModels::for_config(&small_config()).unwrap();
+        let scenario = Scenario::mixed(12, 0.5, SimDuration::from_secs(1), 84);
+        let mut fixed = SecurePipeline::with_models(small_config(), &models).unwrap();
+        let mut adaptive = SecurePipeline::with_models(
+            PipelineConfig {
+                // A generous SLO: after the batch-of-one probe the
+                // batcher grows the crossings well past one window.
+                latency_slo: Some(SimDuration::from_secs(1)),
+                ..small_config()
+            },
+            &models,
+        )
+        .unwrap();
+        let a = fixed.run_scenario(&scenario).unwrap();
+        let b = adaptive.run_scenario(&scenario).unwrap();
+        // Same models, same scenario: identical cloud outcomes — the SLO
+        // knob only changes how the work is chunked across crossings.
+        assert_eq!(
+            a.cloud.report.received_dialog_ids(),
+            b.cloud.report.received_dialog_ids()
+        );
+        // The adaptive run amortized the boundary: strictly fewer SMCs
+        // than one per utterance (batch 1 fixed pays one per utterance).
+        assert_eq!(a.tz.smc_calls, 12);
+        assert!(
+            b.tz.smc_calls < a.tz.smc_calls,
+            "adaptive run used {} SMCs vs {} fixed",
+            b.tz.smc_calls,
+            a.tz.smc_calls
+        );
+        // A tight SLO keeps batches at one — the probe behaviour.
+        let mut tight = SecurePipeline::with_models(
+            PipelineConfig {
+                latency_slo: Some(SimDuration::from_nanos(1)),
+                ..small_config()
+            },
+            &models,
+        )
+        .unwrap();
+        let c = tight.run_scenario(&scenario).unwrap();
+        assert_eq!(c.tz.smc_calls, 12);
+        assert_eq!(
+            c.cloud.report.received_dialog_ids(),
+            a.cloud.report.received_dialog_ids()
+        );
     }
 
     #[test]

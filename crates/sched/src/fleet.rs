@@ -9,15 +9,26 @@
 //! share one trained model set, and device reports merge into the same
 //! [`FleetReport`] (percentiles included), so sharded and unsharded
 //! fleets are compared with identical instruments.
+//!
+//! Devices execute on the same bounded work-stealing
+//! [`FleetExecutor`](perisec_core::executor::FleetExecutor) as the
+//! unsharded fleet — audio devices reuse
+//! [`perisec_core::fleet::audio_device_task`] verbatim, camera devices
+//! wrap a [`ShardedVisionPipeline`] in the same resumable `DeviceTask`
+//! shape — so `FleetConfig::workers` bounds the host threads and the
+//! resident pipeline stacks of a sharded fleet exactly as it does for an
+//! unsharded one.
 
-use std::thread;
-
-use perisec_core::fleet::{DeviceReport, FleetConfig, FleetReport, Modality};
-use perisec_core::pipeline::{SecurePipeline, SharedModels};
+use perisec_core::executor::{
+    run_thread_per_device, DeviceTask, ExecutorConfig, ExecutorStats, FleetExecutor, QueuedDevice,
+    StepOutcome,
+};
+use perisec_core::fleet::{audio_device_task, DeviceReport, FleetConfig, FleetReport, Modality};
+use perisec_core::pipeline::SharedModels;
 use perisec_core::{CoreError, Result};
 use perisec_workload::scenario::{CameraScenario, Scenario};
 
-use crate::pipeline::{ShardedCameraConfig, ShardedVisionPipeline};
+use crate::pipeline::{ShardedCameraConfig, ShardedScenarioProgress, ShardedVisionPipeline};
 use crate::pool::TeePoolConfig;
 
 /// A fleet whose camera devices each run on a multi-core TEE pool.
@@ -25,6 +36,52 @@ use crate::pool::TeePoolConfig;
 pub struct ShardedFleet {
     config: FleetConfig,
     models: SharedModels,
+}
+
+/// The resumable sharded-camera state machine: a built
+/// [`ShardedVisionPipeline`] plus a scenario cursor; each step is one
+/// fanned TEE crossing.
+struct ShardedCameraTask {
+    device: usize,
+    scenario: std::sync::Arc<CameraScenario>,
+    pipeline: ShardedVisionPipeline,
+    progress: Option<ShardedScenarioProgress>,
+}
+
+impl DeviceTask for ShardedCameraTask {
+    fn step(&mut self) -> Result<StepOutcome> {
+        let mut progress = self.progress.take().expect("task stepped after completion");
+        if self.pipeline.step_scenario(&self.scenario, &mut progress)? {
+            self.progress = Some(progress);
+            return Ok(StepOutcome::Yielded);
+        }
+        let run = self.pipeline.finish_scenario(&self.scenario, progress);
+        Ok(StepOutcome::Complete(Box::new(DeviceReport {
+            device: self.device,
+            modality: Modality::Camera,
+            scenario: self.scenario.name.clone(),
+            report: run.report,
+        })))
+    }
+}
+
+/// Queues one sharded camera device for the fleet executor.
+fn sharded_camera_task(
+    device: usize,
+    scenario: std::sync::Arc<CameraScenario>,
+    config: ShardedCameraConfig,
+    models: SharedModels,
+) -> QueuedDevice {
+    QueuedDevice::new(device, move || {
+        let mut pipeline = ShardedVisionPipeline::with_models(config, &models)?;
+        let progress = pipeline.begin_scenario();
+        Ok(Box::new(ShardedCameraTask {
+            device,
+            scenario,
+            pipeline,
+            progress: Some(progress),
+        }))
+    })
 }
 
 impl ShardedFleet {
@@ -110,7 +167,8 @@ impl ShardedFleet {
 
     /// Runs a mixed fleet: audio devices replay `audio` scenarios on
     /// single-session pipelines; camera devices replay `cameras` scene
-    /// schedules, each sharded across `tee_cores` TA sessions. Audio
+    /// schedules, each sharded across `tee_cores` TA sessions; all
+    /// multiplexed onto `FleetConfig::workers` executor threads. Audio
     /// devices come first in the merged report.
     ///
     /// # Errors
@@ -119,6 +177,43 @@ impl ShardedFleet {
     /// modality's devices and scenarios disagree (the same loud-mismatch
     /// contract as the unsharded fleet).
     pub fn run_mixed(&self, audio: &[Scenario], cameras: &[CameraScenario]) -> Result<FleetReport> {
+        self.run_mixed_stats(audio, cameras)
+            .map(|(report, _)| report)
+    }
+
+    /// [`ShardedFleet::run_mixed`], also returning the executor's
+    /// host-side telemetry.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ShardedFleet::run_mixed`].
+    pub fn run_mixed_stats(
+        &self,
+        audio: &[Scenario],
+        cameras: &[CameraScenario],
+    ) -> Result<(FleetReport, ExecutorStats)> {
+        self.validate_mixed(audio, cameras)?;
+        let executor = FleetExecutor::new(ExecutorConfig::with_workers(self.config.workers));
+        let (reports, stats) = executor.run(self.queued_devices(audio, cameras))?;
+        Ok((FleetReport::new(reports), stats))
+    }
+
+    /// The historical one-thread-per-device harness, kept as the
+    /// executor's baseline (shared helper with the unsharded fleet).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ShardedFleet::run_mixed`].
+    pub fn run_mixed_threaded(
+        &self,
+        audio: &[Scenario],
+        cameras: &[CameraScenario],
+    ) -> Result<FleetReport> {
+        self.validate_mixed(audio, cameras)?;
+        run_thread_per_device(self.queued_devices(audio, cameras)).map(FleetReport::new)
+    }
+
+    fn validate_mixed(&self, audio: &[Scenario], cameras: &[CameraScenario]) -> Result<()> {
         if self.config.devices > 0 && audio.is_empty() {
             return Err(CoreError::Config {
                 reason: "audio devices configured but no audio scenarios given".to_owned(),
@@ -139,69 +234,40 @@ impl ShardedFleet {
                 reason: "camera scenarios given but no camera devices configured".to_owned(),
             });
         }
+        Ok(())
+    }
+
+    fn queued_devices(&self, audio: &[Scenario], cameras: &[CameraScenario]) -> Vec<QueuedDevice> {
+        use std::sync::Arc;
         let audio_devices = self.config.devices;
         let camera_devices = self.config.camera_devices;
-        let total = audio_devices + camera_devices;
         let pool_config = self.pool_config();
-        let outcomes: Vec<Result<DeviceReport>> = thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(total);
-            for device in 0..audio_devices {
-                let scenario = &audio[device % audio.len()];
-                let pipeline_config = self.config.pipeline.clone();
-                let models = &self.models;
-                handles.push(scope.spawn(move || -> Result<DeviceReport> {
-                    let mut pipeline = SecurePipeline::with_models(pipeline_config, models)?;
-                    let report = pipeline.run_scenario(scenario)?;
-                    Ok(DeviceReport {
-                        device,
-                        modality: Modality::Audio,
-                        scenario: scenario.name.clone(),
-                        report,
-                    })
-                }));
-            }
-            for camera in 0..camera_devices {
-                let device = audio_devices + camera;
-                let scenario = &cameras[camera % cameras.len()];
-                let sharded_config = ShardedCameraConfig {
-                    camera: self.config.camera_pipeline.clone(),
-                    pool: pool_config.clone(),
-                    ..ShardedCameraConfig::default()
-                };
-                let models = &self.models;
-                handles.push(scope.spawn(move || -> Result<DeviceReport> {
-                    let mut pipeline = ShardedVisionPipeline::with_models(sharded_config, models)?;
-                    let run = pipeline.run_scenario(scenario)?;
-                    Ok(DeviceReport {
-                        device,
-                        modality: Modality::Camera,
-                        scenario: scenario.name.clone(),
-                        report: run.report,
-                    })
-                }));
-            }
-            handles
-                .into_iter()
-                .enumerate()
-                .map(|(device, handle)| {
-                    handle.join().unwrap_or_else(|payload| {
-                        let message = payload
-                            .downcast_ref::<&str>()
-                            .map(|s| (*s).to_owned())
-                            .or_else(|| payload.downcast_ref::<String>().cloned())
-                            .unwrap_or_else(|| "unknown panic payload".to_owned());
-                        Err(CoreError::Config {
-                            reason: format!("device {device} pipeline thread panicked: {message}"),
-                        })
-                    })
-                })
-                .collect()
-        });
-        let mut reports = Vec::with_capacity(total);
-        for outcome in outcomes {
-            reports.push(outcome?);
+        // One shared copy per distinct scenario; devices hold `Arc`s.
+        let audio: Vec<Arc<Scenario>> = audio.iter().cloned().map(Arc::new).collect();
+        let cameras: Vec<Arc<CameraScenario>> = cameras.iter().cloned().map(Arc::new).collect();
+        let mut tasks = Vec::with_capacity(audio_devices + camera_devices);
+        for device in 0..audio_devices {
+            tasks.push(audio_device_task(
+                device,
+                Arc::clone(&audio[device % audio.len()]),
+                self.config.pipeline.clone(),
+                self.models.clone(),
+            ));
         }
-        Ok(FleetReport { devices: reports })
+        for camera in 0..camera_devices {
+            let sharded_config = ShardedCameraConfig {
+                camera: self.config.camera_pipeline.clone(),
+                pool: pool_config.clone(),
+                ..ShardedCameraConfig::default()
+            };
+            tasks.push(sharded_camera_task(
+                audio_devices + camera,
+                Arc::clone(&cameras[camera % cameras.len()]),
+                sharded_config,
+                self.models.clone(),
+            ));
+        }
+        tasks
     }
 }
 
@@ -283,7 +349,7 @@ mod tests {
         })
         .unwrap();
         let cameras = CameraScenario::fleet_cameras(2, 8, 0.4, SimDuration::from_secs(1), 0x5F1EE7);
-        let report = fleet.run_mixed(&[], &cameras).unwrap();
+        let (report, stats) = fleet.run_mixed_stats(&[], &cameras).unwrap();
         assert_eq!(report.device_count_of(Modality::Camera), 2);
         assert_eq!(report.total_utterances(), 16);
         assert_eq!(report.leaked_sensitive_utterances(), 0);
@@ -292,9 +358,39 @@ mod tests {
             "both shards of both devices entered"
         );
         assert!(report.latency_percentiles().p99 > SimDuration::ZERO);
+        // The executor bounded residency for sharded devices too.
+        assert!(stats.peak_resident <= stats.workers);
         // Scenario-vs-device mismatches stay loud.
         assert!(fleet.run_mixed(&[], &[]).is_err());
         let audio = Scenario::fleet(1, 2, 0.5, SimDuration::from_secs(1), 1);
         assert!(fleet.run_mixed(&audio, &cameras).is_err());
+        assert!(fleet.run_mixed_threaded(&audio, &cameras).is_err());
+    }
+
+    #[test]
+    fn executor_and_threaded_sharded_fleets_agree() {
+        use perisec_core::pipeline::SharedModels;
+        use perisec_ml::classifier::Architecture;
+        let models =
+            SharedModels::deferred(Architecture::Cnn, 16, 0x5EED).with_vision_spec(96, 0x5EED);
+        let fleet = ShardedFleet::with_models(
+            FleetConfig {
+                devices: 0,
+                camera_devices: 3,
+                tee_cores: 2,
+                workers: 2,
+                camera_pipeline: CameraPipelineConfig {
+                    batch_windows: 4,
+                    ..CameraPipelineConfig::default()
+                },
+                ..FleetConfig::of(0)
+            },
+            models,
+        )
+        .unwrap();
+        let cameras = CameraScenario::fleet_cameras(3, 6, 0.4, SimDuration::from_secs(1), 0x5EED);
+        let pooled = fleet.run_mixed(&[], &cameras).unwrap();
+        let threaded = fleet.run_mixed_threaded(&[], &cameras).unwrap();
+        assert_eq!(pooled.to_json(), threaded.to_json());
     }
 }

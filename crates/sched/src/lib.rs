@@ -13,15 +13,20 @@
 //!   and [`perisec_optee::TeeCore`], all charging allocations against
 //!   **one** shared TZDRAM carve-out;
 //! * [`scheduler`] — [`scheduler::SessionScheduler`]: deterministic
-//!   least-loaded placement of capture windows onto per-core TA sessions;
+//!   least-loaded placement of capture windows onto per-core TA sessions,
+//!   with an opt-in work-stealing rebalance pass
+//!   ([`scheduler::SessionScheduler::assign_with_stealing`]) that lets an
+//!   idle session take queued windows from a backlogged sibling, every
+//!   steal recorded as a [`scheduler::WindowSteal`];
 //! * [`stage`] — [`stage::ShardedFrameCaptureStage`] and
 //!   [`stage::ShardedFilterStage`], implementing the existing
 //!   [`perisec_core::stage::PipelineStage`] trait, plus
 //!   [`stage::merge_verdicts`]: order-invariant verdict merging (max
 //!   probability, most restrictive decision, per dialog id);
-//! * [`batcher`] — [`batcher::AdaptiveBatcher`]: picks `batch_windows`
-//!   per shard from queue depth against a latency SLO using the E11 cost
-//!   curve (fixed crossing overhead amortized over the batch);
+//! * [`batcher`] — [`batcher::AdaptiveBatcher`] (re-exported from
+//!   `perisec_core::batcher`, which also drives the audio pipeline):
+//!   picks `batch_windows` per shard from queue depth against a latency
+//!   SLO using the E11 cost curve;
 //! * [`pipeline`] — [`pipeline::ShardedVisionPipeline`]: the secure
 //!   camera pipeline fanned out across a pool, end to end;
 //! * [`fleet`] — [`fleet::ShardedFleet`]: the multi-device harness whose
@@ -46,9 +51,12 @@ pub mod stage;
 
 pub use batcher::AdaptiveBatcher;
 pub use fleet::ShardedFleet;
-pub use pipeline::{CoreUtilization, ShardedCameraConfig, ShardedRunReport, ShardedVisionPipeline};
+pub use pipeline::{
+    CoreUtilization, ShardedCameraConfig, ShardedRunReport, ShardedScenarioProgress,
+    ShardedVisionPipeline,
+};
 pub use pool::{TeeCoreHandle, TeePool, TeePoolConfig};
-pub use scheduler::{SessionLoad, SessionScheduler};
+pub use scheduler::{SessionLoad, SessionScheduler, WindowSteal};
 pub use stage::{
     merge_verdicts, ShardInput, ShardedFilterStage, ShardedFrameCaptureStage, ShardedPreparedBatch,
 };

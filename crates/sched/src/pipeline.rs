@@ -40,7 +40,7 @@ use perisec_secure_driver::camera_pta::{cmd as camera_cmd, CameraPta};
 use perisec_tcb::memory::SecureRamFootprint;
 use perisec_tz::power::{Component, ComponentEnergy, EnergyReport};
 use perisec_tz::stats::TzStatsSnapshot;
-use perisec_tz::time::SimDuration;
+use perisec_tz::time::{SimDuration, SimInstant};
 use perisec_workload::scenario::CameraScenario;
 
 use serde::{Deserialize, Serialize};
@@ -70,6 +70,12 @@ pub struct ShardedCameraConfig {
     /// from queue depth against this per-window latency SLO instead of
     /// using the fixed `camera.batch_windows`.
     pub latency_slo: Option<SimDuration>,
+    /// Let an idle session steal queued windows from a backlogged sibling
+    /// (the scheduler's deterministic rebalance pass — see
+    /// [`crate::scheduler::SessionScheduler::assign_with_stealing`]).
+    /// Off by default: placement then matches the historical greedy
+    /// scheduler exactly.
+    pub work_stealing: bool,
 }
 
 impl Default for ShardedCameraConfig {
@@ -79,6 +85,7 @@ impl Default for ShardedCameraConfig {
             pool: TeePoolConfig::default(),
             dedup_models: true,
             latency_slo: None,
+            work_stealing: false,
         }
     }
 }
@@ -114,6 +121,9 @@ pub struct ShardedRunReport {
     /// The shared carve-out at the end of the run, dedup counters
     /// included.
     pub secure_ram: SecureRamFootprint,
+    /// Windows moved by the scheduler's steal pass during the run (zero
+    /// unless [`ShardedCameraConfig::work_stealing`] is on).
+    pub stolen_windows: u64,
 }
 
 impl ShardedRunReport {
@@ -239,14 +249,15 @@ impl ShardedVisionPipeline {
         let batcher = config
             .latency_slo
             .map(|slo| AdaptiveBatcher::new(&config.pool.cost, slo, 64));
+        let stealing = config.work_stealing;
         Ok(ShardedVisionPipeline {
             config,
             pool,
             cloud,
             fabric,
             sessions,
-            capture: ShardedFrameCaptureStage::new(capture_shards),
-            filter: ShardedFilterStage::new(filter_shards),
+            capture: ShardedFrameCaptureStage::new(capture_shards).with_stealing(stealing),
+            filter: ShardedFilterStage::new(filter_shards).with_stealing(stealing),
             relay: SecureRelayStage::new(),
             batcher,
         })
@@ -290,58 +301,86 @@ impl ShardedVisionPipeline {
         Ok(())
     }
 
-    /// Replays a camera scenario end to end across the pool and reports
-    /// on it. Batch sizes are the fixed `camera.batch_windows` unless the
-    /// config carries a latency SLO, in which case the adaptive batcher
-    /// picks each crossing's size from the remaining queue depth.
+    /// Starts a resumable scenario replay: resets the cloud ledger and
+    /// records run-relative marks per core and for the network — every
+    /// figure of the final report describes *this* run; setup time
+    /// (session opens, driver configuration) and earlier runs on the same
+    /// pipeline must not blur the budget question.
+    pub fn begin_scenario(&mut self) -> ShardedScenarioProgress {
+        self.cloud.reset();
+        ShardedScenarioProgress {
+            before: self.pool.snapshots(),
+            bytes_before: self.fabric.stats().bytes_sent,
+            stolen_before: self.capture.stolen_windows(),
+            run_start: self
+                .pool
+                .cores()
+                .iter()
+                .map(|handle| {
+                    (
+                        handle.platform().clock().now(),
+                        handle.platform().energy_report(),
+                    )
+                })
+                .collect(),
+            next_event: 0,
+        }
+    }
+
+    /// Drives **one** batch of the scenario across the pool — one fanned
+    /// TEE crossing — and advances the cursor. Returns whether events
+    /// remain. The batch size is the fixed `camera.batch_windows` unless
+    /// the config carries a latency SLO, in which case the adaptive
+    /// batcher picks it from the remaining queue depth. The fleet
+    /// executor's yield point for sharded camera devices.
     ///
     /// # Errors
     ///
     /// Propagates TEE and relay failures.
-    pub fn run_scenario(&mut self, scenario: &CameraScenario) -> Result<ShardedRunReport> {
-        self.cloud.reset();
-        let before = self.pool.snapshots();
-        // Run-relative marks per core and for the network: every figure
-        // of the report describes *this* run — the budget question is
-        // "did the device keep up with the stream", which setup time
-        // (session opens, driver configuration) and earlier runs on the
-        // same pipeline must not blur.
-        let bytes_before = self.fabric.stats().bytes_sent;
-        let run_start: Vec<_> = self
-            .pool
-            .cores()
-            .iter()
-            .map(|handle| {
-                (
-                    handle.platform().clock().now(),
-                    handle.platform().energy_report(),
-                )
-            })
-            .collect();
-        let fixed_batch = self.config.camera.batch_windows.max(1);
-        let mut index = 0;
-        while index < scenario.events.len() {
-            let depth = scenario.events.len() - index;
-            let batch = match &self.batcher {
-                Some(batcher) => batcher.pick_batch(depth),
-                None => fixed_batch,
-            }
-            .min(depth);
-            let chunk = scenario.events[index..index + batch].to_vec();
-            let windows = chunk.len() as u64;
-            let prepared = self.capture.process(chunk)?;
-            let filtered = self.filter.process(prepared.into())?;
-            if let Some(batcher) = &mut self.batcher {
-                if windows > 0 && !filtered.per_utterance.is_empty() {
-                    let mean = filtered.per_utterance.iter().copied().sum::<SimDuration>()
-                        / filtered.per_utterance.len() as u64;
-                    batcher.observe(mean);
-                }
-            }
-            self.relay.process(filtered)?;
-            index += batch;
+    pub fn step_scenario(
+        &mut self,
+        scenario: &CameraScenario,
+        progress: &mut ShardedScenarioProgress,
+    ) -> Result<bool> {
+        if progress.next_event >= scenario.events.len() {
+            return Ok(false);
         }
+        let fixed_batch = self.config.camera.batch_windows.max(1);
+        let depth = scenario.events.len() - progress.next_event;
+        let batch = match &self.batcher {
+            Some(batcher) => batcher.pick_batch(depth),
+            None => fixed_batch,
+        }
+        .min(depth);
+        let chunk = scenario.events[progress.next_event..progress.next_event + batch].to_vec();
+        let windows = chunk.len() as u64;
+        let prepared = self.capture.process(chunk)?;
+        let filtered = self.filter.process(prepared.into())?;
+        if let Some(batcher) = &mut self.batcher {
+            if windows > 0 && !filtered.per_utterance.is_empty() {
+                let mean = filtered.per_utterance.iter().copied().sum::<SimDuration>()
+                    / filtered.per_utterance.len() as u64;
+                batcher.observe(mean);
+            }
+        }
+        self.relay.process(filtered)?;
+        progress.next_event += batch;
+        Ok(progress.next_event < scenario.events.len())
+    }
 
+    /// Assembles the run report of a stepped-to-completion replay.
+    pub fn finish_scenario(
+        &mut self,
+        scenario: &CameraScenario,
+        progress: ShardedScenarioProgress,
+    ) -> ShardedRunReport {
+        let ShardedScenarioProgress {
+            before,
+            bytes_before,
+            stolen_before,
+            run_start,
+            next_event: _,
+        } = progress;
         let latency = self.relay.take_breakdown();
         let tz: TzStatsSnapshot = self.pool.aggregate_delta(&before);
         let mut per_core = Vec::with_capacity(self.pool.len());
@@ -393,12 +432,37 @@ impl ShardedVisionPipeline {
             virtual_time: run_elapsed_max,
             bytes_to_cloud: self.fabric.stats().bytes_sent - bytes_before,
         };
-        Ok(ShardedRunReport {
+        ShardedRunReport {
             report,
             per_core,
             secure_ram: SecureRamFootprint::measure(self.pool.secure_ram()),
-        })
+            stolen_windows: self.capture.stolen_windows() - stolen_before,
+        }
     }
+
+    /// Replays a camera scenario end to end across the pool and reports
+    /// on it — `begin`, `step` per crossing, `finish`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates TEE and relay failures.
+    pub fn run_scenario(&mut self, scenario: &CameraScenario) -> Result<ShardedRunReport> {
+        let mut progress = self.begin_scenario();
+        while self.step_scenario(scenario, &mut progress)? {}
+        Ok(self.finish_scenario(scenario, progress))
+    }
+}
+
+/// Cursor over one sharded scenario replay: run-relative marks per core
+/// plus the next event to dispatch — the sharded twin of
+/// `perisec_core::pipeline::ScenarioProgress`.
+#[derive(Debug)]
+pub struct ShardedScenarioProgress {
+    before: Vec<TzStatsSnapshot>,
+    bytes_before: u64,
+    stolen_before: u64,
+    run_start: Vec<(SimInstant, EnergyReport)>,
+    next_event: usize,
 }
 
 /// Energy accrued between two reports of one core's meter: window, busy

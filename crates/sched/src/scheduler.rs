@@ -16,6 +16,18 @@
 //! precisely the windows the filter side dispatches to core `s`'s
 //! session. A shared mutable scheduler would give the same result at the
 //! cost of a lock; the mirrored form keeps the stages independent.
+//!
+//! **Work stealing.** Greedy least-loaded placement is online: it cannot
+//! revisit a decision once a heavier window lands. On ragged window mixes
+//! that leaves one session backlogged while a sibling idles.
+//! [`SessionScheduler::assign_with_stealing`] adds a deterministic steal
+//! pass after the greedy pass: while the batch still holds a window whose
+//! move from the most-loaded to the least-loaded session strictly shrinks
+//! the imbalance, the idle session steals it, and every steal is recorded
+//! as a [`WindowSteal`] — the seam that keeps the determinism contract:
+//! steal decisions are a pure function of the weight sequence, so
+//! mirrored schedulers still agree, and the records travel with the
+//! prepared batch for auditability.
 
 use serde::{Deserialize, Serialize};
 
@@ -28,6 +40,21 @@ pub struct SessionLoad {
     pub weight: u64,
     /// Batches in which the session received at least one window.
     pub batches: u64,
+}
+
+/// One recorded steal decision of
+/// [`SessionScheduler::assign_with_stealing`]: window `window` of the
+/// batch moved from session `from` to the idler session `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowSteal {
+    /// Index of the window within the batch.
+    pub window: usize,
+    /// The backlogged session the window was taken from.
+    pub from: usize,
+    /// The idle session that stole it.
+    pub to: usize,
+    /// The window's weight (capture periods / frames).
+    pub weight: u64,
 }
 
 /// Deterministic least-loaded placement over a fixed set of sessions.
@@ -64,15 +91,7 @@ impl SessionScheduler {
         let mut assignment = Vec::with_capacity(weights.len());
         let mut touched = vec![false; self.loads.len()];
         for &weight in weights {
-            let session = self
-                .loads
-                .iter()
-                .enumerate()
-                .min_by_key(|(index, load)| (load.weight, *index))
-                .map(|(index, _)| index)
-                .expect("scheduler has at least one session");
-            self.loads[session].windows += 1;
-            self.loads[session].weight += weight.max(1);
+            let session = self.place(weight);
             touched[session] = true;
             assignment.push(session);
         }
@@ -82,6 +101,87 @@ impl SessionScheduler {
             }
         }
         assignment
+    }
+
+    /// Places one batch like [`SessionScheduler::assign`], then lets
+    /// idle sessions **steal** queued windows from backlogged siblings.
+    ///
+    /// The steal pass closes the **cumulative** backlog gap: greedy
+    /// placement is online — it cannot revisit a decision once a heavier
+    /// window has landed — so a ragged mix leaves one session backlogged
+    /// (large cumulative weight) while a sibling idles. While the
+    /// backlogged session carries a window of this batch whose weight is
+    /// strictly below the gap to the idlest session, the idle session
+    /// steals it (largest such window first), and every move is
+    /// recorded. The pass is a pure function of the weight sequence —
+    /// mirrored schedulers make identical steal decisions — and it never
+    /// increases the cumulative makespan, which is what cuts completion
+    /// time and tail latency on ragged window mixes.
+    pub fn assign_with_stealing(&mut self, weights: &[u64]) -> (Vec<usize>, Vec<WindowSteal>) {
+        // Greedy pass — the same rule as `assign`, with the batch tally
+        // deferred until after stealing so a session that only receives
+        // stolen windows still counts as touched.
+        let mut assignment = Vec::with_capacity(weights.len());
+        for &weight in weights {
+            assignment.push(self.place(weight));
+        }
+        // Steal pass. Each move strictly shrinks the backlogged/idle
+        // gap, and the iteration cap bounds the pass even in
+        // pathological mixes.
+        let mut steals = Vec::new();
+        if self.loads.len() > 1 {
+            for _ in 0..weights.len() {
+                let share: Vec<u64> = self.loads.iter().map(|load| load.weight).collect();
+                let donor = extreme_session(&share, |gap| gap > 0);
+                let thief = extreme_session(&share, |gap| gap < 0);
+                let gap = share[donor] - share[thief];
+                // The heaviest window of this batch on the donor that
+                // still improves the imbalance (ties to the earliest
+                // window, for determinism).
+                let candidate = assignment
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &session)| session == donor)
+                    .map(|(window, _)| (weights[window].max(1), window))
+                    .filter(|&(weight, _)| weight < gap)
+                    .max_by_key(|&(weight, window)| (weight, std::cmp::Reverse(window)));
+                let Some((weight, window)) = candidate else {
+                    break;
+                };
+                assignment[window] = thief;
+                self.loads[donor].windows -= 1;
+                self.loads[donor].weight -= weight;
+                self.loads[thief].windows += 1;
+                self.loads[thief].weight += weight;
+                steals.push(WindowSteal {
+                    window,
+                    from: donor,
+                    to: thief,
+                    weight,
+                });
+            }
+        }
+        let mut touched = vec![false; self.loads.len()];
+        for &session in &assignment {
+            touched[session] = true;
+        }
+        for (session, hit) in touched.into_iter().enumerate() {
+            if hit {
+                self.loads[session].batches += 1;
+            }
+        }
+        (assignment, steals)
+    }
+
+    /// Places one window onto the least-loaded session — the single
+    /// greedy rule shared by [`SessionScheduler::assign`] and the greedy
+    /// pass of [`SessionScheduler::assign_with_stealing`], so the two
+    /// entry points can never drift.
+    fn place(&mut self, weight: u64) -> usize {
+        let session = self.least_loaded();
+        self.loads[session].windows += 1;
+        self.loads[session].weight += weight.max(1);
+        session
     }
 
     /// Per-session cumulative loads, in core order.
@@ -98,6 +198,20 @@ impl SessionScheduler {
             .map(|(index, _)| index)
             .expect("scheduler has at least one session")
     }
+}
+
+/// Index of the session whose batch share is extreme under `prefer`
+/// (`gap > 0` picks the heaviest share, `gap < 0` the lightest), with
+/// ties broken to the lowest index — the deterministic donor/thief rule
+/// of the steal pass.
+fn extreme_session(share: &[u64], prefer: impl Fn(i128) -> bool) -> usize {
+    let mut best = 0;
+    for (index, &value) in share.iter().enumerate().skip(1) {
+        if prefer(i128::from(value) - i128::from(share[best])) {
+            best = index;
+        }
+    }
+    best
 }
 
 #[cfg(test)]
@@ -152,5 +266,80 @@ mod tests {
     #[should_panic(expected = "at least one session")]
     fn zero_sessions_panic() {
         let _ = SessionScheduler::new(0);
+    }
+
+    fn makespan(scheduler: &SessionScheduler) -> u64 {
+        scheduler
+            .loads()
+            .iter()
+            .map(|load| load.weight)
+            .max()
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn stealing_rebalances_a_ragged_batch() {
+        // Greedy: s0 gets 3+3 (tie-breaks), s1 gets 3 then the trailing
+        // 1s, then the 8 lands on whichever is lighter — leaving a gap a
+        // steal pass can close.
+        let weights = [3u64, 3, 3, 1, 1, 1, 8];
+        let mut greedy = SessionScheduler::new(2);
+        greedy.assign(&weights);
+        let mut stealing = SessionScheduler::new(2);
+        let (assignment, steals) = stealing.assign_with_stealing(&weights);
+        assert_eq!(assignment.len(), weights.len());
+        assert!(!steals.is_empty(), "ragged batch triggered no steals");
+        assert!(
+            makespan(&stealing) < makespan(&greedy),
+            "stealing {} did not beat greedy {}",
+            makespan(&stealing),
+            makespan(&greedy)
+        );
+        // The recorded decisions describe exactly the final placement.
+        for steal in &steals {
+            assert_eq!(assignment[steal.window], steal.to);
+            assert_ne!(steal.from, steal.to);
+            assert_eq!(steal.weight, weights[steal.window].max(1));
+        }
+        // Loads stay a consistent account of the assignment.
+        let total: u64 = weights.iter().map(|w| (*w).max(1)).sum();
+        assert_eq!(
+            stealing.loads().iter().map(|l| l.weight).sum::<u64>(),
+            total
+        );
+        assert_eq!(
+            stealing.loads().iter().map(|l| l.windows).sum::<u64>(),
+            weights.len() as u64
+        );
+    }
+
+    #[test]
+    fn stealing_never_fires_on_balanced_batches() {
+        let mut scheduler = SessionScheduler::new(3);
+        let (assignment, steals) = scheduler.assign_with_stealing(&[2, 2, 2, 2, 2, 2]);
+        assert_eq!(assignment, vec![0, 1, 2, 0, 1, 2]);
+        assert!(steals.is_empty());
+    }
+
+    #[test]
+    fn mirrored_schedulers_agree_on_steals() {
+        let mut capture_side = SessionScheduler::new(3);
+        let mut filter_side = SessionScheduler::new(3);
+        for batch in [vec![9u64, 1, 1, 1, 7], vec![2, 2, 12], vec![5, 5, 5, 1]] {
+            assert_eq!(
+                capture_side.assign_with_stealing(&batch),
+                filter_side.assign_with_stealing(&batch)
+            );
+        }
+        assert_eq!(capture_side, filter_side);
+    }
+
+    #[test]
+    fn single_session_schedulers_cannot_steal() {
+        let mut scheduler = SessionScheduler::new(1);
+        let (assignment, steals) = scheduler.assign_with_stealing(&[4, 9, 1]);
+        assert_eq!(assignment, vec![0, 0, 0]);
+        assert!(steals.is_empty());
+        assert_eq!(scheduler.loads()[0].batches, 1);
     }
 }

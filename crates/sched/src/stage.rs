@@ -32,7 +32,7 @@ use perisec_workload::scenario::CameraScenarioEvent;
 
 use std::collections::BTreeMap;
 
-use crate::scheduler::SessionScheduler;
+use crate::scheduler::{SessionScheduler, WindowSteal};
 
 /// A batch split across secure cores: element `s` is core `s`'s share,
 /// with that core's own capture timestamp.
@@ -40,6 +40,11 @@ use crate::scheduler::SessionScheduler;
 pub struct ShardedPreparedBatch {
     /// Per-core prepared batches, in core order (possibly empty shares).
     pub shards: Vec<PreparedBatch>,
+    /// The steal decisions the scheduler applied while placing this batch
+    /// (empty when work stealing is disabled) — recorded into the batch
+    /// so the placement a downstream stage executes is auditable and the
+    /// determinism contract has a visible seam.
+    pub steals: Vec<WindowSteal>,
 }
 
 impl ShardedPreparedBatch {
@@ -112,6 +117,8 @@ pub fn merge_verdicts(verdicts: impl IntoIterator<Item = WindowVerdict>) -> Vec<
 pub struct ShardedFrameCaptureStage {
     shards: Vec<SecureFrameCaptureStage>,
     scheduler: SessionScheduler,
+    stealing: bool,
+    stolen_windows: u64,
 }
 
 impl ShardedFrameCaptureStage {
@@ -123,7 +130,19 @@ impl ShardedFrameCaptureStage {
     /// Panics on an empty shard list (see [`SessionScheduler::new`]).
     pub fn new(shards: Vec<SecureFrameCaptureStage>) -> Self {
         let scheduler = SessionScheduler::new(shards.len());
-        ShardedFrameCaptureStage { shards, scheduler }
+        ShardedFrameCaptureStage {
+            shards,
+            scheduler,
+            stealing: false,
+            stolen_windows: 0,
+        }
+    }
+
+    /// Enables the scheduler's work-stealing rebalance pass (see
+    /// [`SessionScheduler::assign_with_stealing`]).
+    pub fn with_stealing(mut self, stealing: bool) -> Self {
+        self.stealing = stealing;
+        self
     }
 
     /// Number of shards.
@@ -134,6 +153,11 @@ impl ShardedFrameCaptureStage {
     /// The placement loads accumulated so far.
     pub fn loads(&self) -> &[crate::scheduler::SessionLoad] {
         self.scheduler.loads()
+    }
+
+    /// Windows moved by the steal pass so far.
+    pub fn stolen_windows(&self) -> u64 {
+        self.stolen_windows
     }
 }
 
@@ -147,7 +171,12 @@ impl PipelineStage for ShardedFrameCaptureStage {
 
     fn process(&mut self, events: Self::Input) -> Result<ShardedPreparedBatch> {
         let weights: Vec<u64> = events.iter().map(|e| e.frames.max(1) as u64).collect();
-        let assignment = self.scheduler.assign(&weights);
+        let (assignment, steals) = if self.stealing {
+            self.scheduler.assign_with_stealing(&weights)
+        } else {
+            (self.scheduler.assign(&weights), Vec::new())
+        };
+        self.stolen_windows += steals.len() as u64;
         let mut per_shard: Vec<Vec<CameraScenarioEvent>> = vec![Vec::new(); self.shards.len()];
         for (event, &shard) in events.into_iter().zip(&assignment) {
             per_shard[shard].push(event);
@@ -156,7 +185,7 @@ impl PipelineStage for ShardedFrameCaptureStage {
         for (stage, share) in self.shards.iter_mut().zip(per_shard) {
             shards.push(stage.process(share)?);
         }
-        Ok(ShardedPreparedBatch { shards })
+        Ok(ShardedPreparedBatch { shards, steals })
     }
 }
 
@@ -165,6 +194,7 @@ impl PipelineStage for ShardedFrameCaptureStage {
 pub struct ShardedFilterStage {
     shards: Vec<SecureFilterStage>,
     scheduler: SessionScheduler,
+    stealing: bool,
 }
 
 impl ShardedFilterStage {
@@ -176,7 +206,19 @@ impl ShardedFilterStage {
     /// Panics on an empty shard list (see [`SessionScheduler::new`]).
     pub fn new(shards: Vec<SecureFilterStage>) -> Self {
         let scheduler = SessionScheduler::new(shards.len());
-        ShardedFilterStage { shards, scheduler }
+        ShardedFilterStage {
+            shards,
+            scheduler,
+            stealing: false,
+        }
+    }
+
+    /// Enables the steal pass for the flat-batch path (a shard-aware
+    /// capture stage makes the placement itself; this flag mirrors its
+    /// behaviour for callers that hand the stage unsharded batches).
+    pub fn with_stealing(mut self, stealing: bool) -> Self {
+        self.stealing = stealing;
+        self
     }
 
     /// Number of shards (open TA sessions).
@@ -199,7 +241,11 @@ impl ShardedFilterStage {
             .iter()
             .map(|w| w.periods.max(1) as u64)
             .collect();
-        let assignment = self.scheduler.assign(&weights);
+        let (assignment, steals) = if self.stealing {
+            self.scheduler.assign_with_stealing(&weights)
+        } else {
+            (self.scheduler.assign(&weights), Vec::new())
+        };
         let mut shards: Vec<PreparedBatch> = self
             .shards
             .iter()
@@ -211,7 +257,7 @@ impl ShardedFilterStage {
         for (window, &shard) in prepared.windows.into_iter().zip(&assignment) {
             shards[shard].windows.push(window);
         }
-        ShardedPreparedBatch { shards }
+        ShardedPreparedBatch { shards, steals }
     }
 }
 

@@ -103,6 +103,32 @@ impl Scenario {
             .collect()
     }
 
+    /// Fan-out for a **mega** fleet: like [`Scenario::fleet`], but built
+    /// for the 10k-device scale the bounded fleet executor runs at — one
+    /// vocabulary and one corpus generator are shared across all devices
+    /// (building a fresh vocabulary per device dominates generation cost
+    /// at that scale), with each device's traffic drawn sequentially from
+    /// the seeded stream, so the fan-out stays distinct-but-reproducible.
+    pub fn mega_fleet(
+        devices: usize,
+        n: usize,
+        sensitive_fraction: f64,
+        spacing: SimDuration,
+        seed: u64,
+    ) -> Vec<Scenario> {
+        let mut generator =
+            CorpusGenerator::new(Vocabulary::smart_home(), sensitive_fraction, seed);
+        (0..devices)
+            .map(|device| {
+                Scenario::from_utterances(
+                    format!("mega-device-{device}"),
+                    generator.generate(n),
+                    spacing,
+                )
+            })
+            .collect()
+    }
+
     /// A command-heavy, privacy-light evening (10 % sensitive).
     pub fn home_automation_evening(n: usize) -> Self {
         let mut generator = CorpusGenerator::new(Vocabulary::smart_home(), 0.1, 0xEE11);
@@ -286,6 +312,39 @@ impl CameraScenario {
             .collect()
     }
 
+    /// A **ragged** high-fps stream: windows arrive at a sustained
+    /// average rate like [`CameraScenario::high_fps`], but each window
+    /// carries a seeded-random frame count in `[min_frames, max_frames]`
+    /// — bursty sensors (motion-triggered capture, variable-rate
+    /// encoders) rather than a fixed cadence. Ragged mixes are what
+    /// defeat greedy least-loaded placement: one heavy window lands on an
+    /// already-loaded session and the tail latency blows up, which is
+    /// precisely the workload the scheduler's work-stealing pass exists
+    /// for.
+    pub fn ragged_high_fps(
+        n: usize,
+        min_frames: usize,
+        max_frames: usize,
+        fps: u32,
+        sensitive_fraction: f64,
+        seed: u64,
+    ) -> Self {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let min_frames = min_frames.max(1);
+        let max_frames = max_frames.max(min_frames);
+        let fps = fps.max(1);
+        let mean_frames = (min_frames + max_frames).div_ceil(2);
+        let spacing = SimDuration::from_nanos(mean_frames as u64 * 1_000_000_000 / u64::from(fps));
+        let mut scenario = CameraScenario::mixed_scenes(n, sensitive_fraction, spacing, seed);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x4A66_ED00);
+        for event in &mut scenario.events {
+            event.frames = rng.gen_range(min_frames..=max_frames);
+        }
+        scenario.name = format!("ragged-fps-{fps}x{min_frames}-{max_frames}");
+        scenario
+    }
+
     /// Spacing between consecutive events (zero for fewer than two
     /// events). For uniformly spaced scenarios this is the per-event frame
     /// budget the capture source imposes.
@@ -442,6 +501,45 @@ mod tests {
         for s in &schedules {
             assert_eq!(s.event_spacing(), schedules[0].event_spacing());
         }
+    }
+
+    #[test]
+    fn mega_fleet_fanout_is_distinct_and_reproducible() {
+        let a = Scenario::mega_fleet(4, 3, 0.5, SimDuration::from_secs(1), 0x3E6A);
+        let b = Scenario::mega_fleet(4, 3, 0.5, SimDuration::from_secs(1), 0x3E6A);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a[0].name, "mega-device-0");
+        assert_eq!(a[3].len(), 3);
+        // Devices draw from one sequential stream: traffic differs.
+        assert_ne!(a[0].events, a[1].events);
+        // A different seed reshuffles everything.
+        let c = Scenario::mega_fleet(4, 3, 0.5, SimDuration::from_secs(1), 0x3E6B);
+        assert_ne!(a[0].events, c[0].events);
+    }
+
+    #[test]
+    fn ragged_high_fps_varies_frames_within_bounds() {
+        let s = CameraScenario::ragged_high_fps(32, 1, 24, 960, 0.4, 0x4A66);
+        assert_eq!(s.len(), 32);
+        assert!(s.events.iter().all(|e| (1..=24).contains(&e.frames)));
+        // Really ragged: not every window carries the same frame count.
+        let first = s.events[0].frames;
+        assert!(s.events.iter().any(|e| e.frames != first));
+        // Spacing follows the mean frame count at the requested rate:
+        // ceil((1+24)/2) = 13 frames at 960 fps.
+        assert_eq!(
+            s.event_spacing(),
+            SimDuration::from_nanos(13 * 1_000_000_000 / 960)
+        );
+        // Deterministic, and distinct from the uniform high-fps stream.
+        assert_eq!(
+            s,
+            CameraScenario::ragged_high_fps(32, 1, 24, 960, 0.4, 0x4A66)
+        );
+        // Degenerate bounds clamp instead of panicking.
+        let tiny = CameraScenario::ragged_high_fps(2, 0, 0, 0, 0.0, 1);
+        assert!(tiny.events.iter().all(|e| e.frames == 1));
     }
 
     #[test]

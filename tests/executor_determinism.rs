@@ -1,0 +1,99 @@
+//! The fleet executor's determinism contract — the executor's mirror of
+//! `tests/shard_parity.rs`.
+//!
+//! Scheduling is a host-side concern: device runs are hermetic (each
+//! device owns its platform, virtual clock, TEE core and cloud), so the
+//! merged [`FleetReport`] must be **byte-identical** for
+//!
+//! * any worker count (1, 2, 8),
+//! * any steal interleaving (seeded victim order),
+//! * and the thread-per-device baseline harness,
+//!
+//! while the executor's host telemetry (steals, peak residency) is free
+//! to vary. Peak residency itself is pinned: never more than one built
+//! device stack per worker — the bounded-memory half of the contract.
+
+use perisec::core::fleet::{FleetConfig, PipelineFleet};
+use perisec::core::pipeline::{CameraPipelineConfig, PipelineConfig, SharedModels};
+use perisec::ml::classifier::Architecture;
+use perisec::tz::time::SimDuration;
+use perisec::workload::scenario::{CameraScenario, Scenario};
+
+fn fleet_with_workers(workers: usize, models: &SharedModels) -> PipelineFleet {
+    PipelineFleet::with_models(
+        FleetConfig {
+            devices: 2,
+            pipeline: PipelineConfig {
+                train_utterances: 60,
+                batch_windows: 4,
+                ..PipelineConfig::default()
+            },
+            camera_devices: 5,
+            camera_pipeline: CameraPipelineConfig {
+                batch_windows: 4,
+                ..CameraPipelineConfig::default()
+            },
+            workers,
+            ..FleetConfig::of(0)
+        },
+        models.clone(),
+    )
+}
+
+#[test]
+fn same_seed_reproduces_byte_identical_reports_across_worker_counts() {
+    let models =
+        SharedModels::deferred(Architecture::Cnn, 60, 0xDE7E).with_vision_spec(120, 0xDE7E);
+    let audio = Scenario::fleet(2, 4, 0.5, SimDuration::from_secs(1), 0xDE7E);
+    let cameras = CameraScenario::fleet_cameras(5, 4, 0.4, SimDuration::from_secs(1), 0xDE7E);
+
+    let mut jsons = Vec::new();
+    for workers in [1usize, 2, 8] {
+        let fleet = fleet_with_workers(workers, &models);
+        let (report, stats) = fleet.run_mixed_stats(&audio, &cameras).unwrap();
+        // The memory contract: at most one resident stack per worker.
+        assert!(
+            stats.peak_resident <= stats.workers,
+            "{workers} workers: peak resident {} exceeded pool {}",
+            stats.peak_resident,
+            stats.workers
+        );
+        assert_eq!(stats.completed, 7);
+        assert_eq!(report.device_count(), 7);
+        jsons.push(report.to_json());
+    }
+    assert_eq!(jsons[0], jsons[1], "1 vs 2 workers diverged");
+    assert_eq!(jsons[1], jsons[2], "2 vs 8 workers diverged");
+
+    // The thread-per-device baseline produces the very same bytes: the
+    // executor changes host cost, never outcomes — which is what makes
+    // E15's executor-vs-threads comparison a pure performance experiment.
+    let threaded = fleet_with_workers(4, &models)
+        .run_mixed_threaded(&audio, &cameras)
+        .unwrap()
+        .to_json();
+    assert_eq!(jsons[0], threaded, "executor diverged from baseline");
+}
+
+#[test]
+fn executor_reports_are_stable_across_repeated_runs() {
+    // Same fleet, run twice on the same worker count: steal interleavings
+    // and queue timings differ run to run, the report must not.
+    let models =
+        SharedModels::deferred(Architecture::Cnn, 60, 0x2EAD).with_vision_spec(120, 0x2EAD);
+    let cameras = CameraScenario::fleet_cameras(6, 4, 0.4, SimDuration::from_secs(1), 0x2EAD);
+    let fleet = PipelineFleet::with_models(
+        FleetConfig {
+            workers: 3,
+            camera_pipeline: CameraPipelineConfig {
+                batch_windows: 2,
+                ..CameraPipelineConfig::default()
+            },
+            ..FleetConfig::mixed(0, 6)
+        },
+        models,
+    );
+    let first = fleet.run_mixed(&[], &cameras).unwrap().to_json();
+    let second = fleet.run_mixed(&[], &cameras).unwrap().to_json();
+    assert_eq!(first, second);
+}

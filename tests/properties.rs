@@ -184,4 +184,140 @@ proptest! {
         prop_assert_eq!((da - db).as_nanos(), a.saturating_sub(b));
         prop_assert_eq!(da + SimDuration::ZERO, da);
     }
+
+    /// The scheduler's steal pass never drops or duplicates a window, its
+    /// load account stays an exact tally of the assignment, the cumulative
+    /// makespan never exceeds the greedy scheduler's, and mirrored
+    /// schedulers make identical steal decisions — for any batch split of
+    /// any ragged weight sequence on any session count.
+    #[test]
+    fn work_stealing_scheduler_invariants(
+        weight_seeds in proptest::collection::vec(any::<u64>(), 1..48),
+        shape in any::<u64>(),
+    ) {
+        let sessions = (shape % 7 + 1) as usize;
+        let batch = (shape >> 8) as usize % 9 + 1;
+        let weights: Vec<u64> = weight_seeds.iter().map(|s| s % 32).collect();
+        let mut stealing = SessionScheduler::new(sessions);
+        let mut mirror = SessionScheduler::new(sessions);
+        for chunk in weights.chunks(batch) {
+            // The makespan guarantee is per batch, against the same
+            // prior state: stealing never places this batch worse than
+            // plain greedy would have from here.
+            let mut greedy = stealing.clone();
+            greedy.assign(chunk);
+            let (assignment, steals) = stealing.assign_with_stealing(chunk);
+            let greedy_makespan = greedy.loads().iter().map(|l| l.weight).max().unwrap_or(0);
+            let stealing_makespan =
+                stealing.loads().iter().map(|l| l.weight).max().unwrap_or(0);
+            prop_assert!(
+                stealing_makespan <= greedy_makespan,
+                "stealing makespan {} exceeds greedy {} on the same batch",
+                stealing_makespan,
+                greedy_makespan
+            );
+            // Mirrored schedulers agree on placement *and* steals.
+            prop_assert_eq!(
+                mirror.assign_with_stealing(chunk),
+                (assignment.clone(), steals.clone())
+            );
+            // Every window placed exactly once, on a real session.
+            prop_assert_eq!(assignment.len(), chunk.len());
+            for &session in &assignment {
+                prop_assert!(session < sessions);
+            }
+            // Steal records describe the final placement.
+            for steal in &steals {
+                prop_assert_eq!(assignment[steal.window], steal.to);
+                prop_assert!(steal.from != steal.to);
+                prop_assert_eq!(steal.weight, chunk[steal.window].max(1));
+            }
+        }
+        // The load account tallies the full sequence: nothing dropped,
+        // nothing duplicated.
+        let total_windows: u64 = weights.len() as u64;
+        let total_weight: u64 = weights.iter().map(|w| (*w).max(1)).sum();
+        prop_assert_eq!(
+            stealing.loads().iter().map(|l| l.windows).sum::<u64>(),
+            total_windows
+        );
+        prop_assert_eq!(
+            stealing.loads().iter().map(|l| l.weight).sum::<u64>(),
+            total_weight
+        );
+    }
+
+    /// The fleet executor never drops or duplicates a device task, for
+    /// any fleet size, worker count, steal seed and yield pattern —
+    /// every queued device reports exactly once, in device order.
+    #[test]
+    fn fleet_executor_never_drops_or_duplicates_tasks(
+        shape in any::<u64>(),
+        yield_seeds in proptest::collection::vec(any::<u64>(), 1..40),
+    ) {
+        use perisec::core::executor::{
+            DeviceTask, ExecutorConfig, FleetExecutor, QueuedDevice, StepOutcome,
+        };
+        use perisec::core::fleet::{DeviceReport, Modality};
+        use perisec::core::report::{CloudOutcome, LatencyBreakdown, PipelineReport, WorkloadSummary};
+
+        struct SyntheticTask {
+            device: usize,
+            yields: usize,
+        }
+        impl DeviceTask for SyntheticTask {
+            fn step(&mut self) -> perisec::core::Result<StepOutcome> {
+                if self.yields == 0 {
+                    return Ok(StepOutcome::Complete(Box::new(DeviceReport {
+                        device: self.device,
+                        modality: Modality::Audio,
+                        scenario: format!("prop-{}", self.device),
+                        report: PipelineReport {
+                            pipeline: "synthetic".to_owned(),
+                            workload: WorkloadSummary::default(),
+                            latency: LatencyBreakdown::default(),
+                            cloud: CloudOutcome::default(),
+                            tz: Default::default(),
+                            energy: perisec::tz::power::EnergyReport {
+                                window: SimDuration::ZERO,
+                                total_mj: 0.0,
+                                per_component: Default::default(),
+                            },
+                            virtual_time: SimDuration::ZERO,
+                            bytes_to_cloud: 0,
+                        },
+                    })));
+                }
+                self.yields -= 1;
+                Ok(StepOutcome::Yielded)
+            }
+        }
+
+        let workers = (shape % 6 + 1) as usize;
+        let steal_seed = shape >> 8;
+        let tasks: Vec<QueuedDevice> = yield_seeds
+            .iter()
+            .enumerate()
+            .map(|(device, &seed)| {
+                let yields = (seed % 7) as usize;
+                QueuedDevice::new(device, move || {
+                    Ok(Box::new(SyntheticTask { device, yields }) as Box<dyn DeviceTask>)
+                })
+            })
+            .collect();
+        let devices = tasks.len();
+        let executor = FleetExecutor::new(ExecutorConfig {
+            workers,
+            steal_seed,
+            ..ExecutorConfig::default()
+        });
+        let (reports, stats) = executor.run(tasks).unwrap();
+        prop_assert_eq!(reports.len(), devices);
+        for (index, report) in reports.iter().enumerate() {
+            prop_assert_eq!(report.device, index);
+            prop_assert_eq!(&report.scenario, &format!("prop-{}", index));
+        }
+        prop_assert_eq!(stats.completed, devices);
+        prop_assert!(stats.peak_resident <= stats.workers);
+    }
 }

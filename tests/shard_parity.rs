@@ -131,6 +131,65 @@ fn high_fps_stream_needs_at_least_two_shards_on_the_quad_node() {
 }
 
 #[test]
+fn work_stealing_cuts_tail_latency_on_ragged_mixes_without_changing_outcomes() {
+    // A bursty sensor: window frame counts vary 4..=20, so greedy
+    // least-loaded placement strands heavy windows on already-loaded
+    // sessions. The 96 kfps average rate outruns the two-session pool,
+    // so the run clock is the processing makespan — the regime where
+    // placement quality shows up as tail latency.
+    let models =
+        SharedModels::deferred(Architecture::Cnn, 16, 0x57EA).with_vision_spec(120, 0x57EA);
+    let scenario = CameraScenario::ragged_high_fps(64, 4, 20, 96_000, 0.4, 0xBEEF);
+
+    let config = |stealing: bool| ShardedCameraConfig {
+        camera: camera_config(8),
+        pool: TeePoolConfig::iot_quad_node(2),
+        work_stealing: stealing,
+        ..ShardedCameraConfig::default()
+    };
+    let mut greedy_pipeline =
+        ShardedVisionPipeline::with_models(config(false), &models).expect("greedy builds");
+    let greedy = greedy_pipeline
+        .run_scenario(&scenario)
+        .expect("greedy runs");
+    let mut stealing_pipeline =
+        ShardedVisionPipeline::with_models(config(true), &models).expect("stealing builds");
+    let stealing = stealing_pipeline
+        .run_scenario(&scenario)
+        .expect("stealing runs");
+
+    // The steal pass really fired on this mix, and only on the stealing
+    // pipeline.
+    assert_eq!(greedy.stolen_windows, 0);
+    assert!(
+        stealing.stolen_windows > 0,
+        "ragged mix triggered no steals"
+    );
+    // Rebalancing changes placement, never outcome: the same windows
+    // reach the cloud and nothing sensitive leaks.
+    assert_eq!(stealing.report.cloud.leaked_sensitive_utterances(), 0);
+    assert_eq!(
+        stealing.report.cloud.report.received_dialog_ids(),
+        greedy.report.cloud.report.received_dialog_ids(),
+        "stealing diverged the cloud outcome"
+    );
+    // The point of the pass: the slowest core finishes earlier, so the
+    // run clock and the p99 window latency both drop.
+    assert!(
+        stealing.report.virtual_time < greedy.report.virtual_time,
+        "stealing run clock {} did not beat greedy {}",
+        stealing.report.virtual_time,
+        greedy.report.virtual_time
+    );
+    assert!(
+        stealing.report.latency.p99_end_to_end() < greedy.report.latency.p99_end_to_end(),
+        "stealing p99 {} did not beat greedy {}",
+        stealing.report.latency.p99_end_to_end(),
+        greedy.report.latency.p99_end_to_end()
+    );
+}
+
+#[test]
 fn model_dedup_strictly_undercuts_duplicate_reservations() {
     let models = SharedModels::deferred(Architecture::Cnn, 16, 0xDEDA).with_vision_spec(96, 0xDEDA);
     for shards in [2usize, 4] {

@@ -117,7 +117,7 @@ fn mixed_fleet_filters_both_modalities_off_one_model_set() {
         },
         camera_devices: 4,
         camera_pipeline: camera_config(8),
-        tee_cores: 1,
+        ..FleetConfig::of(0)
     })
     .expect("fleet trains once");
     let audio = Scenario::fleet(4, 8, 0.25, SimDuration::from_secs(2), 0xF1EE7);
@@ -140,7 +140,7 @@ fn mixed_fleet_filters_both_modalities_off_one_model_set() {
         report.world_switches_per_utterance()
     );
     // Camera devices relayed verdict records only.
-    for device in &report.devices {
+    for device in report.devices() {
         if device.modality == Modality::Camera {
             assert!(device
                 .report
