@@ -1,0 +1,101 @@
+//! Criterion bench behind experiment E16: the int8 fast path against the
+//! f32 baseline for the two TA-side classifiers, plus the planned
+//! (allocation-free) MFCC front-end against the allocating one — the
+//! microbenchmark view of the fused-kernel and scratch-plan wins.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use perisec_ml::classifier::{Architecture, SensitiveClassifier, TrainConfig};
+use perisec_ml::int8::{QuantFrameCnn, QuantSensitiveClassifier};
+use perisec_ml::mfcc::{MfccConfig, MfccExtractor};
+use perisec_ml::plan::FeaturePlan;
+use perisec_ml::vision::{FrameCnn, VisionConfig};
+use perisec_workload::corpus::{to_training_examples, CorpusGenerator};
+use perisec_workload::synth::SpeechSynthesizer;
+use perisec_workload::vocab::Vocabulary;
+
+fn bench_window_inference(c: &mut Criterion) {
+    let vocabulary = Vocabulary::smart_home();
+    let mut generator = CorpusGenerator::new(vocabulary.clone(), 0.5, 16);
+    let train = to_training_examples(&generator.generate(160));
+    let mut classifier =
+        SensitiveClassifier::new(Architecture::Cnn, TrainConfig::small(vocabulary.len()));
+    classifier.fit(&train).unwrap();
+    let int8 = QuantSensitiveClassifier::from_trained(&classifier).unwrap();
+    let tokens: Vec<usize> = train[0].0.clone();
+    let mut plan = FeaturePlan::new();
+
+    let mut group = c.benchmark_group("e16_window_inference");
+    group.sample_size(40);
+    group.bench_function("f32_predict", |b| {
+        b.iter(|| classifier.predict(&tokens).unwrap());
+    });
+    group.bench_function("int8_predict", |b| {
+        b.iter(|| int8.predict_with(&tokens, &mut plan).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_frame_inference(c: &mut Criterion) {
+    let config = VisionConfig::smart_home();
+    let corpus: Vec<(Vec<u8>, bool)> = (0..60)
+        .map(|i| {
+            let sensitive = i % 2 == 0;
+            let pixels: Vec<u8> = (0..config.width * config.height)
+                .map(|idx| {
+                    let y = idx / config.width;
+                    if sensitive {
+                        if y % 4 < 2 {
+                            225
+                        } else {
+                            45
+                        }
+                    } else {
+                        120 + ((idx * 7 + i) % 9) as u8
+                    }
+                })
+                .collect();
+            (pixels, sensitive)
+        })
+        .collect();
+    let mut cnn = FrameCnn::new(config);
+    cnn.fit(&corpus).unwrap();
+    let int8 = QuantFrameCnn::from_trained(&cnn).unwrap();
+    let frame = &corpus[0].0;
+    let mut plan = FeaturePlan::new();
+
+    let mut group = c.benchmark_group("e16_frame_inference");
+    group.sample_size(40);
+    group.bench_function("f32_predict", |b| {
+        b.iter(|| cnn.predict(frame).unwrap());
+    });
+    group.bench_function("int8_predict", |b| {
+        b.iter(|| int8.predict_with(frame, &mut plan).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_mfcc_plan(c: &mut Criterion) {
+    let synth = SpeechSynthesizer::smart_home();
+    let audio = synth.render_tokens(&[3, 17, 42, 9]);
+    let extractor = MfccExtractor::new(MfccConfig::speech_16khz());
+    let mut plan = FeaturePlan::new();
+
+    let mut group = c.benchmark_group("e16_mfcc_frontend");
+    group.sample_size(20);
+    group.bench_function("extract_allocating", |b| {
+        b.iter(|| extractor.extract(audio.samples()));
+    });
+    group.bench_function("extract_planned", |b| {
+        b.iter(|| extractor.extract_into(audio.samples(), &mut plan));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_window_inference,
+    bench_frame_inference,
+    bench_mfcc_plan
+);
+criterion_main!(benches);

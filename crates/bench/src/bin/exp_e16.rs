@@ -1,0 +1,10 @@
+//! Experiment E16 harness: the int8 inference fast path (fused integer
+//! kernels, residency, accuracy, mega-fleet sweep). Prints the markdown
+//! report and writes the machine-readable trajectory record to
+//! `BENCH_E16.json` in the current directory.
+fn main() {
+    let (markdown, json) = perisec_bench::run_e16_int8_inference();
+    println!("{markdown}");
+    std::fs::write("BENCH_E16.json", json).expect("write BENCH_E16.json");
+    eprintln!("wrote BENCH_E16.json");
+}

@@ -1073,6 +1073,337 @@ pub fn run_e15_fleet_executor() -> String {
     out
 }
 
+/// E16 — the int8 inference fast path: per-window / per-frame host cost
+/// of the fused integer kernels against the f32 baseline, accuracy delta,
+/// cloud-decision parity, secure-RAM residency, and both modes swept over
+/// the E15 mega-fleet. Returns the markdown report **and** the
+/// `BENCH_E16.json` payload that seeds the perf trajectory.
+pub fn run_e16_int8_inference() -> (String, String) {
+    use perisec_core::fleet::{FleetConfig, PipelineFleet};
+    use perisec_core::pipeline::{CameraPipelineConfig, SecurePipeline, SharedModels};
+    use perisec_devices::camera::{CameraSensor, SceneKind};
+    use perisec_ml::plan::FeaturePlan;
+    use perisec_ml::quant::QuantMode;
+    use perisec_sched::pipeline::{ShardedCameraConfig, ShardedVisionPipeline};
+    use perisec_sched::pool::TeePoolConfig;
+    use perisec_workload::scenario::CameraScenario;
+    use std::time::Instant;
+
+    let mut out = String::from(
+        "## E16 — int8 inference fast path (fused integer kernels vs the f32 baseline)\n\n",
+    );
+
+    // One trained model set; the int8 forms are quantized once from the
+    // same weights (train once, quantize once).
+    let models = SharedModels::train(Architecture::Cnn, 160, 0xE16).expect("train");
+    let audio = models.audio().expect("audio models");
+    let classifier = &audio.classifier;
+    let int8 = audio
+        .classifier_int8
+        .as_ref()
+        .expect("cnn classifiers quantize");
+    let vision = models.vision().expect("frame classifier");
+    let vision_int8 = models.vision_int8().expect("frame classifier quantizes");
+
+    // Part 1: per-window classifier inference on this host. The windows
+    // are the STT's *decoded* token sequences for a held-out corpus —
+    // exactly what the filter TA hands the classifier at runtime.
+    let vocabulary = Vocabulary::smart_home();
+    let mut generator = CorpusGenerator::new(vocabulary.clone(), 0.5, 0x16E6);
+    let (eval, _) = generator.train_test_split(192, 1);
+    let eval: Vec<(Vec<usize>, bool)> = to_training_examples(&eval)
+        .into_iter()
+        .map(|(tokens, label)| {
+            let rendered = audio.synth.render_tokens(&tokens);
+            let decoded = audio.stt.transcribe_to_tokens(rendered.samples());
+            if decoded.is_empty() {
+                (tokens, label)
+            } else {
+                (decoded, label)
+            }
+        })
+        .collect();
+    let windows: Vec<&[usize]> = eval.iter().map(|(tokens, _)| tokens.as_slice()).collect();
+    let mut plan = FeaturePlan::new();
+    // Warm both paths (and the plan's high-water marks) before timing.
+    for tokens in &windows {
+        let _ = classifier.predict(tokens).expect("f32 predict");
+        let _ = int8.predict_with(tokens, &mut plan).expect("int8 predict");
+    }
+    let reps = 40usize;
+    let started = Instant::now();
+    for _ in 0..reps {
+        for tokens in &windows {
+            std::hint::black_box(classifier.predict(tokens).expect("f32 predict"));
+        }
+    }
+    let ns_window_f32 = started.elapsed().as_nanos() as f64 / (reps * windows.len()) as f64;
+    let started = Instant::now();
+    for _ in 0..reps {
+        for tokens in &windows {
+            std::hint::black_box(int8.predict_with(tokens, &mut plan).expect("int8 predict"));
+        }
+    }
+    let ns_window_int8 = started.elapsed().as_nanos() as f64 / (reps * windows.len()) as f64;
+    let window_speedup = ns_window_f32 / ns_window_int8.max(1.0);
+
+    // Part 2: per-frame vision inference on this host.
+    let mut camera = CameraSensor::smart_home("e16-cam", 0xE16).expect("camera");
+    camera.start();
+    let frames: Vec<(Vec<u8>, bool)> = (0..96)
+        .map(|i| {
+            let scene = SceneKind::ALL[i % SceneKind::ALL.len()];
+            let frame = camera.capture_frame(scene).expect("frame");
+            (frame.pixels, scene.is_sensitive())
+        })
+        .collect();
+    for (pixels, _) in &frames {
+        let _ = vision.predict(pixels).expect("f32 frame");
+        let _ = vision_int8
+            .predict_with(pixels, &mut plan)
+            .expect("int8 frame");
+    }
+    let started = Instant::now();
+    for _ in 0..reps {
+        for (pixels, _) in &frames {
+            std::hint::black_box(vision.predict(pixels).expect("f32 frame"));
+        }
+    }
+    let ns_frame_f32 = started.elapsed().as_nanos() as f64 / (reps * frames.len()) as f64;
+    let started = Instant::now();
+    for _ in 0..reps {
+        for (pixels, _) in &frames {
+            std::hint::black_box(
+                vision_int8
+                    .predict_with(pixels, &mut plan)
+                    .expect("int8 frame"),
+            );
+        }
+    }
+    let ns_frame_int8 = started.elapsed().as_nanos() as f64 / (reps * frames.len()) as f64;
+    let frame_speedup = ns_frame_f32 / ns_frame_int8.max(1.0);
+
+    out.push_str("| metric | f32 | int8 | speedup |\n|---|---|---|---|\n");
+    let _ = writeln!(
+        out,
+        "| classifier ns/window | {ns_window_f32:.0} | {ns_window_int8:.0} | {window_speedup:.2}x |"
+    );
+    let _ = writeln!(
+        out,
+        "| frame CNN ns/frame | {ns_frame_f32:.0} | {ns_frame_int8:.0} | {frame_speedup:.2}x |"
+    );
+
+    // Part 3: accuracy. Same evaluation sets, both representations.
+    let acc_f32 = classifier.evaluate(&eval).expect("eval").accuracy();
+    let int8_correct = eval
+        .iter()
+        .filter(|(tokens, label)| {
+            int8.is_sensitive_with(tokens, &mut plan).expect("int8") == *label
+        })
+        .count();
+    let acc_int8 = int8_correct as f64 / eval.len() as f64;
+    let accuracy_delta_points = (acc_f32 - acc_int8).abs() * 100.0;
+    let vis_f32_correct = frames
+        .iter()
+        .filter(|(pixels, label)| vision.is_sensitive(pixels).expect("f32") == *label)
+        .count();
+    let vis_int8_correct = frames
+        .iter()
+        .filter(|(pixels, label)| {
+            vision_int8
+                .is_sensitive_with(pixels, &mut plan)
+                .expect("int8")
+                == *label
+        })
+        .count();
+    let vis_acc_f32 = vis_f32_correct as f64 / frames.len() as f64;
+    let vis_acc_int8 = vis_int8_correct as f64 / frames.len() as f64;
+    let vision_delta_points = (vis_acc_f32 - vis_acc_int8).abs() * 100.0;
+    let _ = writeln!(
+        out,
+        "| classifier accuracy | {acc_f32:.3} | {acc_int8:.3} | delta {accuracy_delta_points:.1} pt |"
+    );
+    let _ = writeln!(
+        out,
+        "| frame CNN accuracy | {vis_acc_f32:.3} | {vis_acc_int8:.3} | delta {vision_delta_points:.1} pt |"
+    );
+
+    // Part 4: resident model bytes and secure-RAM occupancy per mode.
+    let resident_f32 = classifier.memory_bytes_f32();
+    let resident_int8 = int8.memory_bytes();
+    let pipeline_for = |mode: QuantMode| {
+        SecurePipeline::with_models(
+            PipelineConfig {
+                quant_mode: mode,
+                batch_windows: 4,
+                ..PipelineConfig::default()
+            },
+            &models,
+        )
+        .expect("pipeline builds")
+    };
+    let ram_int8 = pipeline_for(QuantMode::Int8)
+        .platform()
+        .secure_ram()
+        .bytes_in_use();
+    let ram_f32 = pipeline_for(QuantMode::F32)
+        .platform()
+        .secure_ram()
+        .bytes_in_use();
+    let sharded_for = |mode: QuantMode| {
+        ShardedVisionPipeline::with_models(
+            ShardedCameraConfig {
+                camera: CameraPipelineConfig {
+                    quant_mode: mode,
+                    batch_windows: 4,
+                    ..CameraPipelineConfig::default()
+                },
+                pool: TeePoolConfig::iot_quad_node(2),
+                ..ShardedCameraConfig::default()
+            },
+            &models,
+        )
+        .expect("sharded pipeline builds")
+    };
+    let pool_ram_int8 = sharded_for(QuantMode::Int8)
+        .pool()
+        .secure_ram()
+        .bytes_in_use();
+    let pool_ram_f32 = sharded_for(QuantMode::F32)
+        .pool()
+        .secure_ram()
+        .bytes_in_use();
+    let _ = writeln!(
+        out,
+        "| classifier resident bytes | {resident_f32} | {resident_int8} | {:.2}x smaller |",
+        resident_f32 as f64 / resident_int8 as f64
+    );
+    let _ = writeln!(
+        out,
+        "| audio pipeline secure RAM (B) | {ram_f32} | {ram_int8} | {:.2}x smaller |",
+        ram_f32 as f64 / ram_int8 as f64
+    );
+    let _ = writeln!(
+        out,
+        "| 2-shard vision pool secure RAM (B) | {pool_ram_f32} | {pool_ram_int8} | {:.2}x smaller |",
+        pool_ram_f32 as f64 / pool_ram_int8 as f64
+    );
+
+    // Part 5: both modes over the E15 mega-fleet (128 audio + 10,112
+    // camera devices on 8 workers). Decisions must match device by
+    // device; the wall-clock difference is the fleet-scale payoff.
+    let audio_devices = 128usize;
+    let camera_devices = 10_112usize;
+    let audio_scenarios =
+        Scenario::mega_fleet(audio_devices, 2, 0.4, SimDuration::from_secs(1), 0xE16);
+    let camera_scenarios = CameraScenario::fleet_high_fps(camera_devices, 2, 1, 30, 0.4, 0xE16);
+    let fleet_for = |mode: QuantMode| {
+        PipelineFleet::with_models(
+            FleetConfig {
+                devices: audio_devices,
+                pipeline: PipelineConfig {
+                    batch_windows: 4,
+                    quant_mode: mode,
+                    ..PipelineConfig::default()
+                },
+                camera_devices,
+                camera_pipeline: CameraPipelineConfig {
+                    batch_windows: 4,
+                    quant_mode: mode,
+                    ..CameraPipelineConfig::default()
+                },
+                workers: 8,
+                ..FleetConfig::of(0)
+            },
+            models.clone(),
+        )
+    };
+    out.push_str(
+        "\n### E15 mega-fleet, both modes (10,240 devices, 8 workers)\n\n\
+         | mode | devices | utterances | leaked | payload bytes | host ms |\n\
+         |---|---|---|---|---|---|\n",
+    );
+    struct FleetSummary {
+        devices: usize,
+        leaked: usize,
+        received_ids: Vec<Vec<u64>>,
+    }
+    // The default (int8) mode runs first: sequential 10k-device runs in
+    // one process degrade (allocator growth, sustained-load throttling),
+    // so the second slot is systematically slower whichever mode sits in
+    // it — which is why no cross-mode wall-clock ratio is derived below.
+    let mut fleet_ms = [0.0f64; 2];
+    let mut summaries = Vec::new();
+    for (i, mode) in [QuantMode::Int8, QuantMode::F32].into_iter().enumerate() {
+        let fleet = fleet_for(mode);
+        let started = Instant::now();
+        let report = fleet
+            .run_mixed(&audio_scenarios, &camera_scenarios)
+            .expect("mega fleet runs");
+        fleet_ms[i] = started.elapsed().as_secs_f64() * 1000.0;
+        let _ = writeln!(
+            out,
+            "| {mode} | {} | {} | {} | {} | {:.0} |",
+            report.device_count(),
+            report.total_utterances(),
+            report.leaked_sensitive_utterances(),
+            report.total_payload_bytes(),
+            fleet_ms[i],
+        );
+        // Keep only the decision summary: retaining the first mode's full
+        // 10k-device report while the second mode runs would skew the
+        // second run's allocator behaviour.
+        summaries.push(FleetSummary {
+            devices: report.device_count(),
+            leaked: report.leaked_sensitive_utterances(),
+            received_ids: report
+                .devices()
+                .iter()
+                .map(|d| d.report.cloud.report.received_dialog_ids())
+                .collect(),
+        });
+    }
+    let leaked_int8 = summaries[0].leaked;
+    let leaked_f32 = summaries[1].leaked;
+    let decisions_identical = summaries[0].received_ids == summaries[1].received_ids;
+    let _ = writeln!(
+        out,
+        "\nPer-window classifier inference speedup {window_speedup:.2}x (the acceptance metric); \
+         per-frame {frame_speedup:.2}x — the frame path is patch-pooling-bound, a cost no weight \
+         quantization can touch. The mega-fleet host times are informational, not a mode \
+         comparison: at 2 windows per device, per-device pipeline *construction* (sessions, \
+         drivers, carve-out setup — mode-independent) dominates, and the second sequential run \
+         is systematically slower whichever mode occupies it. Cloud decisions across modes: {}.",
+        if decisions_identical {
+            "identical"
+        } else {
+            "DIVERGED (bug!)"
+        },
+    );
+
+    // The JSON trajectory record CI checks in as BENCH_E16.json.
+    let json = format!(
+        "{{\n  \"experiment\": \"E16\",\n  \"ns_per_window_f32\": {ns_window_f32:.1},\n  \
+         \"ns_per_window_int8\": {ns_window_int8:.1},\n  \"window_speedup\": {window_speedup:.3},\n  \
+         \"ns_per_frame_f32\": {ns_frame_f32:.1},\n  \"ns_per_frame_int8\": {ns_frame_int8:.1},\n  \
+         \"frame_speedup\": {frame_speedup:.3},\n  \"accuracy_f32\": {acc_f32:.4},\n  \
+         \"accuracy_int8\": {acc_int8:.4},\n  \"accuracy_delta_points\": {accuracy_delta_points:.2},\n  \
+         \"vision_accuracy_f32\": {vis_acc_f32:.4},\n  \"vision_accuracy_int8\": {vis_acc_int8:.4},\n  \
+         \"vision_accuracy_delta_points\": {vision_delta_points:.2},\n  \
+         \"resident_model_bytes_f32\": {resident_f32},\n  \"resident_model_bytes_int8\": {resident_int8},\n  \
+         \"audio_secure_ram_bytes_f32\": {ram_f32},\n  \"audio_secure_ram_bytes_int8\": {ram_int8},\n  \
+         \"pool_secure_ram_bytes_f32\": {pool_ram_f32},\n  \"pool_secure_ram_bytes_int8\": {pool_ram_int8},\n  \
+         \"fleet_devices\": {devices},\n  \"fleet_wall_clock_ms_int8\": {int8_ms:.0},\n  \
+         \"fleet_wall_clock_ms_f32\": {f32_ms:.0},\n  \
+         \"fleet_leaked_f32\": {leaked_f32},\n  \"fleet_leaked_int8\": {leaked_int8},\n  \
+         \"cloud_decisions_identical\": {decisions_identical}\n}}\n",
+        devices = summaries[0].devices,
+        int8_ms = fleet_ms[0],
+        f32_ms = fleet_ms[1],
+    );
+    (out, json)
+}
+
 /// Runs every experiment and concatenates the tables (used by the
 /// `experiments` binary and by EXPERIMENTS.md generation).
 pub fn run_all() -> String {
@@ -1092,6 +1423,7 @@ pub fn run_all() -> String {
         run_e13_vision(),
         run_e14_shard_sweep(),
         run_e15_fleet_executor(),
+        run_e16_int8_inference().0,
     ]
     .join("\n")
 }

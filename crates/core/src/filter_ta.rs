@@ -14,6 +14,9 @@ use std::sync::Arc;
 
 use perisec_devices::codec::AudioEncoding;
 use perisec_ml::classifier::SensitiveClassifier;
+use perisec_ml::int8::QuantSensitiveClassifier;
+use perisec_ml::plan::FeaturePlan;
+use perisec_ml::quant::QuantMode;
 use perisec_ml::stt::KeywordStt;
 use perisec_optee::{
     TaDescriptor, TaEnv, TaUuid, TeeError, TeeParam, TeeParams, TeeResult, TrustedApp,
@@ -141,16 +144,29 @@ pub struct FilterStats {
     pub redacted: u64,
 }
 
+/// The trained models a [`FilterTa`] hosts: the speech front-end, the f32
+/// classifier (the accuracy baseline and fallback), and — when available —
+/// its int8 deployment form. All behind [`Arc`] so a fleet of device
+/// pipelines shares one trained model set instead of retraining (or
+/// copying) per device.
+#[derive(Clone)]
+pub struct FilterTaModels {
+    /// The keyword speech-to-text model (always f32 — the MFCC front-end
+    /// does not quantize; a ROADMAP follow-on).
+    pub stt: Arc<KeywordStt>,
+    /// The f32 sensitive-content classifier.
+    pub classifier: Arc<SensitiveClassifier>,
+    /// The int8 deployment form, present for the CNN architecture.
+    pub classifier_int8: Option<Arc<QuantSensitiveClassifier>>,
+}
+
 /// The filter TA.
-///
-/// The STT and classifier models are held behind [`Arc`] so a fleet of
-/// device pipelines shares one trained model set instead of retraining (or
-/// copying) per device — model training dominates pipeline setup cost.
 pub struct FilterTa {
     descriptor: TaDescriptor,
     i2s_pta: TaUuid,
-    stt: Arc<KeywordStt>,
-    classifier: Arc<SensitiveClassifier>,
+    models: FilterTaModels,
+    quant: QuantMode,
+    plan: FeaturePlan,
     vocabulary: Vocabulary,
     policy: PrivacyPolicy,
     channel: TaCloudChannel,
@@ -162,33 +178,39 @@ impl std::fmt::Debug for FilterTa {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FilterTa")
             .field("policy", &self.policy)
+            .field("quant", &self.quant)
             .field("stats", &self.stats)
             .finish()
     }
 }
 
 impl FilterTa {
-    /// Creates the TA.
-    ///
-    /// `data_kib` should be sized to the classifier so that registration
-    /// reserves a realistic amount of secure memory.
+    /// Creates the TA. In [`QuantMode::Int8`] (the default elsewhere) the
+    /// TA keeps only the *quantized* classifier bytes resident, so its
+    /// declared data segment — what registration reserves from the secure
+    /// carve-out — shrinks by roughly the compression ratio.
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         i2s_pta: TaUuid,
-        stt: Arc<KeywordStt>,
-        classifier: Arc<SensitiveClassifier>,
+        models: FilterTaModels,
+        quant: QuantMode,
         vocabulary: Vocabulary,
         policy: PrivacyPolicy,
         cloud_host: impl Into<String>,
         psk: [u8; PSK_LEN],
         encoding: AudioEncoding,
     ) -> Self {
-        let model_kib = (classifier.memory_bytes_f32() / 1024).max(1) as u32;
+        let model_bytes = match (&quant, &models.classifier_int8) {
+            (QuantMode::Int8, Some(int8)) => int8.memory_bytes(),
+            _ => models.classifier.memory_bytes_f32(),
+        };
+        let model_kib = (model_bytes / 1024).max(1) as u32;
         FilterTa {
             descriptor: TaDescriptor::new(FILTER_TA_NAME, 64, 256 + model_kib),
             i2s_pta,
-            stt,
-            classifier,
+            models,
+            quant,
+            plan: FeaturePlan::new(),
             vocabulary,
             policy,
             channel: TaCloudChannel::new(cloud_host, psk),
@@ -205,6 +227,14 @@ impl FilterTa {
     /// Runs the in-TA ML stage over one window of encoded audio, charging
     /// its compute. Returns the recovered tokens, the sensitive
     /// probability and the ML time in nanoseconds.
+    ///
+    /// The STT front-end always runs over the TA's [`FeaturePlan`] (the
+    /// MFCC scratch is mode-independent). The classifier dispatches on
+    /// [`QuantMode`]: int8 runs the fused integer kernels over the same
+    /// plan; f32 runs the baseline path. Both modes charge the same MAC
+    /// count, so virtual-time accounting — and therefore every simulated
+    /// latency and energy figure — is mode-independent; the int8 win is
+    /// host wall-clock and secure-RAM residency.
     fn run_ml(
         &mut self,
         env: &TaEnv<'_>,
@@ -213,17 +243,26 @@ impl FilterTa {
         let ml_start = env.platform().clock().now();
         let format = perisec_devices::audio::AudioFormat::speech_16khz_mono();
         let audio = self.encoding.decode(encoded_audio, format);
-        env.charge_compute(self.stt.flops_for(audio.samples().len()));
-        let tokens = self.stt.transcribe_to_tokens(audio.samples());
-        env.charge_compute(self.classifier.flops_per_inference(tokens.len().max(1)));
+        env.charge_compute(self.models.stt.flops_for(audio.samples().len()));
+        let tokens = self
+            .models
+            .stt
+            .transcribe_to_tokens_with(audio.samples(), &mut self.plan);
+        env.charge_compute(
+            self.models
+                .classifier
+                .flops_per_inference(tokens.len().max(1)),
+        );
         let probability = if tokens.is_empty() {
             0.0
         } else {
-            self.classifier
-                .predict(&tokens)
-                .map_err(|e| TeeError::Generic {
-                    reason: e.to_string(),
-                })?
+            match (&self.quant, &self.models.classifier_int8) {
+                (QuantMode::Int8, Some(int8)) => int8.predict_with(&tokens, &mut self.plan),
+                _ => self.models.classifier.predict_with(&tokens, &mut self.plan),
+            }
+            .map_err(|e| TeeError::Generic {
+                reason: e.to_string(),
+            })?
         };
         let ml_ns = env.platform().clock().elapsed_since(ml_start).as_nanos();
         Ok((tokens, probability, ml_ns))

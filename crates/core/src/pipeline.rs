@@ -20,6 +20,8 @@ use perisec_kernel::i2s_driver::BaselineI2sDriver;
 use perisec_kernel::pcm::PcmHwParams;
 use perisec_kernel::trace::FunctionTracer;
 use perisec_ml::classifier::{Architecture, SensitiveClassifier, TrainConfig};
+use perisec_ml::int8::{QuantFrameCnn, QuantSensitiveClassifier};
+use perisec_ml::quant::QuantMode;
 use perisec_ml::stt::{KeywordStt, SttConfig};
 use perisec_ml::vision::{FrameCnn, VisionConfig};
 use perisec_optee::{
@@ -79,6 +81,12 @@ pub struct PipelineConfig {
     /// latency SLO instead of the fixed `batch_windows` — the audio
     /// counterpart of the sharded vision pipeline's SLO knob.
     pub latency_slo: Option<SimDuration>,
+    /// Numeric representation of the in-TA classifier: [`QuantMode::Int8`]
+    /// (the default) keeps the quantized weights resident and runs the
+    /// fused integer kernels; [`QuantMode::F32`] is the accuracy baseline
+    /// E16 compares against. Architectures without an int8 form
+    /// (Transformer / Hybrid) fall back to f32 transparently.
+    pub quant_mode: QuantMode,
 }
 
 impl Default for PipelineConfig {
@@ -94,6 +102,7 @@ impl Default for PipelineConfig {
             secure_ram_kib: None,
             batch_windows: 1,
             latency_slo: None,
+            quant_mode: QuantMode::default(),
         }
     }
 }
@@ -139,6 +148,9 @@ pub struct CameraPipelineConfig {
     /// Scene events driven through the stages per batch — the same
     /// TEE-boundary amortization lever as the audio pipeline's.
     pub batch_windows: usize,
+    /// Numeric representation of the in-TA frame classifier (see
+    /// [`PipelineConfig::quant_mode`]). Int8 by default.
+    pub quant_mode: QuantMode,
 }
 
 impl Default for CameraPipelineConfig {
@@ -150,6 +162,7 @@ impl Default for CameraPipelineConfig {
             constrained_platform: false,
             secure_ram_kib: None,
             batch_windows: 1,
+            quant_mode: QuantMode::default(),
         }
     }
 }
@@ -172,6 +185,10 @@ pub struct AudioModels {
     pub stt: Arc<KeywordStt>,
     /// The sensitive-content classifier.
     pub classifier: Arc<SensitiveClassifier>,
+    /// The classifier's int8 deployment form, quantized **once** right
+    /// after training (present for the CNN architecture; Transformer /
+    /// Hybrid stay on the f32 baseline).
+    pub classifier_int8: Option<Arc<QuantSensitiveClassifier>>,
     /// The vocabulary both models were trained against.
     pub vocabulary: Vocabulary,
     /// The synthesizer rendering scenario utterances into waveforms.
@@ -202,6 +219,9 @@ struct VisionState {
     train_frames: usize,
     corpus_seed: u64,
     model: Option<Arc<FrameCnn>>,
+    /// The int8 deployment form, quantized once from `model` on first
+    /// int8-mode use and shared by every camera TA afterwards.
+    int8: Option<Arc<QuantFrameCnn>>,
 }
 
 impl std::fmt::Debug for SharedModels {
@@ -267,9 +287,13 @@ fn train_audio_models(
     let mut classifier =
         SensitiveClassifier::new(architecture, TrainConfig::small(vocabulary.len()));
     classifier.fit(&examples).map_err(CoreError::from)?;
+    // Train once, quantize once: every int8-mode TA of the fleet shares
+    // this one deployment form.
+    let classifier_int8 = QuantSensitiveClassifier::from_trained(&classifier).map(Arc::new);
     Ok(AudioModels {
         stt: Arc::new(stt),
         classifier: Arc::new(classifier),
+        classifier_int8,
         vocabulary,
         synth,
     })
@@ -289,6 +313,7 @@ impl SharedModels {
                 train_frames: 120,
                 corpus_seed: corpus_seed ^ 0xF7A3E5,
                 model: None,
+                int8: None,
             })),
         }
     }
@@ -361,6 +386,26 @@ impl SharedModels {
         let model = Arc::new(train_frame_cnn(vision.train_frames, vision.corpus_seed)?);
         vision.model = Some(Arc::clone(&model));
         Ok(model)
+    }
+
+    /// The int8 deployment form of the shared frame classifier, quantized
+    /// **once** on first use (training the f32 model first if needed);
+    /// every int8-mode camera TA of a fleet shares the same [`Arc`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates frame-classifier training failures.
+    pub fn vision_int8(&self) -> Result<Arc<QuantFrameCnn>> {
+        let model = self.vision()?;
+        let mut vision = self.vision.lock();
+        if let Some(int8) = &vision.int8 {
+            return Ok(Arc::clone(int8));
+        }
+        let int8 = Arc::new(
+            QuantFrameCnn::from_trained(&model).expect("vision() returns a trained classifier"),
+        );
+        vision.int8 = Some(Arc::clone(&int8));
+        Ok(int8)
     }
 
     /// Trains the models a [`PipelineConfig`] asks for.
@@ -569,8 +614,15 @@ impl SecurePipeline {
             .map_err(CoreError::from)?;
         let filter = FilterTa::new(
             i2s_pta,
-            Arc::clone(&audio.stt),
-            Arc::clone(&audio.classifier),
+            crate::filter_ta::FilterTaModels {
+                stt: Arc::clone(&audio.stt),
+                classifier: Arc::clone(&audio.classifier),
+                classifier_int8: match config.quant_mode {
+                    QuantMode::Int8 => audio.classifier_int8.clone(),
+                    QuantMode::F32 => None,
+                },
+            },
+            config.quant_mode,
             audio.vocabulary.clone(),
             config.policy,
             default_cloud_host(),
@@ -790,6 +842,18 @@ impl SecureCameraPipeline {
         SecureCameraPipeline::with_vision_model(config, vision)
     }
 
+    /// The int8 deployment form a config asks for: quantized once from
+    /// the trained f32 classifier in int8 mode, absent in f32 mode.
+    fn quantize_for(
+        config: &CameraPipelineConfig,
+        vision: &Arc<FrameCnn>,
+    ) -> Option<Arc<QuantFrameCnn>> {
+        match config.quant_mode {
+            QuantMode::Int8 => QuantFrameCnn::from_trained(vision).map(Arc::new),
+            QuantMode::F32 => None,
+        }
+    }
+
     /// Builds the camera stack around a shared model set — the mixed-fleet
     /// path: audio and camera devices hand out `Arc`s of one
     /// [`SharedModels`]. The frame classifier trains lazily inside the
@@ -805,15 +869,32 @@ impl SecureCameraPipeline {
     /// the model).
     pub fn with_models(config: CameraPipelineConfig, models: &SharedModels) -> Result<Self> {
         let vision = models.vision()?;
-        SecureCameraPipeline::with_vision_model(config, vision)
+        // The fleet path reuses the model set's cached int8 form — the
+        // "quantize once" half of train-once-quantize-once.
+        let int8 = match config.quant_mode {
+            QuantMode::Int8 => Some(models.vision_int8()?),
+            QuantMode::F32 => None,
+        };
+        SecureCameraPipeline::build(config, vision, int8)
     }
 
-    /// Builds the camera stack around an existing trained frame classifier.
+    /// Builds the camera stack around an existing trained frame
+    /// classifier (quantizing it on the spot when the config asks for
+    /// int8 mode — self-trained pipelines have no shared cache).
     ///
     /// # Errors
     ///
     /// Fails if a TEE component cannot be registered.
     pub fn with_vision_model(config: CameraPipelineConfig, vision: Arc<FrameCnn>) -> Result<Self> {
+        let int8 = SecureCameraPipeline::quantize_for(&config, &vision);
+        SecureCameraPipeline::build(config, vision, int8)
+    }
+
+    fn build(
+        config: CameraPipelineConfig,
+        vision: Arc<FrameCnn>,
+        vision_int8: Option<Arc<QuantFrameCnn>>,
+    ) -> Result<Self> {
         let platform = config.build_platform();
 
         // Normal world: supplicant + network fabric + cloud.
@@ -835,6 +916,8 @@ impl SecureCameraPipeline {
         let vision_ta = VisionTa::new(
             camera_pta,
             vision,
+            vision_int8,
+            config.quant_mode,
             config.policy,
             default_cloud_host(),
             default_psk(),

@@ -15,6 +15,9 @@
 
 use std::sync::Arc;
 
+use perisec_ml::int8::QuantFrameCnn;
+use perisec_ml::plan::FeaturePlan;
+use perisec_ml::quant::QuantMode;
 use perisec_ml::vision::FrameCnn;
 use perisec_optee::{
     TaDescriptor, TaEnv, TaUuid, TeeError, TeeParam, TeeParams, TeeResult, TrustedApp,
@@ -69,10 +72,16 @@ pub struct VisionStats {
 ///
 /// The frame classifier is held behind [`Arc`] so a fleet of camera
 /// pipelines shares one trained model instead of retraining per device.
+/// In [`QuantMode::Int8`] the int8 deployment form carries the per-frame
+/// hot path (fused integer kernels over the TA's [`FeaturePlan`]) and
+/// only the quantized bytes are declared against the secure carve-out.
 pub struct VisionTa {
     descriptor: TaDescriptor,
     camera_pta: TaUuid,
     model: Arc<FrameCnn>,
+    model_int8: Option<Arc<QuantFrameCnn>>,
+    quant: QuantMode,
+    plan: FeaturePlan,
     policy: PrivacyPolicy,
     channel: TaCloudChannel,
     stats: VisionStats,
@@ -82,25 +91,36 @@ impl std::fmt::Debug for VisionTa {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("VisionTa")
             .field("policy", &self.policy)
+            .field("quant", &self.quant)
             .field("stats", &self.stats)
             .finish()
     }
 }
 
 impl VisionTa {
-    /// Creates the TA around a trained frame classifier.
+    /// Creates the TA around a trained frame classifier, plus — for
+    /// [`QuantMode::Int8`] — its int8 deployment form.
     pub fn new(
         camera_pta: TaUuid,
         model: Arc<FrameCnn>,
+        model_int8: Option<Arc<QuantFrameCnn>>,
+        quant: QuantMode,
         policy: PrivacyPolicy,
         cloud_host: impl Into<String>,
         psk: [u8; PSK_LEN],
     ) -> Self {
-        let model_kib = (model.memory_bytes_f32() / 1024).max(1) as u32;
+        let model_bytes = match (&quant, &model_int8) {
+            (QuantMode::Int8, Some(int8)) => int8.memory_bytes(),
+            _ => model.memory_bytes_f32(),
+        };
+        let model_kib = (model_bytes / 1024).max(1) as u32;
         VisionTa {
             descriptor: TaDescriptor::new(VISION_TA_NAME, 48, 128 + model_kib),
             camera_pta,
             model,
+            model_int8,
+            quant,
+            plan: FeaturePlan::new(),
             policy,
             channel: TaCloudChannel::new(cloud_host, psk),
             stats: VisionStats::default(),
@@ -175,8 +195,14 @@ impl VisionTa {
             let ml_start = env.platform().clock().now();
             let mut probability = 0.0f32;
             for frame in reply.pixels.chunks_exact(frame_len) {
+                // Both modes charge the same MAC count — virtual time is
+                // mode-independent; int8 wins host time and residency.
                 env.charge_compute(self.model.flops_per_inference());
-                let p = self.model.predict(frame).map_err(|e| TeeError::Generic {
+                let p = match (&self.quant, &self.model_int8) {
+                    (QuantMode::Int8, Some(int8)) => int8.predict_with(frame, &mut self.plan),
+                    _ => self.model.predict_with(frame, &mut self.plan),
+                }
+                .map_err(|e| TeeError::Generic {
                     reason: e.to_string(),
                 })?;
                 probability = probability.max(p);

@@ -243,6 +243,26 @@ impl SensitiveClassifier {
         self.head.predict(&features)
     }
 
+    /// [`SensitiveClassifier::predict`] with the head's allocation-free
+    /// scratch path — same arithmetic, fewer per-window allocations on the
+    /// TA hot path.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SensitiveClassifier::predict`].
+    pub fn predict_with(
+        &self,
+        tokens: &[usize],
+        plan: &mut crate::plan::FeaturePlan,
+    ) -> Result<f32> {
+        if !self.is_trained() {
+            return Err(MlError::NotTrained);
+        }
+        let features = self.features(tokens)?;
+        self.head
+            .predict_features(features.row(0), &mut plan.hidden)
+    }
+
     /// Binary decision using the configured threshold.
     ///
     /// # Errors
@@ -290,6 +310,11 @@ impl SensitiveClassifier {
     /// Mutable access for weight rewriting (used by quantization).
     pub(crate) fn parts_mut(&mut self) -> (&mut Extractor, &mut ClassifierHead) {
         (&mut self.extractor, &mut self.head)
+    }
+
+    /// Read access for int8 conversion.
+    pub(crate) fn parts(&self) -> (&Extractor, &ClassifierHead) {
+        (&self.extractor, &self.head)
     }
 }
 

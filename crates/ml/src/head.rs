@@ -131,6 +131,47 @@ impl ClassifierHead {
         Ok(sigmoid(o.get(0, 0)))
     }
 
+    /// The allocation-free prediction path: identical arithmetic to
+    /// [`ClassifierHead::predict`], but over a feature slice with the
+    /// hidden activations held in caller-owned scratch — the TA hot path
+    /// stops paying three matrix allocations per window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::ShapeMismatch`] if `features.len()` differs from
+    /// the head's input width.
+    pub fn predict_features(&self, features: &[f32], hidden: &mut Vec<f32>) -> Result<f32> {
+        if features.len() != self.hidden.input_dim() {
+            return Err(MlError::ShapeMismatch {
+                reason: format!(
+                    "head of width {} applied to {} features",
+                    self.hidden.input_dim(),
+                    features.len()
+                ),
+            });
+        }
+        hidden.clear();
+        hidden.resize(self.hidden.output_dim(), 0.0);
+        // hidden = relu(x * W1 + b1), k-outer over the row-major weights
+        // in exactly [`Matrix::matmul`]'s accumulation order (bias added
+        // after the products) so the two paths agree bit for bit.
+        for (k, &x) in features.iter().enumerate() {
+            if x == 0.0 {
+                continue;
+            }
+            let row = self.hidden.weights.row(k);
+            for (h, &w) in hidden.iter_mut().zip(row) {
+                *h += x * w;
+            }
+        }
+        let mut logit = 0.0f32;
+        for (k, &h) in hidden.iter().enumerate() {
+            let h = relu(h + self.hidden.bias[k]);
+            logit += h * self.output.weights.get(k, 0);
+        }
+        Ok(sigmoid(logit + self.output.bias[0]))
+    }
+
     /// Trains the head on `(feature, label)` pairs. Returns the mean loss
     /// of the final epoch.
     ///
@@ -299,6 +340,21 @@ mod tests {
         let head = ClassifierHead::new(4, 8, 3);
         assert!(head.predict(&Matrix::zeros(1, 4)).is_ok());
         assert!(head.predict(&Matrix::zeros(1, 5)).is_err());
+    }
+
+    #[test]
+    fn scratch_prediction_matches_matrix_prediction() {
+        let (features, labels) = toy_dataset(60, 8, 42);
+        let mut head = ClassifierHead::new(8, 16, 5);
+        head.train(&features, &labels, &HeadTrainConfig::default())
+            .unwrap();
+        let mut hidden = Vec::new();
+        for f in &features {
+            let dense = head.predict(f).unwrap();
+            let scratch = head.predict_features(f.row(0), &mut hidden).unwrap();
+            assert_eq!(dense, scratch, "paths diverge");
+        }
+        assert!(head.predict_features(&[0.0; 5], &mut hidden).is_err());
     }
 
     #[test]

@@ -1,0 +1,723 @@
+//! The int8 inference engine — quantized models with fused integer
+//! kernels.
+//!
+//! [`crate::quant`] gave the repository *storage-only* quantization: the
+//! weights shrank on disk but [`QuantizedMatrix::dequantize`] rebuilt f32
+//! weights before every forward pass, so the TAs paid full float compute
+//! **and** full float residency at runtime. This module finishes the job:
+//! the classifiers the TAs host are converted **once** after training into
+//! quantized form ([`QuantSensitiveClassifier`], [`QuantFrameCnn`]) whose
+//! forward passes run on i8 x i8 -> i32 kernels with the per-tensor scales
+//! folded into a single output rescale — no dequantization, no per-window
+//! allocation (scratch comes from a [`FeaturePlan`]), and ~4x smaller
+//! weight residency in the secure carve-out.
+//!
+//! Activation handling follows standard dynamic quantization:
+//!
+//! * the embedding table is stored quantized and its rows are fed to the
+//!   text convolutions **as i8** (the table's scale is the activation
+//!   scale — no re-quantization step at all);
+//! * dense-layer inputs are quantized per call with a symmetric
+//!   per-tensor scale ([`quantize_activations`]);
+//! * ReLU and global max pooling are folded into the integer rescale
+//!   epilogues, so convolution outputs never materialize.
+//!
+//! The f32 models remain the accuracy baseline; experiment E16 pins the
+//! speed, residency and accuracy deltas, and a proptest bounds the
+//! probability divergence between the two paths on random inputs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::classifier::{Extractor, SensitiveClassifier};
+use crate::head::ClassifierHead;
+use crate::layers::{Conv1d, Dense, Embedding};
+use crate::plan::FeaturePlan;
+use crate::quant::{dot_i8, quantize_activations, QuantizedMatrix};
+use crate::vision::{FrameCnn, VisionConfig};
+use crate::{MlError, Result};
+
+/// A dense layer with quantized weights and an f32 bias, running on the
+/// fused integer matmul.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantDense {
+    weights: QuantizedMatrix,
+    bias: Vec<f32>,
+}
+
+impl QuantDense {
+    /// Quantizes a trained dense layer.
+    pub fn from_dense(dense: &Dense) -> Self {
+        QuantDense {
+            weights: QuantizedMatrix::quantize(&dense.weights),
+            bias: dense.bias.clone(),
+        }
+    }
+
+    /// Input width.
+    pub fn input_dim(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Output width.
+    pub fn output_dim(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Deployed storage bytes (quantized weights + f32 bias).
+    pub fn storage_bytes(&self) -> usize {
+        self.weights.storage_bytes() + self.bias.len() * 4
+    }
+
+    /// Fused forward over pre-quantized activations: integer matmul, one
+    /// rescale, bias added in f32. `acc` and `out` are caller scratch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::ShapeMismatch`] on a width mismatch.
+    pub fn forward_q(
+        &self,
+        x_q: &[i8],
+        x_scale: f32,
+        acc: &mut Vec<i32>,
+        out: &mut Vec<f32>,
+    ) -> Result<()> {
+        self.weights.matmul_i8(x_q, x_scale, acc, out)?;
+        for (o, &b) in out.iter_mut().zip(&self.bias) {
+            *o += b;
+        }
+        Ok(())
+    }
+}
+
+/// A 1-D convolution bank with quantized filters and a fused
+/// conv -> ReLU -> global-max-pool forward: the text-CNN building block
+/// without the `positions x channels` intermediate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantConv1d {
+    kernel_width: usize,
+    input_dim: usize,
+    filters: QuantizedMatrix,
+    bias: Vec<f32>,
+}
+
+impl QuantConv1d {
+    /// Quantizes a trained convolution bank.
+    pub fn from_conv(conv: &Conv1d) -> Self {
+        QuantConv1d {
+            kernel_width: conv.kernel_width,
+            input_dim: conv.input_dim(),
+            filters: QuantizedMatrix::quantize(&conv.filters),
+            bias: conv.bias.clone(),
+        }
+    }
+
+    /// Number of output channels.
+    pub fn channels(&self) -> usize {
+        self.filters.rows()
+    }
+
+    /// Deployed storage bytes.
+    pub fn storage_bytes(&self) -> usize {
+        self.filters.storage_bytes() + self.bias.len() * 4
+    }
+
+    /// Multiply-accumulate count for a sequence of length `len` (the same
+    /// formula as [`Conv1d::flops`] — the int8 path performs the same
+    /// MACs, just narrower).
+    pub fn flops(&self, len: usize) -> u64 {
+        let positions = len.saturating_sub(self.kernel_width - 1).max(1);
+        (positions * self.channels() * self.kernel_width * self.input_dim) as u64
+    }
+
+    /// Slides the quantized filters over a quantized embedding sequence
+    /// (row-major `seq_len x input_dim`) and pushes one max-pooled ReLU
+    /// activation per channel onto `out`. A sequence shorter than the
+    /// kernel yields the f32 path's zero activations.
+    pub fn forward_maxpool_into(
+        &self,
+        x_q: &[i8],
+        seq_len: usize,
+        x_scale: f32,
+        out: &mut Vec<f32>,
+    ) {
+        debug_assert_eq!(x_q.len(), seq_len * self.input_dim);
+        if seq_len < self.kernel_width {
+            out.extend(std::iter::repeat_n(0.0, self.channels()));
+            return;
+        }
+        let positions = seq_len - self.kernel_width + 1;
+        let window = self.kernel_width * self.input_dim;
+        let rescale = x_scale * self.filters.scale();
+        for ch in 0..self.channels() {
+            let filter = self.filters.row(ch);
+            let bias = self.bias[ch];
+            let mut best = 0.0f32; // ReLU folded into the max with 0
+            for p in 0..positions {
+                let start = p * self.input_dim;
+                let acc = dot_i8(&x_q[start..start + window], filter);
+                best = best.max(acc as f32 * rescale + bias);
+            }
+            out.push(best);
+        }
+    }
+}
+
+/// A quantized token-embedding table. Rows are handed to downstream
+/// layers as i8 with the table's scale as the activation scale — the
+/// cheapest possible "activation quantization".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantEmbedding {
+    table: QuantizedMatrix,
+}
+
+impl QuantEmbedding {
+    /// Quantizes a trained embedding.
+    pub fn from_embedding(embedding: &Embedding) -> Self {
+        QuantEmbedding {
+            table: QuantizedMatrix::quantize(embedding.table()),
+        }
+    }
+
+    /// Embedding width.
+    pub fn dim(&self) -> usize {
+        self.table.cols()
+    }
+
+    /// The activation scale of looked-up rows.
+    pub fn scale(&self) -> f32 {
+        self.table.scale()
+    }
+
+    /// Deployed storage bytes.
+    pub fn storage_bytes(&self) -> usize {
+        self.table.storage_bytes()
+    }
+
+    /// Gathers the quantized rows of a token sequence into `out`
+    /// (row-major `len x dim`; unknown token ids map to the zero row).
+    pub fn lookup_into(&self, tokens: &[usize], out: &mut Vec<i8>) {
+        let dim = self.dim();
+        out.clear();
+        out.resize(tokens.len() * dim, 0);
+        for (i, &t) in tokens.iter().enumerate() {
+            if t < self.table.rows() {
+                out[i * dim..(i + 1) * dim].copy_from_slice(self.table.row(t));
+            }
+        }
+    }
+}
+
+/// The quantized text-CNN extractor: quantized embedding feeding the
+/// fused convolution banks directly in i8.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantTextCnn {
+    embedding: QuantEmbedding,
+    convs: Vec<QuantConv1d>,
+}
+
+impl QuantTextCnn {
+    /// Width of the produced feature vector.
+    pub fn feature_dim(&self) -> usize {
+        self.convs.iter().map(QuantConv1d::channels).sum()
+    }
+
+    /// Deployed storage bytes.
+    pub fn storage_bytes(&self) -> usize {
+        self.embedding.storage_bytes()
+            + self
+                .convs
+                .iter()
+                .map(QuantConv1d::storage_bytes)
+                .sum::<usize>()
+    }
+
+    /// Multiply-accumulate count over a sequence of `len` tokens.
+    pub fn flops(&self, len: usize) -> u64 {
+        self.convs.iter().map(|c| c.flops(len)).sum()
+    }
+
+    /// Extracts the feature vector into `plan.features`.
+    pub fn extract_into(&self, tokens: &[usize], plan: &mut FeaturePlan) {
+        self.embedding.lookup_into(tokens, &mut plan.x_q);
+        let scale = self.embedding.scale();
+        plan.features.clear();
+        for conv in &self.convs {
+            conv.forward_maxpool_into(&plan.x_q, tokens.len(), scale, &mut plan.features);
+        }
+    }
+}
+
+/// The quantized two-layer classification head (dense -> ReLU -> dense ->
+/// sigmoid) with dynamically quantized activations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantClassifierHead {
+    hidden: QuantDense,
+    output: QuantDense,
+}
+
+impl QuantClassifierHead {
+    /// Quantizes a trained head.
+    pub fn from_head(head: &ClassifierHead) -> Self {
+        let (hidden, output) = head.layers();
+        QuantClassifierHead {
+            hidden: QuantDense::from_dense(hidden),
+            output: QuantDense::from_dense(output),
+        }
+    }
+
+    /// Deployed storage bytes.
+    pub fn storage_bytes(&self) -> usize {
+        self.hidden.storage_bytes() + self.output.storage_bytes()
+    }
+
+    /// Multiply-accumulate count of one prediction.
+    pub fn flops(&self) -> u64 {
+        (self.hidden.input_dim() * self.hidden.output_dim()
+            + self.output.input_dim() * self.output.output_dim()) as u64
+    }
+
+    /// Probability that the feature vector is "sensitive", entirely on the
+    /// integer kernels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::ShapeMismatch`] if `plan.features` does not
+    /// match the head's input width.
+    pub fn predict_from_plan(&self, plan: &mut FeaturePlan) -> Result<f32> {
+        let x_scale = quantize_activations(&plan.features, &mut plan.act_q);
+        self.hidden
+            .forward_q(&plan.act_q, x_scale, &mut plan.acc, &mut plan.hidden)?;
+        for h in plan.hidden.iter_mut() {
+            *h = h.max(0.0);
+        }
+        let h_scale = quantize_activations(&plan.hidden, &mut plan.act_q);
+        self.output
+            .forward_q(&plan.act_q, h_scale, &mut plan.acc, &mut plan.out)?;
+        Ok(crate::layers::sigmoid(plan.out[0]))
+    }
+}
+
+/// The int8 deployment form of a trained [`SensitiveClassifier`] (CNN
+/// architecture): quantized embedding, fused convolutions, quantized
+/// head. Built **once** after training; every prediction afterwards runs
+/// allocation-free over a [`FeaturePlan`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantSensitiveClassifier {
+    extractor: QuantTextCnn,
+    head: QuantClassifierHead,
+    threshold: f32,
+}
+
+impl QuantSensitiveClassifier {
+    /// Converts a trained CNN classifier into its int8 deployment form.
+    /// Returns `None` for untrained classifiers and for the Transformer /
+    /// Hybrid architectures, whose attention blocks stay on the f32
+    /// baseline path (softmax and layer norm do not quantize per-tensor;
+    /// a ROADMAP follow-on).
+    pub fn from_trained(classifier: &SensitiveClassifier) -> Option<Self> {
+        if !classifier.is_trained() {
+            return None;
+        }
+        let (extractor, head) = classifier.parts();
+        let Extractor::Cnn(cnn) = extractor else {
+            return None;
+        };
+        Some(QuantSensitiveClassifier {
+            extractor: QuantTextCnn {
+                embedding: QuantEmbedding::from_embedding(cnn.embedding()),
+                convs: cnn.convs().iter().map(QuantConv1d::from_conv).collect(),
+            },
+            head: QuantClassifierHead::from_head(head),
+            threshold: classifier.config().threshold,
+        })
+    }
+
+    /// The decision threshold (inherited from the trained classifier).
+    pub fn threshold(&self) -> f32 {
+        self.threshold
+    }
+
+    /// Deployed model bytes: quantized weights plus f32 biases — the
+    /// number the TA charges to the secure carve-out.
+    pub fn memory_bytes(&self) -> usize {
+        self.extractor.storage_bytes() + self.head.storage_bytes()
+    }
+
+    /// Multiply-accumulate count of one inference over `len` tokens (the
+    /// int8 path performs the same MACs as the f32 path, each one
+    /// narrower; the platform cost model charges MACs, so virtual-time
+    /// accounting stays mode-independent).
+    pub fn flops_per_inference(&self, len: usize) -> u64 {
+        self.extractor.flops(len) + self.head.flops()
+    }
+
+    /// Probability that the token sequence is sensitive — the TA hot
+    /// path: quantized lookup, fused convolutions, integer head, zero
+    /// allocations on a warm plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::ShapeMismatch`] only on internal inconsistency.
+    pub fn predict_with(&self, tokens: &[usize], plan: &mut FeaturePlan) -> Result<f32> {
+        self.extractor.extract_into(tokens, plan);
+        self.head.predict_from_plan(plan)
+    }
+
+    /// Binary decision using the inherited threshold.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`QuantSensitiveClassifier::predict_with`].
+    pub fn is_sensitive_with(&self, tokens: &[usize], plan: &mut FeaturePlan) -> Result<bool> {
+        Ok(self.predict_with(tokens, plan)? >= self.threshold)
+    }
+}
+
+/// The int8 deployment form of a trained [`FrameCnn`]: integer patch
+/// pooling, a quantized 3x3 convolution bank over the patch-mean grid,
+/// and the quantized head.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantFrameCnn {
+    config: VisionConfig,
+    filters: QuantizedMatrix,
+    head: QuantClassifierHead,
+    threshold: f32,
+    featurizer_flops: u64,
+    featurizer_params: usize,
+}
+
+impl QuantFrameCnn {
+    /// Converts a trained frame classifier into its int8 deployment form.
+    /// Returns `None` for untrained classifiers.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a patch edge above 256 pixels: the integer pooling
+    /// accumulates squared pixel values in `u32`, which is exact only up
+    /// to `256 * 256 * 255^2`. (The f32 path has no such bound.)
+    pub fn from_trained(cnn: &FrameCnn) -> Option<Self> {
+        if !cnn.is_trained() {
+            return None;
+        }
+        assert!(
+            cnn.config().patch <= 256,
+            "int8 patch pooling supports patch edges up to 256 pixels, got {}",
+            cnn.config().patch
+        );
+        let (featurizer, head) = cnn.parts();
+        Some(QuantFrameCnn {
+            config: *cnn.config(),
+            filters: QuantizedMatrix::quantize(featurizer.filters()),
+            head: QuantClassifierHead::from_head(head),
+            threshold: cnn.threshold(),
+            featurizer_flops: featurizer.flops(),
+            featurizer_params: featurizer.parameter_count(),
+        })
+    }
+
+    /// Expected pixel-buffer length per frame.
+    pub fn frame_len(&self) -> usize {
+        self.config.width * self.config.height
+    }
+
+    /// The decision threshold (inherited from the trained classifier).
+    pub fn threshold(&self) -> f32 {
+        self.threshold
+    }
+
+    /// Deployed model bytes: quantized weights plus f32 biases.
+    pub fn memory_bytes(&self) -> usize {
+        self.filters.storage_bytes() + self.head.storage_bytes()
+    }
+
+    /// Multiply-accumulate count of one frame inference (same count as
+    /// the f32 path — see [`QuantSensitiveClassifier::flops_per_inference`]).
+    pub fn flops_per_inference(&self) -> u64 {
+        self.featurizer_flops + self.head.flops()
+    }
+
+    /// Featurizes one frame into `plan.features`: per-patch mean and
+    /// standard deviation (the f32 path's exact arithmetic — pooling
+    /// reads raw pixels and is mode-independent), then the quantized 3x3
+    /// convolution with ReLU + global max pooling fused into the rescale.
+    fn featurize_into(&self, pixels: &[u8], plan: &mut FeaturePlan) -> Result<()> {
+        if pixels.len() != self.frame_len() {
+            return Err(MlError::ShapeMismatch {
+                reason: format!(
+                    "frame has {} pixels, int8 featurizer expects {}x{}",
+                    pixels.len(),
+                    self.config.width,
+                    self.config.height
+                ),
+            });
+        }
+        let (cols, rows, patch) = (
+            self.config.grid_cols(),
+            self.config.grid_rows(),
+            self.config.patch,
+        );
+        plan.means.clear();
+        plan.means.resize(rows * cols, 0.0);
+        plan.stds.clear();
+        plan.stds.resize(rows * cols, 0.0);
+        // Patch pooling is *shared* cost — it reads raw pixels, which no
+        // weight quantization can shrink — and it dominates the per-frame
+        // budget, so the int8 frame path cannot approach the text path's
+        // speedup. Integer accumulation (exact sums, one divide and one
+        // square root per patch) measured slightly ahead of the f64 loop
+        // here. u32 is safe: [`QuantFrameCnn::from_trained`] rejects
+        // patch edges above 256, and 256 * 256 * 255^2 fits u32.
+        let n = (patch * patch) as f64;
+        for gy in 0..rows {
+            for gx in 0..cols {
+                let mut sum = 0u32;
+                let mut sum_sq = 0u32;
+                for py in 0..patch {
+                    let row = (gy * patch + py) * self.config.width + gx * patch;
+                    for &p in &pixels[row..row + patch] {
+                        let p = u32::from(p);
+                        sum += p;
+                        sum_sq += p * p;
+                    }
+                }
+                let mean = sum as f64 / (255.0 * n);
+                let mean_sq = sum_sq as f64 / (255.0 * 255.0 * n);
+                let var = (mean_sq - mean * mean).max(0.0);
+                plan.means[gy * cols + gx] = mean as f32;
+                plan.stds[gy * cols + gx] = var.sqrt() as f32;
+            }
+        }
+
+        // Quantize the patch-mean grid once, then run the integer 3x3
+        // convolution over the zero-padded grid.
+        let grid_scale = quantize_activations(&plan.means, &mut plan.act_q);
+        plan.features.clear();
+        plan.features.extend_from_slice(&plan.means);
+        plan.features.extend_from_slice(&plan.stds);
+        let rescale = grid_scale * self.filters.scale();
+        let grid = &plan.act_q;
+        let (icols, irows) = (cols as isize, rows as isize);
+        for ch in 0..self.filters.rows() {
+            let filter = self.filters.row(ch);
+            let mut best = 0.0f32; // ReLU folded into the max with 0
+            for gy in 0..irows {
+                for gx in 0..icols {
+                    let mut acc = 0i32;
+                    for ky in -1..=1isize {
+                        let y = gy + ky;
+                        if y < 0 || y >= irows {
+                            continue;
+                        }
+                        for kx in -1..=1isize {
+                            let x = gx + kx;
+                            if x < 0 || x >= icols {
+                                continue;
+                            }
+                            let w = filter[((ky + 1) * 3 + (kx + 1)) as usize];
+                            acc += i32::from(w) * i32::from(grid[(y * icols + x) as usize]);
+                        }
+                    }
+                    best = best.max(acc as f32 * rescale);
+                }
+            }
+            plan.features.push(best);
+        }
+        Ok(())
+    }
+
+    /// Probability that the frame shows sensitive content — the vision
+    /// TA's int8 per-frame hot path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::ShapeMismatch`] for frames of the wrong
+    /// geometry.
+    pub fn predict_with(&self, pixels: &[u8], plan: &mut FeaturePlan) -> Result<f32> {
+        self.featurize_into(pixels, plan)?;
+        self.head.predict_from_plan(plan)
+    }
+
+    /// Binary decision using the inherited threshold.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`QuantFrameCnn::predict_with`].
+    pub fn is_sensitive_with(&self, pixels: &[u8], plan: &mut FeaturePlan) -> Result<bool> {
+        Ok(self.predict_with(pixels, plan)? >= self.threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::{Architecture, TrainConfig};
+    use crate::head::HeadTrainConfig;
+
+    fn token_corpus(n: usize, seed: u64) -> Vec<(Vec<usize>, bool)> {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let len = rng.gen_range(4..12);
+                let sensitive = rng.gen_bool(0.5);
+                let mut tokens: Vec<usize> = (0..len).map(|_| rng.gen_range(8..64)).collect();
+                if sensitive {
+                    tokens[0] = rng.gen_range(0..8);
+                    tokens[len / 2] = rng.gen_range(0..8);
+                }
+                (tokens, sensitive)
+            })
+            .collect()
+    }
+
+    fn trained_cnn() -> SensitiveClassifier {
+        let mut c = SensitiveClassifier::new(Architecture::Cnn, TrainConfig::small(64));
+        c.fit(&token_corpus(200, 3)).unwrap();
+        c
+    }
+
+    #[test]
+    fn untrained_and_non_cnn_classifiers_do_not_convert() {
+        let untrained = SensitiveClassifier::new(Architecture::Cnn, TrainConfig::small(64));
+        assert!(QuantSensitiveClassifier::from_trained(&untrained).is_none());
+        let mut transformer =
+            SensitiveClassifier::new(Architecture::Transformer, TrainConfig::small(64));
+        transformer.fit(&token_corpus(60, 4)).unwrap();
+        assert!(QuantSensitiveClassifier::from_trained(&transformer).is_none());
+    }
+
+    #[test]
+    fn int8_classifier_tracks_the_f32_classifier() {
+        let f32_model = trained_cnn();
+        let int8 = QuantSensitiveClassifier::from_trained(&f32_model).unwrap();
+        let mut plan = FeaturePlan::new();
+        let test = token_corpus(120, 5);
+        let mut agree = 0usize;
+        let mut max_delta = 0f32;
+        for (tokens, _) in &test {
+            let p_f32 = f32_model.predict(tokens).unwrap();
+            let p_int8 = int8.predict_with(tokens, &mut plan).unwrap();
+            max_delta = max_delta.max((p_f32 - p_int8).abs());
+            if (p_f32 >= 0.5) == (p_int8 >= int8.threshold()) {
+                agree += 1;
+            }
+        }
+        assert!(
+            max_delta < 0.2,
+            "int8 probabilities drifted too far: {max_delta}"
+        );
+        assert!(
+            agree as f64 / test.len() as f64 > 0.97,
+            "decisions diverge: {agree}/{}",
+            test.len()
+        );
+        // Deterministic across calls and plans.
+        let mut other_plan = FeaturePlan::new();
+        let (tokens, _) = &test[0];
+        assert_eq!(
+            int8.predict_with(tokens, &mut plan).unwrap(),
+            int8.predict_with(tokens, &mut other_plan).unwrap()
+        );
+        // Degenerate inputs do not panic.
+        for degenerate in [vec![], vec![1usize], vec![999usize; 3]] {
+            assert!(int8.predict_with(&degenerate, &mut plan).is_ok());
+        }
+    }
+
+    #[test]
+    fn int8_residency_is_about_four_times_smaller() {
+        let f32_model = trained_cnn();
+        let int8 = QuantSensitiveClassifier::from_trained(&f32_model).unwrap();
+        let ratio = f32_model.memory_bytes_f32() as f64 / int8.memory_bytes() as f64;
+        assert!(
+            ratio > 3.0 && ratio < 4.5,
+            "unexpected compression ratio {ratio:.2}"
+        );
+        assert_eq!(
+            int8.flops_per_inference(8),
+            f32_model.flops_per_inference(8)
+        );
+    }
+
+    fn frame_corpus(n: usize) -> Vec<(Vec<u8>, bool)> {
+        let config = VisionConfig::smart_home();
+        (0..n)
+            .map(|i| {
+                let sensitive = i % 2 == 0;
+                let pixels: Vec<u8> = (0..config.width * config.height)
+                    .map(|idx| {
+                        let y = idx / config.width;
+                        if sensitive {
+                            if y % 4 < 2 {
+                                230
+                            } else {
+                                40
+                            }
+                        } else {
+                            118 + ((idx * 7) % 5) as u8
+                        }
+                    })
+                    .collect();
+                (pixels, sensitive)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn int8_frame_cnn_tracks_the_f32_frame_cnn() {
+        let corpus = frame_corpus(60);
+        let mut cnn = FrameCnn::new(VisionConfig::smart_home());
+        assert!(QuantFrameCnn::from_trained(&cnn).is_none());
+        cnn.fit(&corpus).unwrap();
+        let int8 = QuantFrameCnn::from_trained(&cnn).unwrap();
+        assert!(int8.memory_bytes() < cnn.memory_bytes_f32());
+        assert_eq!(int8.flops_per_inference(), cnn.flops_per_inference());
+        let mut plan = FeaturePlan::new();
+        let mut agree = 0usize;
+        for (pixels, label) in &corpus {
+            let p_f32 = cnn.predict(pixels).unwrap();
+            let p_int8 = int8.predict_with(pixels, &mut plan).unwrap();
+            assert!(
+                (p_f32 - p_int8).abs() < 0.25,
+                "frame probability drifted: {p_f32} vs {p_int8}"
+            );
+            if int8.is_sensitive_with(pixels, &mut plan).unwrap() == *label {
+                agree += 1;
+            }
+        }
+        assert!(
+            agree as f64 / corpus.len() as f64 > 0.9,
+            "int8 frame accuracy too low: {agree}/{}",
+            corpus.len()
+        );
+        // Wrong geometry is rejected.
+        assert!(int8.predict_with(&[0u8; 3], &mut plan).is_err());
+    }
+
+    #[test]
+    fn quant_head_matches_fake_quantized_reference_closely() {
+        // The quantized head against the f32 head on the same features.
+        let mut head = ClassifierHead::new(12, 16, 9);
+        let features: Vec<crate::tensor::Matrix> = (0..80)
+            .map(|i| crate::tensor::Matrix::random(1, 12, 1.0, 100 + i))
+            .collect();
+        let labels: Vec<bool> = features
+            .iter()
+            .map(|f| f.data().iter().sum::<f32>() > 0.0)
+            .collect();
+        head.train(&features, &labels, &HeadTrainConfig::default())
+            .unwrap();
+        let quant = QuantClassifierHead::from_head(&head);
+        let mut plan = FeaturePlan::new();
+        for f in &features {
+            plan.features.clear();
+            plan.features.extend_from_slice(f.row(0));
+            let p_q = quant.predict_from_plan(&mut plan).unwrap();
+            let p_f = head.predict(f).unwrap();
+            assert!((p_q - p_f).abs() < 0.1, "head drifted: {p_f} vs {p_q}");
+        }
+        assert!(quant.storage_bytes() > 0);
+        assert!(quant.flops() > 0);
+    }
+}

@@ -150,6 +150,11 @@ impl Embedding {
         &mut self.table
     }
 
+    /// Read access to the embedding table (used by int8 conversion).
+    pub(crate) fn table(&self) -> &Matrix {
+        &self.table
+    }
+
     /// Looks up a token sequence, producing a `len x dim` matrix. Unknown
     /// token ids map to the zero vector.
     pub fn lookup(&self, tokens: &[usize]) -> Matrix {
@@ -261,6 +266,11 @@ impl Conv1d {
     /// Number of output channels.
     pub fn channels(&self) -> usize {
         self.filters.rows()
+    }
+
+    /// Embedding width the filters were built for.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
     }
 
     /// Number of parameters.

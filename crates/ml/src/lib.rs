@@ -22,7 +22,12 @@
 //!   an extractor and a head, trains on a labelled token corpus, predicts,
 //!   and reports quality metrics and resource footprints;
 //! * [`quant`] — 8-bit post-training quantization, the paper's "smaller ML
-//!   models" mitigation for tight secure memory;
+//!   models" mitigation for tight secure memory, plus the fused
+//!   i8 x i8 -> i32 matmul kernel and the [`quant::QuantMode`] knob;
+//! * [`int8`] — the integer inference engine: quantized deployment forms
+//!   of the TA classifiers whose forward passes never dequantize;
+//! * [`plan`] — the reusable [`plan::FeaturePlan`] scratch that makes
+//!   steady-state TA inference allocation-free;
 //! * [`mfcc`] — framing, FFT, mel filterbank and DCT for audio features;
 //! * [`stt`] — a lightweight keyword speech-to-text model (template
 //!   matching over MFCC features) standing in for the pre-trained speech
@@ -48,16 +53,21 @@
 
 pub mod classifier;
 pub mod head;
+pub mod int8;
 pub mod layers;
 pub mod mfcc;
 pub mod models;
+pub mod plan;
 pub mod quant;
 pub mod stt;
 pub mod tensor;
 pub mod vision;
 
 pub use classifier::{Architecture, ClassifierMetrics, SensitiveClassifier, TrainConfig};
+pub use int8::{QuantFrameCnn, QuantSensitiveClassifier};
 pub use mfcc::{MfccConfig, MfccExtractor};
+pub use plan::FeaturePlan;
+pub use quant::QuantMode;
 pub use stt::{KeywordStt, Transcript};
 pub use tensor::Matrix;
 pub use vision::{FrameCnn, FrameFeaturizer, VisionConfig};

@@ -7,6 +7,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::plan::FeaturePlan;
 use crate::tensor::Matrix;
 
 /// Configuration of the MFCC front-end.
@@ -47,55 +48,101 @@ impl Default for MfccConfig {
     }
 }
 
-/// In-place iterative radix-2 FFT over interleaved (re, im) pairs.
+/// In-place iterative radix-2 FFT over interleaved (re, im) pairs
+/// (one-shot plan; the extractor holds a persistent [`FftPlan`]).
 ///
 /// # Panics
 ///
 /// Panics if the length is not a power of two (guarded by the extractor).
+#[cfg(test)]
 fn fft_radix2(re: &mut [f64], im: &mut [f64]) {
     let n = re.len();
-    assert!(n.is_power_of_two(), "fft length must be a power of two");
-    if n <= 1 {
-        return;
-    }
-    // Bit-reversal permutation.
-    let mut j = 0usize;
-    for i in 1..n {
-        let mut bit = n >> 1;
-        while j & bit != 0 {
-            j ^= bit;
-            bit >>= 1;
-        }
-        j |= bit;
-        if i < j {
-            re.swap(i, j);
-            im.swap(i, j);
-        }
-    }
-    // Butterflies.
-    let mut len = 2;
-    while len <= n {
-        let angle = -2.0 * std::f64::consts::PI / len as f64;
-        let (w_re, w_im) = (angle.cos(), angle.sin());
-        let mut i = 0;
-        while i < n {
-            let (mut cur_re, mut cur_im) = (1.0f64, 0.0f64);
-            for k in 0..len / 2 {
-                let even_re = re[i + k];
-                let even_im = im[i + k];
-                let odd_re = re[i + k + len / 2] * cur_re - im[i + k + len / 2] * cur_im;
-                let odd_im = re[i + k + len / 2] * cur_im + im[i + k + len / 2] * cur_re;
-                re[i + k] = even_re + odd_re;
-                im[i + k] = even_im + odd_im;
-                re[i + k + len / 2] = even_re - odd_re;
-                im[i + k + len / 2] = even_im - odd_im;
-                let next_re = cur_re * w_re - cur_im * w_im;
-                cur_im = cur_re * w_im + cur_im * w_re;
-                cur_re = next_re;
+    let plan = FftPlan::new(n);
+    plan.run(re, im);
+}
+
+/// The precomputed constants of one radix-2 FFT size: the bit-reversal
+/// permutation and the incremental twiddle rotations per butterfly stage.
+/// Building the plan costs one pass of trigonometry at extractor
+/// construction; every subsequent frame reuses it — the FFT hot loop
+/// performs no `sin`/`cos` at all.
+#[derive(Debug, Clone)]
+struct FftPlan {
+    n: usize,
+    /// Swap targets of the bit-reversal permutation (`i < j` pairs only).
+    swaps: Vec<(u32, u32)>,
+    /// Per stage (len = 2, 4, ..., n): the stage's unit rotation.
+    stage_rotations: Vec<(f64, f64)>,
+}
+
+impl FftPlan {
+    fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two(), "fft length must be a power of two");
+        let mut swaps = Vec::new();
+        let mut j = 0usize;
+        for i in 1..n {
+            let mut bit = n >> 1;
+            while j & bit != 0 {
+                j ^= bit;
+                bit >>= 1;
             }
-            i += len;
+            j |= bit;
+            if i < j {
+                swaps.push((i as u32, j as u32));
+            }
         }
-        len <<= 1;
+        let mut stage_rotations = Vec::new();
+        let mut len = 2usize;
+        while len <= n {
+            let angle = -2.0 * std::f64::consts::PI / len as f64;
+            stage_rotations.push((angle.cos(), angle.sin()));
+            len <<= 1;
+        }
+        FftPlan {
+            n,
+            swaps,
+            stage_rotations,
+        }
+    }
+
+    /// Runs the planned FFT in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffers differ from the planned length.
+    fn run(&self, re: &mut [f64], im: &mut [f64]) {
+        let n = self.n;
+        assert_eq!(re.len(), n, "fft buffer does not match the plan");
+        assert_eq!(im.len(), n, "fft buffer does not match the plan");
+        if n <= 1 {
+            return;
+        }
+        for &(i, j) in &self.swaps {
+            re.swap(i as usize, j as usize);
+            im.swap(i as usize, j as usize);
+        }
+        let mut len = 2usize;
+        for &(w_re, w_im) in &self.stage_rotations {
+            let mut i = 0;
+            while i < n {
+                let (mut cur_re, mut cur_im) = (1.0f64, 0.0f64);
+                for k in 0..len / 2 {
+                    let even_re = re[i + k];
+                    let even_im = im[i + k];
+                    let odd_re = re[i + k + len / 2] * cur_re - im[i + k + len / 2] * cur_im;
+                    let odd_im = re[i + k + len / 2] * cur_im + im[i + k + len / 2] * cur_re;
+                    re[i + k] = even_re + odd_re;
+                    im[i + k] = even_im + odd_im;
+                    re[i + k + len / 2] = even_re - odd_re;
+                    im[i + k + len / 2] = even_im - odd_im;
+                    let next_re = cur_re * w_re - cur_im * w_im;
+                    cur_im = cur_re * w_im + cur_im * w_re;
+                    cur_re = next_re;
+                }
+                i += len;
+            }
+            len <<= 1;
+        }
     }
 }
 
@@ -108,11 +155,21 @@ fn mel_to_hz(mel: f64) -> f64 {
 }
 
 /// The MFCC front-end.
+///
+/// Construction precomputes every constant of the pipeline — the Hamming
+/// window, the mel filterbank taps, the FFT plan (bit-reversal +
+/// twiddles) and the DCT-II basis — so extraction touches no
+/// trigonometry. Paired with a [`FeaturePlan`]'s scratch buffers
+/// ([`MfccExtractor::extract_into`]), a warm extractor processes frames
+/// with **zero** heap allocations.
 #[derive(Debug, Clone)]
 pub struct MfccExtractor {
     config: MfccConfig,
     window: Vec<f64>,
     filterbank: Vec<Vec<(usize, f64)>>,
+    fft: FftPlan,
+    /// DCT-II basis, row-major `n_coeffs x n_mels`.
+    dct: Vec<f64>,
 }
 
 impl MfccExtractor {
@@ -163,10 +220,20 @@ impl MfccExtractor {
             }
             filterbank.push(taps);
         }
+        let dct = (0..config.n_coeffs)
+            .flat_map(|c| {
+                (0..config.n_mels).map(move |m| {
+                    (std::f64::consts::PI * c as f64 * (m as f64 + 0.5) / config.n_mels as f64)
+                        .cos()
+                })
+            })
+            .collect();
         MfccExtractor {
             config,
             window,
             filterbank,
+            fft: FftPlan::new(config.frame_len),
+            dct,
         }
     }
 
@@ -186,64 +253,88 @@ impl MfccExtractor {
 
     /// Per-frame RMS energy (used for voice-activity segmentation).
     pub fn frame_energies(&self, samples: &[i16]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.frame_energies_into(samples, &mut out);
+        out
+    }
+
+    /// [`MfccExtractor::frame_energies`] into a caller-owned buffer —
+    /// allocation-free once the buffer is warm.
+    pub fn frame_energies_into(&self, samples: &[i16], out: &mut Vec<f64>) {
         let frames = self.frame_count(samples.len());
-        (0..frames)
-            .map(|f| {
-                let start = f * self.config.hop_len;
-                let frame = &samples[start..start + self.config.frame_len];
-                let sum_sq: f64 = frame
-                    .iter()
-                    .map(|&s| {
-                        let v = s as f64 / i16::MAX as f64;
-                        v * v
-                    })
-                    .sum();
-                (sum_sq / frame.len() as f64).sqrt()
-            })
-            .collect()
+        out.clear();
+        out.extend((0..frames).map(|f| {
+            let start = f * self.config.hop_len;
+            let frame = &samples[start..start + self.config.frame_len];
+            let sum_sq: f64 = frame
+                .iter()
+                .map(|&s| {
+                    let v = s as f64 / i16::MAX as f64;
+                    v * v
+                })
+                .sum();
+            (sum_sq / frame.len() as f64).sqrt()
+        }));
     }
 
     /// Extracts MFCC features: one row per frame, `n_coeffs` columns.
     /// Returns an empty (0-row) matrix for audio shorter than one frame.
     pub fn extract(&self, samples: &[i16]) -> Matrix {
+        let mut plan = FeaturePlan::new();
+        let frames = self.extract_into(samples, &mut plan);
+        Matrix::from_vec(frames, self.config.n_coeffs, plan.mfcc)
+            .expect("extract_into produced a full feature grid")
+    }
+
+    /// Extracts MFCC features into the plan's scratch: on return,
+    /// `plan.mfcc` holds the features row-major (`frames x n_coeffs`) and
+    /// the frame count is returned. The arithmetic is identical to
+    /// [`MfccExtractor::extract`]; the difference is that a warm plan
+    /// makes the call allocation-free — the per-frame FFT, power, mel and
+    /// DCT buffers are all reused.
+    pub fn extract_into(&self, samples: &[i16], plan: &mut FeaturePlan) -> usize {
         let frames = self.frame_count(samples.len());
-        let mut out = Matrix::zeros(frames, self.config.n_coeffs);
         let n_bins = self.config.frame_len / 2;
+        plan.mfcc.clear();
+        plan.mfcc.resize(frames * self.config.n_coeffs, 0.0);
         for f in 0..frames {
             let start = f * self.config.hop_len;
             let frame = &samples[start..start + self.config.frame_len];
-            // Window + FFT.
-            let mut re: Vec<f64> = frame
-                .iter()
-                .zip(self.window.iter())
-                .map(|(&s, &w)| s as f64 / i16::MAX as f64 * w)
-                .collect();
-            let mut im = vec![0.0f64; self.config.frame_len];
-            fft_radix2(&mut re, &mut im);
+            // Window + FFT (planned: no trig, no allocation).
+            plan.fft_re.clear();
+            plan.fft_re.extend(
+                frame
+                    .iter()
+                    .zip(self.window.iter())
+                    .map(|(&s, &w)| s as f64 / i16::MAX as f64 * w),
+            );
+            plan.fft_im.clear();
+            plan.fft_im.resize(self.config.frame_len, 0.0);
+            self.fft.run(&mut plan.fft_re, &mut plan.fft_im);
             // Power spectrum (first half).
-            let power: Vec<f64> = (0..n_bins).map(|b| re[b] * re[b] + im[b] * im[b]).collect();
+            plan.power.clear();
+            plan.power.extend(
+                (0..n_bins)
+                    .map(|b| plan.fft_re[b] * plan.fft_re[b] + plan.fft_im[b] * plan.fft_im[b]),
+            );
             // Mel filterbank energies, log compressed.
-            let log_mel: Vec<f64> = self
-                .filterbank
-                .iter()
-                .map(|taps| {
-                    let e: f64 = taps.iter().map(|&(b, w)| power[b] * w).sum();
-                    (e + 1e-10).ln()
-                })
-                .collect();
-            // DCT-II to cepstral coefficients.
-            for c in 0..self.config.n_coeffs {
+            plan.log_mel.clear();
+            plan.log_mel.extend(self.filterbank.iter().map(|taps| {
+                let e: f64 = taps.iter().map(|&(b, w)| plan.power[b] * w).sum();
+                (e + 1e-10).ln()
+            }));
+            // DCT-II to cepstral coefficients via the precomputed basis.
+            let row = &mut plan.mfcc[f * self.config.n_coeffs..(f + 1) * self.config.n_coeffs];
+            for (c, out) in row.iter_mut().enumerate() {
+                let basis = &self.dct[c * self.config.n_mels..(c + 1) * self.config.n_mels];
                 let mut acc = 0.0;
-                for (m, &lm) in log_mel.iter().enumerate() {
-                    acc += lm
-                        * (std::f64::consts::PI * c as f64 * (m as f64 + 0.5)
-                            / self.config.n_mels as f64)
-                            .cos();
+                for (&lm, &b) in plan.log_mel.iter().zip(basis) {
+                    acc += lm * b;
                 }
-                out.set(f, c, acc as f32);
+                *out = acc as f32;
             }
         }
-        out
+        frames
     }
 
     /// Mean MFCC vector over all frames (zero vector if no frames).
@@ -296,6 +387,22 @@ mod tests {
             (peak_bin as i64 - expected_bin as i64).abs() <= 1,
             "peak at bin {peak_bin}, expected {expected_bin}"
         );
+    }
+
+    #[test]
+    fn planned_extraction_reuses_scratch_and_matches() {
+        let ex = MfccExtractor::new(MfccConfig::speech_16khz());
+        let mut plan = crate::plan::FeaturePlan::new();
+        for freq in [300.0, 1_000.0, 2_400.0] {
+            let samples = tone(freq, 4_096, 16_000.0, 0.7);
+            let frames = ex.extract_into(&samples, &mut plan);
+            let reference = ex.extract(&samples);
+            assert_eq!(frames, reference.rows());
+            assert_eq!(plan.mfcc, reference.data());
+            let mut energies = Vec::new();
+            ex.frame_energies_into(&samples, &mut energies);
+            assert_eq!(energies, ex.frame_energies(&samples));
+        }
     }
 
     #[test]

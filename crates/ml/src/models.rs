@@ -117,6 +117,14 @@ impl TextCnn {
     pub(crate) fn convs_mut(&mut self) -> &mut [Conv1d] {
         &mut self.convs
     }
+
+    pub(crate) fn embedding(&self) -> &Embedding {
+        &self.embedding
+    }
+
+    pub(crate) fn convs(&self) -> &[Conv1d] {
+        &self.convs
+    }
 }
 
 impl FeatureExtractor for TextCnn {

@@ -11,6 +11,32 @@ use serde::{Deserialize, Serialize};
 
 use crate::classifier::{visit_matrices, SensitiveClassifier};
 use crate::tensor::Matrix;
+use crate::{MlError, Result};
+
+/// Which numeric representation a TA runs its classifier in.
+///
+/// `Int8` is the production default: weights stay quantized in secure RAM
+/// (~4x smaller residency) and the forward pass runs on the fused
+/// i8 x i8 -> i32 kernels — no dequantization on the hot path. `F32` keeps
+/// the full-precision path as the accuracy baseline experiments compare
+/// against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum QuantMode {
+    /// Full-precision f32 weights and arithmetic (the accuracy baseline).
+    F32,
+    /// Quantized int8 weights with fused integer kernels (the fast path).
+    #[default]
+    Int8,
+}
+
+impl std::fmt::Display for QuantMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuantMode::F32 => write!(f, "f32"),
+            QuantMode::Int8 => write!(f, "int8"),
+        }
+    }
+}
 
 /// A symmetric per-tensor int8 quantization of a weight matrix.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -46,9 +72,11 @@ impl QuantizedMatrix {
         Matrix::from_vec(self.rows, self.cols, data).expect("shape preserved by construction")
     }
 
-    /// Storage size in bytes (int8 values + the scale).
+    /// Storage size in bytes: the int8 values, the scale, **and** the
+    /// `rows`/`cols` header fields — a deployed quantized matrix carries
+    /// its shape, so footprint reports must not pretend otherwise.
     pub fn storage_bytes(&self) -> usize {
-        self.values.len() + 4
+        self.values.len() + 4 + 2 * std::mem::size_of::<usize>()
     }
 
     /// Number of quantized values.
@@ -60,6 +88,109 @@ impl QuantizedMatrix {
     pub fn is_empty(&self) -> bool {
         self.values.is_empty()
     }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The per-tensor scale (`x ~= q * scale`).
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// The quantized values, row-major.
+    pub fn values(&self) -> &[i8] {
+        &self.values
+    }
+
+    /// Row `r` of the quantized values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn row(&self, r: usize) -> &[i8] {
+        assert!(r < self.rows, "row {r} out of range");
+        &self.values[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The fused integer matmul: `out[c] = (sum_k x_q[k] * w_q[k][c]) *
+    /// (x_scale * w_scale)` — i8 x i8 multiplies accumulated in i32,
+    /// rescaled **once** at the end. No f32 weight reconstruction, no
+    /// allocation: `acc` and `out` are caller-owned scratch (resized, not
+    /// reallocated, once warm). The loop is row-major blocked like
+    /// [`Matrix::matmul`]: `k` outer over weight rows, `c` inner over the
+    /// contiguous row, with zero activations skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::ShapeMismatch`] if `x_q.len() != rows`.
+    pub fn matmul_i8(
+        &self,
+        x_q: &[i8],
+        x_scale: f32,
+        acc: &mut Vec<i32>,
+        out: &mut Vec<f32>,
+    ) -> Result<()> {
+        if x_q.len() != self.rows {
+            return Err(MlError::ShapeMismatch {
+                reason: format!(
+                    "int8 matmul expects {} activations, got {}",
+                    self.rows,
+                    x_q.len()
+                ),
+            });
+        }
+        acc.clear();
+        acc.resize(self.cols, 0);
+        for (k, &x) in x_q.iter().enumerate() {
+            if x == 0 {
+                continue;
+            }
+            let x = i32::from(x);
+            let row = &self.values[k * self.cols..(k + 1) * self.cols];
+            for (a, &w) in acc.iter_mut().zip(row) {
+                *a += x * i32::from(w);
+            }
+        }
+        let rescale = x_scale * self.scale;
+        out.clear();
+        out.extend(acc.iter().map(|&a| a as f32 * rescale));
+        Ok(())
+    }
+}
+
+/// Integer dot product of two i8 slices with i32 accumulation — the inner
+/// kernel of the fused convolutions. Slices are truncated to the shorter
+/// length (callers guarantee equal lengths; the zip makes that safe).
+#[inline]
+pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &w)| i32::from(x) * i32::from(w))
+        .sum()
+}
+
+/// Symmetric per-tensor quantization of an activation slice into
+/// caller-owned scratch: `q = round(x / scale)` with `scale = max|x| / 127`.
+/// Returns the scale (1.0 for an all-zero input, like
+/// [`QuantizedMatrix::quantize`]).
+pub fn quantize_activations(input: &[f32], out: &mut Vec<i8>) -> f32 {
+    let max_abs = input.iter().fold(0f32, |acc, v| acc.max(v.abs()));
+    let scale = if max_abs == 0.0 { 1.0 } else { max_abs / 127.0 };
+    let inv = 1.0 / scale;
+    out.clear();
+    out.extend(
+        input
+            .iter()
+            .map(|&v| (v * inv).round().clamp(-127.0, 127.0) as i8),
+    );
+    scale
 }
 
 /// Report of a whole-model quantization.
@@ -148,7 +279,59 @@ mod tests {
             );
         }
         assert_eq!(q.len(), 256);
-        assert_eq!(q.storage_bytes(), 256 + 4);
+        // Values + scale + the rows/cols shape header.
+        assert_eq!(
+            q.storage_bytes(),
+            256 + 4 + 2 * std::mem::size_of::<usize>()
+        );
+    }
+
+    #[test]
+    fn fused_matmul_matches_dequantized_reference() {
+        let w = Matrix::random(16, 8, 1.5, 21);
+        let q = QuantizedMatrix::quantize(&w);
+        let x: Vec<f32> = (0..16).map(|i| (i as f32 - 8.0) * 0.25).collect();
+        let mut x_q = Vec::new();
+        let x_scale = quantize_activations(&x, &mut x_q);
+        let mut acc = Vec::new();
+        let mut out = Vec::new();
+        q.matmul_i8(&x_q, x_scale, &mut acc, &mut out).unwrap();
+        // Reference: dequantized-weight f32 matmul over quantized inputs.
+        let deq = q.dequantize();
+        for (c, &got) in out.iter().enumerate() {
+            let want: f32 = (0..16)
+                .map(|k| x_q[k] as f32 * x_scale * deq.get(k, c))
+                .sum();
+            assert!(
+                (got - want).abs() < 1e-4,
+                "col {c}: fused {got} vs reference {want}"
+            );
+        }
+        // Shape mismatch is rejected, not mangled.
+        assert!(q.matmul_i8(&x_q[..4], x_scale, &mut acc, &mut out).is_err());
+    }
+
+    #[test]
+    fn activation_quantization_round_trips_within_half_step() {
+        let x: Vec<f32> = (0..64)
+            .map(|i| ((i * 37) % 23) as f32 / 7.0 - 1.5)
+            .collect();
+        let mut q = Vec::new();
+        let scale = quantize_activations(&x, &mut q);
+        for (&orig, &quant) in x.iter().zip(&q) {
+            assert!((orig - quant as f32 * scale).abs() <= scale * 0.5 + 1e-6);
+        }
+        // All-zero input keeps a benign scale.
+        assert_eq!(quantize_activations(&[0.0; 4], &mut q), 1.0);
+        assert!(q.iter().all(|&v| v == 0));
+        assert_eq!(dot_i8(&[1, -2, 3], &[4, 5, 6]), 4 - 10 + 18);
+    }
+
+    #[test]
+    fn quant_mode_defaults_to_int8() {
+        assert_eq!(QuantMode::default(), QuantMode::Int8);
+        assert_eq!(QuantMode::Int8.to_string(), "int8");
+        assert_eq!(QuantMode::F32.to_string(), "f32");
     }
 
     #[test]

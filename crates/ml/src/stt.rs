@@ -16,6 +16,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::mfcc::{MfccConfig, MfccExtractor};
+use crate::plan::FeaturePlan;
 use crate::{MlError, Result};
 
 /// A transcribed utterance.
@@ -256,6 +257,109 @@ impl KeywordStt {
             .filter_map(|w| self.token_of(w))
             .collect()
     }
+
+    /// [`KeywordStt::voiced_mean`] into the plan's scratch buffers — the
+    /// identical arithmetic, with the MFCC features, frame energies and
+    /// the mean vector all reused across calls. The result lives in
+    /// `plan.mean` afterwards.
+    fn voiced_mean_with(&self, samples: &[i16], plan: &mut FeaturePlan) {
+        let frames = self.extractor.extract_into(samples, plan);
+        let n_coeffs = self.config.mfcc.n_coeffs.max(1);
+        self.extractor
+            .frame_energies_into(samples, &mut plan.energies);
+        plan.mean.clear();
+        plan.mean.resize(n_coeffs, 0.0);
+        let mut voiced = 0usize;
+        for frame in 0..frames.min(plan.energies.len()) {
+            if plan.energies[frame] > self.config.vad_threshold {
+                let row = &plan.mfcc[frame * n_coeffs..(frame + 1) * n_coeffs];
+                for (acc, &v) in plan.mean.iter_mut().zip(row) {
+                    *acc += v;
+                }
+                voiced += 1;
+            }
+        }
+        if voiced == 0 {
+            // The fallback of the allocating path: the plain mean over all
+            // frames (zero vector when there are none).
+            if frames > 0 {
+                for frame in 0..frames {
+                    let row = &plan.mfcc[frame * n_coeffs..(frame + 1) * n_coeffs];
+                    for (acc, &v) in plan.mean.iter_mut().zip(row) {
+                        *acc += v;
+                    }
+                }
+                for v in &mut plan.mean {
+                    *v /= frames as f32;
+                }
+            }
+            return;
+        }
+        for v in &mut plan.mean {
+            *v /= voiced as f32;
+        }
+    }
+
+    /// [`KeywordStt::transcribe_to_tokens`] over a caller-owned
+    /// [`FeaturePlan`]: the same segmentation, template matching and tie
+    /// handling, with the MFCC, energy, segment-bound and mean buffers
+    /// all coming from the plan, and no word strings materialized — the
+    /// winning template's index *is* the token id. The returned token
+    /// list is the one remaining per-window allocation (it outlives the
+    /// plan's scratch in the TA's policy stage). This is the path the
+    /// filter TA drives once per capture window.
+    pub fn transcribe_to_tokens_with(&self, samples: &[i16], plan: &mut FeaturePlan) -> Vec<usize> {
+        self.extractor
+            .frame_energies_into(samples, &mut plan.energies);
+        // Inline segmentation over the scratch energies (the same state
+        // machine as `segment`).
+        let mut tokens = Vec::new();
+        let mut start: Option<usize> = None;
+        plan.bounds.clear();
+        for (i, &e) in plan.energies.iter().enumerate() {
+            let speech = e > self.config.vad_threshold;
+            match (speech, start) {
+                (true, None) => start = Some(i),
+                (false, Some(s)) => {
+                    if i - s >= self.config.min_segment_frames {
+                        plan.bounds.push((s, i));
+                    }
+                    start = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(s) = start {
+            if plan.energies.len() - s >= self.config.min_segment_frames {
+                plan.bounds.push((s, plan.energies.len()));
+            }
+        }
+        let bounds = std::mem::take(&mut plan.bounds);
+        for &(start_frame, end_frame) in &bounds {
+            let seg_start = start_frame * self.config.mfcc.hop_len;
+            let seg_end = (end_frame * self.config.mfcc.hop_len + self.config.mfcc.frame_len)
+                .min(samples.len());
+            if seg_end <= seg_start {
+                continue;
+            }
+            self.voiced_mean_with(&samples[seg_start..seg_end], plan);
+            let best = self
+                .templates
+                .iter()
+                .enumerate()
+                .map(|(token, (_, template))| (token, Self::cosine(&plan.mean, template)))
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+            if let Some((token, similarity)) = best {
+                if similarity >= self.config.confidence_floor {
+                    tokens.push(token);
+                }
+            }
+        }
+        // Hand the bounds buffer (taken above so `voiced_mean_with` can
+        // borrow the plan mutably) back to the plan for the next window.
+        plan.bounds = bounds;
+        tokens
+    }
 }
 
 #[cfg(test)]
@@ -331,6 +435,27 @@ mod tests {
         assert_eq!(stt.transcribe_to_tokens(&samples), vec![2, 5, 1]);
         assert!(transcript.mean_confidence() > 0.5);
         assert_eq!(transcript.text(), "word2 word5 word1");
+    }
+
+    #[test]
+    fn planned_transcription_matches_the_allocating_path() {
+        let vocab = vocabulary(10);
+        let stt = KeywordStt::train(&vocab, SttConfig::default()).unwrap();
+        let mut plan = crate::plan::FeaturePlan::new();
+        // Several different utterances reuse the same plan; results must
+        // match the allocating path word for word, including empty audio.
+        let mut samples = Vec::new();
+        for &word in &[7usize, 0, 3] {
+            samples.extend(silence(1_600));
+            samples.extend(&vocab[word].1);
+        }
+        samples.extend(silence(1_600));
+        for case in [&samples[..], &vocab[4].1[..], &silence(8_000)[..], &[]] {
+            assert_eq!(
+                stt.transcribe_to_tokens_with(case, &mut plan),
+                stt.transcribe_to_tokens(case),
+            );
+        }
     }
 
     #[test]

@@ -108,6 +108,21 @@ impl FrameFeaturizer {
     /// Returns [`MlError::ShapeMismatch`] if `pixels` does not match the
     /// configured geometry.
     pub fn extract(&self, pixels: &[u8]) -> Result<Matrix> {
+        let mut plan = crate::plan::FeaturePlan::new();
+        self.extract_into(pixels, &mut plan)?;
+        Matrix::from_vec(1, plan.features.len(), plan.features)
+    }
+
+    /// [`FrameFeaturizer::extract`] into the plan's scratch buffers: on
+    /// return `plan.features` holds the feature vector. Identical
+    /// arithmetic; a warm plan makes the call allocation-free, which is
+    /// what the vision TA's per-frame hot path needs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::ShapeMismatch`] if `pixels` does not match the
+    /// configured geometry.
+    pub fn extract_into(&self, pixels: &[u8], plan: &mut crate::plan::FeaturePlan) -> Result<()> {
         if pixels.len() != self.frame_len() {
             return Err(MlError::ShapeMismatch {
                 reason: format!(
@@ -123,8 +138,10 @@ impl FrameFeaturizer {
             self.config.grid_rows(),
             self.config.patch,
         );
-        let mut means = vec![0.0f32; rows * cols];
-        let mut stds = vec![0.0f32; rows * cols];
+        plan.means.clear();
+        plan.means.resize(rows * cols, 0.0);
+        plan.stds.clear();
+        plan.stds.resize(rows * cols, 0.0);
         for gy in 0..rows {
             for gx in 0..cols {
                 let mut sum = 0.0f64;
@@ -140,14 +157,18 @@ impl FrameFeaturizer {
                 let n = (patch * patch) as f64;
                 let mean = sum / n;
                 let var = (sum_sq / n - mean * mean).max(0.0);
-                means[gy * cols + gx] = mean as f32;
-                stds[gy * cols + gx] = var.sqrt() as f32;
+                plan.means[gy * cols + gx] = mean as f32;
+                plan.stds[gy * cols + gx] = var.sqrt() as f32;
             }
         }
 
         // Small 2-D convolution over the (zero-padded) patch-mean grid,
-        // ReLU, global max pool per channel.
-        let mut conv = vec![0.0f32; self.config.conv_channels];
+        // ReLU, global max pool per channel, straight into the feature
+        // vector after the patch statistics.
+        plan.features.clear();
+        plan.features.extend_from_slice(&plan.means);
+        plan.features.extend_from_slice(&plan.stds);
+        let means = &plan.means;
         let grid_at = |x: isize, y: isize| -> f32 {
             if x < 0 || y < 0 || x >= cols as isize || y >= rows as isize {
                 0.0
@@ -155,7 +176,7 @@ impl FrameFeaturizer {
                 means[y as usize * cols + x as usize]
             }
         };
-        for (ch, pooled) in conv.iter_mut().enumerate() {
+        for ch in 0..self.config.conv_channels {
             let w = self.filters.row(ch);
             let mut best = 0.0f32;
             for gy in 0..rows as isize {
@@ -170,13 +191,9 @@ impl FrameFeaturizer {
                     best = best.max(acc); // ReLU folded into the max with 0
                 }
             }
-            *pooled = best;
+            plan.features.push(best);
         }
-
-        let mut features = means;
-        features.extend_from_slice(&stds);
-        features.extend_from_slice(&conv);
-        Matrix::from_vec(1, features.len(), features)
+        Ok(())
     }
 
     /// Approximate multiply-accumulate count of one extraction.
@@ -191,6 +208,11 @@ impl FrameFeaturizer {
     /// Fixed parameter count (the convolution filters).
     pub fn parameter_count(&self) -> usize {
         self.filters.len()
+    }
+
+    /// The fixed convolution filters (used by int8 conversion).
+    pub(crate) fn filters(&self) -> &Matrix {
+        &self.filters
     }
 }
 
@@ -273,6 +295,21 @@ impl FrameCnn {
         self.head.predict(&features)
     }
 
+    /// [`FrameCnn::predict`] over a caller-owned [`FeaturePlan`]: the
+    /// same arithmetic with the featurizer and head scratch reused — the
+    /// vision TA's allocation-free per-frame path.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FrameCnn::predict`].
+    pub fn predict_with(&self, pixels: &[u8], plan: &mut crate::plan::FeaturePlan) -> Result<f32> {
+        if !self.is_trained() {
+            return Err(MlError::NotTrained);
+        }
+        self.featurizer.extract_into(pixels, plan)?;
+        self.head.predict_features(&plan.features, &mut plan.hidden)
+    }
+
     /// Binary decision using the configured threshold.
     ///
     /// # Errors
@@ -295,6 +332,16 @@ impl FrameCnn {
     /// Approximate multiply-accumulate count of one frame inference.
     pub fn flops_per_inference(&self) -> u64 {
         self.featurizer.flops() + self.head.flops()
+    }
+
+    /// Read access for int8 conversion.
+    pub(crate) fn parts(&self) -> (&FrameFeaturizer, &ClassifierHead) {
+        (&self.featurizer, &self.head)
+    }
+
+    /// The decision threshold.
+    pub fn threshold(&self) -> f32 {
+        self.threshold
     }
 }
 

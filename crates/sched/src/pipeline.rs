@@ -31,6 +31,8 @@ use perisec_core::vision_ta::{self, VisionTa, VISION_TA_NAME};
 use perisec_core::{CoreError, Result};
 use perisec_devices::camera::CameraSensor;
 use perisec_ml::classifier::Architecture;
+use perisec_ml::int8::QuantFrameCnn;
+use perisec_ml::quant::QuantMode;
 use perisec_ml::vision::FrameCnn;
 use perisec_optee::{Supplicant, TaUuid, TeeClient, TeeParam, TeeParams, TeeSessionHandle};
 use perisec_relay::cloud::MockCloudService;
@@ -53,6 +55,32 @@ use crate::stage::{ShardedFilterStage, ShardedFrameCaptureStage};
 /// pipeline) uses, so sharded and unsharded runs face the same imaging
 /// chain.
 const SENSOR_SEED: u64 = 0x5EC2;
+
+/// The per-window fixed cost — the window's amortized share of one TEE
+/// crossing plus dispatch — expressed in frame-equivalents of
+/// secure-world inference time. This is the weight correction the steal
+/// pass applies so that very small window shares stop looking free: when
+/// windows shrink towards a single frame (or the model towards a few
+/// MACs), the crossing share dwarfs the inference and a frames-only
+/// weight misjudges every steal. The crossing is paid once per batch of
+/// `batch_windows` windows, so each window carries `crossing / batch`; a
+/// pure function of the cost model, the classifier's MAC count and the
+/// batch size, so the mirrored capture/filter schedulers derive the same
+/// value.
+pub fn window_overhead_frames(
+    cost: &perisec_tz::cost::CostModel,
+    frame_flops: u64,
+    batch_windows: usize,
+) -> u64 {
+    let crossing = AdaptiveBatcher::crossing_overhead(cost).as_nanos() as f64;
+    let per_window = crossing / batch_windows.max(1) as f64;
+    let frame_ns =
+        cost.compute_per_flop.as_nanos() as f64 * cost.secure_compute_penalty * frame_flops as f64;
+    if frame_ns <= 0.0 {
+        return 0;
+    }
+    (per_window / frame_ns).round() as u64
+}
 
 /// Configuration of the sharded vision pipeline.
 #[derive(Debug, Clone)]
@@ -181,15 +209,33 @@ impl ShardedVisionPipeline {
     /// Same as [`ShardedVisionPipeline::new`].
     pub fn with_models(config: ShardedCameraConfig, models: &SharedModels) -> Result<Self> {
         let vision = models.vision()?;
-        ShardedVisionPipeline::with_vision_model(config, vision)
+        // The fleet path reuses the model set's cached int8 form.
+        let int8 = match config.camera.quant_mode {
+            QuantMode::Int8 => Some(models.vision_int8()?),
+            QuantMode::F32 => None,
+        };
+        ShardedVisionPipeline::build(config, vision, int8)
     }
 
-    /// Builds the sharded stack around an existing trained classifier.
+    /// Builds the sharded stack around an existing trained classifier
+    /// (quantizing it on the spot in int8 mode).
     ///
     /// # Errors
     ///
     /// Same as [`ShardedVisionPipeline::new`].
     pub fn with_vision_model(config: ShardedCameraConfig, vision: Arc<FrameCnn>) -> Result<Self> {
+        let int8 = match config.camera.quant_mode {
+            QuantMode::Int8 => QuantFrameCnn::from_trained(&vision).map(Arc::new),
+            QuantMode::F32 => None,
+        };
+        ShardedVisionPipeline::build(config, vision, int8)
+    }
+
+    fn build(
+        config: ShardedCameraConfig,
+        vision: Arc<FrameCnn>,
+        vision_int8: Option<Arc<QuantFrameCnn>>,
+    ) -> Result<Self> {
         // Normal world, shared by every core: one fabric, one cloud.
         let fabric = NetworkFabric::new();
         let cloud = MockCloudService::new(default_psk());
@@ -202,9 +248,14 @@ impl ShardedVisionPipeline {
         })?;
 
         // The weights' content key: co-resident sessions holding the same
-        // `Arc` share the same allocation.
-        let model_key = Arc::as_ptr(&vision) as u64;
-        let model_bytes = vision.memory_bytes_f32();
+        // `Arc` share the same allocation. In int8 mode the *quantized*
+        // bytes are what the sessions keep resident, so they are what the
+        // shared reservation charges to the TZDRAM carve-out — the ~4x
+        // residency drop shows up directly in [`SecureRamFootprint`].
+        let (model_key, model_bytes) = match &vision_int8 {
+            Some(int8) => (Arc::as_ptr(int8) as u64, int8.memory_bytes()),
+            None => (Arc::as_ptr(&vision) as u64, vision.memory_bytes_f32()),
+        };
 
         let mut sessions = Vec::with_capacity(pool.len());
         let mut capture_shards = Vec::with_capacity(pool.len());
@@ -222,6 +273,8 @@ impl ShardedVisionPipeline {
             let ta = VisionTa::new(
                 camera_pta,
                 Arc::clone(&vision),
+                vision_int8.clone(),
+                config.camera.quant_mode,
                 config.camera.policy,
                 default_cloud_host(),
                 default_psk(),
@@ -250,14 +303,31 @@ impl ShardedVisionPipeline {
             .latency_slo
             .map(|slo| AdaptiveBatcher::new(&config.pool.cost, slo, 64));
         let stealing = config.work_stealing;
+        // The steal pass weighs each window by frames *plus* the fixed
+        // crossing + dispatch cost (ROADMAP follow-on from the
+        // work-stealing item); greedy-only placement keeps the historical
+        // frames-only weights, so existing placements are byte-stable.
+        let overhead = if stealing {
+            window_overhead_frames(
+                &config.pool.cost,
+                vision.flops_per_inference(),
+                config.camera.batch_windows,
+            )
+        } else {
+            0
+        };
         Ok(ShardedVisionPipeline {
             config,
             pool,
             cloud,
             fabric,
             sessions,
-            capture: ShardedFrameCaptureStage::new(capture_shards).with_stealing(stealing),
-            filter: ShardedFilterStage::new(filter_shards).with_stealing(stealing),
+            capture: ShardedFrameCaptureStage::new(capture_shards)
+                .with_stealing(stealing)
+                .with_window_overhead(overhead),
+            filter: ShardedFilterStage::new(filter_shards)
+                .with_stealing(stealing)
+                .with_window_overhead(overhead),
             relay: SecureRelayStage::new(),
             batcher,
         })
@@ -518,6 +588,25 @@ fn merge_energy(reports: Vec<EnergyReport>) -> EnergyReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn window_overhead_derivation_scales_with_model_and_batch() {
+        let cost = perisec_tz::cost::CostModel::iot_quad_node();
+        // A tiny model at batch 1: the crossing dwarfs per-frame
+        // inference and the fixed cost dominates the weight.
+        assert!(window_overhead_frames(&cost, 100, 1) > 10);
+        // The production frame CNN at batch >= 4: the amortized crossing
+        // share stays below one frame-equivalent, so historical
+        // frames-only placements are preserved.
+        assert_eq!(window_overhead_frames(&cost, 12_000, 4), 0);
+        // Bigger batches amortize the crossing further.
+        assert!(window_overhead_frames(&cost, 100, 8) < window_overhead_frames(&cost, 100, 1));
+        // A free cost model degenerates to frames-only weighting.
+        assert_eq!(
+            window_overhead_frames(&perisec_tz::cost::CostModel::free(), 100, 1),
+            0
+        );
+    }
 
     fn small_config(cores: usize) -> ShardedCameraConfig {
         ShardedCameraConfig {

@@ -61,25 +61,57 @@ pub struct WindowSteal {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SessionScheduler {
     loads: Vec<SessionLoad>,
+    /// Fixed cost charged per window on top of its frame weight — the
+    /// crossing + dispatch overhead a session pays regardless of window
+    /// length, expressed in frame-equivalents. Zero reproduces the
+    /// historical frames-only weighting exactly.
+    window_overhead: u64,
 }
 
 impl SessionScheduler {
-    /// Creates a scheduler over `sessions` sessions (at least one).
+    /// Creates a scheduler over `sessions` sessions (at least one),
+    /// weighting windows by their frame count alone.
     ///
     /// # Panics
     ///
     /// Panics on zero sessions — a scheduler with nowhere to place work
     /// is a construction bug, not a runtime condition.
     pub fn new(sessions: usize) -> Self {
+        SessionScheduler::with_window_overhead(sessions, 0)
+    }
+
+    /// Creates a scheduler whose every window additionally weighs
+    /// `overhead` frame-equivalents — the per-window fixed cost (TEE
+    /// crossing + TA dispatch) that dominates once window shares get very
+    /// small. The overhead is part of the weight *function*, not the
+    /// weight *sequence*: mirrored schedulers built with the same
+    /// overhead still agree on every placement and steal decision.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero sessions.
+    pub fn with_window_overhead(sessions: usize, overhead: u64) -> Self {
         assert!(sessions > 0, "scheduler needs at least one session");
         SessionScheduler {
             loads: vec![SessionLoad::default(); sessions],
+            window_overhead: overhead,
         }
     }
 
     /// Number of sessions.
     pub fn sessions(&self) -> usize {
         self.loads.len()
+    }
+
+    /// The per-window fixed cost in force.
+    pub fn window_overhead(&self) -> u64 {
+        self.window_overhead
+    }
+
+    /// A window's effective weight: its frame weight (clamped to one)
+    /// plus the per-window fixed cost.
+    fn effective_weight(&self, weight: u64) -> u64 {
+        weight.max(1) + self.window_overhead
     }
 
     /// Places one batch of windows: returns, per window, the session it
@@ -142,7 +174,7 @@ impl SessionScheduler {
                     .iter()
                     .enumerate()
                     .filter(|(_, &session)| session == donor)
-                    .map(|(window, _)| (weights[window].max(1), window))
+                    .map(|(window, _)| (self.effective_weight(weights[window]), window))
                     .filter(|&(weight, _)| weight < gap)
                     .max_by_key(|&(weight, window)| (weight, std::cmp::Reverse(window)));
                 let Some((weight, window)) = candidate else {
@@ -180,7 +212,7 @@ impl SessionScheduler {
     fn place(&mut self, weight: u64) -> usize {
         let session = self.least_loaded();
         self.loads[session].windows += 1;
-        self.loads[session].weight += weight.max(1);
+        self.loads[session].weight += self.effective_weight(weight);
         session
     }
 
@@ -332,6 +364,44 @@ mod tests {
             );
         }
         assert_eq!(capture_side, filter_side);
+    }
+
+    #[test]
+    fn window_overhead_models_the_per_window_fixed_cost() {
+        // Frames alone: one 8-frame window balances eight 1-frame
+        // windows. With a fixed per-window cost of 4 frame-equivalents,
+        // eight tiny windows cost 8*(1+4)=40 against the heavy window's
+        // 8+4=12 — the scheduler must stop pretending they are equal.
+        let mut frames_only = SessionScheduler::new(2);
+        let mut with_overhead = SessionScheduler::with_window_overhead(2, 4);
+        assert_eq!(with_overhead.window_overhead(), 4);
+        let weights = [8u64, 1, 1, 1, 1, 1, 1, 1, 1];
+        frames_only.assign(&weights);
+        with_overhead.assign(&weights);
+        // Frames-only: session 0 carries 8, session 1 carries 8 — "even".
+        assert_eq!(frames_only.loads()[0].weight, 8);
+        assert_eq!(frames_only.loads()[1].weight, 8);
+        // Overhead-aware: the tiny windows' fixed costs spill back onto
+        // session 0 once session 1's cumulative cost overtakes it.
+        assert!(with_overhead.loads()[0].windows > 1);
+        let total: u64 = weights.iter().map(|&w| w.max(1) + 4).sum();
+        assert_eq!(
+            with_overhead.loads().iter().map(|l| l.weight).sum::<u64>(),
+            total
+        );
+    }
+
+    #[test]
+    fn mirrored_schedulers_agree_with_overhead() {
+        let mut a = SessionScheduler::with_window_overhead(3, 7);
+        let mut b = SessionScheduler::with_window_overhead(3, 7);
+        for batch in [vec![9u64, 1, 1, 1, 7], vec![2, 2, 12], vec![1, 1, 1, 1]] {
+            assert_eq!(
+                a.assign_with_stealing(&batch),
+                b.assign_with_stealing(&batch)
+            );
+        }
+        assert_eq!(a, b);
     }
 
     #[test]

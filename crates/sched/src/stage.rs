@@ -145,6 +145,16 @@ impl ShardedFrameCaptureStage {
         self
     }
 
+    /// Rebuilds the stage's scheduler with a per-window fixed cost in
+    /// frame-equivalents (see
+    /// [`SessionScheduler::with_window_overhead`]). Must be applied
+    /// before the first batch, and identically on the mirrored filter
+    /// stage, so the determinism contract holds.
+    pub fn with_window_overhead(mut self, overhead: u64) -> Self {
+        self.scheduler = SessionScheduler::with_window_overhead(self.shards.len(), overhead);
+        self
+    }
+
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
@@ -218,6 +228,14 @@ impl ShardedFilterStage {
     /// behaviour for callers that hand the stage unsharded batches).
     pub fn with_stealing(mut self, stealing: bool) -> Self {
         self.stealing = stealing;
+        self
+    }
+
+    /// Rebuilds the stage's scheduler with a per-window fixed cost —
+    /// must mirror the capture stage's (see
+    /// [`ShardedFrameCaptureStage::with_window_overhead`]).
+    pub fn with_window_overhead(mut self, overhead: u64) -> Self {
+        self.scheduler = SessionScheduler::with_window_overhead(self.shards.len(), overhead);
         self
     }
 

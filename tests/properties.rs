@@ -2,9 +2,16 @@
 
 use proptest::prelude::*;
 
+use std::sync::OnceLock;
+
 use perisec::core::policy::FilterDecision;
 use perisec::core::stage::WindowVerdict;
 use perisec::devices::codec::{bytes_to_pcm, mulaw_decode, mulaw_encode, pcm_to_bytes};
+use perisec::ml::classifier::{Architecture, TrainConfig};
+use perisec::ml::int8::{QuantFrameCnn, QuantSensitiveClassifier};
+use perisec::ml::plan::FeaturePlan;
+use perisec::ml::vision::{FrameCnn, VisionConfig};
+use perisec::ml::SensitiveClassifier;
 use perisec::optee::crypto::{aead_open, aead_seal, nonce_from_sequence};
 use perisec::relay::avs::AvsEvent;
 use perisec::sched::scheduler::SessionScheduler;
@@ -28,6 +35,58 @@ fn verdict_from_seed(seed: u64) -> WindowVerdict {
         },
         probability_milli: ((seed >> 16) % 1001) as u16,
     }
+}
+
+/// One trained CNN classifier plus its int8 deployment form, shared by
+/// every proptest case (training once keeps the property fast).
+fn quant_pair() -> &'static (SensitiveClassifier, QuantSensitiveClassifier) {
+    static PAIR: OnceLock<(SensitiveClassifier, QuantSensitiveClassifier)> = OnceLock::new();
+    PAIR.get_or_init(|| {
+        let vocabulary = Vocabulary::smart_home();
+        let mut generator = CorpusGenerator::new(vocabulary.clone(), 0.5, 0x18A7);
+        let corpus = generator.generate(200);
+        let examples: Vec<(Vec<usize>, bool)> = corpus
+            .iter()
+            .map(|u| (u.tokens.clone(), u.sensitive))
+            .collect();
+        let mut classifier =
+            SensitiveClassifier::new(Architecture::Cnn, TrainConfig::small(vocabulary.len()));
+        classifier.fit(&examples).expect("classifier trains");
+        let int8 = QuantSensitiveClassifier::from_trained(&classifier).expect("cnn quantizes");
+        (classifier, int8)
+    })
+}
+
+/// One trained frame classifier plus its int8 form.
+fn vision_quant_pair() -> &'static (FrameCnn, QuantFrameCnn) {
+    static PAIR: OnceLock<(FrameCnn, QuantFrameCnn)> = OnceLock::new();
+    PAIR.get_or_init(|| {
+        let config = VisionConfig::smart_home();
+        let examples: Vec<(Vec<u8>, bool)> = (0..80)
+            .map(|i| {
+                let sensitive = i % 2 == 0;
+                let pixels: Vec<u8> = (0..config.width * config.height)
+                    .map(|idx| {
+                        let y = idx / config.width;
+                        if sensitive {
+                            if (y + i) % 4 < 2 {
+                                225
+                            } else {
+                                45
+                            }
+                        } else {
+                            115 + ((idx * 11 + i) % 12) as u8
+                        }
+                    })
+                    .collect();
+                (pixels, sensitive)
+            })
+            .collect();
+        let mut cnn = FrameCnn::new(config);
+        cnn.fit(&examples).expect("frame cnn trains");
+        let int8 = QuantFrameCnn::from_trained(&cnn).expect("frame cnn quantizes");
+        (cnn, int8)
+    })
 }
 
 proptest! {
@@ -189,7 +248,9 @@ proptest! {
     /// load account stays an exact tally of the assignment, the cumulative
     /// makespan never exceeds the greedy scheduler's, and mirrored
     /// schedulers make identical steal decisions — for any batch split of
-    /// any ragged weight sequence on any session count.
+    /// any ragged weight sequence on any session count, and for any
+    /// per-window fixed cost (the crossing + dispatch overhead the steal
+    /// weights model on top of frames).
     #[test]
     fn work_stealing_scheduler_invariants(
         weight_seeds in proptest::collection::vec(any::<u64>(), 1..48),
@@ -197,9 +258,10 @@ proptest! {
     ) {
         let sessions = (shape % 7 + 1) as usize;
         let batch = (shape >> 8) as usize % 9 + 1;
+        let overhead = (shape >> 16) % 24;
         let weights: Vec<u64> = weight_seeds.iter().map(|s| s % 32).collect();
-        let mut stealing = SessionScheduler::new(sessions);
-        let mut mirror = SessionScheduler::new(sessions);
+        let mut stealing = SessionScheduler::with_window_overhead(sessions, overhead);
+        let mut mirror = SessionScheduler::with_window_overhead(sessions, overhead);
         for chunk in weights.chunks(batch) {
             // The makespan guarantee is per batch, against the same
             // prior state: stealing never places this batch worse than
@@ -226,17 +288,18 @@ proptest! {
             for &session in &assignment {
                 prop_assert!(session < sessions);
             }
-            // Steal records describe the final placement.
+            // Steal records describe the final placement, in effective
+            // (overhead-inclusive) weights.
             for steal in &steals {
                 prop_assert_eq!(assignment[steal.window], steal.to);
                 prop_assert!(steal.from != steal.to);
-                prop_assert_eq!(steal.weight, chunk[steal.window].max(1));
+                prop_assert_eq!(steal.weight, chunk[steal.window].max(1) + overhead);
             }
         }
         // The load account tallies the full sequence: nothing dropped,
         // nothing duplicated.
         let total_windows: u64 = weights.len() as u64;
-        let total_weight: u64 = weights.iter().map(|w| (*w).max(1)).sum();
+        let total_weight: u64 = weights.iter().map(|w| (*w).max(1) + overhead).sum();
         prop_assert_eq!(
             stealing.loads().iter().map(|l| l.windows).sum::<u64>(),
             total_windows
@@ -244,6 +307,55 @@ proptest! {
         prop_assert_eq!(
             stealing.loads().iter().map(|l| l.weight).sum::<u64>(),
             total_weight
+        );
+    }
+
+    /// The int8 and f32 forward passes agree within a bounded tolerance
+    /// on *random* token sequences — including token ids outside the
+    /// vocabulary and degenerate lengths — and the int8 path is
+    /// deterministic across independent scratch plans.
+    #[test]
+    fn int8_and_f32_classifiers_agree_within_tolerance(
+        token_seeds in proptest::collection::vec(any::<u64>(), 0..16),
+    ) {
+        let (f32_model, int8_model) = quant_pair();
+        let tokens: Vec<usize> = token_seeds.iter().map(|s| (s % 96) as usize).collect();
+        let p_f32 = f32_model.predict(&tokens).expect("f32 predicts");
+        let mut plan = FeaturePlan::new();
+        let p_int8 = int8_model.predict_with(&tokens, &mut plan).expect("int8 predicts");
+        prop_assert!(
+            (p_f32 - p_int8).abs() <= 0.2,
+            "probability drift {} vs {} on {:?}",
+            p_f32, p_int8, tokens
+        );
+        let mut fresh = FeaturePlan::new();
+        prop_assert_eq!(
+            int8_model.predict_with(&tokens, &mut fresh).expect("int8 repeats"),
+            p_int8
+        );
+    }
+
+    /// The int8 and f32 frame classifiers agree within a bounded
+    /// tolerance on random frames.
+    #[test]
+    fn int8_and_f32_frame_cnns_agree_within_tolerance(pixel_seed in any::<u64>()) {
+        let (f32_model, int8_model) = vision_quant_pair();
+        let len = f32_model.frame_len();
+        let pixels: Vec<u8> = (0..len)
+            .map(|i| {
+                let mixed = pixel_seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add((i as u64).wrapping_mul(1442695040888963407));
+                (mixed >> 33) as u8
+            })
+            .collect();
+        let p_f32 = f32_model.predict(&pixels).expect("f32 predicts");
+        let mut plan = FeaturePlan::new();
+        let p_int8 = int8_model.predict_with(&pixels, &mut plan).expect("int8 predicts");
+        prop_assert!(
+            (p_f32 - p_int8).abs() <= 0.25,
+            "frame probability drift {} vs {}",
+            p_f32, p_int8
         );
     }
 
