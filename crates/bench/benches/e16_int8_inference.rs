@@ -9,6 +9,8 @@ use perisec_ml::classifier::{Architecture, SensitiveClassifier, TrainConfig};
 use perisec_ml::int8::{QuantFrameCnn, QuantSensitiveClassifier};
 use perisec_ml::mfcc::{MfccConfig, MfccExtractor};
 use perisec_ml::plan::FeaturePlan;
+use perisec_ml::quant::{dot_i8, dot_i8_ref, quantize_activations, QuantizedMatrix};
+use perisec_ml::tensor::Matrix;
 use perisec_ml::vision::{FrameCnn, VisionConfig};
 use perisec_workload::corpus::{to_training_examples, CorpusGenerator};
 use perisec_workload::synth::SpeechSynthesizer;
@@ -92,10 +94,49 @@ fn bench_mfcc_plan(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_kernel_variants(c: &mut Criterion) {
+    // Spans mirror the conv-column widths the token CNN actually runs
+    // (kernel widths 2..=5 over a 48-wide embedding), so the dispatched /
+    // scalar ratio here is the one the window metric inherits.
+    let span = 192usize;
+    let a: Vec<i8> = (0..span).map(|i| ((i * 37 + 11) % 255) as i8).collect();
+    let b: Vec<i8> = (0..span).map(|i| ((i * 73 + 5) % 255) as i8).collect();
+
+    let mut group = c.benchmark_group("e16_dot_i8_kernel");
+    group.sample_size(40);
+    group.bench_function("scalar_ref", |bch| {
+        bch.iter(|| dot_i8_ref(&a, &b));
+    });
+    group.bench_function("dispatched", |bch| {
+        bch.iter(|| dot_i8(&a, &b));
+    });
+    group.finish();
+
+    // Dense head shape from the window classifier (feature 96 -> 32),
+    // per-channel quantized so the fused epilogue is exercised too.
+    let m = Matrix::random(96, 32, 1.2, 0xE17);
+    let q = QuantizedMatrix::quantize_per_col(&m);
+    let x: Vec<f32> = (0..96).map(|i| ((i % 19) as f32 - 9.0) / 7.0).collect();
+    let mut x_q = Vec::new();
+    let x_scale = quantize_activations(&x, &mut x_q);
+    let (mut acc, mut out) = (Vec::new(), Vec::new());
+
+    let mut group = c.benchmark_group("e16_matmul_i8_kernel");
+    group.sample_size(40);
+    group.bench_function("scalar_ref", |bch| {
+        bch.iter(|| q.matmul_i8_ref(&x_q, x_scale, &mut acc, &mut out).unwrap());
+    });
+    group.bench_function("dispatched", |bch| {
+        bch.iter(|| q.matmul_i8(&x_q, x_scale, &mut acc, &mut out).unwrap());
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_window_inference,
     bench_frame_inference,
-    bench_mfcc_plan
+    bench_mfcc_plan,
+    bench_kernel_variants
 );
 criterion_main!(benches);

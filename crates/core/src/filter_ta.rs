@@ -151,8 +151,10 @@ pub struct FilterStats {
 /// copying) per device.
 #[derive(Clone)]
 pub struct FilterTaModels {
-    /// The keyword speech-to-text model (always f32 — the MFCC front-end
-    /// does not quantize; a ROADMAP follow-on).
+    /// The keyword speech-to-text model. The MFCC front end runs in f32
+    /// with precomputed tables in both modes; int8 mode additionally
+    /// matches segments against quantized templates on the integer
+    /// kernels.
     pub stt: Arc<KeywordStt>,
     /// The f32 sensitive-content classifier.
     pub classifier: Arc<SensitiveClassifier>,
@@ -244,10 +246,20 @@ impl FilterTa {
         let format = perisec_devices::audio::AudioFormat::speech_16khz_mono();
         let audio = self.encoding.decode(encoded_audio, format);
         env.charge_compute(self.models.stt.flops_for(audio.samples().len()));
-        let tokens = self
-            .models
-            .stt
-            .transcribe_to_tokens_with(audio.samples(), &mut self.plan);
+        // Both modes share segmentation and the f32 MFCC front end; in
+        // int8 mode the template matching runs on the quantized kernels
+        // (the cosine scales cancel, so decisions stay aligned with f32 —
+        // pinned by the decision-parity tests).
+        let tokens = match self.quant {
+            QuantMode::Int8 => self
+                .models
+                .stt
+                .transcribe_to_tokens_int8_with(audio.samples(), &mut self.plan),
+            QuantMode::F32 => self
+                .models
+                .stt
+                .transcribe_to_tokens_with(audio.samples(), &mut self.plan),
+        };
         env.charge_compute(
             self.models
                 .classifier

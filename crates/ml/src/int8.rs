@@ -7,10 +7,20 @@
 //! **and** full float residency at runtime. This module finishes the job:
 //! the classifiers the TAs host are converted **once** after training into
 //! quantized form ([`QuantSensitiveClassifier`], [`QuantFrameCnn`]) whose
-//! forward passes run on i8 x i8 -> i32 kernels with the per-tensor scales
+//! forward passes run on i8 x i8 -> i32 kernels with the weight scales
 //! folded into a single output rescale — no dequantization, no per-window
 //! allocation (scratch comes from a [`FeaturePlan`]), and ~4x smaller
 //! weight residency in the secure carve-out.
+//!
+//! Weights quantize **per output channel** wherever a channel has its own
+//! rescale slot: convolution filter banks per row
+//! ([`QuantizedMatrix::quantize_per_row`] — each filter's dot product is
+//! rescaled individually anyway) and dense layers per column
+//! ([`QuantizedMatrix::quantize_per_col`] — the per-column scale rides the
+//! existing epilogue multiply). One outlier filter no longer stretches the
+//! whole bank's range. The embedding table is the deliberate exception
+//! and stays per-tensor: its rows are *activations* downstream, and the
+//! convolutions need one activation scale for the whole sequence.
 //!
 //! Activation handling follows standard dynamic quantization:
 //!
@@ -32,7 +42,7 @@ use crate::classifier::{Extractor, SensitiveClassifier};
 use crate::head::ClassifierHead;
 use crate::layers::{Conv1d, Dense, Embedding};
 use crate::plan::FeaturePlan;
-use crate::quant::{dot_i8, quantize_activations, QuantizedMatrix};
+use crate::quant::{dot_i8, quantize_activations, quantize_activations_i16, QuantizedMatrix};
 use crate::vision::{FrameCnn, VisionConfig};
 use crate::{MlError, Result};
 
@@ -45,10 +55,11 @@ pub struct QuantDense {
 }
 
 impl QuantDense {
-    /// Quantizes a trained dense layer.
+    /// Quantizes a trained dense layer, one scale per output column —
+    /// the per-channel rescale folds into the matmul epilogue for free.
     pub fn from_dense(dense: &Dense) -> Self {
         QuantDense {
-            weights: QuantizedMatrix::quantize(&dense.weights),
+            weights: QuantizedMatrix::quantize_per_col(&dense.weights),
             bias: dense.bias.clone(),
         }
     }
@@ -87,6 +98,26 @@ impl QuantDense {
         }
         Ok(())
     }
+
+    /// [`QuantDense::forward_q`] over i16 activations — the head's
+    /// high-fidelity path (see [`QuantizedMatrix::matmul_i16`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::ShapeMismatch`] on a width mismatch.
+    pub fn forward_q16(
+        &self,
+        x_q: &[i16],
+        x_scale: f32,
+        acc: &mut Vec<i32>,
+        out: &mut Vec<f32>,
+    ) -> Result<()> {
+        self.weights.matmul_i16(x_q, x_scale, acc, out)?;
+        for (o, &b) in out.iter_mut().zip(&self.bias) {
+            *o += b;
+        }
+        Ok(())
+    }
 }
 
 /// A 1-D convolution bank with quantized filters and a fused
@@ -101,12 +132,14 @@ pub struct QuantConv1d {
 }
 
 impl QuantConv1d {
-    /// Quantizes a trained convolution bank.
+    /// Quantizes a trained convolution bank, one scale per filter row —
+    /// an outlier filter keeps its own range instead of coarsening every
+    /// channel's.
     pub fn from_conv(conv: &Conv1d) -> Self {
         QuantConv1d {
             kernel_width: conv.kernel_width,
             input_dim: conv.input_dim(),
-            filters: QuantizedMatrix::quantize(&conv.filters),
+            filters: QuantizedMatrix::quantize_per_row(&conv.filters),
             bias: conv.bias.clone(),
         }
     }
@@ -147,9 +180,22 @@ impl QuantConv1d {
         }
         let positions = seq_len - self.kernel_width + 1;
         let window = self.kernel_width * self.input_dim;
-        let rescale = x_scale * self.filters.scale();
+        // The convolutions issue hundreds of dot products per window, so
+        // the AVX2 dispatch is hoisted out of the loops instead of being
+        // paid per call inside `dot_i8`.
+        #[cfg(target_arch = "x86_64")]
+        if crate::quant::x86::avx2_available() {
+            // SAFETY: AVX2 presence checked; window and filter slices are
+            // both `kernel_width * input_dim` long by construction.
+            #[allow(unsafe_code)]
+            unsafe {
+                self.maxpool_avx2(x_q, positions, window, x_scale, out);
+            }
+            return;
+        }
         for ch in 0..self.channels() {
             let filter = self.filters.row(ch);
+            let rescale = x_scale * self.filters.row_scale(ch);
             let bias = self.bias[ch];
             let mut best = 0.0f32; // ReLU folded into the max with 0
             for p in 0..positions {
@@ -160,11 +206,50 @@ impl QuantConv1d {
             out.push(best);
         }
     }
+
+    /// The AVX2 form of [`QuantConv1d::forward_maxpool_into`]'s main
+    /// loop: same structure, the wide dot product called directly.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 is available and `x_q` holds at least
+    /// `positions - 1 + kernel_width` embedding rows.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    #[allow(unsafe_code)]
+    unsafe fn maxpool_avx2(
+        &self,
+        x_q: &[i8],
+        positions: usize,
+        window: usize,
+        x_scale: f32,
+        out: &mut Vec<f32>,
+    ) {
+        for ch in 0..self.channels() {
+            let filter = self.filters.row(ch);
+            let rescale = x_scale * self.filters.row_scale(ch);
+            let bias = self.bias[ch];
+            let mut best = 0.0f32; // ReLU folded into the max with 0
+            for p in 0..positions {
+                let start = p * self.input_dim;
+                let acc = crate::quant::x86::dot_i8(&x_q[start..start + window], filter);
+                best = best.max(acc as f32 * rescale + bias);
+            }
+            out.push(best);
+        }
+    }
 }
 
 /// A quantized token-embedding table. Rows are handed to downstream
 /// layers as i8 with the table's scale as the activation scale — the
 /// cheapest possible "activation quantization".
+///
+/// The table is quantized **per-tensor on purpose**: looked-up rows are
+/// the *activations* of the convolution stage, and
+/// [`QuantConv1d::forward_maxpool_into`] folds exactly one activation
+/// scale into each channel's rescale. Per-row table scales would give
+/// every token its own activation scale, which the fused integer dot
+/// products cannot absorb without a per-position rescale.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct QuantEmbedding {
     table: QuantizedMatrix,
@@ -284,15 +369,18 @@ impl QuantClassifierHead {
     /// Returns [`MlError::ShapeMismatch`] if `plan.features` does not
     /// match the head's input width.
     pub fn predict_from_plan(&self, plan: &mut FeaturePlan) -> Result<f32> {
-        let x_scale = quantize_activations(&plan.features, &mut plan.act_q);
+        // The head is ~3k MACs against ~200k in the convolutions, so it
+        // sets the rounding-error floor, not the latency floor: run it on
+        // i16 activations (256x finer than i8) at negligible cost.
+        let x_scale = quantize_activations_i16(&plan.features, &mut plan.act_q16);
         self.hidden
-            .forward_q(&plan.act_q, x_scale, &mut plan.acc, &mut plan.hidden)?;
+            .forward_q16(&plan.act_q16, x_scale, &mut plan.acc, &mut plan.hidden)?;
         for h in plan.hidden.iter_mut() {
             *h = h.max(0.0);
         }
-        let h_scale = quantize_activations(&plan.hidden, &mut plan.act_q);
+        let h_scale = quantize_activations_i16(&plan.hidden, &mut plan.act_q16);
         self.output
-            .forward_q(&plan.act_q, h_scale, &mut plan.acc, &mut plan.out)?;
+            .forward_q16(&plan.act_q16, h_scale, &mut plan.acc, &mut plan.out)?;
         Ok(crate::layers::sigmoid(plan.out[0]))
     }
 }
@@ -394,7 +482,8 @@ impl QuantFrameCnn {
     ///
     /// Panics on a patch edge above 256 pixels: the integer pooling
     /// accumulates squared pixel values in `u32`, which is exact only up
-    /// to `256 * 256 * 255^2`. (The f32 path has no such bound.)
+    /// to `256 * 256 * 255^2` (the same bound the f32 featurizer
+    /// enforces — both modes share [`crate::vision::pool_patches_into`]).
     pub fn from_trained(cnn: &FrameCnn) -> Option<Self> {
         if !cnn.is_trained() {
             return None;
@@ -407,7 +496,7 @@ impl QuantFrameCnn {
         let (featurizer, head) = cnn.parts();
         Some(QuantFrameCnn {
             config: *cnn.config(),
-            filters: QuantizedMatrix::quantize(featurizer.filters()),
+            filters: QuantizedMatrix::quantize_per_row(featurizer.filters()),
             head: QuantClassifierHead::from_head(head),
             threshold: cnn.threshold(),
             featurizer_flops: featurizer.flops(),
@@ -437,9 +526,10 @@ impl QuantFrameCnn {
     }
 
     /// Featurizes one frame into `plan.features`: per-patch mean and
-    /// standard deviation (the f32 path's exact arithmetic — pooling
-    /// reads raw pixels and is mode-independent), then the quantized 3x3
-    /// convolution with ReLU + global max pooling fused into the rescale.
+    /// standard deviation via the shared integer pooling (bit-identical
+    /// to the f32 path — pooling is mode-independent), then the
+    /// quantized 3x3 convolution over the zero-padded grid with ReLU +
+    /// global max pooling fused into one per-channel rescale.
     fn featurize_into(&self, pixels: &[u8], plan: &mut FeaturePlan) -> Result<()> {
         if pixels.len() != self.frame_len() {
             return Err(MlError::ShapeMismatch {
@@ -451,76 +541,54 @@ impl QuantFrameCnn {
                 ),
             });
         }
-        let (cols, rows, patch) = (
-            self.config.grid_cols(),
-            self.config.grid_rows(),
-            self.config.patch,
-        );
-        plan.means.clear();
-        plan.means.resize(rows * cols, 0.0);
-        plan.stds.clear();
-        plan.stds.resize(rows * cols, 0.0);
-        // Patch pooling is *shared* cost — it reads raw pixels, which no
-        // weight quantization can shrink — and it dominates the per-frame
-        // budget, so the int8 frame path cannot approach the text path's
-        // speedup. Integer accumulation (exact sums, one divide and one
-        // square root per patch) measured slightly ahead of the f64 loop
-        // here. u32 is safe: [`QuantFrameCnn::from_trained`] rejects
-        // patch edges above 256, and 256 * 256 * 255^2 fits u32.
-        let n = (patch * patch) as f64;
-        for gy in 0..rows {
-            for gx in 0..cols {
-                let mut sum = 0u32;
-                let mut sum_sq = 0u32;
-                for py in 0..patch {
-                    let row = (gy * patch + py) * self.config.width + gx * patch;
-                    for &p in &pixels[row..row + patch] {
-                        let p = u32::from(p);
-                        sum += p;
-                        sum_sq += p * p;
-                    }
-                }
-                let mean = sum as f64 / (255.0 * n);
-                let mean_sq = sum_sq as f64 / (255.0 * 255.0 * n);
-                let var = (mean_sq - mean * mean).max(0.0);
-                plan.means[gy * cols + gx] = mean as f32;
-                plan.stds[gy * cols + gx] = var.sqrt() as f32;
-            }
-        }
+        let (cols, rows) = (self.config.grid_cols(), self.config.grid_rows());
+        // Patch pooling straight from the u8 pixels with integer
+        // accumulators — the shared helper both modes use, so the
+        // mean/std features are bit-identical to the f32 path's.
+        crate::vision::pool_patches_into(pixels, &self.config, &mut plan.means, &mut plan.stds);
 
-        // Quantize the patch-mean grid once, then run the integer 3x3
-        // convolution over the zero-padded grid.
+        // Quantize the patch-mean grid once, copy it into the
+        // zero-padded plan scratch, and run the integer 3x3 convolution
+        // branch-free: every tap is a plain indexed load, the border
+        // handling is baked into the padding.
         let grid_scale = quantize_activations(&plan.means, &mut plan.act_q);
         plan.features.clear();
         plan.features.extend_from_slice(&plan.means);
         plan.features.extend_from_slice(&plan.stds);
-        let rescale = grid_scale * self.filters.scale();
-        let grid = &plan.act_q;
-        let (icols, irows) = (cols as isize, rows as isize);
+        let padded_cols = cols + 2;
+        plan.grid_q.clear();
+        plan.grid_q.resize(padded_cols * (rows + 2), 0);
+        for gy in 0..rows {
+            let dst = (gy + 1) * padded_cols + 1;
+            plan.grid_q[dst..dst + cols].copy_from_slice(&plan.act_q[gy * cols..(gy + 1) * cols]);
+        }
+        let grid = &plan.grid_q;
         for ch in 0..self.filters.rows() {
             let filter = self.filters.row(ch);
-            let mut best = 0.0f32; // ReLU folded into the max with 0
-            for gy in 0..irows {
-                for gx in 0..icols {
-                    let mut acc = 0i32;
-                    for ky in -1..=1isize {
-                        let y = gy + ky;
-                        if y < 0 || y >= irows {
-                            continue;
-                        }
-                        for kx in -1..=1isize {
-                            let x = gx + kx;
-                            if x < 0 || x >= icols {
-                                continue;
-                            }
-                            let w = filter[((ky + 1) * 3 + (kx + 1)) as usize];
-                            acc += i32::from(w) * i32::from(grid[(y * icols + x) as usize]);
-                        }
-                    }
-                    best = best.max(acc as f32 * rescale);
+            let w: [i32; 9] = std::array::from_fn(|i| i32::from(filter[i]));
+            // The rescale is positive, so the channel max commutes with
+            // it: track the max in the exact integer domain and rescale
+            // (with the folded ReLU) once per channel.
+            let mut max_acc = i32::MIN;
+            for gy in 0..rows {
+                let r0 = &grid[gy * padded_cols..gy * padded_cols + padded_cols];
+                let r1 = &grid[(gy + 1) * padded_cols..(gy + 1) * padded_cols + padded_cols];
+                let r2 = &grid[(gy + 2) * padded_cols..(gy + 2) * padded_cols + padded_cols];
+                for gx in 0..cols {
+                    let acc = w[0] * i32::from(r0[gx])
+                        + w[1] * i32::from(r0[gx + 1])
+                        + w[2] * i32::from(r0[gx + 2])
+                        + w[3] * i32::from(r1[gx])
+                        + w[4] * i32::from(r1[gx + 1])
+                        + w[5] * i32::from(r1[gx + 2])
+                        + w[6] * i32::from(r2[gx])
+                        + w[7] * i32::from(r2[gx + 1])
+                        + w[8] * i32::from(r2[gx + 2]);
+                    max_acc = max_acc.max(acc);
                 }
             }
-            plan.features.push(best);
+            let rescale = grid_scale * self.filters.row_scale(ch);
+            plan.features.push((max_acc as f32 * rescale).max(0.0));
         }
         Ok(())
     }

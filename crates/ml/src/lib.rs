@@ -48,7 +48,12 @@
 //! accuracy, latency and memory can be compared inside the TEE — without
 //! external artifacts. DESIGN.md documents this substitution.
 
-#![forbid(unsafe_code)]
+// Unsafe is denied crate-wide and allowed back only for the `quant::x86`
+// intrinsic kernels and their runtime-dispatch call sites. Everything
+// else in the crate must stay safe Rust, and every unsafe block carries
+// a SAFETY comment tied to a proptest pinning the kernel bit-identical
+// to its scalar oracle.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod classifier;

@@ -4,6 +4,17 @@
 //! mel-frequency cepstral coefficients, the standard front-end of small
 //! speech recognizers. Everything — including the radix-2 FFT — is
 //! implemented here.
+//!
+//! The pipeline runs in **f32 with precomputed tables**: the Hamming
+//! window (pre-scaled by the i16 full-scale), every FFT twiddle factor
+//! (tabulated per stage, so the butterfly loop has no dependent rotation
+//! recurrence, let alone trigonometry), the mel filterbank taps and the
+//! DCT-II basis. Constants are computed once in f64 and rounded to f32;
+//! the per-frame arithmetic is pure single-precision, which halves the
+//! scratch bandwidth and doubles the SIMD lane count on the TA hot path.
+//! Frame energies for VAD are the one exception: the sums of squared i16
+//! samples are **exact i64 integers**, with a single f64 divide and
+//! square root per frame at the end.
 
 use serde::{Deserialize, Serialize};
 
@@ -48,31 +59,34 @@ impl Default for MfccConfig {
     }
 }
 
-/// In-place iterative radix-2 FFT over interleaved (re, im) pairs
-/// (one-shot plan; the extractor holds a persistent [`FftPlan`]).
+/// In-place iterative radix-2 FFT over split re/im buffers (one-shot
+/// plan; the extractor holds a persistent [`FftPlan`]).
 ///
 /// # Panics
 ///
 /// Panics if the length is not a power of two (guarded by the extractor).
 #[cfg(test)]
-fn fft_radix2(re: &mut [f64], im: &mut [f64]) {
+fn fft_radix2(re: &mut [f32], im: &mut [f32]) {
     let n = re.len();
     let plan = FftPlan::new(n);
     plan.run(re, im);
 }
 
 /// The precomputed constants of one radix-2 FFT size: the bit-reversal
-/// permutation and the incremental twiddle rotations per butterfly stage.
-/// Building the plan costs one pass of trigonometry at extractor
+/// permutation and the **full twiddle table** of every butterfly stage.
+/// Building the plan costs one pass of f64 trigonometry at extractor
 /// construction; every subsequent frame reuses it — the FFT hot loop
-/// performs no `sin`/`cos` at all.
+/// performs no `sin`/`cos` and no incremental rotation (the dependent
+/// multiply chain the old f64 loop serialized on), just table lookups
+/// over `n - 1` tabulated (cos, sin) pairs.
 #[derive(Debug, Clone)]
 struct FftPlan {
     n: usize,
     /// Swap targets of the bit-reversal permutation (`i < j` pairs only).
     swaps: Vec<(u32, u32)>,
-    /// Per stage (len = 2, 4, ..., n): the stage's unit rotation.
-    stage_rotations: Vec<(f64, f64)>,
+    /// Twiddles of stage `s` (len = 2^(s+1)): `len/2` (cos, sin) pairs,
+    /// flattened stage after stage (offset of stage `s` is `2^s - 1`).
+    twiddles: Vec<(f32, f32)>,
 }
 
 impl FftPlan {
@@ -91,18 +105,16 @@ impl FftPlan {
                 swaps.push((i as u32, j as u32));
             }
         }
-        let mut stage_rotations = Vec::new();
+        let mut twiddles = Vec::with_capacity(n.saturating_sub(1));
         let mut len = 2usize;
         while len <= n {
-            let angle = -2.0 * std::f64::consts::PI / len as f64;
-            stage_rotations.push((angle.cos(), angle.sin()));
+            for k in 0..len / 2 {
+                let angle = -2.0 * std::f64::consts::PI * k as f64 / len as f64;
+                twiddles.push((angle.cos() as f32, angle.sin() as f32));
+            }
             len <<= 1;
         }
-        FftPlan {
-            n,
-            swaps,
-            stage_rotations,
-        }
+        FftPlan { n, swaps, twiddles }
     }
 
     /// Runs the planned FFT in place.
@@ -110,7 +122,7 @@ impl FftPlan {
     /// # Panics
     ///
     /// Panics if the buffers differ from the planned length.
-    fn run(&self, re: &mut [f64], im: &mut [f64]) {
+    fn run(&self, re: &mut [f32], im: &mut [f32]) {
         let n = self.n;
         assert_eq!(re.len(), n, "fft buffer does not match the plan");
         assert_eq!(im.len(), n, "fft buffer does not match the plan");
@@ -122,25 +134,25 @@ impl FftPlan {
             im.swap(i as usize, j as usize);
         }
         let mut len = 2usize;
-        for &(w_re, w_im) in &self.stage_rotations {
+        let mut stage_offset = 0usize;
+        while len <= n {
+            let half = len / 2;
+            let twiddles = &self.twiddles[stage_offset..stage_offset + half];
             let mut i = 0;
             while i < n {
-                let (mut cur_re, mut cur_im) = (1.0f64, 0.0f64);
-                for k in 0..len / 2 {
+                for (k, &(w_re, w_im)) in twiddles.iter().enumerate() {
                     let even_re = re[i + k];
                     let even_im = im[i + k];
-                    let odd_re = re[i + k + len / 2] * cur_re - im[i + k + len / 2] * cur_im;
-                    let odd_im = re[i + k + len / 2] * cur_im + im[i + k + len / 2] * cur_re;
+                    let odd_re = re[i + k + half] * w_re - im[i + k + half] * w_im;
+                    let odd_im = re[i + k + half] * w_im + im[i + k + half] * w_re;
                     re[i + k] = even_re + odd_re;
                     im[i + k] = even_im + odd_im;
-                    re[i + k + len / 2] = even_re - odd_re;
-                    im[i + k + len / 2] = even_im - odd_im;
-                    let next_re = cur_re * w_re - cur_im * w_im;
-                    cur_im = cur_re * w_im + cur_im * w_re;
-                    cur_re = next_re;
+                    re[i + k + half] = even_re - odd_re;
+                    im[i + k + half] = even_im - odd_im;
                 }
                 i += len;
             }
+            stage_offset += half;
             len <<= 1;
         }
     }
@@ -156,20 +168,23 @@ fn mel_to_hz(mel: f64) -> f64 {
 
 /// The MFCC front-end.
 ///
-/// Construction precomputes every constant of the pipeline — the Hamming
-/// window, the mel filterbank taps, the FFT plan (bit-reversal +
-/// twiddles) and the DCT-II basis — so extraction touches no
-/// trigonometry. Paired with a [`FeaturePlan`]'s scratch buffers
+/// Construction precomputes every constant of the pipeline — the
+/// pre-scaled Hamming window, the mel filterbank taps, the FFT plan
+/// (bit-reversal + full twiddle tables) and the DCT-II basis — so
+/// extraction touches no trigonometry and runs entirely in f32. Paired
+/// with a [`FeaturePlan`]'s scratch buffers
 /// ([`MfccExtractor::extract_into`]), a warm extractor processes frames
 /// with **zero** heap allocations.
 #[derive(Debug, Clone)]
 pub struct MfccExtractor {
     config: MfccConfig,
-    window: Vec<f64>,
-    filterbank: Vec<Vec<(usize, f64)>>,
+    /// Hamming window pre-divided by the i16 full scale: one multiply
+    /// turns a raw sample into a windowed, normalized f32.
+    window: Vec<f32>,
+    filterbank: Vec<Vec<(usize, f32)>>,
     fft: FftPlan,
     /// DCT-II basis, row-major `n_coeffs x n_mels`.
-    dct: Vec<f64>,
+    dct: Vec<f32>,
 }
 
 impl MfccExtractor {
@@ -185,10 +200,13 @@ impl MfccExtractor {
             "frame_len must be a power of two"
         );
         assert!(config.hop_len > 0, "hop_len must be non-zero");
-        let window: Vec<f64> = (0..config.frame_len)
+        let window: Vec<f32> = (0..config.frame_len)
             .map(|i| {
-                0.54 - 0.46
-                    * (2.0 * std::f64::consts::PI * i as f64 / (config.frame_len - 1) as f64).cos()
+                let hamming = 0.54
+                    - 0.46
+                        * (2.0 * std::f64::consts::PI * i as f64 / (config.frame_len - 1) as f64)
+                            .cos();
+                (hamming / i16::MAX as f64) as f32
             })
             .collect();
         // Triangular mel filters over the FFT bins.
@@ -215,7 +233,7 @@ impl MfccExtractor {
                     (right - b) as f64 / (right - centre) as f64
                 };
                 if w > 0.0 {
-                    taps.push((b, w));
+                    taps.push((b, w as f32));
                 }
             }
             filterbank.push(taps);
@@ -224,7 +242,7 @@ impl MfccExtractor {
             .flat_map(|c| {
                 (0..config.n_mels).map(move |m| {
                     (std::f64::consts::PI * c as f64 * (m as f64 + 0.5) / config.n_mels as f64)
-                        .cos()
+                        .cos() as f32
                 })
             })
             .collect();
@@ -259,21 +277,24 @@ impl MfccExtractor {
     }
 
     /// [`MfccExtractor::frame_energies`] into a caller-owned buffer —
-    /// allocation-free once the buffer is warm.
+    /// allocation-free once the buffer is warm. The per-frame sum of
+    /// squared samples is an exact i64 integer; only the final
+    /// normalization and square root touch floating point.
     pub fn frame_energies_into(&self, samples: &[i16], out: &mut Vec<f64>) {
         let frames = self.frame_count(samples.len());
+        let full_scale = i16::MAX as f64 * i16::MAX as f64;
         out.clear();
         out.extend((0..frames).map(|f| {
             let start = f * self.config.hop_len;
             let frame = &samples[start..start + self.config.frame_len];
-            let sum_sq: f64 = frame
+            let sum_sq: i64 = frame
                 .iter()
                 .map(|&s| {
-                    let v = s as f64 / i16::MAX as f64;
+                    let v = i64::from(s);
                     v * v
                 })
                 .sum();
-            (sum_sq / frame.len() as f64).sqrt()
+            (sum_sq as f64 / (full_scale * frame.len() as f64)).sqrt()
         }));
     }
 
@@ -300,13 +321,15 @@ impl MfccExtractor {
         for f in 0..frames {
             let start = f * self.config.hop_len;
             let frame = &samples[start..start + self.config.frame_len];
-            // Window + FFT (planned: no trig, no allocation).
+            // Window + FFT (planned: no trig, no allocation). The window
+            // carries the 1/i16::MAX normalization, so this is one
+            // multiply per sample.
             plan.fft_re.clear();
             plan.fft_re.extend(
                 frame
                     .iter()
                     .zip(self.window.iter())
-                    .map(|(&s, &w)| s as f64 / i16::MAX as f64 * w),
+                    .map(|(&s, &w)| s as f32 * w),
             );
             plan.fft_im.clear();
             plan.fft_im.resize(self.config.frame_len, 0.0);
@@ -320,18 +343,18 @@ impl MfccExtractor {
             // Mel filterbank energies, log compressed.
             plan.log_mel.clear();
             plan.log_mel.extend(self.filterbank.iter().map(|taps| {
-                let e: f64 = taps.iter().map(|&(b, w)| plan.power[b] * w).sum();
+                let e: f32 = taps.iter().map(|&(b, w)| plan.power[b] * w).sum();
                 (e + 1e-10).ln()
             }));
             // DCT-II to cepstral coefficients via the precomputed basis.
             let row = &mut plan.mfcc[f * self.config.n_coeffs..(f + 1) * self.config.n_coeffs];
             for (c, out) in row.iter_mut().enumerate() {
                 let basis = &self.dct[c * self.config.n_mels..(c + 1) * self.config.n_mels];
-                let mut acc = 0.0;
+                let mut acc = 0.0f32;
                 for (&lm, &b) in plan.log_mel.iter().zip(basis) {
                     acc += lm * b;
                 }
-                *out = acc as f32;
+                *out = acc;
             }
         }
         frames
@@ -367,13 +390,13 @@ mod tests {
         let rate = 16_000.0;
         let freq = 1_000.0;
         let samples = tone(freq, n, rate, 0.9);
-        let mut re: Vec<f64> = samples
+        let mut re: Vec<f32> = samples
             .iter()
-            .map(|&s| s as f64 / i16::MAX as f64)
+            .map(|&s| s as f32 / i16::MAX as f32)
             .collect();
-        let mut im = vec![0.0; n];
+        let mut im = vec![0.0f32; n];
         fft_radix2(&mut re, &mut im);
-        let mags: Vec<f64> = (0..n / 2)
+        let mags: Vec<f32> = (0..n / 2)
             .map(|i| (re[i] * re[i] + im[i] * im[i]).sqrt())
             .collect();
         let peak_bin = mags
@@ -387,6 +410,37 @@ mod tests {
             (peak_bin as i64 - expected_bin as i64).abs() <= 1,
             "peak at bin {peak_bin}, expected {expected_bin}"
         );
+    }
+
+    #[test]
+    fn planned_fft_matches_an_f64_reference() {
+        // The tabulated-twiddle f32 FFT against a straightforward f64 DFT:
+        // per-bin error stays at single-precision noise level relative to
+        // the signal, across non-trivial inputs.
+        let n = 256usize;
+        let input: Vec<f64> = (0..n)
+            .map(|i| {
+                (2.0 * std::f64::consts::PI * 13.0 * i as f64 / n as f64).sin() * 0.7
+                    + (2.0 * std::f64::consts::PI * 57.0 * i as f64 / n as f64).cos() * 0.2
+            })
+            .collect();
+        let mut re: Vec<f32> = input.iter().map(|&v| v as f32).collect();
+        let mut im = vec![0.0f32; n];
+        fft_radix2(&mut re, &mut im);
+        for bin in 0..n {
+            let (mut want_re, mut want_im) = (0.0f64, 0.0f64);
+            for (i, &v) in input.iter().enumerate() {
+                let angle = -2.0 * std::f64::consts::PI * (bin * i) as f64 / n as f64;
+                want_re += v * angle.cos();
+                want_im += v * angle.sin();
+            }
+            assert!(
+                (re[bin] as f64 - want_re).abs() < 1e-2 && (im[bin] as f64 - want_im).abs() < 1e-2,
+                "bin {bin}: ({}, {}) vs f64 ({want_re}, {want_im})",
+                re[bin],
+                im[bin]
+            );
+        }
     }
 
     #[test]

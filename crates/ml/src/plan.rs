@@ -25,13 +25,13 @@
 #[derive(Debug, Default, Clone)]
 pub struct FeaturePlan {
     /// FFT real parts (frame_len).
-    pub(crate) fft_re: Vec<f64>,
+    pub(crate) fft_re: Vec<f32>,
     /// FFT imaginary parts (frame_len).
-    pub(crate) fft_im: Vec<f64>,
+    pub(crate) fft_im: Vec<f32>,
     /// Power spectrum (frame_len / 2).
-    pub(crate) power: Vec<f64>,
+    pub(crate) power: Vec<f32>,
     /// Log mel filterbank energies (n_mels).
-    pub(crate) log_mel: Vec<f64>,
+    pub(crate) log_mel: Vec<f32>,
     /// Per-frame RMS energies of the current window.
     pub(crate) energies: Vec<f64>,
     /// VAD segment bounds `(start_frame, end_frame)` of the current window.
@@ -44,6 +44,12 @@ pub struct FeaturePlan {
     pub(crate) x_q: Vec<i8>,
     /// Quantized hidden activations.
     pub(crate) act_q: Vec<i8>,
+    /// i16 head activations (the dense head's high-fidelity path).
+    pub(crate) act_q16: Vec<i16>,
+    /// Quantized segment-mean cepstral vector (int8 template matching).
+    pub(crate) mean_q: Vec<i8>,
+    /// Zero-padded quantized patch-mean grid (int8 vision convolution).
+    pub(crate) grid_q: Vec<i8>,
     /// i32 matmul accumulators.
     pub(crate) acc: Vec<i32>,
     /// Extracted feature vector (classifier input).
@@ -68,16 +74,19 @@ impl FeaturePlan {
     /// Total bytes currently retained by the plan's scratch buffers —
     /// the per-session working-memory cost of allocation-free inference.
     pub fn retained_bytes(&self) -> usize {
-        self.fft_re.capacity() * 8
-            + self.fft_im.capacity() * 8
-            + self.power.capacity() * 8
-            + self.log_mel.capacity() * 8
+        self.fft_re.capacity() * 4
+            + self.fft_im.capacity() * 4
+            + self.power.capacity() * 4
+            + self.log_mel.capacity() * 4
             + self.energies.capacity() * 8
             + self.bounds.capacity() * 16
             + self.mfcc.capacity() * 4
             + self.mean.capacity() * 4
             + self.x_q.capacity()
             + self.act_q.capacity()
+            + self.act_q16.capacity() * 2
+            + self.mean_q.capacity()
+            + self.grid_q.capacity()
             + self.acc.capacity() * 4
             + self.features.capacity() * 4
             + self.hidden.capacity() * 4

@@ -2,10 +2,24 @@
 //!
 //! The paper's §V mitigation for tight TEE memory is "smaller ML models".
 //! This module implements the standard way to get there without retraining:
-//! symmetric per-tensor int8 quantization of every weight matrix. The
-//! quantized classifier keeps the same structure but stores weights in one
-//! byte instead of four, at a small accuracy cost that experiment E5
-//! quantifies.
+//! symmetric int8 quantization of every weight matrix — per-tensor
+//! ([`QuantizedMatrix::quantize`]) or per-output-channel
+//! ([`QuantizedMatrix::quantize_per_row`] /
+//! [`QuantizedMatrix::quantize_per_col`], which stop outlier filters from
+//! wasting the shared range) — plus the integer kernels the deployed
+//! models run on.
+//!
+//! The hot kernels ([`dot_i8`], [`QuantizedMatrix::matmul_i8`],
+//! [`QuantizedMatrix::matmul_i16`]) dispatch at runtime: on x86-64 with
+//! AVX2 they run hand-written wide forms (`vpmaddwd` dot products,
+//! `vpmulld` rank-1 updates); everywhere else they fall back to
+//! fixed-width chunked loops over widened lanes with i32 accumulation and
+//! a scalar tail, the shape LLVM autovectorizes. Integer addition is
+//! exact and associative, so every dispatched form is **bit-identical**
+//! to the retained scalar references ([`dot_i8_ref`],
+//! [`QuantizedMatrix::matmul_i8_ref`],
+//! [`QuantizedMatrix::matmul_i16_ref`]), which stay in the crate as the
+//! oracles the parity proptests pin against.
 
 use serde::{Deserialize, Serialize};
 
@@ -38,45 +52,139 @@ impl std::fmt::Display for QuantMode {
     }
 }
 
-/// A symmetric per-tensor int8 quantization of a weight matrix.
+/// How a [`QuantizedMatrix`]'s scales map onto its values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QuantGranularity {
+    /// One scale for the whole tensor.
+    PerTensor,
+    /// One scale per row (convolution filters: each row is one output
+    /// channel's flattened filter, consumed via [`QuantizedMatrix::row`]
+    /// + [`dot_i8`]).
+    PerRow,
+    /// One scale per column (dense weights: `out[c] = sum_k x[k]*w[k][c]`
+    /// makes the column the output channel, consumed via
+    /// [`QuantizedMatrix::matmul_i8`]).
+    PerCol,
+}
+
+fn scale_of(max_abs: f32) -> f32 {
+    if max_abs == 0.0 {
+        1.0
+    } else {
+        max_abs / 127.0
+    }
+}
+
+/// A symmetric int8 quantization of a weight matrix, per-tensor or
+/// per-output-channel.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct QuantizedMatrix {
     rows: usize,
     cols: usize,
-    scale: f32,
+    granularity: QuantGranularity,
+    /// One entry ([`QuantGranularity::PerTensor`]), `rows` entries
+    /// (`PerRow`) or `cols` entries (`PerCol`).
+    scales: Vec<f32>,
     values: Vec<i8>,
 }
 
 impl QuantizedMatrix {
-    /// Quantizes a matrix: `q = round(x / scale)` with
-    /// `scale = max|x| / 127`.
+    /// Quantizes a matrix with one shared scale: `q = round(x / scale)`
+    /// with `scale = max|x| / 127`.
     pub fn quantize(m: &Matrix) -> Self {
         let max_abs = m.data().iter().fold(0f32, |acc, v| acc.max(v.abs()));
-        let scale = if max_abs == 0.0 { 1.0 } else { max_abs / 127.0 };
+        let scale = scale_of(max_abs);
+        let inv = 1.0 / scale;
         let values = m
             .data()
             .iter()
-            .map(|&v| (v / scale).round().clamp(-127.0, 127.0) as i8)
+            .map(|&v| (v * inv).round().clamp(-127.0, 127.0) as i8)
             .collect();
         QuantizedMatrix {
             rows: m.rows(),
             cols: m.cols(),
-            scale,
+            granularity: QuantGranularity::PerTensor,
+            scales: vec![scale],
+            values,
+        }
+    }
+
+    /// Quantizes a matrix with one scale per **row** — the right axis for
+    /// convolution filter banks, where each row is one output channel and
+    /// a single outlier filter would otherwise stretch the shared range
+    /// for everyone.
+    pub fn quantize_per_row(m: &Matrix) -> Self {
+        let mut scales = Vec::with_capacity(m.rows());
+        let mut values = Vec::with_capacity(m.len());
+        for r in 0..m.rows() {
+            let row = m.row(r);
+            let max_abs = row.iter().fold(0f32, |acc, v| acc.max(v.abs()));
+            let scale = scale_of(max_abs);
+            let inv = 1.0 / scale;
+            values.extend(
+                row.iter()
+                    .map(|&v| (v * inv).round().clamp(-127.0, 127.0) as i8),
+            );
+            scales.push(scale);
+        }
+        QuantizedMatrix {
+            rows: m.rows(),
+            cols: m.cols(),
+            granularity: QuantGranularity::PerRow,
+            scales,
+            values,
+        }
+    }
+
+    /// Quantizes a matrix with one scale per **column** — the right axis
+    /// for dense layers, where `matmul_i8`'s output channel is the
+    /// column and the per-channel rescale folds into the existing
+    /// epilogue multiply at zero extra cost.
+    pub fn quantize_per_col(m: &Matrix) -> Self {
+        let mut scales = vec![0f32; m.cols()];
+        for r in 0..m.rows() {
+            for (c, &v) in m.row(r).iter().enumerate() {
+                scales[c] = scales[c].max(v.abs());
+            }
+        }
+        for s in &mut scales {
+            *s = scale_of(*s);
+        }
+        let mut values = Vec::with_capacity(m.len());
+        for r in 0..m.rows() {
+            values.extend(
+                m.row(r)
+                    .iter()
+                    .zip(&scales)
+                    .map(|(&v, &s)| (v / s).round().clamp(-127.0, 127.0) as i8),
+            );
+        }
+        QuantizedMatrix {
+            rows: m.rows(),
+            cols: m.cols(),
+            granularity: QuantGranularity::PerCol,
+            scales,
             values,
         }
     }
 
     /// Reconstructs the (lossy) f32 matrix.
     pub fn dequantize(&self) -> Matrix {
-        let data = self.values.iter().map(|&q| q as f32 * self.scale).collect();
+        let data = self
+            .values
+            .iter()
+            .enumerate()
+            .map(|(i, &q)| q as f32 * self.scale_at(i / self.cols, i % self.cols))
+            .collect();
         Matrix::from_vec(self.rows, self.cols, data).expect("shape preserved by construction")
     }
 
-    /// Storage size in bytes: the int8 values, the scale, **and** the
-    /// `rows`/`cols` header fields — a deployed quantized matrix carries
-    /// its shape, so footprint reports must not pretend otherwise.
+    /// Storage size in bytes: the int8 values, the scale vector, **and**
+    /// the `rows`/`cols` header fields — a deployed quantized matrix
+    /// carries its shape and every per-channel scale, so footprint
+    /// reports must not pretend otherwise.
     pub fn storage_bytes(&self) -> usize {
-        self.values.len() + 4 + 2 * std::mem::size_of::<usize>()
+        self.values.len() + 4 * self.scales.len() + 2 * std::mem::size_of::<usize>()
     }
 
     /// Number of quantized values.
@@ -99,9 +207,47 @@ impl QuantizedMatrix {
         self.cols
     }
 
+    /// How the scales map onto the values.
+    pub fn granularity(&self) -> QuantGranularity {
+        self.granularity
+    }
+
     /// The per-tensor scale (`x ~= q * scale`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a per-channel matrix — there is no single scale to
+    /// return; use [`QuantizedMatrix::row_scale`] or the fused kernels.
     pub fn scale(&self) -> f32 {
-        self.scale
+        assert!(
+            self.granularity == QuantGranularity::PerTensor,
+            "scale() on a per-channel matrix; use row_scale()/matmul_i8"
+        );
+        self.scales[0]
+    }
+
+    /// The scale of row `r` (the row's channel scale for `PerRow`, the
+    /// shared scale for `PerTensor`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range, or on a `PerCol` matrix (rows there have
+    /// no single scale).
+    pub fn row_scale(&self, r: usize) -> f32 {
+        assert!(r < self.rows, "row {r} out of range");
+        match self.granularity {
+            QuantGranularity::PerTensor => self.scales[0],
+            QuantGranularity::PerRow => self.scales[r],
+            QuantGranularity::PerCol => panic!("row_scale() on a per-column matrix"),
+        }
+    }
+
+    fn scale_at(&self, r: usize, c: usize) -> f32 {
+        match self.granularity {
+            QuantGranularity::PerTensor => self.scales[0],
+            QuantGranularity::PerRow => self.scales[r],
+            QuantGranularity::PerCol => self.scales[c],
+        }
     }
 
     /// The quantized values, row-major.
@@ -119,17 +265,59 @@ impl QuantizedMatrix {
         &self.values[r * self.cols..(r + 1) * self.cols]
     }
 
+    fn check_matmul_input(&self, x_len: usize) -> Result<()> {
+        if x_len != self.rows {
+            return Err(MlError::ShapeMismatch {
+                reason: format!(
+                    "integer matmul expects {} activations, got {}",
+                    self.rows, x_len
+                ),
+            });
+        }
+        if self.granularity == QuantGranularity::PerRow {
+            return Err(MlError::ShapeMismatch {
+                reason: "integer matmul over a per-row matrix: row scales cannot fold into the \
+                         column epilogue (quantize per-col for dense weights)"
+                    .to_owned(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The shared epilogue: one rescale per output, per-column scales
+    /// riding the same multiply as the per-tensor scale.
+    fn rescale_into(&self, x_scale: f32, acc: &[i32], out: &mut Vec<f32>) {
+        out.clear();
+        match self.granularity {
+            QuantGranularity::PerCol => out.extend(
+                acc.iter()
+                    .zip(&self.scales)
+                    .map(|(&a, &s)| a as f32 * (x_scale * s)),
+            ),
+            _ => {
+                let rescale = x_scale * self.scales[0];
+                out.extend(acc.iter().map(|&a| a as f32 * rescale));
+            }
+        }
+    }
+
     /// The fused integer matmul: `out[c] = (sum_k x_q[k] * w_q[k][c]) *
-    /// (x_scale * w_scale)` — i8 x i8 multiplies accumulated in i32,
-    /// rescaled **once** at the end. No f32 weight reconstruction, no
-    /// allocation: `acc` and `out` are caller-owned scratch (resized, not
-    /// reallocated, once warm). The loop is row-major blocked like
-    /// [`Matrix::matmul`]: `k` outer over weight rows, `c` inner over the
-    /// contiguous row, with zero activations skipped.
+    /// (x_scale * w_scale[c])` — i8 x i8 multiplies accumulated in i32,
+    /// rescaled **once** at the end (per-column scales fold into the same
+    /// epilogue multiply as the per-tensor scale). No f32 weight
+    /// reconstruction, no allocation: `acc` and `out` are caller-owned
+    /// scratch (resized, not reallocated, once warm).
+    ///
+    /// The accumulation dispatches to the AVX2 rank-1 kernel where the
+    /// host supports it and otherwise runs fixed-width
+    /// [`MATMUL_LANES`]-column chunks with a scalar tail; both forms are
+    /// bit-identical to [`QuantizedMatrix::matmul_i8_ref`] because integer
+    /// accumulation is exact in any order.
     ///
     /// # Errors
     ///
-    /// Returns [`MlError::ShapeMismatch`] if `x_q.len() != rows`.
+    /// Returns [`MlError::ShapeMismatch`] if `x_q.len() != rows` or the
+    /// matrix is quantized per-row (the conv axis, wrong for matmul).
     pub fn matmul_i8(
         &self,
         x_q: &[i8],
@@ -137,15 +325,46 @@ impl QuantizedMatrix {
         acc: &mut Vec<i32>,
         out: &mut Vec<f32>,
     ) -> Result<()> {
-        if x_q.len() != self.rows {
-            return Err(MlError::ShapeMismatch {
-                reason: format!(
-                    "int8 matmul expects {} activations, got {}",
-                    self.rows,
-                    x_q.len()
-                ),
-            });
+        self.check_matmul_input(x_q.len())?;
+        acc.clear();
+        acc.resize(self.cols, 0);
+        #[cfg(target_arch = "x86_64")]
+        if x86::avx2_available() {
+            // SAFETY: AVX2 presence checked; every row slice is `cols`
+            // values long by construction.
+            #[allow(unsafe_code)]
+            unsafe {
+                x86::matmul_acc_i8(&self.values, self.cols, x_q, acc);
+            }
+            self.rescale_into(x_scale, acc, out);
+            return Ok(());
         }
+        for (k, &x) in x_q.iter().enumerate() {
+            if x == 0 {
+                continue;
+            }
+            let row = &self.values[k * self.cols..(k + 1) * self.cols];
+            rank1_update_lanes(acc, row, i32::from(x));
+        }
+        self.rescale_into(x_scale, acc, out);
+        Ok(())
+    }
+
+    /// The scalar reference implementation of
+    /// [`QuantizedMatrix::matmul_i8`] — the oracle the dispatched kernel
+    /// is proptested bit-identical against. Not used on any hot path.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`QuantizedMatrix::matmul_i8`].
+    pub fn matmul_i8_ref(
+        &self,
+        x_q: &[i8],
+        x_scale: f32,
+        acc: &mut Vec<i32>,
+        out: &mut Vec<f32>,
+    ) -> Result<()> {
+        self.check_matmul_input(x_q.len())?;
         acc.clear();
         acc.resize(self.cols, 0);
         for (k, &x) in x_q.iter().enumerate() {
@@ -158,18 +377,362 @@ impl QuantizedMatrix {
                 *a += x * i32::from(w);
             }
         }
-        let rescale = x_scale * self.scale;
         out.clear();
-        out.extend(acc.iter().map(|&a| a as f32 * rescale));
+        out.extend(
+            acc.iter()
+                .enumerate()
+                .map(|(c, &a)| a as f32 * (x_scale * self.scale_at(0, c))),
+        );
+        Ok(())
+    }
+
+    /// [`QuantizedMatrix::matmul_i8`] over **i16** activations — the
+    /// high-fidelity variant the classification heads run on. The head is
+    /// a rounding-error bottleneck, not a compute bottleneck (a few
+    /// thousand MACs next to the convolutions' hundreds of thousands), so
+    /// it spends 16 activation bits instead of 8: the activation
+    /// quantization step shrinks 256x and near-threshold decisions stop
+    /// flipping against the f32 baseline, while the weights stay i8 and
+    /// the arithmetic stays integer.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`QuantizedMatrix::matmul_i8`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix has more than 516 rows: `516 * 32767 * 127`
+    /// is the last multiple that provably fits the i32 accumulator.
+    pub fn matmul_i16(
+        &self,
+        x_q: &[i16],
+        x_scale: f32,
+        acc: &mut Vec<i32>,
+        out: &mut Vec<f32>,
+    ) -> Result<()> {
+        self.check_matmul_input(x_q.len())?;
+        assert!(
+            self.rows <= 516,
+            "matmul_i16 over {} rows would overflow the i32 accumulator (bound 516)",
+            self.rows
+        );
+        acc.clear();
+        acc.resize(self.cols, 0);
+        #[cfg(target_arch = "x86_64")]
+        if x86::avx2_available() {
+            // SAFETY: AVX2 presence checked; every row slice is `cols`
+            // values long by construction.
+            #[allow(unsafe_code)]
+            unsafe {
+                x86::matmul_acc_i16(&self.values, self.cols, x_q, acc);
+            }
+            self.rescale_into(x_scale, acc, out);
+            return Ok(());
+        }
+        for (k, &x) in x_q.iter().enumerate() {
+            if x == 0 {
+                continue;
+            }
+            let row = &self.values[k * self.cols..(k + 1) * self.cols];
+            rank1_update_lanes(acc, row, i32::from(x));
+        }
+        self.rescale_into(x_scale, acc, out);
+        Ok(())
+    }
+
+    /// The scalar reference implementation of
+    /// [`QuantizedMatrix::matmul_i16`] — the proptest oracle. Not used on
+    /// any hot path.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`QuantizedMatrix::matmul_i16`].
+    ///
+    /// # Panics
+    ///
+    /// Same bound as [`QuantizedMatrix::matmul_i16`].
+    pub fn matmul_i16_ref(
+        &self,
+        x_q: &[i16],
+        x_scale: f32,
+        acc: &mut Vec<i32>,
+        out: &mut Vec<f32>,
+    ) -> Result<()> {
+        self.check_matmul_input(x_q.len())?;
+        assert!(
+            self.rows <= 516,
+            "matmul_i16 over {} rows would overflow the i32 accumulator (bound 516)",
+            self.rows
+        );
+        acc.clear();
+        acc.resize(self.cols, 0);
+        for (k, &x) in x_q.iter().enumerate() {
+            if x == 0 {
+                continue;
+            }
+            let x = i32::from(x);
+            let row = &self.values[k * self.cols..(k + 1) * self.cols];
+            for (a, &w) in acc.iter_mut().zip(row) {
+                *a += x * i32::from(w);
+            }
+        }
+        out.clear();
+        out.extend(
+            acc.iter()
+                .enumerate()
+                .map(|(c, &a)| a as f32 * (x_scale * self.scale_at(0, c))),
+        );
         Ok(())
     }
 }
 
+/// Portable rank-1 accumulation `acc[c] += x * row[c]` over fixed
+/// [`MATMUL_LANES`]-column chunks with a scalar tail — the non-x86 inner
+/// loop of the fused matmuls.
+#[inline(always)]
+fn rank1_update_lanes(acc: &mut [i32], row: &[i8], x: i32) {
+    let mut acc_chunks = acc.chunks_exact_mut(MATMUL_LANES);
+    let mut row_chunks = row.chunks_exact(MATMUL_LANES);
+    for (a, w) in (&mut acc_chunks).zip(&mut row_chunks) {
+        for l in 0..MATMUL_LANES {
+            a[l] += x * i32::from(w[l]);
+        }
+    }
+    for (a, &w) in acc_chunks
+        .into_remainder()
+        .iter_mut()
+        .zip(row_chunks.remainder())
+    {
+        *a += x * i32::from(w);
+    }
+}
+
+/// The AVX2 forms of the integer kernels, runtime-dispatched from the
+/// public entry points via [`x86::avx2_available`]. Every operation here
+/// is exact integer arithmetic, so the results are bit-identical to the
+/// scalar oracles — the parity proptests exercise these paths on any
+/// AVX2 host.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+pub(crate) mod x86 {
+    use std::arch::x86_64::*;
+
+    /// Whether the AVX2 kernel forms may run (detection is cached by the
+    /// standard library; callers on hot paths should still hoist this
+    /// check out of their inner loops).
+    #[inline]
+    pub(crate) fn avx2_available() -> bool {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+
+    /// AVX2 [`super::dot_i8`]: sign-extend 16 i8 lanes to i16 and
+    /// multiply-accumulate adjacent pairs into i32 (`vpmaddwd`), two
+    /// independent accumulator chains, scalar tail.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 is available and `a.len() == b.len()`.
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+        let n = a.len();
+        let (ap, bp) = (a.as_ptr(), b.as_ptr());
+        let mut acc0 = _mm256_setzero_si256();
+        let mut acc1 = _mm256_setzero_si256();
+        let mut i = 0usize;
+        while i + 32 <= n {
+            let a0 = _mm256_cvtepi8_epi16(_mm_loadu_si128(ap.add(i).cast()));
+            let b0 = _mm256_cvtepi8_epi16(_mm_loadu_si128(bp.add(i).cast()));
+            acc0 = _mm256_add_epi32(acc0, _mm256_madd_epi16(a0, b0));
+            let a1 = _mm256_cvtepi8_epi16(_mm_loadu_si128(ap.add(i + 16).cast()));
+            let b1 = _mm256_cvtepi8_epi16(_mm_loadu_si128(bp.add(i + 16).cast()));
+            acc1 = _mm256_add_epi32(acc1, _mm256_madd_epi16(a1, b1));
+            i += 32;
+        }
+        if i + 16 <= n {
+            let a0 = _mm256_cvtepi8_epi16(_mm_loadu_si128(ap.add(i).cast()));
+            let b0 = _mm256_cvtepi8_epi16(_mm_loadu_si128(bp.add(i).cast()));
+            acc0 = _mm256_add_epi32(acc0, _mm256_madd_epi16(a0, b0));
+            i += 16;
+        }
+        let acc = _mm256_add_epi32(acc0, acc1);
+        let mut s = _mm_add_epi32(
+            _mm256_castsi256_si128(acc),
+            _mm256_extracti128_si256(acc, 1),
+        );
+        s = _mm_add_epi32(s, _mm_srli_si128(s, 8));
+        s = _mm_add_epi32(s, _mm_srli_si128(s, 4));
+        let mut total = _mm_cvtsi128_si32(s);
+        while i < n {
+            total += i32::from(*a.get_unchecked(i)) * i32::from(*b.get_unchecked(i));
+            i += 1;
+        }
+        total
+    }
+
+    /// AVX2 rank-1 update `acc[c] += x * row[c]`: weights widened
+    /// i8 -> i32 (`vpmovsxbd`), broadcast multiply (`vpmulld`), eight
+    /// columns per step — exact for any `|x| <= 32767`, so it serves the
+    /// i8 and i16 activation paths alike.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 is available and `row.len() == acc.len()`.
+    #[target_feature(enable = "avx2")]
+    unsafe fn rank1_update(acc: &mut [i32], row: &[i8], x: i32) {
+        let n = acc.len();
+        let vx = _mm256_set1_epi32(x);
+        let mut c = 0usize;
+        while c + 8 <= n {
+            let w = _mm256_cvtepi8_epi32(_mm_loadl_epi64(row.as_ptr().add(c).cast()));
+            let a = _mm256_loadu_si256(acc.as_ptr().add(c).cast());
+            let sum = _mm256_add_epi32(a, _mm256_mullo_epi32(vx, w));
+            _mm256_storeu_si256(acc.as_mut_ptr().add(c).cast(), sum);
+            c += 8;
+        }
+        while c < n {
+            *acc.get_unchecked_mut(c) += x * i32::from(*row.get_unchecked(c));
+            c += 1;
+        }
+    }
+
+    /// AVX2 accumulation loop of [`super::QuantizedMatrix::matmul_i8`].
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 is available, `x_q.len() * cols ==
+    /// values.len()` and `acc.len() == cols`.
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn matmul_acc_i8(values: &[i8], cols: usize, x_q: &[i8], acc: &mut [i32]) {
+        for (k, &x) in x_q.iter().enumerate() {
+            if x == 0 {
+                continue;
+            }
+            rank1_update(acc, &values[k * cols..(k + 1) * cols], i32::from(x));
+        }
+    }
+
+    /// AVX2 accumulation loop of [`super::QuantizedMatrix::matmul_i16`].
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`matmul_acc_i8`].
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn matmul_acc_i16(values: &[i8], cols: usize, x_q: &[i16], acc: &mut [i32]) {
+        for (k, &x) in x_q.iter().enumerate() {
+            if x == 0 {
+                continue;
+            }
+            rank1_update(acc, &values[k * cols..(k + 1) * cols], i32::from(x));
+        }
+    }
+
+    /// AVX2 patch pooling for one grid row of 8-pixel-wide patches:
+    /// writes the per-patch sum and sum-of-squares of each 8x8 pixel
+    /// block. Each 32-byte load covers four patches; `vpsadbw` against
+    /// zero yields the four per-patch byte sums directly, and squaring
+    /// the u8->i16 widened lanes with `vpmaddwd` yields pairwise squared
+    /// sums (4 adjacent i32 lanes per patch). All sums are exact
+    /// integers, so the result is bit-identical to the scalar pooling
+    /// loop.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 is available, `rows.len() == 8 * width`,
+    /// `width % 32 == 0`, and `sums.len() == sum_sqs.len() == width / 8`.
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn pool_row_sums_patch8(
+        rows: &[u8],
+        width: usize,
+        sums: &mut [u32],
+        sum_sqs: &mut [u32],
+    ) {
+        let zero = _mm256_setzero_si256();
+        for g in 0..width / 32 {
+            let mut sad = zero;
+            let mut sq_lo = zero;
+            let mut sq_hi = zero;
+            for py in 0..8 {
+                let v = _mm256_loadu_si256(rows.as_ptr().add(py * width + g * 32).cast());
+                sad = _mm256_add_epi64(sad, _mm256_sad_epu8(v, zero));
+                let lo = _mm256_cvtepu8_epi16(_mm256_castsi256_si128(v));
+                sq_lo = _mm256_add_epi32(sq_lo, _mm256_madd_epi16(lo, lo));
+                let hi = _mm256_cvtepu8_epi16(_mm256_extracti128_si256(v, 1));
+                sq_hi = _mm256_add_epi32(sq_hi, _mm256_madd_epi16(hi, hi));
+            }
+            let mut s64 = [0u64; 4];
+            _mm256_storeu_si256(s64.as_mut_ptr().cast(), sad);
+            let mut q = [0i32; 16];
+            _mm256_storeu_si256(q.as_mut_ptr().cast(), sq_lo);
+            _mm256_storeu_si256(q.as_mut_ptr().add(8).cast(), sq_hi);
+            for p in 0..4 {
+                sums[g * 4 + p] = s64[p] as u32;
+                sum_sqs[g * 4 + p] = q[p * 4..p * 4 + 4].iter().map(|&v| v as u32).sum();
+            }
+        }
+    }
+}
+
+/// Lane width of the chunked kernels. 16 i8 lanes widen to one 128-bit
+/// i16 vector — the natural SIMD granule on every target the fleet
+/// simulates (NEON and SSE2 alike), and wide enough that LLVM emits
+/// multi-register multiply-adds at higher ISA levels.
+pub const DOT_LANES: usize = 16;
+
+/// Column-chunk width of [`QuantizedMatrix::matmul_i8`]'s inner loop.
+pub const MATMUL_LANES: usize = 16;
+
 /// Integer dot product of two i8 slices with i32 accumulation — the inner
-/// kernel of the fused convolutions. Slices are truncated to the shorter
-/// length (callers guarantee equal lengths; the zip makes that safe).
+/// kernel of the fused convolutions and the int8 template matcher.
+///
+/// Dispatches to the `vpmaddwd` AVX2 form on hosts that support it
+/// ([`dot_i8_lanes`] is the portable fallback); bit-identical to
+/// [`dot_i8_ref`] either way (integer accumulation is exact in any
+/// order).
+///
+/// **Caller contract:** `a` and `b` must be the same length. The kernel
+/// `debug_assert!`s this; in release builds a mismatch would silently
+/// truncate to the shorter slice and produce a wrong dot product, not an
+/// error — every in-crate caller derives both slices from the same
+/// shape-checked matrix, which is what keeps the contract.
 #[inline]
 pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len(), "dot_i8 operands must have equal lengths");
+    #[cfg(target_arch = "x86_64")]
+    if x86::avx2_available() {
+        // SAFETY: AVX2 presence checked; equal lengths per contract.
+        #[allow(unsafe_code)]
+        return unsafe { x86::dot_i8(a, b) };
+    }
+    dot_i8_lanes(a, b)
+}
+
+/// The portable form of [`dot_i8`]: fixed [`DOT_LANES`]-wide chunks with
+/// per-lane i32 accumulators plus a scalar tail, the
+/// autovectorization-friendly shape. Same caller contract as [`dot_i8`].
+#[inline]
+pub fn dot_i8_lanes(a: &[i8], b: &[i8]) -> i32 {
+    let mut lanes = [0i32; DOT_LANES];
+    let mut a_chunks = a.chunks_exact(DOT_LANES);
+    let mut b_chunks = b.chunks_exact(DOT_LANES);
+    for (ca, cb) in (&mut a_chunks).zip(&mut b_chunks) {
+        for l in 0..DOT_LANES {
+            // i8 x i8 fits i16; the product widens to the i32 lane.
+            lanes[l] += i32::from(i16::from(ca[l]) * i16::from(cb[l]));
+        }
+    }
+    let mut total: i32 = lanes.iter().sum();
+    for (&x, &w) in a_chunks.remainder().iter().zip(b_chunks.remainder()) {
+        total += i32::from(x) * i32::from(w);
+    }
+    total
+}
+
+/// The scalar reference implementation of [`dot_i8`] — the oracle the
+/// chunked kernel is proptested bit-identical against. Not used on any
+/// hot path.
+#[inline]
+pub fn dot_i8_ref(a: &[i8], b: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len(), "dot_i8 operands must have equal lengths");
     a.iter()
         .zip(b)
         .map(|(&x, &w)| i32::from(x) * i32::from(w))
@@ -179,16 +742,47 @@ pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
 /// Symmetric per-tensor quantization of an activation slice into
 /// caller-owned scratch: `q = round(x / scale)` with `scale = max|x| / 127`.
 /// Returns the scale (1.0 for an all-zero input, like
-/// [`QuantizedMatrix::quantize`]).
+/// [`QuantizedMatrix::quantize`] — both semantics are test-pinned).
+///
+/// The all-zero case skips the `round().clamp()` float round-trip
+/// entirely (zeros map to zeros at any scale); the main loop is the
+/// chunked inverse-scale multiply.
 pub fn quantize_activations(input: &[f32], out: &mut Vec<i8>) -> f32 {
     let max_abs = input.iter().fold(0f32, |acc, v| acc.max(v.abs()));
-    let scale = if max_abs == 0.0 { 1.0 } else { max_abs / 127.0 };
-    let inv = 1.0 / scale;
     out.clear();
+    if max_abs == 0.0 {
+        out.resize(input.len(), 0);
+        return 1.0;
+    }
+    let scale = max_abs / 127.0;
+    let inv = 1.0 / scale;
     out.extend(
         input
             .iter()
             .map(|&v| (v * inv).round().clamp(-127.0, 127.0) as i8),
+    );
+    scale
+}
+
+/// Symmetric per-tensor quantization of an activation slice into **i16**
+/// scratch: `q = round(x / scale)` with `scale = max|x| / 32767` (1.0 for
+/// an all-zero input, matching [`quantize_activations`]). The 16-bit
+/// variant the classification heads feed [`QuantizedMatrix::matmul_i16`]
+/// — 256x finer steps than i8 for layers whose cost is rounding error,
+/// not arithmetic.
+pub fn quantize_activations_i16(input: &[f32], out: &mut Vec<i16>) -> f32 {
+    let max_abs = input.iter().fold(0f32, |acc, v| acc.max(v.abs()));
+    out.clear();
+    if max_abs == 0.0 {
+        out.resize(input.len(), 0);
+        return 1.0;
+    }
+    let scale = max_abs / 32767.0;
+    let inv = 1.0 / scale;
+    out.extend(
+        input
+            .iter()
+            .map(|&v| (v * inv).round().clamp(-32767.0, 32767.0) as i16),
     );
     scale
 }
@@ -279,11 +873,84 @@ mod tests {
             );
         }
         assert_eq!(q.len(), 256);
-        // Values + scale + the rows/cols shape header.
+        // Values + one scale + the rows/cols shape header.
         assert_eq!(
             q.storage_bytes(),
             256 + 4 + 2 * std::mem::size_of::<usize>()
         );
+    }
+
+    #[test]
+    fn per_row_quantization_tightens_outlier_rows() {
+        // One outlier row an order of magnitude hotter than the rest: the
+        // per-tensor scale blurs the quiet rows, per-row keeps each sharp.
+        let mut data = vec![0f32; 4 * 8];
+        for (i, v) in data.iter_mut().enumerate() {
+            let row = i / 8;
+            let base = ((i * 13 % 17) as f32 - 8.0) / 10.0;
+            *v = if row == 0 { base * 10.0 } else { base };
+        }
+        let m = Matrix::from_vec(4, 8, data).unwrap();
+        let per_tensor = QuantizedMatrix::quantize(&m).dequantize();
+        let per_row = QuantizedMatrix::quantize_per_row(&m).dequantize();
+        let err = |r: &Matrix, rows: std::ops::Range<usize>| -> f32 {
+            rows.map(|row| {
+                m.row(row)
+                    .iter()
+                    .zip(r.row(row))
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0f32, f32::max)
+            })
+            .fold(0f32, f32::max)
+        };
+        // The quiet rows reconstruct strictly better per-row.
+        assert!(err(&per_row, 1..4) < err(&per_tensor, 1..4));
+        // Per-row scales are charged to storage.
+        let q = QuantizedMatrix::quantize_per_row(&m);
+        assert_eq!(q.granularity(), QuantGranularity::PerRow);
+        assert_eq!(
+            q.storage_bytes(),
+            32 + 4 * 4 + 2 * std::mem::size_of::<usize>()
+        );
+        assert!(q.row_scale(0) > q.row_scale(1));
+    }
+
+    #[test]
+    fn per_col_quantization_feeds_the_matmul_epilogue() {
+        let mut data = vec![0f32; 16 * 6];
+        for (i, v) in data.iter_mut().enumerate() {
+            let col = i % 6;
+            let base = ((i * 7 % 23) as f32 - 11.0) / 8.0;
+            *v = if col == 0 { base * 8.0 } else { base };
+        }
+        let w = Matrix::from_vec(16, 6, data).unwrap();
+        let q = QuantizedMatrix::quantize_per_col(&w);
+        assert_eq!(q.granularity(), QuantGranularity::PerCol);
+        let x: Vec<f32> = (0..16).map(|i| (i as f32 - 8.0) * 0.25).collect();
+        let mut x_q = Vec::new();
+        let x_scale = quantize_activations(&x, &mut x_q);
+        let (mut acc, mut out) = (Vec::new(), Vec::new());
+        q.matmul_i8(&x_q, x_scale, &mut acc, &mut out).unwrap();
+        // Reference: dequantized-weight f32 matmul over quantized inputs.
+        let deq = q.dequantize();
+        for (c, &got) in out.iter().enumerate() {
+            let want: f32 = (0..16)
+                .map(|k| x_q[k] as f32 * x_scale * deq.get(k, c))
+                .sum();
+            assert!(
+                (got - want).abs() < 1e-4,
+                "col {c}: fused {got} vs reference {want}"
+            );
+        }
+        // The per-col fused path matches the scalar oracle bit for bit.
+        let (mut acc2, mut out2) = (Vec::new(), Vec::new());
+        q.matmul_i8_ref(&x_q, x_scale, &mut acc2, &mut out2)
+            .unwrap();
+        assert_eq!(out, out2);
+        assert_eq!(acc, acc2);
+        // Per-row matrices are rejected by matmul, not silently mis-scaled.
+        let qr = QuantizedMatrix::quantize_per_row(&w);
+        assert!(qr.matmul_i8(&x_q, x_scale, &mut acc, &mut out).is_err());
     }
 
     #[test]
@@ -309,6 +976,36 @@ mod tests {
         }
         // Shape mismatch is rejected, not mangled.
         assert!(q.matmul_i8(&x_q[..4], x_scale, &mut acc, &mut out).is_err());
+        assert!(q
+            .matmul_i8_ref(&x_q[..4], x_scale, &mut acc, &mut out)
+            .is_err());
+    }
+
+    #[test]
+    fn chunked_kernels_match_scalar_references_on_tails() {
+        // Lengths straddling the lane width, including ragged tails.
+        for len in [1usize, 7, 15, 16, 17, 31, 48, 100] {
+            let a: Vec<i8> = (0..len)
+                .map(|i| ((i * 37 % 255) as i32 - 127) as i8)
+                .collect();
+            let b: Vec<i8> = (0..len)
+                .map(|i| ((i * 91 % 255) as i32 - 127) as i8)
+                .collect();
+            assert_eq!(dot_i8(&a, &b), dot_i8_ref(&a, &b), "len {len}");
+        }
+        // Matmul with a non-multiple-of-lane column count.
+        let w = Matrix::random(23, 19, 1.2, 77);
+        let q = QuantizedMatrix::quantize(&w);
+        let x: Vec<f32> = (0..23).map(|i| ((i % 7) as f32 - 3.0) * 0.4).collect();
+        let mut x_q = Vec::new();
+        let x_scale = quantize_activations(&x, &mut x_q);
+        let (mut acc, mut out) = (Vec::new(), Vec::new());
+        let (mut acc2, mut out2) = (Vec::new(), Vec::new());
+        q.matmul_i8(&x_q, x_scale, &mut acc, &mut out).unwrap();
+        q.matmul_i8_ref(&x_q, x_scale, &mut acc2, &mut out2)
+            .unwrap();
+        assert_eq!(acc, acc2);
+        assert_eq!(out, out2);
     }
 
     #[test]
@@ -321,8 +1018,10 @@ mod tests {
         for (&orig, &quant) in x.iter().zip(&q) {
             assert!((orig - quant as f32 * scale).abs() <= scale * 0.5 + 1e-6);
         }
-        // All-zero input keeps a benign scale.
+        // All-zero input keeps a benign scale and the fast path still
+        // fills the output with zeros of the right length.
         assert_eq!(quantize_activations(&[0.0; 4], &mut q), 1.0);
+        assert_eq!(q.len(), 4);
         assert!(q.iter().all(|&v| v == 0));
         assert_eq!(dot_i8(&[1, -2, 3], &[4, 5, 6]), 4 - 10 + 18);
     }
@@ -337,9 +1036,14 @@ mod tests {
     #[test]
     fn zero_matrix_quantizes_cleanly() {
         let m = Matrix::zeros(4, 4);
-        let q = QuantizedMatrix::quantize(&m);
-        assert_eq!(q.dequantize(), m);
-        assert!(!q.is_empty());
+        for q in [
+            QuantizedMatrix::quantize(&m),
+            QuantizedMatrix::quantize_per_row(&m),
+            QuantizedMatrix::quantize_per_col(&m),
+        ] {
+            assert_eq!(q.dequantize(), m);
+            assert!(!q.is_empty());
+        }
     }
 
     fn toy_corpus(n: usize, seed: u64) -> Vec<(Vec<usize>, bool)> {

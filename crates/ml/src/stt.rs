@@ -17,6 +17,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::mfcc::{MfccConfig, MfccExtractor};
 use crate::plan::FeaturePlan;
+use crate::quant::{dot_i8, quantize_activations};
 use crate::{MlError, Result};
 
 /// A transcribed utterance.
@@ -77,6 +78,13 @@ pub struct KeywordStt {
     config: SttConfig,
     extractor: MfccExtractor,
     templates: Vec<(String, Vec<f32>)>,
+    /// Int8 deployment form of the templates, built once at train time:
+    /// each template symmetrically quantized with its own scale, plus its
+    /// precomputed quantized L2 norm. Cosine similarity is
+    /// scale-invariant, so the per-template scales (and the segment
+    /// mean's dynamic scale) cancel — the int8 matcher needs only the
+    /// integer dot products and these norms.
+    templates_q: Vec<(Vec<i8>, f32)>,
 }
 
 impl KeywordStt {
@@ -106,10 +114,20 @@ impl KeywordStt {
                 Self::voiced_mean(&extractor, samples, config.vad_threshold),
             ));
         }
+        let templates_q = templates
+            .iter()
+            .map(|(_, template)| {
+                let mut q = Vec::with_capacity(template.len());
+                quantize_activations(template, &mut q);
+                let norm = (dot_i8(&q, &q) as f32).sqrt();
+                (q, norm)
+            })
+            .collect();
         Ok(KeywordStt {
             config,
             extractor,
             templates,
+            templates_q,
         })
     }
 
@@ -300,6 +318,42 @@ impl KeywordStt {
         }
     }
 
+    /// Best (token, similarity) for the segment mean in `plan.mean`,
+    /// matched in f32 (the baseline arithmetic).
+    fn match_segment_f32(&self, plan: &FeaturePlan) -> Option<(usize, f32)> {
+        self.templates
+            .iter()
+            .enumerate()
+            .map(|(token, (_, template))| (token, Self::cosine(&plan.mean, template)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+    }
+
+    /// Best (token, similarity) for the segment mean in `plan.mean`,
+    /// matched on the integer kernels: the mean is quantized once into
+    /// `plan.mean_q`, and every template comparison is one [`dot_i8`]
+    /// against the precomputed quantized templates. The quantization
+    /// scales cancel out of the cosine, so only int8 rounding separates
+    /// this from [`KeywordStt::match_segment_f32`] — and the synthetic
+    /// vocabulary's similarity margins dwarf that rounding (pinned by the
+    /// decision-parity proptest).
+    fn match_segment_int8(&self, plan: &mut FeaturePlan) -> Option<(usize, f32)> {
+        quantize_activations(&plan.mean, &mut plan.mean_q);
+        let norm_mean = (dot_i8(&plan.mean_q, &plan.mean_q) as f32).sqrt();
+        self.templates_q
+            .iter()
+            .enumerate()
+            .map(|(token, (template_q, norm_t))| {
+                let denom = norm_mean * norm_t;
+                let similarity = if denom == 0.0 {
+                    0.0
+                } else {
+                    dot_i8(&plan.mean_q, template_q) as f32 / denom
+                };
+                (token, similarity)
+            })
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+    }
+
     /// [`KeywordStt::transcribe_to_tokens`] over a caller-owned
     /// [`FeaturePlan`]: the same segmentation, template matching and tie
     /// handling, with the MFCC, energy, segment-bound and mean buffers
@@ -307,8 +361,25 @@ impl KeywordStt {
     /// winning template's index *is* the token id. The returned token
     /// list is the one remaining per-window allocation (it outlives the
     /// plan's scratch in the TA's policy stage). This is the path the
-    /// filter TA drives once per capture window.
+    /// filter TA drives once per capture window in f32 mode.
     pub fn transcribe_to_tokens_with(&self, samples: &[i16], plan: &mut FeaturePlan) -> Vec<usize> {
+        self.tokens_with_impl(samples, plan, false)
+    }
+
+    /// [`KeywordStt::transcribe_to_tokens_with`] with the template
+    /// matching on the int8 kernels ([`KeywordStt::match_segment_int8`])
+    /// — the filter TA's hot path in int8 mode. Segmentation and the
+    /// MFCC front end are shared with the f32 path; only the final
+    /// template comparison runs on quantized vectors.
+    pub fn transcribe_to_tokens_int8_with(
+        &self,
+        samples: &[i16],
+        plan: &mut FeaturePlan,
+    ) -> Vec<usize> {
+        self.tokens_with_impl(samples, plan, true)
+    }
+
+    fn tokens_with_impl(&self, samples: &[i16], plan: &mut FeaturePlan, int8: bool) -> Vec<usize> {
         self.extractor
             .frame_energies_into(samples, &mut plan.energies);
         // Inline segmentation over the scratch energies (the same state
@@ -343,12 +414,11 @@ impl KeywordStt {
                 continue;
             }
             self.voiced_mean_with(&samples[seg_start..seg_end], plan);
-            let best = self
-                .templates
-                .iter()
-                .enumerate()
-                .map(|(token, (_, template))| (token, Self::cosine(&plan.mean, template)))
-                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+            let best = if int8 {
+                self.match_segment_int8(plan)
+            } else {
+                self.match_segment_f32(plan)
+            };
             if let Some((token, similarity)) = best {
                 if similarity >= self.config.confidence_floor {
                     tokens.push(token);
@@ -456,6 +526,36 @@ mod tests {
                 stt.transcribe_to_tokens(case),
             );
         }
+    }
+
+    #[test]
+    fn int8_template_matching_matches_the_f32_decisions() {
+        let vocab = vocabulary(12);
+        let stt = KeywordStt::train(&vocab, SttConfig::default()).unwrap();
+        let mut plan = crate::plan::FeaturePlan::new();
+        // Every vocabulary word, a multi-word utterance, silence and empty
+        // audio: the int8 matcher must produce the same token streams.
+        for (_, samples) in &vocab {
+            assert_eq!(
+                stt.transcribe_to_tokens_int8_with(samples, &mut plan),
+                stt.transcribe_to_tokens(samples),
+            );
+        }
+        let mut samples = Vec::new();
+        for &word in &[11usize, 2, 6, 9] {
+            samples.extend(silence(1_600));
+            samples.extend(&vocab[word].1);
+        }
+        assert_eq!(
+            stt.transcribe_to_tokens_int8_with(&samples, &mut plan),
+            vec![11, 2, 6, 9]
+        );
+        assert!(stt
+            .transcribe_to_tokens_int8_with(&silence(8_000), &mut plan)
+            .is_empty());
+        assert!(stt
+            .transcribe_to_tokens_int8_with(&[], &mut plan)
+            .is_empty());
     }
 
     #[test]

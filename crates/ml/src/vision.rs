@@ -27,6 +27,152 @@ use crate::head::{ClassifierHead, HeadTrainConfig};
 use crate::tensor::Matrix;
 use crate::{MlError, Result};
 
+/// Pools one grayscale frame into per-patch mean / standard deviation,
+/// straight from the u8 pixels with integer accumulators — no per-pixel
+/// f64 conversion. Shared by the f32 featurizer and the int8
+/// [`crate::int8::QuantFrameCnn`], so the patch statistics both modes
+/// feed their heads are **bit-identical**; the modes can only diverge in
+/// the convolution and head arithmetic.
+///
+/// Each pixel row is read once, sequentially: the inner loop walks
+/// `patch`-wide chunks of the row and feeds per-patch `u32` sum /
+/// sum-of-squares accumulators, a shape that autovectorizes. The integer
+/// sums are exact; one divide and one square root per *patch* (not per
+/// pixel) produce the f32 statistics.
+///
+/// Caller guarantees `pixels.len() == config.width * config.height` and
+/// `config.patch <= 256` (`256 * 256 * 255^2` is the `u32` exactness
+/// bound for the squared sums).
+///
+/// On AVX2 hosts with `patch == 8` frames whose rows are whole 32-byte
+/// groups of patches, dispatches to a `vpsadbw`/`vpmaddwd` kernel; the
+/// integer sums are exact either way, so the statistics stay
+/// bit-identical to [`pool_patches_into_ref`].
+pub fn pool_patches_into(
+    pixels: &[u8],
+    config: &VisionConfig,
+    means: &mut Vec<f32>,
+    stds: &mut Vec<f32>,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if config.patch == 8
+        && config.width == config.grid_cols() * 8
+        && config.width.is_multiple_of(32)
+        && crate::quant::x86::avx2_available()
+    {
+        // SAFETY: AVX2 presence checked; the geometry guards above give
+        // the kernel whole 32-byte pixel-row groups.
+        #[allow(unsafe_code)]
+        unsafe {
+            pool_patches_avx2(pixels, config, means, stds);
+        }
+        return;
+    }
+    pool_patches_into_ref(pixels, config, means, stds);
+}
+
+/// The portable form of [`pool_patches_into`] — the oracle the AVX2
+/// kernel is tested bit-identical against, and the path every non-AVX2
+/// host or irregular geometry takes.
+pub fn pool_patches_into_ref(
+    pixels: &[u8],
+    config: &VisionConfig,
+    means: &mut Vec<f32>,
+    stds: &mut Vec<f32>,
+) {
+    let (cols, rows, patch) = (config.grid_cols(), config.grid_rows(), config.patch);
+    debug_assert_eq!(pixels.len(), config.width * config.height);
+    debug_assert!(patch <= 256, "u32 sum-of-squares exactness bound");
+    means.clear();
+    means.resize(rows * cols, 0.0);
+    stds.clear();
+    stds.resize(rows * cols, 0.0);
+    assert!(cols <= 64, "patch grid wider than the pooling accumulators");
+    let mut sums = [0u32; 64];
+    let mut sum_sqs = [0u32; 64];
+    for gy in 0..rows {
+        sums[..cols].fill(0);
+        sum_sqs[..cols].fill(0);
+        for py in 0..patch {
+            let row_start = (gy * patch + py) * config.width;
+            let row = &pixels[row_start..row_start + cols * patch];
+            for (gx, chunk) in row.chunks_exact(patch).enumerate() {
+                let (mut s, mut sq) = (0u32, 0u32);
+                for &p in chunk {
+                    let p = u32::from(p);
+                    s += p;
+                    sq += p * p;
+                }
+                sums[gx] += s;
+                sum_sqs[gx] += sq;
+            }
+        }
+        patch_stats_row(&sums[..cols], &sum_sqs[..cols], patch, gy, means, stds);
+    }
+}
+
+/// Shared epilogue of both pooling forms: exact integer sums in, f32
+/// mean / standard deviation out. One divide and one square root per
+/// patch; factored out so the two forms cannot drift numerically.
+#[inline]
+fn patch_stats_row(
+    sums: &[u32],
+    sum_sqs: &[u32],
+    patch: usize,
+    gy: usize,
+    means: &mut [f32],
+    stds: &mut [f32],
+) {
+    let cols = sums.len();
+    let n = (patch * patch) as f64;
+    for gx in 0..cols {
+        let mean = sums[gx] as f64 / (255.0 * n);
+        let mean_sq = sum_sqs[gx] as f64 / (255.0 * 255.0 * n);
+        let var = (mean_sq - mean * mean).max(0.0);
+        means[gy * cols + gx] = mean as f32;
+        stds[gy * cols + gx] = var.sqrt() as f32;
+    }
+}
+
+/// AVX2 form of [`pool_patches_into`] for `patch == 8` frames:
+/// [`crate::quant::x86::pool_row_sums_patch8`] produces the per-patch
+/// integer sums one grid row at a time, the shared epilogue converts
+/// them.
+///
+/// # Safety
+///
+/// Caller must ensure AVX2 is available, `patch == 8`,
+/// `width == grid_cols * 8` and `width % 32 == 0`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(unsafe_code)]
+unsafe fn pool_patches_avx2(
+    pixels: &[u8],
+    config: &VisionConfig,
+    means: &mut Vec<f32>,
+    stds: &mut Vec<f32>,
+) {
+    let (cols, rows) = (config.grid_cols(), config.grid_rows());
+    debug_assert_eq!(pixels.len(), config.width * config.height);
+    means.clear();
+    means.resize(rows * cols, 0.0);
+    stds.clear();
+    stds.resize(rows * cols, 0.0);
+    assert!(cols <= 64, "patch grid wider than the pooling accumulators");
+    let mut sums = [0u32; 64];
+    let mut sum_sqs = [0u32; 64];
+    for gy in 0..rows {
+        let start = gy * 8 * config.width;
+        crate::quant::x86::pool_row_sums_patch8(
+            &pixels[start..start + 8 * config.width],
+            config.width,
+            &mut sums[..cols],
+            &mut sum_sqs[..cols],
+        );
+        patch_stats_row(&sums[..cols], &sum_sqs[..cols], 8, gy, means, stds);
+    }
+}
+
 /// Configuration of the frame classifier.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct VisionConfig {
@@ -83,7 +229,18 @@ pub struct FrameFeaturizer {
 
 impl FrameFeaturizer {
     /// Builds the featurizer for the configured geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a patch edge above 256 pixels: patch pooling accumulates
+    /// squared pixel values in `u32`, which is exact only up to
+    /// `256 * 256 * 255^2`.
     pub fn new(config: VisionConfig) -> Self {
+        assert!(
+            config.patch <= 256,
+            "patch pooling supports patch edges up to 256 pixels, got {}",
+            config.patch
+        );
         FrameFeaturizer {
             config,
             filters: Matrix::random(config.conv_channels.max(1), 9, 0.6, config.seed),
@@ -133,34 +290,8 @@ impl FrameFeaturizer {
                 ),
             });
         }
-        let (cols, rows, patch) = (
-            self.config.grid_cols(),
-            self.config.grid_rows(),
-            self.config.patch,
-        );
-        plan.means.clear();
-        plan.means.resize(rows * cols, 0.0);
-        plan.stds.clear();
-        plan.stds.resize(rows * cols, 0.0);
-        for gy in 0..rows {
-            for gx in 0..cols {
-                let mut sum = 0.0f64;
-                let mut sum_sq = 0.0f64;
-                for py in 0..patch {
-                    let row = (gy * patch + py) * self.config.width + gx * patch;
-                    for &p in &pixels[row..row + patch] {
-                        let v = p as f64 / 255.0;
-                        sum += v;
-                        sum_sq += v * v;
-                    }
-                }
-                let n = (patch * patch) as f64;
-                let mean = sum / n;
-                let var = (sum_sq / n - mean * mean).max(0.0);
-                plan.means[gy * cols + gx] = mean as f32;
-                plan.stds[gy * cols + gx] = var.sqrt() as f32;
-            }
-        }
+        let (cols, rows) = (self.config.grid_cols(), self.config.grid_rows());
+        pool_patches_into(pixels, &self.config, &mut plan.means, &mut plan.stds);
 
         // Small 2-D convolution over the (zero-padded) patch-mean grid,
         // ReLU, global max pool per channel, straight into the feature

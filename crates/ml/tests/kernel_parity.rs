@@ -1,0 +1,213 @@
+//! Dispatched-kernel / scalar-oracle bit-identity and int8-STT parity.
+//!
+//! The runtime-dispatched int8 kernels (AVX2 intrinsics on capable
+//! hosts, the chunked portable forms elsewhere) are *required* to be
+//! bit-identical to the retained scalar references — integer
+//! accumulation is exact in any order, so any divergence is a bug, not
+//! noise. On an AVX2 host these properties exercise the intrinsic paths
+//! directly; on any other host they pin the portable forms. They cover
+//! shapes including non-multiple-of-lane tails, the per-channel rescale
+//! semantics, the i16 head activations, the AVX2 patch pooling, and the
+//! int8 template matcher's decision parity with the f32 path. They live
+//! in the ml crate so the `cargo test -p perisec-ml` CI fast lane runs
+//! them before the full suite.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use perisec_ml::plan::FeaturePlan;
+use perisec_ml::quant::{
+    dot_i8, dot_i8_ref, quantize_activations, quantize_activations_i16, QuantGranularity,
+    QuantizedMatrix,
+};
+use perisec_ml::stt::{KeywordStt, SttConfig};
+use perisec_ml::tensor::Matrix;
+use perisec_ml::vision::{pool_patches_into, pool_patches_into_ref, VisionConfig};
+
+/// Builds a quantized matrix of every granularity from one seeded f32
+/// matrix plus a matching quantized activation vector.
+fn quantized_case(rows: usize, cols: usize, seed: u64) -> (Matrix, Vec<i8>, f32) {
+    let m = Matrix::random(rows, cols, 1.8, seed);
+    let x: Vec<f32> = (0..rows)
+        .map(|i| (((i as u64 * 37 + seed) % 97) as f32 - 48.0) / 29.0)
+        .collect();
+    let mut x_q = Vec::new();
+    let x_scale = quantize_activations(&x, &mut x_q);
+    (m, x_q, x_scale)
+}
+
+proptest! {
+    /// The chunked `dot_i8` equals the scalar reference exactly, for any
+    /// contents and any length (lane-multiple or ragged tail).
+    #[test]
+    fn chunked_dot_is_bit_identical_to_scalar(
+        a in proptest::collection::vec(any::<i8>(), 0..220),
+        b in proptest::collection::vec(any::<i8>(), 0..220),
+    ) {
+        let len = a.len().min(b.len());
+        let (a, b) = (&a[..len], &b[..len]);
+        prop_assert_eq!(dot_i8(a, b), dot_i8_ref(a, b));
+    }
+
+    /// The chunked `matmul_i8` equals the scalar reference exactly —
+    /// accumulators and rescaled outputs both — for per-tensor and
+    /// per-column granularities across ragged shapes.
+    #[test]
+    fn chunked_matmul_is_bit_identical_to_scalar(
+        rows in 1usize..40,
+        cols in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        let (m, x_q, x_scale) = quantized_case(rows, cols, seed);
+        for q in [QuantizedMatrix::quantize(&m), QuantizedMatrix::quantize_per_col(&m)] {
+            let (mut acc, mut out) = (Vec::new(), Vec::new());
+            let (mut acc_ref, mut out_ref) = (Vec::new(), Vec::new());
+            q.matmul_i8(&x_q, x_scale, &mut acc, &mut out).expect("chunked matmul");
+            q.matmul_i8_ref(&x_q, x_scale, &mut acc_ref, &mut out_ref).expect("scalar matmul");
+            prop_assert_eq!(&acc, &acc_ref, "i32 accumulators diverged ({:?})", q.granularity());
+            prop_assert_eq!(&out, &out_ref, "rescaled outputs diverged ({:?})", q.granularity());
+        }
+    }
+
+    /// The dispatched `matmul_i16` (the i16 head-activation path) equals
+    /// its scalar reference exactly, for per-tensor and per-column
+    /// granularities across ragged shapes.
+    #[test]
+    fn dispatched_matmul_i16_is_bit_identical_to_scalar(
+        rows in 1usize..40,
+        cols in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        let m = Matrix::random(rows, cols, 1.8, seed);
+        let x: Vec<f32> = (0..rows)
+            .map(|i| (((i as u64 * 53 + seed) % 89) as f32 - 44.0) / 17.0)
+            .collect();
+        let mut x_q = Vec::new();
+        let x_scale = quantize_activations_i16(&x, &mut x_q);
+        for q in [QuantizedMatrix::quantize(&m), QuantizedMatrix::quantize_per_col(&m)] {
+            let (mut acc, mut out) = (Vec::new(), Vec::new());
+            let (mut acc_ref, mut out_ref) = (Vec::new(), Vec::new());
+            q.matmul_i16(&x_q, x_scale, &mut acc, &mut out).expect("dispatched matmul");
+            q.matmul_i16_ref(&x_q, x_scale, &mut acc_ref, &mut out_ref).expect("scalar matmul");
+            prop_assert_eq!(&acc, &acc_ref, "i32 accumulators diverged ({:?})", q.granularity());
+            prop_assert_eq!(&out, &out_ref, "rescaled outputs diverged ({:?})", q.granularity());
+        }
+    }
+
+    /// The dispatched patch pooling (AVX2 `vpsadbw`/`vpmaddwd` on capable
+    /// hosts) produces bit-identical statistics to the portable loop, on
+    /// the dispatch-eligible geometry (patch 8, rows of whole 32-byte
+    /// groups) with arbitrary pixel contents.
+    #[test]
+    fn dispatched_pooling_is_bit_identical_to_portable(
+        col_groups in 1usize..4,
+        rows in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let mut config = VisionConfig::smart_home();
+        config.width = col_groups * 32;
+        config.height = rows * 8;
+        config.patch = 8;
+        let mut state = seed;
+        let pixels: Vec<u8> = (0..config.width * config.height)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 56) as u8
+            })
+            .collect();
+        let (mut means, mut stds) = (Vec::new(), Vec::new());
+        let (mut means_ref, mut stds_ref) = (Vec::new(), Vec::new());
+        pool_patches_into(&pixels, &config, &mut means, &mut stds);
+        pool_patches_into_ref(&pixels, &config, &mut means_ref, &mut stds_ref);
+        prop_assert_eq!(&means, &means_ref, "patch means diverged");
+        prop_assert_eq!(&stds, &stds_ref, "patch stds diverged");
+    }
+
+    /// Per-channel quantization honours its rescale semantics: every
+    /// reconstructed weight is within half a *channel* quantization step,
+    /// and no channel scale exceeds the per-tensor scale.
+    #[test]
+    fn per_channel_rescale_tightens_the_per_tensor_bound(
+        rows in 1usize..24,
+        cols in 1usize..24,
+        seed in any::<u64>(),
+    ) {
+        let (m, _, _) = quantized_case(rows, cols, seed);
+        let tensor_scale = QuantizedMatrix::quantize(&m).scale();
+        let per_row = QuantizedMatrix::quantize_per_row(&m);
+        let restored = per_row.dequantize();
+        for r in 0..rows {
+            let row_scale = per_row.row_scale(r);
+            prop_assert!(row_scale <= tensor_scale + 1e-6);
+            for (a, b) in m.row(r).iter().zip(restored.row(r)) {
+                prop_assert!(
+                    (a - b).abs() <= row_scale * 0.5 + 1e-6,
+                    "row {r}: {a} reconstructed as {b} (scale {row_scale})"
+                );
+            }
+        }
+        // The conv-axis matrix is rejected by the dense kernel instead of
+        // silently mis-scaling.
+        let (mut acc, mut out) = (Vec::new(), Vec::new());
+        let x_q = vec![1i8; rows];
+        prop_assert!(per_row.matmul_i8(&x_q, 1.0, &mut acc, &mut out).is_err());
+        prop_assert_eq!(per_row.granularity(), QuantGranularity::PerRow);
+    }
+}
+
+/// Renders a "word" as a dual-tone signature (the workload crate's
+/// scheme) for the STT parity property.
+fn render_word(index: usize, duration_samples: usize) -> Vec<i16> {
+    let rate = 16_000.0;
+    let f1 = 300.0 + 150.0 * (index % 13) as f64;
+    let f2 = 1_200.0 + 240.0 * (index % 7) as f64;
+    (0..duration_samples)
+        .map(|i| {
+            let t = i as f64 / rate;
+            let envelope = (std::f64::consts::PI * i as f64 / duration_samples as f64).sin();
+            let v = 0.45 * (2.0 * std::f64::consts::PI * f1 * t).sin()
+                + 0.35 * (2.0 * std::f64::consts::PI * f2 * t).sin();
+            (v * envelope * 0.8 * i16::MAX as f64) as i16
+        })
+        .collect()
+}
+
+/// One trained recognizer shared by every parity case.
+fn stt() -> &'static KeywordStt {
+    static STT: OnceLock<KeywordStt> = OnceLock::new();
+    STT.get_or_init(|| {
+        let vocab: Vec<(String, Vec<i16>)> = (0..12)
+            .map(|i| (format!("word{i}"), render_word(i, 4_000)))
+            .collect();
+        KeywordStt::train(&vocab, SttConfig::default()).expect("stt trains")
+    })
+}
+
+proptest! {
+    /// The int8 template matcher transcribes random utterances (random
+    /// word choices, lengths and pause lengths) to exactly the same token
+    /// streams as the f32 matcher.
+    #[test]
+    fn int8_stt_decisions_match_f32_stt(
+        word_seeds in proptest::collection::vec(any::<u64>(), 0..4),
+        pause in 1_200usize..2_400,
+    ) {
+        let stt = stt();
+        let mut samples = Vec::new();
+        let mut expected = Vec::new();
+        for &seed in &word_seeds {
+            let word = (seed % 12) as usize;
+            let duration = 3_200 + (seed % 5) as usize * 400;
+            samples.extend(std::iter::repeat_n(0i16, pause));
+            samples.extend(render_word(word, duration));
+            expected.push(word);
+        }
+        samples.extend(std::iter::repeat_n(0i16, pause));
+        let mut plan = FeaturePlan::new();
+        let int8_tokens = stt.transcribe_to_tokens_int8_with(&samples, &mut plan);
+        let f32_tokens = stt.transcribe_to_tokens(&samples);
+        prop_assert_eq!(&int8_tokens, &f32_tokens, "modes diverged");
+        prop_assert_eq!(int8_tokens, expected, "both modes mis-recognized");
+    }
+}
