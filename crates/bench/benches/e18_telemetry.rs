@@ -1,0 +1,76 @@
+//! Criterion bench behind experiment E18: the cost of the telemetry
+//! plane. Measures a camera fleet with telemetry off / metrics on /
+//! full span capture (the overhead the <= 5% E18 gate bounds at fleet
+//! scale), and the tracer's per-span primitives — a disabled span must
+//! be branch-cheap, an enabled span lock-and-record cheap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use perisec_core::fleet::{FleetConfig, PipelineFleet};
+use perisec_core::pipeline::{CameraPipelineConfig, SharedModels};
+use perisec_ml::classifier::Architecture;
+use perisec_telemetry::{TelemetryConfig, Tracer};
+use perisec_tz::time::{SimClock, SimDuration};
+use perisec_workload::scenario::CameraScenario;
+
+fn bench_fleet_overhead(c: &mut Criterion) {
+    let models = SharedModels::deferred(Architecture::Cnn, 16, 18).with_vision_spec(96, 18);
+    models.vision().unwrap();
+    let devices = 64usize;
+    let cameras = CameraScenario::fleet_cameras(devices, 2, 0.4, SimDuration::from_secs(1), 0xBE18);
+    let fleet = |telemetry: TelemetryConfig, trace_device: Option<usize>| {
+        PipelineFleet::with_models(
+            FleetConfig {
+                workers: 8,
+                camera_pipeline: CameraPipelineConfig {
+                    batch_windows: 4,
+                    ..CameraPipelineConfig::default()
+                },
+                telemetry,
+                trace_device,
+                ..FleetConfig::mixed(0, devices)
+            },
+            models.clone(),
+        )
+    };
+    let mut group = c.benchmark_group("e18_fleet_telemetry");
+    group.sample_size(10);
+    group.bench_function("telemetry_off", |b| {
+        let fleet = fleet(TelemetryConfig::default(), None);
+        b.iter(|| fleet.run_mixed(&[], &cameras).unwrap());
+    });
+    group.bench_function("metrics", |b| {
+        let fleet = fleet(TelemetryConfig::metrics(), None);
+        b.iter(|| fleet.run_mixed_telemetry(&[], &cameras).unwrap());
+    });
+    group.bench_function("metrics_plus_trace_device", |b| {
+        let fleet = fleet(TelemetryConfig::metrics(), Some(0));
+        b.iter(|| fleet.run_mixed_telemetry(&[], &cameras).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_span_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e18_span_primitives");
+    for (label, config) in [
+        ("disabled", TelemetryConfig::default()),
+        ("metrics", TelemetryConfig::metrics()),
+        ("capture", TelemetryConfig::tracing()),
+    ] {
+        group.bench_with_input(BenchmarkId::new("span", label), &config, |b, config| {
+            let clock = SimClock::new();
+            let tracer = Tracer::new(clock.clone(), config);
+            b.iter(|| {
+                let _span = tracer.span("stage.filter");
+                clock.advance(SimDuration::from_nanos(1));
+            });
+            // Keep capture-mode iterations from growing the span buffer
+            // without bound across samples.
+            tracer.take();
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet_overhead, bench_span_primitives);
+criterion_main!(benches);

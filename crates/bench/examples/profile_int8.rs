@@ -3,6 +3,12 @@
 //! differently from f32, and the raw kernel throughputs. Run with
 //! `cargo run --release -p perisec-bench --example profile_int8` while
 //! tuning the integer kernels; `exp_e16` remains the record of truth.
+//!
+//! This harness times *host* nanoseconds with ad-hoc loops. For
+//! *virtual-time* stage/TA/TEE breakdowns — where the simulated budget
+//! goes rather than where the host CPU goes — use the telemetry plane
+//! instead: `TelemetryConfig::tracing()` on a pipeline, or `exp_e18`
+//! for the fleet-scale fold and chrome-trace export.
 
 use std::time::Instant;
 

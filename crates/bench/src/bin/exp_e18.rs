@@ -1,0 +1,11 @@
+//! Experiment E18 harness: the fleet telemetry plane (virtual-time span
+//! tracing, bounded histograms, determinism contracts, chrome-trace
+//! export). Prints the markdown report and writes the single-device
+//! chrome trace to `TRACE_E18.json` in the current directory — load it in
+//! `chrome://tracing` or <https://ui.perfetto.dev> to browse the spans.
+fn main() {
+    let (markdown, trace) = perisec_bench::run_e18_telemetry();
+    println!("{markdown}");
+    std::fs::write("TRACE_E18.json", trace).expect("write TRACE_E18.json");
+    eprintln!("wrote TRACE_E18.json");
+}

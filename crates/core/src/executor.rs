@@ -172,6 +172,12 @@ pub struct ExecutorStats {
     pub peak_resident: usize,
     /// Host wall-clock of the run, in milliseconds.
     pub host_millis: f64,
+    /// Step slices executed across all workers (each drives one device
+    /// for up to `slice_steps` TEE crossings).
+    pub step_slices: u64,
+    /// Times a worker found nothing runnable and parked (all remaining
+    /// devices were mid-run elsewhere).
+    pub idle_parks: u64,
 }
 
 impl ExecutorStats {
@@ -210,6 +216,8 @@ impl ExecutorShared {
 struct WorkerOutcome {
     completions: Vec<(usize, Result<DeviceReport>)>,
     steals: Vec<StealRecord>,
+    step_slices: u64,
+    idle_parks: u64,
 }
 
 impl WorkerOutcome {
@@ -282,9 +290,13 @@ impl FleetExecutor {
 
         let mut steals = Vec::new();
         let mut completions: Vec<(usize, Result<DeviceReport>)> = Vec::with_capacity(total);
+        let mut step_slices = 0u64;
+        let mut idle_parks = 0u64;
         for outcome in outcomes {
             steals.extend(outcome.steals);
             completions.extend(outcome.completions);
+            step_slices += outcome.step_slices;
+            idle_parks += outcome.idle_parks;
         }
         let stats = ExecutorStats {
             workers,
@@ -292,6 +304,8 @@ impl FleetExecutor {
             steals,
             peak_resident: shared.peak_resident.load(Ordering::Relaxed),
             host_millis: started.elapsed().as_secs_f64() * 1000.0,
+            step_slices,
+            idle_parks,
         };
         // Device order, regardless of which worker finished what when.
         completions.sort_by_key(|(device, _)| *device);
@@ -343,12 +357,14 @@ fn worker_loop(
                     // Sleep rather than yield: a yield spin starves the
                     // workers that still hold tasks on oversubscribed
                     // hosts and burns system time in sched_yield.
+                    outcome.idle_parks += 1;
                     thread::sleep(std::time::Duration::from_micros(200));
                     continue;
                 }
             }
         }
         if let Some((device, mut task)) = current.take() {
+            outcome.step_slices += 1;
             match step_slice(device, &mut task, slice) {
                 Ok(None) => current = Some((device, task)),
                 Ok(Some(report)) => {

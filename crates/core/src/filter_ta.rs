@@ -242,39 +242,55 @@ impl FilterTa {
         env: &TaEnv<'_>,
         encoded_audio: &[u8],
     ) -> TeeResult<(Vec<usize>, f32, u64)> {
+        let tracer = env.tracer();
         let ml_start = env.platform().clock().now();
         let format = perisec_devices::audio::AudioFormat::speech_16khz_mono();
         let audio = self.encoding.decode(encoded_audio, format);
-        env.charge_compute(self.models.stt.flops_for(audio.samples().len()));
+        let samples_len = audio.samples().len();
+        // The STT charge is split by stage so each span covers its own
+        // share of the virtual time; the split is unconditional, so the
+        // charged total — and the report — is identical with telemetry
+        // on, off, or absent.
+        {
+            let _mfcc = tracer.span("ta.mfcc");
+            env.charge_compute(self.models.stt.mfcc_flops_for(samples_len));
+        }
         // Both modes share segmentation and the f32 MFCC front end; in
         // int8 mode the template matching runs on the quantized kernels
         // (the cosine scales cancel, so decisions stay aligned with f32 —
         // pinned by the decision-parity tests).
-        let tokens = match self.quant {
-            QuantMode::Int8 => self
-                .models
-                .stt
-                .transcribe_to_tokens_int8_with(audio.samples(), &mut self.plan),
-            QuantMode::F32 => self
-                .models
-                .stt
-                .transcribe_to_tokens_with(audio.samples(), &mut self.plan),
-        };
-        env.charge_compute(
-            self.models
-                .classifier
-                .flops_per_inference(tokens.len().max(1)),
-        );
-        let probability = if tokens.is_empty() {
-            0.0
-        } else {
-            match (&self.quant, &self.models.classifier_int8) {
-                (QuantMode::Int8, Some(int8)) => int8.predict_with(&tokens, &mut self.plan),
-                _ => self.models.classifier.predict_with(&tokens, &mut self.plan),
+        let tokens = {
+            let _stt = tracer.span("ta.stt");
+            env.charge_compute(self.models.stt.matching_flops_for(samples_len));
+            match self.quant {
+                QuantMode::Int8 => self
+                    .models
+                    .stt
+                    .transcribe_to_tokens_int8_with(audio.samples(), &mut self.plan),
+                QuantMode::F32 => self
+                    .models
+                    .stt
+                    .transcribe_to_tokens_with(audio.samples(), &mut self.plan),
             }
-            .map_err(|e| TeeError::Generic {
-                reason: e.to_string(),
-            })?
+        };
+        let probability = {
+            let _classify = tracer.span("ta.classify");
+            env.charge_compute(
+                self.models
+                    .classifier
+                    .flops_per_inference(tokens.len().max(1)),
+            );
+            if tokens.is_empty() {
+                0.0
+            } else {
+                match (&self.quant, &self.models.classifier_int8) {
+                    (QuantMode::Int8, Some(int8)) => int8.predict_with(&tokens, &mut self.plan),
+                    _ => self.models.classifier.predict_with(&tokens, &mut self.plan),
+                }
+                .map_err(|e| TeeError::Generic {
+                    reason: e.to_string(),
+                })?
+            }
         };
         let ml_ns = env.platform().clock().elapsed_since(ml_start).as_nanos();
         Ok((tokens, probability, ml_ns))

@@ -27,6 +27,8 @@
 
 use std::sync::{Arc, OnceLock};
 
+use parking_lot::Mutex;
+use perisec_telemetry::{FleetTelemetry, TelemetryConfig};
 use perisec_tz::time::SimDuration;
 use perisec_workload::scenario::{CameraScenario, Scenario};
 
@@ -69,6 +71,19 @@ pub struct FleetConfig {
     /// merged [`FleetReport`] is byte-identical for every worker count —
     /// workers change wall-clock and memory, never outcomes.
     pub workers: usize,
+    /// Fleet telemetry plane. When `enabled`, every device pipeline
+    /// records bounded span histograms and counters in virtual time;
+    /// [`PipelineFleet::run_mixed_telemetry`] folds them into one
+    /// [`FleetTelemetry`]. Off by default — a disabled tracer costs one
+    /// branch per would-be span. Per-device span *retention* is not
+    /// controlled here (that would grow with fleet size); see
+    /// [`FleetConfig::trace_device`].
+    pub telemetry: TelemetryConfig,
+    /// The one device whose full span stream is retained for chrome-trace
+    /// export (`None` = metrics only). Retaining every device's spans on
+    /// a 10k-device fleet would be unbounded, so deep dives are opt-in
+    /// and per-device.
+    pub trace_device: Option<usize>,
 }
 
 impl FleetConfig {
@@ -82,6 +97,8 @@ impl FleetConfig {
             camera_pipeline: CameraPipelineConfig::default(),
             tee_cores: 1,
             workers: 0,
+            telemetry: TelemetryConfig::default(),
+            trace_device: None,
         }
     }
 
@@ -294,7 +311,7 @@ impl FleetReport {
     fn latency_sample(&self) -> Vec<SimDuration> {
         self.devices
             .iter()
-            .flat_map(|d| d.report.latency.per_utterance.iter().copied())
+            .flat_map(|d| d.report.latency.per_utterance().iter().copied())
             .collect()
     }
 
@@ -350,9 +367,34 @@ impl FleetReport {
         ]);
         serde_json::to_string_pretty(&document).expect("fleet report is serializable")
     }
+
+    /// [`FleetReport::to_json`] with a `telemetry` section embedded. Kept
+    /// separate from `to_json` on purpose: the plain report must stay
+    /// byte-identical whether or not telemetry ran — that is the
+    /// zero-perturbation contract the determinism tests pin — so the
+    /// telemetry plane rides in its own section of a distinct document.
+    pub fn to_json_with_telemetry(&self, telemetry: &perisec_telemetry::FleetTelemetry) -> String {
+        use serde::Serialize as _;
+        let document = serde::value::Value::Object(vec![
+            (
+                "latency_percentiles".to_owned(),
+                self.latency_percentiles().to_value(),
+            ),
+            ("telemetry".to_owned(), telemetry.to_value()),
+            ("devices".to_owned(), self.devices.to_value()),
+        ]);
+        serde_json::to_string_pretty(&document).expect("fleet report is serializable")
+    }
 }
 
 // ----- device tasks --------------------------------------------------------
+
+/// Where completed devices deposit their telemetry. The fold is
+/// commutative ([`FleetTelemetry::absorb`]), so a single shared sink
+/// stays deterministic no matter which worker finishes which device
+/// first — the same structural argument that makes the [`FleetReport`]
+/// worker-count-invariant.
+pub type TelemetrySink = Arc<Mutex<FleetTelemetry>>;
 
 /// The resumable audio-device state machine: one built [`SecurePipeline`]
 /// plus a scenario cursor; each step is one TEE crossing.
@@ -361,6 +403,7 @@ struct AudioDeviceTask {
     scenario: Arc<Scenario>,
     pipeline: SecurePipeline,
     progress: Option<ScenarioProgress>,
+    telemetry: Option<TelemetrySink>,
 }
 
 impl DeviceTask for AudioDeviceTask {
@@ -371,6 +414,10 @@ impl DeviceTask for AudioDeviceTask {
             return Ok(StepOutcome::Yielded);
         }
         let report = self.pipeline.finish_scenario(&self.scenario, progress);
+        if let Some(sink) = &self.telemetry {
+            sink.lock()
+                .absorb(self.device, self.pipeline.take_telemetry());
+        }
         Ok(StepOutcome::Complete(Box::new(DeviceReport {
             device: self.device,
             modality: Modality::Audio,
@@ -387,6 +434,7 @@ struct CameraDeviceTask {
     scenario: Arc<CameraScenario>,
     pipeline: SecureCameraPipeline,
     progress: Option<ScenarioProgress>,
+    telemetry: Option<TelemetrySink>,
 }
 
 impl DeviceTask for CameraDeviceTask {
@@ -397,6 +445,10 @@ impl DeviceTask for CameraDeviceTask {
             return Ok(StepOutcome::Yielded);
         }
         let report = self.pipeline.finish_scenario(&self.scenario, progress);
+        if let Some(sink) = &self.telemetry {
+            sink.lock()
+                .absorb(self.device, self.pipeline.take_telemetry());
+        }
         Ok(StepOutcome::Complete(Box::new(DeviceReport {
             device: self.device,
             modality: Modality::Camera,
@@ -418,6 +470,18 @@ pub fn audio_device_task(
     config: PipelineConfig,
     models: SharedModels,
 ) -> QueuedDevice {
+    audio_device_task_observed(device, scenario, config, models, None)
+}
+
+/// [`audio_device_task`] with a telemetry sink: the device's tracer
+/// snapshot is folded into `telemetry` when the scenario completes.
+pub fn audio_device_task_observed(
+    device: usize,
+    scenario: Arc<Scenario>,
+    config: PipelineConfig,
+    models: SharedModels,
+    telemetry: Option<TelemetrySink>,
+) -> QueuedDevice {
     QueuedDevice::new(device, move || {
         let mut pipeline = SecurePipeline::with_models(config, &models)?;
         let progress = pipeline.begin_scenario();
@@ -426,6 +490,7 @@ pub fn audio_device_task(
             scenario,
             pipeline,
             progress: Some(progress),
+            telemetry,
         }))
     })
 }
@@ -437,6 +502,17 @@ pub fn camera_device_task(
     config: CameraPipelineConfig,
     models: SharedModels,
 ) -> QueuedDevice {
+    camera_device_task_observed(device, scenario, config, models, None)
+}
+
+/// [`camera_device_task`] with a telemetry sink.
+pub fn camera_device_task_observed(
+    device: usize,
+    scenario: Arc<CameraScenario>,
+    config: CameraPipelineConfig,
+    models: SharedModels,
+    telemetry: Option<TelemetrySink>,
+) -> QueuedDevice {
     QueuedDevice::new(device, move || {
         let mut pipeline = SecureCameraPipeline::with_models(config, &models)?;
         let progress = pipeline.begin_scenario();
@@ -445,6 +521,7 @@ pub fn camera_device_task(
             scenario,
             pipeline,
             progress: Some(progress),
+            telemetry,
         }))
     })
 }
@@ -578,6 +655,35 @@ impl PipelineFleet {
         self.execute(audio, cameras)
     }
 
+    /// [`PipelineFleet::run_mixed_stats`] with the fleet telemetry plane
+    /// collected: every completed device's tracer snapshot is folded into
+    /// one [`FleetTelemetry`] through a shared sink. The fold is
+    /// commutative, so the returned telemetry — like the report — is
+    /// identical at every worker count and under any steal interleaving.
+    /// With [`FleetConfig::telemetry`] disabled the returned fold is
+    /// empty (devices fold in, but no histograms or counters exist).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`PipelineFleet::run_mixed`].
+    pub fn run_mixed_telemetry(
+        &self,
+        audio: &[Scenario],
+        cameras: &[CameraScenario],
+    ) -> Result<(FleetReport, ExecutorStats, FleetTelemetry)> {
+        self.config.reject_sharding()?;
+        self.validate_mixed(audio, cameras)?;
+        let sink: TelemetrySink = Arc::new(Mutex::new(FleetTelemetry::new()));
+        let executor = FleetExecutor::new(ExecutorConfig::with_workers(self.config.workers));
+        let (reports, stats) = executor.run(self.queued_devices(audio, cameras, Some(&sink)))?;
+        // The executor has joined its workers; nothing else holds the
+        // sink. The clone fallback is for safety only.
+        let telemetry = Arc::try_unwrap(sink)
+            .map(Mutex::into_inner)
+            .unwrap_or_else(|sink| sink.lock().clone());
+        Ok((FleetReport::new(reports), stats, telemetry))
+    }
+
     /// The historical harness: one OS thread per device, every device
     /// stack resident at once. Kept as E15's baseline; produces a
     /// byte-identical [`FleetReport`] to the executor (device runs are
@@ -593,7 +699,7 @@ impl PipelineFleet {
     ) -> Result<FleetReport> {
         self.config.reject_sharding()?;
         self.validate_mixed(audio, cameras)?;
-        run_thread_per_device(self.queued_devices(audio, cameras)).map(FleetReport::new)
+        run_thread_per_device(self.queued_devices(audio, cameras, None)).map(FleetReport::new)
     }
 
     fn validate_mixed(&self, audio: &[Scenario], cameras: &[CameraScenario]) -> Result<()> {
@@ -625,9 +731,28 @@ impl PipelineFleet {
         Ok(())
     }
 
+    /// The fleet-level telemetry config a given device runs under: the
+    /// fleet's metrics switch, with span retention only on the designated
+    /// deep-dive device. Falls back to the per-pipeline config when the
+    /// fleet plane is off, so direct pipeline telemetry keeps working.
+    fn device_telemetry(&self, base: TelemetryConfig, device: usize) -> TelemetryConfig {
+        if !self.config.telemetry.enabled {
+            return base;
+        }
+        TelemetryConfig {
+            capture_spans: self.config.trace_device == Some(device),
+            ..self.config.telemetry
+        }
+    }
+
     /// Queues the fleet's devices. Callers have already validated that a
     /// modality's scenario slice is non-empty exactly when it has devices.
-    fn queued_devices(&self, audio: &[Scenario], cameras: &[CameraScenario]) -> Vec<QueuedDevice> {
+    fn queued_devices(
+        &self,
+        audio: &[Scenario],
+        cameras: &[CameraScenario],
+        sink: Option<&TelemetrySink>,
+    ) -> Vec<QueuedDevice> {
         let audio_devices = self.config.devices;
         let camera_devices = self.config.camera_devices;
         // One shared copy per distinct scenario; devices hold `Arc`s.
@@ -635,19 +760,26 @@ impl PipelineFleet {
         let cameras: Vec<Arc<CameraScenario>> = cameras.iter().cloned().map(Arc::new).collect();
         let mut tasks = Vec::with_capacity(audio_devices + camera_devices);
         for device in 0..audio_devices {
-            tasks.push(audio_device_task(
+            let mut config = self.config.pipeline.clone();
+            config.telemetry = self.device_telemetry(config.telemetry, device);
+            tasks.push(audio_device_task_observed(
                 device,
                 Arc::clone(&audio[device % audio.len()]),
-                self.config.pipeline.clone(),
+                config,
                 self.models.clone(),
+                sink.cloned(),
             ));
         }
         for camera in 0..camera_devices {
-            tasks.push(camera_device_task(
-                audio_devices + camera,
+            let device = audio_devices + camera;
+            let mut config = self.config.camera_pipeline.clone();
+            config.telemetry = self.device_telemetry(config.telemetry, device);
+            tasks.push(camera_device_task_observed(
+                device,
                 Arc::clone(&cameras[camera % cameras.len()]),
-                self.config.camera_pipeline.clone(),
+                config,
                 self.models.clone(),
+                sink.cloned(),
             ));
         }
         tasks
@@ -659,7 +791,7 @@ impl PipelineFleet {
         cameras: &[CameraScenario],
     ) -> Result<(FleetReport, ExecutorStats)> {
         let executor = FleetExecutor::new(ExecutorConfig::with_workers(self.config.workers));
-        let (reports, stats) = executor.run(self.queued_devices(audio, cameras))?;
+        let (reports, stats) = executor.run(self.queued_devices(audio, cameras, None))?;
         Ok((FleetReport::new(reports), stats))
     }
 }
@@ -925,6 +1057,47 @@ mod tests {
         use serde::{Deserialize as _, Serialize as _};
         let round = FleetReport::from_value(&report.to_value()).unwrap();
         assert_eq!(round, report);
+    }
+
+    #[test]
+    fn fleet_telemetry_folds_devices_without_perturbing_the_report() {
+        let fleet = |telemetry: TelemetryConfig, trace_device: Option<usize>| {
+            PipelineFleet::new(FleetConfig {
+                devices: 3,
+                pipeline: PipelineConfig {
+                    train_utterances: 60,
+                    batch_windows: 4,
+                    ..PipelineConfig::default()
+                },
+                telemetry,
+                trace_device,
+                ..FleetConfig::of(0)
+            })
+            .unwrap()
+        };
+        let scenarios = Scenario::fleet(3, 4, 0.5, SimDuration::from_secs(1), 0x7E1E);
+
+        let observed = fleet(TelemetryConfig::metrics(), Some(1));
+        let (report, _, telemetry) = observed.run_mixed_telemetry(&scenarios, &[]).unwrap();
+        assert_eq!(telemetry.devices, 3);
+        // Metrics flowed from every layer: pipeline stages, SMC crossings
+        // and TA inference all contributed histograms.
+        assert!(telemetry.histograms.contains_key("smc.call"));
+        assert!(telemetry.histograms.contains_key("ta.classify"));
+        assert!(telemetry.counters.get("pipeline.windows").copied() > Some(0));
+        // Only the designated deep-dive device retained spans.
+        assert!(telemetry.trace(1).is_some());
+        assert!(telemetry.trace(0).is_none());
+        assert_eq!(telemetry.dropped_spans, 0);
+        // Zero perturbation: the functional report is byte-identical to a
+        // run with the telemetry plane off.
+        let baseline = fleet(TelemetryConfig::default(), None);
+        let silent = baseline.run_mixed(&scenarios, &[]).unwrap();
+        assert_eq!(silent.to_json(), report.to_json());
+        // The combined export embeds the telemetry section.
+        let combined = report.to_json_with_telemetry(&telemetry);
+        assert!(combined.contains("\"telemetry\""));
+        assert!(combined.contains("smc.call"));
     }
 
     #[test]

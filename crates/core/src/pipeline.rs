@@ -33,6 +33,7 @@ use perisec_secure_driver::camera::SecureCameraDriver;
 use perisec_secure_driver::camera_pta::CameraPta;
 use perisec_secure_driver::driver::SecureI2sDriver;
 use perisec_secure_driver::pta::I2sPta;
+use perisec_telemetry::{DeviceTelemetry, TelemetryConfig, Tracer};
 use perisec_tz::platform::Platform;
 use perisec_tz::stats::TzStatsSnapshot;
 use perisec_tz::time::{SimDuration, SimInstant};
@@ -87,6 +88,11 @@ pub struct PipelineConfig {
     /// E16 compares against. Architectures without an int8 form
     /// (Transformer / Hybrid) fall back to f32 transparently.
     pub quant_mode: QuantMode,
+    /// Telemetry plane switchboard (off by default). When enabled, the
+    /// pipeline, the TEE core and the TAs record virtual-time spans into
+    /// one shared tracer; spans read the *simulated* clock, so telemetry
+    /// never changes a report.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for PipelineConfig {
@@ -103,6 +109,7 @@ impl Default for PipelineConfig {
             batch_windows: 1,
             latency_slo: None,
             quant_mode: QuantMode::default(),
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -151,6 +158,8 @@ pub struct CameraPipelineConfig {
     /// Numeric representation of the in-TA frame classifier (see
     /// [`PipelineConfig::quant_mode`]). Int8 by default.
     pub quant_mode: QuantMode,
+    /// Telemetry plane switchboard (see [`PipelineConfig::telemetry`]).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for CameraPipelineConfig {
@@ -163,6 +172,7 @@ impl Default for CameraPipelineConfig {
             secure_ram_kib: None,
             batch_windows: 1,
             quant_mode: QuantMode::default(),
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -479,6 +489,7 @@ fn begin_secure_stages(platform: &Platform, cloud: &MockCloudService) -> Scenari
 /// chain — one TEE crossing — and advances the cursor. Shared by the
 /// audio and camera pipelines so their accounting can never drift apart.
 /// Returns whether events remain after this step.
+#[allow(clippy::too_many_arguments)]
 fn step_secure_stages<E, C>(
     events: &[E],
     fixed_batch: usize,
@@ -487,6 +498,7 @@ fn step_secure_stages<E, C>(
     capture: &mut C,
     filter: &mut SecureFilterStage,
     relay: &mut SecureRelayStage,
+    tracer: &Tracer,
 ) -> Result<bool>
 where
     E: Clone,
@@ -502,8 +514,18 @@ where
     }
     .min(depth);
     let chunk = events[progress.next_event..progress.next_event + batch].to_vec();
-    let prepared = capture.process(chunk)?;
-    let filtered = filter.process(prepared)?;
+    tracer.count("pipeline.windows", batch as u64);
+    // Each stage runs under a span named after it; the filter stage's span
+    // encloses the whole TEE crossing (smc.call, TA inference, tee.rpc),
+    // so a chrome-trace dump shows the full nesting.
+    let prepared = {
+        let _span = tracer.span(capture.name());
+        capture.process(chunk)?
+    };
+    let filtered = {
+        let _span = tracer.span(filter.name());
+        filter.process(prepared)?
+    };
     if let Some(batcher) = batcher {
         if !filtered.per_utterance.is_empty() {
             let mean = filtered.per_utterance.iter().copied().sum::<SimDuration>()
@@ -511,7 +533,10 @@ where
             batcher.observe(mean);
         }
     }
-    relay.process(filtered)?;
+    {
+        let _span = tracer.span(relay.name());
+        relay.process(filtered)?;
+    }
     progress.next_event += batch;
     Ok(progress.next_event < events.len())
 }
@@ -561,6 +586,7 @@ pub struct SecurePipeline {
     filter: SecureFilterStage,
     relay: SecureRelayStage,
     batcher: Option<AdaptiveBatcher>,
+    tracer: Tracer,
 }
 
 impl std::fmt::Debug for SecurePipeline {
@@ -605,6 +631,10 @@ impl SecurePipeline {
 
         // Secure world: TEE core, secure driver PTA, filter TA.
         let core = TeeCore::boot(platform.clone(), supplicant);
+        // One tracer over the device's virtual clock, shared by the
+        // pipeline stages (below) and the TEE core / TAs (via set_tracer).
+        let tracer = Tracer::new(platform.clock().clone(), &config.telemetry);
+        core.set_tracer(tracer.clone());
         let playback = SharedPlayback::new();
         let mic = Microphone::speech_mic("secure-i2s-mic", playback.source())
             .map_err(perisec_kernel::KernelError::from)?;
@@ -686,7 +716,21 @@ impl SecurePipeline {
             filter: filter_stage,
             relay: SecureRelayStage::new(),
             batcher,
+            tracer,
         })
+    }
+
+    /// The device's telemetry tracer — disabled (recording nothing)
+    /// unless the config's [`PipelineConfig::telemetry`] enabled it.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Drains the telemetry accumulated so far — per-span histograms and
+    /// counters, plus the retained span events when span capture is on.
+    /// The fleet harness calls this once per completed device.
+    pub fn take_telemetry(&self) -> DeviceTelemetry {
+        self.tracer.take()
     }
 
     /// The simulated platform (for inspecting stats and energy directly).
@@ -766,6 +810,7 @@ impl SecurePipeline {
             &mut self.capture,
             &mut self.filter,
             &mut self.relay,
+            &self.tracer,
         )
     }
 
@@ -819,6 +864,7 @@ pub struct SecureCameraPipeline {
     capture: SecureFrameCaptureStage,
     filter: SecureFilterStage,
     relay: SecureRelayStage,
+    tracer: Tracer,
 }
 
 impl std::fmt::Debug for SecureCameraPipeline {
@@ -906,6 +952,8 @@ impl SecureCameraPipeline {
 
         // Secure world: TEE core, secure camera driver PTA, vision TA.
         let core = TeeCore::boot(platform.clone(), supplicant);
+        let tracer = Tracer::new(platform.clock().clone(), &config.telemetry);
+        core.set_tracer(tracer.clone());
         let scenes = SharedSceneQueue::new();
         let sensor = CameraSensor::smart_home("secure-camera", 0x5EC2)
             .map_err(perisec_kernel::KernelError::from)?;
@@ -963,7 +1011,19 @@ impl SecureCameraPipeline {
             capture,
             filter,
             relay: SecureRelayStage::new(),
+            tracer,
         })
+    }
+
+    /// The device's telemetry tracer (see [`SecurePipeline::tracer`]).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Drains the telemetry accumulated so far (see
+    /// [`SecurePipeline::take_telemetry`]).
+    pub fn take_telemetry(&self) -> DeviceTelemetry {
+        self.tracer.take()
     }
 
     /// The simulated platform.
@@ -1043,6 +1103,7 @@ impl SecureCameraPipeline {
             &mut self.capture,
             &mut self.filter,
             &mut self.relay,
+            &self.tracer,
         )
     }
 
@@ -1342,7 +1403,7 @@ mod tests {
         })
         .unwrap();
         let report = batched.run_scenario(&scenario).unwrap();
-        for (i, latency) in report.latency.per_utterance.iter().enumerate() {
+        for (i, latency) in report.latency.per_utterance().iter().enumerate() {
             assert!(
                 *latency < SimDuration::from_secs(1),
                 "utterance {i} latency {latency} absorbed scenario spacing"

@@ -1,5 +1,7 @@
 //! Per-run reports: latency, accounting, energy, privacy leakage.
 
+use std::sync::OnceLock;
+
 use serde::{Deserialize, Serialize};
 
 use perisec_relay::cloud::CloudReport;
@@ -17,7 +19,13 @@ pub struct WorkloadSummary {
 }
 
 /// Accumulated per-stage latency over a run.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+///
+/// The per-utterance sample is private behind cache-resetting mutators:
+/// `percentile` (and the `p50`/`p95`/`p99` helpers) sorts the sample
+/// **once** on first query and reuses the sorted copy for every later
+/// quantile, mirroring [`FleetReport`](crate::fleet::FleetReport)'s
+/// percentile cache. Appending latencies resets the cache.
+#[derive(Debug, Clone, Default)]
 pub struct LatencyBreakdown {
     /// Time the audio spent on the I2S wire (real-time capture).
     pub capture_wire: SimDuration,
@@ -28,11 +36,68 @@ pub struct LatencyBreakdown {
     /// Time spent in the relay stage (policy, channel, supplicant RPCs).
     pub relay: SimDuration,
     /// End-to-end processing time observed by the caller, per utterance
-    /// (excludes the real-time audio capture on the wire).
-    pub per_utterance: Vec<SimDuration>,
+    /// (excludes the real-time audio capture on the wire). Private so the
+    /// sorted cache below can never go stale.
+    per_utterance: Vec<SimDuration>,
+    /// Lazily-sorted copy of `per_utterance`, shared by every quantile
+    /// query. Derived data: excluded from equality and serialization.
+    sorted: OnceLock<Vec<SimDuration>>,
+}
+
+impl PartialEq for LatencyBreakdown {
+    fn eq(&self, other: &Self) -> bool {
+        self.capture_wire == other.capture_wire
+            && self.capture_cpu == other.capture_cpu
+            && self.ml == other.ml
+            && self.relay == other.relay
+            && self.per_utterance == other.per_utterance
+    }
+}
+
+impl Serialize for LatencyBreakdown {
+    fn to_value(&self) -> serde::value::Value {
+        serde::value::Value::Object(vec![
+            ("capture_wire".to_owned(), self.capture_wire.to_value()),
+            ("capture_cpu".to_owned(), self.capture_cpu.to_value()),
+            ("ml".to_owned(), self.ml.to_value()),
+            ("relay".to_owned(), self.relay.to_value()),
+            ("per_utterance".to_owned(), self.per_utterance.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for LatencyBreakdown {
+    fn from_value(value: &serde::value::Value) -> std::result::Result<Self, serde::Error> {
+        Ok(LatencyBreakdown {
+            capture_wire: Deserialize::from_value(value.field("capture_wire")?)?,
+            capture_cpu: Deserialize::from_value(value.field("capture_cpu")?)?,
+            ml: Deserialize::from_value(value.field("ml")?)?,
+            relay: Deserialize::from_value(value.field("relay")?)?,
+            per_utterance: Deserialize::from_value(value.field("per_utterance")?)?,
+            sorted: OnceLock::new(),
+        })
+    }
 }
 
 impl LatencyBreakdown {
+    /// The per-utterance latencies, in arrival order.
+    pub fn per_utterance(&self) -> &[SimDuration] {
+        &self.per_utterance
+    }
+
+    /// Appends one per-utterance latency (resets the percentile cache).
+    pub fn push_latency(&mut self, latency: SimDuration) {
+        self.per_utterance.push(latency);
+        self.sorted = OnceLock::new();
+    }
+
+    /// Appends a batch of per-utterance latencies (resets the percentile
+    /// cache).
+    pub fn extend_latencies(&mut self, latencies: impl IntoIterator<Item = SimDuration>) {
+        self.per_utterance.extend(latencies);
+        self.sorted = OnceLock::new();
+    }
+
     /// Mean end-to-end processing latency per utterance.
     pub fn mean_end_to_end(&self) -> SimDuration {
         if self.per_utterance.is_empty() {
@@ -41,9 +106,16 @@ impl LatencyBreakdown {
         self.per_utterance.iter().copied().sum::<SimDuration>() / self.per_utterance.len() as u64
     }
 
-    /// The `q`-quantile (0 < q <= 1) of the per-utterance latencies.
+    /// The `q`-quantile (0 < q <= 1) of the per-utterance latencies. The
+    /// sample is sorted once and cached, so querying p50/p95/p99 costs one
+    /// sort total, not one per call.
     pub fn percentile(&self, q: f64) -> SimDuration {
-        latency_percentile(self.per_utterance.to_vec(), q)
+        let sorted = self.sorted.get_or_init(|| {
+            let mut sample = self.per_utterance.clone();
+            sample.sort();
+            sample
+        });
+        nearest_rank(sorted, q)
     }
 
     /// Median end-to-end processing latency.
@@ -203,7 +275,7 @@ mod tests {
         let mut breakdown = LatencyBreakdown::default();
         assert_eq!(breakdown.mean_end_to_end(), SimDuration::ZERO);
         assert_eq!(breakdown.p99_end_to_end(), SimDuration::ZERO);
-        breakdown.per_utterance = (1..=100).map(SimDuration::from_micros).collect();
+        breakdown.extend_latencies((1..=100).map(SimDuration::from_micros));
         assert_eq!(breakdown.mean_end_to_end(), SimDuration::from_nanos(50_500));
         assert_eq!(breakdown.p50_end_to_end(), SimDuration::from_micros(50));
         assert_eq!(breakdown.p95_end_to_end(), SimDuration::from_micros(95));

@@ -349,7 +349,7 @@ impl PipelineStage for SecureRelayStage {
         self.breakdown.capture_cpu += batch.capture_cpu;
         self.breakdown.ml += batch.ml;
         self.breakdown.relay += batch.relay;
-        self.breakdown.per_utterance.extend(batch.per_utterance);
+        self.breakdown.extend_latencies(batch.per_utterance);
         Ok(())
     }
 }
@@ -555,8 +555,7 @@ impl PipelineStage for CloudRelayStage {
             // Processing latency = time spent capturing plus time spent
             // relaying; inter-utterance scenario gaps are excluded.
             self.breakdown
-                .per_utterance
-                .push(capture.capture_elapsed + relay_elapsed);
+                .push_latency(capture.capture_elapsed + relay_elapsed);
         }
         Ok(())
     }

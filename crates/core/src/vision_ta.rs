@@ -193,6 +193,8 @@ impl VisionTa {
                 });
             }
             let ml_start = env.platform().clock().now();
+            let tracer = env.tracer();
+            let _classify = tracer.span("ta.classify");
             let mut probability = 0.0f32;
             for frame in reply.pixels.chunks_exact(frame_len) {
                 // Both modes charge the same MAC count — virtual time is

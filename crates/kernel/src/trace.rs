@@ -18,16 +18,22 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
+use perisec_telemetry::Symbol;
 use perisec_tz::time::SimInstant;
 
 /// One function-entry event in the trace.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Names are interned [`Symbol`]s from the workspace-wide table shared
+/// with the telemetry plane's span names: recording an event copies 8
+/// bytes per name instead of heap-allocating two `String`s, and a
+/// function seen a thousand times stores its name once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TraceEvent {
     /// Name of the driver function that ran.
-    pub function: String,
+    pub function: Symbol,
     /// Task label active when the function ran (empty if tracing happened
     /// outside any labelled task).
-    pub task: String,
+    pub task: Symbol,
     /// Virtual time of the event.
     pub timestamp: SimInstant,
 }
@@ -64,7 +70,7 @@ impl TraceLog {
         self.events
             .iter()
             .filter(|e| !e.task.is_empty())
-            .map(|e| e.task.clone())
+            .map(|e| e.task.to_string())
             .collect()
     }
 
@@ -72,21 +78,21 @@ impl TraceLog {
     pub fn functions_for_task(&self, task: &str) -> BTreeSet<String> {
         self.events
             .iter()
-            .filter(|e| e.task == task)
-            .map(|e| e.function.clone())
+            .filter(|e| e.task.as_str() == task)
+            .map(|e| e.function.to_string())
             .collect()
     }
 
     /// Distinct functions observed across all tasks.
     pub fn all_functions(&self) -> BTreeSet<String> {
-        self.events.iter().map(|e| e.function.clone()).collect()
+        self.events.iter().map(|e| e.function.to_string()).collect()
     }
 
     /// Number of calls of `function` (across tasks).
     pub fn call_count(&self, function: &str) -> usize {
         self.events
             .iter()
-            .filter(|e| e.function == function)
+            .filter(|e| e.function.as_str() == function)
             .count()
     }
 
@@ -104,7 +110,7 @@ impl TraceLog {
 #[derive(Debug, Default)]
 struct TracerInner {
     enabled: bool,
-    current_task: String,
+    current_task: Symbol,
     log: TraceLog,
 }
 
@@ -149,13 +155,13 @@ impl FunctionTracer {
     }
 
     /// Starts attributing subsequent events to `task`.
-    pub fn begin_task(&self, task: impl Into<String>) {
-        self.inner.lock().current_task = task.into();
+    pub fn begin_task(&self, task: impl AsRef<str>) {
+        self.inner.lock().current_task = Symbol::new(task.as_ref());
     }
 
     /// Stops attributing events to the current task.
     pub fn end_task(&self) {
-        self.inner.lock().current_task.clear();
+        self.inner.lock().current_task = Symbol::empty();
     }
 
     /// The task currently being attributed, if any.
@@ -164,19 +170,21 @@ impl FunctionTracer {
         if inner.current_task.is_empty() {
             None
         } else {
-            Some(inner.current_task.clone())
+            Some(inner.current_task.to_string())
         }
     }
 
     /// Records entry into `function` at `now`. A no-op while disabled.
+    /// The name is interned: after a function's first sighting, recording
+    /// it again allocates nothing.
     pub fn record(&self, function: &str, now: SimInstant) {
         let mut inner = self.inner.lock();
         if !inner.enabled {
             return;
         }
-        let task = inner.current_task.clone();
+        let task = inner.current_task;
         inner.log.push(TraceEvent {
-            function: function.to_owned(),
+            function: Symbol::new(function),
             task,
             timestamp: now,
         });

@@ -150,14 +150,27 @@ impl KeywordStt {
     /// Approximate multiply-accumulate count of transcribing `samples_len`
     /// samples (MFCC + template matching), for cost accounting.
     pub fn flops_for(&self, samples_len: usize) -> u64 {
+        self.mfcc_flops_for(samples_len) + self.matching_flops_for(samples_len)
+    }
+
+    /// The MFCC front-end share of [`KeywordStt::flops_for`]: FFT plus
+    /// filterbank/DCT, excluding template matching. Lets cost accounting
+    /// (and telemetry spans) attribute feature extraction separately from
+    /// recognition.
+    pub fn mfcc_flops_for(&self, samples_len: usize) -> u64 {
         let frames = self.extractor.frame_count(samples_len) as u64;
         let frame_len = self.config.mfcc.frame_len as u64;
-        // FFT ~ n log n, filterbank + DCT ~ n_mels * n_coeffs, matching ~
-        // vocab * n_coeffs.
+        // FFT ~ n log n, filterbank + DCT ~ n_mels * n_coeffs.
         let fft = frames * frame_len * (frame_len as f64).log2() as u64;
         let cepstral = frames * (self.config.mfcc.n_mels * self.config.mfcc.n_coeffs) as u64;
-        let matching = frames * (self.templates.len() * self.config.mfcc.n_coeffs) as u64;
-        fft + cepstral + matching
+        fft + cepstral
+    }
+
+    /// The template-matching share of [`KeywordStt::flops_for`]:
+    /// ~ vocab * n_coeffs per frame.
+    pub fn matching_flops_for(&self, samples_len: usize) -> u64 {
+        let frames = self.extractor.frame_count(samples_len) as u64;
+        frames * (self.templates.len() * self.config.mfcc.n_coeffs) as u64
     }
 
     /// Mean MFCC vector over the *voiced* frames only.

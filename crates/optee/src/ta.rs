@@ -133,6 +133,14 @@ impl<'a> TaEnv<'a> {
         self.core.platform()
     }
 
+    /// The device's telemetry tracer (disabled unless the pipeline
+    /// installed one on the core via `TeeCore::set_tracer`). TAs open
+    /// their inference-stage spans on this, so they nest under the
+    /// enclosing `smc.call` span.
+    pub fn tracer(&self) -> perisec_telemetry::Tracer {
+        self.core.tracer()
+    }
+
     /// Charges `flops` of compute in the secure world, returning the time
     /// charged. TAs use this to account for their ML inference.
     pub fn charge_compute(&self, flops: u64) -> SimDuration {

@@ -17,6 +17,7 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
+use perisec_telemetry::Tracer;
 use perisec_tz::monitor::{smc_func, SmcCall, SmcHandler, SmcResult};
 use perisec_tz::platform::Platform;
 use perisec_tz::secure_mem::{SecureBuf, SharedReservation};
@@ -136,6 +137,10 @@ pub struct TeeCore {
     mailbox: Mutex<Option<ClientMessage>>,
     replybox: Mutex<Option<ClientReply>>,
     call_lock: Mutex<()>,
+    /// The device's telemetry tracer (disabled by default; see
+    /// [`TeeCore::set_tracer`]). Spans record in *virtual* time, so they
+    /// never perturb the deterministic report contract.
+    tracer: Mutex<Tracer>,
 }
 
 impl std::fmt::Debug for TeeCore {
@@ -164,6 +169,7 @@ impl TeeCore {
             mailbox: Mutex::new(None),
             replybox: Mutex::new(None),
             call_lock: Mutex::new(()),
+            tracer: Mutex::new(Tracer::disabled()),
         });
         let handler: Arc<dyn SmcHandler> = Arc::new(TeeSmcHandler {
             core: Arc::clone(&core),
@@ -182,6 +188,22 @@ impl TeeCore {
     /// The supplicant serving this core's RPCs.
     pub fn supplicant(&self) -> &Arc<Supplicant> {
         &self.supplicant
+    }
+
+    /// Installs the telemetry tracer the core records SMC-boundary spans
+    /// into (`smc.call`, `tee.invoke_batch`, `tee.rpc`). Pass a clone of
+    /// the device pipeline's tracer so TEE crossings land in the same
+    /// trace as the pipeline stages and TA inference spans.
+    pub fn set_tracer(&self, tracer: Tracer) {
+        *self.tracer.lock() = tracer;
+    }
+
+    /// A clone of the installed tracer (disabled unless
+    /// [`TeeCore::set_tracer`] was called). TAs use this to trace their
+    /// own inference stages without threading a tracer through the TA
+    /// registration API.
+    pub fn tracer(&self) -> Tracer {
+        self.tracer.lock().clone()
     }
 
     /// The secure-storage service.
@@ -444,6 +466,14 @@ impl TeeCore {
         session: SessionId,
         calls: Vec<(u32, TeeParams)>,
     ) -> TeeResult<Vec<TeeParams>> {
+        // Borrow the installed tracer under its lock just long enough to
+        // open the span; the guard must not be held across the command
+        // loop (TAs re-enter the tracer through `TaEnv::tracer`).
+        let _span = {
+            let tracer = self.tracer.lock();
+            tracer.count("tee.batched_commands", calls.len() as u64);
+            tracer.span("tee.invoke_batch")
+        };
         let mut results = Vec::with_capacity(calls.len());
         for (cmd, mut params) in calls {
             self.invoke_command(session, cmd, &mut params)?;
@@ -502,6 +532,7 @@ impl TeeCore {
     ///
     /// Propagates the supplicant's error.
     pub fn supplicant_rpc(&self, request: RpcRequest) -> TeeResult<RpcReply> {
+        let _span = self.tracer.lock().span("tee.rpc");
         let monitor = self.platform.monitor().clone();
         let out_bytes = request.payload_bytes();
         monitor.charge_cross_world_copy(out_bytes, World::Normal);
@@ -523,6 +554,9 @@ impl TeeCore {
     /// Submits a client message and runs it through the SMC path, returning
     /// the reply. Called by [`crate::client::TeeClient`].
     pub(crate) fn client_call(&self, message: ClientMessage) -> TeeResult<ClientReply> {
+        // The span covers the whole SMC round trip: world entry, secure
+        // dispatch (including any nested TA / RPC spans) and world exit.
+        let _span = self.tracer.lock().span("smc.call");
         let _guard = self.call_lock.lock();
         *self.mailbox.lock() = Some(message);
         let monitor = self.platform.monitor().clone();

@@ -217,6 +217,17 @@ impl TeePool {
         &self.secure_ram
     }
 
+    /// Installs `tracer` on every core's TEE (see `TeeCore::set_tracer`):
+    /// SMC-boundary and TA-inference spans from all secure cores land in
+    /// the one device trace. Note the spans timestamp off each *core's*
+    /// clock — per-core virtual time, exactly what the pool's max-over-
+    /// cores wall-time model means.
+    pub fn set_tracer(&self, tracer: &perisec_telemetry::Tracer) {
+        for handle in &self.cores {
+            handle.core().set_tracer(tracer.clone());
+        }
+    }
+
     /// Per-core counter snapshots, in core order.
     pub fn snapshots(&self) -> Vec<TzStatsSnapshot> {
         self.cores

@@ -1,0 +1,165 @@
+//! Trace exporters: chrome-trace JSON and folded flamegraph stacks.
+//!
+//! Both exporters consume the retained [`SpanEvent`]s of one device
+//! (captured under [`TelemetryConfig::tracing`](crate::TelemetryConfig))
+//! and are pure functions of them — deterministic traces in, byte-stable
+//! artifacts out.
+//!
+//! * [`chrome_trace_json`] emits the Trace Event Format understood by
+//!   `chrome://tracing` and Perfetto: one complete (`"ph": "X"`) event per
+//!   span, timestamps in microseconds of virtual time.
+//! * [`folded_stacks`] emits `inferno`/`flamegraph.pl`-style folded
+//!   stacks (`root;child;leaf <self-ns>`), one line per distinct stack,
+//!   weighted by self time so a flamegraph's widths add up correctly.
+
+use std::collections::BTreeMap;
+
+use serde::value::Value;
+
+use perisec_tz::time::SimInstant;
+
+use crate::span::SpanEvent;
+
+fn micros(instant: SimInstant) -> f64 {
+    instant.duration_since(SimInstant::EPOCH).as_nanos() as f64 / 1_000.0
+}
+
+/// Renders `spans` as a chrome-trace (Trace Event Format) JSON document.
+/// `pid` labels the process lane — device id in fleet runs. All spans land
+/// on one thread lane (`tid: 0`): a simulated device is single-threaded,
+/// and nesting is conveyed by the spans' time containment.
+pub fn chrome_trace_json(spans: &[SpanEvent], pid: usize) -> String {
+    let events: Vec<Value> = spans
+        .iter()
+        .map(|span| {
+            Value::Object(vec![
+                ("name".to_owned(), Value::Str(span.name.to_owned())),
+                ("cat".to_owned(), Value::Str("perisec".to_owned())),
+                ("ph".to_owned(), Value::Str("X".to_owned())),
+                ("ts".to_owned(), Value::Float(micros(span.start))),
+                (
+                    "dur".to_owned(),
+                    Value::Float(span.duration().as_nanos() as f64 / 1_000.0),
+                ),
+                ("pid".to_owned(), Value::UInt(pid as u128)),
+                ("tid".to_owned(), Value::UInt(0)),
+            ])
+        })
+        .collect();
+    let doc = Value::Object(vec![
+        ("traceEvents".to_owned(), Value::Array(events)),
+        ("displayTimeUnit".to_owned(), Value::Str("ms".to_owned())),
+        (
+            "otherData".to_owned(),
+            Value::Object(vec![(
+                "clock".to_owned(),
+                Value::Str("virtual (SimClock)".to_owned()),
+            )]),
+        ),
+    ]);
+    serde_json::to_string_pretty(&doc).expect("chrome trace is serializable")
+}
+
+/// Renders `spans` as folded flamegraph stacks. Each retained span
+/// contributes its **self time** (duration minus the durations of its
+/// direct children) to the line for its full ancestry path, so stack
+/// widths in the rendered flamegraph sum to total traced time.
+pub fn folded_stacks(spans: &[SpanEvent]) -> String {
+    // Self time: start from each span's own duration, subtract each
+    // child's duration from its parent.
+    let mut self_ns: Vec<u64> = spans.iter().map(|s| s.duration().as_nanos()).collect();
+    for span in spans {
+        if let Some(parent) = span.parent {
+            let d = span.duration().as_nanos();
+            if let Some(p) = self_ns.get_mut(parent as usize) {
+                *p = p.saturating_sub(d);
+            }
+        }
+    }
+    // Fold identical stacks together (a device repeats its pipeline every
+    // scenario step).
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    for (i, span) in spans.iter().enumerate() {
+        let mut path: Vec<&'static str> = vec![span.name];
+        let mut cursor = span.parent;
+        while let Some(p) = cursor {
+            let parent = &spans[p as usize];
+            path.push(parent.name);
+            cursor = parent.parent;
+        }
+        path.reverse();
+        *folded.entry(path.join(";")).or_insert(0) += self_ns[i];
+    }
+    let mut out = String::new();
+    for (stack, ns) in folded {
+        out.push_str(&stack);
+        out.push(' ');
+        out.push_str(&ns.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TelemetryConfig, Tracer};
+    use perisec_tz::time::{SimClock, SimDuration};
+
+    fn sample_spans() -> Vec<SpanEvent> {
+        let clock = SimClock::new();
+        let tracer = Tracer::new(clock.clone(), &TelemetryConfig::tracing());
+        for _ in 0..2 {
+            let _outer = tracer.span("stage.filter");
+            clock.advance(SimDuration::from_micros(1));
+            {
+                let _inner = tracer.span("ta.classify");
+                clock.advance(SimDuration::from_micros(3));
+            }
+            clock.advance(SimDuration::from_micros(1));
+        }
+        tracer.take().spans
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_complete_events() {
+        let spans = sample_spans();
+        let json = chrome_trace_json(&spans, 7);
+        let doc: Value = serde_json::from_str(&json).unwrap();
+        let events = doc.field("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(events.len(), 4);
+        for event in events {
+            assert_eq!(event.field("ph").unwrap().as_str(), Some("X"));
+            assert_eq!(event.field("pid").unwrap(), &Value::UInt(7));
+            assert!(event.field("ts").is_ok());
+            assert!(event.field("dur").is_ok());
+        }
+        // Second outer span starts at 5 µs of virtual time.
+        assert_eq!(events[2].field("ts").unwrap(), &Value::Float(5.0));
+    }
+
+    #[test]
+    fn folded_stacks_attribute_self_time() {
+        let spans = sample_spans();
+        let folded = folded_stacks(&spans);
+        let lines: Vec<&str> = folded.lines().collect();
+        // Two distinct stacks, each folded across both iterations.
+        assert_eq!(lines.len(), 2);
+        assert!(lines.contains(&"stage.filter 4000"), "folded: {folded}");
+        assert!(
+            lines.contains(&"stage.filter;ta.classify 6000"),
+            "folded: {folded}"
+        );
+    }
+
+    #[test]
+    fn empty_trace_exports_cleanly() {
+        let json = chrome_trace_json(&[], 0);
+        let doc: Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(
+            doc.field("traceEvents").unwrap().as_array().unwrap().len(),
+            0
+        );
+        assert_eq!(folded_stacks(&[]), "");
+    }
+}

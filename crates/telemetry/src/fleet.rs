@@ -1,0 +1,243 @@
+//! Per-device telemetry snapshots and the order-invariant fleet fold.
+//!
+//! Devices complete in a nondeterministic order (the executor steals
+//! work), yet the fleet's telemetry must be deterministic — the same
+//! discipline `FleetReport` enforces for the functional results. The fold
+//! achieves it structurally: histograms and counters merge by commutative
+//! addition keyed on static names, and retained traces key on the device
+//! id, so the folded [`FleetTelemetry`] is identical for any completion
+//! interleaving and any worker count.
+
+use std::collections::BTreeMap;
+
+use serde::{value::Value, Serialize};
+
+use crate::hist::LogHistogram;
+use crate::span::SpanEvent;
+
+/// Everything one device's tracer accumulated over a run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeviceTelemetry {
+    /// Per-span-name latency histograms (fixed memory per name).
+    pub histograms: BTreeMap<&'static str, LogHistogram>,
+    /// Per-name event counters.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Retained span events (empty unless span capture was on).
+    pub spans: Vec<SpanEvent>,
+    /// Spans dropped past the capture cap.
+    pub dropped_spans: u64,
+}
+
+impl DeviceTelemetry {
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.histograms.is_empty()
+            && self.counters.is_empty()
+            && self.spans.is_empty()
+            && self.dropped_spans == 0
+    }
+
+    /// Total spans recorded across all names.
+    pub fn total_spans(&self) -> u64 {
+        self.counters.values().sum()
+    }
+}
+
+/// The fleet-wide fold of device telemetry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FleetTelemetry {
+    /// Devices folded in.
+    pub devices: u64,
+    /// Fleet-merged per-name histograms.
+    pub histograms: BTreeMap<&'static str, LogHistogram>,
+    /// Fleet-summed per-name counters.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Spans dropped across the fleet (capture caps).
+    pub dropped_spans: u64,
+    /// Retained traces, keyed by device id — at most one device captures
+    /// spans in a fleet run (the deep-dive device), but the map form keeps
+    /// the fold order-invariant even if several do.
+    pub traces: BTreeMap<usize, Vec<SpanEvent>>,
+}
+
+impl FleetTelemetry {
+    /// An empty fold.
+    pub fn new() -> Self {
+        FleetTelemetry::default()
+    }
+
+    /// Folds one device's telemetry in. Commutative across devices: any
+    /// absorb order yields the same fold.
+    pub fn absorb(&mut self, device: usize, telemetry: DeviceTelemetry) {
+        self.devices += 1;
+        for (name, histogram) in telemetry.histograms {
+            self.histograms.entry(name).or_default().merge(&histogram);
+        }
+        for (name, n) in telemetry.counters {
+            *self.counters.entry(name).or_insert(0) += n;
+        }
+        self.dropped_spans += telemetry.dropped_spans;
+        if !telemetry.spans.is_empty() {
+            self.traces.insert(device, telemetry.spans);
+        }
+    }
+
+    /// Merges another fold into this one (for hierarchical folding —
+    /// e.g. per-worker partial folds). Commutative and associative, like
+    /// [`FleetTelemetry::absorb`].
+    pub fn merge(&mut self, other: &FleetTelemetry) {
+        self.devices += other.devices;
+        for (name, histogram) in &other.histograms {
+            self.histograms.entry(name).or_default().merge(histogram);
+        }
+        for (name, n) in &other.counters {
+            *self.counters.entry(name).or_insert(0) += n;
+        }
+        self.dropped_spans += other.dropped_spans;
+        for (device, spans) in &other.traces {
+            self.traces.insert(*device, spans.clone());
+        }
+    }
+
+    /// The trace of one device, if captured.
+    pub fn trace(&self, device: usize) -> Option<&[SpanEvent]> {
+        self.traces.get(&device).map(Vec::as_slice)
+    }
+
+    /// Approximate resident bytes of the fold, excluding retained traces
+    /// (those are bounded separately by the capture cap). This is the
+    /// figure that stays flat as the fleet grows: per-name histograms and
+    /// counters, regardless of device count or events per device.
+    pub fn metrics_memory_bytes(&self) -> usize {
+        self.histograms.len() * (LogHistogram::memory_bytes() + std::mem::size_of::<&str>())
+            + self
+                .counters
+                .len()
+                .saturating_mul(std::mem::size_of::<(&str, u64)>())
+    }
+
+    /// The machine-readable JSON section (also embedded by
+    /// `FleetReport::to_json_with_telemetry`).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&self.to_value()).expect("telemetry is serializable")
+    }
+}
+
+impl Serialize for FleetTelemetry {
+    fn to_value(&self) -> Value {
+        let histograms = Value::Object(
+            self.histograms
+                .iter()
+                .map(|(name, h)| ((*name).to_owned(), h.to_value()))
+                .collect(),
+        );
+        let counters = Value::Object(
+            self.counters
+                .iter()
+                .map(|(name, n)| ((*name).to_owned(), Value::UInt(*n as u128)))
+                .collect(),
+        );
+        Value::Object(vec![
+            ("devices".to_owned(), Value::UInt(self.devices as u128)),
+            ("histograms".to_owned(), histograms),
+            ("counters".to_owned(), counters),
+            (
+                "dropped_spans".to_owned(),
+                Value::UInt(self.dropped_spans as u128),
+            ),
+            (
+                "traced_devices".to_owned(),
+                Value::Array(
+                    self.traces
+                        .keys()
+                        .map(|d| Value::UInt(*d as u128))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perisec_tz::time::SimDuration;
+
+    fn device(seed: u64) -> DeviceTelemetry {
+        let mut telemetry = DeviceTelemetry::default();
+        let mut histogram = LogHistogram::new();
+        for i in 0..seed % 7 + 1 {
+            histogram.record(SimDuration::from_micros(seed + i));
+        }
+        telemetry.histograms.insert("stage.filter", histogram);
+        telemetry.counters.insert("windows", seed % 7 + 1);
+        telemetry
+    }
+
+    #[test]
+    fn absorb_order_does_not_matter() {
+        let devices: Vec<DeviceTelemetry> = (0..12u64).map(device).collect();
+        let mut forward = FleetTelemetry::new();
+        for (i, d) in devices.iter().enumerate() {
+            forward.absorb(i, d.clone());
+        }
+        let mut backward = FleetTelemetry::new();
+        for (i, d) in devices.iter().enumerate().rev() {
+            backward.absorb(i, d.clone());
+        }
+        assert_eq!(forward, backward);
+        assert_eq!(forward.devices, 12);
+    }
+
+    #[test]
+    fn merge_matches_flat_absorb() {
+        let devices: Vec<DeviceTelemetry> = (0..10u64).map(device).collect();
+        let mut flat = FleetTelemetry::new();
+        for (i, d) in devices.iter().enumerate() {
+            flat.absorb(i, d.clone());
+        }
+        let mut left = FleetTelemetry::new();
+        let mut right = FleetTelemetry::new();
+        for (i, d) in devices.iter().enumerate() {
+            if i % 2 == 0 {
+                left.absorb(i, d.clone());
+            } else {
+                right.absorb(i, d.clone());
+            }
+        }
+        let mut merged = left.clone();
+        merged.merge(&right);
+        assert_eq!(merged, flat);
+        let mut reversed = right.clone();
+        reversed.merge(&left);
+        assert_eq!(reversed, flat);
+    }
+
+    #[test]
+    fn metrics_memory_is_flat_in_device_count() {
+        let mut small = FleetTelemetry::new();
+        let mut large = FleetTelemetry::new();
+        for i in 0..4usize {
+            small.absorb(i, device(i as u64));
+        }
+        for i in 0..4000usize {
+            large.absorb(i, device(i as u64));
+        }
+        assert_eq!(small.metrics_memory_bytes(), large.metrics_memory_bytes());
+        assert!(large.metrics_memory_bytes() > 0);
+    }
+
+    #[test]
+    fn json_export_is_machine_readable() {
+        let mut fleet = FleetTelemetry::new();
+        fleet.absorb(3, device(5));
+        let json = fleet.to_json();
+        let value: serde::value::Value = serde_json::from_str(&json).unwrap();
+        assert!(value.field("histograms").is_ok());
+        assert!(value.field("counters").is_ok());
+        assert_eq!(
+            value.field("devices").unwrap(),
+            &serde::value::Value::UInt(1)
+        );
+    }
+}

@@ -1,0 +1,257 @@
+//! Bounded log-bucket latency histograms.
+//!
+//! A device may process an unbounded number of windows, but its latency
+//! distribution must fit in fixed memory: 64 power-of-two nanosecond
+//! buckets (bucket `i` counts durations with `floor(log2(ns)) == i`; a
+//! zero-length duration lands in bucket 0). That covers 1 ns to ~584
+//! years at a constant ~2x resolution — the right trade for latency
+//! percentiles, where relative error matters and absolute error does not.
+//!
+//! Merging is elementwise addition, so it is **commutative and
+//! associative**: folding 10k device histograms produces the same fleet
+//! histogram in any completion order and on any worker count, which is
+//! what lets fleet telemetry ride alongside the byte-identical
+//! `FleetReport` contract (pinned by the merge-commutativity proptest in
+//! `tests/properties.rs`).
+
+use serde::{value::Value, Serialize};
+
+use perisec_tz::time::SimDuration;
+
+/// Number of buckets: one per possible `floor(log2(ns))` of a `u64`.
+pub const BUCKETS: usize = 64;
+
+/// A fixed-memory latency histogram over virtual durations.
+#[derive(Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    total_ns: u128,
+    max_ns: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            total_ns: 0,
+            max_ns: 0,
+        }
+    }
+}
+
+impl std::fmt::Debug for LogHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogHistogram")
+            .field("count", &self.count)
+            .field("mean", &self.mean())
+            .field("p99", &self.percentile(0.99))
+            .field("max_ns", &self.max_ns)
+            .finish()
+    }
+}
+
+/// Bucket index of a duration: `floor(log2(max(ns, 1)))`.
+fn bucket_of(ns: u64) -> usize {
+    (63 - ns.max(1).leading_zeros()) as usize
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram::default()
+    }
+
+    /// Records one duration.
+    pub fn record(&mut self, duration: SimDuration) {
+        let ns = duration.as_nanos();
+        self.buckets[bucket_of(ns)] += 1;
+        self.count += 1;
+        self.total_ns += ns as u128;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of recorded durations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The largest recorded duration.
+    pub fn max(&self) -> SimDuration {
+        SimDuration::from_nanos(self.max_ns)
+    }
+
+    /// Mean recorded duration (zero when empty).
+    pub fn mean(&self) -> SimDuration {
+        if self.count == 0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_nanos((self.total_ns / self.count as u128) as u64)
+    }
+
+    /// Nearest-rank `q`-percentile estimate (0 < q <= 1). The estimate is
+    /// the upper edge of the bucket holding the rank — at most 2x the true
+    /// value, clamped to the recorded maximum — and is deterministic for a
+    /// given set of recorded durations, in any order.
+    pub fn percentile(&self, q: f64) -> SimDuration {
+        if self.count == 0 {
+            return SimDuration::ZERO;
+        }
+        let rank = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let upper = if i >= 63 { u64::MAX } else { (2u64 << i) - 1 };
+                return SimDuration::from_nanos(upper.min(self.max_ns));
+            }
+        }
+        SimDuration::from_nanos(self.max_ns)
+    }
+
+    /// Elementwise merge: `self` absorbs every recording of `other`.
+    /// Commutative and associative — the fleet-fold property.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Non-empty buckets as `(bucket_index, count)` pairs, for sparse
+    /// export.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (i, n))
+            .collect()
+    }
+
+    /// In-memory footprint of one histogram — the per-name cost a device
+    /// pays, fixed regardless of event count.
+    pub const fn memory_bytes() -> usize {
+        std::mem::size_of::<LogHistogram>()
+    }
+}
+
+impl Serialize for LogHistogram {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("count".to_owned(), Value::UInt(self.count as u128)),
+            (
+                "mean_ns".to_owned(),
+                Value::UInt(self.mean().as_nanos() as u128),
+            ),
+            (
+                "p50_ns".to_owned(),
+                Value::UInt(self.percentile(0.50).as_nanos() as u128),
+            ),
+            (
+                "p95_ns".to_owned(),
+                Value::UInt(self.percentile(0.95).as_nanos() as u128),
+            ),
+            (
+                "p99_ns".to_owned(),
+                Value::UInt(self.percentile(0.99).as_nanos() as u128),
+            ),
+            ("max_ns".to_owned(), Value::UInt(self.max_ns as u128)),
+            (
+                "buckets".to_owned(),
+                Value::Array(
+                    self.nonzero_buckets()
+                        .into_iter()
+                        .map(|(i, n)| {
+                            Value::Array(vec![Value::UInt(i as u128), Value::UInt(n as u128)])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> SimDuration {
+        SimDuration::from_micros(n)
+    }
+
+    #[test]
+    fn buckets_follow_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(1023), 9);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn statistics_track_recordings() {
+        let mut h = LogHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(0.99), SimDuration::ZERO);
+        for n in 1..=100u64 {
+            h.record(us(n));
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.max(), us(100));
+        assert_eq!(h.mean(), SimDuration::from_nanos(50_500));
+        // The p99 estimate is within one bucket (2x) of the true value and
+        // never above the recorded maximum.
+        let p99 = h.percentile(0.99).as_nanos();
+        assert!((99_000..=100_000).contains(&p99), "p99 estimate {p99}");
+        let p50 = h.percentile(0.50).as_nanos();
+        assert!((50_000..=100_000).contains(&p50), "p50 estimate {p50}");
+        assert!(p50 <= 65_535 * 2, "p50 estimate beyond 2x: {p50}");
+    }
+
+    #[test]
+    fn merge_is_commutative_and_matches_single_pass() {
+        let mut all = LogHistogram::new();
+        let mut left = LogHistogram::new();
+        let mut right = LogHistogram::new();
+        for n in 1..=60u64 {
+            all.record(us(n * 3));
+            if n % 2 == 0 {
+                left.record(us(n * 3));
+            } else {
+                right.record(us(n * 3));
+            }
+        }
+        let mut lr = left.clone();
+        lr.merge(&right);
+        let mut rl = right.clone();
+        rl.merge(&left);
+        assert_eq!(lr, rl);
+        assert_eq!(lr, all);
+    }
+
+    #[test]
+    fn serialization_is_sparse_and_carries_percentiles() {
+        let mut h = LogHistogram::new();
+        h.record(us(10));
+        h.record(us(10));
+        let value = h.to_value();
+        let json = serde_json::to_string(&value).unwrap();
+        assert!(json.contains("p99_ns"));
+        assert!(json.contains("\"count\": 2") || json.contains("\"count\":2"));
+        // One distinct bucket recorded twice.
+        let buckets = value.field("buckets").unwrap().as_array().unwrap();
+        assert_eq!(buckets.len(), 1);
+    }
+}

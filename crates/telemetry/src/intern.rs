@@ -1,0 +1,175 @@
+//! The shared string-interning table.
+//!
+//! Tracing hot paths must not allocate per event. Span names are
+//! `&'static str` literals already; the kernel function tracer, the TCB
+//! analysis and deserialized trace logs deal in *dynamic* strings, and
+//! [`intern`] folds those into the same static-lifetime world: the first
+//! sighting of a name leaks one boxed copy, every later sighting returns
+//! the shared `&'static str` with no allocation. [`Symbol`] is the
+//! copyable handle the rest of the workspace stores.
+
+use std::collections::BTreeSet;
+use std::sync::OnceLock;
+
+use parking_lot::Mutex;
+use serde::{value::Value, Deserialize, Serialize};
+
+fn table() -> &'static Mutex<BTreeSet<&'static str>> {
+    static TABLE: OnceLock<Mutex<BTreeSet<&'static str>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(BTreeSet::new()))
+}
+
+/// Interns `name`: returns the one shared `&'static str` with these
+/// contents, allocating only on the first sighting of a given name. The
+/// table only ever grows; the set of distinct trace/span names in this
+/// workspace is small and static, which is the regime interning is for.
+pub fn intern(name: &str) -> &'static str {
+    let mut entries = table().lock();
+    if let Some(existing) = entries.get(name) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+    entries.insert(leaked);
+    leaked
+}
+
+/// A copyable interned string: 8 bytes, no per-event allocation, ordinary
+/// string semantics for comparison, hashing and serialization.
+#[derive(Clone, Copy)]
+pub struct Symbol(&'static str);
+
+impl Symbol {
+    /// Interns `name` and wraps the shared copy.
+    pub fn new(name: &str) -> Self {
+        Symbol(intern(name))
+    }
+
+    /// The empty symbol (no interning needed — `""` is already static).
+    pub const fn empty() -> Self {
+        Symbol("")
+    }
+
+    /// The string contents.
+    pub fn as_str(&self) -> &'static str {
+        self.0
+    }
+
+    /// Whether this is the empty symbol.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl Default for Symbol {
+    fn default() -> Self {
+        Symbol::empty()
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(name: &str) -> Self {
+        Symbol::new(name)
+    }
+}
+
+impl std::ops::Deref for Symbol {
+    type Target = str;
+    fn deref(&self) -> &str {
+        self.0
+    }
+}
+
+impl PartialEq for Symbol {
+    fn eq(&self, other: &Self) -> bool {
+        // Pointer equality would hold for symbols minted via `intern`, but
+        // content equality also covers `Symbol::empty` and costs nothing
+        // measurable at these lengths.
+        self.0 == other.0
+    }
+}
+
+impl Eq for Symbol {}
+
+impl PartialOrd for Symbol {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Symbol {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.cmp(other.0)
+    }
+}
+
+impl std::hash::Hash for Symbol {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.hash(state);
+    }
+}
+
+impl std::fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl std::fmt::Display for Symbol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl Serialize for Symbol {
+    fn to_value(&self) -> Value {
+        Value::Str(self.0.to_owned())
+    }
+}
+
+impl Deserialize for Symbol {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        match value {
+            Value::Str(s) => Ok(Symbol::new(s)),
+            other => Err(serde::Error::custom(format!(
+                "expected string symbol, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_dedups_to_one_static_pointer() {
+        let a = intern("telemetry_test_fn_a");
+        let b = intern(&String::from("telemetry_test_fn_a"));
+        assert!(std::ptr::eq(a, b), "same contents must share one copy");
+        assert_ne!(intern("telemetry_test_fn_b"), a);
+    }
+
+    #[test]
+    fn symbols_behave_like_strings() {
+        let s = Symbol::new("hw_params");
+        assert_eq!(s.as_str(), "hw_params");
+        assert_eq!(s, Symbol::new("hw_params"));
+        assert!(Symbol::new("a") < Symbol::new("b"));
+        assert_eq!(format!("{s}"), "hw_params");
+        assert_eq!(&*s, "hw_params");
+        assert!(Symbol::empty().is_empty());
+        assert_eq!(Symbol::default(), Symbol::empty());
+    }
+
+    #[test]
+    fn symbols_round_trip_through_serde() {
+        let s = Symbol::new("trigger_start");
+        let value = s.to_value();
+        assert_eq!(value.as_str(), Some("trigger_start"));
+        let back = Symbol::from_value(&value).unwrap();
+        assert_eq!(back, s);
+        assert!(std::ptr::eq(back.as_str(), s.as_str()));
+        assert!(Symbol::from_value(&Value::UInt(3)).is_err());
+    }
+}

@@ -25,6 +25,7 @@
 //! | [`tcb`] | `perisec-tcb` | Trace analysis, call graphs, driver pruning, secure-memory accounting, TCB reports |
 //! | [`core`] | `perisec-core` | The paper's contribution: policy engine, privacy filter, end-to-end pipelines, metrics |
 //! | [`sched`] | `perisec-sched` | Multi-core TEE scheduler: secure-core pools, sharded TA sessions, adaptive batching, model dedup |
+//! | [`telemetry`] | `perisec-telemetry` | Observability plane: virtual-time span tracer, bounded log-bucket histograms, order-invariant fleet fold, chrome-trace/flamegraph export |
 //!
 //! ## Quickstart
 //!
@@ -50,5 +51,6 @@ pub use perisec_relay as relay;
 pub use perisec_sched as sched;
 pub use perisec_secure_driver as secure_driver;
 pub use perisec_tcb as tcb;
+pub use perisec_telemetry as telemetry;
 pub use perisec_tz as tz;
 pub use perisec_workload as workload;

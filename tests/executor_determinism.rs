@@ -16,6 +16,7 @@
 use perisec::core::fleet::{FleetConfig, PipelineFleet};
 use perisec::core::pipeline::{CameraPipelineConfig, PipelineConfig, SharedModels};
 use perisec::ml::classifier::Architecture;
+use perisec::telemetry::TelemetryConfig;
 use perisec::tz::time::SimDuration;
 use perisec::workload::scenario::{CameraScenario, Scenario};
 
@@ -96,4 +97,84 @@ fn executor_reports_are_stable_across_repeated_runs() {
     let first = fleet.run_mixed(&[], &cameras).unwrap().to_json();
     let second = fleet.run_mixed(&[], &cameras).unwrap().to_json();
     assert_eq!(first, second);
+}
+
+fn observed_fleet(
+    workers: usize,
+    telemetry: TelemetryConfig,
+    models: &SharedModels,
+) -> PipelineFleet {
+    PipelineFleet::with_models(
+        FleetConfig {
+            devices: 2,
+            pipeline: PipelineConfig {
+                train_utterances: 60,
+                batch_windows: 4,
+                ..PipelineConfig::default()
+            },
+            camera_devices: 5,
+            camera_pipeline: CameraPipelineConfig {
+                batch_windows: 4,
+                ..CameraPipelineConfig::default()
+            },
+            workers,
+            telemetry,
+            trace_device: Some(3),
+            ..FleetConfig::of(0)
+        },
+        models.clone(),
+    )
+}
+
+#[test]
+fn telemetry_plane_never_perturbs_the_report() {
+    // The zero-perturbation half of the telemetry contract: with the
+    // telemetry plane recording in every device (metrics everywhere,
+    // full span capture on device 3), the functional `FleetReport` is
+    // byte-for-byte the report of a silent run — at every worker count.
+    // The other half is the fold's own determinism: the merged
+    // `FleetTelemetry` must not notice worker counts or steal
+    // interleavings either, because histogram/counter merging is
+    // commutative and traces key on device ids.
+    let models =
+        SharedModels::deferred(Architecture::Cnn, 60, 0x7E1E).with_vision_spec(120, 0x7E1E);
+    let audio = Scenario::fleet(2, 4, 0.5, SimDuration::from_secs(1), 0x7E1E);
+    let cameras = CameraScenario::fleet_cameras(5, 4, 0.4, SimDuration::from_secs(1), 0x7E1E);
+
+    let mut reference_fold = None;
+    for workers in [1usize, 2, 8] {
+        let silent = observed_fleet(workers, TelemetryConfig::default(), &models)
+            .run_mixed(&audio, &cameras)
+            .unwrap();
+        let (observed, _, fold) = observed_fleet(workers, TelemetryConfig::metrics(), &models)
+            .run_mixed_telemetry(&audio, &cameras)
+            .unwrap();
+        assert_eq!(
+            silent.to_json(),
+            observed.to_json(),
+            "telemetry perturbed the report at {workers} workers"
+        );
+        // Every layer contributed to the fold, and only the designated
+        // device retained spans.
+        assert_eq!(fold.devices, 7);
+        assert!(fold.histograms.contains_key("smc.call"));
+        assert!(fold.histograms.contains_key("ta.classify"));
+        assert!(fold.trace(3).is_some());
+        assert!(fold.trace(0).is_none());
+        match &reference_fold {
+            None => reference_fold = Some(fold),
+            Some(reference) => assert_eq!(
+                &fold, reference,
+                "telemetry fold diverged at {workers} workers"
+            ),
+        }
+    }
+
+    // Repeated runs at a steal-prone worker count: interleavings differ,
+    // the fold must not.
+    let fleet = observed_fleet(3, TelemetryConfig::metrics(), &models);
+    let (_, _, first) = fleet.run_mixed_telemetry(&audio, &cameras).unwrap();
+    let (_, _, second) = fleet.run_mixed_telemetry(&audio, &cameras).unwrap();
+    assert_eq!(first, second, "fold varies across steal interleavings");
+    assert_eq!(Some(first), reference_fold);
 }

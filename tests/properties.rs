@@ -433,3 +433,76 @@ proptest! {
         prop_assert!(stats.peak_resident <= stats.workers);
     }
 }
+
+/// Decodes one drawn `u64` into a device telemetry snapshot: a few
+/// histogram recordings and counters over a fixed name set, all derived
+/// from independent bit ranges of the draw.
+fn device_telemetry_from_seed(seed: u64) -> perisec::telemetry::DeviceTelemetry {
+    use perisec::telemetry::{DeviceTelemetry, LogHistogram};
+    const NAMES: [&str; 4] = ["stage.filter", "smc.call", "ta.classify", "tee.rpc"];
+    let mut telemetry = DeviceTelemetry::default();
+    for (i, name) in NAMES.iter().enumerate() {
+        let bits = seed >> (i * 16) & 0xFFFF;
+        if bits == 0 {
+            continue;
+        }
+        let mut histogram = LogHistogram::new();
+        for n in 0..bits % 5 + 1 {
+            histogram.record(SimDuration::from_nanos(bits * 37 + n * 13 + 1));
+        }
+        telemetry.histograms.insert(name, histogram);
+        telemetry.counters.insert(name, bits % 5 + 1);
+    }
+    telemetry.dropped_spans = seed % 3;
+    telemetry
+}
+
+proptest! {
+    /// The fleet telemetry fold is order-invariant and merge is
+    /// commutative/associative: absorbing devices in any order, or
+    /// folding any partition of them into partial folds and merging
+    /// those in any order, yields the same `FleetTelemetry`. This is the
+    /// structural property that keeps fleet telemetry deterministic
+    /// under work stealing at any worker count.
+    #[test]
+    fn telemetry_fold_is_order_invariant(
+        device_seeds in proptest::collection::vec(any::<u64>(), 1..24),
+        split_seed in any::<u64>(),
+    ) {
+        use perisec::telemetry::FleetTelemetry;
+        let devices: Vec<_> = device_seeds
+            .iter()
+            .map(|&seed| device_telemetry_from_seed(seed))
+            .collect();
+
+        let mut forward = FleetTelemetry::new();
+        for (i, d) in devices.iter().enumerate() {
+            forward.absorb(i, d.clone());
+        }
+        let mut backward = FleetTelemetry::new();
+        for (i, d) in devices.iter().enumerate().rev() {
+            backward.absorb(i, d.clone());
+        }
+        prop_assert_eq!(&forward, &backward);
+
+        // Partition by one seed bit per device, fold each side, merge in
+        // both orders: both equal the flat fold (associativity plus
+        // commutativity over an arbitrary partition).
+        let mut left = FleetTelemetry::new();
+        let mut right = FleetTelemetry::new();
+        for (i, d) in devices.iter().enumerate() {
+            if split_seed >> (i % 64) & 1 == 0 {
+                left.absorb(i, d.clone());
+            } else {
+                right.absorb(i, d.clone());
+            }
+        }
+        let mut lr = left.clone();
+        lr.merge(&right);
+        let mut rl = right.clone();
+        rl.merge(&left);
+        prop_assert_eq!(&lr, &forward);
+        prop_assert_eq!(&rl, &forward);
+        prop_assert_eq!(forward.devices, devices.len() as u64);
+    }
+}
