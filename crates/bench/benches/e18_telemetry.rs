@@ -4,6 +4,8 @@
 //! scale), and the tracer's per-span primitives — a disabled span must
 //! be branch-cheap, an enabled span lock-and-record cheap.
 
+use std::collections::BTreeSet;
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use perisec_core::fleet::{FleetConfig, PipelineFleet};
@@ -18,7 +20,7 @@ fn bench_fleet_overhead(c: &mut Criterion) {
     models.vision().unwrap();
     let devices = 64usize;
     let cameras = CameraScenario::fleet_cameras(devices, 2, 0.4, SimDuration::from_secs(1), 0xBE18);
-    let fleet = |telemetry: TelemetryConfig, trace_device: Option<usize>| {
+    let fleet = |telemetry: TelemetryConfig, trace_devices: BTreeSet<usize>| {
         PipelineFleet::with_models(
             FleetConfig {
                 workers: 8,
@@ -27,7 +29,7 @@ fn bench_fleet_overhead(c: &mut Criterion) {
                     ..CameraPipelineConfig::default()
                 },
                 telemetry,
-                trace_device,
+                trace_devices,
                 ..FleetConfig::mixed(0, devices)
             },
             models.clone(),
@@ -36,15 +38,15 @@ fn bench_fleet_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("e18_fleet_telemetry");
     group.sample_size(10);
     group.bench_function("telemetry_off", |b| {
-        let fleet = fleet(TelemetryConfig::default(), None);
+        let fleet = fleet(TelemetryConfig::default(), BTreeSet::new());
         b.iter(|| fleet.run_mixed(&[], &cameras).unwrap());
     });
     group.bench_function("metrics", |b| {
-        let fleet = fleet(TelemetryConfig::metrics(), None);
+        let fleet = fleet(TelemetryConfig::metrics(), BTreeSet::new());
         b.iter(|| fleet.run_mixed_telemetry(&[], &cameras).unwrap());
     });
     group.bench_function("metrics_plus_trace_device", |b| {
-        let fleet = fleet(TelemetryConfig::metrics(), Some(0));
+        let fleet = fleet(TelemetryConfig::metrics(), BTreeSet::from([0]));
         b.iter(|| fleet.run_mixed_telemetry(&[], &cameras).unwrap());
     });
     group.finish();

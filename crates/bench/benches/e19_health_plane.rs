@@ -1,0 +1,122 @@
+//! Criterion bench behind experiment E19: the cost of the live health
+//! plane. Measures the per-step primitives — a monitor advance that
+//! stays inside the current epoch must be comparison-cheap, and an
+//! advance that crosses an epoch boundary pays the full cut (series
+//! delta, SLO judgement, journal append) — and the fleet-scale cost of
+//! `run_mixed_health` against a silent run (the overhead the <= 5% E19
+//! gate bounds).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use perisec_core::fleet::{FleetConfig, PipelineFleet};
+use perisec_core::pipeline::{PipelineConfig, SharedModels};
+use perisec_ml::classifier::Architecture;
+use perisec_telemetry::{
+    DeviceHealthMonitor, FleetHealth, HealthConfig, SloSpec, TelemetryConfig, Tracer,
+};
+use perisec_tz::time::{SimClock, SimDuration};
+use perisec_workload::scenario::Scenario;
+
+const WINDOW: SimDuration = SimDuration::from_secs(1);
+
+fn health_config() -> HealthConfig {
+    HealthConfig {
+        slos: vec![SloSpec::p95("tee-filter", SimDuration::from_millis(5))],
+        ..HealthConfig::with_window(WINDOW)
+    }
+}
+
+fn bench_monitor_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e19_monitor_primitives");
+    // Advances that stay inside the epoch: the hot path every device
+    // step takes. The monitor only compares the clock against the next
+    // boundary, so this must stay branch-cheap.
+    group.bench_function("advance_no_cut", |b| {
+        let clock = SimClock::new();
+        let tracer = Tracer::new(clock.clone(), &TelemetryConfig::metrics());
+        let mut monitor = DeviceHealthMonitor::new(0, health_config(), FleetHealth::sink(WINDOW));
+        b.iter(|| {
+            {
+                let _span = tracer.span("tee-filter");
+                clock.advance(SimDuration::from_nanos(1));
+            }
+            monitor.advance(clock.now(), &tracer);
+        });
+    });
+    // Advances that cross a boundary pay the epoch cut: delta the
+    // tracer series, judge every SLO, push alerts into the shared
+    // journal. The vendored criterion has no per-iteration setup hook,
+    // so each iteration builds a fresh monitor and sink (keeping the
+    // sink's epoch map from growing across samples); the `setup_only`
+    // baseline below prices that construction so the cut itself reads
+    // as the difference between the two.
+    group.bench_function("advance_with_cut", |b| {
+        b.iter(|| {
+            let clock = SimClock::new();
+            let tracer = Tracer::new(clock.clone(), &TelemetryConfig::metrics());
+            let mut monitor =
+                DeviceHealthMonitor::new(0, health_config(), FleetHealth::sink(WINDOW));
+            {
+                let _span = tracer.span("tee-filter");
+                clock.advance(SimDuration::from_millis(10));
+            }
+            clock.advance(WINDOW);
+            monitor.advance(clock.now(), &tracer);
+        });
+    });
+    group.bench_function("setup_only", |b| {
+        b.iter(|| {
+            let clock = SimClock::new();
+            let tracer = Tracer::new(clock.clone(), &TelemetryConfig::metrics());
+            let monitor = DeviceHealthMonitor::new(0, health_config(), FleetHealth::sink(WINDOW));
+            {
+                let _span = tracer.span("tee-filter");
+                clock.advance(SimDuration::from_millis(10));
+            }
+            clock.advance(WINDOW);
+            monitor
+        });
+    });
+    group.finish();
+}
+
+fn bench_fleet_health_overhead(c: &mut Criterion) {
+    let models = SharedModels::deferred(Architecture::Cnn, 16, 19);
+    models.audio().unwrap();
+    let devices = 32usize;
+    let audio = Scenario::fleet(devices, 2, 0.5, SimDuration::from_secs(1), 0xBE19);
+    let fleet = |health: Option<HealthConfig>| {
+        PipelineFleet::with_models(
+            FleetConfig {
+                devices,
+                pipeline: PipelineConfig {
+                    train_utterances: 16,
+                    batch_windows: 4,
+                    ..PipelineConfig::default()
+                },
+                workers: 8,
+                health,
+                ..FleetConfig::of(0)
+            },
+            models.clone(),
+        )
+    };
+    let mut group = c.benchmark_group("e19_fleet_health");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("fleet", "health_off"), &(), |b, ()| {
+        let fleet = fleet(None);
+        b.iter(|| fleet.run_mixed(&audio, &[]).unwrap());
+    });
+    group.bench_with_input(BenchmarkId::new("fleet", "health_on"), &(), |b, ()| {
+        let fleet = fleet(Some(health_config()));
+        b.iter(|| fleet.run_mixed_health(&audio, &[]).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_monitor_primitives,
+    bench_fleet_health_overhead
+);
+criterion_main!(benches);

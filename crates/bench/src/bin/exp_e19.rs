@@ -1,0 +1,8 @@
+//! Experiment E19 harness: the live fleet health plane. Prints the
+//! markdown report — healthy-fleet census, injected-degradation alert
+//! journals across worker counts, the zero-perturbation check, and the
+//! plane's paired overhead measurement. The CI experiment-smoke job awk's
+//! the gate lines.
+fn main() {
+    println!("{}", perisec_bench::run_e19_health_plane());
+}

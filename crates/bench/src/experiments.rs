@@ -1763,7 +1763,7 @@ pub fn run_e18_telemetry() -> (String, String) {
             camera_pipeline,
             workers: 8,
             telemetry: TelemetryConfig::metrics(),
-            trace_device: Some(0),
+            trace_devices: std::collections::BTreeSet::from([0]),
             ..FleetConfig::of(0)
         },
         models,
@@ -1800,6 +1800,236 @@ pub fn run_e18_telemetry() -> (String, String) {
     (out, trace_json)
 }
 
+/// E19 — the live fleet health plane: virtual-time epoch snapshots, SLO
+/// hysteresis, deterministic anomaly alerts, and the plane's overhead.
+///
+/// Four claims, each with an awk-checkable line:
+/// 1. A healthy fleet produces an **empty** alert journal.
+/// 2. Injected degradation fires the same alerts at the same virtual
+///    timestamps no matter the worker count (journal byte-identity).
+/// 3. The functional `FleetReport` is byte-identical with the plane on
+///    or off — health observes, it never steers the workload.
+/// 4. The plane's host overhead stays within the 5% telemetry gate.
+pub fn run_e19_health_plane() -> String {
+    use perisec_core::fleet::{FleetConfig, PipelineFleet};
+    use perisec_core::pipeline::{CameraPipelineConfig, DegradeSpec, SharedModels};
+    use perisec_telemetry::{HealthConfig, HealthState, SloSpec};
+    use perisec_workload::scenario::CameraScenario;
+
+    let mut out = String::from(
+        "## E19 — live fleet health plane (virtual-time epochs, SLO hysteresis, \
+         deterministic alerts)\n\n",
+    );
+
+    let models = SharedModels::deferred(Architecture::Cnn, 60, 0xE19).with_vision_spec(120, 0xE19);
+    models.audio().expect("train speech models");
+    models.vision().expect("train frame classifier");
+
+    // Part 1: state census of a healthy mixed fleet under attainable
+    // objectives — the journal must come back empty.
+    out.push_str("### Healthy fleet census\n\n");
+    let generous = HealthConfig {
+        slos: vec![SloSpec::p95("tee-filter", SimDuration::from_secs(5))],
+        ..HealthConfig::with_window(SimDuration::from_secs(1))
+    };
+    let audio_pipeline = PipelineConfig {
+        batch_windows: 4,
+        ..PipelineConfig::default()
+    };
+    let camera_pipeline = CameraPipelineConfig {
+        batch_windows: 4,
+        ..CameraPipelineConfig::default()
+    };
+    let healthy_fleet = PipelineFleet::with_models(
+        FleetConfig {
+            devices: 128,
+            pipeline: audio_pipeline.clone(),
+            camera_devices: 128,
+            camera_pipeline: camera_pipeline.clone(),
+            workers: 8,
+            health: Some(generous.clone()),
+            ..FleetConfig::of(0)
+        },
+        models.clone(),
+    );
+    let healthy_audio = Scenario::mega_fleet(128, 2, 0.4, SimDuration::from_secs(1), 0xE19);
+    let healthy_cameras = CameraScenario::fleet_high_fps(128, 4, 1, 30, 0.4, 0xE19);
+    let (_, _, _, census) = healthy_fleet
+        .run_mixed_health(&healthy_audio, &healthy_cameras)
+        .expect("healthy fleet");
+    out.push_str(
+        "| devices | healthy | degraded | critical | journal entries |\n|---|---|---|---|---|\n",
+    );
+    let _ = writeln!(
+        out,
+        "| {} | {} | {} | {} | {} |",
+        census.devices,
+        census.healthy,
+        census.degraded,
+        census.critical,
+        census.alerts.len(),
+    );
+    let _ = writeln!(
+        out,
+        "\nHealthy-fleet alert journal entries: {} (gate: 0).",
+        census.alerts.len()
+    );
+
+    // Part 2: injected degradation — after 2 s of virtual time every
+    // audio device's filter crossings slow by 10 ms per window, tearing
+    // a 5 ms p95 objective. The alerts must land at identical virtual
+    // timestamps at every worker count: the journal is a pure function
+    // of the workload, not of the host schedule.
+    out.push_str("\n### Injected degradation across worker counts\n\n");
+    let strict = HealthConfig {
+        slos: vec![SloSpec::p95("tee-filter", SimDuration::from_millis(5))],
+        ..HealthConfig::with_window(SimDuration::from_secs(1))
+    };
+    let degraded_pipeline = PipelineConfig {
+        batch_windows: 4,
+        degrade: Some(DegradeSpec {
+            after: SimDuration::from_secs(2),
+            per_window: SimDuration::from_millis(10),
+        }),
+        ..PipelineConfig::default()
+    };
+    let degraded_fleet = |workers: usize, health: Option<HealthConfig>| {
+        PipelineFleet::with_models(
+            FleetConfig {
+                devices: 12,
+                pipeline: degraded_pipeline.clone(),
+                workers,
+                health,
+                ..FleetConfig::of(0)
+            },
+            models.clone(),
+        )
+    };
+    let degraded_audio = Scenario::fleet(12, 6, 0.5, SimDuration::from_secs(1), 0xE19);
+    out.push_str("| workers | alerts | degraded transitions | journal == 1-worker journal |\n|---|---|---|---|\n");
+    let mut reference_journal: Option<String> = None;
+    let mut journals_identical = true;
+    let mut degraded_transitions = 0usize;
+    let mut sample_table = String::new();
+    for workers in [1usize, 2, 8] {
+        let (_, _, _, health) = degraded_fleet(workers, Some(strict.clone()))
+            .run_mixed_health(&degraded_audio, &[])
+            .expect("degraded fleet");
+        let journal = health.alert_journal_json();
+        let identical = match &reference_journal {
+            None => {
+                degraded_transitions = health.transitions_to(HealthState::Degraded);
+                sample_table = health.to_table();
+                reference_journal = Some(journal);
+                true
+            }
+            Some(reference) => journal == *reference,
+        };
+        journals_identical &= identical;
+        let _ = writeln!(
+            out,
+            "| {workers} | {} | {} | {} |",
+            health.alerts.len(),
+            health.transitions_to(HealthState::Degraded),
+            if identical { "yes" } else { "NO (bug!)" },
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nDegraded transitions under injected degradation: {degraded_transitions} (gate: >= 1)."
+    );
+    let _ = writeln!(
+        out,
+        "Alert journals byte-identical across worker counts: {}.",
+        if journals_identical {
+            "yes"
+        } else {
+            "NO (bug!)"
+        },
+    );
+    out.push_str("\nOne-worker health table (virtual-time journal):\n\n```\n");
+    out.push_str(&sample_table);
+    out.push_str("```\n");
+
+    // Part 3: zero perturbation — the functional report with the plane
+    // on is byte-for-byte the report of a silent run, degradation and
+    // all.
+    let (report_on, _, _, _) = degraded_fleet(2, Some(strict.clone()))
+        .run_mixed_health(&degraded_audio, &[])
+        .expect("health-on fleet");
+    let report_off = degraded_fleet(2, None)
+        .run_mixed(&degraded_audio, &[])
+        .expect("health-off fleet");
+    let _ = writeln!(
+        out,
+        "\nReports byte-identical with the health plane on: {}.",
+        if report_on.to_json() == report_off.to_json() {
+            "yes"
+        } else {
+            "NO (bug!)"
+        },
+    );
+
+    // Part 4: the plane's host cost on a 1024-device verdict-only camera
+    // fleet — paired best-of-5 rounds after an unmeasured warm-up, the
+    // E18/E16 discipline. The health fleet also arms the payload
+    // tripwire: a verdict-only fleet must never relay raw payload bytes,
+    // so its zero alert count doubles as the privacy claim, per epoch.
+    out.push_str("\n### Health-plane overhead (1024 cameras, 8 workers)\n\n");
+    let overhead_health = HealthConfig {
+        slos: vec![SloSpec::p95("tee-filter", SimDuration::from_secs(5))],
+        expect_zero_payload: true,
+        ..HealthConfig::with_window(SimDuration::from_secs(1))
+    };
+    let overhead_fleet = |health: Option<HealthConfig>| {
+        PipelineFleet::with_models(
+            FleetConfig {
+                workers: 8,
+                camera_pipeline: camera_pipeline.clone(),
+                health,
+                ..FleetConfig::mixed(0, 1024)
+            },
+            models.clone(),
+        )
+    };
+    let overhead_cameras = CameraScenario::fleet_high_fps(1024, 4, 1, 30, 0.4, 0x0E19);
+    let off_fleet = overhead_fleet(None);
+    let on_fleet = overhead_fleet(Some(overhead_health));
+    let mut off_ms = f64::MAX;
+    let mut on_ms = f64::MAX;
+    let mut overhead_pct = f64::MAX;
+    let mut tripwire_alerts = 0usize;
+    for round in 0..6 {
+        let (_, stats) = off_fleet
+            .run_mixed_stats(&[], &overhead_cameras)
+            .expect("health-off fleet");
+        let round_off = stats.host_millis;
+        let (_, stats, _, health) = on_fleet
+            .run_mixed_health(&[], &overhead_cameras)
+            .expect("health-on fleet");
+        let round_on = stats.host_millis;
+        tripwire_alerts = health.alerts.len();
+        if round > 0 {
+            off_ms = off_ms.min(round_off);
+            on_ms = on_ms.min(round_on);
+            overhead_pct = overhead_pct.min((round_on - round_off) / round_off.max(0.001) * 100.0);
+        }
+    }
+    out.push_str("| health plane | best host ms (of 5) |\n|---|---|\n");
+    let _ = writeln!(out, "| off | {off_ms:.0} |");
+    let _ = writeln!(out, "| on | {on_ms:.0} |");
+    let _ = writeln!(
+        out,
+        "\nHealth plane overhead at 1024 devices: {overhead_pct:.2}% \
+         (best of 5 paired rounds; best off {off_ms:.0} ms, best on {on_ms:.0} ms; gate <= 5%).",
+    );
+    let _ = writeln!(
+        out,
+        "Payload tripwire alerts on the verdict-only camera fleet: {tripwire_alerts} (gate: 0).",
+    );
+    out
+}
+
 /// Runs every experiment and concatenates the tables (used by the
 /// `experiments` binary and by EXPERIMENTS.md generation).
 pub fn run_all() -> String {
@@ -1821,6 +2051,7 @@ pub fn run_all() -> String {
         run_e15_fleet_executor(),
         run_e16_int8_inference().0,
         run_e18_telemetry().0,
+        run_e19_health_plane(),
     ]
     .join("\n")
 }

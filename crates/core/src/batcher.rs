@@ -16,6 +16,7 @@
 //! lives in this crate so both can share one implementation, and the
 //! scheduler crate re-exports it under its historical path.
 
+use perisec_telemetry::HealthState;
 use perisec_tz::cost::CostModel;
 use perisec_tz::time::SimDuration;
 
@@ -27,6 +28,7 @@ pub struct AdaptiveBatcher {
     crossing: SimDuration,
     max_batch: usize,
     service: Option<SimDuration>,
+    pressure: HealthState,
 }
 
 impl AdaptiveBatcher {
@@ -38,6 +40,7 @@ impl AdaptiveBatcher {
             crossing: AdaptiveBatcher::crossing_overhead(cost),
             max_batch: max_batch.max(1),
             service: None,
+            pressure: HealthState::Healthy,
         }
     }
 
@@ -72,6 +75,22 @@ impl AdaptiveBatcher {
         self.slo
     }
 
+    /// Feeds the health plane's SLO-pressure verdict (see
+    /// `perisec_telemetry::PressureMonitor`). Under `Degraded` pressure
+    /// the batcher halves its latency headroom — the EWMA is clearly
+    /// underestimating tail service time, so batches shrink before the
+    /// SLO is torn further; under `Critical` it falls all the way back to
+    /// single-window probes. `Healthy` (the initial state) restores the
+    /// pure E11 curve.
+    pub fn set_pressure(&mut self, pressure: HealthState) {
+        self.pressure = pressure;
+    }
+
+    /// The most recent pressure verdict fed to the batcher.
+    pub fn pressure(&self) -> HealthState {
+        self.pressure
+    }
+
     /// Picks the batch size for the next crossing given `queue_depth`
     /// windows waiting. Returns the largest `B` with
     /// `B · service + overhead <= slo`, clamped to `[1, min(depth, max)]`
@@ -81,7 +100,13 @@ impl AdaptiveBatcher {
     /// [`AdaptiveBatcher::observe`] the batcher has no service estimate
     /// and plays it safe with a batch of one, which doubles as the
     /// measurement probe.
+    /// Under SLO pressure (see [`AdaptiveBatcher::set_pressure`]) the
+    /// curve is clipped: `Critical` always returns 1, `Degraded` fits the
+    /// batch into half the headroom.
     pub fn pick_batch(&self, queue_depth: usize) -> usize {
+        if self.pressure == HealthState::Critical {
+            return 1;
+        }
         let ceiling = self.max_batch.min(queue_depth.max(1));
         let service = match self.service {
             None => return 1,
@@ -91,7 +116,11 @@ impl AdaptiveBatcher {
         if self.slo <= self.crossing + service {
             return 1;
         }
-        let headroom = self.slo - self.crossing;
+        let full = self.slo - self.crossing;
+        let headroom = match self.pressure {
+            HealthState::Degraded => full / 2,
+            _ => full,
+        };
         let fit = (headroom.as_nanos() / service.as_nanos()) as usize;
         fit.clamp(1, ceiling)
     }
@@ -162,6 +191,29 @@ mod tests {
         b.observe(SimDuration::from_micros(200));
         // (3*100 + 200) / 4 = 125 µs.
         assert_eq!(b.service_estimate(), SimDuration::from_micros(125));
+    }
+
+    #[test]
+    fn slo_pressure_clips_the_batch_curve() {
+        let mut b = batcher(5_000);
+        b.observe(SimDuration::from_micros(50));
+        assert_eq!(b.pressure(), HealthState::Healthy);
+        let healthy = b.pick_batch(64);
+        assert!(healthy > 2);
+        // Degraded pressure halves the headroom, so the batch roughly
+        // halves; Critical falls back to single-window probes.
+        b.set_pressure(HealthState::Degraded);
+        let degraded = b.pick_batch(64);
+        assert!(
+            degraded < healthy,
+            "degraded {degraded} vs healthy {healthy}"
+        );
+        assert!(degraded >= 1);
+        b.set_pressure(HealthState::Critical);
+        assert_eq!(b.pick_batch(64), 1);
+        // Recovery restores the pure curve exactly.
+        b.set_pressure(HealthState::Healthy);
+        assert_eq!(b.pick_batch(64), healthy);
     }
 
     #[test]

@@ -100,6 +100,20 @@ pub(crate) fn relay_batch_and_pack(
 ) -> TeeResult<()> {
     let relay_start = env.platform().clock().now();
     if !outbound.is_empty() {
+        // The health plane's privacy tripwire: raw payload bytes crossing
+        // the relay outward. A filtered fleet sends verdicts and text
+        // only, so this counter staying zero *is* the privacy claim,
+        // observable per epoch.
+        let payload_bytes: u64 = outbound
+            .iter()
+            .map(|event| match event {
+                AvsEvent::Recognize { audio, .. } => audio.len() as u64,
+                _ => 0,
+            })
+            .sum();
+        if payload_bytes > 0 {
+            env.tracer().count("relay.payload_bytes", payload_bytes);
+        }
         channel.send_event(env, &AvsEvent::Batch(outbound))?;
     }
     let relay_ns = env.platform().clock().elapsed_since(relay_start).as_nanos();

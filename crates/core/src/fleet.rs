@@ -25,10 +25,14 @@
 //! Per-device [`PipelineReport`]s are merged into a [`FleetReport`] with
 //! fleet-wide privacy, latency and transition aggregates.
 
+use std::collections::BTreeSet;
 use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
-use perisec_telemetry::{FleetTelemetry, TelemetryConfig};
+use perisec_telemetry::{
+    DeviceHealthMonitor, FleetHealth, FleetHealthReport, FleetTelemetry, HealthConfig, HealthSink,
+    TelemetryConfig,
+};
 use perisec_tz::time::SimDuration;
 use perisec_workload::scenario::{CameraScenario, Scenario};
 
@@ -77,13 +81,23 @@ pub struct FleetConfig {
     /// [`FleetTelemetry`]. Off by default — a disabled tracer costs one
     /// branch per would-be span. Per-device span *retention* is not
     /// controlled here (that would grow with fleet size); see
-    /// [`FleetConfig::trace_device`].
+    /// [`FleetConfig::trace_devices`].
     pub telemetry: TelemetryConfig,
-    /// The one device whose full span stream is retained for chrome-trace
-    /// export (`None` = metrics only). Retaining every device's spans on
-    /// a 10k-device fleet would be unbounded, so deep dives are opt-in
-    /// and per-device.
-    pub trace_device: Option<usize>,
+    /// The devices whose full span streams are retained for chrome-trace
+    /// export (empty = metrics only, the default). Retaining every
+    /// device's spans on a 10k-device fleet would be unbounded, so deep
+    /// dives are opt-in and per-device — but comparing two devices side
+    /// by side (one healthy, one degraded) needs more than a single
+    /// slot, hence a set.
+    pub trace_devices: BTreeSet<usize>,
+    /// The live health plane (see [`PipelineFleet::run_mixed_health`]):
+    /// when set, every device carries a
+    /// [`DeviceHealthMonitor`] that cuts virtual-time epoch slices at
+    /// its step boundaries, judges the configured SLOs and anomaly
+    /// detectors, and feeds one shared [`HealthSink`]. Pure observation:
+    /// the functional [`FleetReport`] stays byte-identical whether the
+    /// plane is on or off.
+    pub health: Option<HealthConfig>,
 }
 
 impl FleetConfig {
@@ -98,7 +112,8 @@ impl FleetConfig {
             tee_cores: 1,
             workers: 0,
             telemetry: TelemetryConfig::default(),
-            trace_device: None,
+            trace_devices: BTreeSet::new(),
+            health: None,
         }
     }
 
@@ -404,16 +419,32 @@ struct AudioDeviceTask {
     pipeline: SecurePipeline,
     progress: Option<ScenarioProgress>,
     telemetry: Option<TelemetrySink>,
+    health: Option<DeviceHealthMonitor>,
 }
 
 impl DeviceTask for AudioDeviceTask {
     fn step(&mut self) -> Result<StepOutcome> {
         let mut progress = self.progress.take().expect("task stepped after completion");
         if self.pipeline.step_scenario(&self.scenario, &mut progress)? {
+            if let Some(monitor) = &mut self.health {
+                monitor.advance(
+                    self.pipeline.platform().clock().now(),
+                    self.pipeline.tracer(),
+                );
+            }
             self.progress = Some(progress);
             return Ok(StepOutcome::Yielded);
         }
         let report = self.pipeline.finish_scenario(&self.scenario, progress);
+        // The monitor must finish *before* the telemetry absorb:
+        // `take_telemetry` drains the tracer, and an epoch cut over a
+        // drained tracer would read every running total as zero.
+        if let Some(monitor) = self.health.take() {
+            monitor.finish(
+                self.pipeline.platform().clock().now(),
+                self.pipeline.tracer(),
+            );
+        }
         if let Some(sink) = &self.telemetry {
             sink.lock()
                 .absorb(self.device, self.pipeline.take_telemetry());
@@ -435,16 +466,30 @@ struct CameraDeviceTask {
     pipeline: SecureCameraPipeline,
     progress: Option<ScenarioProgress>,
     telemetry: Option<TelemetrySink>,
+    health: Option<DeviceHealthMonitor>,
 }
 
 impl DeviceTask for CameraDeviceTask {
     fn step(&mut self) -> Result<StepOutcome> {
         let mut progress = self.progress.take().expect("task stepped after completion");
         if self.pipeline.step_scenario(&self.scenario, &mut progress)? {
+            if let Some(monitor) = &mut self.health {
+                monitor.advance(
+                    self.pipeline.platform().clock().now(),
+                    self.pipeline.tracer(),
+                );
+            }
             self.progress = Some(progress);
             return Ok(StepOutcome::Yielded);
         }
         let report = self.pipeline.finish_scenario(&self.scenario, progress);
+        // Finish before the absorb — see `AudioDeviceTask::step`.
+        if let Some(monitor) = self.health.take() {
+            monitor.finish(
+                self.pipeline.platform().clock().now(),
+                self.pipeline.tracer(),
+            );
+        }
         if let Some(sink) = &self.telemetry {
             sink.lock()
                 .absorb(self.device, self.pipeline.take_telemetry());
@@ -470,17 +515,19 @@ pub fn audio_device_task(
     config: PipelineConfig,
     models: SharedModels,
 ) -> QueuedDevice {
-    audio_device_task_observed(device, scenario, config, models, None)
+    audio_device_task_observed(device, scenario, config, models, None, None)
 }
 
-/// [`audio_device_task`] with a telemetry sink: the device's tracer
-/// snapshot is folded into `telemetry` when the scenario completes.
+/// [`audio_device_task`] with observation planes attached: the device's
+/// tracer snapshot is folded into `telemetry` when the scenario
+/// completes, and `health` judges its virtual-time epochs as it runs.
 pub fn audio_device_task_observed(
     device: usize,
     scenario: Arc<Scenario>,
     config: PipelineConfig,
     models: SharedModels,
     telemetry: Option<TelemetrySink>,
+    health: Option<DeviceHealthMonitor>,
 ) -> QueuedDevice {
     QueuedDevice::new(device, move || {
         let mut pipeline = SecurePipeline::with_models(config, &models)?;
@@ -491,6 +538,7 @@ pub fn audio_device_task_observed(
             pipeline,
             progress: Some(progress),
             telemetry,
+            health,
         }))
     })
 }
@@ -502,16 +550,17 @@ pub fn camera_device_task(
     config: CameraPipelineConfig,
     models: SharedModels,
 ) -> QueuedDevice {
-    camera_device_task_observed(device, scenario, config, models, None)
+    camera_device_task_observed(device, scenario, config, models, None, None)
 }
 
-/// [`camera_device_task`] with a telemetry sink.
+/// [`camera_device_task`] with observation planes attached.
 pub fn camera_device_task_observed(
     device: usize,
     scenario: Arc<CameraScenario>,
     config: CameraPipelineConfig,
     models: SharedModels,
     telemetry: Option<TelemetrySink>,
+    health: Option<DeviceHealthMonitor>,
 ) -> QueuedDevice {
     QueuedDevice::new(device, move || {
         let mut pipeline = SecureCameraPipeline::with_models(config, &models)?;
@@ -522,6 +571,7 @@ pub fn camera_device_task_observed(
             pipeline,
             progress: Some(progress),
             telemetry,
+            health,
         }))
     })
 }
@@ -675,13 +725,63 @@ impl PipelineFleet {
         self.validate_mixed(audio, cameras)?;
         let sink: TelemetrySink = Arc::new(Mutex::new(FleetTelemetry::new()));
         let executor = FleetExecutor::new(ExecutorConfig::with_workers(self.config.workers));
-        let (reports, stats) = executor.run(self.queued_devices(audio, cameras, Some(&sink)))?;
+        let (reports, stats) =
+            executor.run(self.queued_devices(audio, cameras, Some(&sink), None))?;
         // The executor has joined its workers; nothing else holds the
         // sink. The clone fallback is for safety only.
         let telemetry = Arc::try_unwrap(sink)
             .map(Mutex::into_inner)
             .unwrap_or_else(|sink| sink.lock().clone());
         Ok((FleetReport::new(reports), stats, telemetry))
+    }
+
+    /// [`PipelineFleet::run_mixed_telemetry`] with the live health plane
+    /// attached: every device carries a [`DeviceHealthMonitor`] cutting
+    /// virtual-time epochs at its step boundaries and feeding one shared
+    /// [`FleetHealth`], whose [`FleetHealthReport`] — alert journal,
+    /// per-device state machine history, SLO verdicts — is returned
+    /// alongside the functional report and telemetry fold. Both folds are
+    /// commutative, so every artifact is identical at every worker count.
+    /// The functional [`FleetReport`] is byte-identical to a run with the
+    /// plane off: health observes, it never steers the fleet.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`PipelineFleet::run_mixed`], plus
+    /// [`CoreError::Config`] when [`FleetConfig::health`] is unset — a
+    /// health run with no health config would silently return an empty
+    /// report that reads as a perfectly healthy fleet.
+    pub fn run_mixed_health(
+        &self,
+        audio: &[Scenario],
+        cameras: &[CameraScenario],
+    ) -> Result<(
+        FleetReport,
+        ExecutorStats,
+        FleetTelemetry,
+        FleetHealthReport,
+    )> {
+        self.config.reject_sharding()?;
+        self.validate_mixed(audio, cameras)?;
+        let Some(health_config) = &self.config.health else {
+            return Err(CoreError::Config {
+                reason: "run_mixed_health needs FleetConfig::health set; an unconfigured \
+                         health plane would report every device as healthy"
+                    .to_owned(),
+            });
+        };
+        let sink: TelemetrySink = Arc::new(Mutex::new(FleetTelemetry::new()));
+        let health: HealthSink = Arc::new(Mutex::new(FleetHealth::new(health_config.window)));
+        let executor = FleetExecutor::new(ExecutorConfig::with_workers(self.config.workers));
+        let (reports, stats) =
+            executor.run(self.queued_devices(audio, cameras, Some(&sink), Some(&health)))?;
+        let telemetry = Arc::try_unwrap(sink)
+            .map(Mutex::into_inner)
+            .unwrap_or_else(|sink| sink.lock().clone());
+        let health = Arc::try_unwrap(health)
+            .map(Mutex::into_inner)
+            .unwrap_or_else(|health| health.lock().clone());
+        Ok((FleetReport::new(reports), stats, telemetry, health.report()))
     }
 
     /// The historical harness: one OS thread per device, every device
@@ -699,7 +799,7 @@ impl PipelineFleet {
     ) -> Result<FleetReport> {
         self.config.reject_sharding()?;
         self.validate_mixed(audio, cameras)?;
-        run_thread_per_device(self.queued_devices(audio, cameras, None)).map(FleetReport::new)
+        run_thread_per_device(self.queued_devices(audio, cameras, None, None)).map(FleetReport::new)
     }
 
     fn validate_mixed(&self, audio: &[Scenario], cameras: &[CameraScenario]) -> Result<()> {
@@ -733,14 +833,22 @@ impl PipelineFleet {
 
     /// The fleet-level telemetry config a given device runs under: the
     /// fleet's metrics switch, with span retention only on the designated
-    /// deep-dive device. Falls back to the per-pipeline config when the
-    /// fleet plane is off, so direct pipeline telemetry keeps working.
+    /// deep-dive devices. Falls back to the per-pipeline config when the
+    /// fleet plane is off, so direct pipeline telemetry keeps working —
+    /// unless the health plane is on, which needs the tracer's metrics to
+    /// cut epochs from and therefore forces them.
     fn device_telemetry(&self, base: TelemetryConfig, device: usize) -> TelemetryConfig {
         if !self.config.telemetry.enabled {
+            if self.config.health.is_some() {
+                return TelemetryConfig {
+                    capture_spans: self.config.trace_devices.contains(&device),
+                    ..TelemetryConfig::metrics()
+                };
+            }
             return base;
         }
         TelemetryConfig {
-            capture_spans: self.config.trace_device == Some(device),
+            capture_spans: self.config.trace_devices.contains(&device),
             ..self.config.telemetry
         }
     }
@@ -752,9 +860,18 @@ impl PipelineFleet {
         audio: &[Scenario],
         cameras: &[CameraScenario],
         sink: Option<&TelemetrySink>,
+        health: Option<&HealthSink>,
     ) -> Vec<QueuedDevice> {
         let audio_devices = self.config.devices;
         let camera_devices = self.config.camera_devices;
+        let monitor = |device: usize| match (health, &self.config.health) {
+            (Some(sink), Some(config)) => Some(DeviceHealthMonitor::new(
+                device,
+                config.clone(),
+                Arc::clone(sink),
+            )),
+            _ => None,
+        };
         // One shared copy per distinct scenario; devices hold `Arc`s.
         let audio: Vec<Arc<Scenario>> = audio.iter().cloned().map(Arc::new).collect();
         let cameras: Vec<Arc<CameraScenario>> = cameras.iter().cloned().map(Arc::new).collect();
@@ -768,6 +885,7 @@ impl PipelineFleet {
                 config,
                 self.models.clone(),
                 sink.cloned(),
+                monitor(device),
             ));
         }
         for camera in 0..camera_devices {
@@ -780,6 +898,7 @@ impl PipelineFleet {
                 config,
                 self.models.clone(),
                 sink.cloned(),
+                monitor(device),
             ));
         }
         tasks
@@ -791,7 +910,7 @@ impl PipelineFleet {
         cameras: &[CameraScenario],
     ) -> Result<(FleetReport, ExecutorStats)> {
         let executor = FleetExecutor::new(ExecutorConfig::with_workers(self.config.workers));
-        let (reports, stats) = executor.run(self.queued_devices(audio, cameras, None))?;
+        let (reports, stats) = executor.run(self.queued_devices(audio, cameras, None, None))?;
         Ok((FleetReport::new(reports), stats))
     }
 }
@@ -1061,7 +1180,7 @@ mod tests {
 
     #[test]
     fn fleet_telemetry_folds_devices_without_perturbing_the_report() {
-        let fleet = |telemetry: TelemetryConfig, trace_device: Option<usize>| {
+        let fleet = |telemetry: TelemetryConfig, trace_devices: BTreeSet<usize>| {
             PipelineFleet::new(FleetConfig {
                 devices: 3,
                 pipeline: PipelineConfig {
@@ -1070,14 +1189,14 @@ mod tests {
                     ..PipelineConfig::default()
                 },
                 telemetry,
-                trace_device,
+                trace_devices,
                 ..FleetConfig::of(0)
             })
             .unwrap()
         };
         let scenarios = Scenario::fleet(3, 4, 0.5, SimDuration::from_secs(1), 0x7E1E);
 
-        let observed = fleet(TelemetryConfig::metrics(), Some(1));
+        let observed = fleet(TelemetryConfig::metrics(), BTreeSet::from([1]));
         let (report, _, telemetry) = observed.run_mixed_telemetry(&scenarios, &[]).unwrap();
         assert_eq!(telemetry.devices, 3);
         // Metrics flowed from every layer: pipeline stages, SMC crossings
@@ -1091,13 +1210,70 @@ mod tests {
         assert_eq!(telemetry.dropped_spans, 0);
         // Zero perturbation: the functional report is byte-identical to a
         // run with the telemetry plane off.
-        let baseline = fleet(TelemetryConfig::default(), None);
+        let baseline = fleet(TelemetryConfig::default(), BTreeSet::new());
         let silent = baseline.run_mixed(&scenarios, &[]).unwrap();
         assert_eq!(silent.to_json(), report.to_json());
         // The combined export embeds the telemetry section.
         let combined = report.to_json_with_telemetry(&telemetry);
         assert!(combined.contains("\"telemetry\""));
         assert!(combined.contains("smc.call"));
+    }
+
+    #[test]
+    fn health_plane_judges_slos_without_perturbing_the_report() {
+        use perisec_telemetry::{HealthState, SloSpec};
+
+        let fleet = |health: Option<HealthConfig>| {
+            PipelineFleet::new(FleetConfig {
+                devices: 2,
+                pipeline: PipelineConfig {
+                    train_utterances: 60,
+                    batch_windows: 4,
+                    ..PipelineConfig::default()
+                },
+                health,
+                ..FleetConfig::of(0)
+            })
+            .unwrap()
+        };
+        let scenarios = Scenario::fleet(2, 6, 0.5, SimDuration::from_secs(1), 0x8EA1);
+
+        // A health run without a health config is refused, not silently
+        // reported as an all-healthy fleet.
+        assert!(fleet(None).run_mixed_health(&scenarios, &[]).is_err());
+
+        // Generous objectives: every device finishes Healthy with an
+        // empty journal — and the functional report is byte-identical to
+        // a plane-off run (health observes, never steers).
+        let generous = HealthConfig {
+            slos: vec![SloSpec::p95("tee-filter", SimDuration::from_secs(10))],
+            ..HealthConfig::with_window(SimDuration::from_secs(1))
+        };
+        let (report, _, telemetry, health) = fleet(Some(generous))
+            .run_mixed_health(&scenarios, &[])
+            .unwrap();
+        assert_eq!(health.devices, 2);
+        assert_eq!(health.healthy, 2);
+        assert!(health.alerts.is_empty(), "{}", health.to_table());
+        assert!(!health.epochs.is_empty());
+        // The health plane forced the metrics plane on (the fleet's own
+        // telemetry config is off) so it had series to judge.
+        assert!(telemetry.histograms.contains_key("tee-filter"));
+        let silent = fleet(None).run_mixed(&scenarios, &[]).unwrap();
+        assert_eq!(silent.to_json(), report.to_json());
+
+        // An unattainable objective demotes every device and fills the
+        // journal with breaches.
+        let strict = HealthConfig {
+            slos: vec![SloSpec::p50("tee-filter", SimDuration::from_nanos(1))],
+            ..HealthConfig::with_window(SimDuration::from_secs(1))
+        };
+        let (_, _, _, judged) = fleet(Some(strict))
+            .run_mixed_health(&scenarios, &[])
+            .unwrap();
+        assert_eq!(judged.healthy, 0);
+        assert!(judged.transitions_to(HealthState::Degraded) >= 2);
+        assert!(judged.alerts_of("slo_breach") > 0);
     }
 
     #[test]

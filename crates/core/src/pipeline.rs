@@ -33,10 +33,10 @@ use perisec_secure_driver::camera::SecureCameraDriver;
 use perisec_secure_driver::camera_pta::CameraPta;
 use perisec_secure_driver::driver::SecureI2sDriver;
 use perisec_secure_driver::pta::I2sPta;
-use perisec_telemetry::{DeviceTelemetry, TelemetryConfig, Tracer};
+use perisec_telemetry::{DeviceTelemetry, PressureMonitor, SloSpec, TelemetryConfig, Tracer};
 use perisec_tz::platform::Platform;
 use perisec_tz::stats::TzStatsSnapshot;
-use perisec_tz::time::{SimDuration, SimInstant};
+use perisec_tz::time::{SimClock, SimDuration, SimInstant};
 use perisec_workload::corpus::CorpusGenerator;
 use perisec_workload::scenario::{CameraScenario, Scenario};
 use perisec_workload::synth::SpeechSynthesizer;
@@ -53,6 +53,22 @@ use crate::stage::{
 };
 use crate::vision_ta::VisionTa;
 use crate::{CoreError, Result};
+
+/// Deterministic degradation injection for health-plane experiments:
+/// once the device's virtual clock passes `after`, every processed
+/// window costs an extra `per_window` of virtual time inside the filter
+/// stage — the crossing gets slower mid-run, exactly as a thermal
+/// throttle or a noisy co-tenant would make it. Pure virtual-time
+/// arithmetic, so an injected fault fires the *same* health alerts at
+/// the *same* virtual instants at any executor worker count (the E19
+/// gate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradeSpec {
+    /// Virtual time (from boot) at which the degradation sets in.
+    pub after: SimDuration,
+    /// Extra filter-stage cost per window from then on.
+    pub per_window: SimDuration,
+}
 
 /// Configuration shared by both pipelines.
 #[derive(Debug, Clone)]
@@ -82,6 +98,18 @@ pub struct PipelineConfig {
     /// latency SLO instead of the fixed `batch_windows` — the audio
     /// counterpart of the sharded vision pipeline's SLO knob.
     pub latency_slo: Option<SimDuration>,
+    /// When set (and `latency_slo` is driving an adaptive batcher), a
+    /// tracer-free [`PressureMonitor`] judges the per-window share of
+    /// each filter crossing against this objective over fixed virtual
+    /// windows (`budget ×`
+    /// [`PressureMonitor::BUDGETS_PER_WINDOW`]) and feeds its verdict to
+    /// the batcher: `Degraded` halves the batcher's headroom, `Critical`
+    /// falls back to single-window probes. The observability→control
+    /// loop of the health plane; inert without `latency_slo`.
+    pub slo_pressure: Option<SloSpec>,
+    /// Deterministic mid-run degradation injection (see [`DegradeSpec`]);
+    /// `None` (the default) runs the undisturbed pipeline.
+    pub degrade: Option<DegradeSpec>,
     /// Numeric representation of the in-TA classifier: [`QuantMode::Int8`]
     /// (the default) keeps the quantized weights resident and runs the
     /// fused integer kernels; [`QuantMode::F32`] is the accuracy baseline
@@ -108,6 +136,8 @@ impl Default for PipelineConfig {
             secure_ram_kib: None,
             batch_windows: 1,
             latency_slo: None,
+            slo_pressure: None,
+            degrade: None,
             quant_mode: QuantMode::default(),
             telemetry: TelemetryConfig::default(),
         }
@@ -158,6 +188,8 @@ pub struct CameraPipelineConfig {
     /// Numeric representation of the in-TA frame classifier (see
     /// [`PipelineConfig::quant_mode`]). Int8 by default.
     pub quant_mode: QuantMode,
+    /// Deterministic mid-run degradation injection (see [`DegradeSpec`]).
+    pub degrade: Option<DegradeSpec>,
     /// Telemetry plane switchboard (see [`PipelineConfig::telemetry`]).
     pub telemetry: TelemetryConfig,
 }
@@ -172,6 +204,7 @@ impl Default for CameraPipelineConfig {
             secure_ram_kib: None,
             batch_windows: 1,
             quant_mode: QuantMode::default(),
+            degrade: None,
             telemetry: TelemetryConfig::default(),
         }
     }
@@ -494,6 +527,9 @@ fn step_secure_stages<E, C>(
     events: &[E],
     fixed_batch: usize,
     batcher: Option<&mut AdaptiveBatcher>,
+    pressure: Option<&mut PressureMonitor>,
+    degrade: Option<DegradeSpec>,
+    clock: &SimClock,
     progress: &mut ScenarioProgress,
     capture: &mut C,
     filter: &mut SecureFilterStage,
@@ -522,15 +558,32 @@ where
         let _span = tracer.span(capture.name());
         capture.process(chunk)?
     };
+    let filter_start = clock.now();
     let filtered = {
         let _span = tracer.span(filter.name());
-        filter.process(prepared)?
+        let filtered = filter.process(prepared)?;
+        // Injected degradation lands inside the filter span, so the
+        // slowdown shows exactly where the health plane's SLO watches.
+        if let Some(spec) = degrade {
+            if clock.now().duration_since(SimInstant::EPOCH) >= spec.after {
+                clock.advance(spec.per_window * batch as u64);
+            }
+        }
+        filtered
     };
     if let Some(batcher) = batcher {
         if !filtered.per_utterance.is_empty() {
             let mean = filtered.per_utterance.iter().copied().sum::<SimDuration>()
                 / filtered.per_utterance.len() as u64;
             batcher.observe(mean);
+        }
+        // The pressure monitor judges the per-window share of the whole
+        // crossing (TA service *and* any degradation), then its verdict
+        // clips the next pick — the observability→control loop.
+        if let Some(pressure) = pressure {
+            let per_window = clock.now().duration_since(filter_start) / batch as u64;
+            pressure.observe(per_window);
+            batcher.set_pressure(pressure.advance(clock.now()));
         }
     }
     {
@@ -586,6 +639,7 @@ pub struct SecurePipeline {
     filter: SecureFilterStage,
     relay: SecureRelayStage,
     batcher: Option<AdaptiveBatcher>,
+    pressure: Option<PressureMonitor>,
     tracer: Tracer,
 }
 
@@ -702,6 +756,12 @@ impl SecurePipeline {
         let batcher = config
             .latency_slo
             .map(|slo| AdaptiveBatcher::new(platform.cost(), slo, 64));
+        // Pressure without a batcher has nothing to act on; build the
+        // monitor only when both knobs are set.
+        let pressure = match (&batcher, config.slo_pressure) {
+            (Some(_), Some(spec)) => Some(PressureMonitor::for_spec(spec)),
+            _ => None,
+        };
 
         Ok(SecurePipeline {
             config,
@@ -716,6 +776,7 @@ impl SecurePipeline {
             filter: filter_stage,
             relay: SecureRelayStage::new(),
             batcher,
+            pressure,
             tracer,
         })
     }
@@ -756,6 +817,12 @@ impl SecurePipeline {
     /// The configured batch size.
     pub fn batch_windows(&self) -> usize {
         self.config.effective_batch()
+    }
+
+    /// The pressure monitor's current verdict, when the config wired one
+    /// ([`PipelineConfig::slo_pressure`] alongside `latency_slo`).
+    pub fn pressure_state(&self) -> Option<perisec_telemetry::HealthState> {
+        self.pressure.as_ref().map(PressureMonitor::state)
     }
 
     /// Installs a new privacy policy in the filter TA.
@@ -806,6 +873,9 @@ impl SecurePipeline {
             &scenario.events,
             self.config.effective_batch(),
             self.batcher.as_mut(),
+            self.pressure.as_mut(),
+            self.config.degrade,
+            self.platform.clock(),
             progress,
             &mut self.capture,
             &mut self.filter,
@@ -1099,6 +1169,9 @@ impl SecureCameraPipeline {
             &scenario.events,
             self.config.effective_batch(),
             None,
+            None,
+            self.config.degrade,
+            self.platform.clock(),
             progress,
             &mut self.capture,
             &mut self.filter,
@@ -1573,6 +1646,115 @@ mod tests {
             c.cloud.report.received_dialog_ids(),
             a.cloud.report.received_dialog_ids()
         );
+    }
+
+    #[test]
+    fn slo_pressure_shrinks_batches_without_changing_outcomes() {
+        let models = SharedModels::for_config(&small_config()).unwrap();
+        let scenario = Scenario::mixed(12, 0.5, SimDuration::from_secs(1), 85);
+        let base = PipelineConfig {
+            latency_slo: Some(SimDuration::from_secs(1)),
+            ..small_config()
+        };
+        let mut unpressured = SecurePipeline::with_models(base.clone(), &models).unwrap();
+        // An unattainable pressure objective: every crossing breaches, so
+        // the monitor demotes toward Critical and the batcher falls back
+        // to single-window probes.
+        let mut pressured = SecurePipeline::with_models(
+            PipelineConfig {
+                slo_pressure: Some(perisec_telemetry::SloSpec::p95(
+                    "service",
+                    SimDuration::from_nanos(1),
+                )),
+                ..base.clone()
+            },
+            &models,
+        )
+        .unwrap();
+        assert_eq!(
+            pressured.pressure_state(),
+            Some(perisec_telemetry::HealthState::Healthy)
+        );
+        let a = unpressured.run_scenario(&scenario).unwrap();
+        let b = pressured.run_scenario(&scenario).unwrap();
+        // Pressure only re-chunks the work — privacy outcomes match.
+        assert_eq!(
+            a.cloud.report.received_dialog_ids(),
+            b.cloud.report.received_dialog_ids()
+        );
+        // The clipped batcher never pays fewer crossings than the free
+        // one (Degraded halves headroom, Critical forces probes).
+        assert!(
+            b.tz.smc_calls >= a.tz.smc_calls,
+            "pressured run used {} SMCs vs {} unpressured",
+            b.tz.smc_calls,
+            a.tz.smc_calls
+        );
+        assert_ne!(
+            pressured.pressure_state(),
+            Some(perisec_telemetry::HealthState::Healthy),
+            "the unattainable objective must have tripped the monitor"
+        );
+        // Pressure without latency_slo is inert: no batcher, no monitor.
+        let inert = SecurePipeline::with_models(
+            PipelineConfig {
+                slo_pressure: Some(perisec_telemetry::SloSpec::p95(
+                    "service",
+                    SimDuration::from_nanos(1),
+                )),
+                ..small_config()
+            },
+            &models,
+        )
+        .unwrap();
+        assert_eq!(inert.pressure_state(), None);
+    }
+
+    #[test]
+    fn injected_degradation_slows_the_run_deterministically() {
+        let models = SharedModels::for_config(&small_config()).unwrap();
+        let scenario = Scenario::mixed(8, 0.5, SimDuration::from_secs(1), 86);
+        let degrade = DegradeSpec {
+            after: SimDuration::from_secs(3),
+            per_window: SimDuration::from_millis(10),
+        };
+        let mut clean = SecurePipeline::with_models(small_config(), &models).unwrap();
+        let mut degraded = SecurePipeline::with_models(
+            PipelineConfig {
+                degrade: Some(degrade),
+                ..small_config()
+            },
+            &models,
+        )
+        .unwrap();
+        let a = clean.run_scenario(&scenario).unwrap();
+        let b = degraded.run_scenario(&scenario).unwrap();
+        // The fault is an environmental slowdown: privacy outcomes are
+        // untouched, virtual time grows.
+        assert_eq!(
+            a.cloud.report.received_dialog_ids(),
+            b.cloud.report.received_dialog_ids()
+        );
+        assert!(
+            b.virtual_time > a.virtual_time,
+            "degraded {} vs clean {}",
+            b.virtual_time,
+            a.virtual_time
+        );
+        // A far-future onset never fires: byte-identical virtual time.
+        let mut dormant = SecurePipeline::with_models(
+            PipelineConfig {
+                degrade: Some(DegradeSpec {
+                    after: SimDuration::from_secs(1_000_000),
+                    per_window: SimDuration::from_millis(10),
+                }),
+                ..small_config()
+            },
+            &models,
+        )
+        .unwrap();
+        let c = dormant.run_scenario(&scenario).unwrap();
+        assert_eq!(c.virtual_time, a.virtual_time);
     }
 
     #[test]

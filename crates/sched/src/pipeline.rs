@@ -40,6 +40,7 @@ use perisec_relay::netsim::NetworkFabric;
 use perisec_secure_driver::camera::SecureCameraDriver;
 use perisec_secure_driver::camera_pta::{cmd as camera_cmd, CameraPta};
 use perisec_tcb::memory::SecureRamFootprint;
+use perisec_telemetry::PressureMonitor;
 use perisec_tz::power::{Component, ComponentEnergy, EnergyReport};
 use perisec_tz::stats::TzStatsSnapshot;
 use perisec_tz::time::{SimDuration, SimInstant};
@@ -98,6 +99,15 @@ pub struct ShardedCameraConfig {
     /// from queue depth against this per-window latency SLO instead of
     /// using the fixed `camera.batch_windows`.
     pub latency_slo: Option<SimDuration>,
+    /// Close the observability loop on the sharded batcher too: when set
+    /// (and `latency_slo` is — the spec is inert without a batcher), a
+    /// [`perisec_telemetry::PressureMonitor`] watches each crossing's
+    /// per-window share of the *whole* fanned filter step and feeds its
+    /// Healthy/Degraded/Critical verdict into the batcher, which clips
+    /// its curve under pressure. This catches cost the batcher's own
+    /// EWMA over TA-internal times misses (relay stalls, steal-pass
+    /// imbalance across cores).
+    pub slo_pressure: Option<perisec_telemetry::SloSpec>,
     /// Let an idle session steal queued windows from a backlogged sibling
     /// (the scheduler's deterministic rebalance pass — see
     /// [`crate::scheduler::SessionScheduler::assign_with_stealing`]).
@@ -113,6 +123,7 @@ impl Default for ShardedCameraConfig {
             pool: TeePoolConfig::default(),
             dedup_models: true,
             latency_slo: None,
+            slo_pressure: None,
             work_stealing: false,
         }
     }
@@ -175,6 +186,7 @@ pub struct ShardedVisionPipeline {
     filter: ShardedFilterStage,
     relay: SecureRelayStage,
     batcher: Option<AdaptiveBatcher>,
+    pressure: Option<PressureMonitor>,
 }
 
 impl std::fmt::Debug for ShardedVisionPipeline {
@@ -302,6 +314,11 @@ impl ShardedVisionPipeline {
         let batcher = config
             .latency_slo
             .map(|slo| AdaptiveBatcher::new(&config.pool.cost, slo, 64));
+        // The pressure spec is inert without a batcher to steer.
+        let pressure = match (&batcher, config.slo_pressure) {
+            (Some(_), Some(spec)) => Some(PressureMonitor::for_spec(spec)),
+            _ => None,
+        };
         let stealing = config.work_stealing;
         // The steal pass weighs each window by frames *plus* the fixed
         // crossing + dispatch cost (ROADMAP follow-on from the
@@ -330,7 +347,26 @@ impl ShardedVisionPipeline {
                 .with_window_overhead(overhead),
             relay: SecureRelayStage::new(),
             batcher,
+            pressure,
         })
+    }
+
+    /// The slowest core's virtual clock reading — the fleet-facing "now"
+    /// of a device whose cores run concurrently (the same max-over-cores
+    /// convention the run report's `virtual_time` uses).
+    fn fleet_now(&self) -> SimInstant {
+        self.pool
+            .cores()
+            .iter()
+            .map(|handle| handle.platform().clock().now())
+            .max()
+            .unwrap_or(SimInstant::EPOCH)
+    }
+
+    /// The current SLO-pressure verdict, when the monitor is configured
+    /// (`None` without [`ShardedCameraConfig::slo_pressure`]).
+    pub fn pressure_state(&self) -> Option<perisec_telemetry::HealthState> {
+        self.pressure.as_ref().map(PressureMonitor::state)
     }
 
     /// The secure-core pool.
@@ -425,12 +461,22 @@ impl ShardedVisionPipeline {
         let chunk = scenario.events[progress.next_event..progress.next_event + batch].to_vec();
         let windows = chunk.len() as u64;
         let prepared = self.capture.process(chunk)?;
+        let filter_start = self.fleet_now();
         let filtered = self.filter.process(prepared.into())?;
+        let filter_end = self.fleet_now();
         if let Some(batcher) = &mut self.batcher {
             if windows > 0 && !filtered.per_utterance.is_empty() {
                 let mean = filtered.per_utterance.iter().copied().sum::<SimDuration>()
                     / filtered.per_utterance.len() as u64;
                 batcher.observe(mean);
+            }
+            if let Some(pressure) = &mut self.pressure {
+                // The monitor sees the per-window share of the whole
+                // fanned crossing (slowest core to slowest core), not the
+                // TA-internal per-utterance times the EWMA averages — so
+                // crossing overhead and cross-core imbalance count.
+                pressure.observe(filter_end.duration_since(filter_start) / windows.max(1));
+                batcher.set_pressure(pressure.advance(filter_end));
             }
         }
         self.relay.process(filtered)?;
@@ -680,6 +726,51 @@ mod tests {
         assert_eq!(run.report.cloud.leaked_sensitive_utterances(), 0);
         assert_eq!(run.report.workload.utterances, 10);
         assert!(run.report.latency.p99_end_to_end() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn slo_pressure_steers_the_sharded_batcher_without_changing_outcomes() {
+        use perisec_telemetry::{HealthState, SloSpec};
+
+        let scenario = CameraScenario::mixed_scenes(16, 0.4, SimDuration::from_millis(10), 0x9E55);
+        let base = ShardedCameraConfig {
+            latency_slo: Some(SimDuration::from_millis(5)),
+            ..small_config(2)
+        };
+        let mut plain = ShardedVisionPipeline::new(base.clone()).unwrap();
+        let a = plain.run_scenario(&scenario).unwrap();
+        assert_eq!(plain.pressure_state(), None);
+
+        // An unattainable objective: every observed crossing breaches, so
+        // the monitor demotes and the batcher runs clipped — same
+        // verdicts at the cloud, never fewer crossings than the pure
+        // curve.
+        let mut pressured = ShardedVisionPipeline::new(ShardedCameraConfig {
+            slo_pressure: Some(SloSpec::p95("shard.filter", SimDuration::from_nanos(1))),
+            ..base.clone()
+        })
+        .unwrap();
+        let b = pressured.run_scenario(&scenario).unwrap();
+        assert_ne!(pressured.pressure_state(), Some(HealthState::Healthy));
+        assert_eq!(
+            a.report.cloud.received_utterances(),
+            b.report.cloud.received_utterances()
+        );
+        assert_eq!(
+            a.report.cloud.leaked_sensitive_utterances(),
+            b.report.cloud.leaked_sensitive_utterances()
+        );
+        assert!(b.report.tz.smc_calls >= a.report.tz.smc_calls);
+
+        // Without a latency SLO there is no batcher, so the spec is
+        // inert and no monitor is built.
+        let inert = ShardedVisionPipeline::new(ShardedCameraConfig {
+            latency_slo: None,
+            slo_pressure: Some(SloSpec::p95("shard.filter", SimDuration::from_nanos(1))),
+            ..small_config(2)
+        })
+        .unwrap();
+        assert_eq!(inert.pressure_state(), None);
     }
 
     #[test]

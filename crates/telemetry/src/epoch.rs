@@ -1,0 +1,281 @@
+//! Virtual-time telemetry epochs.
+//!
+//! The health plane needs *windowed* visibility — "what did this device
+//! do in the last 250 ms of virtual time" — on top of a tracer that only
+//! accumulates cumulatively. An [`EpochCutter`] turns the cumulative
+//! state into per-window deltas by keeping a baseline snapshot and
+//! diffing against it ([`Tracer::cut_into`]) whenever the device's own
+//! virtual clock crosses an epoch boundary.
+//!
+//! Determinism falls out of *where* cuts happen: a device task cuts at
+//! its own step boundaries, reading its own [`SimClock`]. Virtual time
+//! is a pure function of the workload, so epoch contents — and every
+//! verdict derived from them — are identical at any executor worker
+//! count and under any steal interleaving. The per-epoch fleet fold
+//! ([`FleetEpochs`]) then reuses the same commutative-merge discipline
+//! as the end-of-run [`FleetTelemetry`] fold.
+//!
+//! [`SimClock`]: perisec_tz::time::SimClock
+
+use std::collections::BTreeMap;
+
+use serde::{value::Value, Serialize};
+
+use perisec_tz::time::{SimDuration, SimInstant};
+
+use crate::fleet::{DeviceTelemetry, FleetTelemetry};
+use crate::span::Tracer;
+
+/// Cuts one device's cumulative telemetry into fixed-window virtual-time
+/// deltas. Epoch `i` covers virtual time `[i·window, (i+1)·window)`.
+///
+/// The baseline and delta buffers are allocated once and reused: after
+/// every series name has appeared, a cut is pure in-place value
+/// arithmetic — the allocation-free steady path the E19 bench pins.
+#[derive(Debug, Clone)]
+pub struct EpochCutter {
+    window: SimDuration,
+    next_epoch: u64,
+    baseline: DeviceTelemetry,
+    delta: DeviceTelemetry,
+}
+
+impl EpochCutter {
+    /// A cutter with the given epoch window (must be non-zero).
+    pub fn new(window: SimDuration) -> Self {
+        assert!(!window.is_zero(), "epoch window must be non-zero");
+        EpochCutter {
+            window,
+            next_epoch: 0,
+            baseline: DeviceTelemetry::default(),
+            delta: DeviceTelemetry::default(),
+        }
+    }
+
+    /// The epoch window.
+    pub fn window(&self) -> SimDuration {
+        self.window
+    }
+
+    /// Index of the next epoch a cut would complete.
+    pub fn next_epoch(&self) -> u64 {
+        self.next_epoch
+    }
+
+    /// Cuts the next completed epoch, if `now` has moved past its end
+    /// boundary; returns its index (read the delta via
+    /// [`EpochCutter::last_delta`]). Call in a loop: when a device's step
+    /// jumps several windows at once, the first cut absorbs the whole
+    /// pending delta into the first completed epoch (sub-window
+    /// attribution is unknowable from step-boundary cuts) and the
+    /// remaining epochs cut as quiet — which is exactly the signal the
+    /// stall detector feeds on.
+    pub fn cut_next(&mut self, now: SimInstant, tracer: &Tracer) -> Option<u64> {
+        let current = now.duration_since(SimInstant::EPOCH).as_nanos() / self.window.as_nanos();
+        if self.next_epoch >= current {
+            return None;
+        }
+        self.delta.reset_metrics();
+        tracer.cut_into(&mut self.baseline, &mut self.delta);
+        let epoch = self.next_epoch;
+        self.next_epoch += 1;
+        Some(epoch)
+    }
+
+    /// Cuts whatever accumulated past the last completed boundary — the
+    /// trailing partial epoch at end of run. Returns its index, or `None`
+    /// when nothing was recorded since the last cut.
+    pub fn cut_trailing(&mut self, tracer: &Tracer) -> Option<u64> {
+        self.delta.reset_metrics();
+        tracer.cut_into(&mut self.baseline, &mut self.delta);
+        if self.delta.is_quiet() {
+            return None;
+        }
+        Some(self.next_epoch)
+    }
+
+    /// The delta produced by the most recent cut.
+    pub fn last_delta(&self) -> &DeviceTelemetry {
+        &self.delta
+    }
+
+    /// The virtual instant ending epoch `epoch` — the deterministic
+    /// timestamp alerts carry.
+    pub fn epoch_end(&self, epoch: u64) -> SimInstant {
+        SimInstant::EPOCH + self.window * (epoch + 1)
+    }
+}
+
+/// Per-epoch fleet telemetry slices: epoch index → the commutative fold
+/// of every device's delta for that window. Devices fold in as they cut
+/// (in nondeterministic completion order); keying on the epoch index and
+/// merging commutatively keeps the slices byte-stable anyway.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FleetEpochs {
+    slices: BTreeMap<u64, FleetTelemetry>,
+}
+
+impl FleetEpochs {
+    /// An empty set of slices.
+    pub fn new() -> Self {
+        FleetEpochs::default()
+    }
+
+    /// Folds one device-epoch delta into its slice. Quiet deltas are
+    /// skipped — idle windows would otherwise bloat the map with
+    /// all-zero slices. Slices aggregate across devices (per-device
+    /// traces stay in the end-of-run fold); `_device` documents the
+    /// provenance at call sites.
+    pub fn absorb(&mut self, epoch: u64, _device: usize, delta: &DeviceTelemetry) {
+        if delta.is_quiet() {
+            return;
+        }
+        let slice = self.slices.entry(epoch).or_default();
+        slice.devices += 1;
+        for (name, histogram) in &delta.histograms {
+            if !histogram.is_empty() {
+                slice.histograms.entry(name).or_default().merge(histogram);
+            }
+        }
+        for (name, &n) in &delta.counters {
+            if n > 0 {
+                *slice.counters.entry(name).or_insert(0) += n;
+            }
+        }
+        slice.dropped_spans += delta.dropped_spans;
+    }
+
+    /// Merges another set of slices (hierarchical folding).
+    pub fn merge(&mut self, other: &FleetEpochs) {
+        for (epoch, slice) in &other.slices {
+            self.slices.entry(*epoch).or_default().merge(slice);
+        }
+    }
+
+    /// Number of non-quiet epoch slices.
+    pub fn len(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// Whether no slice was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.slices.is_empty()
+    }
+
+    /// The slice for one epoch, if any device was active in it.
+    pub fn slice(&self, epoch: u64) -> Option<&FleetTelemetry> {
+        self.slices.get(&epoch)
+    }
+
+    /// Iterates slices in epoch order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &FleetTelemetry)> {
+        self.slices.iter().map(|(e, s)| (*e, s))
+    }
+}
+
+impl Serialize for FleetEpochs {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.slices
+                .iter()
+                .map(|(epoch, slice)| (epoch.to_string(), slice.to_value()))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TelemetryConfig;
+    use perisec_tz::time::SimClock;
+
+    fn ms(n: u64) -> SimDuration {
+        SimDuration::from_millis(n)
+    }
+
+    #[test]
+    fn cuts_attribute_deltas_to_virtual_windows() {
+        let clock = SimClock::new();
+        let tracer = Tracer::new(clock.clone(), &TelemetryConfig::metrics());
+        let mut cutter = EpochCutter::new(ms(10));
+
+        // Epoch 0: two spans.
+        for _ in 0..2 {
+            let _span = tracer.span("stage.filter");
+            clock.advance(ms(2));
+        }
+        assert_eq!(cutter.cut_next(clock.now(), &tracer), None, "epoch 0 open");
+        clock.advance(ms(7)); // now at 11 ms — epoch 0 complete
+        assert_eq!(cutter.cut_next(clock.now(), &tracer), Some(0));
+        assert_eq!(cutter.last_delta().histograms["stage.filter"].count(), 2);
+        assert_eq!(cutter.cut_next(clock.now(), &tracer), None);
+
+        // A step that jumps three windows: the first completed epoch
+        // absorbs the pending work, the rest cut quiet.
+        {
+            let _span = tracer.span("stage.filter");
+            clock.advance(ms(30)); // now at 41 ms
+        }
+        assert_eq!(cutter.cut_next(clock.now(), &tracer), Some(1));
+        assert_eq!(cutter.last_delta().histograms["stage.filter"].count(), 1);
+        assert_eq!(cutter.cut_next(clock.now(), &tracer), Some(2));
+        assert!(cutter.last_delta().is_quiet());
+        assert_eq!(cutter.cut_next(clock.now(), &tracer), Some(3));
+        assert!(cutter.last_delta().is_quiet());
+        assert_eq!(cutter.cut_next(clock.now(), &tracer), None);
+
+        // Trailing partial epoch.
+        tracer.count("pipeline.windows", 1);
+        assert_eq!(cutter.cut_trailing(&tracer), Some(4));
+        assert_eq!(cutter.last_delta().counters["pipeline.windows"], 1);
+        assert_eq!(cutter.cut_trailing(&tracer), None);
+
+        assert_eq!(cutter.epoch_end(0), SimInstant::EPOCH + ms(10));
+        assert_eq!(cutter.epoch_end(3), SimInstant::EPOCH + ms(40));
+    }
+
+    #[test]
+    fn fleet_slices_fold_order_invariantly() {
+        let deltas: Vec<(u64, usize, DeviceTelemetry)> = (0..8u64)
+            .map(|i| {
+                let clock = SimClock::new();
+                let tracer = Tracer::new(clock.clone(), &TelemetryConfig::metrics());
+                {
+                    let _span = tracer.span("stage.filter");
+                    clock.advance(SimDuration::from_micros(i + 1));
+                }
+                (i % 3, i as usize, tracer.take())
+            })
+            .collect();
+        let mut forward = FleetEpochs::new();
+        for (epoch, device, delta) in &deltas {
+            forward.absorb(*epoch, *device, delta);
+        }
+        let mut backward = FleetEpochs::new();
+        for (epoch, device, delta) in deltas.iter().rev() {
+            backward.absorb(*epoch, *device, delta);
+        }
+        assert_eq!(forward, backward);
+        assert_eq!(forward.len(), 3);
+        assert_eq!(forward.slice(0).unwrap().devices, 3);
+
+        // Hierarchical merge matches the flat fold.
+        let mut left = FleetEpochs::new();
+        let mut right = FleetEpochs::new();
+        for (i, (epoch, device, delta)) in deltas.iter().enumerate() {
+            if i % 2 == 0 {
+                left.absorb(*epoch, *device, delta);
+            } else {
+                right.absorb(*epoch, *device, delta);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left, forward);
+
+        // Quiet deltas do not create slices.
+        let mut sparse = FleetEpochs::new();
+        sparse.absorb(9, 0, &DeviceTelemetry::default());
+        assert!(sparse.is_empty());
+    }
+}

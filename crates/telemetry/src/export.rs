@@ -153,6 +153,58 @@ mod tests {
     }
 
     #[test]
+    fn folded_stacks_golden_output() {
+        // The full byte-exact artifact: stacks sort lexically (BTreeMap
+        // fold) and each line is `path space self-ns newline`. Changing
+        // the format breaks downstream flamegraph tooling, so it is
+        // pinned verbatim.
+        let spans = sample_spans();
+        assert_eq!(
+            folded_stacks(&spans),
+            "stage.filter 4000\nstage.filter;ta.classify 6000\n"
+        );
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_every_span() {
+        // Serialize, parse, and reconstruct each span's timing from the
+        // parsed document: the microsecond Float encoding must carry the
+        // exact nanosecond virtual timestamps back out.
+        let spans = sample_spans();
+        let json = chrome_trace_json(&spans, 42);
+        let doc: Value = serde_json::from_str(&json).unwrap();
+        let events = doc.field("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(events.len(), spans.len());
+        for (event, span) in events.iter().zip(&spans) {
+            assert_eq!(event.field("name").unwrap().as_str(), Some(span.name));
+            assert_eq!(event.field("pid").unwrap(), &Value::UInt(42));
+            let micros_of = |field: &str| match event.field(field).unwrap() {
+                Value::Float(f) => *f,
+                other => panic!("{field} parsed as {}", other.kind()),
+            };
+            let start_ns = (micros_of("ts") * 1_000.0).round() as u64;
+            let dur_ns = (micros_of("dur") * 1_000.0).round() as u64;
+            assert_eq!(
+                start_ns,
+                span.start.duration_since(SimInstant::EPOCH).as_nanos()
+            );
+            assert_eq!(dur_ns, span.duration().as_nanos());
+        }
+        // Metadata survives the trip too.
+        assert_eq!(
+            doc.field("otherData")
+                .unwrap()
+                .field("clock")
+                .unwrap()
+                .as_str(),
+            Some("virtual (SimClock)")
+        );
+        // And re-serializing the parsed tree reproduces the bytes — the
+        // export is a fixed point of parse ∘ print.
+        assert_eq!(serde_json::to_string_pretty(&doc).unwrap(), json);
+    }
+
+    #[test]
     fn empty_trace_exports_cleanly() {
         let json = chrome_trace_json(&[], 0);
         let doc: Value = serde_json::from_str(&json).unwrap();

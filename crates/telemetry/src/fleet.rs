@@ -41,6 +41,31 @@ impl DeviceTelemetry {
     pub fn total_spans(&self) -> u64 {
         self.counters.values().sum()
     }
+
+    /// Zeroes every metric value in place while keeping the key sets (and
+    /// the span vector's capacity) — the allocation-free reset for epoch
+    /// scratch buffers fed to [`Tracer::cut_into`](crate::Tracer::cut_into).
+    pub fn reset_metrics(&mut self) {
+        for histogram in self.histograms.values_mut() {
+            *histogram = LogHistogram::new();
+        }
+        for n in self.counters.values_mut() {
+            *n = 0;
+        }
+        self.spans.clear();
+        self.dropped_spans = 0;
+    }
+
+    /// Whether every metric *value* is zero. Distinct from
+    /// [`DeviceTelemetry::is_empty`]: epoch scratch buffers keep their key
+    /// sets across resets, so map emptiness is the wrong idleness test —
+    /// this is the stall detector's "no activity this epoch" predicate.
+    pub fn is_quiet(&self) -> bool {
+        self.histograms.values().all(LogHistogram::is_empty)
+            && self.counters.values().all(|&n| n == 0)
+            && self.spans.is_empty()
+            && self.dropped_spans == 0
+    }
 }
 
 /// The fleet-wide fold of device telemetry.

@@ -95,15 +95,33 @@ impl LogHistogram {
         SimDuration::from_nanos((self.total_ns / self.count as u128) as u64)
     }
 
-    /// Nearest-rank `q`-percentile estimate (0 < q <= 1). The estimate is
-    /// the upper edge of the bucket holding the rank — at most 2x the true
-    /// value, clamped to the recorded maximum — and is deterministic for a
-    /// given set of recorded durations, in any order.
+    /// Nearest-rank `q`-percentile estimate (0 < q <= 1).
+    ///
+    /// The estimate is the **upper edge** of the log2 bucket holding the
+    /// rank, clamped to the recorded maximum. Because a bucket spans
+    /// `[2^i, 2^(i+1))` nanoseconds, the upper-edge convention
+    /// *overestimates* by at most 2x (never underestimates): an SLO
+    /// verdict built on it errs toward flagging, not toward missing, a
+    /// breach. The estimate is deterministic for a given multiset of
+    /// recorded durations, in any recording order.
+    ///
+    /// Edge cases: an empty histogram reports `0` at every `q`;
+    /// zero-length durations land in bucket 0 and clamp to the true
+    /// maximum (so an all-zero series reports `0`, not bucket 0's upper
+    /// edge of 1 ns); durations near `u64::MAX` ns saturate into the top
+    /// bucket, whose upper edge is `u64::MAX` itself; a non-finite `q`
+    /// (NaN, ±inf) is treated as `q = 1.0` (the maximum) rather than
+    /// poisoning the rank arithmetic.
     pub fn percentile(&self, q: f64) -> SimDuration {
         if self.count == 0 {
             return SimDuration::ZERO;
         }
-        let rank = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let q = if q.is_finite() {
+            q.clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        let rank = ((self.count as f64) * q).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
@@ -124,6 +142,31 @@ impl LogHistogram {
         self.count += other.count;
         self.total_ns += other.total_ns;
         self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// The elementwise difference `self - baseline`, for cutting a
+    /// cumulative histogram into a per-epoch delta: with `baseline` an
+    /// earlier snapshot of the same monotonically growing histogram, the
+    /// result holds exactly the recordings made in between.
+    ///
+    /// `LogHistogram` is plain value state (no heap), so the subtraction
+    /// writes into `out` without allocating — the epoch-cut steady path.
+    /// One field is approximate: the true maximum *within* the window is
+    /// not recoverable from two cumulative maxima, so the delta carries
+    /// the cumulative `max_ns` — an overestimate, consistent with the
+    /// bucket-upper-edge convention of [`LogHistogram::percentile`]
+    /// (which clamps to it, never exceeds it).
+    pub fn delta_into(&self, baseline: &LogHistogram, out: &mut LogHistogram) {
+        for (o, (cur, base)) in out
+            .buckets
+            .iter_mut()
+            .zip(self.buckets.iter().zip(baseline.buckets.iter()))
+        {
+            *o = cur.saturating_sub(*base);
+        }
+        out.count = self.count.saturating_sub(baseline.count);
+        out.total_ns = self.total_ns.saturating_sub(baseline.total_ns);
+        out.max_ns = self.max_ns;
     }
 
     /// Non-empty buckets as `(bucket_index, count)` pairs, for sparse
@@ -239,6 +282,88 @@ mod tests {
         rl.merge(&left);
         assert_eq!(lr, rl);
         assert_eq!(lr, all);
+    }
+
+    #[test]
+    fn zero_duration_records_clamp_to_the_true_maximum() {
+        // Zero-length durations land in bucket 0 (upper edge 1 ns), but
+        // the percentile clamps to the recorded maximum, so an all-zero
+        // series reports exactly zero at every rank.
+        let mut h = LogHistogram::new();
+        for _ in 0..10 {
+            h.record(SimDuration::ZERO);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.max(), SimDuration::ZERO);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.percentile(q), SimDuration::ZERO, "q={q}");
+        }
+        // One real recording alongside the zeros: p50 stays in bucket 0
+        // (clamped at 1 ns), the top rank finds the outlier.
+        h.record(us(3));
+        assert_eq!(h.percentile(0.5), SimDuration::from_nanos(1));
+        assert_eq!(h.percentile(1.0), us(3));
+    }
+
+    #[test]
+    fn top_bucket_saturates_without_overflow() {
+        // Durations near u64::MAX ns land in bucket 63, whose upper edge
+        // is u64::MAX itself — no shift overflow, no wrap to zero.
+        let mut h = LogHistogram::new();
+        h.record(SimDuration::from_nanos(u64::MAX));
+        h.record(SimDuration::from_nanos(u64::MAX - 1));
+        h.record(SimDuration::from_nanos(1 << 63));
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), SimDuration::from_nanos(u64::MAX));
+        assert_eq!(h.percentile(0.99), SimDuration::from_nanos(u64::MAX));
+        assert_eq!(h.nonzero_buckets(), vec![(63, 3)]);
+    }
+
+    #[test]
+    fn non_finite_percentile_requests_degrade_to_the_maximum() {
+        let mut h = LogHistogram::new();
+        for n in 1..=8u64 {
+            h.record(us(n));
+        }
+        let max = h.percentile(1.0);
+        assert_eq!(h.percentile(f64::NAN), max);
+        assert_eq!(h.percentile(f64::INFINITY), max);
+        assert_eq!(h.percentile(f64::NEG_INFINITY), max);
+        assert!(h.percentile(f64::NAN) > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn delta_recovers_the_recordings_between_two_snapshots() {
+        let mut h = LogHistogram::new();
+        for n in 1..=20u64 {
+            h.record(us(n));
+        }
+        let baseline = h.clone();
+        for n in 100..=140u64 {
+            h.record(us(n));
+        }
+        let mut delta = LogHistogram::new();
+        h.delta_into(&baseline, &mut delta);
+        assert_eq!(delta.count(), 41);
+        // The delta holds exactly the in-between recordings...
+        let mut expected = LogHistogram::new();
+        for n in 100..=140u64 {
+            expected.record(us(n));
+        }
+        assert_eq!(delta.nonzero_buckets(), expected.nonzero_buckets());
+        assert_eq!(delta.mean(), expected.mean());
+        // ...except max_ns, which is the documented cumulative
+        // overestimate (and here coincides with the window's true max).
+        assert_eq!(delta.max(), us(140));
+        // baseline + delta == cumulative (the fold identity).
+        let mut rebuilt = baseline.clone();
+        rebuilt.merge(&delta);
+        assert_eq!(rebuilt.count(), h.count());
+        assert_eq!(rebuilt.nonzero_buckets(), h.nonzero_buckets());
+        // Delta against itself is empty, reusing the same out slot.
+        let snapshot = h.clone();
+        h.delta_into(&snapshot, &mut delta);
+        assert!(delta.is_empty());
     }
 
     #[test]

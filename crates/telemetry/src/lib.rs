@@ -23,14 +23,28 @@
 //!   single-device deep dives and folded-stack flamegraph text.
 //! * [`intern`] — the shared `&'static str` symbol table behind both the
 //!   kernel function tracer's event names and dynamic telemetry labels.
+//! * [`epoch`] + [`health`] — the **live fleet health plane**: fixed
+//!   virtual-time epoch windows cut from each device's cumulative
+//!   telemetry, per-span [`health::SloSpec`] objectives judged by a
+//!   hysteresis state machine (Healthy → Degraded → Critical),
+//!   deterministic anomaly detectors, and an append-only virtual-time
+//!   alert journal — byte-identical at any worker count, like every
+//!   other artifact here.
 
+pub mod epoch;
 pub mod export;
 pub mod fleet;
+pub mod health;
 pub mod hist;
 pub mod intern;
 pub mod span;
 
+pub use epoch::{EpochCutter, FleetEpochs};
 pub use fleet::{DeviceTelemetry, FleetTelemetry};
+pub use health::{
+    Alert, AlertKind, DeviceHealthMonitor, FleetHealth, FleetHealthReport, HealthConfig,
+    HealthMachine, HealthSink, HealthState, PressureMonitor, SloSpec,
+};
 pub use hist::LogHistogram;
 pub use intern::{intern, Symbol};
 pub use span::{Span, SpanEvent, Tracer};

@@ -185,6 +185,36 @@ impl Tracer {
         }
     }
 
+    /// Cuts an **epoch delta**: writes the metrics recorded since
+    /// `baseline` into `delta`, then advances `baseline` to the current
+    /// cumulative state. Both buffers are meant to be reused across cuts
+    /// (reset `delta` with [`DeviceTelemetry::reset_metrics`] first):
+    /// once every series name has appeared, a cut allocates nothing —
+    /// histograms are plain value state and counters are `u64`s, so the
+    /// diff is in-place assignment per named series.
+    ///
+    /// Retained span events are *not* diffed (they stay cumulative for
+    /// the end-of-run [`Tracer::take`]); `delta.spans` is left untouched.
+    /// Cutting does not consume: `take` still drains the full totals.
+    pub fn cut_into(&self, baseline: &mut DeviceTelemetry, delta: &mut DeviceTelemetry) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        let state = inner.state.lock();
+        for (name, current) in &state.histograms {
+            let base = baseline.histograms.entry(name).or_default();
+            current.delta_into(base, delta.histograms.entry(name).or_default());
+            *base = current.clone();
+        }
+        for (name, &current) in &state.counters {
+            let base = baseline.counters.entry(name).or_insert(0);
+            *delta.counters.entry(name).or_insert(0) = current.saturating_sub(*base);
+            *base = current;
+        }
+        delta.dropped_spans = state.dropped_spans.saturating_sub(baseline.dropped_spans);
+        baseline.dropped_spans = state.dropped_spans;
+    }
+
     /// Drains the accumulated telemetry, leaving the tracer empty (the
     /// per-device hand-off into the fleet fold).
     pub fn take(&self) -> DeviceTelemetry {
@@ -339,6 +369,49 @@ mod tests {
         let first = tracer.take();
         assert_eq!(first.counters["windows"], 4);
         assert!(tracer.take().counters.is_empty());
+    }
+
+    #[test]
+    fn epoch_cuts_diff_without_consuming() {
+        let clock = clock();
+        let tracer = Tracer::new(clock.clone(), &TelemetryConfig::metrics());
+        let mut baseline = DeviceTelemetry::default();
+        let mut delta = DeviceTelemetry::default();
+        {
+            let _span = tracer.span("stage.filter");
+            clock.advance(SimDuration::from_micros(2));
+        }
+        tracer.count("pipeline.windows", 3);
+        tracer.cut_into(&mut baseline, &mut delta);
+        assert_eq!(delta.histograms["stage.filter"].count(), 1);
+        assert_eq!(delta.counters["pipeline.windows"], 3);
+
+        // Second epoch: reset the scratch, record more, cut again — the
+        // delta holds only the new recordings.
+        delta.reset_metrics();
+        {
+            let _span = tracer.span("stage.filter");
+            clock.advance(SimDuration::from_micros(4));
+        }
+        tracer.cut_into(&mut baseline, &mut delta);
+        assert_eq!(delta.histograms["stage.filter"].count(), 1);
+        assert_eq!(
+            delta.histograms["stage.filter"].mean(),
+            SimDuration::from_micros(4)
+        );
+        assert_eq!(delta.counters["pipeline.windows"], 0);
+        assert!(!delta.is_quiet());
+
+        // An idle epoch cuts to all-zero values (quiet, not empty).
+        delta.reset_metrics();
+        tracer.cut_into(&mut baseline, &mut delta);
+        assert!(delta.is_quiet());
+        assert!(!delta.is_empty());
+
+        // Cuts never consume: take() still drains the full totals.
+        let total = tracer.take();
+        assert_eq!(total.histograms["stage.filter"].count(), 2);
+        assert_eq!(total.counters["pipeline.windows"], 3);
     }
 
     #[test]

@@ -13,10 +13,12 @@
 //! to vary. Peak residency itself is pinned: never more than one built
 //! device stack per worker — the bounded-memory half of the contract.
 
+use std::collections::BTreeSet;
+
 use perisec::core::fleet::{FleetConfig, PipelineFleet};
-use perisec::core::pipeline::{CameraPipelineConfig, PipelineConfig, SharedModels};
+use perisec::core::pipeline::{CameraPipelineConfig, DegradeSpec, PipelineConfig, SharedModels};
 use perisec::ml::classifier::Architecture;
-use perisec::telemetry::TelemetryConfig;
+use perisec::telemetry::{HealthConfig, SloSpec, TelemetryConfig};
 use perisec::tz::time::SimDuration;
 use perisec::workload::scenario::{CameraScenario, Scenario};
 
@@ -119,7 +121,7 @@ fn observed_fleet(
             },
             workers,
             telemetry,
-            trace_device: Some(3),
+            trace_devices: BTreeSet::from([3]),
             ..FleetConfig::of(0)
         },
         models.clone(),
@@ -177,4 +179,86 @@ fn telemetry_plane_never_perturbs_the_report() {
     let (_, _, second) = fleet.run_mixed_telemetry(&audio, &cameras).unwrap();
     assert_eq!(first, second, "fold varies across steal interleavings");
     assert_eq!(Some(first), reference_fold);
+}
+
+fn health_fleet(
+    workers: usize,
+    degrade: Option<DegradeSpec>,
+    budget: SimDuration,
+    models: &SharedModels,
+) -> PipelineFleet {
+    PipelineFleet::with_models(
+        FleetConfig {
+            devices: 3,
+            pipeline: PipelineConfig {
+                train_utterances: 60,
+                batch_windows: 4,
+                degrade,
+                ..PipelineConfig::default()
+            },
+            workers,
+            health: Some(HealthConfig {
+                slos: vec![SloSpec::p95("tee-filter", budget)],
+                stall_epochs: 8,
+                ..HealthConfig::with_window(SimDuration::from_secs(1))
+            }),
+            ..FleetConfig::of(0)
+        },
+        models.clone(),
+    )
+}
+
+#[test]
+fn health_alert_journal_is_byte_identical_across_worker_counts() {
+    // The health plane lives in virtual time: every alert carries the
+    // epoch boundary that produced it, every journal sorts on
+    // `(epoch, device)` — so injected degradation fires the *same*
+    // alerts at the *same* virtual timestamps no matter how many host
+    // workers interleave the devices.
+    let models = SharedModels::deferred(Architecture::Cnn, 60, 0xA1E7);
+    models.audio().unwrap();
+    let audio = Scenario::fleet(3, 6, 0.5, SimDuration::from_secs(1), 0xA1E7);
+    let degrade = Some(DegradeSpec {
+        after: SimDuration::from_secs(2),
+        per_window: SimDuration::from_millis(10),
+    });
+
+    let mut journals = Vec::new();
+    for workers in [1usize, 2, 8] {
+        let fleet = health_fleet(workers, degrade, SimDuration::from_millis(5), &models);
+        let (_, _, _, health) = fleet.run_mixed_health(&audio, &[]).unwrap();
+        assert!(
+            !health.alerts.is_empty(),
+            "injected degradation fired no alerts at {workers} workers"
+        );
+        assert_eq!(health.healthy, 0, "{}", health.to_table());
+        journals.push(health.alert_journal_json());
+    }
+    assert_eq!(journals[0], journals[1], "1 vs 2 workers diverged");
+    assert_eq!(journals[1], journals[2], "2 vs 8 workers diverged");
+}
+
+#[test]
+fn health_plane_never_perturbs_the_report() {
+    // Pure observation: the functional report with the health plane on
+    // is byte-for-byte the report of a run with no health (and no
+    // telemetry) at all — even though health forces the metrics plane on
+    // under the hood.
+    let models = SharedModels::deferred(Architecture::Cnn, 60, 0x8EA7);
+    models.audio().unwrap();
+    let audio = Scenario::fleet(3, 5, 0.5, SimDuration::from_secs(1), 0x8EA7);
+
+    let observed = health_fleet(2, None, SimDuration::from_secs(5), &models);
+    let (report, _, _, health) = observed.run_mixed_health(&audio, &[]).unwrap();
+    assert_eq!(health.devices, 3);
+    assert!(health.alerts.is_empty(), "{}", health.to_table());
+
+    let mut silent_config = observed.config().clone();
+    silent_config.health = None;
+    let silent = PipelineFleet::with_models(silent_config, models.clone());
+    assert_eq!(
+        silent.run_mixed(&audio, &[]).unwrap().to_json(),
+        report.to_json(),
+        "health plane perturbed the functional report"
+    );
 }
