@@ -1,0 +1,115 @@
+//! Criterion bench behind experiment E20: the cost of the fault-tolerant
+//! sealed relay. Measures the per-send primitives — the deterministic
+//! fault classification every netsim send pays (must stay hash-cheap),
+//! the byte-identical `seal_at` a retransmission re-derives, and the
+//! cloud's idempotent ingest of a fresh vs a redelivered record — and the
+//! fleet-scale cost of running a small fleet with the chaos plane
+//! disarmed (zero-rate spec) against no plane at all.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use perisec_core::fleet::{FleetConfig, PipelineFleet};
+use perisec_core::pipeline::{PipelineConfig, SharedModels};
+use perisec_ml::classifier::Architecture;
+use perisec_relay::netsim::{FaultSpec, NetworkService};
+use perisec_relay::{MockCloudService, SecureChannelClient, PSK_LEN};
+use perisec_tz::time::SimDuration;
+use perisec_workload::scenario::Scenario;
+
+fn drill_spec() -> FaultSpec {
+    FaultSpec {
+        drop_permille: 100,
+        duplicate_permille: 60,
+        reorder_permille: 40,
+        corrupt_permille: 40,
+        outage: Some((2, 6)),
+        ..FaultSpec::none(0xE20)
+    }
+}
+
+fn bench_fault_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e20_fault_primitives");
+    // The per-send decision: one splitmix64 hash and a handful of range
+    // compares. Every netsim send pays this, faulted or not.
+    group.bench_function("classify", |b| {
+        let spec = drill_spec().for_device(17);
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq = seq.wrapping_add(1);
+            spec.classify(seq)
+        });
+    });
+    // A retransmission reseals at the original sequence — byte-identical
+    // bytes from an immutable cipher state, priced per attempt.
+    group.bench_function("seal_at_retransmit", |b| {
+        let psk = [0x42u8; PSK_LEN];
+        let cloud = MockCloudService::new(psk);
+        let mut client = SecureChannelClient::new(psk, 7);
+        let hello = client.client_hello();
+        let reply = cloud.handle(1, &hello);
+        client
+            .process_server_hello(&reply)
+            .expect("handshake completes");
+        let payload = vec![0xA5u8; 256];
+        b.iter(|| client.seal_at(0, &payload).expect("seal"));
+    });
+    // Idempotent ingest: the first copy commits, the redelivered copy is
+    // recognised by `(session, seq)` and re-acked without recording.
+    group.bench_function("ingest_fresh_vs_redelivered", |b| {
+        let psk = [0x42u8; PSK_LEN];
+        let cloud = MockCloudService::new(psk);
+        let mut client = SecureChannelClient::new(psk, 7);
+        let hello = client.client_hello();
+        let reply = cloud.handle(1, &hello);
+        client
+            .process_server_hello(&reply)
+            .expect("handshake completes");
+        let record = client
+            .seal_at(0, &perisec_relay::avs::AvsEvent::Ping.encode())
+            .expect("seal");
+        cloud.handle(1, &record);
+        b.iter(|| cloud.handle(1, &record));
+    });
+    group.finish();
+}
+
+fn bench_fleet_chaos_overhead(c: &mut Criterion) {
+    let models = SharedModels::deferred(Architecture::Cnn, 16, 20);
+    models.audio().unwrap();
+    let devices = 32usize;
+    let audio = Scenario::fleet(devices, 2, 0.5, SimDuration::from_secs(1), 0xBE20);
+    let fleet = |faults: Option<FaultSpec>| {
+        PipelineFleet::with_models(
+            FleetConfig {
+                devices,
+                pipeline: PipelineConfig {
+                    train_utterances: 16,
+                    batch_windows: 4,
+                    ..PipelineConfig::default()
+                },
+                workers: 8,
+                faults,
+                ..FleetConfig::of(0)
+            },
+            models.clone(),
+        )
+    };
+    let mut group = c.benchmark_group("e20_fleet_chaos");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("fleet", "no_plane"), &(), |b, ()| {
+        let fleet = fleet(None);
+        b.iter(|| fleet.run_mixed(&audio, &[]).unwrap());
+    });
+    group.bench_with_input(BenchmarkId::new("fleet", "disarmed"), &(), |b, ()| {
+        let fleet = fleet(Some(FaultSpec::none(0xE20)));
+        b.iter(|| fleet.run_mixed(&audio, &[]).unwrap());
+    });
+    group.bench_with_input(BenchmarkId::new("fleet", "chaos"), &(), |b, ()| {
+        let fleet = fleet(Some(drill_spec()));
+        b.iter(|| fleet.run_mixed(&audio, &[]).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fault_primitives, bench_fleet_chaos_overhead);
+criterion_main!(benches);

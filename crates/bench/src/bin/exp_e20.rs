@@ -1,0 +1,8 @@
+//! Experiment E20 harness: the fault-tolerant sealed relay. Prints the
+//! markdown report — the 1024-device chaos drill (drop + duplication +
+//! corruption + outage) with the decision byte-identity and journal
+//! determinism gates, and the zero-rate no-op check. The CI
+//! experiment-smoke job awk's the gate lines.
+fn main() {
+    println!("{}", perisec_bench::run_e20_fault_tolerance());
+}

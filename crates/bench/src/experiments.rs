@@ -2030,6 +2030,217 @@ pub fn run_e19_health_plane() -> String {
     out
 }
 
+/// E20 — fault-tolerant sealed relay: deterministic network chaos,
+/// virtual-time retry/backoff, replay-safe idempotent cloud ingest.
+///
+/// Four claims, each with an awk-checkable line:
+/// 1. Under 10% drop plus duplication, reordering, corruption and one
+///    outage window, the cloud's committed decision stream is
+///    **byte-identical** to the fault-free run at every worker count —
+///    no verdict lost, none double-counted, despite visible
+///    redeliveries and loud corruption rejects.
+/// 2. The outage drill fires at least one `retry_storm` alert, and the
+///    alert journal is byte-identical across worker counts: chaos is a
+///    pure function of `(seed, device, send sequence)`, never of the
+///    host schedule.
+/// 3. A zero-rate `FaultSpec` is a no-op — wiring the chaos plane in
+///    costs nothing when every rate is zero.
+pub fn run_e20_fault_tolerance() -> String {
+    use perisec_core::fleet::{FleetConfig, PipelineFleet};
+    use perisec_core::pipeline::{CameraPipelineConfig, SharedModels};
+    use perisec_relay::netsim::FaultSpec;
+    use perisec_telemetry::{HealthConfig, SloSpec};
+    use perisec_workload::scenario::CameraScenario;
+
+    let mut out = String::from(
+        "## E20 — fault-tolerant sealed relay (deterministic chaos, virtual-time \
+         retries, idempotent ingest)\n\n",
+    );
+
+    let models = SharedModels::deferred(Architecture::Cnn, 60, 0xE20).with_vision_spec(120, 0xE20);
+    models.audio().expect("train speech models");
+    models.vision().expect("train frame classifier");
+
+    // The drill: 10% drop, plus duplication, reordering, corruption and
+    // one outage window in per-device send-sequence space. Send
+    // sequences are consumed by retransmissions too, so the outage
+    // always terminates — the retry machine walks out of the window.
+    let faults = FaultSpec {
+        drop_permille: 100,
+        duplicate_permille: 60,
+        reorder_permille: 40,
+        corrupt_permille: 40,
+        outage: Some((2, 6)),
+        ..FaultSpec::none(0xE20)
+    };
+    let audio_pipeline = PipelineConfig {
+        batch_windows: 2,
+        ..PipelineConfig::default()
+    };
+    let camera_pipeline = CameraPipelineConfig {
+        batch_windows: 2,
+        ..CameraPipelineConfig::default()
+    };
+    // Generous latency SLO (nothing should demote) but a live retry
+    // tripwire: three retransmissions inside one epoch is a storm.
+    let health = HealthConfig {
+        slos: vec![SloSpec::p95("tee-filter", SimDuration::from_secs(5))],
+        retry_storm_threshold: 3,
+        ..HealthConfig::with_window(SimDuration::from_secs(1))
+    };
+    let audio_devices = 256;
+    let camera_devices = 768;
+    let fleet = |faults: Option<FaultSpec>, workers: usize| {
+        PipelineFleet::with_models(
+            FleetConfig {
+                devices: audio_devices,
+                pipeline: audio_pipeline.clone(),
+                camera_devices,
+                camera_pipeline: camera_pipeline.clone(),
+                workers,
+                health: Some(health.clone()),
+                faults,
+                ..FleetConfig::of(0)
+            },
+            models.clone(),
+        )
+    };
+    let audio = Scenario::fleet(audio_devices, 4, 0.5, SimDuration::from_secs(1), 0xE20);
+    let cameras = CameraScenario::fleet_high_fps(camera_devices, 4, 1, 30, 0.4, 0xE20);
+
+    // Fault-free reference: the decision stream every chaotic run must
+    // reproduce byte-for-byte.
+    let reference = fleet(None, 8)
+        .run_mixed(&audio, &cameras)
+        .expect("fault-free reference fleet");
+    let reference_decisions = reference.cloud_decisions_json();
+    let reference_events: usize = reference
+        .devices()
+        .iter()
+        .map(|d| d.report.cloud.report.events.len())
+        .sum();
+
+    out.push_str(&format!(
+        "### Chaos drill: {}-device mixed fleet, 10% drop + duplication + \
+         corruption + one outage window\n\n",
+        audio_devices + camera_devices
+    ));
+    out.push_str(
+        "| workers | committed | redelivered | rejected | retry-storm alerts | \
+         decisions == fault-free | journal == workers=1 |\n|---|---|---|---|---|---|---|\n",
+    );
+    let mut decisions_identical = true;
+    let mut journals_identical = true;
+    let mut reference_journal: Option<String> = None;
+    let mut min_storms = usize::MAX;
+    let mut max_lost = 0usize;
+    let mut max_duplicated = 0usize;
+    let mut total_redelivered = 0u64;
+    let mut total_rejected = 0u64;
+    for workers in [1usize, 2, 8] {
+        let (report, _, _, census) = fleet(Some(faults), workers)
+            .run_mixed_health(&audio, &cameras)
+            .expect("chaos fleet");
+        let decisions = report.cloud_decisions_json();
+        let journal = census.alert_journal_json();
+        let events: usize = report
+            .devices()
+            .iter()
+            .map(|d| d.report.cloud.report.events.len())
+            .sum();
+        let committed: u64 = report
+            .devices()
+            .iter()
+            .map(|d| d.report.cloud.report.committed_records)
+            .sum();
+        let redelivered = report.total_redelivered_records();
+        let rejected = report.total_rejected_records();
+        let storms = census.alerts_of("retry_storm");
+        let matches_reference = decisions == reference_decisions;
+        decisions_identical &= matches_reference;
+        let matches_serial = match &reference_journal {
+            None => {
+                reference_journal = Some(journal);
+                true
+            }
+            Some(first) => *first == journal,
+        };
+        journals_identical &= matches_serial;
+        min_storms = min_storms.min(storms);
+        max_lost = max_lost.max(reference_events.saturating_sub(events));
+        max_duplicated = max_duplicated.max(events.saturating_sub(reference_events));
+        total_redelivered += redelivered;
+        total_rejected += rejected;
+        let _ = writeln!(
+            out,
+            "| {workers} | {committed} | {redelivered} | {rejected} | {storms} | {} | {} |",
+            if matches_reference { "yes" } else { "NO" },
+            if matches_serial { "yes" } else { "NO" },
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nCloud decisions byte-identical to the fault-free run at every worker \
+         count: {}.",
+        if decisions_identical { "yes" } else { "NO" }
+    );
+    let _ = writeln!(out, "Verdicts lost under chaos: {max_lost} (gate: 0).");
+    let _ = writeln!(
+        out,
+        "Duplicate cloud decisions: {max_duplicated} (gate: 0)."
+    );
+    let _ = writeln!(
+        out,
+        "Redelivered records across the drill: {total_redelivered} (gate: > 0)."
+    );
+    let _ = writeln!(
+        out,
+        "Rejected (corrupted) records across the drill: {total_rejected} (gate: > 0)."
+    );
+    let _ = writeln!(
+        out,
+        "Retry-storm alerts under the outage drill: {min_storms} (gate: >= 1)."
+    );
+    let _ = writeln!(
+        out,
+        "Retry/alert journals byte-identical across worker counts: {}.",
+        if journals_identical { "yes" } else { "NO" }
+    );
+
+    // Part 2: a zero-rate FaultSpec must be indistinguishable from no
+    // fault plane at all — the chaos hook costs nothing when disarmed.
+    out.push_str("\n### Zero-rate chaos is a no-op\n\n");
+    let quiet_pipeline = PipelineConfig {
+        batch_windows: 2,
+        ..PipelineConfig::default()
+    };
+    let quiet_config = |faults: Option<FaultSpec>| FleetConfig {
+        devices: 12,
+        pipeline: quiet_pipeline.clone(),
+        workers: 2,
+        faults,
+        ..FleetConfig::of(0)
+    };
+    let quiet_audio = Scenario::fleet(12, 4, 0.5, SimDuration::from_secs(1), 0xE20);
+    let plain = PipelineFleet::with_models(quiet_config(None), models.clone())
+        .run_mixed(&quiet_audio, &[])
+        .expect("plain fleet");
+    let disarmed =
+        PipelineFleet::with_models(quiet_config(Some(FaultSpec::none(0xE20))), models.clone())
+            .run_mixed(&quiet_audio, &[])
+            .expect("disarmed-chaos fleet");
+    let _ = writeln!(
+        out,
+        "Zero-rate FaultSpec leaves the report byte-identical: {}.",
+        if plain.to_json() == disarmed.to_json() {
+            "yes"
+        } else {
+            "NO"
+        }
+    );
+    out
+}
+
 /// Runs every experiment and concatenates the tables (used by the
 /// `experiments` binary and by EXPERIMENTS.md generation).
 pub fn run_all() -> String {
@@ -2052,6 +2263,7 @@ pub fn run_all() -> String {
         run_e16_int8_inference().0,
         run_e18_telemetry().0,
         run_e19_health_plane(),
+        run_e20_fault_tolerance(),
     ]
     .join("\n")
 }

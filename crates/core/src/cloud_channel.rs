@@ -2,93 +2,372 @@
 //! vision TA.
 //!
 //! Both TAs relay permitted content to the cloud the same way: a PSK
-//! handshake over a supplicant socket, then sealed records with exactly
-//! one send/recv round trip per event (whether the event is a single
-//! utterance or a whole batch). Keeping that logic in one place means the
-//! two TAs cannot drift apart.
+//! handshake over a supplicant socket, then sealed records. Keeping that
+//! logic in one place means the two TAs cannot drift apart.
+//!
+//! # Fault tolerance
+//!
+//! The network between the supplicant and the cloud may drop, duplicate,
+//! reorder or corrupt records (see `perisec_relay::netsim::FaultSpec`), so
+//! the channel runs a retry state machine over DTLS-style
+//! explicit-sequence records:
+//!
+//! * every record carries a per-channel monotonic sequence number, sealed
+//!   with `seal_at` so a retransmission is byte-identical;
+//! * a record stays in a **bounded** in-TA unacked buffer until the cloud
+//!   echoes its sequence back in a protected ack;
+//! * silence is a timeout: the TA waits out a capped exponential backoff
+//!   with deterministic jitter on the virtual [`SimClock`], then
+//!   retransmits — all on simulated time, so retry schedules are identical
+//!   at every worker count;
+//! * an opportunistic flush that cannot drain within its round budget
+//!   *defers* — the device keeps classifying, the deferral is journaled
+//!   (`relay.deferred`), and the adaptive batcher is driven to `Critical`
+//!   pressure — instead of panicking; `close` runs a blocking flush so an
+//!   orderly shutdown never strands a verdict;
+//! * persistent ack failure triggers a recovery handshake (the cloud
+//!   reprocesses ClientHello idempotently), healing a corrupted-handshake
+//!   key mismatch.
+
+use std::collections::VecDeque;
 
 use perisec_optee::{TaEnv, TeeError, TeeParam, TeeParams, TeeResult};
-use perisec_relay::avs::{AvsDirective, AvsEvent};
+use perisec_relay::avs::AvsEvent;
 use perisec_relay::tls::{seal_flops, SecureChannelClient, PSK_LEN};
+use perisec_tz::time::SimDuration;
 
 use crate::filter_ta::encode_batch_verdicts;
 use crate::policy::FilterDecision;
+
+/// Knobs of the relay retry state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RelayRetryConfig {
+    /// Base ack timeout — the wait before the first retransmission.
+    pub ack_timeout: SimDuration,
+    /// Cap of the exponential backoff between retransmission rounds.
+    pub max_backoff: SimDuration,
+    /// Transmission rounds an opportunistic flush may spend before it
+    /// defers the leftovers to the next batch.
+    pub flush_rounds: u32,
+    /// Bound on the in-TA unacked buffer; a send into a full buffer
+    /// first drains it with a blocking flush.
+    pub unacked_capacity: usize,
+    /// Transmission rounds a *blocking* flush (buffer full, or `close`)
+    /// may spend before erroring loudly — the give-up point on a dead
+    /// network.
+    pub hard_rounds: u32,
+    /// After this many consecutive fruitless rounds, replay the
+    /// handshake to heal a corrupted-hello key mismatch.
+    pub rekey_after: u32,
+}
+
+impl Default for RelayRetryConfig {
+    fn default() -> Self {
+        RelayRetryConfig {
+            ack_timeout: SimDuration::from_millis(2),
+            max_backoff: SimDuration::from_millis(64),
+            flush_rounds: 4,
+            unacked_capacity: 8,
+            hard_rounds: 512,
+            rekey_after: 8,
+        }
+    }
+}
+
+/// Deterministic retry jitter: a splitmix64-style hash of the retry
+/// coordinates, so no two records (or rounds) back off in lockstep yet
+/// every run reproduces the same schedule.
+fn jitter_hash(socket: u64, seq: u64, attempt: u64) -> u64 {
+    let mut z = socket
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(seq.wrapping_mul(0xD1B5_4A32_D192_ED03))
+        .wrapping_add(attempt);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The backoff interval before retransmission `attempt` of `seq` on
+/// `socket`: `min(ack_timeout · 2^attempt, max_backoff)` plus
+/// deterministic jitter of up to a quarter of the interval. Shared with
+/// the baseline relay stage so both paths back off identically.
+pub(crate) fn backoff_interval(
+    retry: &RelayRetryConfig,
+    socket: u64,
+    seq: u64,
+    attempt: u32,
+) -> SimDuration {
+    let exp = attempt.min(16);
+    let backoff = (retry.ack_timeout * (1u64 << exp)).min(retry.max_backoff);
+    let jitter = SimDuration::from_nanos(
+        jitter_hash(socket, seq, u64::from(attempt)) % (backoff.as_nanos() / 4 + 1),
+    );
+    backoff + jitter
+}
+
+struct UnackedRecord {
+    seq: u64,
+    plaintext: Vec<u8>,
+    attempts: u32,
+}
 
 /// A lazily-established secure channel from a TA to the cloud host.
 pub(crate) struct TaCloudChannel {
     cloud_host: String,
     psk: [u8; PSK_LEN],
+    retry: RelayRetryConfig,
     channel: Option<(u64, SecureChannelClient)>,
+    next_seq: u64,
+    unacked: VecDeque<UnackedRecord>,
+    retries: u64,
+    reported_retries: u64,
 }
 
 impl TaCloudChannel {
-    /// Creates the (not yet connected) channel.
+    /// Creates the (not yet connected) channel with default retry knobs.
     pub(crate) fn new(cloud_host: impl Into<String>, psk: [u8; PSK_LEN]) -> Self {
         TaCloudChannel {
             cloud_host: cloud_host.into(),
             psk,
+            retry: RelayRetryConfig::default(),
             channel: None,
+            next_seq: 0,
+            unacked: VecDeque::new(),
+            retries: 0,
+            reported_retries: 0,
         }
     }
 
+    /// Overrides the retry knobs (builder style, used by the TAs'
+    /// `with_retry` constructors).
+    pub(crate) fn set_retry(&mut self, retry: RelayRetryConfig) {
+        self.retry = retry;
+    }
+
+    /// The retransmissions accrued since the last call — what
+    /// `relay_batch_and_pack` reports back to the stage.
+    fn take_retries_delta(&mut self) -> u64 {
+        let retries = self.retries - self.reported_retries;
+        self.reported_retries = self.retries;
+        retries
+    }
+
+    /// Records currently sitting unacknowledged in the bounded buffer —
+    /// the live backlog `relay_batch_and_pack` reports back to the
+    /// normal world, which drives the batcher to `Critical` and triggers
+    /// the end-of-scenario drain when non-zero.
+    pub(crate) fn unacked_len(&self) -> usize {
+        self.unacked.len()
+    }
+
+    /// Waits out one backoff interval on the virtual clock.
+    fn backoff_wait(
+        env: &TaEnv<'_>,
+        retry: &RelayRetryConfig,
+        socket: u64,
+        seq: u64,
+        attempt: u32,
+    ) {
+        env.platform()
+            .clock()
+            .advance(backoff_interval(retry, socket, seq, attempt));
+    }
+
+    /// Establishes the channel, retrying the handshake itself under the
+    /// same virtual-time backoff — hellos cross the faulty network too.
     fn ensure(&mut self, env: &TaEnv<'_>) -> TeeResult<()> {
-        if self.channel.is_some() {
+        if let Some((_, client)) = &self.channel {
+            if client.is_established() {
+                return Ok(());
+            }
+        }
+        if self.channel.is_none() {
+            let socket = env.net_connect(&self.cloud_host, 443)?;
+            self.channel = Some((socket, SecureChannelClient::new(self.psk, socket)));
+        }
+        let (socket, client) = self.channel.as_mut().expect("just connected");
+        let socket = *socket;
+        for round in 0..self.retry.hard_rounds {
+            env.net_send(socket, &client.client_hello())?;
+            let reply = env.net_recv(socket, 4096)?;
+            if !reply.is_empty() && client.process_server_hello(&reply).is_ok() {
+                return Ok(());
+            }
+            self.retries += 1;
+            env.tracer().count("relay.retries", 1);
+            let _span = env.tracer().span("relay.retry");
+            Self::backoff_wait(env, &self.retry, socket, 0, round);
+        }
+        Err(TeeError::Communication {
+            reason: format!(
+                "relay handshake to {} exhausted {} retry rounds",
+                self.cloud_host, self.retry.hard_rounds
+            ),
+        })
+    }
+
+    /// One transmission round: every unacked record is (re)sent oldest
+    /// first, and each reply that authenticates as an explicit ack
+    /// retires the sequence it names.
+    fn transmit_round(&mut self, env: &TaEnv<'_>) -> TeeResult<()> {
+        let sequences: Vec<u64> = self.unacked.iter().map(|record| record.seq).collect();
+        for seq in sequences {
+            // An earlier ack in this round may already have retired it.
+            let Some(pos) = self.unacked.iter().position(|record| record.seq == seq) else {
+                continue;
+            };
+            let (socket, client) = self.channel.as_mut().expect("channel ensured");
+            let record = &mut self.unacked[pos];
+            let wire = client.seal_at(record.seq, &record.plaintext).map_err(|e| {
+                TeeError::Communication {
+                    reason: e.to_string(),
+                }
+            })?;
+            env.charge_compute(seal_flops(record.plaintext.len()));
+            if record.attempts > 0 {
+                self.retries += 1;
+                env.tracer().count("relay.retries", 1);
+            }
+            record.attempts += 1;
+            let socket = *socket;
+            env.net_send(socket, &wire)?;
+            let reply = env.net_recv(socket, 65536)?;
+            if reply.is_empty() {
+                continue;
+            }
+            let (_, client) = self.channel.as_ref().expect("channel ensured");
+            if let Ok((acked, _directive)) = client.open_explicit(&reply) {
+                self.unacked.retain(|record| record.seq != acked);
+            }
+        }
+        Ok(())
+    }
+
+    /// Drains the unacked buffer. Opportunistic (`blocking == false`)
+    /// flushes spend at most `flush_rounds` rounds and then defer the
+    /// leftovers; blocking flushes spend up to `hard_rounds` and then
+    /// fail loudly.
+    fn flush(&mut self, env: &TaEnv<'_>, blocking: bool) -> TeeResult<()> {
+        if self.unacked.is_empty() {
             return Ok(());
         }
-        let socket = env.net_connect(&self.cloud_host, 443)?;
-        let mut client = SecureChannelClient::new(self.psk, socket);
-        env.net_send(socket, &client.client_hello())?;
-        let server_hello = env.net_recv(socket, 4096)?;
-        client
-            .process_server_hello(&server_hello)
-            .map_err(|e| TeeError::Communication {
-                reason: e.to_string(),
-            })?;
-        self.channel = Some((socket, client));
-        Ok(())
+        self.ensure(env)?;
+        let rounds = if blocking {
+            self.retry.hard_rounds
+        } else {
+            self.retry.flush_rounds
+        };
+        let mut fruitless = 0u32;
+        for round in 0..rounds {
+            let before = self.unacked.len();
+            if round == 0 {
+                self.transmit_round(env)?;
+            } else {
+                // A retry round: backoff, optional handshake recovery,
+                // retransmit — all under the relay.retry span so the
+                // telemetry plane sees exactly where virtual time went.
+                let _span = env.tracer().span("relay.retry");
+                let head = self.unacked.front().expect("checked non-empty");
+                let (socket, _) = self.channel.as_ref().expect("channel ensured");
+                let socket = *socket;
+                Self::backoff_wait(env, &self.retry, socket, head.seq, head.attempts);
+                if fruitless > 0
+                    && self.retry.rekey_after > 0
+                    && fruitless.is_multiple_of(self.retry.rekey_after)
+                {
+                    // Nothing has been acked for a while: suspect a
+                    // corrupted handshake and replay it (the cloud
+                    // re-derives the same keys idempotently).
+                    let (socket, client) = self.channel.as_mut().expect("channel ensured");
+                    let socket = *socket;
+                    env.net_send(socket, &client.client_hello())?;
+                    let reply = env.net_recv(socket, 4096)?;
+                    if !reply.is_empty() {
+                        let _ = client.process_server_hello(&reply);
+                    }
+                }
+                self.transmit_round(env)?;
+            }
+            if self.unacked.is_empty() {
+                return Ok(());
+            }
+            fruitless = if self.unacked.len() == before {
+                fruitless + 1
+            } else {
+                0
+            };
+        }
+        if blocking {
+            Err(TeeError::Communication {
+                reason: format!(
+                    "relay flush exhausted {} rounds with {} unacked records",
+                    rounds,
+                    self.unacked.len()
+                ),
+            })
+        } else {
+            env.tracer()
+                .count("relay.deferred", self.unacked.len() as u64);
+            Ok(())
+        }
     }
 
-    /// Seals one event, ships it through the supplicant and decodes the
-    /// cloud's directive — exactly one send/recv supplicant round trip,
-    /// whether the event is a single utterance or a whole batch.
+    /// Queues one event at the next sequence and flushes
+    /// opportunistically. A full unacked buffer degrades gracefully: the
+    /// send first drains it with a blocking flush (paying virtual time,
+    /// which the health plane and batcher observe) rather than dropping
+    /// a verdict or growing without bound.
     pub(crate) fn send_event(&mut self, env: &TaEnv<'_>, event: &AvsEvent) -> TeeResult<()> {
         self.ensure(env)?;
-        let (socket, channel) = self.channel.as_mut().expect("channel just ensured");
-        let encoded = event.encode();
-        env.charge_compute(seal_flops(encoded.len()));
-        let record = channel
-            .seal(&encoded)
-            .map_err(|e| TeeError::Communication {
-                reason: e.to_string(),
-            })?;
-        env.net_send(*socket, &record)?;
-        let reply = env.net_recv(*socket, 4096)?;
-        if !reply.is_empty() {
-            let plaintext = channel.open(&reply).map_err(|e| TeeError::Communication {
-                reason: e.to_string(),
-            })?;
-            let _directive =
-                AvsDirective::decode(&plaintext).map_err(|e| TeeError::Communication {
-                    reason: e.to_string(),
-                })?;
+        if self.unacked.len() >= self.retry.unacked_capacity.max(1) {
+            self.flush(env, true)?;
         }
-        Ok(())
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.unacked.push_back(UnackedRecord {
+            seq,
+            plaintext: event.encode(),
+            attempts: 0,
+        });
+        self.flush(env, false)
     }
 
-    /// Closes the supplicant socket, if a channel was ever established.
-    pub(crate) fn close(&mut self, env: &TaEnv<'_>) {
+    /// Blocking drain of the unacked buffer — the end-of-scenario flush.
+    /// Records an *opportunistic* flush deferred are retired here before
+    /// a device's report is assembled; a finished run must not strand a
+    /// verdict in the bounded buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the blocking flush's error if the network stayed dead for
+    /// `hard_rounds` rounds.
+    pub(crate) fn drain(&mut self, env: &TaEnv<'_>) -> TeeResult<()> {
+        self.flush(env, true)
+    }
+
+    /// Closes the supplicant socket after a blocking flush — an orderly
+    /// shutdown never strands an unacked verdict.
+    ///
+    /// # Errors
+    ///
+    /// Returns the blocking flush's error if the network stayed dead for
+    /// `hard_rounds` rounds.
+    pub(crate) fn close(&mut self, env: &TaEnv<'_>) -> TeeResult<()> {
+        let result = self.flush(env, true);
         if let Some((socket, _)) = self.channel.take() {
             let _ = env.net_close(socket);
         }
+        result
     }
 }
 
 /// The shared tail of both TAs' `PROCESS_BATCH`: relays every permitted
 /// event of the batch in **one** sealed record (one supplicant send/recv
-/// round trip), then packs the reply contract `SecureFilterStage` decodes
-/// — verdicts in slot 1, `(wire_ns, capture_cpu_ns)` in slot 2,
-/// `(ml_ns, relay_ns)` in slot 3. Keeping this in one place means the
-/// audio and vision TAs cannot drift apart on the wire contract.
+/// round trip on the happy path), then packs the reply contract
+/// `SecureFilterStage` decodes — `(retransmissions delta, unacked
+/// backlog)` in slot 0, verdicts in slot 1, `(wire_ns, capture_cpu_ns)` in
+/// slot 2, `(ml_ns, relay_ns)` in slot 3. Keeping this in one place means
+/// the audio and vision TAs cannot drift apart on the wire contract.
 pub(crate) fn relay_batch_and_pack(
     channel: &mut TaCloudChannel,
     env: &TaEnv<'_>,
@@ -118,6 +397,14 @@ pub(crate) fn relay_batch_and_pack(
     }
     let relay_ns = env.platform().clock().elapsed_since(relay_start).as_nanos();
 
+    let retries = channel.take_retries_delta();
+    params.set(
+        0,
+        TeeParam::ValueOutput {
+            a: retries,
+            b: channel.unacked_len() as u64,
+        },
+    );
     params.set(1, TeeParam::MemRefOutput(encode_batch_verdicts(verdicts)));
     params.set(
         2,

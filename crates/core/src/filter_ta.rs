@@ -59,6 +59,12 @@ pub mod cmd {
     /// batch are relayed in a **single** sealed record, so the whole batch
     /// costs one send/recv supplicant round trip.
     pub const PROCESS_BATCH: u32 = 3;
+    /// Blocking drain of the relay's unacked buffer. Invoked once a
+    /// scenario has stepped to completion, so records an opportunistic
+    /// flush deferred under network faults are retired before the
+    /// device's report is assembled. No parameters; errors if the
+    /// network stays dead for the whole `hard_rounds` budget.
+    pub const FLUSH_RELAY: u32 = 4;
 }
 
 /// Encodes a batch-process request: per window, the dialog id as a
@@ -219,6 +225,13 @@ impl FilterTa {
             stats: FilterStats::default(),
             encoding,
         }
+    }
+
+    /// Overrides the relay retry/backoff policy (builder-style).
+    #[must_use]
+    pub fn with_retry(mut self, retry: crate::RelayRetryConfig) -> Self {
+        self.channel.set_retry(retry);
+        self
     }
 
     /// Cumulative statistics.
@@ -510,6 +523,7 @@ impl TrustedApp for FilterTa {
                 env.charge_cpu(SimDuration::from_micros(10));
                 self.process_batch(env, &windows, params)
             }
+            cmd::FLUSH_RELAY => self.channel.drain(env),
             cmd::SET_POLICY => {
                 let (mode, threshold) =
                     params.get(0).as_values().ok_or(TeeError::BadParameters {
@@ -545,7 +559,12 @@ impl TrustedApp for FilterTa {
     }
 
     fn close_session(&mut self, env: &mut TaEnv<'_>) {
-        self.channel.close(env);
+        // Close performs a *blocking* flush of unacknowledged relay
+        // records; exhausting the retry budget here means verdicts were
+        // lost, which must never pass silently.
+        self.channel
+            .close(env)
+            .expect("relay close: blocking flush failed");
     }
 }
 

@@ -29,6 +29,7 @@ use std::collections::BTreeSet;
 use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
+use perisec_relay::netsim::FaultSpec;
 use perisec_telemetry::{
     DeviceHealthMonitor, FleetHealth, FleetHealthReport, FleetTelemetry, HealthConfig, HealthSink,
     TelemetryConfig,
@@ -98,6 +99,13 @@ pub struct FleetConfig {
     /// the functional [`FleetReport`] stays byte-identical whether the
     /// plane is on or off.
     pub health: Option<HealthConfig>,
+    /// Deterministic network chaos applied to **every** device's cloud
+    /// link. Each device gets the spec salted with its fleet index
+    /// ([`FaultSpec::for_device`]), so the fleet-wide fault schedule is a
+    /// pure function of `(seed, device, send sequence)` — identical at
+    /// every worker count, which is what lets the E20 chaos drill demand
+    /// byte-identical cloud decisions. Overrides any per-pipeline spec.
+    pub faults: Option<FaultSpec>,
 }
 
 impl FleetConfig {
@@ -114,6 +122,7 @@ impl FleetConfig {
             telemetry: TelemetryConfig::default(),
             trace_devices: BTreeSet::new(),
             health: None,
+            faults: None,
         }
     }
 
@@ -381,6 +390,51 @@ impl FleetReport {
             ("devices".to_owned(), self.devices.to_value()),
         ]);
         serde_json::to_string_pretty(&document).expect("fleet report is serializable")
+    }
+
+    /// Serializes only the fleet's **cloud decisions**: each device's
+    /// ordered event stream exactly as the cloud committed it. Under
+    /// network chaos the *full* report legitimately differs from a
+    /// fault-free run — retries cost virtual time and wire bytes — but
+    /// the decisions the cloud acts on must not, and this artifact is
+    /// what the E20 determinism gate compares byte-for-byte.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: all fields are plain data.
+    pub fn cloud_decisions_json(&self) -> String {
+        use serde::Serialize as _;
+        let devices = self
+            .devices
+            .iter()
+            .map(|d| {
+                serde::value::Value::Object(vec![
+                    ("device".to_owned(), d.device.to_value()),
+                    ("modality".to_owned(), d.modality.to_value()),
+                    ("events".to_owned(), d.report.cloud.report.events.to_value()),
+                ])
+            })
+            .collect::<Vec<_>>();
+        serde_json::to_string_pretty(&serde::value::Value::Array(devices))
+            .expect("cloud decisions are serializable")
+    }
+
+    /// Total explicit-sequence records the fleet's cloud endpoints saw
+    /// again after committing them — at-least-once delivery made visible.
+    pub fn total_redelivered_records(&self) -> u64 {
+        self.devices
+            .iter()
+            .map(|d| d.report.cloud.report.redelivered_records)
+            .sum()
+    }
+
+    /// Total records the fleet's cloud endpoints rejected (failed
+    /// authentication or decode — e.g. corrupted in flight).
+    pub fn total_rejected_records(&self) -> u64 {
+        self.devices
+            .iter()
+            .map(|d| d.report.cloud.report.rejected_records)
+            .sum()
     }
 
     /// [`FleetReport::to_json`] with a `telemetry` section embedded. Kept
@@ -879,6 +933,9 @@ impl PipelineFleet {
         for device in 0..audio_devices {
             let mut config = self.config.pipeline.clone();
             config.telemetry = self.device_telemetry(config.telemetry, device);
+            if let Some(spec) = self.config.faults {
+                config.faults = Some(spec.for_device(device as u64));
+            }
             tasks.push(audio_device_task_observed(
                 device,
                 Arc::clone(&audio[device % audio.len()]),
@@ -892,6 +949,9 @@ impl PipelineFleet {
             let device = audio_devices + camera;
             let mut config = self.config.camera_pipeline.clone();
             config.telemetry = self.device_telemetry(config.telemetry, device);
+            if let Some(spec) = self.config.faults {
+                config.faults = Some(spec.for_device(device as u64));
+            }
             tasks.push(camera_device_task_observed(
                 device,
                 Arc::clone(&cameras[camera % cameras.len()]),
@@ -926,6 +986,55 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<SharedModels>();
         assert_send_sync::<FleetReport>();
+    }
+
+    #[test]
+    fn fleet_cloud_decisions_survive_network_chaos() {
+        use perisec_relay::netsim::FaultSpec;
+        let faults = FaultSpec {
+            drop_permille: 100,
+            duplicate_permille: 150,
+            reorder_permille: 80,
+            corrupt_permille: 100,
+            outage: Some((3, 6)),
+            ..FaultSpec::none(0xC4A05)
+        };
+        let config = |faults, workers| FleetConfig {
+            devices: 3,
+            pipeline: PipelineConfig {
+                train_utterances: 60,
+                batch_windows: 2,
+                ..PipelineConfig::default()
+            },
+            workers,
+            faults,
+            ..FleetConfig::of(0)
+        };
+        let models = SharedModels::for_config(&config(None, 1).pipeline).unwrap();
+        let scenarios = Scenario::fleet(3, 5, 0.5, SimDuration::from_secs(1), 0xE20);
+        let run = |faults, workers| {
+            PipelineFleet::with_models(config(faults, workers), models.clone())
+                .run(&scenarios)
+                .unwrap()
+        };
+
+        let healthy = run(None, 2);
+        let faulted = run(Some(faults), 2);
+        // The chaos was real (the cloud saw redeliveries or rejected
+        // corrupt records) yet the decision stream is byte-identical.
+        assert!(
+            faulted.total_redelivered_records() + faulted.total_rejected_records() > 0,
+            "fault spec injected no observable chaos"
+        );
+        assert_eq!(
+            healthy.cloud_decisions_json(),
+            faulted.cloud_decisions_json(),
+            "network chaos changed the cloud's decisions"
+        );
+        assert_eq!(healthy.total_utterances(), faulted.total_utterances());
+        // And the faulted run itself is worker-count invariant.
+        let faulted_serial = run(Some(faults), 1);
+        assert_eq!(faulted_serial.to_json(), faulted.to_json());
     }
 
     #[test]

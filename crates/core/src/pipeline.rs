@@ -28,7 +28,7 @@ use perisec_optee::{
     Supplicant, TaUuid, TeeClient, TeeCore, TeeParam, TeeParams, TeeSessionHandle,
 };
 use perisec_relay::cloud::MockCloudService;
-use perisec_relay::netsim::NetworkFabric;
+use perisec_relay::netsim::{FaultSpec, NetworkFabric};
 use perisec_secure_driver::camera::SecureCameraDriver;
 use perisec_secure_driver::camera_pta::CameraPta;
 use perisec_secure_driver::driver::SecureI2sDriver;
@@ -43,6 +43,7 @@ use perisec_workload::synth::SpeechSynthesizer;
 use perisec_workload::vocab::Vocabulary;
 
 use crate::batcher::AdaptiveBatcher;
+use crate::cloud_channel::RelayRetryConfig;
 use crate::filter_ta::{cmd as filter_cmd, default_cloud_host, default_psk, FilterTa};
 use crate::policy::PrivacyPolicy;
 use crate::report::{CloudOutcome, PipelineReport, WorkloadSummary};
@@ -121,6 +122,14 @@ pub struct PipelineConfig {
     /// one shared tracer; spans read the *simulated* clock, so telemetry
     /// never changes a report.
     pub telemetry: TelemetryConfig,
+    /// Deterministic network chaos between the device and the cloud (see
+    /// [`FaultSpec`]); `None` (the default) runs a perfect network. The
+    /// fault schedule is a pure function of `(seed, device, send
+    /// sequence)`, so it replays identically at every worker count.
+    pub faults: Option<FaultSpec>,
+    /// Retry/backoff policy of the TA-side relay (and of the baseline's
+    /// normal-world relay).
+    pub retry: RelayRetryConfig,
 }
 
 impl Default for PipelineConfig {
@@ -140,6 +149,8 @@ impl Default for PipelineConfig {
             degrade: None,
             quant_mode: QuantMode::default(),
             telemetry: TelemetryConfig::default(),
+            faults: None,
+            retry: RelayRetryConfig::default(),
         }
     }
 }
@@ -192,6 +203,10 @@ pub struct CameraPipelineConfig {
     pub degrade: Option<DegradeSpec>,
     /// Telemetry plane switchboard (see [`PipelineConfig::telemetry`]).
     pub telemetry: TelemetryConfig,
+    /// Deterministic network chaos (see [`PipelineConfig::faults`]).
+    pub faults: Option<FaultSpec>,
+    /// Retry/backoff policy of the vision TA's relay.
+    pub retry: RelayRetryConfig,
 }
 
 impl Default for CameraPipelineConfig {
@@ -206,6 +221,8 @@ impl Default for CameraPipelineConfig {
             quant_mode: QuantMode::default(),
             degrade: None,
             telemetry: TelemetryConfig::default(),
+            faults: None,
+            retry: RelayRetryConfig::default(),
         }
     }
 }
@@ -499,6 +516,7 @@ pub fn train_models(
 pub struct ScenarioProgress {
     stats_before: TzStatsSnapshot,
     next_event: usize,
+    relay_backlog: bool,
 }
 
 impl ScenarioProgress {
@@ -515,6 +533,7 @@ fn begin_secure_stages(platform: &Platform, cloud: &MockCloudService) -> Scenari
     ScenarioProgress {
         stats_before: platform.stats().snapshot(),
         next_event: 0,
+        relay_backlog: false,
     }
 }
 
@@ -585,7 +604,14 @@ where
             pressure.observe(per_window);
             batcher.set_pressure(pressure.advance(clock.now()));
         }
+        // Relay backlog overrides any SLO verdict: the TA's bounded
+        // unacked buffer is backing up, so fall to single-window probes
+        // until the network drains it.
+        if filtered.backlog > 0 {
+            batcher.set_pressure(perisec_telemetry::HealthState::Critical);
+        }
     }
+    progress.relay_backlog = filtered.backlog > 0;
     {
         let _span = tracer.span(relay.name());
         relay.process(filtered)?;
@@ -677,7 +703,7 @@ impl SecurePipeline {
         let platform = config.build_platform();
 
         // Normal world: supplicant + network fabric + cloud.
-        let fabric = NetworkFabric::new();
+        let fabric = NetworkFabric::new().with_faults(config.faults);
         let cloud = MockCloudService::new(default_psk());
         fabric.register_service(MockCloudService::HOST, cloud.clone());
         let supplicant = Arc::new(Supplicant::new());
@@ -712,7 +738,8 @@ impl SecurePipeline {
             default_cloud_host(),
             default_psk(),
             config.encoding,
-        );
+        )
+        .with_retry(config.retry);
         core.register_ta(Box::new(filter))
             .map_err(CoreError::from)?;
 
@@ -869,7 +896,7 @@ impl SecurePipeline {
         scenario: &Scenario,
         progress: &mut ScenarioProgress,
     ) -> Result<bool> {
-        step_secure_stages(
+        let more = step_secure_stages(
             &scenario.events,
             self.config.effective_batch(),
             self.batcher.as_mut(),
@@ -881,7 +908,16 @@ impl SecurePipeline {
             &mut self.filter,
             &mut self.relay,
             &self.tracer,
-        )
+        )?;
+        if !more && progress.relay_backlog {
+            // The scenario ended with unacked records still buffered in
+            // the TA: a blocking drain retires them, so the report never
+            // misses a verdict the network delayed. Skipped on a clean
+            // finish — the healthy path pays no extra TEE crossing.
+            self.filter.drain_relay()?;
+            progress.relay_backlog = false;
+        }
+        Ok(more)
     }
 
     /// Assembles the report of a stepped-to-completion scenario replay.
@@ -1014,7 +1050,7 @@ impl SecureCameraPipeline {
         let platform = config.build_platform();
 
         // Normal world: supplicant + network fabric + cloud.
-        let fabric = NetworkFabric::new();
+        let fabric = NetworkFabric::new().with_faults(config.faults);
         let cloud = MockCloudService::new(default_psk());
         fabric.register_service(MockCloudService::HOST, cloud.clone());
         let supplicant = Arc::new(Supplicant::new());
@@ -1039,7 +1075,8 @@ impl SecureCameraPipeline {
             config.policy,
             default_cloud_host(),
             default_psk(),
-        );
+        )
+        .with_retry(config.retry);
         core.register_ta(Box::new(vision_ta))
             .map_err(CoreError::from)?;
 
@@ -1165,7 +1202,7 @@ impl SecureCameraPipeline {
         scenario: &CameraScenario,
         progress: &mut ScenarioProgress,
     ) -> Result<bool> {
-        step_secure_stages(
+        let more = step_secure_stages(
             &scenario.events,
             self.config.effective_batch(),
             None,
@@ -1177,7 +1214,16 @@ impl SecureCameraPipeline {
             &mut self.filter,
             &mut self.relay,
             &self.tracer,
-        )
+        )?;
+        if !more && progress.relay_backlog {
+            // The scenario ended with unacked records still buffered in
+            // the TA: a blocking drain retires them, so the report never
+            // misses a verdict the network delayed. Skipped on a clean
+            // finish — the healthy path pays no extra TEE crossing.
+            self.filter.drain_relay()?;
+            progress.relay_backlog = false;
+        }
+        Ok(more)
     }
 
     /// Assembles the report of a stepped-to-completion scenario replay.
@@ -1245,7 +1291,7 @@ impl BaselinePipeline {
     /// Propagates kernel-substrate failures.
     pub fn new(config: PipelineConfig) -> Result<Self> {
         let platform = config.build_platform();
-        let fabric = NetworkFabric::new();
+        let fabric = NetworkFabric::new().with_faults(config.faults);
         let cloud = MockCloudService::new(default_psk());
         fabric.register_service(MockCloudService::HOST, cloud.clone());
 
@@ -1274,7 +1320,8 @@ impl BaselinePipeline {
             MockCloudService::HOST,
             default_psk(),
             config.encoding,
-        );
+        )
+        .with_retry(config.retry);
         Ok(BaselinePipeline {
             config,
             platform,

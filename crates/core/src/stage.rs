@@ -26,10 +26,12 @@ use perisec_tz::time::{SimDuration, SimInstant};
 use perisec_workload::scenario::{CameraScenarioEvent, ScenarioEvent};
 use perisec_workload::synth::SpeechSynthesizer;
 
+use crate::cloud_channel::backoff_interval;
 use crate::filter_ta::{cmd as filter_cmd, decode_batch_verdicts, encode_batch_request};
 use crate::policy::FilterDecision;
 use crate::report::LatencyBreakdown;
 use crate::source::{SharedPlayback, SharedSceneQueue};
+use crate::RelayRetryConfig;
 use crate::{CoreError, Result};
 
 /// One stage of a pipeline: a named transformation over batch work items.
@@ -101,6 +103,13 @@ pub struct FilteredBatch {
     /// End-to-end processing latency of each utterance in the batch. For
     /// batched TEE crossings the batch latency is attributed evenly.
     pub per_utterance: Vec<SimDuration>,
+    /// Relay retransmissions the TA performed while this batch was in
+    /// flight (zero on a healthy network).
+    pub retries: u64,
+    /// Unacked relay records still buffered in the TA after this batch —
+    /// the graceful-degradation signal that drives the batcher to
+    /// `Critical` and triggers the end-of-scenario drain when non-zero.
+    pub backlog: u64,
 }
 
 // ----- secure pipeline stages ---------------------------------------------
@@ -244,6 +253,23 @@ impl SecureFilterStage {
     pub fn platform(&self) -> &Platform {
         &self.platform
     }
+
+    /// Blocking drain of the TA's relay buffer: records an opportunistic
+    /// flush deferred under network faults are retired here. Called once
+    /// a scenario has stepped to completion — a finished device must not
+    /// strand acknowledged-pending verdicts in the TA. Idempotent: with
+    /// an empty buffer the invocation is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the TA's flush failure — the network stayed dead for
+    /// the whole `hard_rounds` retry budget.
+    pub fn drain_relay(&mut self) -> Result<()> {
+        self.client
+            .invoke(&self.session, filter_cmd::FLUSH_RELAY, TeeParams::new())
+            .map_err(CoreError::from)?;
+        Ok(())
+    }
 }
 
 impl PipelineStage for SecureFilterStage {
@@ -293,6 +319,7 @@ impl PipelineStage for SecureFilterStage {
             })
             .collect::<Vec<_>>();
 
+        let (retries, backlog) = out.get(0).as_values().unwrap_or((0, 0));
         let (wire_ns, capture_cpu_ns) = out.get(2).as_values().unwrap_or((0, 0));
         let (ml_ns, relay_ns) = out.get(3).as_values().unwrap_or((0, 0));
         let elapsed = self.platform.clock().elapsed_since(prepared.started);
@@ -304,6 +331,8 @@ impl PipelineStage for SecureFilterStage {
             capture_cpu: SimDuration::from_nanos(capture_cpu_ns),
             ml: SimDuration::from_nanos(ml_ns),
             relay: SimDuration::from_nanos(relay_ns),
+            retries,
+            backlog,
         })
     }
 }
@@ -463,12 +492,19 @@ impl PipelineStage for PassthroughFilterStage {
 
 /// The baseline relay stage: encodes and ships every capture to the cloud
 /// over the normal-world secure channel (encryption but no filtering).
+///
+/// Records carry explicit sequence numbers (the same DTLS-style framing
+/// the TAs use), so the stage rides out drops, duplicates and reorderings
+/// with the shared capped-exponential backoff instead of desynchronizing
+/// its record nonces on the first lost packet.
 pub struct CloudRelayStage {
     platform: Platform,
     fabric: NetworkFabric,
     cloud_host: &'static str,
     psk: [u8; PSK_LEN],
     encoding: AudioEncoding,
+    retry: RelayRetryConfig,
+    next_seq: u64,
     channel: Option<(Transport, SecureChannelClient)>,
     breakdown: LatencyBreakdown,
 }
@@ -488,9 +524,18 @@ impl CloudRelayStage {
             cloud_host,
             psk,
             encoding,
+            retry: RelayRetryConfig::default(),
+            next_seq: 0,
             channel: None,
             breakdown: LatencyBreakdown::default(),
         }
+    }
+
+    /// Overrides the relay retry/backoff policy (builder-style).
+    #[must_use]
+    pub fn with_retry(mut self, retry: RelayRetryConfig) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// Takes the accumulated breakdown, resetting the stage.
@@ -499,23 +544,72 @@ impl CloudRelayStage {
     }
 
     fn ensure_channel(&mut self) -> Result<()> {
-        if self.channel.is_some() {
-            return Ok(());
+        if let Some((_, client)) = &self.channel {
+            if client.is_established() {
+                return Ok(());
+            }
         }
-        let transport = self
-            .fabric
-            .open_transport(self.cloud_host, 443)
-            .map_err(CoreError::from)?;
-        let mut client = SecureChannelClient::new(self.psk, 1);
-        transport
-            .send(&client.client_hello())
-            .map_err(CoreError::from)?;
-        let hello = transport.recv(4096).map_err(CoreError::from)?;
-        client
-            .process_server_hello(&hello)
-            .map_err(CoreError::from)?;
-        self.channel = Some((transport, client));
-        Ok(())
+        if self.channel.is_none() {
+            let transport = self
+                .fabric
+                .open_transport(self.cloud_host, 443)
+                .map_err(CoreError::from)?;
+            let socket = transport.socket();
+            self.channel = Some((transport, SecureChannelClient::new(self.psk, socket)));
+        }
+        let (transport, client) = self.channel.as_mut().expect("just connected");
+        for round in 0..self.retry.hard_rounds {
+            transport
+                .send(&client.client_hello())
+                .map_err(CoreError::from)?;
+            let hello = transport.recv(4096).map_err(CoreError::from)?;
+            if !hello.is_empty() && client.process_server_hello(&hello).is_ok() {
+                return Ok(());
+            }
+            self.platform.clock().advance(backoff_interval(
+                &self.retry,
+                transport.socket(),
+                0,
+                round,
+            ));
+        }
+        Err(CoreError::Relay(perisec_relay::RelayError::ChannelError {
+            reason: format!(
+                "baseline handshake to {} exhausted {} retry rounds",
+                self.cloud_host, self.retry.hard_rounds
+            ),
+        }))
+    }
+
+    /// Ships one sealed record and waits (on virtual time) for the ack
+    /// that echoes its sequence, retransmitting the byte-identical record
+    /// under capped exponential backoff until acked or out of rounds.
+    fn send_acked(&mut self, event_bytes: &[u8]) -> Result<()> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        for attempt in 0..self.retry.hard_rounds {
+            let (transport, channel) = self.channel.as_mut().expect("channel ensured");
+            let record = channel.seal_at(seq, event_bytes).map_err(CoreError::from)?;
+            transport.send(&record).map_err(CoreError::from)?;
+            let reply = transport.recv(65536).map_err(CoreError::from)?;
+            if !reply.is_empty() {
+                if let Ok((acked, _directive)) = channel.open_explicit(&reply) {
+                    if acked == seq {
+                        return Ok(());
+                    }
+                }
+            }
+            let socket = transport.socket();
+            self.platform
+                .clock()
+                .advance(backoff_interval(&self.retry, socket, seq, attempt));
+        }
+        Err(CoreError::Relay(perisec_relay::RelayError::Transport {
+            reason: format!(
+                "baseline relay record {seq} exhausted {} retry rounds",
+                self.retry.hard_rounds
+            ),
+        }))
     }
 }
 
@@ -541,13 +635,7 @@ impl PipelineStage for CloudRelayStage {
                 perisec_tz::world::World::Normal,
                 seal_flops(event_bytes.len()),
             );
-            let (transport, channel) = self.channel.as_mut().expect("channel ensured above");
-            let record = channel.seal(&event_bytes).map_err(CoreError::from)?;
-            transport.send(&record).map_err(CoreError::from)?;
-            let reply = transport.recv(4096).map_err(CoreError::from)?;
-            if !reply.is_empty() {
-                let _ = channel.open(&reply).map_err(CoreError::from)?;
-            }
+            self.send_acked(&event_bytes)?;
             let relay_elapsed = self.platform.clock().elapsed_since(relay_start);
             self.breakdown.relay += relay_elapsed;
             self.breakdown.capture_wire += capture.wire;

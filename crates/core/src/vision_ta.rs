@@ -53,6 +53,12 @@ pub mod cmd {
     /// in value slot 3. All permitted windows of the batch are relayed as
     /// verdict records in a **single** sealed record.
     pub const PROCESS_BATCH: u32 = 3;
+    /// Blocking drain of the relay's unacked buffer. Invoked once a
+    /// scenario has stepped to completion, so records an opportunistic
+    /// flush deferred under network faults are retired before the
+    /// device's report is assembled. No parameters; errors if the
+    /// network stays dead for the whole `hard_rounds` budget.
+    pub const FLUSH_RELAY: u32 = 4;
 }
 
 /// Cumulative statistics of the vision TA.
@@ -125,6 +131,13 @@ impl VisionTa {
             channel: TaCloudChannel::new(cloud_host, psk),
             stats: VisionStats::default(),
         }
+    }
+
+    /// Overrides the relay retry/backoff policy (builder-style).
+    #[must_use]
+    pub fn with_retry(mut self, retry: crate::RelayRetryConfig) -> Self {
+        self.channel.set_retry(retry);
+        self
     }
 
     /// Cumulative statistics.
@@ -277,6 +290,7 @@ impl TrustedApp for VisionTa {
                 env.charge_cpu(SimDuration::from_micros(10));
                 self.process_batch(env, &windows, params)
             }
+            cmd::FLUSH_RELAY => self.channel.drain(env),
             cmd::SET_POLICY => {
                 let (mode, threshold) =
                     params.get(0).as_values().ok_or(TeeError::BadParameters {
@@ -312,6 +326,11 @@ impl TrustedApp for VisionTa {
     }
 
     fn close_session(&mut self, env: &mut TaEnv<'_>) {
-        self.channel.close(env);
+        // Close performs a *blocking* flush of unacknowledged relay
+        // records; exhausting the retry budget here means verdicts were
+        // lost, which must never pass silently.
+        self.channel
+            .close(env)
+            .expect("relay close: blocking flush failed");
     }
 }

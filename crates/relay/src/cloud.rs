@@ -6,6 +6,7 @@
 //! received. Whatever appears in [`CloudReport`] is, by definition, what
 //! has been exposed to the untrusted party.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -13,7 +14,12 @@ use serde::{Deserialize, Serialize};
 
 use crate::avs::{AvsDirective, AvsEvent};
 use crate::netsim::NetworkService;
-use crate::tls::{SecureChannelServer, PSK_LEN};
+use crate::tls::{peek_record_type, SecureChannelServer, CLIENT_HELLO, EXPLICIT_RECORD, PSK_LEN};
+
+/// Most explicit-sequence records a session may stash ahead of the
+/// commit point before the cloud answers with silence (backpressure) —
+/// the device's bounded unacked window is far smaller than this.
+const STASH_CAP: usize = 256;
 
 /// One event as received (and understood) by the cloud.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -37,6 +43,15 @@ pub struct CloudReport {
     pub rejected_records: u64,
     /// Total application bytes received (after decryption).
     pub application_bytes: u64,
+    /// Explicit-sequence records that arrived again after already being
+    /// accepted — at-least-once delivery observed, deduplicated away.
+    pub redelivered_records: u64,
+    /// Explicit-sequence records that arrived ahead of the commit point
+    /// and had to be stashed until the gap filled.
+    pub out_of_order_records: u64,
+    /// Explicit-sequence records committed exactly once, in sequence
+    /// order.
+    pub committed_records: u64,
 }
 
 impl CloudReport {
@@ -66,6 +81,13 @@ impl CloudReport {
 
 struct ConnectionState {
     channel: SecureChannelServer,
+    /// The next explicit sequence this session will commit. Everything
+    /// below it has been recorded exactly once.
+    next_commit: u64,
+    /// Records that arrived ahead of `next_commit`, held until the gap
+    /// fills so commits (and therefore cloud decisions) happen in send
+    /// order regardless of network reordering.
+    stash: BTreeMap<u64, Vec<u8>>,
 }
 
 /// The mock cloud service. Register it on a [`crate::NetworkFabric`] under
@@ -207,12 +229,75 @@ impl MockCloudService {
     }
 }
 
+impl MockCloudService {
+    /// Exactly-once, in-order ingest of one explicit-sequence record.
+    ///
+    /// Already-accepted sequences are re-acked without recording (the
+    /// first ack evidently got lost — at-least-once delivery becomes
+    /// exactly-once decisions). Records ahead of the commit point are
+    /// stashed until the gap fills, so the decision log is in send order
+    /// no matter how the network reordered arrivals.
+    fn ingest_explicit(&self, state: &mut ConnectionState, request: &[u8]) -> Vec<u8> {
+        let (seq, plaintext) = match state.channel.open_explicit(request) {
+            Ok(opened) => opened,
+            Err(_) => {
+                self.report.lock().rejected_records += 1;
+                return Vec::new();
+            }
+        };
+        let Ok(event) = AvsEvent::decode(&plaintext) else {
+            self.report.lock().rejected_records += 1;
+            return Vec::new();
+        };
+        let ack = Self::ack_for(&event).encode();
+        if seq < state.next_commit || state.stash.contains_key(&seq) {
+            // Redelivery: the record is already durable here; only the
+            // ack needs retransmitting. seal_at reproduces it exactly.
+            self.report.lock().redelivered_records += 1;
+            return state.channel.seal_at(seq, &ack).unwrap_or_default();
+        }
+        if seq != state.next_commit {
+            if state.stash.len() >= STASH_CAP {
+                // Refuse to stash further ahead; silence makes the
+                // device retry once the gap has been filled.
+                return Vec::new();
+            }
+            self.report.lock().out_of_order_records += 1;
+        }
+        state.stash.insert(seq, plaintext);
+        while let Some(ready) = state.stash.remove(&state.next_commit) {
+            if let Ok(ready_event) = AvsEvent::decode(&ready) {
+                self.record_event(&ready_event, true);
+                self.report.lock().committed_records += 1;
+            }
+            state.next_commit += 1;
+        }
+        state.channel.seal_at(seq, &ack).unwrap_or_default()
+    }
+}
+
 impl NetworkService for MockCloudService {
     fn handle(&self, conn: u64, request: &[u8]) -> Vec<u8> {
         let mut connections = self.connections.lock();
         let state = connections.entry(conn).or_insert_with(|| ConnectionState {
             channel: SecureChannelServer::new(self.psk, conn),
+            next_commit: 0,
+            stash: BTreeMap::new(),
         });
+        if state.channel.is_established() && peek_record_type(request) == Some(CLIENT_HELLO) {
+            // A retransmitted hello (the device lost our ServerHello, or
+            // suspects a corrupted handshake). Both randoms are
+            // deterministic, so reprocessing derives the same keys —
+            // replaying the handshake is idempotent, and the dedup state
+            // survives it.
+            return match state.channel.process_client_hello(request) {
+                Ok(server_hello) => server_hello,
+                Err(_) => {
+                    self.report.lock().rejected_records += 1;
+                    Vec::new()
+                }
+            };
+        }
         if !state.channel.is_established() {
             // Either a handshake, or a plaintext (baseline / ablation) event.
             if let Ok(server_hello) = state.channel.process_client_hello(request) {
@@ -230,8 +315,11 @@ impl NetworkService for MockCloudService {
                 }
             };
         }
-        // Established channel: open the record, decode the event, reply
-        // with a protected acknowledgement.
+        if peek_record_type(request) == Some(EXPLICIT_RECORD) {
+            return self.ingest_explicit(state, request);
+        }
+        // Established channel, legacy implicit record: open it, decode
+        // the event, reply with a protected acknowledgement.
         match state.channel.open(request) {
             Ok(plaintext) => match AvsEvent::decode(&plaintext) {
                 Ok(event) => {
@@ -393,6 +481,120 @@ mod tests {
         assert_eq!(report.received_dialog_ids(), vec![8]);
         assert_eq!(report.events[0].audio_bytes, 0);
         assert!(report.text_of(8).contains("frame-verdict"));
+    }
+
+    fn established_client(
+        fabric: &NetworkFabric,
+        nonce: u64,
+    ) -> (crate::netsim::Transport, SecureChannelClient) {
+        let transport = fabric.open_transport(MockCloudService::HOST, 443).unwrap();
+        let mut client = SecureChannelClient::new(PSK, nonce);
+        transport.send(&client.client_hello()).unwrap();
+        let server_hello = transport.recv(1024).unwrap();
+        client.process_server_hello(&server_hello).unwrap();
+        (transport, client)
+    }
+
+    #[test]
+    fn explicit_records_commit_exactly_once_in_send_order() {
+        let (fabric, cloud) = fabric_with_cloud();
+        let (transport, client) = established_client(&fabric, 99);
+        let event = |id: u64| AvsEvent::TextMessage {
+            dialog_id: id,
+            text: format!("m{id}"),
+        };
+        let records: Vec<Vec<u8>> = (0..3)
+            .map(|i| client.seal_at(i, &event(i).encode()).unwrap())
+            .collect();
+
+        // Out-of-order arrival: seq 1 first. It is acked (the cloud has
+        // it durably) but not committed until seq 0 fills the gap.
+        transport.send(&records[1]).unwrap();
+        let ack = transport.recv(4096).unwrap();
+        assert_eq!(client.open_explicit(&ack).unwrap().0, 1);
+        assert!(cloud.report().events.is_empty());
+        assert_eq!(cloud.report().out_of_order_records, 1);
+
+        transport.send(&records[0]).unwrap();
+        transport.recv(4096).unwrap();
+        assert_eq!(cloud.report().received_dialog_ids(), vec![0, 1]);
+        assert_eq!(
+            cloud
+                .report()
+                .events
+                .iter()
+                .map(|e| e.dialog_id)
+                .collect::<Vec<_>>(),
+            vec![0, 1],
+            "commits happen in sequence order"
+        );
+
+        // Redelivery is re-acked without recording.
+        transport.send(&records[0]).unwrap();
+        let ack = transport.recv(4096).unwrap();
+        assert_eq!(client.open_explicit(&ack).unwrap().0, 0);
+        assert_eq!(cloud.report().redelivered_records, 1);
+        assert_eq!(cloud.report().events.len(), 2);
+
+        transport.send(&records[2]).unwrap();
+        transport.recv(4096).unwrap();
+        assert_eq!(cloud.report().committed_records, 3);
+        assert_eq!(cloud.report().events.len(), 3);
+    }
+
+    #[test]
+    fn hello_replay_is_idempotent_and_preserves_dedup_state() {
+        let (fabric, cloud) = fabric_with_cloud();
+        let (transport, client) = established_client(&fabric, 7);
+        let record = client
+            .seal_at(
+                0,
+                &AvsEvent::TextMessage {
+                    dialog_id: 1,
+                    text: "once".into(),
+                }
+                .encode(),
+            )
+            .unwrap();
+        transport.send(&record).unwrap();
+        transport.recv(4096).unwrap();
+        assert_eq!(cloud.report().events.len(), 1);
+
+        // Replay the hello mid-stream, as a device recovering from a
+        // suspected bad handshake would.
+        transport.send(&client.client_hello()).unwrap();
+        let hello = transport.recv(1024).unwrap();
+        assert!(!hello.is_empty());
+
+        // The rebuilt keys still open our records, and the session still
+        // remembers what it committed.
+        transport.send(&record).unwrap();
+        let ack = transport.recv(4096).unwrap();
+        assert_eq!(client.open_explicit(&ack).unwrap().0, 0);
+        assert_eq!(cloud.report().redelivered_records, 1);
+        assert_eq!(cloud.report().events.len(), 1);
+    }
+
+    #[test]
+    fn corrupted_explicit_records_are_rejected_loudly() {
+        let (fabric, cloud) = fabric_with_cloud();
+        let (transport, client) = established_client(&fabric, 13);
+        let mut record = client
+            .seal_at(
+                0,
+                &AvsEvent::TextMessage {
+                    dialog_id: 2,
+                    text: "tamper".into(),
+                }
+                .encode(),
+            )
+            .unwrap();
+        let len = record.len();
+        record[len - 3] ^= 0x10;
+        transport.send(&record).unwrap();
+        assert!(transport.recv(4096).unwrap().is_empty());
+        assert_eq!(cloud.report().rejected_records, 1);
+        assert!(cloud.report().events.is_empty());
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub mod tls;
 
 pub use avs::{AvsDirective, AvsEvent};
 pub use cloud::{CloudReport, MockCloudService, ReceivedEvent};
-pub use netsim::{NetworkFabric, Transport};
+pub use netsim::{FabricStats, FaultClass, FaultSpec, NetworkFabric, Transport};
 pub use tls::{SecureChannelClient, SecureChannelServer, PSK_LEN};
 
 use std::error::Error;
@@ -58,6 +58,21 @@ pub enum RelayError {
         /// Explanation.
         reason: String,
     },
+    /// The per-socket response queue is full; the sender must back off.
+    Backpressure {
+        /// Socket whose queue overflowed.
+        socket: u64,
+        /// The configured queue depth.
+        depth: usize,
+    },
+    /// A queued message exceeds the caller's receive buffer; nothing was
+    /// consumed (the fabric never silently truncates).
+    OversizedRead {
+        /// Bytes the queued message needs.
+        needed: usize,
+        /// Bytes the caller offered.
+        max: usize,
+    },
 }
 
 impl fmt::Display for RelayError {
@@ -67,6 +82,14 @@ impl fmt::Display for RelayError {
             RelayError::ChannelError { reason } => write!(f, "secure channel error: {reason}"),
             RelayError::Codec { reason } => write!(f, "avs codec error: {reason}"),
             RelayError::Transport { reason } => write!(f, "transport error: {reason}"),
+            RelayError::Backpressure { socket, depth } => write!(
+                f,
+                "backpressure: response queue full on socket {socket} (depth {depth})"
+            ),
+            RelayError::OversizedRead { needed, max } => write!(
+                f,
+                "oversized read: queued message needs {needed} bytes, caller offered {max}"
+            ),
         }
     }
 }

@@ -1,15 +1,30 @@
 //! The in-process network fabric.
 //!
 //! Stands in for the Internet between the IoT device and the cloud.
-//! Services register under a hostname; connections are pairs of byte
+//! Services register under a hostname; connections are pairs of message
 //! queues. The fabric implements [`NetBackend`], so the TEE supplicant's
 //! socket RPCs (issued on behalf of the relay running in the TA) terminate
 //! here, and it also hands out [`Transport`] handles for normal-world
 //! clients (the unprotected baseline pipeline).
+//!
+//! # Deterministic chaos
+//!
+//! Real IoT uplinks drop, duplicate, reorder and corrupt packets. The
+//! fabric reproduces that with a [`FaultSpec`]: each send is classified by
+//! a pure hash of `(seed, device, send sequence)`, so every run — and
+//! every worker count — sees the *identical* fault schedule. Faults apply
+//! to the request direction (the device→cloud uplink the relay retries
+//! over); [`FabricStats`] counts each class so experiments can assert the
+//! chaos actually happened.
+//!
+//! Responses are queued as whole messages in a bounded per-socket queue:
+//! a `recv` either returns one complete message, an empty vector (nothing
+//! pending — the caller's timeout signal), or a loud error. Nothing is
+//! ever silently truncated.
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -17,6 +32,11 @@ use parking_lot::Mutex;
 use perisec_optee::{NetBackend, TeeError, TeeResult};
 
 use crate::{RelayError, Result};
+
+/// Default bound on a socket's pending-response queue, in messages —
+/// generous for the request/response relay protocol, which drains after
+/// every send.
+pub const DEFAULT_QUEUE_DEPTH: usize = 64;
 
 /// A network service: receives request bytes, returns response bytes.
 ///
@@ -30,14 +50,125 @@ pub trait NetworkService: Send + Sync {
     fn handle(&self, conn: u64, request: &[u8]) -> Vec<u8>;
 }
 
+/// What the fault schedule decides for one send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// Delivered intact.
+    Deliver,
+    /// Never delivered; the sender sees silence and must retry.
+    Drop,
+    /// Delivered twice — the cloud must deduplicate.
+    Duplicate,
+    /// Held back and delivered after the *next* send — the cloud sees it
+    /// out of order.
+    Reorder,
+    /// Delivered with one bit flipped — channel authentication must
+    /// reject it.
+    Corrupt,
+    /// Inside the outage window: dropped, like every other send in the
+    /// window.
+    Outage,
+}
+
+/// Deterministic fault plan for a fabric.
+///
+/// Classification is a pure function of `(seed, device, send sequence)`;
+/// nothing about the host schedule, worker count or wall clock leaks in.
+/// Per-mille rates partition a 0..1000 roll: drop, then duplicate, then
+/// reorder, then corrupt, remainder delivered. An `outage` window (in
+/// send-sequence space) overrides everything inside it with
+/// [`FaultClass::Outage`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Seed of the fault schedule (share one across a fleet; salt per
+    /// device with [`FaultSpec::for_device`]).
+    pub seed: u64,
+    /// Device salt, so each device sees its own schedule.
+    pub device: u64,
+    /// Per-mille of sends never delivered.
+    pub drop_permille: u16,
+    /// Per-mille of sends delivered twice.
+    pub duplicate_permille: u16,
+    /// Per-mille of sends delivered late (after the next send).
+    pub reorder_permille: u16,
+    /// Per-mille of sends delivered with one bit flipped.
+    pub corrupt_permille: u16,
+    /// Half-open `[start, end)` window of send sequences that are all
+    /// dropped — a network outage.
+    pub outage: Option<(u64, u64)>,
+}
+
+/// splitmix64-style finalizer over the three schedule coordinates.
+fn fault_hash(seed: u64, device: u64, seq: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(device.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(seq.wrapping_mul(0xD1B5_4A32_D192_ED03));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultSpec {
+    /// A fault-free spec (useful as a base for struct update syntax).
+    pub fn none(seed: u64) -> Self {
+        FaultSpec {
+            seed,
+            ..FaultSpec::default()
+        }
+    }
+
+    /// The same schedule salted for one device of a fleet.
+    pub fn for_device(mut self, device: u64) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// Classifies one send. Pure: same `(seed, device, send_seq)` → same
+    /// class, forever.
+    pub fn classify(&self, send_seq: u64) -> FaultClass {
+        if let Some((start, end)) = self.outage {
+            if send_seq >= start && send_seq < end {
+                return FaultClass::Outage;
+            }
+        }
+        let drop = u64::from(self.drop_permille);
+        let dup = drop + u64::from(self.duplicate_permille);
+        let reorder = dup + u64::from(self.reorder_permille);
+        let corrupt = reorder + u64::from(self.corrupt_permille);
+        if corrupt == 0 {
+            return FaultClass::Deliver;
+        }
+        let roll = fault_hash(self.seed, self.device, send_seq) % 1000;
+        if roll < drop {
+            FaultClass::Drop
+        } else if roll < dup {
+            FaultClass::Duplicate
+        } else if roll < reorder {
+            FaultClass::Reorder
+        } else if roll < corrupt {
+            FaultClass::Corrupt
+        } else {
+            FaultClass::Deliver
+        }
+    }
+
+    /// The bit to flip when a send classifies as [`FaultClass::Corrupt`] —
+    /// itself a pure function of the schedule coordinates.
+    pub fn corrupt_bit(&self, send_seq: u64, len: usize) -> usize {
+        (fault_hash(self.seed ^ 0xC0_44_0F_7E_D0_17_5E_ED, self.device, send_seq)
+            % (len.max(1) as u64 * 8)) as usize
+    }
+}
+
 struct Connection {
     service: Arc<dyn NetworkService>,
-    pending: VecDeque<u8>,
+    pending: VecDeque<Vec<u8>>,
+    delayed: Option<Vec<u8>>,
     bytes_sent: u64,
     bytes_received: u64,
 }
 
-/// Counters of fabric activity.
+/// Counters of fabric activity, including one counter per fault class.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FabricStats {
     /// Connections opened since creation.
@@ -46,6 +177,64 @@ pub struct FabricStats {
     pub bytes_sent: u64,
     /// Application bytes returned to clients.
     pub bytes_received: u64,
+    /// Sends the fault schedule dropped.
+    pub dropped: u64,
+    /// Sends the fault schedule delivered twice.
+    pub duplicated: u64,
+    /// Sends the fault schedule held back and delivered late.
+    pub reordered: u64,
+    /// Sends the fault schedule delivered with a flipped bit.
+    pub corrupted: u64,
+    /// Sends swallowed by an outage window.
+    pub outage_dropped: u64,
+    /// Responses refused because the socket's queue was full.
+    pub queue_full: u64,
+}
+
+impl FabricStats {
+    /// Total sends the schedule prevented from arriving intact.
+    pub fn faulted(&self) -> u64 {
+        self.dropped + self.duplicated + self.reordered + self.corrupted + self.outage_dropped
+    }
+}
+
+/// A fabric-level delivery failure, before it is widened to the caller's
+/// error type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NetFault {
+    UnknownSocket(u64),
+    Backpressure { socket: u64, depth: usize },
+    OversizedRead { needed: usize, max: usize },
+}
+
+impl NetFault {
+    fn to_tee(self) -> TeeError {
+        match self {
+            NetFault::UnknownSocket(socket) => TeeError::Communication {
+                reason: format!("unknown socket {socket}"),
+            },
+            NetFault::Backpressure { socket, depth } => TeeError::Communication {
+                reason: format!(
+                    "backpressure: response queue full on socket {socket} (depth {depth})"
+                ),
+            },
+            NetFault::OversizedRead { needed, max } => TeeError::Communication {
+                reason: format!(
+                    "oversized read: queued message needs {needed} bytes, caller offered {max}"
+                ),
+            },
+        }
+    }
+
+    fn to_relay(self) -> RelayError {
+        match self {
+            NetFault::UnknownSocket(socket) => RelayError::Transport {
+                reason: format!("unknown socket {socket}"),
+            },
+            NetFault::Backpressure { socket, depth } => RelayError::Backpressure { socket, depth },
+            NetFault::OversizedRead { needed, max } => RelayError::OversizedRead { needed, max },
+        }
+    }
 }
 
 /// The network fabric.
@@ -54,12 +243,28 @@ pub struct NetworkFabric {
     inner: Arc<FabricInner>,
 }
 
-#[derive(Default)]
 struct FabricInner {
     services: Mutex<HashMap<String, Arc<dyn NetworkService>>>,
     connections: Mutex<HashMap<u64, Connection>>,
     next_conn: AtomicU64,
+    next_send: AtomicU64,
+    queue_depth: AtomicUsize,
+    faults: Mutex<Option<FaultSpec>>,
     stats: Mutex<FabricStats>,
+}
+
+impl Default for FabricInner {
+    fn default() -> Self {
+        FabricInner {
+            services: Mutex::new(HashMap::new()),
+            connections: Mutex::new(HashMap::new()),
+            next_conn: AtomicU64::new(0),
+            next_send: AtomicU64::new(0),
+            queue_depth: AtomicUsize::new(DEFAULT_QUEUE_DEPTH),
+            faults: Mutex::new(None),
+            stats: Mutex::new(FabricStats::default()),
+        }
+    }
 }
 
 impl std::fmt::Debug for NetworkFabric {
@@ -67,14 +272,33 @@ impl std::fmt::Debug for NetworkFabric {
         f.debug_struct("NetworkFabric")
             .field("services", &self.inner.services.lock().len())
             .field("connections", &self.inner.connections.lock().len())
+            .field("faults", &*self.inner.faults.lock())
             .finish()
     }
 }
 
 impl NetworkFabric {
-    /// Creates an empty fabric.
+    /// Creates an empty, fault-free fabric.
     pub fn new() -> Self {
         NetworkFabric::default()
+    }
+
+    /// Installs a deterministic fault schedule (builder style).
+    pub fn with_faults(self, spec: Option<FaultSpec>) -> Self {
+        *self.inner.faults.lock() = spec;
+        self
+    }
+
+    /// Bounds every socket's pending-response queue to `depth` messages
+    /// (builder style). The default is [`DEFAULT_QUEUE_DEPTH`].
+    pub fn with_queue_depth(self, depth: usize) -> Self {
+        self.inner.queue_depth.store(depth.max(1), Ordering::SeqCst);
+        self
+    }
+
+    /// The installed fault schedule, if any.
+    pub fn faults(&self) -> Option<FaultSpec> {
+        *self.inner.faults.lock()
     }
 
     /// Registers `service` under `host` (replacing any previous service).
@@ -108,6 +332,148 @@ impl NetworkFabric {
     fn service_of(&self, host: &str) -> Option<Arc<dyn NetworkService>> {
         self.inner.services.lock().get(host).cloned()
     }
+
+    /// Hands `bytes` to the connection's service; queues the response (if
+    /// any, and if the caller is still interested in it) behind the
+    /// bounded per-socket queue.
+    fn hand_to_service(
+        connection: &mut Connection,
+        stats: &mut FabricStats,
+        socket: u64,
+        bytes: &[u8],
+        keep_response: bool,
+        depth: usize,
+    ) -> std::result::Result<usize, NetFault> {
+        let response = connection.service.handle(socket, bytes);
+        connection.bytes_sent += bytes.len() as u64;
+        stats.bytes_sent += bytes.len() as u64;
+        if keep_response && !response.is_empty() {
+            if connection.pending.len() >= depth {
+                stats.queue_full += 1;
+                return Err(NetFault::Backpressure { socket, depth });
+            }
+            connection.bytes_received += response.len() as u64;
+            stats.bytes_received += response.len() as u64;
+            connection.pending.push_back(response);
+        }
+        Ok(bytes.len())
+    }
+
+    /// One send through the fault schedule. The late (reorder-stashed)
+    /// request from a *previous* send, if any, is delivered after this
+    /// one — that is what makes the service see it out of order — with
+    /// its response discarded (its sender stopped waiting long ago).
+    fn transmit(&self, socket: u64, data: &[u8]) -> std::result::Result<usize, NetFault> {
+        let mut connections = self.inner.connections.lock();
+        let connection = connections
+            .get_mut(&socket)
+            .ok_or(NetFault::UnknownSocket(socket))?;
+        let depth = self.inner.queue_depth.load(Ordering::SeqCst);
+        let seq = self.inner.next_send.fetch_add(1, Ordering::SeqCst);
+        let faults = *self.inner.faults.lock();
+        let class = faults
+            .map(|f| f.classify(seq))
+            .unwrap_or(FaultClass::Deliver);
+        let late = connection.delayed.take();
+        let mut stats = self.inner.stats.lock();
+        let result = match class {
+            FaultClass::Deliver => {
+                Self::hand_to_service(connection, &mut stats, socket, data, true, depth)
+            }
+            FaultClass::Drop => {
+                stats.dropped += 1;
+                Ok(data.len())
+            }
+            FaultClass::Outage => {
+                stats.outage_dropped += 1;
+                Ok(data.len())
+            }
+            FaultClass::Duplicate => {
+                stats.duplicated += 1;
+                let first =
+                    Self::hand_to_service(connection, &mut stats, socket, data, true, depth);
+                // The duplicate's response is discarded: the sender reads
+                // exactly one reply per request.
+                let _ = Self::hand_to_service(connection, &mut stats, socket, data, false, depth);
+                first
+            }
+            FaultClass::Corrupt => {
+                stats.corrupted += 1;
+                let mut corrupted = data.to_vec();
+                if !corrupted.is_empty() {
+                    let bit = faults
+                        .expect("classified")
+                        .corrupt_bit(seq, corrupted.len());
+                    corrupted[bit / 8] ^= 1 << (bit % 8);
+                }
+                Self::hand_to_service(connection, &mut stats, socket, &corrupted, true, depth)
+            }
+            FaultClass::Reorder => {
+                stats.reordered += 1;
+                connection.delayed = Some(data.to_vec());
+                Ok(data.len())
+            }
+        };
+        if let Some(old) = late {
+            let _ = Self::hand_to_service(connection, &mut stats, socket, &old, false, depth);
+        }
+        result
+    }
+
+    /// Pops one whole pending message for `socket`: the message if it fits
+    /// in `max`, an empty vector if nothing is pending (the caller's
+    /// timeout signal), or a loud error — never a truncated prefix.
+    fn take_message(&self, socket: u64, max: usize) -> std::result::Result<Vec<u8>, NetFault> {
+        let mut connections = self.inner.connections.lock();
+        let connection = connections
+            .get_mut(&socket)
+            .ok_or(NetFault::UnknownSocket(socket))?;
+        match connection.pending.front() {
+            None => Ok(Vec::new()),
+            Some(msg) if msg.len() > max => Err(NetFault::OversizedRead {
+                needed: msg.len(),
+                max,
+            }),
+            Some(_) => Ok(connection.pending.pop_front().expect("front exists")),
+        }
+    }
+
+    /// Tears down `socket`. A reorder-stashed straggler is still handed to
+    /// the service (its response discarded) so [`FabricStats`] stay
+    /// consistent — unless the close lands inside the outage window, in
+    /// which case the straggler is swallowed and counted like any other
+    /// outage loss.
+    fn teardown(&self, socket: u64) {
+        let mut connections = self.inner.connections.lock();
+        let Some(mut connection) = connections.remove(&socket) else {
+            return;
+        };
+        if let Some(old) = connection.delayed.take() {
+            let seq = self.inner.next_send.fetch_add(1, Ordering::SeqCst);
+            let class = self
+                .inner
+                .faults
+                .lock()
+                .map(|f| f.classify(seq))
+                .unwrap_or(FaultClass::Deliver);
+            let mut stats = self.inner.stats.lock();
+            match class {
+                FaultClass::Outage => stats.outage_dropped += 1,
+                FaultClass::Drop => stats.dropped += 1,
+                _ => {
+                    let depth = self.inner.queue_depth.load(Ordering::SeqCst);
+                    let _ = Self::hand_to_service(
+                        &mut connection,
+                        &mut stats,
+                        socket,
+                        &old,
+                        false,
+                        depth,
+                    );
+                }
+            }
+        }
+    }
 }
 
 impl NetBackend for NetworkFabric {
@@ -121,6 +487,7 @@ impl NetBackend for NetworkFabric {
             Connection {
                 service,
                 pending: VecDeque::new(),
+                delayed: None,
                 bytes_sent: 0,
                 bytes_received: 0,
             },
@@ -130,35 +497,15 @@ impl NetBackend for NetworkFabric {
     }
 
     fn send(&self, socket: u64, data: &[u8]) -> TeeResult<usize> {
-        let mut connections = self.inner.connections.lock();
-        let connection = connections
-            .get_mut(&socket)
-            .ok_or(TeeError::Communication {
-                reason: format!("unknown socket {socket}"),
-            })?;
-        let response = connection.service.handle(socket, data);
-        connection.bytes_sent += data.len() as u64;
-        connection.bytes_received += response.len() as u64;
-        let mut stats = self.inner.stats.lock();
-        stats.bytes_sent += data.len() as u64;
-        stats.bytes_received += response.len() as u64;
-        connection.pending.extend(response);
-        Ok(data.len())
+        self.transmit(socket, data).map_err(NetFault::to_tee)
     }
 
     fn recv(&self, socket: u64, max: usize) -> TeeResult<Vec<u8>> {
-        let mut connections = self.inner.connections.lock();
-        let connection = connections
-            .get_mut(&socket)
-            .ok_or(TeeError::Communication {
-                reason: format!("unknown socket {socket}"),
-            })?;
-        let n = max.min(connection.pending.len());
-        Ok(connection.pending.drain(..n).collect())
+        self.take_message(socket, max).map_err(NetFault::to_tee)
     }
 
     fn close(&self, socket: u64) {
-        self.inner.connections.lock().remove(&socket);
+        self.teardown(socket);
     }
 }
 
@@ -174,18 +521,26 @@ impl Transport {
     ///
     /// # Errors
     ///
-    /// Returns [`RelayError::Transport`] if the connection is gone.
+    /// Returns [`RelayError::Transport`] if the connection is gone, or
+    /// [`RelayError::Backpressure`] if the response queue is full.
     pub fn send(&self, data: &[u8]) -> Result<usize> {
-        NetBackend::send(&self.fabric, self.conn, data).map_err(RelayError::from)
+        self.fabric
+            .transmit(self.conn, data)
+            .map_err(NetFault::to_relay)
     }
 
-    /// Receives up to `max` response bytes.
+    /// Receives one whole pending message of up to `max` bytes (empty if
+    /// nothing is pending).
     ///
     /// # Errors
     ///
-    /// Returns [`RelayError::Transport`] if the connection is gone.
+    /// Returns [`RelayError::Transport`] if the connection is gone, or
+    /// [`RelayError::OversizedRead`] if the next message does not fit in
+    /// `max` — it is left queued, never truncated.
     pub fn recv(&self, max: usize) -> Result<Vec<u8>> {
-        NetBackend::recv(&self.fabric, self.conn, max).map_err(RelayError::from)
+        self.fabric
+            .take_message(self.conn, max)
+            .map_err(NetFault::to_relay)
     }
 
     /// Closes the connection.
@@ -210,6 +565,24 @@ mod tests {
         }
     }
 
+    /// Records every request it sees, in order.
+    struct RecordingService {
+        seen: Mutex<Vec<Vec<u8>>>,
+    }
+    impl RecordingService {
+        fn new() -> Arc<Self> {
+            Arc::new(RecordingService {
+                seen: Mutex::new(Vec::new()),
+            })
+        }
+    }
+    impl NetworkService for RecordingService {
+        fn handle(&self, _conn: u64, request: &[u8]) -> Vec<u8> {
+            self.seen.lock().push(request.to_vec());
+            request.to_vec()
+        }
+    }
+
     #[test]
     fn request_response_round_trip() {
         let fabric = NetworkFabric::new();
@@ -217,10 +590,14 @@ mod tests {
         let t = fabric.open_transport("cloud.example", 443).unwrap();
         assert_eq!(t.send(b"hello").unwrap(), 5);
         assert_eq!(t.recv(100).unwrap(), b"HELLO");
-        // Partial reads drain the buffer.
+        // Reads are whole messages: a buffer too small is a loud error,
+        // not a silent truncation, and the message stays queued.
         t.send(b"abc").unwrap();
-        assert_eq!(t.recv(2).unwrap(), b"AB");
-        assert_eq!(t.recv(2).unwrap(), b"C");
+        assert!(matches!(
+            t.recv(2),
+            Err(RelayError::OversizedRead { needed: 3, max: 2 })
+        ));
+        assert_eq!(t.recv(3).unwrap(), b"ABC");
         assert!(t.recv(2).unwrap().is_empty());
         t.close();
         assert!(t.send(b"x").is_err());
@@ -245,6 +622,135 @@ mod tests {
         assert_eq!(stats.connections, 1);
         assert_eq!(stats.bytes_sent, 8);
         assert_eq!(stats.bytes_received, 8);
+        assert_eq!(stats.faulted(), 0);
+    }
+
+    #[test]
+    fn bounded_queue_surfaces_backpressure() {
+        let fabric = NetworkFabric::new().with_queue_depth(2);
+        fabric.register_service("cloud.example", Arc::new(UpperCaseService));
+        let t = fabric.open_transport("cloud.example", 443).unwrap();
+        t.send(b"a").unwrap();
+        t.send(b"b").unwrap();
+        assert!(matches!(
+            t.send(b"c"),
+            Err(RelayError::Backpressure { depth: 2, .. })
+        ));
+        assert_eq!(fabric.stats().queue_full, 1);
+        // Draining one message frees a slot.
+        assert_eq!(t.recv(16).unwrap(), b"A");
+        t.send(b"d").unwrap();
+        assert_eq!(t.recv(16).unwrap(), b"B");
+        assert_eq!(t.recv(16).unwrap(), b"D");
+    }
+
+    #[test]
+    fn fault_schedule_is_a_pure_function_of_coordinates() {
+        let spec = FaultSpec {
+            drop_permille: 100,
+            duplicate_permille: 50,
+            reorder_permille: 30,
+            corrupt_permille: 20,
+            outage: Some((500, 600)),
+            ..FaultSpec::none(0xE20)
+        };
+        for seq in 0..2000u64 {
+            assert_eq!(spec.classify(seq), spec.classify(seq));
+        }
+        // Outage overrides the roll inside its window.
+        assert_eq!(spec.classify(500), FaultClass::Outage);
+        assert_eq!(spec.classify(599), FaultClass::Outage);
+        assert_ne!(spec.classify(600), FaultClass::Outage);
+        // Rates land in the right ballpark over a long horizon.
+        let mut dropped = 0u32;
+        for seq in 0..10_000u64 {
+            if spec.classify(seq) == FaultClass::Drop {
+                dropped += 1;
+            }
+        }
+        assert!((700..=1300).contains(&dropped), "dropped {dropped}");
+        // Different devices see different schedules.
+        let other = spec.for_device(7);
+        assert!((0..2000u64).any(|s| spec.classify(s) != other.classify(s)));
+    }
+
+    #[test]
+    fn faults_drop_duplicate_and_corrupt_deterministically() {
+        let spec = FaultSpec {
+            drop_permille: 1000,
+            ..FaultSpec::none(1)
+        };
+        let run = |spec: FaultSpec, sends: usize| {
+            let service = RecordingService::new();
+            let fabric = NetworkFabric::new().with_faults(Some(spec));
+            fabric.register_service("cloud.example", service.clone());
+            let t = fabric.open_transport("cloud.example", 443).unwrap();
+            for i in 0..sends {
+                t.send(&[i as u8]).unwrap();
+            }
+            let seen = service.seen.lock().clone();
+            (fabric.stats(), seen)
+        };
+        let (stats, seen) = run(spec, 5);
+        assert_eq!(stats.dropped, 5);
+        assert!(seen.is_empty());
+
+        let (stats, seen) = run(
+            FaultSpec {
+                duplicate_permille: 1000,
+                ..FaultSpec::none(2)
+            },
+            3,
+        );
+        assert_eq!(stats.duplicated, 3);
+        assert_eq!(seen.len(), 6);
+
+        let (stats, seen) = run(
+            FaultSpec {
+                corrupt_permille: 1000,
+                ..FaultSpec::none(3)
+            },
+            1,
+        );
+        assert_eq!(stats.corrupted, 1);
+        assert_eq!(seen.len(), 1);
+        assert_ne!(seen[0], vec![0u8]);
+
+        // Identical specs produce identical traces.
+        let chaotic = FaultSpec {
+            drop_permille: 300,
+            duplicate_permille: 300,
+            corrupt_permille: 300,
+            ..FaultSpec::none(4)
+        };
+        assert_eq!(run(chaotic, 64), run(chaotic, 64));
+    }
+
+    #[test]
+    fn reordered_sends_arrive_late_and_close_flushes_the_straggler() {
+        // Reorder every send: each request is held until the next one.
+        let spec = FaultSpec {
+            reorder_permille: 1000,
+            ..FaultSpec::none(5)
+        };
+        let service = RecordingService::new();
+        let fabric = NetworkFabric::new().with_faults(Some(spec));
+        fabric.register_service("cloud.example", service.clone());
+        let t = fabric.open_transport("cloud.example", 443).unwrap();
+        t.send(b"first").unwrap();
+        assert!(t.recv(64).unwrap().is_empty());
+        t.send(b"second").unwrap();
+        // "first" arrived *after* "second" was stashed — nothing yet.
+        assert_eq!(service.seen.lock().as_slice(), [b"first".to_vec()]);
+        // Close flushes the stashed "second" so stats stay consistent.
+        t.close();
+        assert_eq!(
+            service.seen.lock().as_slice(),
+            [b"first".to_vec(), b"second".to_vec()]
+        );
+        let stats = fabric.stats();
+        assert_eq!(stats.reordered, 2);
+        assert_eq!(stats.bytes_sent, 11);
     }
 
     #[test]

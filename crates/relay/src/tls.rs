@@ -11,6 +11,15 @@
 //! Record format: `u32 length || ciphertext+tag`. Handshake messages are
 //! unencrypted `CLIENT_HELLO || 32-byte random` and `SERVER_HELLO ||
 //! 32-byte random`.
+//!
+//! On lossy paths the implicit per-direction sequence counters desync the
+//! moment a record is dropped or duplicated, so both halves also speak
+//! DTLS-style *explicit-sequence* records: `u32 length || EXPLICIT_RECORD
+//! || u64 sequence || ciphertext+tag`, sealed with [`SecureChannelClient::
+//! seal_at`] / opened with [`SecureChannelServer::open_explicit`]. Sealing
+//! at a sequence is non-mutating, so a retransmission reproduces the exact
+//! record bytes, and the nonce is bound to the carried sequence rather
+//! than to arrival order.
 
 use perisec_optee::crypto::{aead_open, aead_seal, hkdf, nonce_from_sequence, AEAD_KEY_LEN};
 
@@ -19,9 +28,23 @@ use crate::{RelayError, Result};
 /// Length of the pre-shared key.
 pub const PSK_LEN: usize = 32;
 
-const CLIENT_HELLO: u8 = 0x01;
+/// First payload byte of a ClientHello (exposed so the cloud can spot a
+/// retransmitted hello on an already-established connection).
+pub const CLIENT_HELLO: u8 = 0x01;
 const SERVER_HELLO: u8 = 0x02;
+/// First payload byte of an explicit-sequence application record.
+pub const EXPLICIT_RECORD: u8 = 0x17;
 const RANDOM_LEN: usize = 32;
+
+/// The first payload byte of a framed message, without consuming it —
+/// how a receiver dispatches between handshake, explicit-sequence and
+/// legacy implicit records.
+pub fn peek_record_type(data: &[u8]) -> Option<u8> {
+    if data.len() < 5 {
+        return None;
+    }
+    Some(data[4])
+}
 
 fn derive_keys(
     psk: &[u8; PSK_LEN],
@@ -44,6 +67,33 @@ fn frame(payload: &[u8]) -> Vec<u8> {
     out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
     out.extend_from_slice(payload);
     out
+}
+
+fn seal_explicit(key: &[u8; 32], seq: u64, plaintext: &[u8]) -> Vec<u8> {
+    let nonce = nonce_from_sequence(seq);
+    let ciphertext = aead_seal(key, &nonce, b"perisec-record", plaintext);
+    let mut payload = Vec::with_capacity(9 + ciphertext.len());
+    payload.push(EXPLICIT_RECORD);
+    payload.extend_from_slice(&seq.to_be_bytes());
+    payload.extend_from_slice(&ciphertext);
+    frame(&payload)
+}
+
+fn open_explicit_with(key: &[u8; 32], record: &[u8]) -> Result<(u64, Vec<u8>)> {
+    let (payload, _) = unframe(record)?;
+    if payload.len() < 9 + 16 || payload[0] != EXPLICIT_RECORD {
+        return Err(RelayError::ChannelError {
+            reason: "not an explicit-sequence record".to_owned(),
+        });
+    }
+    let seq = u64::from_be_bytes(payload[1..9].try_into().expect("8 bytes"));
+    let nonce = nonce_from_sequence(seq);
+    let plaintext = aead_open(key, &nonce, b"perisec-record", &payload[9..]).map_err(|_| {
+        RelayError::ChannelError {
+            reason: "explicit record authentication failed".to_owned(),
+        }
+    })?;
+    Ok((seq, plaintext))
 }
 
 fn unframe(data: &[u8]) -> Result<(Vec<u8>, usize)> {
@@ -165,6 +215,34 @@ impl SecureChannelClient {
             reason: "record authentication failed".to_owned(),
         })
     }
+
+    /// Protects one application record at an *explicit* sequence number,
+    /// without touching the implicit counters. Retransmitting the same
+    /// `(seq, plaintext)` reproduces byte-identical record bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RelayError::ChannelError`] before the handshake completes.
+    pub fn seal_at(&self, seq: u64, plaintext: &[u8]) -> Result<Vec<u8>> {
+        let key = self.send_key.ok_or(RelayError::ChannelError {
+            reason: "channel not established".to_owned(),
+        })?;
+        Ok(seal_explicit(&key, seq, plaintext))
+    }
+
+    /// Opens one explicit-sequence record from the server, returning the
+    /// sequence it carries alongside the plaintext.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RelayError::ChannelError`] on authentication failure or a
+    /// not-yet-established channel.
+    pub fn open_explicit(&self, record: &[u8]) -> Result<(u64, Vec<u8>)> {
+        let key = self.recv_key.ok_or(RelayError::ChannelError {
+            reason: "channel not established".to_owned(),
+        })?;
+        open_explicit_with(&key, record)
+    }
 }
 
 /// Server side of the secure channel (runs in the mock cloud).
@@ -259,6 +337,34 @@ impl SecureChannelServer {
             plaintext,
         )))
     }
+
+    /// Opens one explicit-sequence record from the client, returning the
+    /// carried sequence alongside the plaintext.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RelayError::ChannelError`] on authentication failure or a
+    /// not-yet-established channel.
+    pub fn open_explicit(&self, record: &[u8]) -> Result<(u64, Vec<u8>)> {
+        let key = self.recv_key.ok_or(RelayError::ChannelError {
+            reason: "channel not established".to_owned(),
+        })?;
+        open_explicit_with(&key, record)
+    }
+
+    /// Protects one record towards the client at an explicit sequence —
+    /// the ack to an explicit-sequence record echoes that record's
+    /// sequence, so a retransmitted ack is byte-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RelayError::ChannelError`] before the handshake completes.
+    pub fn seal_at(&self, seq: u64, plaintext: &[u8]) -> Result<Vec<u8>> {
+        let key = self.send_key.ok_or(RelayError::ChannelError {
+            reason: "channel not established".to_owned(),
+        })?;
+        Ok(seal_explicit(&key, seq, plaintext))
+    }
 }
 
 /// Approximate multiply-accumulate cost of protecting `bytes` of
@@ -342,5 +448,45 @@ mod tests {
     #[test]
     fn seal_flops_scale_with_payload() {
         assert!(seal_flops(10_000) > seal_flops(100));
+    }
+
+    #[test]
+    fn explicit_records_survive_reordering_and_retransmission() {
+        let (client, server) = establish();
+        let a = client.seal_at(0, b"first").unwrap();
+        let b = client.seal_at(1, b"second").unwrap();
+        // Retransmission reproduces the record byte for byte.
+        assert_eq!(a, client.seal_at(0, b"first").unwrap());
+        // Out-of-order arrival still opens, and the carried sequence
+        // identifies each record.
+        assert_eq!(server.open_explicit(&b).unwrap(), (1, b"second".to_vec()));
+        assert_eq!(server.open_explicit(&a).unwrap(), (0, b"first".to_vec()));
+        // The ack path mirrors it.
+        let ack = server.seal_at(1, b"ok").unwrap();
+        assert_eq!(client.open_explicit(&ack).unwrap(), (1, b"ok".to_vec()));
+    }
+
+    #[test]
+    fn explicit_records_reject_tampering_and_wrong_kinds() {
+        let (client, server) = establish();
+        let record = client.seal_at(7, b"payload").unwrap();
+        let mut tampered = record.clone();
+        let len = tampered.len();
+        tampered[len - 1] ^= 1;
+        assert!(server.open_explicit(&tampered).is_err());
+        // Flipping the carried sequence breaks the nonce binding.
+        let mut reseq = record.clone();
+        reseq[12] ^= 1;
+        assert!(server.open_explicit(&reseq).is_err());
+        // Implicit records are not explicit records.
+        let mut c2 = client.clone();
+        let implicit = c2.seal(b"payload").unwrap();
+        assert!(server.open_explicit(&implicit).is_err());
+        assert_eq!(peek_record_type(&record), Some(EXPLICIT_RECORD));
+        assert_eq!(
+            peek_record_type(&SecureChannelClient::new([9; PSK_LEN], 1).client_hello()),
+            Some(CLIENT_HELLO)
+        );
+        assert_eq!(peek_record_type(&[0, 0]), None);
     }
 }

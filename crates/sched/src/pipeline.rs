@@ -249,7 +249,7 @@ impl ShardedVisionPipeline {
         vision_int8: Option<Arc<QuantFrameCnn>>,
     ) -> Result<Self> {
         // Normal world, shared by every core: one fabric, one cloud.
-        let fabric = NetworkFabric::new();
+        let fabric = NetworkFabric::new().with_faults(config.camera.faults);
         let cloud = MockCloudService::new(default_psk());
         fabric.register_service(MockCloudService::HOST, cloud.clone());
 
@@ -290,7 +290,8 @@ impl ShardedVisionPipeline {
                 config.camera.policy,
                 default_cloud_host(),
                 default_psk(),
-            );
+            )
+            .with_retry(config.camera.retry);
             if config.dedup_models {
                 core.register_ta_shared(Box::new(ta), model_key, model_bytes)
                     .map_err(CoreError::from)?;
@@ -478,10 +479,26 @@ impl ShardedVisionPipeline {
                 pressure.observe(filter_end.duration_since(filter_start) / windows.max(1));
                 batcher.set_pressure(pressure.advance(filter_end));
             }
+            // Relay backlog overrides any SLO verdict: a shard's bounded
+            // unacked buffer is backing up, so fall to single-window
+            // probes until the network drains it.
+            if filtered.backlog > 0 {
+                batcher.set_pressure(perisec_telemetry::HealthState::Critical);
+            }
         }
+        let backlog = filtered.backlog;
         self.relay.process(filtered)?;
         progress.next_event += batch;
-        Ok(progress.next_event < scenario.events.len())
+        let more = progress.next_event < scenario.events.len();
+        if !more && backlog > 0 {
+            // The scenario ended with unacked records still buffered in
+            // some shard: a blocking drain on every shard retires them,
+            // so the report never misses a verdict the network delayed.
+            // Skipped on a clean finish — the healthy path pays no extra
+            // TEE crossings.
+            self.filter.drain_relay()?;
+        }
+        Ok(more)
     }
 
     /// Assembles the run report of a stepped-to-completion replay.

@@ -223,6 +223,20 @@ impl ShardedFilterStage {
         }
     }
 
+    /// Blocking drain of every shard's relay buffer (see
+    /// [`SecureFilterStage::drain_relay`]). Called once a scenario has
+    /// stepped to completion so no shard strands a deferred verdict.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first shard's flush failure.
+    pub fn drain_relay(&mut self) -> Result<()> {
+        for shard in &mut self.shards {
+            shard.drain_relay()?;
+        }
+        Ok(())
+    }
+
     /// Enables the steal pass for the flat-batch path (a shard-aware
     /// capture stage makes the placement itself; this flag mirrors its
     /// behaviour for callers that hand the stage unsharded batches).
@@ -310,6 +324,8 @@ impl PipelineStage for ShardedFilterStage {
             merged.capture_cpu += filtered.capture_cpu;
             merged.ml += filtered.ml;
             merged.relay += filtered.relay;
+            merged.retries += filtered.retries;
+            merged.backlog += filtered.backlog;
             merged.per_utterance.extend(filtered.per_utterance);
         }
         merged.verdicts = merge_verdicts(verdicts);

@@ -160,6 +160,11 @@ pub struct HealthConfig {
     /// privacy tripwire: a filtered fleet should relay verdicts, never
     /// raw audio payloads.
     pub expect_zero_payload: bool,
+    /// Epoch `relay.retries` count at or above which a retry-storm alert
+    /// fires (0 disables) — the fault-tolerance plane's signal that a
+    /// device is burning its virtual time retransmitting into a lossy or
+    /// dead network rather than making forward progress.
+    pub retry_storm_threshold: u64,
 }
 
 impl Default for HealthConfig {
@@ -174,6 +179,7 @@ impl Default for HealthConfig {
             regression_factor_pct: 0,
             stall_epochs: 0,
             expect_zero_payload: false,
+            retry_storm_threshold: 0,
         }
     }
 }
@@ -271,6 +277,9 @@ pub enum AlertKind {
     DeviceStalled,
     /// `relay.payload_bytes` grew in a fleet expected to relay none.
     PayloadLeak,
+    /// `relay.retries` crossed the configured per-epoch threshold — the
+    /// device is retransmitting into a lossy or dead network.
+    RetryStorm,
     /// Spans were dropped past the capture cap this epoch.
     DroppedSpanPressure,
     /// The health state machine transitioned.
@@ -290,6 +299,7 @@ impl AlertKind {
             AlertKind::LatencyRegression => "latency_regression",
             AlertKind::DeviceStalled => "device_stalled",
             AlertKind::PayloadLeak => "payload_leak",
+            AlertKind::RetryStorm => "retry_storm",
             AlertKind::DroppedSpanPressure => "dropped_span_pressure",
             AlertKind::StateChange { .. } => "state_change",
         }
@@ -634,6 +644,23 @@ impl Detectors {
                 }
             }
         }
+        if config.retry_storm_threshold > 0 {
+            if let Some(&retries) = delta.counters.get("relay.retries") {
+                if retries >= config.retry_storm_threshold {
+                    alerts.push(Alert {
+                        device,
+                        epoch,
+                        at,
+                        kind: AlertKind::RetryStorm,
+                        span: None,
+                        detail: format!(
+                            "{retries} relay retransmissions in one epoch (threshold {})",
+                            config.retry_storm_threshold
+                        ),
+                    });
+                }
+            }
+        }
         if delta.dropped_spans > 0 {
             alerts.push(Alert {
                 device,
@@ -950,6 +977,38 @@ mod tests {
             "fires once, at the streak"
         );
         assert_eq!(report.healthy, 1, "anomalies alert without demoting");
+    }
+
+    #[test]
+    fn retry_storm_detector_fires_on_threshold() {
+        let config = HealthConfig {
+            window: SimDuration::from_millis(1),
+            retry_storm_threshold: 10,
+            ..HealthConfig::default()
+        };
+        let sink = FleetHealth::sink(config.window);
+        let clock = SimClock::new();
+        let tracer = Tracer::new(clock.clone(), &TelemetryConfig::metrics());
+        let mut monitor = DeviceHealthMonitor::new(3, config.clone(), sink.clone());
+        // Epoch 0: a handful of retries, below the threshold.
+        tracer.count("relay.retries", 9);
+        clock.advance(SimDuration::from_millis(1));
+        monitor.advance(clock.now(), &tracer);
+        // Epoch 1: a storm.
+        tracer.count("relay.retries", 10);
+        clock.advance(SimDuration::from_millis(1));
+        monitor.advance(clock.now(), &tracer);
+        monitor.finish(clock.now(), &tracer);
+        let report = sink.lock().report();
+        assert_eq!(report.alerts_of("retry_storm"), 1);
+        let storm = report
+            .alerts
+            .iter()
+            .find(|a| a.kind.label() == "retry_storm")
+            .unwrap();
+        assert_eq!(storm.epoch, 1);
+        assert!(storm.detail.contains("10 relay retransmissions"));
+        assert_eq!(report.healthy, 1, "a storm alerts without demoting");
     }
 
     #[test]

@@ -14,6 +14,8 @@ use perisec::ml::vision::{FrameCnn, VisionConfig};
 use perisec::ml::SensitiveClassifier;
 use perisec::optee::crypto::{aead_open, aead_seal, nonce_from_sequence};
 use perisec::relay::avs::AvsEvent;
+use perisec::relay::netsim::NetworkService;
+use perisec::relay::{MockCloudService, SecureChannelClient, PSK_LEN};
 use perisec::sched::scheduler::SessionScheduler;
 use perisec::sched::stage::merge_verdicts;
 use perisec::tz::secure_mem::SecureRam;
@@ -192,6 +194,69 @@ proptest! {
         } else {
             prop_assert!(decoded.is_err(), "nesting depth {} must be rejected", depth);
         }
+    }
+
+    /// Any strict prefix of an encoded batched AVS event fails to decode —
+    /// a record truncated in flight can never mis-decode into a shorter
+    /// but plausible decision stream (the length-prefixed entries make
+    /// every cut detectable).
+    #[test]
+    fn truncated_batch_records_never_misdecode(
+        dialog_ids in proptest::collection::vec(any::<u64>(), 1..8),
+        cut in any::<u64>(),
+    ) {
+        let events: Vec<AvsEvent> = dialog_ids
+            .iter()
+            .map(|&id| AvsEvent::FrameVerdict {
+                dialog_id: id,
+                frames: 1 + (id % 16) as u32,
+                probability_milli: (id % 1001) as u16,
+            })
+            .collect();
+        let encoded = AvsEvent::Batch(events).encode();
+        let cut = (cut as usize) % encoded.len();
+        prop_assert!(
+            AvsEvent::decode(&encoded[..cut]).is_err(),
+            "a {cut}-byte prefix of a {}-byte batch record decoded",
+            encoded.len()
+        );
+    }
+
+    /// A single bit flipped *anywhere* in a sealed explicit-sequence
+    /// record — length header, record type, sequence, ciphertext or tag —
+    /// makes the cloud reject it loudly (counted, never committed), and
+    /// the intact record still commits afterwards.
+    #[test]
+    fn bitflipped_sealed_records_are_rejected_and_counted(
+        dialog_id in any::<u64>(),
+        flip in any::<u64>(),
+    ) {
+        let psk = [0x42u8; PSK_LEN];
+        let cloud = MockCloudService::new(psk);
+        let mut client = SecureChannelClient::new(psk, 7);
+        let server_hello = cloud.handle(1, &client.client_hello());
+        client.process_server_hello(&server_hello).unwrap();
+        let batch = AvsEvent::Batch(vec![AvsEvent::FrameVerdict {
+            dialog_id,
+            frames: 3,
+            probability_milli: 500,
+        }]);
+        let record = client.seal_at(0, &batch.encode()).unwrap();
+        let mut tampered = record.clone();
+        let bit = (flip as usize) % (tampered.len() * 8);
+        tampered[bit / 8] ^= 1 << (bit % 8);
+        let response = cloud.handle(1, &tampered);
+        prop_assert!(response.is_empty(), "tampered record was acknowledged");
+        let report = cloud.report();
+        prop_assert!(report.events.is_empty(), "tampered record committed a decision");
+        prop_assert_eq!(report.rejected_records, 1);
+        prop_assert_eq!(report.committed_records, 0);
+        // Rejection is per-record: the intact original still commits.
+        let ack = cloud.handle(1, &record);
+        prop_assert!(!ack.is_empty());
+        let report = cloud.report();
+        prop_assert_eq!(report.events.len(), 1);
+        prop_assert_eq!(report.committed_records, 1);
     }
 
     /// Sharded verdict merging is permutation- and partition-invariant:
