@@ -1,0 +1,9 @@
+//! Experiment E21 harness: the attested sharded ingest plane. Prints
+//! the markdown report — the crash drill (shards killed and restarted
+//! mid-run under a lossy link, decision byte-identity across worker
+//! counts), the 100k-session wire-level mega-fleet with its exactly-once
+//! gate, and the shard-scaling table. The CI experiment-smoke job awk's
+//! the gate lines.
+fn main() {
+    println!("{}", perisec_bench::run_e21_ingest_plane());
+}

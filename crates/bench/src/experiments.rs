@@ -2241,6 +2241,345 @@ pub fn run_e20_fault_tolerance() -> String {
     out
 }
 
+/// E21 — the attested sharded ingest plane. Three parts:
+///
+/// 1. The crash drill: an audio fleet routed through a 2-shard plane
+///    whose shards crash and restart mid-run, layered with a lossy
+///    link. Sessions re-attest under bumped epochs, redeliveries are
+///    absorbed idempotently, and the cloud decision stream stays
+///    byte-identical to the direct (plane-less) path at workers 1/2/8.
+/// 2. The mega-fleet: 100k+ wire-level device sessions against an
+///    8-shard plane with two crash windows per shard — every committed
+///    record survives exactly once.
+/// 3. Shard scaling: the modeled service throughput grows with the
+///    shard count because commit work parallelises across journals.
+pub fn run_e21_ingest_plane() -> String {
+    use std::sync::Arc;
+
+    use perisec_core::fleet::{FleetConfig, PipelineFleet};
+    use perisec_core::pipeline::SharedModels;
+    use perisec_core::FILTER_TA_NAME;
+    use perisec_ingest::{IngestPlane, IngestPlaneConfig, ShardFaultSpec};
+    use perisec_relay::attest::{
+        encode_attest_request, encode_ingest_record, SessionIngest, ATTEST_SEQ_BASE,
+    };
+    use perisec_relay::avs::AvsEvent;
+    use perisec_relay::netsim::FaultSpec;
+    use perisec_relay::{measurement_of, IngestReply, SecureChannelClient, PSK_LEN};
+
+    let mut out = String::from(
+        "## E21 — attested sharded ingest plane (epoch-fenced recovery, replay-safe \
+         re-attestation, bounded backpressure)\n\n",
+    );
+
+    // --- Part 1: crash drill with byte-identity across worker counts ---
+    let models = SharedModels::deferred(Architecture::Cnn, 60, 0xE21);
+    models.audio().expect("train speech models");
+    let pipeline = PipelineConfig {
+        batch_windows: 2,
+        ..PipelineConfig::default()
+    };
+    let devices = 8;
+    let scenarios = Scenario::fleet(devices, 10, 0.3, SimDuration::from_secs(1), 0xE21);
+    // Lossy link layered on top of the crashing plane: duplicated
+    // requests land on the shards as redeliveries, dropped ones force
+    // retransmissions through the retry machine.
+    let link_faults = FaultSpec {
+        drop_permille: 150,
+        duplicate_permille: 200,
+        ..FaultSpec::none(0xE21)
+    };
+
+    let direct = PipelineFleet::with_models(
+        FleetConfig {
+            devices,
+            pipeline: pipeline.clone(),
+            workers: 8,
+            ..FleetConfig::of(0)
+        },
+        models.clone(),
+    )
+    .run(&scenarios)
+    .expect("direct reference fleet");
+    let reference_decisions = direct.cloud_decisions_json();
+    let reference_events: usize = direct
+        .devices()
+        .iter()
+        .map(|d| d.report.cloud.report.events.len())
+        .sum();
+
+    out.push_str(&format!(
+        "### Crash drill: {devices}-device fleet through a 2-shard plane, shards \
+         killed and restarted mid-run, 15% loss + 20% duplication on the link\n\n",
+    ));
+    out.push_str(
+        "| workers | committed | redelivered | stale-epoch rejects | attest grants | \
+         decisions == direct |\n|---|---|---|---|---|---|\n",
+    );
+    let mut identical = true;
+    let mut min_stale = u64::MAX;
+    let mut total_redelivered = 0u64;
+    let mut max_lost = 0usize;
+    let mut max_duplicated = 0usize;
+    for workers in [1usize, 2, 8] {
+        let plane = IngestPlane::new(
+            IngestPlaneConfig::new(2, devices)
+                .accepting(vec![measurement_of(FILTER_TA_NAME)])
+                .with_faults(ShardFaultSpec::single(0xE21, 1_500_000_000, 150_000_000)),
+        );
+        let report = PipelineFleet::with_models(
+            FleetConfig {
+                devices,
+                pipeline: pipeline.clone(),
+                workers,
+                ingest: Some(Arc::clone(&plane) as _),
+                faults: Some(link_faults),
+                ..FleetConfig::of(0)
+            },
+            models.clone(),
+        )
+        .run(&scenarios)
+        .expect("plane-routed fleet");
+        let decisions = report.cloud_decisions_json();
+        let events: usize = report
+            .devices()
+            .iter()
+            .map(|d| d.report.cloud.report.events.len())
+            .sum();
+        let counters = plane.counters();
+        let matches_reference = decisions == reference_decisions;
+        identical &= matches_reference;
+        min_stale = min_stale.min(counters.stale_epoch_rejects);
+        total_redelivered += counters.redelivered;
+        max_lost = max_lost.max(reference_events.saturating_sub(events));
+        max_duplicated = max_duplicated.max(events.saturating_sub(reference_events));
+        let _ = writeln!(
+            out,
+            "| {workers} | {} | {} | {} | {} | {} |",
+            plane.total_committed(),
+            counters.redelivered,
+            counters.stale_epoch_rejects,
+            counters.attest_grants,
+            if matches_reference { "yes" } else { "NO" },
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nCloud decisions byte-identical to the direct path at every worker count: {}.",
+        if identical { "yes" } else { "NO" }
+    );
+    let _ = writeln!(
+        out,
+        "Verdicts lost across the crash drill: {max_lost} (gate: 0)."
+    );
+    let _ = writeln!(
+        out,
+        "Duplicate verdicts across the crash drill: {max_duplicated} (gate: 0)."
+    );
+    let _ = writeln!(
+        out,
+        "Stale-epoch rejects under the crash drill: {min_stale} (gate: > 0)."
+    );
+    let _ = writeln!(
+        out,
+        "Redelivered records absorbed idempotently: {total_redelivered} (gate: > 0)."
+    );
+
+    // --- Part 2: the 100k-session mega-fleet, wire level ----------------
+    // Each session speaks the plane's wire protocol directly (handshake,
+    // attest, sealed records with epoch prefixes) with a retry loop that
+    // walks out of crash windows via exponential backoff and re-attests
+    // whenever the restarted shard fences its epoch.
+    const SESSIONS: u64 = 100_000;
+    const RECORDS: u64 = 2;
+    const SPACING_NS: u64 = 10_000;
+    let ta = measurement_of(FILTER_TA_NAME);
+    let mega = IngestPlane::new(
+        IngestPlaneConfig::new(8, SESSIONS as usize)
+            .accepting(vec![ta])
+            .with_faults(ShardFaultSpec {
+                seed: 0xE21,
+                crashes_per_shard: 2,
+                first_crash_ns: 500_000_000,
+                crash_period_ns: 700_000_000,
+                downtime_ns: 10_000_000,
+            }),
+    );
+    let started = std::time::Instant::now();
+    for session in 0..SESSIONS {
+        let mut now_ns = session * RECORDS * SPACING_NS;
+        let mut client = SecureChannelClient::new([0x5a; PSK_LEN], session + 1);
+        // Handshake, retrying through any crash window.
+        loop {
+            let hello = client.client_hello();
+            let reply = mega.handle(session, now_ns, &hello);
+            if !reply.is_empty() {
+                client.process_server_hello(&reply).expect("server hello");
+                break;
+            }
+            now_ns += SPACING_NS.max(1_000_000);
+        }
+        let mut counter = 1u64;
+        let mut epoch;
+        loop {
+            let wire = client
+                .seal_at(
+                    ATTEST_SEQ_BASE + counter,
+                    &encode_attest_request(&ta, counter),
+                )
+                .expect("seal attest");
+            let reply = mega.handle(session, now_ns, &wire);
+            if reply.is_empty() {
+                now_ns += SPACING_NS.max(1_000_000);
+                continue;
+            }
+            let (_, plain) = client.open_explicit(&reply).expect("attest reply");
+            match IngestReply::decode(&plain) {
+                Some(IngestReply::AttestGrant { epoch: granted }) => {
+                    epoch = granted;
+                    break;
+                }
+                other => panic!("mega-fleet attest refused: {other:?}"),
+            }
+        }
+        for seq in 0..RECORDS {
+            let event = AvsEvent::TextMessage {
+                dialog_id: session * RECORDS + seq,
+                text: String::from("verdict"),
+            };
+            let mut backoff = SPACING_NS;
+            loop {
+                let wire = client
+                    .seal_at(seq, &encode_ingest_record(epoch, &event.encode()))
+                    .expect("seal record");
+                let reply = mega.handle(session, now_ns, &wire);
+                if reply.is_empty() {
+                    // Shard dark: wait out virtual time, doubling the step.
+                    now_ns += backoff;
+                    backoff = (backoff * 2).min(4_000_000);
+                    continue;
+                }
+                let (_, plain) = client.open_explicit(&reply).expect("record reply");
+                match IngestReply::decode(&plain) {
+                    Some(IngestReply::Ack(_)) => break,
+                    Some(IngestReply::NeedAttest) | Some(IngestReply::StaleEpoch { .. }) => {
+                        counter += 1;
+                        let wire = client
+                            .seal_at(
+                                ATTEST_SEQ_BASE + counter,
+                                &encode_attest_request(&ta, counter),
+                            )
+                            .expect("seal re-attest");
+                        let reply = mega.handle(session, now_ns, &wire);
+                        if reply.is_empty() {
+                            now_ns += backoff;
+                            continue;
+                        }
+                        let (_, plain) = client.open_explicit(&reply).expect("re-attest reply");
+                        match IngestReply::decode(&plain) {
+                            Some(IngestReply::AttestGrant { epoch: granted }) => epoch = granted,
+                            other => panic!("mega-fleet re-attest refused: {other:?}"),
+                        }
+                    }
+                    other => panic!("mega-fleet unexpected reply: {other:?}"),
+                }
+            }
+            now_ns += SPACING_NS;
+        }
+    }
+    let elapsed = started.elapsed();
+    let counters = mega.counters();
+    let expected = SESSIONS * RECORDS;
+    out.push_str(&format!(
+        "\n### Mega-fleet: {SESSIONS} wire-level sessions, 8 shards, two crash \
+         windows per shard\n\n"
+    ));
+    let _ = writeln!(
+        out,
+        "Mega-fleet sessions: {SESSIONS} (gate: >= 100000), host runtime {:.1}s.",
+        elapsed.as_secs_f64()
+    );
+    let _ = writeln!(
+        out,
+        "Committed exactly once: {} of {expected} (gate: all, no loss, no dup).",
+        mega.total_committed()
+    );
+    let _ = writeln!(
+        out,
+        "Mega-fleet stale-epoch rejects: {} (gate: > 0).",
+        counters.stale_epoch_rejects
+    );
+    let _ = writeln!(
+        out,
+        "Mega-fleet attest grants: {} (gate: >= {SESSIONS}).",
+        counters.attest_grants
+    );
+
+    // --- Part 3: shard scaling -----------------------------------------
+    // The same wire-level load against 1 vs 4 shards: the busiest
+    // journal's commit work bounds the makespan, so the modeled service
+    // throughput grows with the shard count.
+    let scale_run = |shards: usize| -> f64 {
+        let plane = IngestPlane::new(IngestPlaneConfig::new(shards, 16).accepting(vec![ta]));
+        for session in 0..16u64 {
+            let mut client = SecureChannelClient::new([0x5a; PSK_LEN], session + 1);
+            let reply = mega_handshake(&plane, session, &mut client);
+            assert!(reply, "scaling handshake");
+            let wire = client
+                .seal_at(ATTEST_SEQ_BASE + 1, &encode_attest_request(&ta, 1))
+                .expect("seal attest");
+            let reply = plane.handle(session, 0, &wire);
+            let (_, plain) = client.open_explicit(&reply).expect("attest reply");
+            assert!(matches!(
+                IngestReply::decode(&plain),
+                Some(IngestReply::AttestGrant { .. })
+            ));
+            for seq in 0..400u64 {
+                let event = AvsEvent::TextMessage {
+                    dialog_id: seq,
+                    text: String::from("scale"),
+                };
+                let wire = client
+                    .seal_at(seq, &encode_ingest_record(1, &event.encode()))
+                    .expect("seal record");
+                let reply = plane.handle(session, seq * SPACING_NS, &wire);
+                let (_, plain) = client.open_explicit(&reply).expect("record reply");
+                assert!(matches!(
+                    IngestReply::decode(&plain),
+                    Some(IngestReply::Ack(_))
+                ));
+            }
+        }
+        plane.modeled_throughput_rps()
+    };
+    fn mega_handshake(
+        plane: &std::sync::Arc<perisec_ingest::IngestPlane>,
+        session: u64,
+        client: &mut perisec_relay::SecureChannelClient,
+    ) -> bool {
+        use perisec_relay::attest::SessionIngest;
+        let hello = client.client_hello();
+        let reply = plane.handle(session, 0, &hello);
+        if reply.is_empty() {
+            return false;
+        }
+        client.process_server_hello(&reply).is_ok()
+    }
+    let one = scale_run(1);
+    let four = scale_run(4);
+    out.push_str("\n### Shard scaling: modeled service throughput\n\n");
+    let _ = writeln!(
+        out,
+        "| shards | modeled throughput (records/s) |\n|---|---|\n| 1 | {one:.0} |\n| 4 | {four:.0} |",
+    );
+    let _ = writeln!(
+        out,
+        "\nShard scaling 1 -> 4 shards: {:.2}x (gate: >= 2.0x).",
+        four / one
+    );
+    out
+}
+
 /// Runs every experiment and concatenates the tables (used by the
 /// `experiments` binary and by EXPERIMENTS.md generation).
 pub fn run_all() -> String {
@@ -2264,6 +2603,7 @@ pub fn run_all() -> String {
         run_e18_telemetry().0,
         run_e19_health_plane(),
         run_e20_fault_tolerance(),
+        run_e21_ingest_plane(),
     ]
     .join("\n")
 }

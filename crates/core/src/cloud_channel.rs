@@ -32,6 +32,9 @@
 use std::collections::VecDeque;
 
 use perisec_optee::{TaEnv, TeeError, TeeParam, TeeParams, TeeResult};
+use perisec_relay::attest::{
+    encode_attest_request, encode_ingest_record, IngestReply, ATTEST_SEQ_BASE, MEASUREMENT_LEN,
+};
 use perisec_relay::avs::AvsEvent;
 use perisec_relay::tls::{seal_flops, SecureChannelClient, PSK_LEN};
 use perisec_tz::time::SimDuration;
@@ -111,6 +114,23 @@ struct UnackedRecord {
     attempts: u32,
 }
 
+/// Device-side state of the attested-ingest handshake (present only
+/// when the channel targets the sharded ingest plane).
+struct IngestSession {
+    /// The TA's measurement, proven on every attestation.
+    measurement: [u8; MEASUREMENT_LEN],
+    /// The monotonic attestation counter: bumped once per *new*
+    /// attestation attempt, never reused — the plane's replay fence.
+    counter: u64,
+    /// The epoch the plane granted; every data record is sealed under
+    /// it, so a restarted shard can tell fresh records from stale ones.
+    epoch: u64,
+    /// Whether the current epoch grant is still believed live. Cleared
+    /// when the plane answers `NeedAttest`/`StaleEpoch` (a shard
+    /// restart), which makes the next flush round re-attest first.
+    attested: bool,
+}
+
 /// A lazily-established secure channel from a TA to the cloud host.
 pub(crate) struct TaCloudChannel {
     cloud_host: String,
@@ -121,6 +141,7 @@ pub(crate) struct TaCloudChannel {
     unacked: VecDeque<UnackedRecord>,
     retries: u64,
     reported_retries: u64,
+    ingest: Option<IngestSession>,
 }
 
 impl TaCloudChannel {
@@ -135,6 +156,7 @@ impl TaCloudChannel {
             unacked: VecDeque::new(),
             retries: 0,
             reported_retries: 0,
+            ingest: None,
         }
     }
 
@@ -142,6 +164,19 @@ impl TaCloudChannel {
     /// `with_retry` constructors).
     pub(crate) fn set_retry(&mut self, retry: RelayRetryConfig) {
         self.retry = retry;
+    }
+
+    /// Switches the channel into attested-ingest mode (builder style,
+    /// used by the TAs' `with_ingest` constructors): before data flows,
+    /// the channel attests `measurement` to the plane, and every record
+    /// is sealed under the granted session epoch.
+    pub(crate) fn set_ingest(&mut self, measurement: [u8; MEASUREMENT_LEN]) {
+        self.ingest = Some(IngestSession {
+            measurement,
+            counter: 0,
+            epoch: 0,
+            attested: false,
+        });
     }
 
     /// The retransmissions accrued since the last call — what
@@ -173,9 +208,16 @@ impl TaCloudChannel {
             .advance(backoff_interval(retry, socket, seq, attempt));
     }
 
+    /// Establishes the channel (and, in ingest mode, a live attestation
+    /// grant), retrying both under the same virtual-time backoff.
+    fn ensure(&mut self, env: &TaEnv<'_>) -> TeeResult<()> {
+        self.ensure_channel(env)?;
+        self.ensure_attested(env)
+    }
+
     /// Establishes the channel, retrying the handshake itself under the
     /// same virtual-time backoff — hellos cross the faulty network too.
-    fn ensure(&mut self, env: &TaEnv<'_>) -> TeeResult<()> {
+    fn ensure_channel(&mut self, env: &TaEnv<'_>) -> TeeResult<()> {
         if let Some((_, client)) = &self.channel {
             if client.is_established() {
                 return Ok(());
@@ -206,6 +248,67 @@ impl TaCloudChannel {
         })
     }
 
+    /// In ingest mode, runs the attestation handshake until the plane
+    /// grants an epoch — a new attempt bumps the monotonic counter once,
+    /// then retries the *same* counter under backoff so a lost grant is
+    /// re-issued idempotently. A no-op on a direct channel or while the
+    /// current grant is live.
+    fn ensure_attested(&mut self, env: &TaEnv<'_>) -> TeeResult<()> {
+        let Some(ingest) = self.ingest.as_mut() else {
+            return Ok(());
+        };
+        if ingest.attested {
+            return Ok(());
+        }
+        ingest.counter += 1;
+        for round in 0..self.retry.hard_rounds {
+            let (socket, client) = self.channel.as_mut().expect("channel ensured");
+            let socket = *socket;
+            let seq = ATTEST_SEQ_BASE + ingest.counter;
+            let request = encode_attest_request(&ingest.measurement, ingest.counter);
+            let wire = client
+                .seal_at(seq, &request)
+                .map_err(|e| TeeError::Communication {
+                    reason: e.to_string(),
+                })?;
+            env.charge_compute(seal_flops(request.len()));
+            env.net_send(socket, &wire)?;
+            let reply = env.net_recv(socket, 4096)?;
+            if !reply.is_empty() {
+                if let Ok((reply_seq, plaintext)) = client.open_explicit(&reply) {
+                    if reply_seq == seq {
+                        match IngestReply::decode(&plaintext) {
+                            Some(IngestReply::AttestGrant { epoch }) => {
+                                ingest.epoch = epoch;
+                                ingest.attested = true;
+                                env.tracer().count("ingest.attest", 1);
+                                return Ok(());
+                            }
+                            Some(IngestReply::AttestReject) => {
+                                // The plane holds a higher counter than
+                                // we believe (a lost grant from a past
+                                // life): move strictly past it.
+                                env.tracer().count("ingest.attest_reject", 1);
+                                ingest.counter += 1;
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+            self.retries += 1;
+            env.tracer().count("relay.retries", 1);
+            let _span = env.tracer().span("relay.retry");
+            Self::backoff_wait(env, &self.retry, socket, seq, round);
+        }
+        Err(TeeError::Communication {
+            reason: format!(
+                "ingest attestation exhausted {} retry rounds",
+                self.retry.hard_rounds
+            ),
+        })
+    }
+
     /// One transmission round: every unacked record is (re)sent oldest
     /// first, and each reply that authenticates as an explicit ack
     /// retires the sequence it names.
@@ -218,12 +321,21 @@ impl TaCloudChannel {
             };
             let (socket, client) = self.channel.as_mut().expect("channel ensured");
             let record = &mut self.unacked[pos];
-            let wire = client.seal_at(record.seq, &record.plaintext).map_err(|e| {
-                TeeError::Communication {
-                    reason: e.to_string(),
-                }
-            })?;
-            env.charge_compute(seal_flops(record.plaintext.len()));
+            // In ingest mode the wire plaintext carries the granted
+            // epoch; the buffer keeps the raw event, so a record resent
+            // after a re-attestation is automatically re-sealed under
+            // the new epoch.
+            let plaintext = match self.ingest.as_ref() {
+                Some(ingest) => encode_ingest_record(ingest.epoch, &record.plaintext),
+                None => record.plaintext.clone(),
+            };
+            let wire =
+                client
+                    .seal_at(record.seq, &plaintext)
+                    .map_err(|e| TeeError::Communication {
+                        reason: e.to_string(),
+                    })?;
+            env.charge_compute(seal_flops(plaintext.len()));
             if record.attempts > 0 {
                 self.retries += 1;
                 env.tracer().count("relay.retries", 1);
@@ -236,8 +348,31 @@ impl TaCloudChannel {
                 continue;
             }
             let (_, client) = self.channel.as_ref().expect("channel ensured");
-            if let Ok((acked, _directive)) = client.open_explicit(&reply) {
-                self.unacked.retain(|record| record.seq != acked);
+            if let Ok((acked, directive)) = client.open_explicit(&reply) {
+                match self.ingest.as_mut() {
+                    None => {
+                        self.unacked.retain(|record| record.seq != acked);
+                    }
+                    Some(ingest) => match IngestReply::decode(&directive) {
+                        Some(IngestReply::Ack(_)) => {
+                            self.unacked.retain(|record| record.seq != acked);
+                        }
+                        Some(IngestReply::NeedAttest) | Some(IngestReply::StaleEpoch { .. }) => {
+                            // A shard restart superseded our grant: the
+                            // record stays buffered, and the next flush
+                            // round re-attests before retransmitting.
+                            ingest.attested = false;
+                            env.tracer().count("ingest.stale_epoch", 1);
+                        }
+                        Some(IngestReply::Backpressure { .. }) => {
+                            // Typed queue saturation: keep the record,
+                            // let the backoff pace us, and surface the
+                            // rejection to the health plane.
+                            env.tracer().count("ingest.backpressure", 1);
+                        }
+                        _ => {}
+                    },
+                }
             }
         }
         Ok(())
@@ -286,6 +421,11 @@ impl TaCloudChannel {
                         let _ = client.process_server_hello(&reply);
                     }
                 }
+                // A restarted shard invalidated our epoch grant mid-
+                // round: re-attest (bumping the monotonic counter)
+                // before retransmitting, so the resent records go out
+                // under the fresh epoch.
+                self.ensure_attested(env)?;
                 self.transmit_round(env)?;
             }
             if self.unacked.is_empty() {

@@ -234,6 +234,17 @@ impl FilterTa {
         self
     }
 
+    /// Switches the relay to attested-ingest mode (builder-style): the
+    /// channel performs the measurement + monotonic-counter handshake
+    /// before shipping records, and every record carries the granted
+    /// session epoch. Required when the pipeline routes through a
+    /// sharded ingest plane instead of the direct mock cloud.
+    #[must_use]
+    pub fn with_ingest(mut self, measurement: [u8; perisec_relay::MEASUREMENT_LEN]) -> Self {
+        self.channel.set_ingest(measurement);
+        self
+    }
+
     /// Cumulative statistics.
     pub fn stats(&self) -> FilterStats {
         self.stats

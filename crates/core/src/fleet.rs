@@ -29,6 +29,7 @@ use std::collections::BTreeSet;
 use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
+use perisec_relay::attest::SessionIngest;
 use perisec_relay::netsim::FaultSpec;
 use perisec_telemetry::{
     DeviceHealthMonitor, FleetHealth, FleetHealthReport, FleetTelemetry, HealthConfig, HealthSink,
@@ -43,6 +44,7 @@ use crate::executor::{
     run_thread_per_device, DeviceTask, ExecutorConfig, ExecutorStats, FleetExecutor, QueuedDevice,
     StepOutcome,
 };
+use crate::ingest::IngestHook;
 use crate::pipeline::{
     CameraPipelineConfig, PipelineConfig, ScenarioProgress, SecureCameraPipeline, SecurePipeline,
     SharedModels,
@@ -106,6 +108,12 @@ pub struct FleetConfig {
     /// every worker count, which is what lets the E20 chaos drill demand
     /// byte-identical cloud decisions. Overrides any per-pipeline spec.
     pub faults: Option<FaultSpec>,
+    /// A fleet-shared sharded ingest plane. When set, every device
+    /// relays through session `device` of the plane (attested,
+    /// epoch-fenced, journaled) instead of a per-device mock cloud; the
+    /// plane's crash schedule then exercises the fleet's recovery path.
+    /// Overrides any per-pipeline [`PipelineConfig::ingest`] hook.
+    pub ingest: Option<Arc<dyn SessionIngest>>,
 }
 
 impl FleetConfig {
@@ -123,6 +131,7 @@ impl FleetConfig {
             trace_devices: BTreeSet::new(),
             health: None,
             faults: None,
+            ingest: None,
         }
     }
 
@@ -442,14 +451,51 @@ impl FleetReport {
     /// byte-identical whether or not telemetry ran — that is the
     /// zero-perturbation contract the determinism tests pin — so the
     /// telemetry plane rides in its own section of a distinct document.
+    ///
+    /// The document also carries an `accounting` section: one per-tenant
+    /// row per device session (committed / rejected / redelivered record
+    /// counts from its cloud ledger) plus the fold's span names as the
+    /// billing keys a metering pipeline would rate — usage attribution
+    /// for a multi-tenant ingest plane, derived entirely from data the
+    /// report already holds.
     pub fn to_json_with_telemetry(&self, telemetry: &perisec_telemetry::FleetTelemetry) -> String {
         use serde::Serialize as _;
+        let tenants = self
+            .devices
+            .iter()
+            .map(|d| {
+                let cloud = &d.report.cloud.report;
+                serde::value::Value::Object(vec![
+                    ("session".to_owned(), d.device.to_value()),
+                    ("modality".to_owned(), d.modality.to_value()),
+                    ("committed".to_owned(), cloud.events.len().to_value()),
+                    ("rejected".to_owned(), cloud.rejected_records.to_value()),
+                    (
+                        "redelivered".to_owned(),
+                        cloud.redelivered_records.to_value(),
+                    ),
+                ])
+            })
+            .collect::<Vec<_>>();
+        let billing_keys = telemetry
+            .histograms
+            .keys()
+            .map(|span| span.to_value())
+            .collect::<Vec<_>>();
+        let accounting = serde::value::Value::Object(vec![
+            (
+                "billing_keys".to_owned(),
+                serde::value::Value::Array(billing_keys),
+            ),
+            ("tenants".to_owned(), serde::value::Value::Array(tenants)),
+        ]);
         let document = serde::value::Value::Object(vec![
             (
                 "latency_percentiles".to_owned(),
                 self.latency_percentiles().to_value(),
             ),
             ("telemetry".to_owned(), telemetry.to_value()),
+            ("accounting".to_owned(), accounting),
             ("devices".to_owned(), self.devices.to_value()),
         ]);
         serde_json::to_string_pretty(&document).expect("fleet report is serializable")
@@ -936,6 +982,9 @@ impl PipelineFleet {
             if let Some(spec) = self.config.faults {
                 config.faults = Some(spec.for_device(device as u64));
             }
+            if let Some(plane) = &self.config.ingest {
+                config.ingest = Some(IngestHook::new(Arc::clone(plane), device as u64));
+            }
             tasks.push(audio_device_task_observed(
                 device,
                 Arc::clone(&audio[device % audio.len()]),
@@ -951,6 +1000,9 @@ impl PipelineFleet {
             config.telemetry = self.device_telemetry(config.telemetry, device);
             if let Some(spec) = self.config.faults {
                 config.faults = Some(spec.for_device(device as u64));
+            }
+            if let Some(plane) = &self.config.ingest {
+                config.ingest = Some(IngestHook::new(Arc::clone(plane), device as u64));
             }
             tasks.push(camera_device_task_observed(
                 device,

@@ -29,6 +29,10 @@
 //! * [`fleet`] — [`fleet::PipelineFleet`]: M concurrent device pipelines
 //!   (audio, camera, or a mix) sharing one trained model set, multiplexed
 //!   onto the executor, with merged fleet reports;
+//! * [`ingest`] — [`ingest::IngestHook`]: one device's handle onto a
+//!   fleet-shared sharded attested ingest plane (`perisec-ingest`),
+//!   routing the TA's relay records to an epoch-fenced shard under the
+//!   cloud hostname instead of a per-device mock cloud;
 //! * [`report`] — per-run reports: stage latencies, world-switch and
 //!   energy accounting, and the privacy-leakage summary.
 
@@ -40,6 +44,7 @@ mod cloud_channel;
 pub mod executor;
 pub mod filter_ta;
 pub mod fleet;
+pub mod ingest;
 pub mod pipeline;
 pub mod policy;
 pub mod report;
@@ -55,6 +60,7 @@ pub use executor::{
 };
 pub use filter_ta::{FilterStats, FilterTa, FILTER_TA_NAME};
 pub use fleet::{DeviceReport, FleetConfig, FleetReport, Modality, PipelineFleet};
+pub use ingest::IngestHook;
 pub use pipeline::{
     BaselinePipeline, CameraPipelineConfig, PipelineConfig, SecureCameraPipeline, SecurePipeline,
     SharedModels,

@@ -45,6 +45,7 @@ use perisec_workload::vocab::Vocabulary;
 use crate::batcher::AdaptiveBatcher;
 use crate::cloud_channel::RelayRetryConfig;
 use crate::filter_ta::{cmd as filter_cmd, default_cloud_host, default_psk, FilterTa};
+use crate::ingest::{CloudLedger, IngestHook};
 use crate::policy::PrivacyPolicy;
 use crate::report::{CloudOutcome, PipelineReport, WorkloadSummary};
 use crate::source::{SharedPlayback, SharedSceneQueue};
@@ -130,6 +131,12 @@ pub struct PipelineConfig {
     /// Retry/backoff policy of the TA-side relay (and of the baseline's
     /// normal-world relay).
     pub retry: RelayRetryConfig,
+    /// When set, the pipeline routes its cloud traffic through this
+    /// session of a fleet-shared sharded ingest plane instead of a
+    /// pipeline-local [`MockCloudService`]: the filter TA attests its
+    /// measurement before data flows, and every record is epoch-fenced
+    /// against shard restarts. `None` (the default) is the direct path.
+    pub ingest: Option<IngestHook>,
 }
 
 impl Default for PipelineConfig {
@@ -151,6 +158,7 @@ impl Default for PipelineConfig {
             telemetry: TelemetryConfig::default(),
             faults: None,
             retry: RelayRetryConfig::default(),
+            ingest: None,
         }
     }
 }
@@ -207,6 +215,8 @@ pub struct CameraPipelineConfig {
     pub faults: Option<FaultSpec>,
     /// Retry/backoff policy of the vision TA's relay.
     pub retry: RelayRetryConfig,
+    /// Sharded-ingest session routing (see [`PipelineConfig::ingest`]).
+    pub ingest: Option<IngestHook>,
 }
 
 impl Default for CameraPipelineConfig {
@@ -223,6 +233,7 @@ impl Default for CameraPipelineConfig {
             telemetry: TelemetryConfig::default(),
             faults: None,
             retry: RelayRetryConfig::default(),
+            ingest: None,
         }
     }
 }
@@ -528,8 +539,8 @@ impl ScenarioProgress {
 
 /// Starts a staged scenario run: resets the cloud ledger and snapshots
 /// the TEE counters the final report diffs against.
-fn begin_secure_stages(platform: &Platform, cloud: &MockCloudService) -> ScenarioProgress {
-    cloud.reset();
+fn begin_secure_stages(platform: &Platform, ledger: &CloudLedger) -> ScenarioProgress {
+    ledger.reset();
     ScenarioProgress {
         stats_before: platform.stats().snapshot(),
         next_event: 0,
@@ -625,7 +636,7 @@ where
 fn finish_secure_stages(
     pipeline_name: &str,
     platform: &Platform,
-    cloud: &MockCloudService,
+    ledger: &CloudLedger,
     fabric: &NetworkFabric,
     relay: &mut SecureRelayStage,
     progress: ScenarioProgress,
@@ -639,7 +650,7 @@ fn finish_secure_stages(
         workload,
         latency,
         cloud: CloudOutcome {
-            report: cloud.report(),
+            report: ledger.report(),
             sensitive_ids,
         },
         tz: stats_after.delta_since(&progress.stats_before),
@@ -658,6 +669,7 @@ pub struct SecurePipeline {
     client: TeeClient,
     filter_session: TeeSessionHandle,
     cloud: Arc<MockCloudService>,
+    ledger: CloudLedger,
     fabric: NetworkFabric,
     core: Arc<TeeCore>,
     i2s_pta: TaUuid,
@@ -702,10 +714,25 @@ impl SecurePipeline {
         let audio = models.audio()?;
         let platform = config.build_platform();
 
-        // Normal world: supplicant + network fabric + cloud.
+        // Normal world: supplicant + network fabric + cloud endpoint. A
+        // config routed through a sharded ingest plane registers the
+        // plane's session endpoint under the cloud hostname instead of a
+        // local mock cloud, so the TA dials the same host either way.
         let fabric = NetworkFabric::new().with_faults(config.faults);
         let cloud = MockCloudService::new(default_psk());
-        fabric.register_service(MockCloudService::HOST, cloud.clone());
+        let ledger = match &config.ingest {
+            Some(hook) => {
+                fabric.register_service(
+                    MockCloudService::HOST,
+                    hook.endpoint(platform.clock().clone()),
+                );
+                CloudLedger::Plane(hook.clone())
+            }
+            None => {
+                fabric.register_service(MockCloudService::HOST, cloud.clone());
+                CloudLedger::Direct(Arc::clone(&cloud))
+            }
+        };
         let supplicant = Arc::new(Supplicant::new());
         supplicant.set_net_backend(Arc::new(fabric.clone()));
 
@@ -722,7 +749,7 @@ impl SecurePipeline {
         let i2s_pta = core
             .register_pta(Box::new(I2sPta::new(secure_driver)))
             .map_err(CoreError::from)?;
-        let filter = FilterTa::new(
+        let mut filter = FilterTa::new(
             i2s_pta,
             crate::filter_ta::FilterTaModels {
                 stt: Arc::clone(&audio.stt),
@@ -740,6 +767,13 @@ impl SecurePipeline {
             config.encoding,
         )
         .with_retry(config.retry);
+        if config.ingest.is_some() {
+            // Plane-routed relay: the TA attests its own measurement
+            // before the shard will accept records.
+            filter = filter.with_ingest(perisec_relay::measurement_of(
+                crate::filter_ta::FILTER_TA_NAME,
+            ));
+        }
         core.register_ta(Box::new(filter))
             .map_err(CoreError::from)?;
 
@@ -796,6 +830,7 @@ impl SecurePipeline {
             client,
             filter_session,
             cloud,
+            ledger,
             fabric,
             core,
             i2s_pta,
@@ -826,7 +861,10 @@ impl SecurePipeline {
         &self.platform
     }
 
-    /// The mock cloud (for inspecting what it received).
+    /// The mock cloud (for inspecting what it received). Empty when the
+    /// config routes through an ingest plane — the plane's session
+    /// ledger receives the records instead, and the scenario report's
+    /// cloud outcome reads from whichever of the two is live.
     pub fn cloud(&self) -> &Arc<MockCloudService> {
         &self.cloud
     }
@@ -876,7 +914,7 @@ impl SecurePipeline {
     /// Starts a resumable scenario replay (see
     /// [`SecurePipeline::step_scenario`]).
     pub fn begin_scenario(&mut self) -> ScenarioProgress {
-        begin_secure_stages(&self.platform, &self.cloud)
+        begin_secure_stages(&self.platform, &self.ledger)
     }
 
     /// Drives **one** batch — one TEE crossing — of the scenario through
@@ -929,7 +967,7 @@ impl SecurePipeline {
         finish_secure_stages(
             "secure",
             &self.platform,
-            &self.cloud,
+            &self.ledger,
             &self.fabric,
             &mut self.relay,
             progress,
@@ -964,6 +1002,7 @@ pub struct SecureCameraPipeline {
     client: TeeClient,
     vision_session: TeeSessionHandle,
     cloud: Arc<MockCloudService>,
+    ledger: CloudLedger,
     fabric: NetworkFabric,
     core: Arc<TeeCore>,
     camera_pta: TaUuid,
@@ -1049,10 +1088,23 @@ impl SecureCameraPipeline {
     ) -> Result<Self> {
         let platform = config.build_platform();
 
-        // Normal world: supplicant + network fabric + cloud.
+        // Normal world: supplicant + network fabric + cloud endpoint —
+        // plane-routed exactly as in [`SecurePipeline::with_models`].
         let fabric = NetworkFabric::new().with_faults(config.faults);
         let cloud = MockCloudService::new(default_psk());
-        fabric.register_service(MockCloudService::HOST, cloud.clone());
+        let ledger = match &config.ingest {
+            Some(hook) => {
+                fabric.register_service(
+                    MockCloudService::HOST,
+                    hook.endpoint(platform.clock().clone()),
+                );
+                CloudLedger::Plane(hook.clone())
+            }
+            None => {
+                fabric.register_service(MockCloudService::HOST, cloud.clone());
+                CloudLedger::Direct(Arc::clone(&cloud))
+            }
+        };
         let supplicant = Arc::new(Supplicant::new());
         supplicant.set_net_backend(Arc::new(fabric.clone()));
 
@@ -1067,7 +1119,7 @@ impl SecureCameraPipeline {
         let camera_pta = core
             .register_pta(Box::new(CameraPta::new(camera_driver)))
             .map_err(CoreError::from)?;
-        let vision_ta = VisionTa::new(
+        let mut vision_ta = VisionTa::new(
             camera_pta,
             vision,
             vision_int8,
@@ -1077,6 +1129,11 @@ impl SecureCameraPipeline {
             default_psk(),
         )
         .with_retry(config.retry);
+        if config.ingest.is_some() {
+            vision_ta = vision_ta.with_ingest(perisec_relay::measurement_of(
+                crate::vision_ta::VISION_TA_NAME,
+            ));
+        }
         core.register_ta(Box::new(vision_ta))
             .map_err(CoreError::from)?;
 
@@ -1112,6 +1169,7 @@ impl SecureCameraPipeline {
             client,
             vision_session,
             cloud,
+            ledger,
             fabric,
             core,
             camera_pta,
@@ -1186,7 +1244,7 @@ impl SecureCameraPipeline {
     /// Starts a resumable scenario replay (see
     /// [`SecureCameraPipeline::step_scenario`]).
     pub fn begin_scenario(&mut self) -> ScenarioProgress {
-        begin_secure_stages(&self.platform, &self.cloud)
+        begin_secure_stages(&self.platform, &self.ledger)
     }
 
     /// Drives **one** batch — one TEE crossing — of the camera scenario
@@ -1236,7 +1294,7 @@ impl SecureCameraPipeline {
         finish_secure_stages(
             "secure-camera",
             &self.platform,
-            &self.cloud,
+            &self.ledger,
             &self.fabric,
             &mut self.relay,
             progress,

@@ -140,6 +140,14 @@ impl VisionTa {
         self
     }
 
+    /// Switches the relay to attested-ingest mode (builder-style); see
+    /// [`crate::filter_ta::FilterTa::with_ingest`].
+    #[must_use]
+    pub fn with_ingest(mut self, measurement: [u8; perisec_relay::MEASUREMENT_LEN]) -> Self {
+        self.channel.set_ingest(measurement);
+        self
+    }
+
     /// Cumulative statistics.
     pub fn stats(&self) -> VisionStats {
         self.stats

@@ -1,0 +1,144 @@
+//! The shard chaos model: whole-shard crash/restart windows in virtual
+//! time, as a pure function of a seed — the same discipline as the link
+//! model's `FaultSpec`. Every observer (any worker, any replay) computes
+//! the identical schedule, so chaos runs stay deterministic.
+//!
+//! A crash window `[start, end)` means the shard answers nothing: its
+//! volatile state (channels, stashes, attestation grants) is considered
+//! lost, and the first request at or after `end` sees a new *incarnation*
+//! that rebuilds from the durable journal.
+
+/// Deterministic crash schedule for the shards of one ingest plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardFaultSpec {
+    /// Seed the per-shard jitter derives from.
+    pub seed: u64,
+    /// Crash windows per shard (0 disables chaos entirely).
+    pub crashes_per_shard: u32,
+    /// Virtual instant (ns) of the first crash window's nominal start.
+    pub first_crash_ns: u64,
+    /// Nominal spacing between successive crash windows (ns).
+    pub crash_period_ns: u64,
+    /// How long each crash keeps the shard dark (ns).
+    pub downtime_ns: u64,
+}
+
+impl ShardFaultSpec {
+    /// A schedule with no crashes (the fault-free plane).
+    pub fn none(seed: u64) -> Self {
+        ShardFaultSpec {
+            seed,
+            crashes_per_shard: 0,
+            first_crash_ns: 0,
+            crash_period_ns: 0,
+            downtime_ns: 0,
+        }
+    }
+
+    /// One crash window per shard, starting exactly at `at_ns` (no
+    /// jitter) and lasting `downtime_ns`.
+    pub fn single(seed: u64, at_ns: u64, downtime_ns: u64) -> Self {
+        ShardFaultSpec {
+            seed,
+            crashes_per_shard: 1,
+            first_crash_ns: at_ns,
+            crash_period_ns: 0,
+            downtime_ns,
+        }
+    }
+
+    /// The `k`-th crash window of `shard`, jittered by up to a quarter
+    /// period so shards do not fall in lockstep.
+    fn window(&self, shard: usize, k: u32) -> (u64, u64) {
+        let nominal = self
+            .first_crash_ns
+            .saturating_add(self.crash_period_ns.saturating_mul(u64::from(k)));
+        let jitter_range = self.crash_period_ns / 4;
+        let jitter = if jitter_range == 0 {
+            0
+        } else {
+            splitmix(self.seed ^ (shard as u64).rotate_left(17) ^ u64::from(k)) % (jitter_range + 1)
+        };
+        let start = nominal.saturating_add(jitter);
+        (start, start.saturating_add(self.downtime_ns))
+    }
+
+    /// All crash windows of one shard, in start order.
+    pub fn windows(&self, shard: usize) -> Vec<(u64, u64)> {
+        (0..self.crashes_per_shard)
+            .map(|k| self.window(shard, k))
+            .collect()
+    }
+
+    /// Whether `shard` is inside a crash window at `now_ns`.
+    pub fn is_down(&self, shard: usize, now_ns: u64) -> bool {
+        (0..self.crashes_per_shard).any(|k| {
+            let (start, end) = self.window(shard, k);
+            now_ns >= start && now_ns < end
+        })
+    }
+
+    /// The shard's incarnation at `now_ns`: 0 before the first crash,
+    /// bumped once per crash window whose start has passed. A session
+    /// that observes a higher incarnation than the one its channel was
+    /// built under knows the volatile state is gone.
+    pub fn incarnation(&self, shard: usize, now_ns: u64) -> u64 {
+        (0..self.crashes_per_shard)
+            .filter(|&k| self.window(shard, k).0 <= now_ns)
+            .count() as u64
+    }
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_crashes() {
+        let spec = ShardFaultSpec::none(7);
+        assert!(!spec.is_down(0, 0));
+        assert!(!spec.is_down(3, u64::MAX));
+        assert_eq!(spec.incarnation(0, u64::MAX), 0);
+        assert!(spec.windows(0).is_empty());
+    }
+
+    #[test]
+    fn single_window_is_exact() {
+        let spec = ShardFaultSpec::single(1, 1_000, 500);
+        assert!(!spec.is_down(0, 999));
+        assert!(spec.is_down(0, 1_000));
+        assert!(spec.is_down(0, 1_499));
+        assert!(!spec.is_down(0, 1_500));
+        assert_eq!(spec.incarnation(0, 999), 0);
+        assert_eq!(spec.incarnation(0, 1_000), 1);
+        assert_eq!(spec.windows(0), vec![(1_000, 1_500)]);
+    }
+
+    #[test]
+    fn schedule_is_a_pure_function_of_inputs() {
+        let spec = ShardFaultSpec {
+            seed: 42,
+            crashes_per_shard: 3,
+            first_crash_ns: 10_000,
+            crash_period_ns: 40_000,
+            downtime_ns: 5_000,
+        };
+        assert_eq!(spec.windows(2), spec.windows(2));
+        // Different shards get different jitter.
+        assert_ne!(spec.windows(0), spec.windows(1));
+        // Incarnation counts window starts monotonically.
+        let windows = spec.windows(1);
+        for (k, (start, _)) in windows.iter().enumerate() {
+            assert_eq!(spec.incarnation(1, start.saturating_sub(1)), k as u64);
+            assert_eq!(spec.incarnation(1, *start), k as u64 + 1);
+        }
+    }
+}

@@ -1,0 +1,467 @@
+//! One ingest shard: journaled, crash-recoverable, attestation-gated
+//! session state.
+//!
+//! A shard splits every session's state into two tiers, mirroring what a
+//! real enclave-hosted ingest node can and cannot keep through a crash:
+//!
+//! * **volatile** — the secure-channel server, the out-of-order stash's
+//!   working set, and the "has this session attested to *this*
+//!   incarnation" bit. Lost on every crash.
+//! * **durable** — the append-only journal (hello, attestation grants,
+//!   stashed arrivals, commits), the committed-decision report, and the
+//!   rollback-protected monotonic counter / epoch pair. Survives
+//!   crashes; the journal is the single source the volatile tier is
+//!   rebuilt from.
+//!
+//! The commit path is byte-for-byte the direct `MockCloudService`
+//! discipline (shared `record_event_into` / `ack_for_event`), with two
+//! additions: acceptance is gated on the session's epoch, and every
+//! accepted arrival is journaled *before* it is acked — so an ack is a
+//! durable promise that survives the shard, and redelivered records are
+//! re-acked from the journal without re-recording.
+
+use std::collections::{BTreeMap, HashMap};
+
+use perisec_relay::attest::{
+    decode_attest_request, decode_ingest_record, IngestReply, ATTEST_SEQ_BASE, MEASUREMENT_LEN,
+};
+use perisec_relay::avs::AvsEvent;
+use perisec_relay::cloud::{ack_for_event, record_event_into, CloudReport};
+use perisec_relay::tls::{
+    peek_record_type, SecureChannelServer, CLIENT_HELLO, EXPLICIT_RECORD, PSK_LEN,
+};
+use perisec_telemetry::{DeviceTelemetry, LogHistogram};
+use perisec_tz::time::SimDuration;
+
+use crate::fault::ShardFaultSpec;
+
+/// Static configuration one shard runs with.
+#[derive(Debug, Clone)]
+pub(crate) struct ShardConfig {
+    /// This shard's index in the plane.
+    pub shard: usize,
+    /// The device-provisioned PSK (the same one the direct cloud uses).
+    pub psk: [u8; PSK_LEN],
+    /// TA measurements the shard attests.
+    pub accept: Vec<[u8; MEASUREMENT_LEN]>,
+    /// Most records a session may stash ahead of the commit point before
+    /// the shard answers with a typed backpressure rejection.
+    pub queue_cap: usize,
+    /// The crash schedule.
+    pub faults: ShardFaultSpec,
+    /// Modeled per-commit service cost, for the commit-latency series
+    /// and the throughput model.
+    pub service_cost_ns: u64,
+}
+
+/// One durable journal entry. Replaying the journal in order rebuilds
+/// every volatile structure a crash destroys.
+#[derive(Debug, Clone)]
+enum JournalEntry {
+    /// The session's client hello (both randoms are deterministic, so
+    /// replaying it re-derives the same channel keys).
+    Hello(Vec<u8>),
+    /// An attestation grant: the monotonic counter accepted and the
+    /// epoch issued for it.
+    Attest { counter: u64, epoch: u64 },
+    /// An arrival accepted into the stash (acked, not yet committed).
+    Stashed { seq: u64, event: Vec<u8> },
+    /// A commit: the sequence retired and the full reply plaintext its
+    /// redeliveries are re-acked with.
+    Committed { seq: u64, ack: Vec<u8> },
+}
+
+/// Per-session state. See the module docs for the volatile/durable
+/// split; `rebuild` is the crash-recovery path.
+struct SessionState {
+    // Volatile tier.
+    channel: Option<SecureChannelServer>,
+    stash: BTreeMap<u64, Vec<u8>>,
+    attested: bool,
+    built_incarnation: u64,
+    // Durable tier.
+    journal: Vec<JournalEntry>,
+    next_commit: u64,
+    acks: HashMap<u64, Vec<u8>>,
+    last_counter: u64,
+    epoch: u64,
+    report: CloudReport,
+    // Durable observability.
+    stale_epoch_rejects: u64,
+    backpressure_rejects: u64,
+    attest_grants: u64,
+    attest_rejects: u64,
+    commit_hist: LogHistogram,
+}
+
+impl SessionState {
+    fn new(incarnation: u64) -> Self {
+        SessionState {
+            channel: None,
+            stash: BTreeMap::new(),
+            attested: false,
+            built_incarnation: incarnation,
+            journal: Vec::new(),
+            next_commit: 0,
+            acks: HashMap::new(),
+            last_counter: 0,
+            epoch: 0,
+            report: CloudReport::default(),
+            stale_epoch_rejects: 0,
+            backpressure_rejects: 0,
+            attest_grants: 0,
+            attest_rejects: 0,
+            commit_hist: LogHistogram::new(),
+        }
+    }
+
+    /// Crash recovery: drops the volatile tier and replays the journal.
+    /// The channel comes back from the journaled hello (same
+    /// deterministic keys), the stash from `Stashed` entries not yet
+    /// superseded by a `Committed` one, and the dedup window
+    /// (`next_commit` + re-ack table) from the `Committed` entries. The
+    /// attested bit is *not* restored — that is the rollback fence: the
+    /// session must re-prove itself to the new incarnation before any
+    /// new record is accepted.
+    fn rebuild(&mut self, psk: [u8; PSK_LEN], session: u64, incarnation: u64) {
+        self.channel = None;
+        self.stash.clear();
+        self.attested = false;
+        self.built_incarnation = incarnation;
+        self.next_commit = 0;
+        self.acks.clear();
+        for entry in &self.journal {
+            match entry {
+                JournalEntry::Hello(hello) => {
+                    let mut server = SecureChannelServer::new(psk, session);
+                    if server.process_client_hello(hello).is_ok() {
+                        self.channel = Some(server);
+                    }
+                }
+                JournalEntry::Attest { counter, epoch } => {
+                    // The counter/epoch pair lives in rollback-protected
+                    // storage and survives on its own; replaying the
+                    // grants keeps the journal self-contained.
+                    self.last_counter = self.last_counter.max(*counter);
+                    self.epoch = self.epoch.max(*epoch);
+                }
+                JournalEntry::Stashed { seq, event } => {
+                    self.stash.insert(*seq, event.clone());
+                }
+                JournalEntry::Committed { seq, ack } => {
+                    self.stash.remove(seq);
+                    self.acks.insert(*seq, ack.clone());
+                    self.next_commit = self.next_commit.max(seq + 1);
+                }
+            }
+        }
+    }
+}
+
+/// One shard of the ingest plane.
+pub(crate) struct IngestShard {
+    config: ShardConfig,
+    sessions: parking_lot::Mutex<HashMap<u64, SessionState>>,
+}
+
+impl IngestShard {
+    pub(crate) fn new(config: ShardConfig) -> Self {
+        IngestShard {
+            config,
+            sessions: parking_lot::Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Handles one wire request from `session` at `now_ns` on the
+    /// session's virtual clock. An empty reply means the shard is down
+    /// or the record failed authentication — in either case the device
+    /// backs off and retries.
+    pub(crate) fn handle(&self, session: u64, now_ns: u64, request: &[u8]) -> Vec<u8> {
+        if self.config.faults.is_down(self.config.shard, now_ns) {
+            return Vec::new();
+        }
+        let incarnation = self.config.faults.incarnation(self.config.shard, now_ns);
+        let mut sessions = self.sessions.lock();
+        let state = sessions
+            .entry(session)
+            .or_insert_with(|| SessionState::new(incarnation));
+        if state.built_incarnation < incarnation {
+            state.rebuild(self.config.psk, session, incarnation);
+        }
+
+        if peek_record_type(request) == Some(CLIENT_HELLO) {
+            return self.handle_hello(session, state, request);
+        }
+        if peek_record_type(request) != Some(EXPLICIT_RECORD) {
+            // The plane speaks only the explicit-sequence protocol; a
+            // legacy implicit or plaintext record is a protocol error.
+            state.report.rejected_records += 1;
+            return Vec::new();
+        }
+        let Some(channel) = state.channel.as_ref() else {
+            // No handshake on record: nothing to authenticate with.
+            state.report.rejected_records += 1;
+            return Vec::new();
+        };
+        let (seq, plaintext) = match channel.open_explicit(request) {
+            Ok(opened) => opened,
+            Err(_) => {
+                state.report.rejected_records += 1;
+                return Vec::new();
+            }
+        };
+        if seq >= ATTEST_SEQ_BASE {
+            self.handle_attest(state, seq, &plaintext)
+        } else {
+            self.handle_record(state, seq, &plaintext)
+        }
+    }
+
+    fn handle_hello(&self, session: u64, state: &mut SessionState, request: &[u8]) -> Vec<u8> {
+        // First hello journals; replays (device recovering, or the
+        // journal replay on rebuild already restored the channel) are
+        // idempotent because both randoms are deterministic.
+        let fresh = state.channel.is_none();
+        let mut server = SecureChannelServer::new(self.config.psk, session);
+        match server.process_client_hello(request) {
+            Ok(server_hello) => {
+                state.channel = Some(server);
+                if fresh
+                    && !state
+                        .journal
+                        .iter()
+                        .any(|e| matches!(e, JournalEntry::Hello(_)))
+                {
+                    state.journal.push(JournalEntry::Hello(request.to_vec()));
+                }
+                server_hello
+            }
+            Err(_) => {
+                state.report.rejected_records += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    /// The attestation handshake. The monotonic counter is the replay
+    /// fence: a grant is issued only for a counter strictly above every
+    /// previously granted one (bumping the epoch), re-issued verbatim
+    /// for the exact last counter (a lost grant being retried), and
+    /// refused for anything below (a replayed or rolled-back request).
+    fn handle_attest(&self, state: &mut SessionState, seq: u64, plaintext: &[u8]) -> Vec<u8> {
+        let reply = match decode_attest_request(plaintext) {
+            Some((measurement, counter)) => {
+                if !self.config.accept.contains(&measurement)
+                    || counter == 0
+                    || counter < state.last_counter
+                {
+                    state.attest_rejects += 1;
+                    IngestReply::AttestReject
+                } else {
+                    if counter > state.last_counter {
+                        state.last_counter = counter;
+                        state.epoch += 1;
+                        state.journal.push(JournalEntry::Attest {
+                            counter,
+                            epoch: state.epoch,
+                        });
+                    }
+                    state.attested = true;
+                    state.attest_grants += 1;
+                    IngestReply::AttestGrant { epoch: state.epoch }
+                }
+            }
+            None => {
+                state.attest_rejects += 1;
+                IngestReply::AttestReject
+            }
+        };
+        seal_reply(state, seq, &reply)
+    }
+
+    /// The epoch-fenced, journaled version of the direct cloud's
+    /// exactly-once ingest.
+    fn handle_record(&self, state: &mut SessionState, seq: u64, plaintext: &[u8]) -> Vec<u8> {
+        let Some((epoch, event_bytes)) = decode_ingest_record(plaintext) else {
+            state.report.rejected_records += 1;
+            return Vec::new();
+        };
+        // Redelivery of something already durable: re-ack from the
+        // journal (committed) or recompute from the stash (accepted but
+        // not yet committed). Deliberately epoch-agnostic — the promise
+        // was already made; only the ack needs retransmitting.
+        if seq < state.next_commit || state.stash.contains_key(&seq) {
+            state.report.redelivered_records += 1;
+            let ack = match state.acks.get(&seq) {
+                Some(ack) => ack.clone(),
+                None => match state.stash.get(&seq).map(|b| AvsEvent::decode(b)) {
+                    Some(Ok(event)) => IngestReply::Ack(ack_for_event(&event).encode()).encode(),
+                    _ => return Vec::new(),
+                },
+            };
+            return state
+                .channel
+                .as_ref()
+                .and_then(|c| c.seal_at(seq, &ack).ok())
+                .unwrap_or_default();
+        }
+        // The rollback fence: no new promise without a live attestation
+        // for this incarnation, and none for a superseded epoch.
+        if !state.attested || epoch != state.epoch {
+            state.stale_epoch_rejects += 1;
+            let reply = if state.attested {
+                IngestReply::StaleEpoch {
+                    granted: state.epoch,
+                }
+            } else {
+                IngestReply::NeedAttest
+            };
+            return seal_reply(state, seq, &reply);
+        }
+        if seq != state.next_commit {
+            if state.stash.len() >= self.config.queue_cap {
+                state.backpressure_rejects += 1;
+                let reply = IngestReply::Backpressure {
+                    depth: state.stash.len() as u64,
+                };
+                return seal_reply(state, seq, &reply);
+            }
+            state.report.out_of_order_records += 1;
+        }
+        let Ok(event) = AvsEvent::decode(event_bytes) else {
+            state.report.rejected_records += 1;
+            return Vec::new();
+        };
+        let ack = IngestReply::Ack(ack_for_event(&event).encode()).encode();
+        // Journal the arrival before acking it: the ack below is a
+        // durable promise, so redelivery after a crash must find it.
+        state.journal.push(JournalEntry::Stashed {
+            seq,
+            event: event_bytes.to_vec(),
+        });
+        state.stash.insert(seq, event_bytes.to_vec());
+        while let Some(ready) = state.stash.remove(&state.next_commit) {
+            if let Ok(ready_event) = AvsEvent::decode(&ready) {
+                record_event_into(&mut state.report, &ready_event, true);
+                state.report.committed_records += 1;
+                let committed_ack = IngestReply::Ack(ack_for_event(&ready_event).encode()).encode();
+                state.journal.push(JournalEntry::Committed {
+                    seq: state.next_commit,
+                    ack: committed_ack.clone(),
+                });
+                state.acks.insert(state.next_commit, committed_ack);
+                state.commit_hist.record(SimDuration::from_nanos(
+                    self.config.service_cost_ns * (state.stash.len() as u64 + 1),
+                ));
+            }
+            state.next_commit += 1;
+        }
+        state
+            .channel
+            .as_ref()
+            .and_then(|c| c.seal_at(seq, &ack).ok())
+            .unwrap_or_default()
+    }
+
+    /// The committed report of one session.
+    pub(crate) fn session_report(&self, session: u64) -> CloudReport {
+        self.sessions
+            .lock()
+            .get(&session)
+            .map(|s| s.report.clone())
+            .unwrap_or_default()
+    }
+
+    /// Clears one session's report (between experiment runs); journal,
+    /// dedup window and attestation state survive, mirroring the direct
+    /// cloud's `reset`.
+    pub(crate) fn reset_session(&self, session: u64) {
+        if let Some(state) = self.sessions.lock().get_mut(&session) {
+            state.report = CloudReport::default();
+        }
+    }
+
+    /// Committed records across every session of this shard.
+    pub(crate) fn committed(&self) -> u64 {
+        self.sessions
+            .lock()
+            .values()
+            .map(|s| s.report.committed_records)
+            .sum()
+    }
+
+    /// Sums one durable counter across sessions.
+    pub(crate) fn counter_totals(&self) -> ShardCounters {
+        let sessions = self.sessions.lock();
+        let mut totals = ShardCounters::default();
+        for state in sessions.values() {
+            totals.stale_epoch_rejects += state.stale_epoch_rejects;
+            totals.backpressure_rejects += state.backpressure_rejects;
+            totals.attest_grants += state.attest_grants;
+            totals.attest_rejects += state.attest_rejects;
+            totals.redelivered += state.report.redelivered_records;
+            totals.rejected += state.report.rejected_records;
+        }
+        totals
+    }
+
+    /// The per-tenant telemetry fold of this shard: one
+    /// [`DeviceTelemetry`] per session, keyed by session id, with the
+    /// span names the billing/accounting plane reuses as keys.
+    pub(crate) fn session_telemetry(&self) -> Vec<(u64, DeviceTelemetry)> {
+        let sessions = self.sessions.lock();
+        let mut out: Vec<(u64, DeviceTelemetry)> = sessions
+            .iter()
+            .map(|(&session, state)| {
+                let mut telemetry = DeviceTelemetry::default();
+                let mut count = |name: &'static str, value: u64| {
+                    if value > 0 {
+                        telemetry.counters.insert(name, value);
+                    }
+                };
+                count("ingest.committed", state.report.committed_records);
+                count("ingest.redelivered", state.report.redelivered_records);
+                count("ingest.rejected", state.report.rejected_records);
+                count("ingest.stale_epoch", state.stale_epoch_rejects);
+                count("ingest.backpressure", state.backpressure_rejects);
+                count("ingest.attest", state.attest_grants);
+                count("ingest.journal", state.journal.len() as u64);
+                if !state.commit_hist.is_empty() {
+                    telemetry
+                        .histograms
+                        .insert("ingest.commit", state.commit_hist.clone());
+                }
+                (session, telemetry)
+            })
+            .collect();
+        out.sort_by_key(|(session, _)| *session);
+        out
+    }
+}
+
+/// Durable counters of one shard, summed across its sessions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardCounters {
+    /// Records refused for a superseded epoch (including records that
+    /// arrived before the session re-attested to a new incarnation).
+    pub stale_epoch_rejects: u64,
+    /// Records refused because the session's ingest queue was full.
+    pub backpressure_rejects: u64,
+    /// Attestation grants issued.
+    pub attest_grants: u64,
+    /// Attestation requests refused (bad measurement, replayed or
+    /// rolled-back counter).
+    pub attest_rejects: u64,
+    /// Redeliveries re-acked without re-recording.
+    pub redelivered: u64,
+    /// Records that failed authentication or decoding.
+    pub rejected: u64,
+}
+
+fn seal_reply(state: &SessionState, seq: u64, reply: &IngestReply) -> Vec<u8> {
+    state
+        .channel
+        .as_ref()
+        .and_then(|c| c.seal_at(seq, &reply.encode()).ok())
+        .unwrap_or_default()
+}

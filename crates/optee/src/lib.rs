@@ -85,6 +85,14 @@ pub enum TeeError {
         /// Explanation.
         reason: String,
     },
+    /// The peer or transport is saturated; the caller should back off
+    /// and retry rather than treat the operation as failed.
+    Busy {
+        /// Socket the backpressure was reported on.
+        socket: u64,
+        /// Queue depth at the moment of rejection.
+        depth: usize,
+    },
     /// Generic failure with a free-form message.
     Generic {
         /// Explanation.
@@ -104,6 +112,10 @@ impl fmt::Display for TeeError {
             TeeError::TargetDead => write!(f, "target trusted application is dead"),
             TeeError::SecurityViolation { reason } => write!(f, "security violation: {reason}"),
             TeeError::Communication { reason } => write!(f, "communication error: {reason}"),
+            TeeError::Busy { socket, depth } => write!(
+                f,
+                "backpressure: response queue full on socket {socket} (depth {depth})"
+            ),
             TeeError::Generic { reason } => write!(f, "tee error: {reason}"),
         }
     }

@@ -1,0 +1,262 @@
+//! Attested-ingest wire format and the session-ingest service seam.
+//!
+//! The sharded ingest plane (crate `perisec-ingest`) terminates the same
+//! explicit-sequence secure channel as [`crate::MockCloudService`], but
+//! gates record acceptance behind a per-session attestation handshake:
+//! the device proves its TA measurement together with a monotonic
+//! attestation counter, and the shard answers with a *session epoch*.
+//! Every data record then carries the epoch it was sealed under. When a
+//! shard crashes and restarts, its volatile channel state is gone; the
+//! session must re-attest (bumping the epoch), and records sealed under
+//! the old epoch are rejected loudly instead of being silently replayed
+//! into a rolled-back dedup window — the state-rollback fence the
+//! confidential-computing literature asks of enclave restarts.
+//!
+//! Everything here is deliberately transport-only: the attestation
+//! request and every reply ride inside ordinary explicit records
+//! ([`crate::tls`] is unchanged), with attestation traffic carved out of
+//! the sequence space above [`ATTEST_SEQ_BASE`] so its nonces can never
+//! collide with data records.
+
+use crate::cloud::CloudReport;
+
+/// Explicit-record sequences at or above this value are attestation
+/// handshake traffic, not data. The data path never gets close: devices
+/// send a few thousand records per scenario, not 2^63.
+pub const ATTEST_SEQ_BASE: u64 = 1 << 63;
+
+/// Length of a TA measurement (a SHA-256-sized digest in a real remote
+/// attestation flow; a deterministic hash here).
+pub const MEASUREMENT_LEN: usize = 32;
+
+/// First plaintext byte of an attestation request record.
+pub const ATTEST_REQUEST_TAG: u8 = 0xA7;
+
+/// Reply codes: the first plaintext byte of every reply an ingest shard
+/// seals back to the device.
+pub mod reply {
+    /// Record accepted (or re-acked); the rest of the reply is the AVS
+    /// directive, byte-for-byte what the direct cloud path would send.
+    pub const ACK: u8 = 0x41;
+    /// Attestation accepted; the rest is the granted epoch (u64 LE).
+    pub const ATTEST_GRANT: u8 = 0x47;
+    /// Attestation refused (unknown measurement, or a replayed /
+    /// rolled-back monotonic counter).
+    pub const ATTEST_REJECT: u8 = 0x52;
+    /// Data record refused: the session has not attested to this shard
+    /// incarnation yet.
+    pub const NEED_ATTEST: u8 = 0x4e;
+    /// Data record refused: sealed under a superseded epoch; the rest is
+    /// the currently granted epoch (u64 LE).
+    pub const STALE_EPOCH: u8 = 0x53;
+    /// Data record refused: the session's ingest queue is full; the rest
+    /// is the queue depth at rejection (u64 LE).
+    pub const BACKPRESSURE: u8 = 0x42;
+}
+
+/// Derives the measurement of a trusted application from its name — the
+/// simulation's stand-in for hashing the TA binary. Deterministic, so
+/// device and plane agree without any shared state.
+pub fn measurement_of(ta_name: &str) -> [u8; MEASUREMENT_LEN] {
+    let mut out = [0u8; MEASUREMENT_LEN];
+    let mut acc: u64 = 0x9e37_79b9_7f4a_7c15;
+    for &b in ta_name.as_bytes() {
+        acc = splitmix(acc ^ u64::from(b));
+    }
+    for (i, chunk) in out.chunks_mut(8).enumerate() {
+        acc = splitmix(acc ^ i as u64);
+        chunk.copy_from_slice(&acc.to_le_bytes());
+    }
+    out
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Encodes an attestation request plaintext: tag, measurement, counter.
+pub fn encode_attest_request(measurement: &[u8; MEASUREMENT_LEN], counter: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + MEASUREMENT_LEN + 8);
+    out.push(ATTEST_REQUEST_TAG);
+    out.extend_from_slice(measurement);
+    out.extend_from_slice(&counter.to_le_bytes());
+    out
+}
+
+/// Decodes an attestation request plaintext.
+pub fn decode_attest_request(plain: &[u8]) -> Option<([u8; MEASUREMENT_LEN], u64)> {
+    if plain.len() != 1 + MEASUREMENT_LEN + 8 || plain[0] != ATTEST_REQUEST_TAG {
+        return None;
+    }
+    let mut measurement = [0u8; MEASUREMENT_LEN];
+    measurement.copy_from_slice(&plain[1..1 + MEASUREMENT_LEN]);
+    let mut counter = [0u8; 8];
+    counter.copy_from_slice(&plain[1 + MEASUREMENT_LEN..]);
+    Some((measurement, u64::from_le_bytes(counter)))
+}
+
+/// Prefixes an event plaintext with the epoch it is sealed under.
+pub fn encode_ingest_record(epoch: u64, event: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + event.len());
+    out.extend_from_slice(&epoch.to_le_bytes());
+    out.extend_from_slice(event);
+    out
+}
+
+/// Splits an ingest record plaintext into (epoch, event bytes).
+pub fn decode_ingest_record(plain: &[u8]) -> Option<(u64, &[u8])> {
+    if plain.len() < 8 {
+        return None;
+    }
+    let mut epoch = [0u8; 8];
+    epoch.copy_from_slice(&plain[..8]);
+    Some((u64::from_le_bytes(epoch), &plain[8..]))
+}
+
+/// A decoded ingest-plane reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngestReply {
+    /// Record accepted; carries the AVS directive bytes verbatim.
+    Ack(Vec<u8>),
+    /// Attestation accepted at this epoch.
+    AttestGrant {
+        /// The session epoch granted to the attesting device.
+        epoch: u64,
+    },
+    /// Attestation refused.
+    AttestReject,
+    /// Data refused until the session attests to this incarnation.
+    NeedAttest,
+    /// Data refused: sealed under a superseded epoch.
+    StaleEpoch {
+        /// The epoch the shard currently honours.
+        granted: u64,
+    },
+    /// Data refused: the session's bounded ingest queue is full.
+    Backpressure {
+        /// Stash depth at the moment of rejection.
+        depth: u64,
+    },
+}
+
+impl IngestReply {
+    /// Encodes the reply plaintext (code byte plus payload).
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            IngestReply::Ack(directive) => {
+                let mut out = Vec::with_capacity(1 + directive.len());
+                out.push(reply::ACK);
+                out.extend_from_slice(directive);
+                out
+            }
+            IngestReply::AttestGrant { epoch } => {
+                let mut out = vec![reply::ATTEST_GRANT];
+                out.extend_from_slice(&epoch.to_le_bytes());
+                out
+            }
+            IngestReply::AttestReject => vec![reply::ATTEST_REJECT],
+            IngestReply::NeedAttest => vec![reply::NEED_ATTEST],
+            IngestReply::StaleEpoch { granted } => {
+                let mut out = vec![reply::STALE_EPOCH];
+                out.extend_from_slice(&granted.to_le_bytes());
+                out
+            }
+            IngestReply::Backpressure { depth } => {
+                let mut out = vec![reply::BACKPRESSURE];
+                out.extend_from_slice(&depth.to_le_bytes());
+                out
+            }
+        }
+    }
+
+    /// Decodes a reply plaintext.
+    pub fn decode(plain: &[u8]) -> Option<IngestReply> {
+        let (&code, rest) = plain.split_first()?;
+        let word = |rest: &[u8]| -> Option<u64> {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(rest.get(..8)?);
+            Some(u64::from_le_bytes(b))
+        };
+        match code {
+            reply::ACK => Some(IngestReply::Ack(rest.to_vec())),
+            reply::ATTEST_GRANT => Some(IngestReply::AttestGrant { epoch: word(rest)? }),
+            reply::ATTEST_REJECT => Some(IngestReply::AttestReject),
+            reply::NEED_ATTEST => Some(IngestReply::NeedAttest),
+            reply::STALE_EPOCH => Some(IngestReply::StaleEpoch {
+                granted: word(rest)?,
+            }),
+            reply::BACKPRESSURE => Some(IngestReply::Backpressure { depth: word(rest)? }),
+            _ => None,
+        }
+    }
+}
+
+/// The service seam the sharded ingest plane implements and the device
+/// pipeline consumes. Time is passed as nanoseconds since boot of the
+/// caller's virtual clock, so the plane can evaluate its crash schedule
+/// without this crate depending on the clock types.
+pub trait SessionIngest: std::fmt::Debug + Send + Sync {
+    /// Handles one wire request from `session`, observed at `now_ns` on
+    /// the session's virtual clock. Returns the wire reply (empty for
+    /// "no answer" — a down shard, or an unauthenticated record).
+    fn handle(&self, session: u64, now_ns: u64, request: &[u8]) -> Vec<u8>;
+
+    /// Everything committed for one session, in commit order — the
+    /// sharded equivalent of [`crate::MockCloudService::report`].
+    fn session_report(&self, session: u64) -> CloudReport;
+
+    /// Clears the recorded events of one session (between experiment
+    /// runs), mirroring [`crate::MockCloudService::reset`]: only the
+    /// report resets; channel, journal and dedup state survive.
+    fn reset_session(&self, session: u64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attest_request_roundtrips() {
+        let m = measurement_of("perisec.filter-ta");
+        let wire = encode_attest_request(&m, 7);
+        assert_eq!(decode_attest_request(&wire), Some((m, 7)));
+        assert!(decode_attest_request(&wire[1..]).is_none());
+        let mut bad = wire.clone();
+        bad[0] = 0x00;
+        assert!(decode_attest_request(&bad).is_none());
+    }
+
+    #[test]
+    fn measurements_are_deterministic_and_distinct() {
+        assert_eq!(measurement_of("a"), measurement_of("a"));
+        assert_ne!(measurement_of("a"), measurement_of("b"));
+    }
+
+    #[test]
+    fn ingest_record_roundtrips() {
+        let wire = encode_ingest_record(3, b"event");
+        assert_eq!(decode_ingest_record(&wire), Some((3, &b"event"[..])));
+        assert!(decode_ingest_record(&wire[..7]).is_none());
+    }
+
+    #[test]
+    fn replies_roundtrip() {
+        let all = [
+            IngestReply::Ack(b"directive".to_vec()),
+            IngestReply::AttestGrant { epoch: 2 },
+            IngestReply::AttestReject,
+            IngestReply::NeedAttest,
+            IngestReply::StaleEpoch { granted: 5 },
+            IngestReply::Backpressure { depth: 9 },
+        ];
+        for reply in all {
+            assert_eq!(IngestReply::decode(&reply.encode()), Some(reply));
+        }
+        assert!(IngestReply::decode(&[0xff]).is_none());
+        assert!(IngestReply::decode(&[]).is_none());
+    }
+}

@@ -132,80 +132,11 @@ impl MockCloudService {
     }
 
     fn record_event(&self, event: &AvsEvent, encrypted: bool) {
-        let mut report = self.report.lock();
-        match event {
-            AvsEvent::Recognize { dialog_id, audio } => {
-                report.application_bytes += audio.len() as u64;
-                report.events.push(ReceivedEvent {
-                    dialog_id: *dialog_id,
-                    text: None,
-                    audio_bytes: audio.len(),
-                    encrypted,
-                });
-            }
-            AvsEvent::TextMessage { dialog_id, text } => {
-                report.application_bytes += text.len() as u64;
-                report.events.push(ReceivedEvent {
-                    dialog_id: *dialog_id,
-                    text: Some(text.clone()),
-                    audio_bytes: 0,
-                    encrypted,
-                });
-            }
-            AvsEvent::FrameVerdict {
-                dialog_id,
-                frames,
-                probability_milli,
-            } => {
-                // The camera modality's whole point: the cloud learns a
-                // frame count and a coarse score, never pixels.
-                report.events.push(ReceivedEvent {
-                    dialog_id: *dialog_id,
-                    text: Some(format!(
-                        "frame-verdict frames={frames} p={probability_milli}"
-                    )),
-                    audio_bytes: 0,
-                    encrypted,
-                });
-            }
-            AvsEvent::Ping => {}
-            AvsEvent::Batch(events) => {
-                // Drop the report lock before recursing into the entries.
-                drop(report);
-                for inner in events {
-                    self.record_event(inner, encrypted);
-                }
-            }
-        }
-    }
-
-    /// Dialog ids named by an event, in order (batch entries flattened).
-    fn dialog_ids_of(event: &AvsEvent) -> Vec<u64> {
-        match event {
-            AvsEvent::Recognize { dialog_id, .. }
-            | AvsEvent::TextMessage { dialog_id, .. }
-            | AvsEvent::FrameVerdict { dialog_id, .. } => {
-                vec![*dialog_id]
-            }
-            AvsEvent::Ping => Vec::new(),
-            AvsEvent::Batch(events) => events.iter().flat_map(Self::dialog_ids_of).collect(),
-        }
+        record_event_into(&mut self.report.lock(), event, encrypted);
     }
 
     fn ack_for(event: &AvsEvent) -> AvsDirective {
-        match event {
-            AvsEvent::Recognize { dialog_id, .. }
-            | AvsEvent::TextMessage { dialog_id, .. }
-            | AvsEvent::FrameVerdict { dialog_id, .. } => AvsDirective::Ack {
-                dialog_id: *dialog_id,
-            },
-            AvsEvent::Ping => AvsDirective::Ack {
-                dialog_id: u64::MAX,
-            },
-            AvsEvent::Batch(_) => AvsDirective::BatchAck {
-                dialog_ids: Self::dialog_ids_of(event),
-            },
-        }
+        ack_for_event(event)
     }
 
     fn speak_for(&self, event: &AvsEvent) -> AvsDirective {
@@ -223,9 +154,89 @@ impl MockCloudService {
                 dialog_id: u64::MAX,
             },
             AvsEvent::Batch(_) => AvsDirective::BatchAck {
-                dialog_ids: Self::dialog_ids_of(event),
+                dialog_ids: dialog_ids_of(event),
             },
         }
+    }
+}
+
+/// Records one decoded event into a report — the single definition of
+/// "what the cloud learns" from a committed record, shared by the direct
+/// mock cloud and the sharded ingest plane so their decision logs cannot
+/// drift apart.
+pub fn record_event_into(report: &mut CloudReport, event: &AvsEvent, encrypted: bool) {
+    match event {
+        AvsEvent::Recognize { dialog_id, audio } => {
+            report.application_bytes += audio.len() as u64;
+            report.events.push(ReceivedEvent {
+                dialog_id: *dialog_id,
+                text: None,
+                audio_bytes: audio.len(),
+                encrypted,
+            });
+        }
+        AvsEvent::TextMessage { dialog_id, text } => {
+            report.application_bytes += text.len() as u64;
+            report.events.push(ReceivedEvent {
+                dialog_id: *dialog_id,
+                text: Some(text.clone()),
+                audio_bytes: 0,
+                encrypted,
+            });
+        }
+        AvsEvent::FrameVerdict {
+            dialog_id,
+            frames,
+            probability_milli,
+        } => {
+            // The camera modality's whole point: the cloud learns a
+            // frame count and a coarse score, never pixels.
+            report.events.push(ReceivedEvent {
+                dialog_id: *dialog_id,
+                text: Some(format!(
+                    "frame-verdict frames={frames} p={probability_milli}"
+                )),
+                audio_bytes: 0,
+                encrypted,
+            });
+        }
+        AvsEvent::Ping => {}
+        AvsEvent::Batch(events) => {
+            for inner in events {
+                record_event_into(report, inner, encrypted);
+            }
+        }
+    }
+}
+
+/// Dialog ids named by an event, in order (batch entries flattened).
+pub fn dialog_ids_of(event: &AvsEvent) -> Vec<u64> {
+    match event {
+        AvsEvent::Recognize { dialog_id, .. }
+        | AvsEvent::TextMessage { dialog_id, .. }
+        | AvsEvent::FrameVerdict { dialog_id, .. } => {
+            vec![*dialog_id]
+        }
+        AvsEvent::Ping => Vec::new(),
+        AvsEvent::Batch(events) => events.iter().flat_map(dialog_ids_of).collect(),
+    }
+}
+
+/// The acknowledgement directive for one event — shared by the direct
+/// cloud and the ingest plane so acks are byte-identical on both paths.
+pub fn ack_for_event(event: &AvsEvent) -> AvsDirective {
+    match event {
+        AvsEvent::Recognize { dialog_id, .. }
+        | AvsEvent::TextMessage { dialog_id, .. }
+        | AvsEvent::FrameVerdict { dialog_id, .. } => AvsDirective::Ack {
+            dialog_id: *dialog_id,
+        },
+        AvsEvent::Ping => AvsDirective::Ack {
+            dialog_id: u64::MAX,
+        },
+        AvsEvent::Batch(_) => AvsDirective::BatchAck {
+            dialog_ids: dialog_ids_of(event),
+        },
     }
 }
 

@@ -16,16 +16,21 @@
 //!   events (Recognize, text events) and directives;
 //! * [`cloud`] — the mock cloud service: terminates the secure channel,
 //!   decodes AVS events, and records exactly what reached it (the ground
-//!   truth for the privacy-leakage experiments).
+//!   truth for the privacy-leakage experiments);
+//! * [`attest`] — the attested-ingest wire format (measurement +
+//!   monotonic counter + session epoch) and the [`SessionIngest`] seam
+//!   the sharded ingest plane implements.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attest;
 pub mod avs;
 pub mod cloud;
 pub mod netsim;
 pub mod tls;
 
+pub use attest::{measurement_of, IngestReply, SessionIngest, ATTEST_SEQ_BASE, MEASUREMENT_LEN};
 pub use avs::{AvsDirective, AvsEvent};
 pub use cloud::{CloudReport, MockCloudService, ReceivedEvent};
 pub use netsim::{FabricStats, FaultClass, FaultSpec, NetworkFabric, Transport};

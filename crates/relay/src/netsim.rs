@@ -213,11 +213,7 @@ impl NetFault {
             NetFault::UnknownSocket(socket) => TeeError::Communication {
                 reason: format!("unknown socket {socket}"),
             },
-            NetFault::Backpressure { socket, depth } => TeeError::Communication {
-                reason: format!(
-                    "backpressure: response queue full on socket {socket} (depth {depth})"
-                ),
-            },
+            NetFault::Backpressure { socket, depth } => TeeError::Busy { socket, depth },
             NetFault::OversizedRead { needed, max } => TeeError::Communication {
                 reason: format!(
                     "oversized read: queued message needs {needed} bytes, caller offered {max}"

@@ -165,6 +165,11 @@ pub struct HealthConfig {
     /// device is burning its virtual time retransmitting into a lossy or
     /// dead network rather than making forward progress.
     pub retry_storm_threshold: u64,
+    /// Epoch `ingest.backpressure` count at or above which a
+    /// backpressure alert fires (0 disables) — queue saturation on the
+    /// ingest path made visible in the health report rather than only as
+    /// device-side retries.
+    pub backpressure_threshold: u64,
 }
 
 impl Default for HealthConfig {
@@ -180,6 +185,7 @@ impl Default for HealthConfig {
             stall_epochs: 0,
             expect_zero_payload: false,
             retry_storm_threshold: 0,
+            backpressure_threshold: 0,
         }
     }
 }
@@ -282,6 +288,15 @@ pub enum AlertKind {
     RetryStorm,
     /// Spans were dropped past the capture cap this epoch.
     DroppedSpanPressure,
+    /// `ingest.backpressure` crossed the configured per-epoch threshold
+    /// — the ingest path is refusing records faster than the device can
+    /// drain them.
+    Backpressure,
+    /// An ingest shard entered a crash window (chaos schedule or
+    /// observed outage).
+    ShardDown,
+    /// An ingest shard came back from a crash window.
+    ShardRecovered,
     /// The health state machine transitioned.
     StateChange {
         /// State before the transition.
@@ -301,6 +316,9 @@ impl AlertKind {
             AlertKind::PayloadLeak => "payload_leak",
             AlertKind::RetryStorm => "retry_storm",
             AlertKind::DroppedSpanPressure => "dropped_span_pressure",
+            AlertKind::Backpressure => "backpressure",
+            AlertKind::ShardDown => "shard_down",
+            AlertKind::ShardRecovered => "shard_recovered",
             AlertKind::StateChange { .. } => "state_change",
         }
     }
@@ -382,6 +400,19 @@ impl FleetHealth {
     fn complete_device(&mut self, device: usize, state: HealthState, alerts: Vec<Alert>) {
         self.final_states.insert(device, state);
         self.alerts.extend(alerts);
+    }
+
+    /// Folds one epoch's telemetry delta for a device — the external
+    /// entry point planes that run their own epoch accounting (the
+    /// sharded ingest plane) use to feed a health accumulator directly.
+    pub fn ingest_epoch(&mut self, epoch: u64, device: usize, delta: &DeviceTelemetry) {
+        self.absorb_epoch(epoch, device, delta);
+    }
+
+    /// Records a device's final state and its alert journal — the
+    /// external counterpart of the monitor-driven completion path.
+    pub fn finish_device(&mut self, device: usize, state: HealthState, alerts: Vec<Alert>) {
+        self.complete_device(device, state, alerts);
     }
 
     /// Assembles the deterministic report: the journal sorts by
@@ -656,6 +687,23 @@ impl Detectors {
                         detail: format!(
                             "{retries} relay retransmissions in one epoch (threshold {})",
                             config.retry_storm_threshold
+                        ),
+                    });
+                }
+            }
+        }
+        if config.backpressure_threshold > 0 {
+            if let Some(&rejections) = delta.counters.get("ingest.backpressure") {
+                if rejections >= config.backpressure_threshold {
+                    alerts.push(Alert {
+                        device,
+                        epoch,
+                        at,
+                        kind: AlertKind::Backpressure,
+                        span: None,
+                        detail: format!(
+                            "{rejections} ingest backpressure rejections in one epoch (threshold {})",
+                            config.backpressure_threshold
                         ),
                     });
                 }

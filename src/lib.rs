@@ -26,6 +26,7 @@
 //! | [`core`] | `perisec-core` | The paper's contribution: policy engine, privacy filter, end-to-end pipelines, metrics |
 //! | [`sched`] | `perisec-sched` | Multi-core TEE scheduler: secure-core pools, sharded TA sessions, adaptive batching, model dedup |
 //! | [`telemetry`] | `perisec-telemetry` | Observability plane: virtual-time span tracer, bounded log-bucket histograms, order-invariant fleet fold, chrome-trace/flamegraph export |
+//! | [`ingest`] | `perisec-ingest` | Sharded attested ingest plane: epoch-fenced sessions, append-only journals, deterministic crash/recovery, bounded backpressure |
 //!
 //! ## Quickstart
 //!
@@ -44,6 +45,7 @@
 
 pub use perisec_core as core;
 pub use perisec_devices as devices;
+pub use perisec_ingest as ingest;
 pub use perisec_kernel as kernel;
 pub use perisec_ml as ml;
 pub use perisec_optee as optee;
